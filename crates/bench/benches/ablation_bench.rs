@@ -1,0 +1,98 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out.
+//!
+//! Each bench times the end-to-end pipeline (small network → campaign →
+//! analysis) under one knob setting; the *result* of each ablation (who
+//! wins, by how much) is printed once at startup so a bench run doubles as
+//! an ablation report. The negative control — idealized global
+//! shortest-delay routing — should show the alternate-path advantage
+//! largely vanishing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use detour_core::analysis::cdf::{compare_all_pairs, improvement_cdf};
+use detour_core::{LossComposition, MeasurementGraph, Rtt, SearchDepth};
+use detour_datasets::uw3;
+use detour_datasets::{generate_on, Scale};
+use detour_netsim::{Era, Network, NetworkConfig, RoutingMode};
+
+const SCALE_HOSTS: usize = 12;
+const SCALE_DIV: u32 = 16;
+
+fn dataset_for_mode(mode: RoutingMode) -> detour_measure::Dataset {
+    let spec = uw3::spec();
+    let mut cfg = NetworkConfig::for_era(Era::Y1999, spec.network_seed, 7.0 / SCALE_DIV as f64);
+    cfg.mode = mode;
+    let net = Network::generate(&cfg);
+    generate_on(&net, &spec, Scale::reduced(SCALE_HOSTS, SCALE_DIV))
+}
+
+fn improved_fraction(ds: &detour_measure::Dataset) -> f64 {
+    let g = MeasurementGraph::from_dataset(ds);
+    let cs = compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted);
+    if cs.is_empty() {
+        return 0.0;
+    }
+    improvement_cdf(&cs).fraction_above(0.0)
+}
+
+fn bench_routing_modes(c: &mut Criterion) {
+    // Print the ablation verdict once.
+    for mode in [
+        RoutingMode::PolicyHotPotato,
+        RoutingMode::PolicyBestExit,
+        RoutingMode::GlobalShortestDelay,
+    ] {
+        let ds = dataset_for_mode(mode);
+        eprintln!(
+            "[ablation] {mode:?}: {:.0}% of pairs have a faster alternate",
+            100.0 * improved_fraction(&ds)
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_routing_mode");
+    group.sample_size(10);
+    for mode in [RoutingMode::PolicyHotPotato, RoutingMode::GlobalShortestDelay] {
+        group.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| {
+                let ds = dataset_for_mode(mode);
+                std::hint::black_box(improved_fraction(&ds))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_loss_composition(c: &mut Criterion) {
+    let (n2, _) = detour_datasets::n2::generate_with_na(Scale::reduced(10, 16));
+    let g = MeasurementGraph::from_dataset(&n2);
+    let mut group = c.benchmark_group("ablation_loss_composition");
+    for mode in [LossComposition::Optimistic, LossComposition::Pessimistic] {
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let cs =
+                    detour_core::analysis::cdf::compare_all_pairs_bandwidth(&g, mode);
+                std::hint::black_box(cs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_depth(c: &mut Criterion) {
+    let ds = dataset_for_mode(RoutingMode::PolicyHotPotato);
+    let g = MeasurementGraph::from_dataset(&ds);
+    let mut group = c.benchmark_group("ablation_search_depth");
+    for (label, depth) in
+        [("unrestricted", SearchDepth::Unrestricted), ("one_hop", SearchDepth::OneHop)]
+    {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cs = compare_all_pairs(&g, &Rtt, depth);
+                std::hint::black_box(cs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing_modes, bench_loss_composition, bench_search_depth);
+criterion_main!(benches);

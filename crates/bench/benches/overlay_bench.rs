@@ -1,0 +1,68 @@
+//! Criterion benches for the overlay: probe rounds, route selection, and a
+//! full evaluation epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use detour_netsim::sim::clock::SimTime;
+use detour_netsim::{Era, HostId, Network, NetworkConfig};
+use detour_overlay::{Overlay, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(members: usize) -> (Network, Overlay) {
+    let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 909, 2.0));
+    let hosts: Vec<HostId> =
+        net.hosts().iter().step_by(2).take(members).map(|h| h.id).collect();
+    (net, Overlay::new(hosts, OverlayConfig::default()))
+}
+
+fn bench_probe_round(c: &mut Criterion) {
+    let (net, overlay) = setup(10);
+    c.bench_function("overlay/probe_round_10_members", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ov = overlay.clone();
+        let mut hour = 0.0;
+        b.iter(|| {
+            hour += 0.01;
+            ov.probe_round(&net, SimTime::from_hours(10.0 + hour), &mut rng);
+            std::hint::black_box(ov.probe_rounds())
+        })
+    });
+}
+
+fn bench_route_selection(c: &mut Criterion) {
+    let (net, mut overlay) = setup(12);
+    let mut rng = StdRng::seed_from_u64(2);
+    overlay.run(&net, SimTime::from_hours(20.0), 300.0, &mut rng);
+    let members: Vec<HostId> = overlay.members().to_vec();
+    c.bench_function("overlay/route_all_pairs_12_members", |b| {
+        b.iter(|| {
+            let mut detours = 0;
+            for &a in &members {
+                for &bm in &members {
+                    if a != bm && overlay.route(a, bm).map_or(false, |r| r.is_detour()) {
+                        detours += 1;
+                    }
+                }
+            }
+            std::hint::black_box(detours)
+        })
+    });
+}
+
+fn bench_relay_send(c: &mut Criterion) {
+    let (net, mut overlay) = setup(8);
+    let mut rng = StdRng::seed_from_u64(3);
+    overlay.run(&net, SimTime::from_hours(20.0), 300.0, &mut rng);
+    let (a, b_host) = (overlay.members()[0], overlay.members()[4]);
+    c.bench_function("overlay/send_selected_route", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let route = overlay.route(a, b_host).expect("warmed");
+            let out = overlay.send(&net, route, SimTime::from_hours(20.2), &mut rng);
+            std::hint::black_box(out.rtt_ms)
+        })
+    });
+}
+
+criterion_group!(benches, bench_probe_round, bench_route_selection, bench_relay_send);
+criterion_main!(benches);

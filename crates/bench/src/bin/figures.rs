@@ -1,0 +1,69 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p detour-bench --release --bin figures -- all
+//! cargo run -p detour-bench --release --bin figures -- fig1 fig3 table2
+//! cargo run -p detour-bench --release --bin figures -- --scaled all
+//! ```
+//!
+//! Reports go to stdout and, per experiment, to `results/<id>.txt`.
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+use detour_bench::experiments::{run, ALL_EXPERIMENTS};
+use detour_bench::extras::{self, EXTRA_EXPERIMENTS};
+use detour_bench::Bundle;
+use detour_datasets::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scaled = args.iter().any(|a| a == "--scaled");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        let mut v = ALL_EXPERIMENTS.to_vec();
+        v.extend(EXTRA_EXPERIMENTS);
+        v
+    } else {
+        ids
+    };
+
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(id) && !EXTRA_EXPERIMENTS.contains(id) {
+            eprintln!(
+                "unknown experiment {id:?}; known: {ALL_EXPERIMENTS:?} + {EXTRA_EXPERIMENTS:?}"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!(
+        "generating the eight datasets at {} scale...",
+        if scaled { "reduced" } else { "full paper" }
+    );
+    let t = Instant::now();
+    let bundle = if scaled {
+        Bundle::generate(Scale::reduced(12, 8))
+    } else {
+        Bundle::full()
+    };
+    eprintln!("datasets ready in {:.1?}", t.elapsed());
+
+    let results = Path::new("results");
+    fs::create_dir_all(results).expect("create results/");
+    for id in ids {
+        let t = Instant::now();
+        let report = run(id, &bundle)
+            .or_else(|| extras::run(id, &bundle))
+            .expect("id validated above");
+        println!("{report}");
+        eprintln!("[{id} done in {:.1?}]", t.elapsed());
+        fs::write(results.join(format!("{id}.txt")), &report)
+            .expect("write results file");
+    }
+}

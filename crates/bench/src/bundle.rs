@@ -1,0 +1,79 @@
+//! Generation and caching of the eight Table-1 datasets.
+
+use detour_datasets::{d2, n2, uw1, uw3, uw4, Scale};
+use detour_measure::Dataset;
+
+/// All eight datasets, generated together so siblings share simulations.
+#[derive(Debug, Clone)]
+pub struct Bundle {
+    /// D2 (1995, world, traceroute).
+    pub d2: Dataset,
+    /// D2 restricted to North America.
+    pub d2_na: Dataset,
+    /// N2 (1995, world, TCP transfers).
+    pub n2: Dataset,
+    /// N2 restricted to North America.
+    pub n2_na: Dataset,
+    /// UW1 (1998, NA, per-host uniform).
+    pub uw1: Dataset,
+    /// UW3 (1999, NA, 9-second exponential).
+    pub uw3: Dataset,
+    /// UW4-A (1999, simultaneous episodes).
+    pub uw4_a: Dataset,
+    /// UW4-B (1999, long-term average companion).
+    pub uw4_b: Dataset,
+}
+
+impl Bundle {
+    /// Generates every dataset at the given scale.
+    pub fn generate(scale: Scale) -> Bundle {
+        let (d2, d2_na) = d2::generate_with_na(scale);
+        let (n2, n2_na) = n2::generate_with_na(scale);
+        let uw1 = detour_datasets::generate(&uw1::spec(), scale);
+        let uw3 = detour_datasets::generate(&uw3::spec(), scale);
+        let (uw4_a, uw4_b) = uw4::generate_both(scale);
+        Bundle { d2, d2_na, n2, n2_na, uw1, uw3, uw4_a, uw4_b }
+    }
+
+    /// Full paper scale.
+    pub fn full() -> Bundle {
+        Bundle::generate(Scale::full())
+    }
+
+    /// A fast, reduced bundle for smoke tests and criterion benches.
+    pub fn reduced() -> Bundle {
+        Bundle::generate(Scale::reduced(12, 8))
+    }
+
+    /// Table-1 ordering of the probe/transfer datasets.
+    pub fn in_table_order(&self) -> [&Dataset; 8] {
+        [
+            &self.d2_na,
+            &self.d2,
+            &self.n2_na,
+            &self.n2,
+            &self.uw1,
+            &self.uw3,
+            &self.uw4_a,
+            &self.uw4_b,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_bundle_generates_all_eight() {
+        let b = Bundle::generate(Scale::reduced(8, 24));
+        for ds in b.in_table_order() {
+            assert!(
+                !ds.probes.is_empty() || !ds.transfers.is_empty(),
+                "{} is empty",
+                ds.name
+            );
+        }
+        assert_eq!(b.uw4_a.hosts.len(), b.uw4_b.hosts.len());
+    }
+}

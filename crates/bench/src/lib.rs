@@ -1,0 +1,22 @@
+//! # detour-bench
+//!
+//! The benchmark harness: regenerates every table and figure of the paper
+//! (the `figures` binary) and hosts the criterion performance benches.
+//!
+//! * [`bundle`] — generates the eight Table-1 datasets, sharing simulations
+//!   between siblings (D2/D2-NA, N2/N2-NA, UW4-A/UW4-B);
+//! * [`render`] — plain-text rendering of CDFs, tables, and scatters;
+//! * [`experiments`] — one function per paper artifact, each returning a
+//!   report that states the paper's expectation next to the measured value;
+//! * [`extras`] — beyond-the-paper experiments: Paxson-phenomenon checks,
+//!   the routing-policy ablation, and the overlay evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod experiments;
+pub mod extras;
+pub mod render;
+
+pub use bundle::Bundle;

@@ -1,0 +1,470 @@
+//! Best-alternate-path search.
+//!
+//! Paper §4.1: "for each pair of hosts, A and B, we remove the edge
+//! connecting them and perform a shortest-path computation between A and B
+//! using the remaining edges. The result is the best alternate path between
+//! A and B using other Internet paths as constituent 'hops'."
+//!
+//! Three searches:
+//! * [`best_alternate`] — unrestricted Dijkstra on a metric's additive
+//!   weights (the default for RTT/loss figures);
+//! * [`best_alternate_one_hop`] — detours through exactly one intermediate
+//!   host (used where the paper limits itself "to keep the computational
+//!   costs reasonable": medians, Figure 6);
+//! * [`best_alternate_bandwidth`] — the N2 bandwidth search, one-hop only,
+//!   composing transfer RTT/loss through the Mathis model.
+
+use crate::compose::{synthetic_bandwidth_kbps, LossComposition};
+use crate::graph::{MeasurementGraph, Pair};
+use crate::metric::Metric;
+use detour_measure::HostId;
+
+/// How far alternate paths may detour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchDepth {
+    /// Any number of intermediate hosts (Dijkstra).
+    Unrestricted,
+    /// Exactly one intermediate host.
+    OneHop,
+}
+
+/// Outcome of comparing one pair's default path to its best alternate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathComparison {
+    /// The pair compared.
+    pub pair: Pair,
+    /// Metric value of the default (direct) path.
+    pub default_value: f64,
+    /// Metric value of the best alternate path.
+    pub alternate_value: f64,
+    /// Intermediate hosts of the best alternate, in order.
+    pub via: Vec<HostId>,
+    /// Whether smaller values are better for this metric.
+    pub lower_is_better: bool,
+}
+
+impl PathComparison {
+    /// Signed improvement, oriented so that **positive means the alternate
+    /// is better** — the x-axis of Figures 1, 3, 6–12, 15.
+    pub fn improvement(&self) -> f64 {
+        if self.lower_is_better {
+            self.default_value - self.alternate_value
+        } else {
+            self.alternate_value - self.default_value
+        }
+    }
+
+    /// Quality ratio, oriented so that **> 1 means the alternate is
+    /// better** — the x-axis of Figures 2 and 5.
+    pub fn ratio(&self) -> f64 {
+        let (num, den) = if self.lower_is_better {
+            (self.default_value, self.alternate_value)
+        } else {
+            (self.alternate_value, self.default_value)
+        };
+        if den == 0.0 {
+            f64::INFINITY
+        } else {
+            num / den
+        }
+    }
+
+    /// True when the best alternate strictly beats the default.
+    pub fn alternate_wins(&self) -> bool {
+        self.improvement() > 0.0
+    }
+}
+
+/// Unrestricted best alternate for an additive metric: Dijkstra from
+/// `pair.src` to `pair.dst` with the direct edge removed.
+///
+/// Returns `None` when the pair has no measured direct edge (nothing to
+/// compare against) or no alternate route exists.
+pub fn best_alternate(
+    graph: &MeasurementGraph,
+    pair: Pair,
+    metric: &impl Metric,
+) -> Option<PathComparison> {
+    let s = graph.host_index(pair.src)?;
+    let d = graph.host_index(pair.dst)?;
+    let default_value = metric.value(graph.edge_by_index(s, d)?)?;
+
+    let n = graph.len();
+    // Dense Dijkstra: n ≤ a few dozen hosts, O(n²) is exact and simple.
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    dist[s] = 0.0;
+    for _ in 0..n {
+        let u = (0..n)
+            .filter(|&u| !done[u] && dist[u].is_finite())
+            .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())?;
+        if u == d {
+            break;
+        }
+        done[u] = true;
+        for v in 0..n {
+            if v == u || done[v] {
+                continue;
+            }
+            // The excluded direct edge.
+            if u == s && v == d {
+                continue;
+            }
+            let Some(e) = graph.edge_by_index(u, v) else { continue };
+            let Some(w) = metric.weight(e) else { continue };
+            if dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+                prev[v] = u;
+            }
+        }
+    }
+    if !dist[d].is_finite() {
+        return None;
+    }
+    // Recover vertices, then compose the true metric values edge by edge.
+    let mut rev = vec![d];
+    let mut cur = d;
+    while cur != s {
+        cur = prev[cur];
+        rev.push(cur);
+    }
+    rev.reverse();
+    let values: Vec<f64> = rev
+        .windows(2)
+        .map(|w| metric.value(graph.edge_by_index(w[0], w[1]).expect("path edge")).unwrap())
+        .collect();
+    Some(PathComparison {
+        pair,
+        default_value,
+        alternate_value: metric.compose(&values),
+        via: rev[1..rev.len() - 1].iter().map(|&i| graph.host_at(i)).collect(),
+        lower_is_better: true,
+    })
+}
+
+/// Best alternate through exactly one intermediate host.
+pub fn best_alternate_one_hop(
+    graph: &MeasurementGraph,
+    pair: Pair,
+    metric: &impl Metric,
+) -> Option<PathComparison> {
+    let s = graph.host_index(pair.src)?;
+    let d = graph.host_index(pair.dst)?;
+    let default_value = metric.value(graph.edge_by_index(s, d)?)?;
+
+    let mut best: Option<(f64, usize)> = None;
+    for m in 0..graph.len() {
+        if m == s || m == d {
+            continue;
+        }
+        let (Some(e1), Some(e2)) = (graph.edge_by_index(s, m), graph.edge_by_index(m, d))
+        else {
+            continue;
+        };
+        let (Some(v1), Some(v2)) = (metric.value(e1), metric.value(e2)) else { continue };
+        let composed = metric.compose(&[v1, v2]);
+        if best.map_or(true, |(b, _)| composed < b) {
+            best = Some((composed, m));
+        }
+    }
+    let (alternate_value, m) = best?;
+    Some(PathComparison {
+        pair,
+        default_value,
+        alternate_value,
+        via: vec![graph.host_at(m)],
+        lower_is_better: true,
+    })
+}
+
+/// The N2 bandwidth search (paper §5): one-hop alternates whose bandwidth
+/// is derived from constituent transfer RTTs and losses via the Mathis
+/// model; the default path's value is its *measured* bandwidth.
+pub fn best_alternate_bandwidth(
+    graph: &MeasurementGraph,
+    pair: Pair,
+    mode: LossComposition,
+) -> Option<PathComparison> {
+    let s = graph.host_index(pair.src)?;
+    let d = graph.host_index(pair.dst)?;
+    let default_value = graph.edge_by_index(s, d)?.bandwidth.map(|b| b.mean)?;
+
+    let mut best: Option<(f64, usize)> = None;
+    for m in 0..graph.len() {
+        if m == s || m == d {
+            continue;
+        }
+        let (Some(e1), Some(e2)) = (graph.edge_by_index(s, m), graph.edge_by_index(m, d))
+        else {
+            continue;
+        };
+        let (Some(r1), Some(r2)) = (e1.transfer_rtt, e2.transfer_rtt) else { continue };
+        let (Some(p1), Some(p2)) = (e1.transfer_loss, e2.transfer_loss) else { continue };
+        let bw =
+            synthetic_bandwidth_kbps(&[r1.mean, r2.mean], &[p1.mean, p2.mean], mode);
+        if best.map_or(true, |(b, _)| bw > b) {
+            best = Some((bw, m));
+        }
+    }
+    let (alternate_value, m) = best?;
+    Some(PathComparison {
+        pair,
+        default_value,
+        alternate_value,
+        via: vec![graph.host_at(m)],
+        lower_is_better: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{Loss, Rtt};
+    use detour_measure::record::HostMeta;
+    use detour_measure::{Dataset, ProbeSample};
+
+    /// Builds a dataset whose mean RTTs are exactly the provided matrix
+    /// (NaN = unmeasured), with `reps` identical probes per edge.
+    fn dataset_from_rtt_matrix(matrix: &[&[f64]], reps: usize) -> Dataset {
+        let n = matrix.len();
+        let hosts = (0..n as u32)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        let mut probes = Vec::new();
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, &rtt) in row.iter().enumerate() {
+                if i == j || rtt.is_nan() {
+                    continue;
+                }
+                for k in 0..reps {
+                    probes.push(ProbeSample {
+                        src: HostId(i as u32),
+                        dst: HostId(j as u32),
+                        t_s: k as f64,
+                        probe_index: 0,
+                        rtt_ms: Some(rtt),
+                        loss_eligible: true,
+                        episode: None,
+                        path_idx: 0,
+                    });
+                }
+            }
+        }
+        Dataset {
+            name: "M".into(),
+            hosts,
+            probes,
+            transfers: vec![],
+            as_paths: vec![vec![0]],
+            duration_s: 100.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    const X: f64 = f64::NAN;
+
+    #[test]
+    fn finds_the_obvious_detour() {
+        // 0→2 direct costs 100; 0→1→2 costs 30.
+        let ds = dataset_from_rtt_matrix(
+            &[&[0.0, 10.0, 100.0], &[10.0, 0.0, 20.0], &[100.0, 20.0, 0.0]],
+            3,
+        );
+        let g = MeasurementGraph::from_dataset(&ds);
+        let cmp =
+            best_alternate(&g, Pair { src: HostId(0), dst: HostId(2) }, &Rtt).unwrap();
+        assert_eq!(cmp.default_value, 100.0);
+        assert_eq!(cmp.alternate_value, 30.0);
+        assert_eq!(cmp.via, vec![HostId(1)]);
+        assert!(cmp.alternate_wins());
+        assert!((cmp.improvement() - 70.0).abs() < 1e-12);
+        assert!((cmp.ratio() - 100.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_hop_detours_are_found() {
+        // Chain 0→1→2→3 each 10; direct 0→3 = 100.
+        let ds = dataset_from_rtt_matrix(
+            &[
+                &[0.0, 10.0, X, 100.0],
+                &[X, 0.0, 10.0, X],
+                &[X, X, 0.0, 10.0],
+                &[X, X, X, 0.0],
+            ],
+            3,
+        );
+        let g = MeasurementGraph::from_dataset(&ds);
+        let cmp =
+            best_alternate(&g, Pair { src: HostId(0), dst: HostId(3) }, &Rtt).unwrap();
+        assert_eq!(cmp.alternate_value, 30.0);
+        assert_eq!(cmp.via, vec![HostId(1), HostId(2)]);
+    }
+
+    #[test]
+    fn direct_edge_is_excluded_from_the_search() {
+        // Only the direct edge exists: no alternate.
+        let ds = dataset_from_rtt_matrix(&[&[0.0, 10.0], &[10.0, 0.0]], 3);
+        let g = MeasurementGraph::from_dataset(&ds);
+        assert!(best_alternate(&g, Pair { src: HostId(0), dst: HostId(1) }, &Rtt).is_none());
+    }
+
+    #[test]
+    fn alternates_can_be_worse() {
+        // Direct 0→2 = 10; detour costs 40.
+        let ds = dataset_from_rtt_matrix(
+            &[&[0.0, 20.0, 10.0], &[20.0, 0.0, 20.0], &[10.0, 20.0, 0.0]],
+            3,
+        );
+        let g = MeasurementGraph::from_dataset(&ds);
+        let cmp =
+            best_alternate(&g, Pair { src: HostId(0), dst: HostId(2) }, &Rtt).unwrap();
+        assert!(!cmp.alternate_wins());
+        assert!(cmp.improvement() < 0.0);
+        assert!(cmp.ratio() < 1.0);
+    }
+
+    #[test]
+    fn one_hop_search_agrees_with_dijkstra_on_triangles() {
+        let ds = dataset_from_rtt_matrix(
+            &[&[0.0, 15.0, 90.0], &[15.0, 0.0, 25.0], &[90.0, 25.0, 0.0]],
+            3,
+        );
+        let g = MeasurementGraph::from_dataset(&ds);
+        let pair = Pair { src: HostId(0), dst: HostId(2) };
+        let a = best_alternate(&g, pair, &Rtt).unwrap();
+        let b = best_alternate_one_hop(&g, pair, &Rtt).unwrap();
+        assert_eq!(a.alternate_value, b.alternate_value);
+        assert_eq!(a.via, b.via);
+    }
+
+    #[test]
+    fn one_hop_search_cannot_chain() {
+        // The only improvement needs two intermediate hosts.
+        let ds = dataset_from_rtt_matrix(
+            &[
+                &[0.0, 10.0, X, 100.0],
+                &[X, 0.0, 10.0, X],
+                &[X, X, 0.0, 10.0],
+                &[X, X, X, 0.0],
+            ],
+            3,
+        );
+        let g = MeasurementGraph::from_dataset(&ds);
+        let pair = Pair { src: HostId(0), dst: HostId(3) };
+        assert!(best_alternate_one_hop(&g, pair, &Rtt).is_none());
+        assert!(best_alternate(&g, pair, &Rtt).is_some());
+    }
+
+    #[test]
+    fn dijkstra_matches_brute_force_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..20 {
+            let n = rng.gen_range(4..7);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| {
+                            if i == j || rng.gen_bool(0.2) {
+                                f64::NAN
+                            } else {
+                                rng.gen_range(1.0..100.0f64).round()
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let ds = dataset_from_rtt_matrix(&refs, 2);
+            let g = MeasurementGraph::from_dataset(&ds);
+            for pair in g.pairs() {
+                let got = best_alternate(&g, pair, &Rtt);
+                let expect = brute_force_best(&g, pair);
+                match (got, expect) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert!((a.alternate_value - b).abs() < 1e-9, "pair {pair:?}")
+                    }
+                    (a, b) => panic!("mismatch for {pair:?}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    /// Exhaustive shortest alternate by permutation search (n ≤ 7).
+    fn brute_force_best(g: &MeasurementGraph, pair: Pair) -> Option<f64> {
+        let s = g.host_index(pair.src)?;
+        let d = g.host_index(pair.dst)?;
+        g.edge_by_index(s, d)?;
+        let n = g.len();
+        let mut best: Option<f64> = None;
+        // DFS over simple paths.
+        fn dfs(
+            g: &MeasurementGraph,
+            cur: usize,
+            d: usize,
+            s: usize,
+            cost: f64,
+            visited: &mut Vec<bool>,
+            best: &mut Option<f64>,
+            first_step: bool,
+        ) {
+            if cur == d {
+                if best.map_or(true, |b| cost < b) {
+                    *best = Some(cost);
+                }
+                return;
+            }
+            for v in 0..g.len() {
+                if visited[v] {
+                    continue;
+                }
+                if first_step && cur == s && v == d {
+                    continue; // excluded direct edge
+                }
+                if let Some(e) = g.edge_by_index(cur, v) {
+                    if let Some(m) = e.rtt {
+                        visited[v] = true;
+                        dfs(g, v, d, s, cost + m.mean, visited, best, false);
+                        visited[v] = false;
+                    }
+                }
+            }
+        }
+        let mut visited = vec![false; n];
+        visited[s] = true;
+        dfs(g, s, d, s, 0.0, &mut visited, &mut best, true);
+        best
+    }
+
+    #[test]
+    fn loss_search_picks_the_cleanest_detour() {
+        // Direct 0→2 has 20 % loss; detour via 1 has 1 % per hop.
+        let mut ds = dataset_from_rtt_matrix(
+            &[&[0.0, 50.0, 50.0], &[50.0, 0.0, 50.0], &[50.0, 50.0, 0.0]],
+            100,
+        );
+        // Overwrite losses: make 0→2 lossy by marking 20 % of its probes lost.
+        let mut count = 0;
+        for p in ds.probes.iter_mut() {
+            if p.src == HostId(0) && p.dst == HostId(2) {
+                count += 1;
+                if count % 5 == 0 {
+                    p.rtt_ms = None;
+                }
+            }
+        }
+        let g = MeasurementGraph::from_dataset(&ds);
+        let cmp = best_alternate(&g, Pair { src: HostId(0), dst: HostId(2) }, &Loss).unwrap();
+        assert!((cmp.default_value - 0.2).abs() < 1e-9);
+        assert_eq!(cmp.alternate_value, 0.0);
+        assert!(cmp.alternate_wins());
+    }
+}

@@ -1,0 +1,184 @@
+//! AS popularity in default vs. alternate paths (Figure 14).
+//!
+//! §7.1: "For each AS that appeared in any trace in the dataset, we compute
+//! the number of default paths in which that AS appears and the number of
+//! best alternate paths in which it appears" — a scatter plot, one point
+//! per AS. No AS far off the diagonal means the alternate-path effect is
+//! not driven by "a small number of either good or poor ASes".
+//!
+//! Default paths contribute their observed (modal) traceroute AS path; a
+//! best alternate contributes the union of its constituent edges' AS paths.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::altpath::best_alternate;
+use crate::graph::MeasurementGraph;
+use crate::metric::Metric;
+
+/// One scatter point: an AS's appearance counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsPoint {
+    /// AS number.
+    pub asn: u16,
+    /// Default paths containing the AS.
+    pub default_count: usize,
+    /// Best alternate paths containing the AS.
+    pub alternate_count: usize,
+}
+
+/// Computes the Figure-14 scatter for `metric`-selected alternates.
+pub fn analyze(graph: &MeasurementGraph, metric: &impl Metric) -> Vec<AsPoint> {
+    let mut default_counts: HashMap<u16, usize> = HashMap::new();
+    let mut alternate_counts: HashMap<u16, usize> = HashMap::new();
+
+    for pair in graph.pairs() {
+        let edge = graph.edge(pair.src, pair.dst).expect("pair has an edge");
+        for &asn in edge.modal_as_path.iter().collect::<HashSet<_>>() {
+            *default_counts.entry(asn).or_default() += 1;
+        }
+        if let Some(cmp) = best_alternate(graph, pair, metric) {
+            if cmp.alternate_wins() {
+                let mut hops = vec![pair.src];
+                hops.extend(cmp.via.iter().copied());
+                hops.push(pair.dst);
+                let mut ases: HashSet<u16> = HashSet::new();
+                for w in hops.windows(2) {
+                    if let Some(e) = graph.edge(w[0], w[1]) {
+                        ases.extend(e.modal_as_path.iter().copied());
+                    }
+                }
+                for asn in ases {
+                    *alternate_counts.entry(asn).or_default() += 1;
+                }
+            }
+        }
+    }
+
+    let mut all: Vec<u16> = default_counts
+        .keys()
+        .chain(alternate_counts.keys())
+        .copied()
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    all.sort_unstable();
+    all.into_iter()
+        .map(|asn| AsPoint {
+            asn,
+            default_count: default_counts.get(&asn).copied().unwrap_or(0),
+            alternate_count: alternate_counts.get(&asn).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Pearson correlation between log-scaled default and alternate counts —
+/// the quantified "points hug the diagonal" check. Returns `None` with
+/// fewer than 3 points or zero variance.
+pub fn log_correlation(points: &[AsPoint]) -> Option<f64> {
+    if points.len() < 3 {
+        return None;
+    }
+    let xs: Vec<f64> = points.iter().map(|p| (1.0 + p.default_count as f64).ln()).collect();
+    let ys: Vec<f64> =
+        points.iter().map(|p| (1.0 + p.alternate_count as f64).ln()).collect();
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Rtt;
+    use detour_measure::record::HostMeta;
+    use detour_measure::{Dataset, HostId, ProbeSample};
+
+    /// Triangle where every edge's AS path is its endpoints plus a shared
+    /// transit AS 99; direct 0→2 is slow.
+    fn dataset() -> Dataset {
+        let hosts = (0..3u32)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        // Edge (s,d) uses as_path index s*3+d reduced to pool below.
+        let as_paths = vec![
+            vec![0, 99, 1], // 0→1
+            vec![1, 99, 2], // 1→2
+            vec![0, 99, 2], // 0→2
+        ];
+        let mut probes = Vec::new();
+        for (s, d, rtt, idx) in
+            [(0u32, 1u32, 20.0f64, 0u32), (1, 2, 20.0, 1), (0, 2, 100.0, 2)]
+        {
+            for k in 0..3 {
+                probes.push(ProbeSample {
+                    src: HostId(s),
+                    dst: HostId(d),
+                    t_s: k as f64,
+                    probe_index: 0,
+                    rtt_ms: Some(rtt),
+                    loss_eligible: true,
+                    episode: None,
+                    path_idx: idx,
+                });
+            }
+        }
+        Dataset {
+            name: "A".into(),
+            hosts,
+            probes,
+            transfers: vec![],
+            as_paths,
+            duration_s: 10.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    #[test]
+    fn default_counts_use_observed_paths() {
+        let g = MeasurementGraph::from_dataset(&dataset());
+        let pts = analyze(&g, &Rtt);
+        let transit = pts.iter().find(|p| p.asn == 99).expect("transit AS present");
+        // AS 99 appears in all 3 default paths.
+        assert_eq!(transit.default_count, 3);
+    }
+
+    #[test]
+    fn alternate_counts_union_constituents() {
+        let g = MeasurementGraph::from_dataset(&dataset());
+        let pts = analyze(&g, &Rtt);
+        // The only winning alternate is 0→1→2, whose constituent paths
+        // cover ASes {0, 99, 1, 2} — each counted once.
+        for asn in [0u16, 1, 2, 99] {
+            let p = pts.iter().find(|p| p.asn == asn).unwrap();
+            assert_eq!(p.alternate_count, 1, "asn {asn}");
+        }
+    }
+
+    #[test]
+    fn correlation_needs_variance() {
+        let pts = vec![
+            AsPoint { asn: 1, default_count: 5, alternate_count: 5 },
+            AsPoint { asn: 2, default_count: 5, alternate_count: 1 },
+        ];
+        assert!(log_correlation(&pts).is_none(), "too few points");
+        let pts = vec![
+            AsPoint { asn: 1, default_count: 1, alternate_count: 1 },
+            AsPoint { asn: 2, default_count: 10, alternate_count: 9 },
+            AsPoint { asn: 3, default_count: 100, alternate_count: 110 },
+        ];
+        let r = log_correlation(&pts).unwrap();
+        assert!(r > 0.95, "diagonal points correlate strongly: {r}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Routing asymmetry.
+//!
+//! Paper §2, citing \[Pax96\]: "a large and increasing fraction of Internet
+//! paths follow different routes from source to destination than from
+//! destination to source" — and the paper's own methodology treats every
+//! pair directionally for exactly this reason. This analysis measures the
+//! phenomenon in a dataset: for each host pair measured in both
+//! directions, does the reverse direction's (modal) AS path retrace the
+//! forward one?
+
+use std::collections::HashSet;
+
+use crate::graph::MeasurementGraph;
+use detour_measure::HostId;
+
+/// Asymmetry census over a dataset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AsymmetryReport {
+    /// Unordered pairs with both directions measured.
+    pub pairs_bidirectional: usize,
+    /// Pairs whose reverse AS path is the exact reversal of the forward.
+    pub symmetric: usize,
+    /// Pairs that visit a different AS sequence in each direction.
+    pub asymmetric: usize,
+    /// The asymmetric pairs, for drill-down.
+    pub asymmetric_pairs: Vec<(HostId, HostId)>,
+}
+
+impl AsymmetryReport {
+    /// Fraction of bidirectional pairs that are asymmetric.
+    pub fn asymmetric_fraction(&self) -> f64 {
+        if self.pairs_bidirectional == 0 {
+            0.0
+        } else {
+            self.asymmetric as f64 / self.pairs_bidirectional as f64
+        }
+    }
+}
+
+/// Computes the asymmetry census from the graph's modal AS paths.
+pub fn analyze(graph: &MeasurementGraph) -> AsymmetryReport {
+    let mut report = AsymmetryReport::default();
+    let mut seen: HashSet<(HostId, HostId)> = HashSet::new();
+    for pair in graph.pairs() {
+        let key = if pair.src < pair.dst { (pair.src, pair.dst) } else { (pair.dst, pair.src) };
+        if !seen.insert(key) {
+            continue;
+        }
+        let (Some(fwd), Some(rev)) =
+            (graph.edge(key.0, key.1), graph.edge(key.1, key.0))
+        else {
+            continue;
+        };
+        if fwd.modal_as_path.is_empty() || rev.modal_as_path.is_empty() {
+            continue;
+        }
+        report.pairs_bidirectional += 1;
+        let mut rev_reversed = rev.modal_as_path.clone();
+        rev_reversed.reverse();
+        if fwd.modal_as_path == rev_reversed {
+            report.symmetric += 1;
+        } else {
+            report.asymmetric += 1;
+            report.asymmetric_pairs.push(key);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detour_measure::record::HostMeta;
+    use detour_measure::{Dataset, ProbeSample};
+
+    fn dataset(paths: &[(u32, u32, Vec<u16>)]) -> Dataset {
+        let max_host = paths.iter().map(|&(s, d, _)| s.max(d)).max().unwrap() + 1;
+        let hosts = (0..max_host)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        let mut as_paths = Vec::new();
+        let mut probes = Vec::new();
+        for (s, d, p) in paths {
+            let idx = as_paths.len() as u32;
+            as_paths.push(p.clone());
+            for k in 0..3 {
+                probes.push(ProbeSample {
+                    src: HostId(*s),
+                    dst: HostId(*d),
+                    t_s: k as f64,
+                    probe_index: 0,
+                    rtt_ms: Some(10.0),
+                    loss_eligible: true,
+                    episode: None,
+                    path_idx: idx,
+                });
+            }
+        }
+        Dataset {
+            name: "A".into(),
+            hosts,
+            probes,
+            transfers: vec![],
+            as_paths,
+            duration_s: 10.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    #[test]
+    fn symmetric_pair_detected() {
+        let ds = dataset(&[(0, 1, vec![0, 9, 1]), (1, 0, vec![1, 9, 0])]);
+        let g = MeasurementGraph::from_dataset(&ds);
+        let r = analyze(&g);
+        assert_eq!(r.pairs_bidirectional, 1);
+        assert_eq!(r.symmetric, 1);
+        assert_eq!(r.asymmetric, 0);
+        assert_eq!(r.asymmetric_fraction(), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_pair_detected() {
+        // Forward via AS 9, reverse via AS 8 — hot-potato style asymmetry.
+        let ds = dataset(&[(0, 1, vec![0, 9, 1]), (1, 0, vec![1, 8, 0])]);
+        let g = MeasurementGraph::from_dataset(&ds);
+        let r = analyze(&g);
+        assert_eq!(r.asymmetric, 1);
+        assert_eq!(r.asymmetric_pairs, vec![(HostId(0), HostId(1))]);
+        assert_eq!(r.asymmetric_fraction(), 1.0);
+    }
+
+    #[test]
+    fn unidirectional_pairs_are_skipped() {
+        let ds = dataset(&[(0, 1, vec![0, 9, 1])]);
+        let g = MeasurementGraph::from_dataset(&ds);
+        let r = analyze(&g);
+        assert_eq!(r.pairs_bidirectional, 0);
+    }
+
+    #[test]
+    fn census_adds_up() {
+        let ds = dataset(&[
+            (0, 1, vec![0, 9, 1]),
+            (1, 0, vec![1, 9, 0]),
+            (0, 2, vec![0, 9, 2]),
+            (2, 0, vec![2, 8, 0]),
+        ]);
+        let g = MeasurementGraph::from_dataset(&ds);
+        let r = analyze(&g);
+        assert_eq!(r.pairs_bidirectional, 2);
+        assert_eq!(r.symmetric + r.asymmetric, 2);
+        assert!((r.asymmetric_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Improvement and ratio CDFs — the paper's standard presentation.
+//!
+//! §5: "Each graph presented in this section is a cumulative distribution
+//! function across all pairs of hosts of the difference between the mean
+//! value for the metric in question and the mean value derived for the best
+//! alternate path for that metric." Values above zero (above one for
+//! ratios) mean the best alternate was superior.
+
+use crate::altpath::{
+    best_alternate, best_alternate_bandwidth, best_alternate_one_hop, PathComparison,
+    SearchDepth,
+};
+use crate::compose::LossComposition;
+use crate::graph::MeasurementGraph;
+use crate::metric::Metric;
+use detour_stats::Cdf;
+
+/// Per-pair comparisons for a whole graph under an additive metric.
+pub fn compare_all_pairs(
+    graph: &MeasurementGraph,
+    metric: &impl Metric,
+    depth: SearchDepth,
+) -> Vec<PathComparison> {
+    graph
+        .pairs()
+        .into_iter()
+        .filter_map(|pair| match depth {
+            SearchDepth::Unrestricted => best_alternate(graph, pair, metric),
+            SearchDepth::OneHop => best_alternate_one_hop(graph, pair, metric),
+        })
+        .collect()
+}
+
+/// Per-pair comparisons for the bandwidth metric (one-hop, Mathis model).
+pub fn compare_all_pairs_bandwidth(
+    graph: &MeasurementGraph,
+    mode: LossComposition,
+) -> Vec<PathComparison> {
+    graph
+        .pairs()
+        .into_iter()
+        .filter_map(|pair| best_alternate_bandwidth(graph, pair, mode))
+        .collect()
+}
+
+/// CDF of signed improvements (positive = alternate better): Figures 1, 3, 4.
+pub fn improvement_cdf(comparisons: &[PathComparison]) -> Cdf {
+    Cdf::from_samples(comparisons.iter().map(|c| c.improvement()))
+}
+
+/// CDF of quality ratios (> 1 = alternate better): Figures 2 and 5.
+pub fn ratio_cdf(comparisons: &[PathComparison]) -> Cdf {
+    Cdf::from_samples(comparisons.iter().map(|c| c.ratio()).filter(|r| r.is_finite()))
+}
+
+/// Headline summary of one improvement CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImprovementSummary {
+    /// Pairs compared.
+    pub pairs: usize,
+    /// Fraction of pairs whose best alternate is strictly better.
+    pub frac_better: f64,
+    /// Fraction better by at least the "significant" threshold.
+    pub frac_significantly_better: f64,
+    /// Median improvement.
+    pub median: f64,
+}
+
+/// Summarizes comparisons with a significance threshold in metric units
+/// (the paper uses 20 ms for RTT and 5 percentage points for loss).
+pub fn summarize(comparisons: &[PathComparison], significant: f64) -> ImprovementSummary {
+    let cdf = improvement_cdf(comparisons);
+    ImprovementSummary {
+        pairs: comparisons.len(),
+        frac_better: cdf.fraction_above(0.0),
+        frac_significantly_better: cdf.fraction_above(significant),
+        median: cdf.inverse(0.5).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Pair;
+    use detour_measure::HostId;
+
+    fn cmp(default: f64, alt: f64, lower: bool) -> PathComparison {
+        PathComparison {
+            pair: Pair { src: HostId(0), dst: HostId(1) },
+            default_value: default,
+            alternate_value: alt,
+            via: vec![],
+            lower_is_better: lower,
+        }
+    }
+
+    #[test]
+    fn improvement_cdf_orientation() {
+        // Two winners, one loser (lower-is-better metric).
+        let cs = vec![cmp(100.0, 60.0, true), cmp(50.0, 45.0, true), cmp(30.0, 90.0, true)];
+        let cdf = improvement_cdf(&cs);
+        assert!((cdf.fraction_above(0.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cdf.fraction_above(20.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_cdf_orientation_for_bandwidth() {
+        // Higher-is-better: alternate at 3× default.
+        let cs = vec![cmp(100.0, 300.0, false)];
+        let cdf = ratio_cdf(&cs);
+        assert!((cdf.fraction_above(2.9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_ratios_are_dropped() {
+        let cs = vec![cmp(10.0, 0.0, true)];
+        assert_eq!(ratio_cdf(&cs).len(), 0);
+    }
+
+    #[test]
+    fn summary_counts_match() {
+        let cs = vec![
+            cmp(100.0, 60.0, true),  // +40
+            cmp(100.0, 95.0, true),  // +5
+            cmp(100.0, 120.0, true), // −20
+        ];
+        let s = summarize(&cs, 20.0);
+        assert_eq!(s.pairs, 3);
+        assert!((s.frac_better - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.frac_significantly_better - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.median - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Confidence intervals and t-test classification (Figures 7–8, Tables 2–3).
+//!
+//! §6.2: for each pair, a 95 % confidence interval is placed on the
+//! difference between the default path's mean and the best alternate's
+//! composed mean (`ū − v̄ ± t[.975; ν]·s`, per Jain). Pairs are then
+//! classified better / indeterminate / worse by whether the interval clears
+//! zero — "roughly speaking, the percentage of paths for which a better
+//! alternate path can be found at the 95 % confidence level represents
+//! those paths whose improvement cannot be well explained simply by
+//! variation."
+//!
+//! Composed-path variance: RTT means add, so variances of the means add and
+//! Welch–Satterthwaite gives the degrees of freedom. Loss composes as
+//! `1 − Π(1 − pᵢ)`; its variance is propagated by the delta method, which
+//! for the small per-path rates here reduces to the same sum of variances
+//! (each `Π_{j≠i}(1 − pⱼ)` factor is ≈ 1).
+
+use crate::altpath::{best_alternate, SearchDepth};
+use crate::analysis::cdf::compare_all_pairs;
+use crate::graph::MeasurementGraph;
+use crate::metric::Metric;
+use detour_stats::ci::MeanEstimate;
+use detour_stats::ttest::{welch_classify, TTestVerdict, VerdictCounts};
+
+/// One pair's interval data: the Figure-7/8 plotting record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairInterval {
+    /// Point estimate of the improvement (default − alternate).
+    pub improvement: f64,
+    /// Half-width of the 95 % CI on that difference.
+    pub half_width: f64,
+    /// The t-test verdict.
+    pub verdict: TTestVerdict,
+}
+
+/// Builds the composed [`MeanEstimate`] of the best alternate path chosen
+/// by `metric`, together with the default path's estimate.
+fn pair_estimates(
+    graph: &MeasurementGraph,
+    pair: crate::graph::Pair,
+    metric: &impl Metric,
+) -> Option<(MeanEstimate, MeanEstimate)> {
+    let cmp = best_alternate(graph, pair, metric)?;
+    let default_est = MeanEstimate::from_summary(&metric.summary(graph.edge(pair.src, pair.dst)?)?);
+
+    // Walk the alternate's hops and sum the per-edge estimates.
+    let mut hops = vec![pair.src];
+    hops.extend(cmp.via.iter().copied());
+    hops.push(pair.dst);
+    let parts: Option<Vec<MeanEstimate>> = hops
+        .windows(2)
+        .map(|w| {
+            graph
+                .edge(w[0], w[1])
+                .and_then(|e| metric.summary(e))
+                .map(|s| MeanEstimate::from_summary(&s))
+        })
+        .collect();
+    let mut alt_est = MeanEstimate::sum(&parts?)?;
+    // Replace the summed mean with the metric's true composition (identical
+    // for RTT; the delta-method point estimate for loss).
+    alt_est.mean = cmp.alternate_value;
+    Some((default_est, alt_est))
+}
+
+/// Per-pair intervals for a whole graph at the given confidence level.
+pub fn pair_intervals(
+    graph: &MeasurementGraph,
+    metric: &impl Metric,
+    level: f64,
+) -> Vec<PairInterval> {
+    graph
+        .pairs()
+        .into_iter()
+        .filter_map(|pair| {
+            let (default_est, alt_est) = pair_estimates(graph, pair, metric)?;
+            let ci = default_est.diff(&alt_est).ci(level);
+            Some(PairInterval {
+                improvement: ci.center,
+                half_width: ci.half_width,
+                verdict: welch_classify(&default_est, &alt_est, level),
+            })
+        })
+        .collect()
+}
+
+/// One Table-2/3 row: verdict percentages for a dataset.
+pub fn verdict_table(graph: &MeasurementGraph, metric: &impl Metric, level: f64) -> VerdictCounts {
+    let mut counts = VerdictCounts::default();
+    for pi in pair_intervals(graph, metric, level) {
+        counts.record(pi.verdict);
+    }
+    counts
+}
+
+/// The Figure-7/8 series: improvements sorted ascending with their CDF
+/// fraction and interval half-width, `(improvement, fraction, half_width)`.
+pub fn interval_cdf_series(
+    graph: &MeasurementGraph,
+    metric: &impl Metric,
+    level: f64,
+) -> Vec<(f64, f64, f64)> {
+    let mut pis = pair_intervals(graph, metric, level);
+    pis.sort_by(|a, b| a.improvement.partial_cmp(&b.improvement).unwrap());
+    let n = pis.len() as f64;
+    pis.iter()
+        .enumerate()
+        .map(|(i, p)| (p.improvement, (i + 1) as f64 / n, p.half_width))
+        .collect()
+}
+
+/// Sanity link between the CDF view and the interval view: both must agree
+/// on how many pairs improved (point-estimate-wise). Exposed for tests and
+/// the figures harness.
+pub fn improved_fraction(graph: &MeasurementGraph, metric: &impl Metric) -> f64 {
+    let cs = compare_all_pairs(graph, metric, SearchDepth::Unrestricted);
+    if cs.is_empty() {
+        return 0.0;
+    }
+    cs.iter().filter(|c| c.alternate_wins()).count() as f64 / cs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MeasurementGraph;
+    use crate::metric::{Loss, Rtt};
+    use detour_measure::record::HostMeta;
+    use detour_measure::{Dataset, HostId, ProbeSample};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Dataset with noisy RTTs: direct 0→2 slow, detour via 1 fast.
+    fn noisy_dataset(noise: f64, n_probes: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(17);
+        let hosts = (0..3u32)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        let mut probes = Vec::new();
+        let mut push = |src: u32, dst: u32, base: f64, rng: &mut StdRng| {
+            for k in 0..n_probes {
+                probes.push(ProbeSample {
+                    src: HostId(src),
+                    dst: HostId(dst),
+                    t_s: k as f64,
+                    probe_index: 0,
+                    rtt_ms: Some(base + rng.gen_range(-noise..noise)),
+                    loss_eligible: true,
+                    episode: None,
+                    path_idx: 0,
+                });
+            }
+        };
+        push(0, 2, 100.0, &mut rng);
+        push(0, 1, 20.0, &mut rng);
+        push(1, 2, 20.0, &mut rng);
+        Dataset {
+            name: "N".into(),
+            hosts,
+            probes,
+            transfers: vec![],
+            as_paths: vec![vec![0]],
+            duration_s: 100.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    #[test]
+    fn clear_improvement_is_classified_better() {
+        let g = MeasurementGraph::from_dataset(&noisy_dataset(5.0, 50));
+        let table = verdict_table(&g, &Rtt, 0.95);
+        // Only 0→2 has an alternate (other pairs lack detours with both
+        // edges); that one is decisively better.
+        assert_eq!(table.better, 1);
+        assert_eq!(table.worse + table.indeterminate + table.zero, 0);
+    }
+
+    #[test]
+    fn huge_noise_turns_indeterminate() {
+        // Noise swamping the 60 ms gap with only a handful of samples.
+        let g = MeasurementGraph::from_dataset(&noisy_dataset(400.0, 4));
+        let table = verdict_table(&g, &Rtt, 0.95);
+        assert_eq!(table.indeterminate, 1, "{table:?}");
+    }
+
+    #[test]
+    fn interval_series_is_sorted_and_fractions_reach_one() {
+        let g = MeasurementGraph::from_dataset(&noisy_dataset(5.0, 30));
+        let series = interval_cdf_series(&g, &Rtt, 0.95);
+        assert!(!series.is_empty());
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for &(_, _, hw) in &series {
+            assert!(hw >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lossless_pairs_classify_as_zero() {
+        // All probes return: loss 0 everywhere → Zero verdict.
+        let g = MeasurementGraph::from_dataset(&noisy_dataset(5.0, 40));
+        let table = verdict_table(&g, &Loss, 0.95);
+        assert_eq!(table.zero, 1, "{table:?}");
+    }
+
+    #[test]
+    fn improved_fraction_matches_point_estimates() {
+        let g = MeasurementGraph::from_dataset(&noisy_dataset(5.0, 30));
+        assert!((improved_fraction(&g, &Rtt) - 1.0).abs() < 1e-12);
+    }
+}

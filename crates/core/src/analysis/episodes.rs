@@ -1,0 +1,185 @@
+//! Long-term averaging vs. simultaneous measurement (Figure 11).
+//!
+//! §6.4: UW4-A measures all pairs "simultaneously" in episodes; UW4-B is an
+//! independent long-term-average trace over the same hosts. Figure 11
+//! compares three curves:
+//!
+//! * **UW4-B** — the ordinary time-averaged improvement CDF;
+//! * **pair-averaged UW4-A** — per episode, compute each pair's best
+//!   alternate *within that episode*, then average each pair's improvements
+//!   across episodes (one point per pair);
+//! * **unaveraged UW4-A** — one point per pair per episode, exposing the
+//!   "huge amount of variability in the performance of the best alternate
+//!   paths".
+
+use std::collections::HashMap;
+
+use crate::altpath::{best_alternate, SearchDepth};
+use crate::analysis::cdf::{compare_all_pairs, improvement_cdf};
+use crate::graph::MeasurementGraph;
+use crate::metric::Metric;
+use detour_measure::{Dataset, HostId};
+use detour_stats::Cdf;
+
+/// The three Figure-11 curves.
+#[derive(Debug, Clone)]
+pub struct EpisodeAnalysis {
+    /// Time-averaged CDF from the companion dataset (UW4-B).
+    pub time_averaged: Cdf,
+    /// Pair-averaged episode CDF (one point per pair).
+    pub pair_averaged: Cdf,
+    /// Unaveraged episode CDF (one point per pair per episode).
+    pub unaveraged: Cdf,
+    /// Episodes analyzed.
+    pub episodes: usize,
+}
+
+/// Distinct episode indices in a dataset, ascending.
+pub fn episode_ids(ds: &Dataset) -> Vec<u32> {
+    let mut ids: Vec<u32> = ds.probes.iter().filter_map(|p| p.episode).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Runs the Figure-11 analysis: `episodic` must be the UW4-A-style dataset,
+/// `averaged` the UW4-B-style companion.
+pub fn analyze(
+    episodic: &Dataset,
+    averaged: &Dataset,
+    metric: &impl Metric,
+) -> EpisodeAnalysis {
+    // Curve 1: plain time-averaged comparison on UW4-B.
+    let gb = MeasurementGraph::from_dataset(averaged);
+    let time_averaged =
+        improvement_cdf(&compare_all_pairs(&gb, metric, SearchDepth::Unrestricted));
+
+    // Curves 2 and 3: per-episode best alternates on UW4-A.
+    let ids = episode_ids(episodic);
+    let mut per_pair: HashMap<(HostId, HostId), Vec<f64>> = HashMap::new();
+    for &ep in &ids {
+        let g = MeasurementGraph::from_episode(episodic, ep);
+        for pair in g.pairs() {
+            if let Some(cmp) = best_alternate(&g, pair, metric) {
+                per_pair.entry((pair.src, pair.dst)).or_default().push(cmp.improvement());
+            }
+        }
+    }
+    let unaveraged = Cdf::from_samples(per_pair.values().flatten().copied());
+    let pair_averaged = Cdf::from_samples(
+        per_pair
+            .values()
+            .filter(|v| !v.is_empty())
+            .map(|v| v.iter().sum::<f64>() / v.len() as f64),
+    );
+    EpisodeAnalysis { time_averaged, pair_averaged, unaveraged, episodes: ids.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Rtt;
+    use detour_measure::record::HostMeta;
+    use detour_measure::ProbeSample;
+
+    /// Builds an episodic dataset over a triangle whose detour quality
+    /// swings episode to episode, plus a matching averaged dataset.
+    fn swing_datasets() -> (Dataset, Dataset) {
+        let hosts: Vec<HostMeta> = (0..3u32)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        let mut episodic = Vec::new();
+        for ep in 0..40u32 {
+            // Direct 0→2 is 100 ms. The detour swings: even episodes 40 ms
+            // total, odd episodes 160 ms total.
+            let leg = if ep % 2 == 0 { 20.0 } else { 80.0 };
+            for (s, d, rtt) in [(0, 2, 100.0), (0, 1, leg), (1, 2, leg)] {
+                episodic.push(ProbeSample {
+                    src: HostId(s),
+                    dst: HostId(d),
+                    t_s: ep as f64 * 1000.0,
+                    probe_index: 0,
+                    rtt_ms: Some(rtt),
+                    loss_eligible: true,
+                    episode: Some(ep),
+                    path_idx: 0,
+                });
+            }
+        }
+        let mut averaged = Vec::new();
+        for k in 0..40u32 {
+            let leg = if k % 2 == 0 { 20.0 } else { 80.0 };
+            for (s, d, rtt) in [(0, 2, 100.0), (0, 1, leg), (1, 2, leg)] {
+                averaged.push(ProbeSample {
+                    src: HostId(s),
+                    dst: HostId(d),
+                    t_s: k as f64 * 997.0,
+                    probe_index: 0,
+                    rtt_ms: Some(rtt),
+                    loss_eligible: true,
+                    episode: None,
+                    path_idx: 0,
+                });
+            }
+        }
+        let make = |probes: Vec<ProbeSample>| Dataset {
+            name: "E".into(),
+            hosts: hosts.clone(),
+            probes,
+            transfers: vec![],
+            as_paths: vec![vec![0]],
+            duration_s: 40_000.0,
+            detected_rate_limited: vec![],
+        };
+        (make(episodic), make(averaged))
+    }
+
+    #[test]
+    fn episode_ids_are_sorted_unique() {
+        let (episodic, _) = swing_datasets();
+        let ids = episode_ids(&episodic);
+        assert_eq!(ids.len(), 40);
+        assert_eq!(ids[0], 0);
+        assert_eq!(*ids.last().unwrap(), 39);
+    }
+
+    #[test]
+    fn unaveraged_tail_is_broader_than_pair_averaged() {
+        // The defining feature of Figure 11: episode-level points swing
+        // between +60 and −60 while the pair average sits near 0.
+        let (episodic, averaged) = swing_datasets();
+        let a = analyze(&episodic, &averaged, &Rtt);
+        assert_eq!(a.episodes, 40);
+        let un = &a.unaveraged;
+        let pa = &a.pair_averaged;
+        assert!(un.inverse(0.99).unwrap() > pa.inverse(0.99).unwrap() + 20.0);
+        assert!(un.inverse(0.01).unwrap() < pa.inverse(0.01).unwrap() - 20.0);
+    }
+
+    #[test]
+    fn pair_average_matches_time_average_for_stable_paths() {
+        let (episodic, averaged) = swing_datasets();
+        let a = analyze(&episodic, &averaged, &Rtt);
+        // Episode improvements alternate +60/−60 (mean 0), and the
+        // time-averaged detour costs (20+80)/2 × 2 = 100 = the default —
+        // so both averaging routes must land near zero.
+        let pa_med = a.pair_averaged.inverse(0.5).unwrap();
+        let ta_med = a.time_averaged.inverse(0.5).unwrap();
+        assert!((pa_med - 0.0).abs() < 5.0, "pair-averaged median {pa_med}");
+        assert!((ta_med - 0.0).abs() < 5.0, "time-averaged median {ta_med}");
+    }
+
+    #[test]
+    fn unaveraged_has_one_point_per_pair_episode() {
+        let (episodic, averaged) = swing_datasets();
+        let a = analyze(&episodic, &averaged, &Rtt);
+        // Only pair (0,2) has an alternate; 40 episodes → 40 points.
+        assert_eq!(a.unaveraged.len(), 40);
+        assert_eq!(a.pair_averaged.len(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Greedy "top ten" host removal (Figure 12).
+//!
+//! §7.1: "Figure 12 shows the effect of removing the ten hosts which have
+//! the greatest impact on the CDF curve. We use a simple greedy algorithm
+//! to select the hosts; at each step we remove the host whose removal
+//! shifts the CDF the farthest to the left." If a handful of hosts caused
+//! the superior alternates, the remaining curve would collapse; the paper
+//! finds it barely moves.
+
+use crate::altpath::SearchDepth;
+use crate::analysis::cdf::{compare_all_pairs, improvement_cdf};
+use crate::graph::MeasurementGraph;
+use crate::metric::Metric;
+use detour_measure::HostId;
+use detour_stats::Cdf;
+
+/// Result of the greedy removal experiment.
+#[derive(Debug, Clone)]
+pub struct RemovalAnalysis {
+    /// Improvement CDF on the full graph.
+    pub full: Cdf,
+    /// The hosts removed, in removal order.
+    pub removed: Vec<HostId>,
+    /// Improvement CDF after all removals.
+    pub reduced: Cdf,
+}
+
+/// The greedy objective: how far "left" a CDF sits. We use the mean of the
+/// improvement distribution — removing a host that manufactures large
+/// improvements drags the mean down hardest.
+fn cdf_position(graph: &MeasurementGraph, metric: &impl Metric) -> f64 {
+    let cs = compare_all_pairs(graph, metric, SearchDepth::Unrestricted);
+    if cs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    cs.iter().map(|c| c.improvement()).sum::<f64>() / cs.len() as f64
+}
+
+/// Runs the greedy experiment, removing `k` hosts.
+pub fn greedy_removal(
+    graph: &MeasurementGraph,
+    metric: &impl Metric,
+    k: usize,
+) -> RemovalAnalysis {
+    let full = improvement_cdf(&compare_all_pairs(graph, metric, SearchDepth::Unrestricted));
+    let mut current = graph.clone();
+    let mut removed = Vec::new();
+    for _ in 0..k.min(graph.len().saturating_sub(3)) {
+        let mut best: Option<(f64, HostId)> = None;
+        for &h in current.hosts() {
+            let candidate = current.without_host(h);
+            let pos = cdf_position(&candidate, metric);
+            if best.map_or(true, |(b, bh)| pos < b || (pos == b && h < bh)) {
+                best = Some((pos, h));
+            }
+        }
+        let Some((_, h)) = best else { break };
+        current = current.without_host(h);
+        removed.push(h);
+    }
+    let reduced =
+        improvement_cdf(&compare_all_pairs(&current, metric, SearchDepth::Unrestricted));
+    RemovalAnalysis { full, removed, reduced }
+}
+
+/// The figure's verdict quantified: fraction of pairs with a superior
+/// alternate before vs. after removal.
+pub fn improved_fractions(a: &RemovalAnalysis) -> (f64, f64) {
+    (a.full.fraction_above(0.0), a.reduced.fraction_above(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Rtt;
+    use detour_measure::record::HostMeta;
+    use detour_measure::{Dataset, ProbeSample};
+
+    /// A graph where host `magic` is the sole source of all improvements:
+    /// every other pair is direct-optimal, but routing through `magic`
+    /// halves every RTT.
+    fn magic_host_dataset(n: u32) -> Dataset {
+        let hosts = (0..n)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        let mut probes = Vec::new();
+        let mut push = |s: u32, d: u32, rtt: f64| {
+            for k in 0..3 {
+                probes.push(ProbeSample {
+                    src: HostId(s),
+                    dst: HostId(d),
+                    t_s: k as f64,
+                    probe_index: 0,
+                    rtt_ms: Some(rtt),
+                    loss_eligible: true,
+                    episode: None,
+                    path_idx: 0,
+                });
+            }
+        };
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                if s == 0 || d == 0 {
+                    push(s, d, 20.0); // legs to/from the magic host: cheap
+                } else {
+                    push(s, d, 100.0); // everyone else: slow direct paths
+                }
+            }
+        }
+        Dataset {
+            name: "G".into(),
+            hosts,
+            probes,
+            transfers: vec![],
+            as_paths: vec![vec![0]],
+            duration_s: 10.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    #[test]
+    fn greedy_finds_the_magic_host_first() {
+        let g = MeasurementGraph::from_dataset(&magic_host_dataset(6));
+        let a = greedy_removal(&g, &Rtt, 1);
+        assert_eq!(a.removed, vec![HostId(0)]);
+        let (before, after) = improved_fractions(&a);
+        assert!(before > 0.5, "magic host creates improvements: {before}");
+        assert!(after < 0.05, "removing it collapses the curve: {after}");
+    }
+
+    #[test]
+    fn removal_count_is_capped() {
+        let g = MeasurementGraph::from_dataset(&magic_host_dataset(5));
+        let a = greedy_removal(&g, &Rtt, 100);
+        // Must keep at least 3 hosts (a pair plus one possible detour).
+        assert!(a.removed.len() <= 2);
+    }
+
+    #[test]
+    fn removal_is_deterministic() {
+        let g = MeasurementGraph::from_dataset(&magic_host_dataset(6));
+        let a = greedy_removal(&g, &Rtt, 3);
+        let b = greedy_removal(&g, &Rtt, 3);
+        assert_eq!(a.removed, b.removed);
+    }
+}

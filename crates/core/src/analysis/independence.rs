@@ -1,0 +1,155 @@
+//! Temporal-dependence audit (paper §4.1's independence assumption).
+//!
+//! Long-term averages treat a path's samples as independent; diurnal load
+//! makes them anything but. This analysis measures, per directed path, the
+//! lag-1 autocorrelation of its RTT series (in measurement order) and the
+//! effective sample size — the honest `n` behind the paper's confidence
+//! intervals. The paper argues the bias is conservative; this module lets
+//! a user of this library *see* the dependence instead of assuming it.
+
+use detour_measure::{Dataset, HostId};
+use detour_stats::autocorr::{autocorrelation, effective_sample_size};
+use detour_stats::Cdf;
+use std::collections::HashMap;
+
+/// Per-path dependence measurements.
+#[derive(Debug, Clone)]
+pub struct IndependenceReport {
+    /// Lag-1 autocorrelation per directed pair (where computable).
+    pub lag1: HashMap<(HostId, HostId), f64>,
+    /// Effective-to-nominal sample-size ratio per pair (1.0 = independent).
+    pub ess_ratio: HashMap<(HostId, HostId), f64>,
+    /// CDF across pairs of the lag-1 autocorrelation.
+    pub lag1_cdf: Cdf,
+    /// CDF across pairs of the ESS ratio.
+    pub ess_ratio_cdf: Cdf,
+}
+
+impl IndependenceReport {
+    /// Median lag-1 autocorrelation across pairs.
+    pub fn median_lag1(&self) -> f64 {
+        self.lag1_cdf.inverse(0.5).unwrap_or(0.0)
+    }
+
+    /// Median effective-to-nominal sample-size ratio.
+    pub fn median_ess_ratio(&self) -> f64 {
+        self.ess_ratio_cdf.inverse(0.5).unwrap_or(1.0)
+    }
+}
+
+/// Computes the dependence audit over `ds`, using each pair's RTT samples
+/// in time order.
+pub fn analyze(ds: &Dataset) -> IndependenceReport {
+    let mut series: HashMap<(HostId, HostId), Vec<(f64, f64)>> = HashMap::new();
+    for p in &ds.probes {
+        if let Some(rtt) = p.rtt_ms {
+            series.entry((p.src, p.dst)).or_default().push((p.t_s, rtt));
+        }
+    }
+    let mut lag1 = HashMap::new();
+    let mut ess_ratio = HashMap::new();
+    for (pair, mut samples) in series {
+        if samples.len() < 8 {
+            continue;
+        }
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let xs: Vec<f64> = samples.into_iter().map(|(_, r)| r).collect();
+        if let Some(r1) = autocorrelation(&xs, 1) {
+            lag1.insert(pair, r1);
+            ess_ratio.insert(pair, effective_sample_size(&xs) / xs.len() as f64);
+        }
+    }
+    IndependenceReport {
+        lag1_cdf: Cdf::from_samples(lag1.values().copied()),
+        ess_ratio_cdf: Cdf::from_samples(ess_ratio.values().copied()),
+        lag1,
+        ess_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detour_measure::record::HostMeta;
+    use detour_measure::ProbeSample;
+
+    fn dataset(rtts: &[f64]) -> Dataset {
+        let hosts = (0..2u32)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        let probes = rtts
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| ProbeSample {
+                src: HostId(0),
+                dst: HostId(1),
+                t_s: k as f64,
+                probe_index: 0,
+                rtt_ms: Some(r),
+                loss_eligible: true,
+                episode: None,
+                path_idx: 0,
+            })
+            .collect();
+        Dataset {
+            name: "I".into(),
+            hosts,
+            probes,
+            transfers: vec![],
+            as_paths: vec![vec![0]],
+            duration_s: 100.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    #[test]
+    fn drifting_path_shows_dependence() {
+        // Slow ramp: adjacent samples strongly correlated.
+        let rtts: Vec<f64> = (0..200).map(|i| 50.0 + (i as f64) * 0.5).collect();
+        let r = analyze(&dataset(&rtts));
+        assert!(r.lag1[&(HostId(0), HostId(1))] > 0.9);
+        assert!(r.ess_ratio[&(HostId(0), HostId(1))] < 0.2);
+        assert!(r.median_lag1() > 0.9);
+    }
+
+    #[test]
+    fn alternating_path_shows_no_positive_dependence() {
+        let rtts: Vec<f64> =
+            (0..200).map(|i| if i % 2 == 0 { 40.0 } else { 60.0 }).collect();
+        let r = analyze(&dataset(&rtts));
+        assert!(r.lag1[&(HostId(0), HostId(1))] < 0.0);
+        assert!(r.median_ess_ratio() >= 0.9, "{}", r.median_ess_ratio());
+    }
+
+    #[test]
+    fn thin_pairs_are_skipped() {
+        let r = analyze(&dataset(&[50.0, 51.0, 52.0]));
+        assert!(r.lag1.is_empty());
+    }
+
+    #[test]
+    fn samples_are_ordered_by_time_not_insertion() {
+        // Shuffle insertion order; a ramp must still register as dependent.
+        let mut ds = dataset(&[]);
+        let n = 100;
+        for k in (0..n).rev() {
+            ds.probes.push(ProbeSample {
+                src: HostId(0),
+                dst: HostId(1),
+                t_s: k as f64,
+                probe_index: 0,
+                rtt_ms: Some(50.0 + k as f64),
+                loss_eligible: true,
+                episode: None,
+                path_idx: 0,
+            });
+        }
+        let r = analyze(&ds);
+        assert!(r.lag1[&(HostId(0), HostId(1))] > 0.9);
+    }
+}

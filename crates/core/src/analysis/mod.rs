@@ -1,0 +1,34 @@
+//! One module per analysis in the paper.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`cdf`] | Figures 1–5: improvement/ratio CDFs across host pairs |
+//! | [`median`] | Figure 6: mean vs. convolved median |
+//! | [`confidence`] | Figures 7–8 and Tables 2–3: CIs and t-tests |
+//! | [`timeofday`] | Figures 9–10: weekday/weekend × 6-hour PST slices |
+//! | [`episodes`] | Figure 11: long-term average vs. simultaneous episodes |
+//! | [`hostremoval`] | Figure 12: greedy "top ten" host removal |
+//! | [`contribution`] | Figure 13: per-host improvement contribution |
+//! | [`aspop`] | Figure 14: AS frequency in default vs. alternate paths |
+//! | [`propagation`] | Figures 15–16: propagation vs. queuing decomposition |
+//!
+//! Two further analyses check the Paxson phenomena the paper's
+//! methodology leans on: [`asymmetry`] (§2: forward and reverse routes
+//! differ) and [`prevalence`] (§2: paths are dominated by a single route);
+//! [`independence`] audits §4.1's independence assumption (per-path
+//! autocorrelation and effective sample size), and [`sensitivity`] asks how
+//! fragile the best alternate is (§6.4's episode-to-episode instability).
+
+pub mod aspop;
+pub mod asymmetry;
+pub mod cdf;
+pub mod confidence;
+pub mod contribution;
+pub mod episodes;
+pub mod hostremoval;
+pub mod independence;
+pub mod median;
+pub mod prevalence;
+pub mod sensitivity;
+pub mod propagation;
+pub mod timeofday;

@@ -1,0 +1,156 @@
+//! Route prevalence.
+//!
+//! Paper §2, citing \[Pax96\]: "Internet paths are generally dominated by a
+//! single route, but some networks do experience significant route
+//! fluctuation." The paper's long-term-average methodology quietly relies
+//! on that dominance (a path's mean is meaningful only if the path mostly
+//! *is* one route). This analysis checks it in a dataset: per directed
+//! pair, the fraction of probes that observed the pair's most common AS
+//! path.
+
+use std::collections::HashMap;
+
+use detour_measure::{Dataset, HostId};
+use detour_stats::Cdf;
+
+/// Prevalence analysis output.
+#[derive(Debug, Clone)]
+pub struct PrevalenceReport {
+    /// Per directed pair: fraction of probes on the dominant route.
+    pub dominance: HashMap<(HostId, HostId), f64>,
+    /// Per directed pair: number of distinct routes observed.
+    pub route_counts: HashMap<(HostId, HostId), usize>,
+    /// CDF across pairs of the dominant-route fraction.
+    pub dominance_cdf: Cdf,
+}
+
+impl PrevalenceReport {
+    /// Fraction of pairs whose dominant route carries at least `threshold`
+    /// of their probes.
+    pub fn dominated_fraction(&self, threshold: f64) -> f64 {
+        if self.dominance.is_empty() {
+            return 0.0;
+        }
+        self.dominance.values().filter(|&&d| d >= threshold).count() as f64
+            / self.dominance.len() as f64
+    }
+
+    /// Pairs that saw more than one distinct route.
+    pub fn fluctuating_pairs(&self) -> usize {
+        self.route_counts.values().filter(|&&c| c > 1).count()
+    }
+}
+
+/// Computes route prevalence from per-probe AS-path observations.
+pub fn analyze(ds: &Dataset) -> PrevalenceReport {
+    // Count path observations per pair (per invocation: use probe 0 so the
+    // three probes of one traceroute don't triple-count one observation).
+    let mut votes: HashMap<(HostId, HostId), HashMap<u32, usize>> = HashMap::new();
+    for p in ds.probes.iter().filter(|p| p.probe_index == 0) {
+        *votes.entry((p.src, p.dst)).or_default().entry(p.path_idx).or_default() += 1;
+    }
+    let mut dominance = HashMap::new();
+    let mut route_counts = HashMap::new();
+    for (pair, counts) in votes {
+        let total: usize = counts.values().sum();
+        let top = counts.values().copied().max().unwrap_or(0);
+        if total > 0 {
+            dominance.insert(pair, top as f64 / total as f64);
+            route_counts.insert(pair, counts.len());
+        }
+    }
+    let dominance_cdf = Cdf::from_samples(dominance.values().copied());
+    PrevalenceReport { dominance, route_counts, dominance_cdf }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detour_measure::record::HostMeta;
+    use detour_measure::ProbeSample;
+
+    fn dataset(observations: &[(u32, u32, u32)]) -> Dataset {
+        let hosts = (0..4u32)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        let probes = observations
+            .iter()
+            .enumerate()
+            .map(|(k, &(s, d, path))| ProbeSample {
+                src: HostId(s),
+                dst: HostId(d),
+                t_s: k as f64,
+                probe_index: 0,
+                rtt_ms: Some(10.0),
+                loss_eligible: true,
+                episode: None,
+                path_idx: path,
+            })
+            .collect();
+        Dataset {
+            name: "P".into(),
+            hosts,
+            probes,
+            transfers: vec![],
+            as_paths: vec![vec![0, 1], vec![0, 2, 1], vec![0, 3, 1]],
+            duration_s: 10.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    #[test]
+    fn single_route_pair_has_full_dominance() {
+        let ds = dataset(&[(0, 1, 0), (0, 1, 0), (0, 1, 0)]);
+        let r = analyze(&ds);
+        assert_eq!(r.dominance[&(HostId(0), HostId(1))], 1.0);
+        assert_eq!(r.route_counts[&(HostId(0), HostId(1))], 1);
+        assert_eq!(r.fluctuating_pairs(), 0);
+        assert_eq!(r.dominated_fraction(0.9), 1.0);
+    }
+
+    #[test]
+    fn flapping_pair_shows_partial_dominance() {
+        // 8 observations on route 0, 2 on route 1.
+        let mut obs = vec![(0, 1, 0); 8];
+        obs.extend(vec![(0, 1, 1); 2]);
+        let ds = dataset(&obs);
+        let r = analyze(&ds);
+        assert!((r.dominance[&(HostId(0), HostId(1))] - 0.8).abs() < 1e-12);
+        assert_eq!(r.route_counts[&(HostId(0), HostId(1))], 2);
+        assert_eq!(r.fluctuating_pairs(), 1);
+        assert_eq!(r.dominated_fraction(0.9), 0.0);
+        assert_eq!(r.dominated_fraction(0.5), 1.0);
+    }
+
+    #[test]
+    fn follow_up_probes_do_not_triple_count() {
+        // One invocation = 3 probes sharing a timestamp & path; only probe
+        // index 0 should vote. Fake it: add probe_index 1/2 rows on a
+        // different path; they must be ignored.
+        let mut ds = dataset(&[(0, 1, 0), (0, 1, 0)]);
+        ds.probes.push(ProbeSample {
+            src: HostId(0),
+            dst: HostId(1),
+            t_s: 99.0,
+            probe_index: 1,
+            rtt_ms: Some(10.0),
+            loss_eligible: true,
+            episode: None,
+            path_idx: 1,
+        });
+        let r = analyze(&ds);
+        assert_eq!(r.dominance[&(HostId(0), HostId(1))], 1.0);
+    }
+
+    #[test]
+    fn cdf_covers_all_pairs() {
+        let ds = dataset(&[(0, 1, 0), (0, 1, 1), (2, 3, 0), (2, 3, 0)]);
+        let r = analyze(&ds);
+        assert_eq!(r.dominance_cdf.len(), 2);
+    }
+}

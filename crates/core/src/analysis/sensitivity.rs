@@ -1,0 +1,179 @@
+//! Best-alternate sensitivity.
+//!
+//! Paper §6.4: "not only are different alternate paths being selected as
+//! best in each episode, the difference between the best alternate path
+//! and the default path is highly variable." A detour-based system needs
+//! to know how fragile "the best" is: how much worse is the runner-up, and
+//! does it route through a different host? This analysis answers with the
+//! k-best machinery.
+
+use crate::graph::{MeasurementGraph, Pair};
+use crate::kbest::k_best_alternates;
+use crate::metric::Metric;
+use detour_stats::Cdf;
+
+/// Per-pair fragility of the best alternate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairSensitivity {
+    /// The pair analyzed.
+    pub pair: Pair,
+    /// Best alternate's metric value.
+    pub best: f64,
+    /// Runner-up alternate's metric value.
+    pub second: f64,
+    /// Whether the runner-up avoids every intermediate of the best path
+    /// (a genuinely diverse backup).
+    pub disjoint_backup: bool,
+}
+
+impl PairSensitivity {
+    /// Relative gap `(second − best) / best`: 0 means an equally good
+    /// runner-up exists, large means the best detour is irreplaceable.
+    pub fn relative_gap(&self) -> f64 {
+        if self.best == 0.0 {
+            0.0
+        } else {
+            (self.second - self.best) / self.best
+        }
+    }
+}
+
+/// Sensitivity analysis over a graph.
+#[derive(Debug, Clone)]
+pub struct SensitivityReport {
+    /// Pairs with at least two distinct alternates.
+    pub pairs: Vec<PairSensitivity>,
+    /// CDF of the relative gap across pairs.
+    pub gap_cdf: Cdf,
+    /// Fraction of pairs whose runner-up shares no intermediate with the
+    /// best.
+    pub disjoint_fraction: f64,
+}
+
+/// Runs the sensitivity analysis for `metric` (lower-is-better metrics).
+pub fn analyze(graph: &MeasurementGraph, metric: &impl Metric) -> SensitivityReport {
+    let mut pairs = Vec::new();
+    for pair in graph.pairs() {
+        let kb = k_best_alternates(graph, pair, metric, 2);
+        if kb.len() < 2 {
+            continue;
+        }
+        let best_set: std::collections::HashSet<_> = kb[0].via.iter().copied().collect();
+        let disjoint_backup = kb[1].via.iter().all(|h| !best_set.contains(h));
+        pairs.push(PairSensitivity {
+            pair,
+            best: kb[0].alternate_value,
+            second: kb[1].alternate_value,
+            disjoint_backup,
+        });
+    }
+    let gap_cdf = Cdf::from_samples(pairs.iter().map(|p| p.relative_gap()));
+    let disjoint_fraction = if pairs.is_empty() {
+        0.0
+    } else {
+        pairs.iter().filter(|p| p.disjoint_backup).count() as f64 / pairs.len() as f64
+    };
+    SensitivityReport { pairs, gap_cdf, disjoint_fraction }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Rtt;
+    use detour_measure::record::HostMeta;
+    use detour_measure::{Dataset, HostId, ProbeSample};
+
+    fn dataset_from_rtt_matrix(matrix: &[&[f64]]) -> Dataset {
+        let n = matrix.len();
+        let hosts = (0..n as u32)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        let mut probes = Vec::new();
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, &rtt) in row.iter().enumerate() {
+                if i == j || rtt.is_nan() {
+                    continue;
+                }
+                probes.push(ProbeSample {
+                    src: HostId(i as u32),
+                    dst: HostId(j as u32),
+                    t_s: 0.0,
+                    probe_index: 0,
+                    rtt_ms: Some(rtt),
+                    loss_eligible: true,
+                    episode: None,
+                    path_idx: 0,
+                });
+            }
+        }
+        Dataset {
+            name: "S".into(),
+            hosts,
+            probes,
+            transfers: vec![],
+            as_paths: vec![vec![0]],
+            duration_s: 1.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    const X: f64 = f64::NAN;
+
+    #[test]
+    fn two_parallel_relays_give_disjoint_backup() {
+        // 0→3 direct 100; via 1: 30; via 2: 36 — disjoint runner-up 20%
+        // worse.
+        let g = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+            &[0.0, 15.0, 18.0, 100.0],
+            &[X, 0.0, X, 15.0],
+            &[X, X, 0.0, 18.0],
+            &[X, X, X, 0.0],
+        ]));
+        let r = analyze(&g, &Rtt);
+        let pair = r
+            .pairs
+            .iter()
+            .find(|p| p.pair == Pair { src: HostId(0), dst: HostId(3) })
+            .expect("0→3 analyzed");
+        assert_eq!(pair.best, 30.0);
+        assert_eq!(pair.second, 36.0);
+        assert!(pair.disjoint_backup);
+        assert!((pair.relative_gap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_alternate_pairs_are_excluded() {
+        // Triangle: each pair has exactly one alternate (the third vertex).
+        let g = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+            &[0.0, 10.0, 20.0],
+            &[10.0, 0.0, 10.0],
+            &[20.0, 10.0, 0.0],
+        ]));
+        let r = analyze(&g, &Rtt);
+        assert!(r.pairs.is_empty(), "triangles have no runner-up alternates");
+        assert_eq!(r.disjoint_fraction, 0.0);
+    }
+
+    #[test]
+    fn gap_is_nonnegative_and_second_dominates_best() {
+        let g = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+            &[0.0, 15.0, 18.0, 100.0, 25.0],
+            &[X, 0.0, 5.0, 15.0, X],
+            &[X, 5.0, 0.0, 18.0, X],
+            &[X, X, X, 0.0, 30.0],
+            &[X, X, X, 30.0, 0.0],
+        ]));
+        let r = analyze(&g, &Rtt);
+        assert!(!r.pairs.is_empty());
+        for p in &r.pairs {
+            assert!(p.second >= p.best);
+            assert!(p.relative_gap() >= 0.0);
+        }
+        assert!((0.0..=1.0).contains(&r.disjoint_fraction));
+    }
+}

@@ -1,0 +1,138 @@
+//! Bandwidth composition for synthetic paths (paper §5, Figures 4–5).
+//!
+//! "We construct alternate path bandwidth measurements by combining the
+//! round-trip times and loss rates observed along each default path … We
+//! compute the resulting TCP bandwidth according to the TCP model of Mathis
+//! et al. We combine round-trip times via addition. However it is less
+//! clear how to compose loss rates, since we do not know how much of the
+//! observed loss was caused by the activity of the sending host."
+//!
+//! Hence the paper's two bounds, both implemented here:
+//!
+//! * **optimistic** — the sender caused the loss, so the maximum
+//!   constituent loss marks the single bottleneck: `p = max(pᵢ)`;
+//! * **pessimistic** — losses are background and independent:
+//!   `p = 1 − Π(1 − pᵢ)`.
+
+/// How to combine constituent loss rates into a synthetic-path loss rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LossComposition {
+    /// `max(pᵢ)` — sender-induced losses, bottleneck view.
+    Optimistic,
+    /// `1 − Π(1 − pᵢ)` — independent background losses.
+    Pessimistic,
+}
+
+impl LossComposition {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LossComposition::Optimistic => "optimistic",
+            LossComposition::Pessimistic => "pessimistic",
+        }
+    }
+
+    /// Combines the loss rates of a synthetic path's constituents.
+    pub fn combine(&self, losses: &[f64]) -> f64 {
+        match self {
+            LossComposition::Optimistic => losses.iter().copied().fold(0.0, f64::max),
+            LossComposition::Pessimistic => {
+                1.0 - losses.iter().map(|p| 1.0 - p).product::<f64>()
+            }
+        }
+    }
+}
+
+/// Floor applied to composed loss before the Mathis formula: TCP always
+/// experiences *some* loss once it saturates, and a zero would make the
+/// model infinite. (Simulated transfers report self-induced loss, so the
+/// floor rarely binds.)
+pub const LOSS_FLOOR: f64 = 1e-7;
+
+/// Maximum segment size assumed by the analysis, bytes.
+pub const MSS_BYTES: f64 = 1460.0;
+
+/// The Mathis constant `C = sqrt(3/2)`.
+pub const MATHIS_C: f64 = 1.224_744_871_391_589;
+
+/// The Mathis et al. steady-state TCP throughput model \[MSM97\], in kB/s:
+/// `BW = (MSS / RTT) · C / sqrt(p)`. This is the analysis-side formula the
+/// paper applies to *measured* RTT and loss; the simulator has its own
+/// copy on the traffic-generation side.
+pub fn mathis_bandwidth_kbps(rtt_ms: f64, p: f64) -> f64 {
+    assert!(rtt_ms > 0.0, "RTT must be positive");
+    assert!(p > 0.0, "loss must be positive (apply LOSS_FLOOR first)");
+    (MSS_BYTES / (rtt_ms / 1000.0)) * MATHIS_C / p.sqrt() / 1000.0
+}
+
+/// Synthetic-path bandwidth (kB/s) from constituent transfer observations:
+/// RTTs add, losses combine per `mode`, Mathis converts.
+pub fn synthetic_bandwidth_kbps(
+    rtts_ms: &[f64],
+    losses: &[f64],
+    mode: LossComposition,
+) -> f64 {
+    assert_eq!(rtts_ms.len(), losses.len());
+    assert!(!rtts_ms.is_empty());
+    let rtt: f64 = rtts_ms.iter().sum();
+    let p = mode.combine(losses).max(LOSS_FLOOR);
+    mathis_bandwidth_kbps(rtt, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimistic_takes_the_max() {
+        assert_eq!(LossComposition::Optimistic.combine(&[0.01, 0.05, 0.02]), 0.05);
+    }
+
+    #[test]
+    fn pessimistic_compounds() {
+        let p = LossComposition::Pessimistic.combine(&[0.01, 0.05, 0.02]);
+        let expect = 1.0 - 0.99 * 0.95 * 0.98;
+        assert!((p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pessimistic_dominates_optimistic() {
+        // The pessimistic path loss is always ≥ the optimistic one, so the
+        // pessimistic bandwidth is always ≤ — the curves bracket (Fig. 4).
+        for losses in [[0.01, 0.02], [0.0, 0.1], [0.07, 0.07]] {
+            let o = LossComposition::Optimistic.combine(&losses);
+            let p = LossComposition::Pessimistic.combine(&losses);
+            assert!(p >= o - 1e-15, "{losses:?}");
+        }
+    }
+
+    #[test]
+    fn single_hop_modes_agree() {
+        let losses = [0.03];
+        let o = LossComposition::Optimistic.combine(&losses);
+        let p = LossComposition::Pessimistic.combine(&losses);
+        assert!((o - p).abs() < 1e-12, "{o} vs {p}");
+    }
+
+    #[test]
+    fn synthetic_bandwidth_orders_correctly() {
+        let rtts = [40.0, 60.0];
+        let losses = [0.01, 0.02];
+        let opt = synthetic_bandwidth_kbps(&rtts, &losses, LossComposition::Optimistic);
+        let pes = synthetic_bandwidth_kbps(&rtts, &losses, LossComposition::Pessimistic);
+        assert!(opt >= pes);
+        assert!(pes > 0.0);
+    }
+
+    #[test]
+    fn zero_loss_is_floored_not_infinite() {
+        let bw = synthetic_bandwidth_kbps(&[50.0], &[0.0], LossComposition::Optimistic);
+        assert!(bw.is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_inputs_panic() {
+        let _ = synthetic_bandwidth_kbps(&[50.0, 60.0], &[0.0], LossComposition::Optimistic);
+    }
+}

@@ -1,0 +1,346 @@
+//! The measurement graph.
+//!
+//! Paper §4.1: "We identify alternate paths by constructing a weighted
+//! graph in which each host is represented by a vertex and each path is
+//! represented by a corresponding edge. … the weight of the edge is set
+//! according to the long term time average of the measurements (round-trip
+//! time, loss rate, or bandwidth) taken along that path."
+//!
+//! Edges are **directed** — measurements are directional and Internet
+//! routing is asymmetric. An [`EdgeStats`] keeps, per directed host pair:
+//! RTT summary plus the raw RTT samples (the median and 10th-percentile
+//! analyses need the distribution, not just moments), loss summary over
+//! loss-eligible probes, bandwidth/RTT/loss summaries from TCP transfers,
+//! and the modal AS path.
+
+use std::collections::HashMap;
+
+use detour_measure::{Dataset, HostId, ProbeSample};
+use detour_stats::{OnlineStats, Summary};
+
+/// Statistics of one directed measured path.
+#[derive(Debug, Clone)]
+pub struct EdgeStats {
+    /// Round-trip time summary over returned probes (ms).
+    pub rtt: Option<Summary>,
+    /// The raw RTT samples behind `rtt`.
+    pub rtt_samples: Vec<f64>,
+    /// Loss indicator summary over loss-eligible probes (mean = loss rate).
+    pub loss: Option<Summary>,
+    /// Bandwidth summary over TCP transfers (kB/s).
+    pub bandwidth: Option<Summary>,
+    /// Mean RTT within TCP transfers (ms) — the N2 composition inputs.
+    pub transfer_rtt: Option<Summary>,
+    /// Mean loss rate within TCP transfers.
+    pub transfer_loss: Option<Summary>,
+    /// Most frequently observed AS path for this edge (AS numbers).
+    pub modal_as_path: Vec<u16>,
+}
+
+impl EdgeStats {
+    fn is_empty(&self) -> bool {
+        self.rtt.is_none() && self.loss.is_none() && self.bandwidth.is_none()
+    }
+}
+
+/// A directed host pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pair {
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+}
+
+/// The weighted measurement graph over one dataset (or dataset slice).
+#[derive(Debug, Clone)]
+pub struct MeasurementGraph {
+    hosts: Vec<HostId>,
+    index: HashMap<HostId, usize>,
+    /// Dense `n × n` adjacency; `edges[i][j]` is the directed edge i→j.
+    edges: Vec<Vec<Option<EdgeStats>>>,
+}
+
+/// Intermediate per-edge accumulator.
+#[derive(Default)]
+struct EdgeAcc {
+    rtt: OnlineStats,
+    rtt_samples: Vec<f64>,
+    loss: OnlineStats,
+    bw: OnlineStats,
+    t_rtt: OnlineStats,
+    t_loss: OnlineStats,
+    path_votes: HashMap<u32, usize>,
+}
+
+impl MeasurementGraph {
+    /// Builds the graph from every sample in `ds`.
+    pub fn from_dataset(ds: &Dataset) -> MeasurementGraph {
+        Self::from_dataset_filtered(ds, |_| true)
+    }
+
+    /// Builds the graph from the probes satisfying `keep` (all transfers
+    /// are always included — the time-of-day and episode analyses only
+    /// slice probe datasets).
+    pub fn from_dataset_filtered(
+        ds: &Dataset,
+        keep: impl Fn(&ProbeSample) -> bool,
+    ) -> MeasurementGraph {
+        let hosts: Vec<HostId> = ds.hosts.iter().map(|h| h.id).collect();
+        let index: HashMap<HostId, usize> =
+            hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        let n = hosts.len();
+        let mut accs: HashMap<(usize, usize), EdgeAcc> = HashMap::new();
+
+        for p in ds.probes.iter().filter(|p| keep(p)) {
+            let (Some(&i), Some(&j)) = (index.get(&p.src), index.get(&p.dst)) else {
+                continue;
+            };
+            let acc = accs.entry((i, j)).or_default();
+            if let Some(rtt) = p.rtt_ms {
+                acc.rtt.push(rtt);
+                acc.rtt_samples.push(rtt);
+            }
+            if p.loss_eligible {
+                acc.loss.push(if p.lost() { 1.0 } else { 0.0 });
+            }
+            *acc.path_votes.entry(p.path_idx).or_default() += 1;
+        }
+        for t in &ds.transfers {
+            let (Some(&i), Some(&j)) = (index.get(&t.src), index.get(&t.dst)) else {
+                continue;
+            };
+            let acc = accs.entry((i, j)).or_default();
+            acc.bw.push(t.bandwidth_kbps);
+            acc.t_rtt.push(t.rtt_ms);
+            acc.t_loss.push(t.loss_rate);
+        }
+
+        let mut edges: Vec<Vec<Option<EdgeStats>>> = vec![vec![None; n]; n];
+        for ((i, j), acc) in accs {
+            let modal = acc
+                .path_votes
+                .iter()
+                .max_by_key(|&(&idx, &c)| (c, std::cmp::Reverse(idx)))
+                .map(|(&idx, _)| ds.as_paths.get(idx as usize).cloned().unwrap_or_default())
+                .unwrap_or_default();
+            let e = EdgeStats {
+                rtt: acc.rtt.summary(),
+                rtt_samples: acc.rtt_samples,
+                loss: acc.loss.summary(),
+                bandwidth: acc.bw.summary(),
+                transfer_rtt: acc.t_rtt.summary(),
+                transfer_loss: acc.t_loss.summary(),
+                modal_as_path: modal,
+            };
+            if !e.is_empty() {
+                edges[i][j] = Some(e);
+            }
+        }
+        MeasurementGraph { hosts, index, edges }
+    }
+
+    /// Builds the graph from one UW4-A episode only.
+    pub fn from_episode(ds: &Dataset, episode: u32) -> MeasurementGraph {
+        Self::from_dataset_filtered(ds, |p| p.episode == Some(episode))
+    }
+
+    /// All hosts (graph vertices).
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Dense index of a host.
+    pub fn host_index(&self, h: HostId) -> Option<usize> {
+        self.index.get(&h).copied()
+    }
+
+    /// Host at a dense index.
+    pub fn host_at(&self, i: usize) -> HostId {
+        self.hosts[i]
+    }
+
+    /// The directed edge between two hosts, if measured.
+    pub fn edge(&self, src: HostId, dst: HostId) -> Option<&EdgeStats> {
+        let (i, j) = (self.host_index(src)?, self.host_index(dst)?);
+        self.edges[i][j].as_ref()
+    }
+
+    /// The directed edge by dense indices.
+    pub fn edge_by_index(&self, i: usize, j: usize) -> Option<&EdgeStats> {
+        self.edges[i][j].as_ref()
+    }
+
+    /// All directed pairs with a measured edge, in deterministic order.
+    pub fn pairs(&self) -> Vec<Pair> {
+        let mut out = Vec::new();
+        for i in 0..self.hosts.len() {
+            for j in 0..self.hosts.len() {
+                if i != j && self.edges[i][j].is_some() {
+                    out.push(Pair { src: self.hosts[i], dst: self.hosts[j] });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of measured directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().flatten().filter(|e| e.is_some()).count()
+    }
+
+    /// Removes a host (the Figure-12 greedy experiment), returning a new
+    /// graph without it.
+    pub fn without_host(&self, h: HostId) -> MeasurementGraph {
+        let hosts: Vec<HostId> = self.hosts.iter().copied().filter(|&x| x != h).collect();
+        let index: HashMap<HostId, usize> =
+            hosts.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+        let n = hosts.len();
+        let mut edges: Vec<Vec<Option<EdgeStats>>> = vec![vec![None; n]; n];
+        for (new_i, &hi) in hosts.iter().enumerate() {
+            for (new_j, &hj) in hosts.iter().enumerate() {
+                if new_i != new_j {
+                    let old_i = self.index[&hi];
+                    let old_j = self.index[&hj];
+                    edges[new_i][new_j] = self.edges[old_i][old_j].clone();
+                }
+            }
+        }
+        MeasurementGraph { hosts, index, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detour_measure::record::{HostMeta, TransferSample};
+
+    fn meta(id: u32) -> HostMeta {
+        HostMeta {
+            id: HostId(id),
+            name: format!("h{id}"),
+            asn: id as u16,
+            truly_rate_limited: false,
+        }
+    }
+
+    fn probe(src: u32, dst: u32, t: f64, rtt: Option<f64>) -> ProbeSample {
+        ProbeSample {
+            src: HostId(src),
+            dst: HostId(dst),
+            t_s: t,
+            probe_index: 0,
+            rtt_ms: rtt,
+            loss_eligible: true,
+            episode: None,
+            path_idx: 0,
+        }
+    }
+
+    fn tiny_dataset() -> Dataset {
+        Dataset {
+            name: "T".into(),
+            hosts: (0..3).map(meta).collect(),
+            probes: vec![
+                probe(0, 1, 0.0, Some(50.0)),
+                probe(0, 1, 1.0, Some(70.0)),
+                probe(0, 1, 2.0, None),
+                probe(1, 2, 0.0, Some(30.0)),
+                probe(1, 2, 1.0, Some(40.0)),
+            ],
+            transfers: vec![TransferSample {
+                src: HostId(0),
+                dst: HostId(2),
+                t_s: 0.0,
+                rtt_ms: 90.0,
+                loss_rate: 0.01,
+                bandwidth_kbps: 200.0,
+            }],
+            as_paths: vec![vec![0, 9, 1]],
+            duration_s: 10.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    #[test]
+    fn edge_summaries_are_correct() {
+        let g = MeasurementGraph::from_dataset(&tiny_dataset());
+        let e = g.edge(HostId(0), HostId(1)).expect("edge exists");
+        // Two returned RTTs: mean 60.
+        assert_eq!(e.rtt.unwrap().n, 2);
+        assert!((e.rtt.unwrap().mean - 60.0).abs() < 1e-12);
+        // Three loss-eligible probes, one lost: rate 1/3.
+        assert_eq!(e.loss.unwrap().n, 3);
+        assert!((e.loss.unwrap().mean - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.modal_as_path, vec![0, 9, 1]);
+    }
+
+    #[test]
+    fn transfers_populate_bandwidth_edges() {
+        let g = MeasurementGraph::from_dataset(&tiny_dataset());
+        let e = g.edge(HostId(0), HostId(2)).expect("transfer edge");
+        assert!((e.bandwidth.unwrap().mean - 200.0).abs() < 1e-12);
+        assert!((e.transfer_rtt.unwrap().mean - 90.0).abs() < 1e-12);
+        assert!(e.rtt.is_none(), "no probes on this edge");
+    }
+
+    #[test]
+    fn missing_edges_are_none() {
+        let g = MeasurementGraph::from_dataset(&tiny_dataset());
+        assert!(g.edge(HostId(2), HostId(0)).is_none());
+        assert!(g.edge(HostId(1), HostId(0)).is_none());
+    }
+
+    #[test]
+    fn pairs_enumerates_measured_edges() {
+        let g = MeasurementGraph::from_dataset(&tiny_dataset());
+        let pairs = g.pairs();
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&Pair { src: HostId(0), dst: HostId(1) }));
+        assert!(pairs.contains(&Pair { src: HostId(1), dst: HostId(2) }));
+        assert!(pairs.contains(&Pair { src: HostId(0), dst: HostId(2) }));
+    }
+
+    #[test]
+    fn filtering_subsets_probes() {
+        let ds = tiny_dataset();
+        let g = MeasurementGraph::from_dataset_filtered(&ds, |p| p.t_s < 0.5);
+        let e = g.edge(HostId(0), HostId(1)).unwrap();
+        assert_eq!(e.rtt.unwrap().n, 1);
+        assert!((e.rtt.unwrap().mean - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_host_drops_vertex_and_edges() {
+        let g = MeasurementGraph::from_dataset(&tiny_dataset());
+        let g2 = g.without_host(HostId(1));
+        assert_eq!(g2.len(), 2);
+        assert!(g2.edge(HostId(0), HostId(2)).is_some());
+        assert!(g2.host_index(HostId(1)).is_none());
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn loss_ineligible_probes_do_not_count_losses() {
+        let mut ds = tiny_dataset();
+        ds.probes.push(ProbeSample {
+            loss_eligible: false,
+            rtt_ms: Some(55.0),
+            ..probe(0, 1, 3.0, Some(55.0))
+        });
+        let g = MeasurementGraph::from_dataset(&ds);
+        let e = g.edge(HostId(0), HostId(1)).unwrap();
+        assert_eq!(e.loss.unwrap().n, 3, "ineligible probe excluded from loss");
+        assert_eq!(e.rtt.unwrap().n, 3, "but included in RTT");
+    }
+}

@@ -1,0 +1,42 @@
+//! # detour-core
+//!
+//! The primary contribution of *"The End-to-End Effects of Internet Path
+//! Selection"* (SIGCOMM 1999): given pairwise path-quality measurements
+//! between Internet hosts, quantify how often a *synthetic alternate path*
+//! — composed from other measured host-to-host paths — beats the path the
+//! Internet's routing actually chose.
+//!
+//! Pipeline:
+//!
+//! 1. build a [`MeasurementGraph`] from a `detour_measure::Dataset`
+//!    (vertices = hosts, directed edges = long-term path statistics);
+//! 2. pick a [`metric`] — mean RTT, loss rate (independent-loss
+//!    composition), propagation delay (10th percentile), or Mathis-model
+//!    bandwidth;
+//! 3. for every host pair, remove the direct edge and search for the best
+//!    alternate ([`altpath`]);
+//! 4. feed the comparisons to the [`analysis`] modules that regenerate each
+//!    figure and table of the paper.
+//!
+//! This crate never touches the simulator: it consumes only measurement
+//! records, exactly as the original analysis consumed traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod altpath;
+pub mod analysis;
+pub mod compose;
+pub mod graph;
+pub mod kbest;
+pub mod metric;
+
+pub use altpath::{
+    best_alternate, best_alternate_bandwidth, best_alternate_one_hop, PathComparison,
+    SearchDepth,
+};
+pub use compose::mathis_bandwidth_kbps;
+pub use kbest::k_best_alternates;
+pub use compose::LossComposition;
+pub use graph::{EdgeStats, MeasurementGraph, Pair};
+pub use metric::{Loss, Metric, PropDelay, Rtt};

@@ -1,0 +1,277 @@
+//! Dataset specifications and the shared generation pipeline.
+//!
+//! A [`DatasetSpec`] captures everything Table 1 and §4.2 say about one
+//! dataset: era, duration, host counts and geography, request schedule,
+//! probe kind, and rate-limit correction policy. [`generate`] runs the
+//! full pipeline: build the era's network → select hosts → generate the
+//! request schedule → run the measurement campaign → assemble and clean the
+//! dataset.
+
+use detour_netsim::geo::CITIES;
+use detour_netsim::{Era, HostId, Network, NetworkConfig};
+use detour_measure::{
+    run_campaign, CampaignConfig, Dataset, HostMeta, RateLimitPolicy, Schedule,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Full description of one dataset's collection process.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Display name ("UW3", "D2", …).
+    pub name: &'static str,
+    /// Which Internet era to simulate.
+    pub era: Era,
+    /// Seed for network generation (datasets of the same study share it —
+    /// D2 and N2 saw the same 1995 Internet; the UW datasets the same
+    /// 1998-99 one).
+    pub network_seed: u64,
+    /// Seed for host selection and the measurement campaign.
+    pub campaign_seed: u64,
+    /// Trace duration, days (Table 1).
+    pub duration_days: f64,
+    /// Total measurement hosts.
+    pub n_hosts: usize,
+    /// How many of them must be North American (= `n_hosts` for the
+    /// NA-only UW datasets).
+    pub n_hosts_na: usize,
+    /// Request timing discipline.
+    pub schedule: Schedule,
+    /// Probe machinery configuration.
+    pub campaign: CampaignConfig,
+    /// Rate-limit correction policy (§4.2).
+    pub policy: RateLimitPolicy,
+    /// Minimum probes per directed path (paper: 30).
+    pub min_samples: usize,
+    /// Whether the host pool was pre-screened to exclude ICMP rate
+    /// limiters (UW4 drew from hosts already validated during UW3).
+    pub prescreened: bool,
+}
+
+/// Scaling for fast tests/examples: fewer hosts, shorter trace.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Override host count (`None` keeps the spec's).
+    pub n_hosts: Option<usize>,
+    /// Divide the duration by this factor (≥ 1).
+    pub time_divisor: u32,
+}
+
+impl Scale {
+    /// Full paper scale.
+    pub fn full() -> Scale {
+        Scale { n_hosts: None, time_divisor: 1 }
+    }
+
+    /// A reduced scale for tests and examples.
+    pub fn reduced(n_hosts: usize, time_divisor: u32) -> Scale {
+        assert!(time_divisor >= 1);
+        Scale { n_hosts: Some(n_hosts), time_divisor }
+    }
+}
+
+/// Builds the network a spec measures. Exposed so examples can drive the
+/// same network the dataset came from (e.g. the overlay-router example).
+pub fn build_network(spec: &DatasetSpec, scale: Scale) -> Network {
+    let horizon_days = spec.duration_days / scale.time_divisor as f64;
+    Network::generate(&NetworkConfig::for_era(spec.era, spec.network_seed, horizon_days))
+}
+
+/// Selects the measurement hosts: `n_na` North American plus the remainder
+/// from elsewhere, deterministically in `seed`. With `prescreened`, hosts
+/// known to rate-limit are excluded up front (the UW4 pools were validated
+/// during earlier campaigns).
+pub fn select_hosts(
+    net: &Network,
+    n_total: usize,
+    n_na: usize,
+    seed: u64,
+    prescreened: bool,
+) -> Vec<HostId> {
+    assert!(n_na <= n_total);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1e_c7ed);
+    let eligible =
+        |h: &&detour_netsim::topology::Host| !prescreened || !h.icmp_rate_limited;
+    let mut na: Vec<HostId> = net
+        .hosts()
+        .iter()
+        .filter(eligible)
+        .filter(|h| CITIES[h.city].region.is_north_america())
+        .map(|h| h.id)
+        .collect();
+    let mut world: Vec<HostId> = net
+        .hosts()
+        .iter()
+        .filter(eligible)
+        .filter(|h| !CITIES[h.city].region.is_north_america())
+        .map(|h| h.id)
+        .collect();
+    na.shuffle(&mut rng);
+    world.shuffle(&mut rng);
+    assert!(
+        na.len() >= n_na && world.len() >= n_total - n_na,
+        "topology has too few hosts: need {n_na} NA + {} world, have {} + {}",
+        n_total - n_na,
+        na.len(),
+        world.len()
+    );
+    let mut out: Vec<HostId> = na.into_iter().take(n_na).collect();
+    out.extend(world.into_iter().take(n_total - n_na));
+    out.sort();
+    out
+}
+
+/// Runs the full generation pipeline for `spec` at `scale`.
+pub fn generate(spec: &DatasetSpec, scale: Scale) -> Dataset {
+    let net = build_network(spec, scale);
+    generate_on(&net, spec, scale)
+}
+
+/// Like [`generate`] but over a caller-provided network — lets UW4-A and
+/// UW4-B (or an example) share one network instance.
+pub fn generate_on(net: &Network, spec: &DatasetSpec, scale: Scale) -> Dataset {
+    let n_hosts = scale.n_hosts.unwrap_or(spec.n_hosts);
+    let n_na = if scale.n_hosts.is_some() {
+        // Scaled runs keep the spec's NA proportion.
+        (n_hosts as f64 * spec.n_hosts_na as f64 / spec.n_hosts as f64).round() as usize
+    } else {
+        spec.n_hosts_na
+    };
+    let hosts =
+        select_hosts(net, n_hosts, n_na.min(n_hosts), spec.campaign_seed, spec.prescreened);
+    let duration_s = spec.duration_days * 86_400.0 / scale.time_divisor as f64;
+
+    let mut rng = StdRng::seed_from_u64(spec.campaign_seed);
+    let requests = spec.schedule.generate(&hosts, duration_s, &mut rng);
+    let raw = run_campaign(net, &requests, &spec.campaign, &mut rng);
+
+    let metas: Vec<HostMeta> = hosts
+        .iter()
+        .map(|&id| {
+            let h = net.host(id);
+            HostMeta {
+                id,
+                name: h.name.clone(),
+                asn: h.asn.0,
+                truly_rate_limited: h.icmp_rate_limited,
+            }
+        })
+        .collect();
+
+    let min_samples = if scale.time_divisor > 1 {
+        (spec.min_samples / scale.time_divisor as usize).max(6)
+    } else {
+        spec.min_samples
+    };
+    Dataset::assemble(spec.name, metas, &raw, spec.policy, min_samples, duration_s)
+}
+
+/// Restricts a world dataset to its North American hosts, renaming it —
+/// how D2-NA and N2-NA are derived from D2 and N2.
+pub fn restrict_na(net: &Network, parent: &Dataset, name: &str) -> Dataset {
+    let keep: std::collections::HashSet<HostId> = parent
+        .hosts
+        .iter()
+        .filter(|h| CITIES[net.host(h.id).city].region.is_north_america())
+        .map(|h| h.id)
+        .collect();
+    let mut ds = parent.restrict_to_hosts(&keep);
+    ds.name = name.to_string();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "TINY",
+            era: Era::Y1999,
+            network_seed: 11,
+            campaign_seed: 12,
+            duration_days: 0.25,
+            n_hosts: 8,
+            n_hosts_na: 8,
+            schedule: Schedule::PairwiseExponential { mean_s: 30.0 },
+            campaign: CampaignConfig::traceroute(),
+            policy: RateLimitPolicy::FilterHosts,
+            min_samples: 12,
+            prescreened: false,
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_a_populated_dataset() {
+        let ds = generate(&tiny_spec(), Scale::full());
+        assert!(!ds.probes.is_empty());
+        assert!(ds.hosts.len() <= 8, "rate-limit filtering may drop hosts");
+        assert!(ds.hosts.len() >= 4);
+        let c = ds.characteristics();
+        assert!(c.coverage_pct > 30.0, "coverage {}", c.coverage_pct);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&tiny_spec(), Scale::full());
+        let b = generate(&tiny_spec(), Scale::full());
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.hosts, b.hosts);
+    }
+
+    #[test]
+    fn host_selection_respects_geography() {
+        let spec = tiny_spec();
+        let net = build_network(&spec, Scale::full());
+        let hosts = select_hosts(&net, 10, 7, 99, false);
+        let na = hosts
+            .iter()
+            .filter(|&&h| CITIES[net.host(h).city].region.is_north_america())
+            .count();
+        assert_eq!(na, 7);
+        assert_eq!(hosts.len(), 10);
+    }
+
+    #[test]
+    fn host_selection_is_deterministic_and_seed_sensitive() {
+        let spec = tiny_spec();
+        let net = build_network(&spec, Scale::full());
+        assert_eq!(select_hosts(&net, 12, 12, 5, false), select_hosts(&net, 12, 12, 5, false));
+        assert_ne!(select_hosts(&net, 12, 12, 5, false), select_hosts(&net, 12, 12, 6, false));
+    }
+
+    #[test]
+    fn scaling_reduces_volume() {
+        let full = generate(&tiny_spec(), Scale::full());
+        let scaled = generate(&tiny_spec(), Scale::reduced(6, 2));
+        assert!(scaled.probes.len() < full.probes.len());
+        assert!(scaled.hosts.len() <= 6);
+    }
+
+    #[test]
+    fn tcp_spec_produces_transfers() {
+        let mut spec = tiny_spec();
+        spec.campaign = CampaignConfig::tcp();
+        spec.schedule = Schedule::PairwiseExponential { mean_s: 120.0 };
+        spec.min_samples = 6;
+        let ds = generate(&spec, Scale::full());
+        assert!(!ds.transfers.is_empty());
+        assert!(ds.probes.is_empty());
+    }
+
+    #[test]
+    fn restrict_na_drops_world_hosts() {
+        let mut spec = tiny_spec();
+        spec.n_hosts = 10;
+        spec.n_hosts_na = 6;
+        let net = build_network(&spec, Scale::full());
+        let world = generate_on(&net, &spec, Scale::full());
+        let na = restrict_na(&net, &world, "TINY-NA");
+        assert_eq!(na.name, "TINY-NA");
+        assert!(na.hosts.len() <= 6);
+        for h in &na.hosts {
+            assert!(CITIES[net.host(h.id).city].region.is_north_america());
+        }
+    }
+}

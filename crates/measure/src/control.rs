@@ -1,0 +1,215 @@
+//! The control host: turns a request schedule into raw measurements.
+//!
+//! Paper §4.2: "All datasets used a centralized control host to generate
+//! requests to remote servers … the control host was occasionally unable to
+//! contact the server it selected and this prevented a measurement from
+//! being made. In UW1, UW3, and UW4, measurements also failed if a request
+//! was not returned within 5 minutes." Both failure modes are reproduced
+//! here; their documented consequence — over-estimating the quality of
+//! poorly connected paths — carries through to the datasets.
+
+use detour_netsim::sim::clock::SimTime;
+use detour_netsim::{probe, tcp, Network};
+use rand::Rng;
+
+use crate::record::{Invocation, TransferSample};
+use crate::schedule::Request;
+
+/// What kind of measurement each request performs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeKind {
+    /// A traceroute invocation (D2 and all UW datasets).
+    Traceroute,
+    /// A bulk TCP transfer (N2), sampling the path for `duration_s`.
+    TcpTransfer {
+        /// Transfer window, seconds.
+        duration_s: f64,
+    },
+}
+
+/// Campaign knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Measurement type.
+    pub kind: ProbeKind,
+    /// Probability the control host fails to contact the server at all.
+    pub request_failure_prob: f64,
+    /// Discard measurements that take longer than this (seconds).
+    pub timeout_s: f64,
+}
+
+impl CampaignConfig {
+    /// The paper's UW-style traceroute campaign: 5-minute timeout, a small
+    /// request-failure probability.
+    pub fn traceroute() -> CampaignConfig {
+        CampaignConfig {
+            kind: ProbeKind::Traceroute,
+            request_failure_prob: 0.02,
+            timeout_s: 300.0,
+        }
+    }
+
+    /// The npd-style TCP campaign (N2): 100 KB-ish transfers.
+    pub fn tcp() -> CampaignConfig {
+        CampaignConfig {
+            kind: ProbeKind::TcpTransfer { duration_s: 30.0 },
+            request_failure_prob: 0.02,
+            timeout_s: 600.0,
+        }
+    }
+}
+
+/// Raw yield of a campaign, before dataset assembly.
+#[derive(Debug, Clone, Default)]
+pub struct RawMeasurements {
+    /// Traceroute invocations that returned.
+    pub invocations: Vec<Invocation>,
+    /// TCP transfers that completed.
+    pub transfers: Vec<TransferSample>,
+    /// Requests dropped before measuring (contact failures).
+    pub failed_requests: usize,
+    /// Measurements discarded for exceeding the timeout.
+    pub timed_out: usize,
+}
+
+/// Executes `requests` against the network, in simulated-time order.
+///
+/// Requests are replayed through a discrete-event queue, so an unsorted
+/// request list still executes in time order with deterministic FIFO
+/// tie-breaking — the property the UW4-A "simultaneous" episodes rely on.
+pub fn run_campaign(
+    net: &Network,
+    requests: &[Request],
+    cfg: &CampaignConfig,
+    rng: &mut impl Rng,
+) -> RawMeasurements {
+    let mut queue = detour_netsim::sim::EventQueue::new();
+    for &req in requests {
+        queue.push(SimTime(req.t_s), req);
+    }
+    let mut out = RawMeasurements::default();
+    while let Some((t, req)) = queue.pop() {
+        if rng.gen_bool(cfg.request_failure_prob) {
+            out.failed_requests += 1;
+            continue;
+        }
+        match cfg.kind {
+            ProbeKind::Traceroute => {
+                let tr = probe::traceroute(net, req.src, req.dst, t, rng);
+                if tr.elapsed_s > cfg.timeout_s {
+                    out.timed_out += 1;
+                    continue;
+                }
+                let as_path: Vec<u16> = {
+                    // Observed path, prefixed with the source AS (the
+                    // traceroute client knows where it is).
+                    let mut p = vec![net.host(req.src).asn.0];
+                    p.extend(tr.as_path().iter().map(|a| a.0));
+                    p.dedup();
+                    p
+                };
+                out.invocations.push(Invocation {
+                    src: req.src,
+                    dst: req.dst,
+                    t_s: req.t_s,
+                    episode: req.episode,
+                    rtts: tr.destination_samples(),
+                    as_path,
+                });
+            }
+            ProbeKind::TcpTransfer { duration_s } => {
+                match tcp::bulk_transfer(net, req.src, req.dst, t, duration_s, rng) {
+                    Some(ts) => out.transfers.push(TransferSample {
+                        src: req.src,
+                        dst: req.dst,
+                        t_s: req.t_s,
+                        rtt_ms: ts.rtt_ms,
+                        loss_rate: ts.loss_rate,
+                        bandwidth_kbps: ts.bandwidth_kbps,
+                    }),
+                    None => out.failed_requests += 1,
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use detour_netsim::{Era, NetworkConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        Network::generate(&NetworkConfig::for_era(Era::Y1999, 31, 2.0))
+    }
+
+    fn small_schedule(net: &Network, n_hosts: usize, mean_s: f64) -> Vec<Request> {
+        let hosts: Vec<_> = net.hosts().iter().take(n_hosts).map(|h| h.id).collect();
+        Schedule::PairwiseExponential { mean_s }.generate(
+            &hosts,
+            4.0 * 3600.0,
+            &mut StdRng::seed_from_u64(8),
+        )
+    }
+
+    #[test]
+    fn traceroute_campaign_yields_invocations() {
+        let n = net();
+        let reqs = small_schedule(&n, 8, 120.0);
+        let raw = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut StdRng::seed_from_u64(1));
+        assert!(!raw.invocations.is_empty());
+        assert!(raw.invocations.len() + raw.failed_requests + raw.timed_out == reqs.len());
+        for inv in &raw.invocations {
+            assert!(inv.as_path.len() >= 2, "cross-AS paths expected: {:?}", inv.as_path);
+            assert_eq!(inv.as_path[0], n.host(inv.src).asn.0);
+            assert_eq!(*inv.as_path.last().unwrap(), n.host(inv.dst).asn.0);
+        }
+    }
+
+    #[test]
+    fn contact_failures_happen_at_configured_rate() {
+        let n = net();
+        let reqs = small_schedule(&n, 8, 60.0);
+        let mut cfg = CampaignConfig::traceroute();
+        cfg.request_failure_prob = 0.5;
+        let raw = run_campaign(&n, &reqs, &cfg, &mut StdRng::seed_from_u64(2));
+        let frac = raw.failed_requests as f64 / reqs.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "failure fraction {frac}");
+    }
+
+    #[test]
+    fn tcp_campaign_yields_transfers() {
+        let n = net();
+        let reqs = small_schedule(&n, 6, 600.0);
+        let raw = run_campaign(&n, &reqs, &CampaignConfig::tcp(), &mut StdRng::seed_from_u64(3));
+        assert!(!raw.transfers.is_empty());
+        for t in &raw.transfers {
+            assert!(t.rtt_ms > 0.0);
+            assert!((0.0..=1.0).contains(&t.loss_rate));
+            assert!(t.bandwidth_kbps > 0.0);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let n = net();
+        let reqs = small_schedule(&n, 6, 300.0);
+        let a = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut StdRng::seed_from_u64(4));
+        let b = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut StdRng::seed_from_u64(4));
+        assert_eq!(a.invocations, b.invocations);
+    }
+
+    #[test]
+    fn aggressive_timeout_discards_measurements() {
+        let n = net();
+        let reqs = small_schedule(&n, 8, 120.0);
+        let mut cfg = CampaignConfig::traceroute();
+        cfg.timeout_s = 0.5; // traceroutes take seconds; nearly all time out
+        let raw = run_campaign(&n, &reqs, &cfg, &mut StdRng::seed_from_u64(5));
+        assert!(raw.timed_out > raw.invocations.len());
+    }
+}

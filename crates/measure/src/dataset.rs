@@ -1,0 +1,466 @@
+//! Dataset assembly: raw measurements → an analysis-ready dataset.
+//!
+//! Mirrors the paper's §4.2 cleaning pipeline:
+//!
+//! 1. empirically detect ICMP rate-limiting hosts and apply the dataset's
+//!    correction policy ([`crate::ratelimit`]);
+//! 2. flatten traceroute invocations into per-probe samples;
+//! 3. "we removed paths for which there were fewer than 30 measurements so
+//!    as to increase our confidence in the results";
+//! 4. compute the Table-1 characteristics (hosts, measurement count,
+//!    percent of paths covered).
+
+use std::collections::{HashMap, HashSet};
+
+use detour_netsim::HostId;
+
+use crate::control::RawMeasurements;
+use crate::ratelimit::{detect_rate_limited, RateLimitPolicy};
+use crate::record::{HostMeta, ProbeSample, TransferSample};
+
+/// Default minimum probe count per directed path (paper: 30).
+pub const MIN_SAMPLES_PER_PATH: usize = 30;
+
+/// An assembled, cleaned dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name ("UW3", "D2-NA", …).
+    pub name: String,
+    /// Hosts remaining after filtering.
+    pub hosts: Vec<HostMeta>,
+    /// Flattened per-probe samples (traceroute datasets).
+    pub probes: Vec<ProbeSample>,
+    /// TCP transfer samples (N2 datasets).
+    pub transfers: Vec<TransferSample>,
+    /// Pool of distinct AS paths; probes reference entries by index.
+    pub as_paths: Vec<Vec<u16>>,
+    /// Trace duration, seconds.
+    pub duration_s: f64,
+    /// Hosts the empirical detector flagged as rate limiting.
+    pub detected_rate_limited: Vec<HostId>,
+}
+
+/// Table-1 row: the dataset's summary characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characteristics {
+    /// Dataset name.
+    pub name: String,
+    /// Number of hosts after filtering.
+    pub hosts: usize,
+    /// Number of measurements (probe samples, or transfers for N2).
+    pub measurements: usize,
+    /// Percent of the `n·(n−1)` ordered paths with enough data.
+    pub coverage_pct: f64,
+    /// Duration in days.
+    pub duration_days: f64,
+}
+
+impl Dataset {
+    /// Assembles a dataset from raw campaign output.
+    ///
+    /// `min_samples` is the per-directed-path probe threshold (use
+    /// [`MIN_SAMPLES_PER_PATH`] to match the paper; transfers use
+    /// `min_samples / 3` since each transfer summarizes many packets).
+    pub fn assemble(
+        name: &str,
+        hosts: Vec<HostMeta>,
+        raw: &RawMeasurements,
+        policy: RateLimitPolicy,
+        min_samples: usize,
+        duration_s: f64,
+    ) -> Dataset {
+        let detected = detect_rate_limited(&raw.invocations);
+
+        // Apply the rate-limit policy at invocation granularity.
+        let hosts: Vec<HostMeta> = match policy {
+            RateLimitPolicy::FilterHosts => {
+                hosts.into_iter().filter(|h| !detected.contains(&h.id)).collect()
+            }
+            _ => hosts,
+        };
+        let kept: HashSet<HostId> = hosts.iter().map(|h| h.id).collect();
+
+        let mut as_paths: Vec<Vec<u16>> = Vec::new();
+        let mut path_pool: HashMap<Vec<u16>, u32> = HashMap::new();
+        let mut intern_path = |p: Vec<u16>| -> u32 {
+            *path_pool.entry(p.clone()).or_insert_with(|| {
+                as_paths.push(p);
+                (as_paths.len() - 1) as u32
+            })
+        };
+        let mut probes = Vec::new();
+        for inv in &raw.invocations {
+            if !kept.contains(&inv.src) || !kept.contains(&inv.dst) {
+                continue;
+            }
+            if policy == RateLimitPolicy::ReverseDirection && detected.contains(&inv.dst) {
+                continue;
+            }
+            // UW1's substitution: measurements *toward* a rate limiter are
+            // untrustworthy, so the study "use[d] the round-trip
+            // measurements from traceroutes initiated in the opposite
+            // direction". A clean invocation *from* a detected host doubles
+            // as the mirrored path's record (with the AS path reversed).
+            let mirror =
+                policy == RateLimitPolicy::ReverseDirection && detected.contains(&inv.src);
+            let path_idx = intern_path(inv.as_path.clone());
+            let mirror_path_idx = mirror.then(|| {
+                let mut rev = inv.as_path.clone();
+                rev.reverse();
+                intern_path(rev)
+            });
+            for (k, &rtt) in inv.rtts.iter().enumerate() {
+                let loss_eligible = match policy {
+                    RateLimitPolicy::FirstSampleOnly => k == 0,
+                    _ => true,
+                };
+                // Follow-up probes that never returned carry no information
+                // under first-sample-only; drop them entirely.
+                if !loss_eligible && rtt.is_none() {
+                    continue;
+                }
+                probes.push(ProbeSample {
+                    src: inv.src,
+                    dst: inv.dst,
+                    t_s: inv.t_s,
+                    probe_index: k as u8,
+                    rtt_ms: rtt,
+                    loss_eligible,
+                    episode: inv.episode,
+                    path_idx,
+                });
+                if let Some(mpi) = mirror_path_idx {
+                    probes.push(ProbeSample {
+                        src: inv.dst,
+                        dst: inv.src,
+                        t_s: inv.t_s,
+                        probe_index: k as u8,
+                        rtt_ms: rtt,
+                        loss_eligible,
+                        episode: inv.episode,
+                        path_idx: mpi,
+                    });
+                }
+            }
+        }
+
+        let transfers: Vec<TransferSample> = raw
+            .transfers
+            .iter()
+            .filter(|t| kept.contains(&t.src) && kept.contains(&t.dst))
+            .copied()
+            .collect();
+
+        // Per-path sample-count filter.
+        let mut probe_counts: HashMap<(HostId, HostId), usize> = HashMap::new();
+        for p in &probes {
+            *probe_counts.entry((p.src, p.dst)).or_default() += 1;
+        }
+        let probes: Vec<ProbeSample> = probes
+            .into_iter()
+            .filter(|p| probe_counts[&(p.src, p.dst)] >= min_samples)
+            .collect();
+
+        let min_transfers = (min_samples / 3).max(2);
+        let mut transfer_counts: HashMap<(HostId, HostId), usize> = HashMap::new();
+        for t in &transfers {
+            *transfer_counts.entry((t.src, t.dst)).or_default() += 1;
+        }
+        let transfers: Vec<TransferSample> = transfers
+            .into_iter()
+            .filter(|t| transfer_counts[&(t.src, t.dst)] >= min_transfers)
+            .collect();
+
+        let mut detected_rate_limited: Vec<HostId> = detected.into_iter().collect();
+        detected_rate_limited.sort();
+
+        Dataset {
+            name: name.to_string(),
+            hosts,
+            probes,
+            transfers,
+            as_paths,
+            duration_s,
+            detected_rate_limited,
+        }
+    }
+
+    /// Restricts the dataset to a host subset (used to derive the `-NA`
+    /// variants from the world datasets, and by the host-removal analysis).
+    pub fn restrict_to_hosts(&self, keep: &HashSet<HostId>) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            hosts: self.hosts.iter().filter(|h| keep.contains(&h.id)).cloned().collect(),
+            probes: self
+                .probes
+                .iter()
+                .filter(|p| keep.contains(&p.src) && keep.contains(&p.dst))
+                .copied()
+                .collect(),
+            transfers: self
+                .transfers
+                .iter()
+                .filter(|t| keep.contains(&t.src) && keep.contains(&t.dst))
+                .copied()
+                .collect(),
+            as_paths: self.as_paths.clone(),
+            duration_s: self.duration_s,
+            detected_rate_limited: self.detected_rate_limited.clone(),
+        }
+    }
+
+    /// Directed pairs with at least one probe (or transfer) present.
+    pub fn measured_pairs(&self) -> HashSet<(HostId, HostId)> {
+        let mut set: HashSet<(HostId, HostId)> =
+            self.probes.iter().map(|p| (p.src, p.dst)).collect();
+        set.extend(self.transfers.iter().map(|t| (t.src, t.dst)));
+        set
+    }
+
+    /// The Table-1 row for this dataset.
+    ///
+    /// "Measurements" counts traceroute *invocations* (not the three probes
+    /// each one takes), matching the paper's accounting; for transfer
+    /// datasets it counts transfers.
+    pub fn characteristics(&self) -> Characteristics {
+        let n = self.hosts.len();
+        let potential = (n * n.saturating_sub(1)).max(1);
+        let measurements = if self.transfers.is_empty() {
+            self.probes.iter().filter(|p| p.probe_index == 0).count()
+        } else {
+            self.transfers.len()
+        };
+        Characteristics {
+            name: self.name.clone(),
+            hosts: n,
+            measurements,
+            coverage_pct: 100.0 * self.measured_pairs().len() as f64 / potential as f64,
+            duration_days: self.duration_s / 86_400.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Invocation;
+
+    fn meta(id: u32) -> HostMeta {
+        HostMeta {
+            id: HostId(id),
+            name: format!("h{id}"),
+            asn: id as u16,
+            truly_rate_limited: false,
+        }
+    }
+
+    /// `count` clean invocations per ordered pair over the given hosts.
+    fn clean_raw(host_ids: &[u32], count: usize) -> RawMeasurements {
+        let mut raw = RawMeasurements::default();
+        for &s in host_ids {
+            for &d in host_ids {
+                if s == d {
+                    continue;
+                }
+                for i in 0..count {
+                    raw.invocations.push(Invocation {
+                        src: HostId(s),
+                        dst: HostId(d),
+                        t_s: i as f64 * 100.0,
+                        episode: None,
+                        rtts: [Some(40.0), Some(42.0), Some(41.0)],
+                        as_path: vec![s as u16, 100, d as u16],
+                    });
+                }
+            }
+        }
+        raw
+    }
+
+    #[test]
+    fn assembly_flattens_probes() {
+        let raw = clean_raw(&[0, 1, 2], 12);
+        let ds = Dataset::assemble(
+            "T",
+            vec![meta(0), meta(1), meta(2)],
+            &raw,
+            RateLimitPolicy::FilterHosts,
+            30,
+            86_400.0,
+        );
+        // 6 ordered pairs * 12 invocations * 3 probes = 216, all ≥ 30/path.
+        assert_eq!(ds.probes.len(), 216);
+        assert_eq!(ds.hosts.len(), 3);
+        assert_eq!(ds.measured_pairs().len(), 6);
+    }
+
+    #[test]
+    fn min_sample_filter_drops_thin_paths() {
+        let mut raw = clean_raw(&[0, 1], 12); // 36 probes per pair: kept
+        // One lonely invocation on a third pair: dropped.
+        raw.invocations.push(Invocation {
+            src: HostId(0),
+            dst: HostId(2),
+            t_s: 0.0,
+            episode: None,
+            rtts: [Some(10.0), Some(10.0), Some(10.0)],
+            as_path: vec![0, 2],
+        });
+        let ds = Dataset::assemble(
+            "T",
+            vec![meta(0), meta(1), meta(2)],
+            &raw,
+            RateLimitPolicy::FilterHosts,
+            30,
+            86_400.0,
+        );
+        assert!(!ds.measured_pairs().contains(&(HostId(0), HostId(2))));
+        assert!(ds.measured_pairs().contains(&(HostId(0), HostId(1))));
+    }
+
+    /// Invocations displaying the rate-limiter signature toward `dst`.
+    fn limited_invocations(src: u32, dst: u32, n: usize) -> Vec<Invocation> {
+        (0..n)
+            .map(|i| Invocation {
+                src: HostId(src),
+                dst: HostId(dst),
+                t_s: i as f64,
+                episode: None,
+                rtts: [Some(50.0), None, None],
+                as_path: vec![src as u16, dst as u16],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn filter_hosts_policy_removes_detected_hosts() {
+        let mut raw = clean_raw(&[0, 1], 15);
+        raw.invocations.extend(limited_invocations(0, 2, 15));
+        let ds = Dataset::assemble(
+            "T",
+            vec![meta(0), meta(1), meta(2)],
+            &raw,
+            RateLimitPolicy::FilterHosts,
+            30,
+            86_400.0,
+        );
+        assert_eq!(ds.detected_rate_limited, vec![HostId(2)]);
+        assert_eq!(ds.hosts.len(), 2);
+        assert!(ds.probes.iter().all(|p| p.dst != HostId(2) && p.src != HostId(2)));
+    }
+
+    #[test]
+    fn reverse_direction_policy_keeps_host_but_drops_toward_it() {
+        let mut raw = clean_raw(&[0, 1], 15);
+        raw.invocations.extend(limited_invocations(0, 2, 15));
+        // Clean measurements *from* host 2.
+        for i in 0..15 {
+            raw.invocations.push(Invocation {
+                src: HostId(2),
+                dst: HostId(0),
+                t_s: i as f64,
+                episode: None,
+                rtts: [Some(48.0), Some(50.0), Some(47.0)],
+                as_path: vec![2, 0],
+            });
+        }
+        let ds = Dataset::assemble(
+            "T",
+            vec![meta(0), meta(1), meta(2)],
+            &raw,
+            RateLimitPolicy::ReverseDirection,
+            30,
+            86_400.0,
+        );
+        assert_eq!(ds.hosts.len(), 3);
+        // The direct (contaminated) measurements toward host 2 are gone;
+        // the surviving probes toward it are mirrors of 2→0 with identical
+        // RTTs (the paper's opposite-direction substitution).
+        let toward: Vec<_> = ds.probes.iter().filter(|p| p.dst == HostId(2)).collect();
+        assert!(!toward.is_empty(), "substituted measurements must cover the pair");
+        assert!(toward.iter().all(|p| p.src == HostId(0)));
+        assert!(toward.iter().all(|p| p.rtt_ms.is_some()));
+        assert!(ds.probes.iter().any(|p| p.src == HostId(2)));
+    }
+
+    #[test]
+    fn first_sample_only_marks_loss_eligibility() {
+        let mut raw = RawMeasurements::default();
+        for i in 0..20 {
+            raw.invocations.push(Invocation {
+                src: HostId(0),
+                dst: HostId(1),
+                t_s: i as f64,
+                episode: None,
+                rtts: [Some(30.0), Some(31.0), None],
+                as_path: vec![0, 1],
+            });
+        }
+        let ds = Dataset::assemble(
+            "T",
+            vec![meta(0), meta(1)],
+            &raw,
+            RateLimitPolicy::FirstSampleOnly,
+            30,
+            86_400.0,
+        );
+        // Probe 0 eligible, probe 1 kept for RTT only, probe 2 dropped.
+        assert_eq!(ds.probes.len(), 40);
+        assert!(ds.probes.iter().filter(|p| p.loss_eligible).all(|p| p.probe_index == 0));
+        assert!(!ds.probes.iter().any(|p| p.probe_index == 2));
+    }
+
+    #[test]
+    fn characteristics_match_table1_shape() {
+        let raw = clean_raw(&[0, 1, 2, 3], 15);
+        let ds = Dataset::assemble(
+            "T",
+            (0..4).map(meta).collect(),
+            &raw,
+            RateLimitPolicy::FilterHosts,
+            30,
+            2.0 * 86_400.0,
+        );
+        let c = ds.characteristics();
+        assert_eq!(c.hosts, 4);
+        // Measurements count invocations: 12 ordered pairs × 15 each.
+        assert_eq!(c.measurements, 12 * 15);
+        assert!((c.coverage_pct - 100.0).abs() < 1e-9);
+        assert!((c.duration_days - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_to_hosts_drops_everything_else() {
+        let raw = clean_raw(&[0, 1, 2], 12);
+        let ds = Dataset::assemble(
+            "T",
+            (0..3).map(meta).collect(),
+            &raw,
+            RateLimitPolicy::FilterHosts,
+            30,
+            86_400.0,
+        );
+        let keep: HashSet<HostId> = [HostId(0), HostId(1)].into();
+        let sub = ds.restrict_to_hosts(&keep);
+        assert_eq!(sub.hosts.len(), 2);
+        assert_eq!(sub.measured_pairs().len(), 2);
+    }
+
+    #[test]
+    fn as_path_pool_deduplicates() {
+        let raw = clean_raw(&[0, 1], 15);
+        let ds = Dataset::assemble(
+            "T",
+            vec![meta(0), meta(1)],
+            &raw,
+            RateLimitPolicy::FilterHosts,
+            30,
+            86_400.0,
+        );
+        // Two directions → two distinct AS paths, not 30.
+        assert_eq!(ds.as_paths.len(), 2);
+        for p in &ds.probes {
+            assert!((p.path_idx as usize) < ds.as_paths.len());
+        }
+    }
+}

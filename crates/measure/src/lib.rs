@@ -1,0 +1,37 @@
+//! # detour-measure
+//!
+//! The measurement machinery of the SIGCOMM '99 path-selection study: how
+//! raw traces were scheduled, collected, and cleaned before any analysis.
+//!
+//! * [`schedule`] — the three request-timing disciplines of Table 1
+//!   (per-host uniform, pairwise exponential, simultaneous episodes);
+//! * [`control`] — the central control host, with contact failures and the
+//!   5-minute measurement timeout;
+//! * [`ratelimit`] — empirical ICMP rate-limit detection and the three
+//!   per-dataset correction policies;
+//! * [`dataset`] — assembly into an analysis-ready [`dataset::Dataset`]
+//!   (probe flattening, ≥30-samples-per-path filtering, Table-1
+//!   characteristics);
+//! * [`record`] — the sample records every downstream analysis consumes;
+//! * [`tracefile`] — a plain-text trace format so generated datasets can be
+//!   saved, inspected, and reloaded without regeneration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod dataset;
+pub mod ratelimit;
+pub mod record;
+pub mod schedule;
+pub mod tracefile;
+
+pub use control::{run_campaign, CampaignConfig, ProbeKind, RawMeasurements};
+pub use dataset::{Characteristics, Dataset, MIN_SAMPLES_PER_PATH};
+pub use ratelimit::RateLimitPolicy;
+pub use record::{HostMeta, Invocation, ProbeSample, TransferSample};
+pub use schedule::{Request, Schedule};
+
+// Re-export so `detour-core` can name hosts without depending on the
+// simulator crate.
+pub use detour_netsim::HostId;

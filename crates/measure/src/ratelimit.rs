@@ -1,0 +1,178 @@
+//! Empirical ICMP rate-limit detection and the per-dataset correction
+//! policies.
+//!
+//! Paper §4.2: "For the UW datasets, we empirically determined which hosts
+//! employed ICMP (i.e. traceroute reply) rate limiting, and filtered them
+//! from the datasets. Without such filtering, traceroute requests to rate
+//! limiting hosts would observe a higher loss rate than warranted."
+//!
+//! The detector exploits the signature of a token-bucket limiter: the
+//! *first* probe of a closely spaced burst is answered normally while
+//! follow-ups are suppressed, so a limiting host shows a dramatic gap
+//! between first-probe and follow-up loss rates. Three corrections, one per
+//! dataset family:
+//!
+//! * [`RateLimitPolicy::FilterHosts`] (UW3, UW4) — drop detected hosts
+//!   entirely, enabling paired measurements on clean hosts;
+//! * [`RateLimitPolicy::ReverseDirection`] (UW1) — keep detected hosts in
+//!   the pool but discard measurements *toward* them (the study used the
+//!   opposite direction's traceroutes);
+//! * [`RateLimitPolicy::FirstSampleOnly`] (D2) — detection is impossible
+//!   after the fact, so "only the first traceroute sample was counted
+//!   against losses".
+
+use std::collections::{HashMap, HashSet};
+
+use detour_netsim::HostId;
+
+use crate::record::Invocation;
+
+/// Follow-up-vs-first loss-rate gap above which a host is declared a rate
+/// limiter. A limiter suppresses ~85 % of follow-ups, an honest host's
+/// probes lose at path loss rates (a few percent) — the gap is huge.
+pub const DETECTION_GAP: f64 = 0.35;
+
+/// Minimum invocations targeting a host before we classify it.
+pub const MIN_INVOCATIONS: usize = 10;
+
+/// How a dataset corrects for rate-limiting hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateLimitPolicy {
+    /// Remove detected hosts (and every sample touching them).
+    FilterHosts,
+    /// Keep the hosts, but discard invocations whose *target* is detected.
+    ReverseDirection,
+    /// Keep everything; count only each invocation's first probe against
+    /// losses (later probes still contribute RTTs when they returned).
+    FirstSampleOnly,
+}
+
+/// Per-host first-probe vs follow-up loss statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostLossProfile {
+    /// Invocations targeting the host.
+    pub invocations: usize,
+    /// First-probe losses.
+    pub first_lost: usize,
+    /// Follow-up probes lost.
+    pub followup_lost: usize,
+    /// Follow-up probes sent.
+    pub followup_total: usize,
+}
+
+impl HostLossProfile {
+    /// First-probe loss rate.
+    pub fn first_loss_rate(&self) -> f64 {
+        if self.invocations == 0 {
+            return 0.0;
+        }
+        self.first_lost as f64 / self.invocations as f64
+    }
+
+    /// Follow-up probe loss rate.
+    pub fn followup_loss_rate(&self) -> f64 {
+        if self.followup_total == 0 {
+            return 0.0;
+        }
+        self.followup_lost as f64 / self.followup_total as f64
+    }
+
+    /// The detection statistic.
+    pub fn gap(&self) -> f64 {
+        self.followup_loss_rate() - self.first_loss_rate()
+    }
+}
+
+/// Computes per-target loss profiles from raw invocations.
+pub fn loss_profiles(invocations: &[Invocation]) -> HashMap<HostId, HostLossProfile> {
+    let mut map: HashMap<HostId, HostLossProfile> = HashMap::new();
+    for inv in invocations {
+        let p = map.entry(inv.dst).or_default();
+        p.invocations += 1;
+        if inv.rtts[0].is_none() {
+            p.first_lost += 1;
+        }
+        for r in &inv.rtts[1..] {
+            p.followup_total += 1;
+            if r.is_none() {
+                p.followup_lost += 1;
+            }
+        }
+    }
+    map
+}
+
+/// Empirically detects rate-limiting hosts from raw invocations.
+pub fn detect_rate_limited(invocations: &[Invocation]) -> HashSet<HostId> {
+    loss_profiles(invocations)
+        .into_iter()
+        .filter(|(_, p)| p.invocations >= MIN_INVOCATIONS && p.gap() > DETECTION_GAP)
+        .map(|(h, _)| h)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `n` invocations toward `dst` with the given per-probe return
+    /// pattern probability.
+    fn invocations(dst: u32, n: usize, followups_lost: bool) -> Vec<Invocation> {
+        (0..n)
+            .map(|i| Invocation {
+                src: HostId(999),
+                dst: HostId(dst),
+                t_s: i as f64,
+                episode: None,
+                rtts: if followups_lost {
+                    [Some(50.0), None, None]
+                } else {
+                    [Some(50.0), Some(51.0), Some(49.0)]
+                },
+                as_path: vec![1, 2],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_classic_limiter_signature() {
+        let mut invs = invocations(1, 40, true); // limiter
+        invs.extend(invocations(2, 40, false)); // honest
+        let detected = detect_rate_limited(&invs);
+        assert!(detected.contains(&HostId(1)));
+        assert!(!detected.contains(&HostId(2)));
+    }
+
+    #[test]
+    fn too_few_invocations_are_not_classified() {
+        let invs = invocations(1, MIN_INVOCATIONS - 1, true);
+        assert!(detect_rate_limited(&invs).is_empty());
+    }
+
+    #[test]
+    fn uniform_loss_is_not_rate_limiting() {
+        // A genuinely lossy path loses all probes equally — no gap.
+        let invs: Vec<Invocation> = (0..50)
+            .map(|i| Invocation {
+                src: HostId(0),
+                dst: HostId(3),
+                t_s: i as f64,
+                episode: None,
+                rtts: if i % 3 == 0 { [None, None, None] } else { [Some(80.0); 3] },
+                as_path: vec![1, 2],
+            })
+            .collect();
+        assert!(detect_rate_limited(&invs).is_empty());
+    }
+
+    #[test]
+    fn profiles_count_correctly() {
+        let invs = invocations(7, 20, true);
+        let p = loss_profiles(&invs)[&HostId(7)];
+        assert_eq!(p.invocations, 20);
+        assert_eq!(p.first_lost, 0);
+        assert_eq!(p.followup_total, 40);
+        assert_eq!(p.followup_lost, 40);
+        assert!((p.gap() - 1.0).abs() < 1e-12);
+    }
+}

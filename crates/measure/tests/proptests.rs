@@ -1,0 +1,151 @@
+//! Property-based tests for the measurement machinery: schedulers and the
+//! trace-file format must be robust to arbitrary (valid) inputs.
+
+use detour_measure::dataset::Dataset;
+use detour_measure::record::{HostMeta, ProbeSample, TransferSample};
+use detour_measure::tracefile;
+use detour_measure::{HostId, Schedule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn host_meta() -> impl Strategy<Value = HostMeta> {
+    (0u32..50, 0u16..300, any::<bool>(), "[a-z0-9.-]{1,24}").prop_map(
+        |(id, asn, limited, name)| HostMeta {
+            id: HostId(id),
+            asn,
+            truly_rate_limited: limited,
+            name,
+        },
+    )
+}
+
+fn probe() -> impl Strategy<Value = ProbeSample> {
+    (
+        0u32..50,
+        0u32..50,
+        0.0..1e6f64,
+        0u8..3,
+        proptest::option::of(0.01..5e3f64),
+        any::<bool>(),
+        proptest::option::of(0u32..2000),
+        0u32..5,
+    )
+        .prop_map(|(s, d, t, k, rtt, le, ep, path)| ProbeSample {
+            src: HostId(s),
+            dst: HostId(d),
+            t_s: t,
+            probe_index: k,
+            rtt_ms: rtt,
+            loss_eligible: le,
+            episode: ep,
+            path_idx: path,
+        })
+}
+
+fn transfer() -> impl Strategy<Value = TransferSample> {
+    (0u32..50, 0u32..50, 0.0..1e6f64, 0.1..5e3f64, 0.0..1.0f64, 0.01..1e5f64).prop_map(
+        |(s, d, t, rtt, loss, bw)| TransferSample {
+            src: HostId(s),
+            dst: HostId(d),
+            t_s: t,
+            rtt_ms: rtt,
+            loss_rate: loss,
+            bandwidth_kbps: bw,
+        },
+    )
+}
+
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (
+        proptest::collection::vec(host_meta(), 0..8),
+        proptest::collection::vec(probe(), 0..40),
+        proptest::collection::vec(transfer(), 0..10),
+        proptest::collection::vec(proptest::collection::vec(0u16..300, 1..6), 1..6),
+        1.0..1e7f64,
+    )
+        .prop_map(|(hosts, mut probes, transfers, as_paths, duration_s)| {
+            // Keep path indices in range for the generated pool.
+            let n_paths = as_paths.len() as u32;
+            for p in probes.iter_mut() {
+                p.path_idx %= n_paths;
+            }
+            Dataset {
+                name: "prop".into(),
+                hosts,
+                probes,
+                transfers,
+                as_paths,
+                duration_s,
+                detected_rate_limited: vec![],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tracefile_roundtrips_any_dataset(ds in dataset()) {
+        let text = tracefile::to_string(&ds);
+        let back = tracefile::from_str(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&back.hosts, &ds.hosts);
+        prop_assert_eq!(&back.probes, &ds.probes);
+        prop_assert_eq!(&back.transfers, &ds.transfers);
+        prop_assert_eq!(&back.as_paths, &ds.as_paths);
+        prop_assert_eq!(back.duration_s, ds.duration_s);
+    }
+
+    #[test]
+    fn characteristics_never_panic_and_stay_bounded(ds in dataset()) {
+        let c = ds.characteristics();
+        prop_assert!(c.coverage_pct >= 0.0);
+        prop_assert!(c.duration_days > 0.0);
+        prop_assert!(c.measurements <= ds.probes.len() + ds.transfers.len());
+    }
+
+    #[test]
+    fn schedules_are_in_window_and_never_self_target(
+        seed in any::<u64>(),
+        n_hosts in 2usize..10,
+        duration in 600.0..86_400.0f64,
+        mean in 10.0..3600.0f64,
+    ) {
+        let hosts: Vec<HostId> = (0..n_hosts as u32).map(HostId).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sched in [
+            Schedule::PerHostUniform { mean_s: mean },
+            Schedule::PairwiseExponential { mean_s: mean },
+            Schedule::PairwiseExponentialPaired { mean_s: mean },
+            Schedule::Episodes { mean_gap_s: mean.max(600.0) },
+        ] {
+            for r in sched.generate(&hosts, duration, &mut rng) {
+                prop_assert!(r.t_s >= 0.0 && r.t_s < duration);
+                prop_assert!(r.src != r.dst);
+                prop_assert!(hosts.contains(&r.src) && hosts.contains(&r.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn episode_schedules_share_timestamps(
+        seed in any::<u64>(),
+        n_hosts in 2usize..7,
+    ) {
+        let hosts: Vec<HostId> = (0..n_hosts as u32).map(HostId).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reqs = Schedule::Episodes { mean_gap_s: 1800.0 }
+            .generate(&hosts, 86_400.0, &mut rng);
+        let per_episode = n_hosts * (n_hosts - 1);
+        prop_assert_eq!(reqs.len() % per_episode, 0);
+        for chunk in reqs.chunks(per_episode) {
+            let t0 = chunk[0].t_s;
+            let e0 = chunk[0].episode;
+            for r in chunk {
+                prop_assert_eq!(r.t_s, t0);
+                prop_assert_eq!(r.episode, e0);
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Geography: cities, great-circle distances, fiber propagation delay.
+//!
+//! The paper's hosts are "geographically diverse" (North America for
+//! D2-NA/N2-NA/UW*, world-wide for D2/N2), and §7.2 decomposes round-trip
+//! time into *propagation delay* ("primarily physical transmission latency")
+//! and queuing delay. To reproduce that decomposition the simulator needs a
+//! physical embedding: every router lives at a city, and every link's
+//! propagation delay follows from the great-circle distance between its
+//! endpoints at the speed of light in fiber.
+
+/// A point on the globe, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Great-circle distance to `other` in kilometers (haversine formula on
+    /// a spherical Earth of radius 6371 km).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        const EARTH_RADIUS_KM: f64 = 6371.0;
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// One-way propagation delay in milliseconds for a fiber run of
+/// `distance_km`, assuming light travels at ~2/3 c in fiber (≈ 200 km/ms)
+/// and that cable paths are ~30 % longer than the great circle (routing of
+/// physical conduit along roads, rails and sea beds).
+pub fn fiber_delay_ms(distance_km: f64) -> f64 {
+    const KM_PER_MS: f64 = 200.0;
+    const CABLE_STRETCH: f64 = 1.3;
+    // Even co-located equipment pays serialization/forwarding overhead.
+    const FLOOR_MS: f64 = 0.05;
+    (distance_km * CABLE_STRETCH / KM_PER_MS).max(FLOOR_MS)
+}
+
+/// Coarse world regions; used for host selection (North-America-only
+/// datasets vs. world datasets) and to give each city a local clock for the
+/// diurnal load model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// US/Canada Pacific.
+    NaWest,
+    /// US/Canada Mountain + Central.
+    NaCentral,
+    /// US/Canada Eastern.
+    NaEast,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Australia / New Zealand.
+    Oceania,
+    /// South America.
+    SouthAmerica,
+}
+
+impl Region {
+    /// True for the three North-American regions.
+    pub fn is_north_america(&self) -> bool {
+        matches!(self, Region::NaWest | Region::NaCentral | Region::NaEast)
+    }
+}
+
+/// A city a router (POP) can be homed at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct City {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Location on the globe.
+    pub loc: GeoPoint,
+    /// Offset of local time from UTC in hours (standard time; the diurnal
+    /// model does not bother with daylight saving).
+    pub utc_offset_hours: i8,
+    /// Region the city belongs to.
+    pub region: Region,
+}
+
+/// Index into [`CITIES`].
+pub type CityId = usize;
+
+macro_rules! city {
+    ($name:literal, $lat:expr, $lon:expr, $tz:expr, $region:ident) => {
+        City {
+            name: $name,
+            loc: GeoPoint { lat: $lat, lon: $lon },
+            utc_offset_hours: $tz,
+            region: Region::$region,
+        }
+    };
+}
+
+/// The city database: 28 North-American cities (matching the paper's
+/// NA-heavy host pools) plus 14 world cities for the D2/N2 world datasets.
+pub const CITIES: &[City] = &[
+    // --- North America: West ---
+    city!("Seattle", 47.61, -122.33, -8, NaWest),
+    city!("Portland", 45.52, -122.68, -8, NaWest),
+    city!("San Francisco", 37.77, -122.42, -8, NaWest),
+    city!("Palo Alto", 37.44, -122.14, -8, NaWest),
+    city!("Los Angeles", 34.05, -118.24, -8, NaWest),
+    city!("San Diego", 32.72, -117.16, -8, NaWest),
+    city!("Vancouver", 49.28, -123.12, -8, NaWest),
+    // --- North America: Mountain/Central ---
+    city!("Denver", 39.74, -104.99, -7, NaCentral),
+    city!("Salt Lake City", 40.76, -111.89, -7, NaCentral),
+    city!("Phoenix", 33.45, -112.07, -7, NaCentral),
+    city!("Dallas", 32.78, -96.80, -6, NaCentral),
+    city!("Houston", 29.76, -95.37, -6, NaCentral),
+    city!("Austin", 30.27, -97.74, -6, NaCentral),
+    city!("Chicago", 41.88, -87.63, -6, NaCentral),
+    city!("Minneapolis", 44.98, -93.27, -6, NaCentral),
+    city!("St. Louis", 38.63, -90.20, -6, NaCentral),
+    city!("Kansas City", 39.10, -94.58, -6, NaCentral),
+    // --- North America: East ---
+    city!("New York", 40.71, -74.01, -5, NaEast),
+    city!("Washington DC", 38.91, -77.04, -5, NaEast),
+    city!("Boston", 42.36, -71.06, -5, NaEast),
+    city!("Philadelphia", 39.95, -75.17, -5, NaEast),
+    city!("Atlanta", 33.75, -84.39, -5, NaEast),
+    city!("Miami", 25.76, -80.19, -5, NaEast),
+    city!("Pittsburgh", 40.44, -79.99, -5, NaEast),
+    city!("Toronto", 43.65, -79.38, -5, NaEast),
+    city!("Montreal", 45.50, -73.57, -5, NaEast),
+    city!("Raleigh", 35.78, -78.64, -5, NaEast),
+    city!("Ann Arbor", 42.28, -83.74, -5, NaEast),
+    // --- Europe ---
+    city!("London", 51.51, -0.13, 0, Europe),
+    city!("Amsterdam", 52.37, 4.90, 1, Europe),
+    city!("Paris", 48.86, 2.35, 1, Europe),
+    city!("Frankfurt", 50.11, 8.68, 1, Europe),
+    city!("Stockholm", 59.33, 18.07, 1, Europe),
+    city!("Geneva", 46.20, 6.14, 1, Europe),
+    // --- Asia ---
+    city!("Tokyo", 35.68, 139.69, 9, Asia),
+    city!("Seoul", 37.57, 126.98, 9, Asia),
+    city!("Singapore", 1.35, 103.82, 8, Asia),
+    city!("Taipei", 25.03, 121.57, 8, Asia),
+    // --- Oceania ---
+    city!("Sydney", -33.87, 151.21, 10, Oceania),
+    city!("Melbourne", -37.81, 144.96, 10, Oceania),
+    // --- South America ---
+    city!("Sao Paulo", -23.55, -46.63, -3, SouthAmerica),
+    city!("Buenos Aires", -34.60, -58.38, -3, SouthAmerica),
+];
+
+/// Indices of all North-American cities.
+pub fn north_american_cities() -> Vec<CityId> {
+    CITIES
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.region.is_north_america())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Indices of all cities.
+pub fn all_cities() -> Vec<CityId> {
+    (0..CITIES.len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city_by_name(name: &str) -> &'static City {
+        CITIES.iter().find(|c| c.name == name).expect("city exists")
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        for c in CITIES {
+            assert!(c.loc.distance_km(&c.loc) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = city_by_name("Seattle").loc;
+        let b = city_by_name("Miami").loc;
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seattle_to_boston_is_about_4000_km() {
+        let d = city_by_name("Seattle").loc.distance_km(&city_by_name("Boston").loc);
+        assert!((3900.0..4200.0).contains(&d), "got {d} km");
+    }
+
+    #[test]
+    fn transpacific_distance_is_large() {
+        let d = city_by_name("San Francisco").loc.distance_km(&city_by_name("Tokyo").loc);
+        assert!((8000.0..8700.0).contains(&d), "got {d} km");
+    }
+
+    #[test]
+    fn fiber_delay_has_floor() {
+        assert_eq!(fiber_delay_ms(0.0), 0.05);
+    }
+
+    #[test]
+    fn coast_to_coast_one_way_delay_is_tens_of_ms() {
+        // SEA→NYC great circle ≈ 3,870 km → ~25 ms one-way with stretch;
+        // real-world coast-to-coast RTTs of 60-80 ms make this plausible.
+        let d = city_by_name("Seattle").loc.distance_km(&city_by_name("New York").loc);
+        let ms = fiber_delay_ms(d);
+        assert!((20.0..35.0).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn region_partition_is_sane() {
+        let na = north_american_cities();
+        assert!(na.len() >= 20, "need a rich NA pool, got {}", na.len());
+        assert!(CITIES.len() - na.len() >= 10, "need a world pool too");
+        for &i in &na {
+            assert!(CITIES[i].region.is_north_america());
+        }
+    }
+
+    #[test]
+    fn utc_offsets_are_plausible() {
+        for c in CITIES {
+            assert!((-12..=14).contains(&(c.utc_offset_hours as i32)), "{}", c.name);
+        }
+    }
+}

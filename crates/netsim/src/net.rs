@@ -1,0 +1,372 @@
+//! The assembled network: topology + routing + load, queried over time.
+//!
+//! [`Network`] is the simulator's public face. Everything above it (the
+//! measurement machinery, the datasets) sees only *observable* behavior —
+//! resolve a path, send a probe, run a transfer — mirroring the information
+//! barrier real measurement tools face: they cannot see utilization or
+//! routing tables, only packets.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::routing::flaps::{FlapConfig, FlapSchedule};
+use crate::routing::path::{ResolvedPath, Resolver};
+use crate::routing::RoutingMode;
+use crate::sim::clock::SimTime;
+use crate::topology::generator::{self, Era, TopologyConfig};
+use crate::topology::{AsId, Host, HostId, Topology};
+use crate::traffic::load::{LoadConfig, LoadModel};
+
+/// Everything needed to build a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Topology shape.
+    pub topology: TopologyConfig,
+    /// Load process tuning.
+    pub load: LoadConfig,
+    /// Route-flap process tuning.
+    pub flaps: FlapConfig,
+    /// Path-selection mode (the ablation knob).
+    pub mode: RoutingMode,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Simulated horizon in seconds (trace duration).
+    pub horizon_s: f64,
+}
+
+impl NetworkConfig {
+    /// Era defaults with the given seed and horizon in days.
+    pub fn for_era(era: Era, seed: u64, horizon_days: f64) -> NetworkConfig {
+        NetworkConfig {
+            topology: TopologyConfig::for_era(era),
+            load: LoadConfig::for_era(era),
+            flaps: FlapConfig::default(),
+            mode: RoutingMode::PolicyHotPotato,
+            seed,
+            horizon_s: horizon_days * 86_400.0,
+        }
+    }
+}
+
+/// Fixed per-router forwarding/processing delay, one way, milliseconds.
+pub const PER_HOP_PROCESSING_MS: f64 = 0.05;
+
+/// Outcome of pushing one packet across a resolved path once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitOutcome {
+    /// Total one-way delay (propagation + queuing + processing), ms.
+    /// Meaningful even when `lost` (the delay accumulated up to the drop is
+    /// not reported separately; callers treat lost packets as lost).
+    pub delay_ms: f64,
+    /// Whether the packet was dropped on some link.
+    pub lost: bool,
+}
+
+/// A generated network instance.
+pub struct Network {
+    /// The static topology (public: analyses inspect AS ownership etc.).
+    pub topology: Topology,
+    resolver: Resolver,
+    load: LoadModel,
+    flap_cfg: FlapConfig,
+    mode: RoutingMode,
+    seed: u64,
+    horizon_s: f64,
+    flap_cache: RefCell<HashMap<(AsId, AsId), Rc<FlapSchedule>>>,
+    path_cache: RefCell<HashMap<(u32, u32, bool), Rc<ResolvedPath>>>,
+}
+
+impl Network {
+    /// Generates a network from `cfg`. Deterministic in `cfg.seed`.
+    pub fn generate(cfg: &NetworkConfig) -> Network {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let topology = generator::generate(&cfg.topology, &mut rng);
+        let resolver = Resolver::new(&topology);
+        let load = LoadModel::generate(&topology, cfg.load, cfg.seed, cfg.horizon_s);
+        Network {
+            topology,
+            resolver,
+            load,
+            flap_cfg: cfg.flaps,
+            mode: cfg.mode,
+            seed: cfg.seed,
+            horizon_s: cfg.horizon_s,
+            flap_cache: RefCell::new(HashMap::new()),
+            path_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.topology.hosts
+    }
+
+    /// One host.
+    pub fn host(&self, id: HostId) -> &Host {
+        self.topology.host(id)
+    }
+
+    /// The routing state (read-only; used by analyses and tests).
+    pub fn resolver(&self) -> &Resolver {
+        &self.resolver
+    }
+
+    /// The load model (read-only; used by ablation benches).
+    pub fn load(&self) -> &LoadModel {
+        &self.load
+    }
+
+    /// Routing mode in force.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    /// Simulated horizon, seconds.
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// The flap schedule for an ordered AS pair (cached).
+    fn flaps(&self, src: AsId, dst: AsId) -> Rc<FlapSchedule> {
+        self.flap_cache
+            .borrow_mut()
+            .entry((src, dst))
+            .or_insert_with(|| {
+                Rc::new(FlapSchedule::generate(
+                    &self.flap_cfg,
+                    self.seed,
+                    src,
+                    dst,
+                    self.horizon_s,
+                ))
+            })
+            .clone()
+    }
+
+    /// Resolves the forward router path from `src` to `dst` hosts at time
+    /// `t`, honoring any active flap episode at the source AS.
+    ///
+    /// Returns `None` when routing cannot produce a path (does not happen
+    /// on generated topologies, but callers must treat it as a measurement
+    /// failure, not a panic — real traceroutes fail too).
+    pub fn forward_path(&self, src: HostId, dst: HostId, t: SimTime) -> Option<Rc<ResolvedPath>> {
+        let sr = self.topology.host(src).router;
+        let dr = self.topology.host(dst).router;
+        let (sa, da) = (self.topology.host(src).asn, self.topology.host(dst).asn);
+        let flapped =
+            self.mode != RoutingMode::GlobalShortestDelay && self.flaps(sa, da).active_at(t.0);
+        let key = (sr.0, dr.0, flapped);
+        if let Some(p) = self.path_cache.borrow().get(&key) {
+            return Some(p.clone());
+        }
+        let p = Rc::new(self.resolver.resolve(&self.topology, sr, dr, self.mode, flapped)?);
+        self.path_cache.borrow_mut().insert(key, p.clone());
+        Some(p)
+    }
+
+    /// Sends one packet across `path` at time `t`, sampling queuing delay
+    /// and loss on each link.
+    pub fn transit(&self, path: &ResolvedPath, t: SimTime, rng: &mut impl Rng) -> TransitOutcome {
+        let mut delay = PER_HOP_PROCESSING_MS * path.routers.len() as f64;
+        let mut lost = false;
+        for &l in &path.links {
+            let link = self.topology.link(l);
+            let s = self.load.sample(l, t, rng);
+            delay += link.prop_delay_ms + s.queue_delay_ms;
+            if s.lost {
+                lost = true;
+            }
+        }
+        TransitOutcome { delay_ms: delay, lost }
+    }
+
+    /// Like [`Network::transit`] but over only the first `prefix_links`
+    /// links of `path` (traceroute probing an intermediate hop).
+    pub fn transit_prefix(
+        &self,
+        path: &ResolvedPath,
+        prefix_links: usize,
+        t: SimTime,
+        rng: &mut impl Rng,
+    ) -> TransitOutcome {
+        let n = prefix_links.min(path.links.len());
+        let mut delay = PER_HOP_PROCESSING_MS * (n + 1) as f64;
+        let mut lost = false;
+        for &l in &path.links[..n] {
+            let link = self.topology.link(l);
+            let s = self.load.sample(l, t, rng);
+            delay += link.prop_delay_ms + s.queue_delay_ms;
+            if s.lost {
+                lost = true;
+            }
+        }
+        TransitOutcome { delay_ms: delay, lost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        Network::generate(&NetworkConfig::for_era(Era::Y1999, 77, 7.0))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = net();
+        let b = net();
+        assert_eq!(a.hosts().len(), b.hosts().len());
+        let t = SimTime::from_hours(40.0);
+        let (h0, h1) = (a.hosts()[0].id, a.hosts()[7].id);
+        let pa = a.forward_path(h0, h1, t).unwrap();
+        let pb = b.forward_path(h0, h1, t).unwrap();
+        assert_eq!(pa.routers, pb.routers);
+    }
+
+    #[test]
+    fn forward_paths_exist_between_all_host_pairs() {
+        let n = net();
+        let hosts: Vec<HostId> = n.hosts().iter().map(|h| h.id).collect();
+        let t = SimTime::from_hours(10.0);
+        for &s in hosts.iter().take(12) {
+            for &d in hosts.iter().rev().take(12) {
+                if s != d {
+                    assert!(n.forward_path(s, d, t).is_some(), "{s:?}→{d:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transit_delay_exceeds_propagation() {
+        let n = net();
+        let t = SimTime::from_hours(34.0);
+        let p = n.forward_path(n.hosts()[0].id, n.hosts()[9].id, t).unwrap();
+        let prop = p.prop_delay_ms(&n.topology);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let out = n.transit(&p, t, &mut rng);
+            assert!(out.delay_ms > prop, "queuing must add delay");
+        }
+    }
+
+    #[test]
+    fn busy_hours_are_slower_on_average() {
+        let n = net();
+        let p = n.forward_path(n.hosts()[2].id, n.hosts()[11].id, SimTime::ZERO).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let avg = |t: SimTime, rng: &mut StdRng| -> f64 {
+            (0..300).map(|_| n.transit(&p, t, rng).delay_ms).sum::<f64>() / 300.0
+        };
+        // Tuesday 11:00 PST vs Tuesday 03:30 PST (most hosts are NA).
+        let busy = avg(SimTime::from_hours(24.0 + 19.0), &mut rng);
+        let quiet = avg(SimTime::from_hours(24.0 + 11.5), &mut rng);
+        assert!(busy > quiet, "busy {busy} vs quiet {quiet}");
+    }
+
+    #[test]
+    fn losses_happen_but_are_not_dominant() {
+        let n = net();
+        let t = SimTime::from_hours(30.0);
+        let hosts: Vec<HostId> = n.hosts().iter().map(|h| h.id).collect();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut lost = 0;
+        let mut total = 0;
+        for &s in hosts.iter().take(10) {
+            for &d in hosts.iter().rev().take(10) {
+                if s == d {
+                    continue;
+                }
+                let p = n.forward_path(s, d, t).unwrap();
+                for _ in 0..20 {
+                    total += 1;
+                    if n.transit(&p, t, &mut rng).lost {
+                        lost += 1;
+                    }
+                }
+            }
+        }
+        let rate = lost as f64 / total as f64;
+        assert!(rate > 0.001, "some loss expected, got {rate}");
+        assert!(rate < 0.25, "loss should not dominate, got {rate}");
+    }
+
+    #[test]
+    fn prefix_transit_is_cheaper_than_full() {
+        let n = net();
+        let t = SimTime::from_hours(16.0);
+        let p = n.forward_path(n.hosts()[1].id, n.hosts()[13].id, t).unwrap();
+        assert!(p.links.len() >= 2);
+        let mut rng = StdRng::seed_from_u64(21);
+        let prefix_avg: f64 =
+            (0..100).map(|_| n.transit_prefix(&p, 1, t, &mut rng).delay_ms).sum::<f64>() / 100.0;
+        let full_avg: f64 =
+            (0..100).map(|_| n.transit(&p, t, &mut rng).delay_ms).sum::<f64>() / 100.0;
+        assert!(prefix_avg < full_avg);
+    }
+
+    #[test]
+    fn route_flaps_change_paths_over_time() {
+        // Crank the flap process (an episode every ~2 h, ~30 min long) so
+        // the 2-day horizon reliably contains flapped measurement times for
+        // some pair, then observe forward_path switching routes.
+        let mut cfg = NetworkConfig::for_era(Era::Y1999, 515, 2.0);
+        cfg.flaps = crate::routing::flaps::FlapConfig {
+            mean_interval_s: 2.0 * 3600.0,
+            mean_duration_s: 30.0 * 60.0,
+        };
+        let n = Network::generate(&cfg);
+        let hosts: Vec<HostId> = n.hosts().iter().map(|h| h.id).collect();
+        let mut saw_change = false;
+        'outer: for &s in hosts.iter().take(12) {
+            for &d in hosts.iter().rev().take(12) {
+                if s == d {
+                    continue;
+                }
+                let baseline = n.forward_path(s, d, SimTime::ZERO).unwrap();
+                for hour in 1..48 {
+                    let p = n.forward_path(s, d, SimTime::from_hours(hour as f64)).unwrap();
+                    if p.routers != baseline.routers {
+                        saw_change = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(saw_change, "no pair ever flapped in 48 hours at high flap rate");
+    }
+
+    #[test]
+    fn global_mode_ignores_flaps() {
+        let mut cfg = NetworkConfig::for_era(Era::Y1999, 515, 2.0);
+        cfg.flaps = crate::routing::flaps::FlapConfig {
+            mean_interval_s: 3600.0,
+            mean_duration_s: 1800.0,
+        };
+        cfg.mode = RoutingMode::GlobalShortestDelay;
+        let n = Network::generate(&cfg);
+        let (s, d) = (n.hosts()[0].id, n.hosts()[9].id);
+        let baseline = n.forward_path(s, d, SimTime::ZERO).unwrap();
+        for hour in 1..48 {
+            let p = n.forward_path(s, d, SimTime::from_hours(hour as f64)).unwrap();
+            assert_eq!(p.routers, baseline.routers, "ideal routing must be static");
+        }
+    }
+
+    #[test]
+    fn path_cache_is_transparent() {
+        let n = net();
+        let t = SimTime::from_hours(5.0);
+        let (s, d) = (n.hosts()[0].id, n.hosts()[4].id);
+        let a = n.forward_path(s, d, t).unwrap();
+        let b = n.forward_path(s, d, t).unwrap();
+        assert!(Rc::ptr_eq(&a, &b), "second resolution should hit the cache");
+    }
+}

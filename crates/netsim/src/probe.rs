@@ -1,0 +1,322 @@
+//! Active probing: `ping` and `traceroute` semantics.
+//!
+//! The UW datasets were collected through public traceroute servers
+//! (paper §4.2): each `traceroute` invocation walks the forward path with
+//! TTL-limited probes and "takes three consecutive samples of the round
+//! trip time to the end host". Two behaviors of that machinery matter to
+//! the data and are modeled here:
+//!
+//! * **ICMP rate limiting** — some hosts throttle their ICMP responses, so
+//!   "traceroute requests to rate limiting hosts would observe a higher
+//!   loss rate than warranted"; the first closely spaced probe is answered,
+//!   later ones usually are not.
+//! * **Asymmetric return paths** — replies from the destination travel the
+//!   *reverse-routed* path, which policy routing often makes different from
+//!   the forward one.
+//!
+//! Replies from intermediate routers are modeled as retracing the forward
+//! prefix. (Real reverse paths from transit routers could differ; computing
+//! them would require per-router routing state that traceroute itself
+//! cannot observe either — the end-host samples, which all analyses use,
+//! do take the true reverse path.)
+
+use rand::Rng;
+
+use crate::net::Network;
+use crate::sim::clock::SimTime;
+use crate::topology::{AsId, HostId, RouterId};
+
+/// Result of a single echo ("ping") exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingResult {
+    /// Round-trip time; `None` when the probe or its reply was lost.
+    pub rtt_ms: Option<f64>,
+}
+
+/// One traceroute hop: the responding router and its three RTT samples.
+#[derive(Debug, Clone)]
+pub struct TracerouteHop {
+    /// Responding router.
+    pub router: RouterId,
+    /// AS that owns the router (traceroutes reveal AS paths — Figure 14
+    /// maps hops to ASes).
+    pub asn: AsId,
+    /// Three RTT samples; `None` entries were lost.
+    pub rtts: [Option<f64>; 3],
+}
+
+/// Result of one traceroute invocation.
+#[derive(Debug, Clone)]
+pub struct TracerouteResult {
+    /// Per-hop records, source-adjacent first. The final entry is the
+    /// destination host's attachment router.
+    pub hops: Vec<TracerouteHop>,
+    /// Whether the destination responded to at least one probe.
+    pub reached: bool,
+    /// Wall-clock the invocation took, seconds (probes are sequential).
+    pub elapsed_s: f64,
+}
+
+impl TracerouteResult {
+    /// The three end-host RTT samples (the measurements every analysis
+    /// consumes). Empty if the path never resolved.
+    pub fn destination_samples(&self) -> [Option<f64>; 3] {
+        self.hops.last().map_or([None; 3], |h| h.rtts)
+    }
+
+    /// The AS-level path observed, consecutive duplicates collapsed.
+    pub fn as_path(&self) -> Vec<AsId> {
+        let mut out: Vec<AsId> = Vec::new();
+        for h in &self.hops {
+            if out.last() != Some(&h.asn) {
+                out.push(h.asn);
+            }
+        }
+        out
+    }
+}
+
+/// Probability that a rate-limiting host answers a closely following probe
+/// (the first probe of a burst is always eligible).
+const RATE_LIMITED_FOLLOWUP_RESPONSE_PROB: f64 = 0.15;
+
+/// ICMP response-generation delay at a router or host, milliseconds
+/// (sampled uniformly; slow-path packet handling).
+const ICMP_GEN_DELAY_RANGE_MS: (f64, f64) = (0.1, 1.2);
+
+/// One echo exchange between hosts: forward transit, destination
+/// processing, reverse transit over the *reverse-routed* path.
+pub fn ping(
+    net: &Network,
+    src: HostId,
+    dst: HostId,
+    t: SimTime,
+    rng: &mut impl Rng,
+) -> PingResult {
+    let Some(fwd) = net.forward_path(src, dst, t) else {
+        return PingResult { rtt_ms: None };
+    };
+    let Some(rev) = net.forward_path(dst, src, t) else {
+        return PingResult { rtt_ms: None };
+    };
+    let out = net.transit(&fwd, t, rng);
+    if out.lost {
+        return PingResult { rtt_ms: None };
+    }
+    let t_reply = t.plus_secs(out.delay_ms / 1000.0);
+    let back = net.transit(&rev, t_reply, rng);
+    if back.lost {
+        return PingResult { rtt_ms: None };
+    }
+    let icmp = rng.gen_range(ICMP_GEN_DELAY_RANGE_MS.0..ICMP_GEN_DELAY_RANGE_MS.1);
+    PingResult { rtt_ms: Some(out.delay_ms + icmp + back.delay_ms) }
+}
+
+/// A full traceroute invocation from `src` to `dst` starting at time `t`.
+///
+/// Each hop along the forward path is probed three times sequentially;
+/// probes to intermediate routers retrace the forward prefix, probes to the
+/// destination host return along the true reverse path and are subject to
+/// the destination's ICMP rate limiting.
+pub fn traceroute(
+    net: &Network,
+    src: HostId,
+    dst: HostId,
+    t: SimTime,
+    rng: &mut impl Rng,
+) -> TracerouteResult {
+    const PROBE_TIMEOUT_S: f64 = 5.0;
+    const INTER_PROBE_GAP_S: f64 = 0.05;
+
+    let Some(fwd) = net.forward_path(src, dst, t) else {
+        return TracerouteResult { hops: Vec::new(), reached: false, elapsed_s: 0.0 };
+    };
+    let rev = net.forward_path(dst, src, t);
+    let dst_rate_limited = net.host(dst).icmp_rate_limited;
+
+    let mut now = t;
+    let mut hops = Vec::new();
+    let n_hops = fwd.links.len();
+    for hop in 1..=n_hops {
+        let router = fwd.routers[hop];
+        let asn = net.topology.router(router).asn;
+        let is_destination = hop == n_hops;
+        let mut rtts = [None; 3];
+        for (k, slot) in rtts.iter_mut().enumerate() {
+            // Rate limiting: the first probe of the burst is answered;
+            // follow-ups to a limiting destination usually are not.
+            let suppressed = is_destination
+                && dst_rate_limited
+                && k > 0
+                && !rng.gen_bool(RATE_LIMITED_FOLLOWUP_RESPONSE_PROB);
+            if suppressed {
+                now = now.plus_secs(PROBE_TIMEOUT_S);
+                continue;
+            }
+            let out = net.transit_prefix(&fwd, hop, now, rng);
+            if out.lost {
+                now = now.plus_secs(PROBE_TIMEOUT_S);
+                continue;
+            }
+            let t_reply = now.plus_secs(out.delay_ms / 1000.0);
+            let back = if is_destination {
+                match &rev {
+                    Some(rev) => net.transit(rev, t_reply, rng),
+                    None => {
+                        now = now.plus_secs(PROBE_TIMEOUT_S);
+                        continue;
+                    }
+                }
+            } else {
+                // Intermediate routers: retrace the forward prefix.
+                net.transit_prefix(&fwd, hop, t_reply, rng)
+            };
+            if back.lost {
+                now = now.plus_secs(PROBE_TIMEOUT_S);
+                continue;
+            }
+            let icmp = rng.gen_range(ICMP_GEN_DELAY_RANGE_MS.0..ICMP_GEN_DELAY_RANGE_MS.1);
+            let rtt = out.delay_ms + icmp + back.delay_ms;
+            *slot = Some(rtt);
+            now = now.plus_secs(rtt / 1000.0 + INTER_PROBE_GAP_S);
+        }
+        hops.push(TracerouteHop { router, asn, rtts });
+    }
+    let reached = hops.last().is_some_and(|h| h.rtts.iter().any(Option::is_some));
+    TracerouteResult { hops, reached, elapsed_s: now.0 - t.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetworkConfig;
+    use crate::topology::generator::Era;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        Network::generate(&NetworkConfig::for_era(Era::Y1999, 1234, 7.0))
+    }
+
+    fn pick_hosts(net: &Network, limited: bool) -> (HostId, HostId) {
+        let src = net.hosts()[0].id;
+        let dst = net
+            .hosts()
+            .iter()
+            .find(|h| h.icmp_rate_limited == limited && h.id != src && h.asn != net.host(src).asn)
+            .expect("host with requested limiting exists")
+            .id;
+        (src, dst)
+    }
+
+    #[test]
+    fn ping_rtt_is_plausible() {
+        let n = net();
+        let (s, d) = pick_hosts(&n, false);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = SimTime::from_hours(20.0);
+        let mut got = 0;
+        for _ in 0..50 {
+            if let Some(rtt) = ping(&n, s, d, t, &mut rng).rtt_ms {
+                assert!((0.1..2000.0).contains(&rtt), "rtt {rtt}");
+                got += 1;
+            }
+        }
+        assert!(got > 25, "most pings should succeed, got {got}/50");
+    }
+
+    #[test]
+    fn traceroute_reports_every_hop() {
+        let n = net();
+        let (s, d) = pick_hosts(&n, false);
+        let t = SimTime::from_hours(30.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tr = traceroute(&n, s, d, t, &mut rng);
+        let fwd = n.forward_path(s, d, t).unwrap();
+        assert_eq!(tr.hops.len(), fwd.links.len());
+        assert!(tr.reached);
+        assert_eq!(tr.hops.last().unwrap().router, n.host(d).router);
+        assert!(tr.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn hop_rtts_generally_increase_along_the_path() {
+        // Not strictly monotone (queuing noise), but the last hop's mean
+        // must exceed the first hop's mean on a multi-AS path.
+        let n = net();
+        let (s, d) = pick_hosts(&n, false);
+        let t = SimTime::from_hours(26.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut first = Vec::new();
+        let mut last = Vec::new();
+        for _ in 0..20 {
+            let tr = traceroute(&n, s, d, t, &mut rng);
+            if let Some(h) = tr.hops.first() {
+                first.extend(h.rtts.iter().flatten());
+            }
+            if let Some(h) = tr.hops.last() {
+                last.extend(h.rtts.iter().flatten());
+            }
+        }
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&last) > mean(&first));
+    }
+
+    #[test]
+    fn rate_limited_hosts_lose_followup_probes() {
+        let n = net();
+        let (s, d_lim) = pick_hosts(&n, true);
+        let (_, d_ok) = pick_hosts(&n, false);
+        let t = SimTime::from_hours(40.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let followup_loss = |dst: HostId, rng: &mut StdRng| -> f64 {
+            let mut lost = 0;
+            let mut total = 0;
+            for _ in 0..30 {
+                let tr = traceroute(&n, s, dst, t, rng);
+                let samples = tr.destination_samples();
+                for r in &samples[1..] {
+                    total += 1;
+                    if r.is_none() {
+                        lost += 1;
+                    }
+                }
+            }
+            lost as f64 / total as f64
+        };
+        let lim = followup_loss(d_lim, &mut rng);
+        let ok = followup_loss(d_ok, &mut rng);
+        assert!(
+            lim > ok + 0.3,
+            "rate-limited follow-up loss {lim} should far exceed normal {ok}"
+        );
+    }
+
+    #[test]
+    fn as_path_from_traceroute_matches_routing() {
+        let n = net();
+        let (s, d) = pick_hosts(&n, false);
+        let t = SimTime::from_hours(12.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tr = traceroute(&n, s, d, t, &mut rng);
+        let expected = n.forward_path(s, d, t).unwrap().as_sequence(&n.topology);
+        // The traceroute's AS path skips the source AS only if the first
+        // reported hop is already in the next AS; build the comparable form.
+        let mut observed = vec![n.host(s).asn];
+        observed.extend(tr.as_path());
+        observed.dedup();
+        assert_eq!(observed, expected);
+    }
+
+    #[test]
+    fn probing_is_deterministic_in_rng() {
+        let n = net();
+        let (s, d) = pick_hosts(&n, false);
+        let t = SimTime::from_hours(8.0);
+        let a = traceroute(&n, s, d, t, &mut StdRng::seed_from_u64(6));
+        let b = traceroute(&n, s, d, t, &mut StdRng::seed_from_u64(6));
+        for (x, y) in a.hops.iter().zip(&b.hops) {
+            assert_eq!(x.rtts, y.rtts);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! BGP-style policy routing at the AS level.
+//!
+//! Paper §3: "BGP does not necessarily select routes by minimizing some
+//! global metric such as hop count or delay. Instead, the network
+//! administrators at each AS define a routing policy … in the absence of
+//! explicit policy rules, most BGP routers will select the routes with the
+//! shortest number of ASes in their advertisement."
+//!
+//! We implement the canonical policy model (Gao-Rexford):
+//!
+//! * **Export rules ("no valley"):** routes learned from a customer are
+//!   exported to everyone; routes learned from a peer or provider are
+//!   exported only to customers.
+//! * **Selection:** prefer customer routes over peer routes over provider
+//!   routes (follow the money), then shortest AS path, then lowest
+//!   next-hop AS id (a deterministic stand-in for router-id tie-breaking).
+//!
+//! The solver runs three relaxation passes per destination (customer-route
+//! BFS up the provider DAG, one peer step, provider-route BFS down), which
+//! yields the unique stable solution for a hierarchy like ours. Besides the
+//! best route we retain the best route through a *different* next hop — the
+//! route the network falls back to during flap episodes
+//! ([`crate::routing::flaps`]).
+
+use std::collections::VecDeque;
+
+use crate::topology::{AsId, Topology};
+
+/// Where a route was learned from, ordered by preference (lower = better).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteKind {
+    /// The destination itself.
+    Origin,
+    /// Learned from a customer (revenue-bearing — most preferred).
+    Customer,
+    /// Learned from a settlement-free peer.
+    Peer,
+    /// Learned from a transit provider (costs money — least preferred).
+    Provider,
+}
+
+/// One candidate route at an AS toward some destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Preference class.
+    pub kind: RouteKind,
+    /// Number of AS hops to the destination.
+    pub path_len: u16,
+    /// Next AS on the path (`None` only at the origin).
+    pub next_hop: Option<AsId>,
+}
+
+impl Route {
+    /// BGP decision order: kind, then path length, then next-hop id.
+    fn rank(&self) -> (RouteKind, u16, u16) {
+        (self.kind, self.path_len, self.next_hop.map_or(0, |a| a.0))
+    }
+
+    /// True when `self` is preferred over `other`.
+    pub fn better_than(&self, other: &Route) -> bool {
+        self.rank() < other.rank()
+    }
+}
+
+/// The routing information computed for one destination AS: per-AS best
+/// route and best alternative through a different next hop.
+#[derive(Debug, Clone)]
+struct DestRib {
+    best: Vec<Option<Route>>,
+    alt: Vec<Option<Route>>,
+}
+
+/// The full inter-domain routing state: best (and fallback) routes from
+/// every AS to every destination AS.
+#[derive(Debug, Clone)]
+pub struct BgpRib {
+    n: usize,
+    /// `table[dest]` holds routes toward `dest` from every AS.
+    table: Vec<DestRib>,
+}
+
+impl BgpRib {
+    /// Solves routing for all destinations in `topo`.
+    pub fn compute(topo: &Topology) -> BgpRib {
+        let n = topo.as_count();
+        let table = (0..n).map(|d| solve_destination(topo, AsId(d as u16))).collect();
+        BgpRib { n, table }
+    }
+
+    /// The best route from `src` toward `dest`, if any.
+    pub fn route(&self, src: AsId, dest: AsId) -> Option<Route> {
+        self.table[dest.0 as usize].best[src.0 as usize]
+    }
+
+    /// The best fallback route from `src` toward `dest` whose next hop
+    /// differs from the best route's, if any.
+    pub fn fallback_route(&self, src: AsId, dest: AsId) -> Option<Route> {
+        self.table[dest.0 as usize].alt[src.0 as usize]
+    }
+
+    /// The selected AS path from `src` to `dest` (inclusive of both), or
+    /// `None` if unreachable. `use_fallback_at_source` substitutes the
+    /// source AS's fallback route for its best route (flap modeling).
+    pub fn as_path(
+        &self,
+        src: AsId,
+        dest: AsId,
+        use_fallback_at_source: bool,
+    ) -> Option<Vec<AsId>> {
+        let mut path = vec![src];
+        let mut cur = src;
+        let first = if use_fallback_at_source {
+            self.fallback_route(src, dest).or_else(|| self.route(src, dest))?
+        } else {
+            self.route(src, dest)?
+        };
+        let mut hop = first.next_hop;
+        while let Some(h) = hop {
+            // Loop guard: fallback-first paths could in principle revisit an
+            // AS; BGP's AS-path loop detection would reject such a route, so
+            // we bail out to the best path instead.
+            if path.contains(&h) {
+                return if use_fallback_at_source {
+                    self.as_path(src, dest, false)
+                } else {
+                    None
+                };
+            }
+            path.push(h);
+            cur = h;
+            if cur == dest {
+                return Some(path);
+            }
+            hop = self.route(cur, dest)?.next_hop;
+        }
+        (cur == dest).then_some(path)
+    }
+
+    /// Number of ASes covered.
+    pub fn as_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Offers `cand` to AS `at`, updating best/alt slots.
+fn offer(rib: &mut DestRib, at: AsId, cand: Route) -> bool {
+    let i = at.0 as usize;
+    match rib.best[i] {
+        None => {
+            rib.best[i] = Some(cand);
+            true
+        }
+        Some(best) if cand.better_than(&best) => {
+            rib.best[i] = Some(cand);
+            // The alt slot must always hold a route through a *different*
+            // next hop than the (new) best; drop it if it now collides, and
+            // let the demoted old best compete for the slot.
+            let mut new_alt = rib.alt[i].filter(|a| a.next_hop != cand.next_hop);
+            if best.next_hop != cand.next_hop && new_alt.map_or(true, |a| best.better_than(&a)) {
+                new_alt = Some(best);
+            }
+            rib.alt[i] = new_alt;
+            true
+        }
+        Some(best) => {
+            if cand.next_hop != best.next_hop
+                && rib.alt[i].map_or(true, |a| cand.better_than(&a))
+            {
+                rib.alt[i] = Some(cand);
+            }
+            false
+        }
+    }
+}
+
+fn solve_destination(topo: &Topology, dest: AsId) -> DestRib {
+    let n = topo.as_count();
+    let mut rib = DestRib { best: vec![None; n], alt: vec![None; n] };
+    rib.best[dest.0 as usize] =
+        Some(Route { kind: RouteKind::Origin, path_len: 0, next_hop: None });
+
+    // Pass 1 — customer routes: BFS up the provider DAG. An AS exports to
+    // its providers only routes it originated or learned from customers.
+    let mut queue = VecDeque::from([dest]);
+    while let Some(a) = queue.pop_front() {
+        let route_a = rib.best[a.0 as usize].expect("queued ASes have routes");
+        if !matches!(route_a.kind, RouteKind::Origin | RouteKind::Customer) {
+            continue;
+        }
+        for p in topo.providers_of(a) {
+            let cand =
+                Route { kind: RouteKind::Customer, path_len: route_a.path_len + 1, next_hop: Some(a) };
+            if offer(&mut rib, p, cand) {
+                queue.push_back(p);
+            }
+        }
+    }
+
+    // Pass 2 — peer routes: one lateral step. An AS exports customer/origin
+    // routes to its peers.
+    let holders: Vec<AsId> = (0..n as u16)
+        .map(AsId)
+        .filter(|&a| {
+            matches!(
+                rib.best[a.0 as usize].map(|r| r.kind),
+                Some(RouteKind::Origin) | Some(RouteKind::Customer)
+            )
+        })
+        .collect();
+    for a in holders {
+        let route_a = rib.best[a.0 as usize].unwrap();
+        for q in topo.peers_of(a) {
+            let cand =
+                Route { kind: RouteKind::Peer, path_len: route_a.path_len + 1, next_hop: Some(a) };
+            offer(&mut rib, q, cand);
+        }
+    }
+
+    // Pass 3 — provider routes: BFS down the customer DAG. An AS exports
+    // any route to its customers. Process in path-length order so shorter
+    // provider routes win deterministically.
+    let mut queue: VecDeque<AsId> = (0..n as u16)
+        .map(AsId)
+        .filter(|&a| rib.best[a.0 as usize].is_some())
+        .collect();
+    while let Some(a) = queue.pop_front() {
+        let route_a = rib.best[a.0 as usize].expect("queued ASes have routes");
+        for c in topo.customers_of(a) {
+            // Split horizon: never offer a route back to its own next hop.
+            if route_a.next_hop == Some(c) {
+                continue;
+            }
+            let cand =
+                Route { kind: RouteKind::Provider, path_len: route_a.path_len + 1, next_hop: Some(a) };
+            if offer(&mut rib, c, cand) {
+                queue.push_back(c);
+            }
+        }
+    }
+
+    rib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::generator::{generate, Era, TopologyConfig};
+    use crate::topology::AsTier;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Topology, BgpRib) {
+        let topo =
+            generate(&TopologyConfig::for_era(Era::Y1999), &mut StdRng::seed_from_u64(99));
+        let rib = BgpRib::compute(&topo);
+        (topo, rib)
+    }
+
+    #[test]
+    fn full_reachability() {
+        let (topo, rib) = setup();
+        for s in 0..topo.as_count() as u16 {
+            for d in 0..topo.as_count() as u16 {
+                assert!(
+                    rib.route(AsId(s), AsId(d)).is_some(),
+                    "AS{s} cannot reach AS{d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn as_paths_terminate_and_are_loop_free() {
+        let (topo, rib) = setup();
+        for s in 0..topo.as_count() as u16 {
+            for d in 0..topo.as_count() as u16 {
+                let p = rib.as_path(AsId(s), AsId(d), false).expect("path exists");
+                assert_eq!(p[0], AsId(s));
+                assert_eq!(*p.last().unwrap(), AsId(d));
+                let mut sorted = p.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), p.len(), "loop in {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn as_path_length_matches_route_len() {
+        let (topo, rib) = setup();
+        for s in 0..topo.as_count() as u16 {
+            for d in 0..topo.as_count() as u16 {
+                let r = rib.route(AsId(s), AsId(d)).unwrap();
+                let p = rib.as_path(AsId(s), AsId(d), false).unwrap();
+                assert_eq!(p.len() as u16 - 1, r.path_len, "AS{s}→AS{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_obey_no_valley() {
+        // Along a valid Gao-Rexford path the edge types must match
+        // "uphill* (peer)? downhill*": once you go down (provider→customer)
+        // or across (peer), you may never go up or across again.
+        let (topo, rib) = setup();
+        let rel = |a: AsId, b: AsId| -> &'static str {
+            if topo.providers_of(a).any(|p| p == b) {
+                "up" // a's provider is b: a→b goes uphill
+            } else if topo.customers_of(a).any(|c| c == b) {
+                "down"
+            } else if topo.peers_of(a).any(|p| p == b) {
+                "peer"
+            } else {
+                panic!("adjacent ASes {a:?},{b:?} with no relationship")
+            }
+        };
+        for s in 0..topo.as_count() as u16 {
+            for d in 0..topo.as_count() as u16 {
+                let p = rib.as_path(AsId(s), AsId(d), false).unwrap();
+                let mut phase = 0; // 0 = climbing, 1 = post-peer, 2 = descending
+                for w in p.windows(2) {
+                    match rel(w[0], w[1]) {
+                        "up" => assert_eq!(phase, 0, "valley in {p:?}"),
+                        "peer" => {
+                            assert_eq!(phase, 0, "second lateral move in {p:?}");
+                            phase = 1;
+                        }
+                        _ => phase = 2,
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn customer_routes_beat_provider_routes() {
+        let a = Route { kind: RouteKind::Customer, path_len: 5, next_hop: Some(AsId(9)) };
+        let b = Route { kind: RouteKind::Provider, path_len: 1, next_hop: Some(AsId(1)) };
+        assert!(a.better_than(&b), "preference class dominates length");
+    }
+
+    #[test]
+    fn shorter_paths_win_within_class() {
+        let a = Route { kind: RouteKind::Peer, path_len: 2, next_hop: Some(AsId(9)) };
+        let b = Route { kind: RouteKind::Peer, path_len: 3, next_hop: Some(AsId(1)) };
+        assert!(a.better_than(&b));
+    }
+
+    #[test]
+    fn stub_to_stub_goes_through_providers() {
+        let (topo, rib) = setup();
+        let stubs: Vec<AsId> =
+            topo.ases.iter().filter(|a| a.tier == AsTier::Stub).map(|a| a.id).collect();
+        let (s, d) = (stubs[0], stubs[1]);
+        let p = rib.as_path(s, d, false).unwrap();
+        assert!(p.len() >= 3, "distinct stubs must transit providers: {p:?}");
+        for &mid in &p[1..p.len() - 1] {
+            assert_ne!(topo.asys(mid).tier, AsTier::Stub, "stub transited in {p:?}");
+        }
+    }
+
+    #[test]
+    fn fallback_routes_use_a_different_next_hop() {
+        let (topo, rib) = setup();
+        let mut found = 0;
+        for s in 0..topo.as_count() as u16 {
+            for d in 0..topo.as_count() as u16 {
+                if let (Some(best), Some(alt)) =
+                    (rib.route(AsId(s), AsId(d)), rib.fallback_route(AsId(s), AsId(d)))
+                {
+                    assert_ne!(best.next_hop, alt.next_hop);
+                    assert!(!alt.better_than(&best));
+                    found += 1;
+                }
+            }
+        }
+        assert!(found > 0, "multi-homed topology should yield fallback routes");
+    }
+
+    #[test]
+    fn fallback_paths_still_terminate() {
+        let (topo, rib) = setup();
+        for s in 0..topo.as_count() as u16 {
+            for d in 0..topo.as_count() as u16 {
+                if let Some(p) = rib.as_path(AsId(s), AsId(d), true) {
+                    assert_eq!(*p.last().unwrap(), AsId(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let (topo, rib1) = setup();
+        let rib2 = BgpRib::compute(&topo);
+        for s in 0..topo.as_count() as u16 {
+            for d in 0..topo.as_count() as u16 {
+                assert_eq!(rib1.route(AsId(s), AsId(d)), rib2.route(AsId(s), AsId(d)));
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Route-flap episodes.
+//!
+//! The paper cites Labovitz et al. \[LMJ97\] on routing instability and lists
+//! "path changes (for instance due to routing policy changes or due to
+//! route flaps)" among the sources of variation in its data (§6.2). We model
+//! instability at the coarsest useful grain: for each ordered AS pair, rare
+//! episodes during which the source AS uses its *second-choice* BGP route
+//! (see [`crate::routing::bgp::BgpRib::fallback_route`]) instead of its
+//! best.
+//!
+//! Episodes are generated lazily and deterministically: the schedule for a
+//! pair depends only on the network seed and the pair's ids, never on the
+//! order of queries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::topology::AsId;
+
+/// Configuration of the flap process.
+#[derive(Debug, Clone, Copy)]
+pub struct FlapConfig {
+    /// Mean time between episode starts for one AS pair, seconds.
+    /// (Paths "generally dominated by a single route" \[Pax96\] → days.)
+    pub mean_interval_s: f64,
+    /// Mean episode duration, seconds.
+    pub mean_duration_s: f64,
+}
+
+impl Default for FlapConfig {
+    fn default() -> Self {
+        FlapConfig {
+            mean_interval_s: 3.0 * 86_400.0, // one flap every ~3 days per pair
+            mean_duration_s: 15.0 * 60.0,    // lasting ~15 minutes
+        }
+    }
+}
+
+/// Deterministic flap schedule for one ordered AS pair over `[0, horizon)`.
+#[derive(Debug, Clone)]
+pub struct FlapSchedule {
+    /// Sorted, non-overlapping `(start, end)` episodes in seconds.
+    episodes: Vec<(f64, f64)>,
+}
+
+impl FlapSchedule {
+    /// Generates the schedule for `(src, dst)` over `horizon_s` seconds.
+    pub fn generate(
+        cfg: &FlapConfig,
+        seed: u64,
+        src: AsId,
+        dst: AsId,
+        horizon_s: f64,
+    ) -> FlapSchedule {
+        // Derive a per-pair seed that is stable under query order. The
+        // SplitMix64 finalizer scrambles the packed ids well.
+        let pair_code = ((src.0 as u64) << 16) | dst.0 as u64;
+        let mut z = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(pair_code.wrapping_add(1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let mut rng = StdRng::seed_from_u64(z);
+
+        let mut episodes = Vec::new();
+        let mut t = exponential(&mut rng, cfg.mean_interval_s);
+        while t < horizon_s {
+            let dur = exponential(&mut rng, cfg.mean_duration_s).max(1.0);
+            let end = (t + dur).min(horizon_s);
+            episodes.push((t, end));
+            t = end + exponential(&mut rng, cfg.mean_interval_s);
+        }
+        FlapSchedule { episodes }
+    }
+
+    /// True when a flap episode is active at time `t` (seconds).
+    pub fn active_at(&self, t: f64) -> bool {
+        // Binary search over sorted non-overlapping episodes.
+        let i = self.episodes.partition_point(|&(start, _)| start <= t);
+        i > 0 && t < self.episodes[i - 1].1
+    }
+
+    /// Number of episodes in the horizon.
+    pub fn episode_count(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Total flapped time in seconds.
+    pub fn total_flapped_s(&self) -> f64 {
+        self.episodes.iter().map(|(s, e)| e - s).sum()
+    }
+}
+
+/// Exponentially distributed sample with the given mean.
+fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WEEK: f64 = 7.0 * 86_400.0;
+
+    fn sched(seed: u64, a: u16, b: u16) -> FlapSchedule {
+        FlapSchedule::generate(&FlapConfig::default(), seed, AsId(a), AsId(b), WEEK)
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = sched(7, 3, 9);
+        let b = sched(7, 3, 9);
+        assert_eq!(a.episodes, b.episodes);
+    }
+
+    #[test]
+    fn schedule_is_direction_sensitive() {
+        // Forward and reverse paths flap independently (routing is
+        // asymmetric).
+        let fwd = sched(7, 3, 9);
+        let rev = sched(7, 9, 3);
+        assert_ne!(fwd.episodes, rev.episodes);
+    }
+
+    #[test]
+    fn episodes_are_sorted_and_disjoint() {
+        for pair in [(1u16, 2u16), (10, 20), (5, 40)] {
+            let s = sched(42, pair.0, pair.1);
+            for w in s.episodes.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap: {:?}", s.episodes);
+            }
+        }
+    }
+
+    #[test]
+    fn activity_queries_match_episodes() {
+        let s = sched(11, 4, 17);
+        for &(start, end) in &s.episodes {
+            assert!(s.active_at(start));
+            assert!(s.active_at((start + end) / 2.0));
+            assert!(!s.active_at(end));
+        }
+        assert!(!s.active_at(-1.0));
+    }
+
+    #[test]
+    fn flapped_fraction_is_small() {
+        // With ~15-minute episodes every ~3 days, flapped time must be a
+        // tiny fraction of the trace ("paths are generally dominated by a
+        // single route").
+        let mut total = 0.0;
+        for a in 0..20u16 {
+            for b in 0..20u16 {
+                if a != b {
+                    total += sched(5, a, b).total_flapped_s();
+                }
+            }
+        }
+        let frac = total / (WEEK * 380.0);
+        assert!(frac < 0.02, "flapped fraction {frac}");
+        assert!(frac > 0.0, "some flaps should occur across 380 pairs");
+    }
+
+    #[test]
+    fn episodes_clamped_to_horizon() {
+        for a in 0..30u16 {
+            let s = sched(3, a, a + 1);
+            for &(start, end) in &s.episodes {
+                assert!(start >= 0.0 && end <= WEEK && start < end);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Interior gateway protocol: per-AS all-pairs shortest paths.
+//!
+//! Paper §3: "Routers within an AS route packets according to an interior
+//! gateway protocol … Although many small ASes still use raw hop counts to
+//! select internal routes, most larger ASes set internal metrics manually to
+//! distribute load and to avoid using links with excessive propagation
+//! delay." We model both: an AS either weighs every internal link `1.0`
+//! (hop count) or by its propagation delay (the manual delay-aware
+//! configuration).
+//!
+//! ASes here are small (≤ ~25 POPs), so a Floyd-Warshall table per AS is
+//! simple, robust, and plenty fast.
+
+use crate::topology::{AsId, LinkKind, RouterId, Topology};
+
+/// All-pairs shortest-path table for one AS.
+#[derive(Debug, Clone)]
+pub struct IgpTable {
+    /// Owning AS.
+    pub asn: AsId,
+    /// The AS's routers, defining the local index space.
+    routers: Vec<RouterId>,
+    /// `dist[i][j]`: metric distance from router i to router j.
+    dist: Vec<Vec<f64>>,
+    /// `delay[i][j]`: propagation delay (ms) along the chosen path — used
+    /// for hot-potato comparisons even when the metric is hop count.
+    delay: Vec<Vec<f64>>,
+    /// `next[i][j]`: local index of the next router on the path i→j.
+    next: Vec<Vec<usize>>,
+}
+
+impl IgpTable {
+    /// Computes the table for `asn` over the internal links of `topo`.
+    ///
+    /// The metric is hop count unless the AS is configured with
+    /// delay-aware metrics (`igp_uses_delay_metrics`).
+    pub fn compute(topo: &Topology, asn: AsId) -> IgpTable {
+        let asys = topo.asys(asn);
+        let routers = asys.routers.clone();
+        let n = routers.len();
+        let idx = |r: RouterId| routers.iter().position(|&x| x == r);
+
+        const INF: f64 = f64::INFINITY;
+        let mut dist = vec![vec![INF; n]; n];
+        let mut delay = vec![vec![INF; n]; n];
+        let mut next = vec![vec![usize::MAX; n]; n];
+        for i in 0..n {
+            dist[i][i] = 0.0;
+            delay[i][i] = 0.0;
+            next[i][i] = i;
+        }
+        for (i, &r) in routers.iter().enumerate() {
+            for l in topo.links_from(r) {
+                if l.kind != LinkKind::Internal || topo.router(l.to).asn != asn {
+                    continue;
+                }
+                let j = idx(l.to).expect("internal link targets AS router");
+                let w = if asys.igp_uses_delay_metrics { l.prop_delay_ms } else { 1.0 };
+                if w < dist[i][j] {
+                    dist[i][j] = w;
+                    delay[i][j] = l.prop_delay_ms;
+                    next[i][j] = j;
+                }
+            }
+        }
+        // Floyd-Warshall; ties broken toward the earlier intermediate for
+        // determinism.
+        for k in 0..n {
+            for i in 0..n {
+                if dist[i][k] == INF {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = dist[i][k] + dist[k][j];
+                    if through < dist[i][j] {
+                        dist[i][j] = through;
+                        delay[i][j] = delay[i][k] + delay[k][j];
+                        next[i][j] = next[i][k];
+                    }
+                }
+            }
+        }
+        IgpTable { asn, routers, dist, delay, next }
+    }
+
+    fn index(&self, r: RouterId) -> usize {
+        self.routers
+            .iter()
+            .position(|&x| x == r)
+            .unwrap_or_else(|| panic!("router {r:?} not in AS {:?}", self.asn))
+    }
+
+    /// Metric distance between two routers of this AS.
+    pub fn distance(&self, a: RouterId, b: RouterId) -> f64 {
+        self.dist[self.index(a)][self.index(b)]
+    }
+
+    /// Propagation delay (ms) along the selected internal path.
+    pub fn path_delay_ms(&self, a: RouterId, b: RouterId) -> f64 {
+        self.delay[self.index(a)][self.index(b)]
+    }
+
+    /// The router sequence from `a` to `b` (inclusive of both endpoints).
+    ///
+    /// # Panics
+    /// Panics if no internal path exists (generation guarantees backbones
+    /// are connected).
+    pub fn path(&self, a: RouterId, b: RouterId) -> Vec<RouterId> {
+        let (mut i, j) = (self.index(a), self.index(b));
+        assert!(
+            self.next[i][j] != usize::MAX,
+            "no IGP path {a:?}→{b:?} inside {:?}",
+            self.asn
+        );
+        let mut out = vec![a];
+        while i != j {
+            i = self.next[i][j];
+            out.push(self.routers[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::generator::{generate, Era, TopologyConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        generate(&TopologyConfig::for_era(Era::Y1999), &mut StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let t = topo();
+        for asys in &t.ases {
+            let igp = IgpTable::compute(&t, asys.id);
+            for &r in &asys.routers {
+                assert_eq!(igp.distance(r, r), 0.0);
+                assert_eq!(igp.path(r, r), vec![r]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_reachable_within_as() {
+        let t = topo();
+        for asys in &t.ases {
+            let igp = IgpTable::compute(&t, asys.id);
+            for &a in &asys.routers {
+                for &b in &asys.routers {
+                    assert!(igp.distance(a, b).is_finite(), "{:?}: {a:?}→{b:?}", asys.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_consistent_with_distances() {
+        let t = topo();
+        let asys = t.ases.iter().find(|a| a.routers.len() >= 4).expect("a big AS");
+        let igp = IgpTable::compute(&t, asys.id);
+        for &a in &asys.routers {
+            for &b in &asys.routers {
+                let p = igp.path(a, b);
+                assert_eq!(p.first(), Some(&a));
+                assert_eq!(p.last(), Some(&b));
+                // Each consecutive pair must be joined by an internal link,
+                // and delays must telescope.
+                let mut total_delay = 0.0;
+                for w in p.windows(2) {
+                    let l = t.link_between(w[0], w[1]).expect("link exists");
+                    assert_eq!(l.kind, LinkKind::Internal);
+                    total_delay += l.prop_delay_ms;
+                }
+                assert!((total_delay - igp.path_delay_ms(a, b)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_count_as_counts_hops() {
+        let t = topo();
+        let asys = t
+            .ases
+            .iter()
+            .find(|a| !a.igp_uses_delay_metrics && a.routers.len() >= 3)
+            .expect("a hop-count AS with several POPs");
+        let igp = IgpTable::compute(&t, asys.id);
+        for &a in &asys.routers {
+            for &b in &asys.routers {
+                let hops = igp.path(a, b).len() as f64 - 1.0;
+                assert_eq!(igp.distance(a, b), hops);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let t = topo();
+        let asys = t.ases.iter().find(|a| a.routers.len() >= 3).unwrap();
+        let igp = IgpTable::compute(&t, asys.id);
+        let rs = &asys.routers;
+        for &a in rs {
+            for &b in rs {
+                for &c in rs {
+                    assert!(
+                        igp.distance(a, c) <= igp.distance(a, b) + igp.distance(b, c) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Simulation time and event scheduling.
+
+pub mod clock;
+pub mod events;
+
+pub use clock::{Calendar, DayKind, SimTime};
+pub use events::EventQueue;

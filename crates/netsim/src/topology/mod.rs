@@ -1,0 +1,234 @@
+//! Router-level Internet topology with an AS-level overlay.
+//!
+//! The paper (§3) explains why Internet paths are not performance-optimal:
+//! a two-level routing hierarchy (IGP inside each autonomous system, BGP
+//! between them), per-AS policies, and economically motivated behaviors like
+//! early-exit ("hot-potato") routing. The topology model mirrors that
+//! structure:
+//!
+//! * a small set of **tier-1** ASes (national backbones, mutually peered),
+//! * **regional** providers buying transit from tier-1s and peering with
+//!   some of each other,
+//! * **stub** ASes (campuses, small ISPs — where measurement hosts live)
+//!   buying transit from regionals or tier-1s, occasionally multi-homed,
+//! * each AS realized as one router per point-of-presence (POP) city with an
+//!   intra-AS backbone, and inter-AS links at shared cities — either private
+//!   interconnects or **public exchange points** (the notoriously congested
+//!   MAE-East-style IXPs of the era).
+
+pub mod generator;
+pub mod validate;
+
+use crate::geo::CityId;
+
+/// Identifier of an autonomous system (index into [`Topology::ases`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsId(pub u16);
+
+/// Identifier of a router (index into [`Topology::routers`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouterId(pub u32);
+
+/// Identifier of a unidirectional link (index into [`Topology::links`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// Identifier of an end host (index into [`Topology::hosts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+/// Where an AS sits in the provider hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsTier {
+    /// National/international backbone; peers with all other tier-1s.
+    Tier1,
+    /// Regional provider; buys transit from tier-1s.
+    Regional,
+    /// Edge network (campus, small ISP); hosts live here.
+    Stub,
+}
+
+/// Business relationship between two ASes, from the perspective of the pair
+/// `(a, b)` as stored: `a` is the provider and `b` the customer, or they are
+/// mutual peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// `a` sells transit to `b`.
+    ProviderCustomer,
+    /// Settlement-free peering.
+    Peer,
+}
+
+/// An inter-AS business edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsEdge {
+    /// First AS (the provider when `rel` is [`Relationship::ProviderCustomer`]).
+    pub a: AsId,
+    /// Second AS (the customer when `rel` is [`Relationship::ProviderCustomer`]).
+    pub b: AsId,
+    /// Relationship type.
+    pub rel: Relationship,
+}
+
+/// An autonomous system.
+#[derive(Debug, Clone)]
+pub struct AutonomousSystem {
+    /// This AS's id.
+    pub id: AsId,
+    /// Hierarchy tier.
+    pub tier: AsTier,
+    /// Cities where the AS operates a POP (one router each).
+    pub pops: Vec<CityId>,
+    /// Routers realizing the POPs, parallel to `pops`.
+    pub routers: Vec<RouterId>,
+    /// Whether this AS configures IGP metrics manually to approximate delay
+    /// (large ASes) or uses raw hop count (small ASes) — paper §3.
+    pub igp_uses_delay_metrics: bool,
+}
+
+/// A router (one POP of one AS).
+#[derive(Debug, Clone, Copy)]
+pub struct Router {
+    /// This router's id.
+    pub id: RouterId,
+    /// Owning AS.
+    pub asn: AsId,
+    /// City the POP is located in.
+    pub city: CityId,
+}
+
+/// Whether a link crosses an AS boundary, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Intra-AS backbone link.
+    Internal,
+    /// Private interconnect between two ASes.
+    PrivateInterconnect,
+    /// Port on a shared public exchange point (congested in this era).
+    PublicExchange,
+}
+
+/// A unidirectional link between two routers.
+///
+/// Links come in pairs (forward/reverse) so the load model can give the two
+/// directions independent utilization — Internet paths and their loads are
+/// famously asymmetric \[Pax96\].
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Transmitting router.
+    pub from: RouterId,
+    /// Receiving router.
+    pub to: RouterId,
+    /// One-way propagation delay, milliseconds.
+    pub prop_delay_ms: f64,
+    /// Nominal capacity in Mbit/s (era-dependent: T1/T3 vs OC-3/OC-12).
+    pub capacity_mbps: f64,
+    /// Link kind.
+    pub kind: LinkKind,
+}
+
+/// An end host attached to a router of a stub AS.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// This host's id.
+    pub id: HostId,
+    /// Attachment router.
+    pub router: RouterId,
+    /// Owning (stub) AS.
+    pub asn: AsId,
+    /// City of the attachment router.
+    pub city: CityId,
+    /// Synthetic DNS-ish name, e.g. `"host3.stub17.example"`.
+    pub name: String,
+    /// Whether the host rate-limits its ICMP responses (paper §4.2:
+    /// rate-limiting hosts had to be detected empirically and filtered).
+    pub icmp_rate_limited: bool,
+}
+
+/// The complete static topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// All ASes, indexed by `AsId`.
+    pub ases: Vec<AutonomousSystem>,
+    /// Inter-AS business relationships.
+    pub as_edges: Vec<AsEdge>,
+    /// All routers, indexed by `RouterId`.
+    pub routers: Vec<Router>,
+    /// All (unidirectional) links, indexed by `LinkId`.
+    pub links: Vec<Link>,
+    /// All hosts, indexed by `HostId`.
+    pub hosts: Vec<Host>,
+    /// Outgoing link ids per router, indexed by `RouterId`.
+    pub adjacency: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// The AS record for `id`.
+    pub fn asys(&self, id: AsId) -> &AutonomousSystem {
+        &self.ases[id.0 as usize]
+    }
+
+    /// The router record for `id`.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.0 as usize]
+    }
+
+    /// The link record for `id`.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// The host record for `id`.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0 as usize]
+    }
+
+    /// Outgoing links of `router`.
+    pub fn links_from(&self, router: RouterId) -> impl Iterator<Item = &Link> + '_ {
+        self.adjacency[router.0 as usize].iter().map(move |&l| self.link(l))
+    }
+
+    /// The outgoing link from `a` to `b`, if one exists.
+    pub fn link_between(&self, a: RouterId, b: RouterId) -> Option<&Link> {
+        self.links_from(a).find(|l| l.to == b)
+    }
+
+    /// All provider ASes of `customer`.
+    pub fn providers_of(&self, customer: AsId) -> impl Iterator<Item = AsId> + '_ {
+        self.as_edges.iter().filter_map(move |e| {
+            (e.rel == Relationship::ProviderCustomer && e.b == customer).then_some(e.a)
+        })
+    }
+
+    /// All customer ASes of `provider`.
+    pub fn customers_of(&self, provider: AsId) -> impl Iterator<Item = AsId> + '_ {
+        self.as_edges.iter().filter_map(move |e| {
+            (e.rel == Relationship::ProviderCustomer && e.a == provider).then_some(e.b)
+        })
+    }
+
+    /// All peers of `asn`.
+    pub fn peers_of(&self, asn: AsId) -> impl Iterator<Item = AsId> + '_ {
+        self.as_edges.iter().filter_map(move |e| match e.rel {
+            Relationship::Peer if e.a == asn => Some(e.b),
+            Relationship::Peer if e.b == asn => Some(e.a),
+            _ => None,
+        })
+    }
+
+    /// True if an inter-AS link connects routers of `a` and `b` somewhere.
+    pub fn ases_physically_connected(&self, a: AsId, b: AsId) -> bool {
+        self.links.iter().any(|l| {
+            l.kind != LinkKind::Internal
+                && self.router(l.from).asn == a
+                && self.router(l.to).asn == b
+        })
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.ases.len()
+    }
+}

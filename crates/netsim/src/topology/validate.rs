@@ -1,0 +1,172 @@
+//! Topology invariant checking.
+//!
+//! The generator promises structural properties that routing correctness
+//! depends on (DESIGN.md §6). [`validate`] checks them all on any topology
+//! — generated or hand-built — and returns every violation instead of
+//! panicking on the first, so a failing fuzz case reads like a diagnosis,
+//! not a stack trace.
+
+use crate::topology::{AsTier, LinkKind, Relationship, Topology};
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub rule: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Checks every structural invariant; returns all violations (empty =
+/// valid).
+pub fn validate(topo: &Topology) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut violate = |rule: &'static str, detail: String| {
+        out.push(Violation { rule, detail });
+    };
+
+    // --- Id consistency ---
+    for (i, a) in topo.ases.iter().enumerate() {
+        if a.id.0 as usize != i {
+            violate("as-id-dense", format!("AS at index {i} has id {:?}", a.id));
+        }
+        if a.pops.len() != a.routers.len() {
+            violate("as-pops-routers", format!("{:?}: {} pops vs {} routers", a.id, a.pops.len(), a.routers.len()));
+        }
+        for &r in &a.routers {
+            if topo.router(r).asn != a.id {
+                violate("router-ownership", format!("{r:?} listed by {:?} but owned by {:?}", a.id, topo.router(r).asn));
+            }
+        }
+    }
+    for (i, r) in topo.routers.iter().enumerate() {
+        if r.id.0 as usize != i {
+            violate("router-id-dense", format!("router at index {i} has id {:?}", r.id));
+        }
+    }
+    for (i, l) in topo.links.iter().enumerate() {
+        if l.id.0 as usize != i {
+            violate("link-id-dense", format!("link at index {i} has id {:?}", l.id));
+        }
+        if l.prop_delay_ms <= 0.0 || !l.prop_delay_ms.is_finite() {
+            violate("link-delay-positive", format!("{:?}: {} ms", l.id, l.prop_delay_ms));
+        }
+        if l.capacity_mbps <= 0.0 {
+            violate("link-capacity-positive", format!("{:?}: {} Mbps", l.id, l.capacity_mbps));
+        }
+    }
+
+    // --- Links come in directional pairs, kinds match endpoints ---
+    for l in &topo.links {
+        if topo.link_between(l.to, l.from).is_none() {
+            violate("link-pairing", format!("{:?} {:?}→{:?} has no reverse", l.id, l.from, l.to));
+        }
+        let same_as = topo.router(l.from).asn == topo.router(l.to).asn;
+        match l.kind {
+            LinkKind::Internal if !same_as => {
+                violate("internal-link-intra-as", format!("{:?} crosses ASes", l.id))
+            }
+            LinkKind::PrivateInterconnect | LinkKind::PublicExchange if same_as => {
+                violate("border-link-inter-as", format!("{:?} stays inside one AS", l.id))
+            }
+            _ => {}
+        }
+    }
+
+    // --- Adjacency agrees with links ---
+    for (r, adj) in topo.adjacency.iter().enumerate() {
+        for &lid in adj {
+            if topo.link(lid).from.0 as usize != r {
+                violate("adjacency-consistent", format!("router {r} lists {lid:?} which starts at {:?}", topo.link(lid).from));
+            }
+        }
+    }
+
+    // --- Relationship sanity ---
+    for e in &topo.as_edges {
+        if e.a == e.b {
+            violate("no-self-relationship", format!("{:?}", e.a));
+        }
+        if e.rel == Relationship::ProviderCustomer
+            && topo.asys(e.a).tier == AsTier::Stub
+        {
+            violate("stubs-sell-no-transit", format!("{:?} provides {:?}", e.a, e.b));
+        }
+        if !topo.ases_physically_connected(e.a, e.b)
+            && !topo.ases_physically_connected(e.b, e.a)
+        {
+            violate("relationship-has-link", format!("{:?}-{:?}", e.a, e.b));
+        }
+    }
+
+    // --- Every non-tier1 AS has a provider; hosts live on stubs ---
+    for a in &topo.ases {
+        if a.tier != AsTier::Tier1 && topo.providers_of(a.id).count() == 0 {
+            violate("transit-for-everyone", format!("{:?} ({:?}) has no provider", a.id, a.tier));
+        }
+    }
+    for h in &topo.hosts {
+        if topo.asys(h.asn).tier != AsTier::Stub {
+            violate("hosts-on-stubs", format!("{} lives on {:?}", h.name, topo.asys(h.asn).tier));
+        }
+        if topo.router(h.router).asn != h.asn {
+            violate("host-router-as", h.name.clone());
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::generator::{generate, Era, TopologyConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_topologies_are_valid_across_seeds_and_eras() {
+        for era in [Era::Y1995, Era::Y1999] {
+            for seed in 0..12u64 {
+                let topo = generate(
+                    &TopologyConfig::for_era(era),
+                    &mut StdRng::seed_from_u64(seed),
+                );
+                let violations = validate(&topo);
+                assert!(
+                    violations.is_empty(),
+                    "{era:?} seed {seed}: {violations:#?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut topo = generate(
+            &TopologyConfig::for_era(Era::Y1999),
+            &mut StdRng::seed_from_u64(1),
+        );
+        // Break a link's delay.
+        topo.links[0].prop_delay_ms = -1.0;
+        let violations = validate(&topo);
+        assert!(violations.iter().any(|v| v.rule == "link-delay-positive"));
+    }
+
+    #[test]
+    fn broken_kind_is_detected() {
+        let mut topo = generate(
+            &TopologyConfig::for_era(Era::Y1999),
+            &mut StdRng::seed_from_u64(2),
+        );
+        // Flip the first internal link to a border kind without moving it.
+        let internal = topo
+            .links
+            .iter()
+            .position(|l| l.kind == LinkKind::Internal)
+            .expect("internal links exist");
+        topo.links[internal].kind = LinkKind::PrivateInterconnect;
+        let violations = validate(&topo);
+        assert!(violations.iter().any(|v| v.rule == "border-link-inter-as"));
+    }
+}

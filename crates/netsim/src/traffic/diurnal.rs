@@ -1,0 +1,120 @@
+//! Diurnal and weekly load profile.
+//!
+//! Paper §4.1 cites \[TMW97\]: "many different parts of the Internet see
+//! higher load during weekday working hours and lower load during other
+//! times", and §6.3 finds alternate paths help most between 06:00 and
+//! 12:00 PST and least on weekends and overnight. The profile below encodes
+//! that shape: a weekday business-hours plateau with shoulders, and a flat,
+//! lower weekend.
+
+use crate::sim::clock::{Calendar, DayKind, SimTime};
+
+/// Multiplicative load factor as a function of local time.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalProfile {
+    /// Deepest-night load fraction (relative to the weekday peak of 1.0).
+    pub night_floor: f64,
+    /// Weekend load fraction.
+    pub weekend_level: f64,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        DiurnalProfile { night_floor: 0.35, weekend_level: 0.5 }
+    }
+}
+
+impl DiurnalProfile {
+    /// Load factor at local hour `h` (0..24) on a weekday.
+    ///
+    /// Piecewise-linear: floor overnight, morning ramp to the 09:00–17:00
+    /// plateau at 1.0, evening decay back to the floor.
+    fn weekday_factor(&self, h: f64) -> f64 {
+        let f = self.night_floor;
+        match h {
+            h if h < 6.0 => f,
+            h if h < 9.0 => f + (1.0 - f) * (h - 6.0) / 3.0,
+            h if h < 17.0 => 1.0,
+            h if h < 22.0 => 1.0 - (1.0 - f) * (h - 17.0) / 5.0,
+            _ => f,
+        }
+    }
+
+    /// Load factor at simulated time `t` for a site at `utc_offset_hours`.
+    pub fn factor(&self, cal: &Calendar, t: SimTime, utc_offset_hours: i8) -> f64 {
+        match cal.day_kind(t, utc_offset_hours) {
+            DayKind::Weekend => self.weekend_level,
+            DayKind::Weekday => self.weekday_factor(cal.local_hour(t, utc_offset_hours)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factor_at(hours_from_monday_utc: f64, tz: i8) -> f64 {
+        DiurnalProfile::default().factor(
+            &Calendar,
+            SimTime::from_hours(hours_from_monday_utc),
+            tz,
+        )
+    }
+
+    #[test]
+    fn business_hours_peak() {
+        // Tuesday 12:00 local (UTC site).
+        assert_eq!(factor_at(24.0 + 12.0, 0), 1.0);
+    }
+
+    #[test]
+    fn night_floor_applies() {
+        // Tuesday 03:00 local.
+        let f = factor_at(24.0 + 3.0, 0);
+        assert_eq!(f, DiurnalProfile::default().night_floor);
+    }
+
+    #[test]
+    fn weekend_is_flat_and_low() {
+        let sat_noon = factor_at(5.0 * 24.0 + 12.0, 0);
+        let sat_night = factor_at(5.0 * 24.0 + 2.0, 0);
+        assert_eq!(sat_noon, 0.5);
+        assert_eq!(sat_night, 0.5);
+    }
+
+    #[test]
+    fn ramps_are_monotone() {
+        let p = DiurnalProfile::default();
+        let mut prev = p.weekday_factor(5.0);
+        for i in 50..=90 {
+            let f = p.weekday_factor(i as f64 / 10.0);
+            assert!(f >= prev - 1e-12, "morning ramp must rise");
+            prev = f;
+        }
+        let mut prev = p.weekday_factor(17.0);
+        for i in 170..=220 {
+            let f = p.weekday_factor(i as f64 / 10.0);
+            assert!(f <= prev + 1e-12, "evening ramp must fall");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn timezone_shifts_the_peak() {
+        // Monday 20:00 UTC = Monday 12:00 in Seattle (UTC-8): peak there,
+        // evening shoulder in London.
+        let seattle = factor_at(20.0, -8);
+        let london = factor_at(20.0, 0);
+        assert_eq!(seattle, 1.0);
+        assert!(london < 1.0);
+    }
+
+    #[test]
+    fn factor_is_bounded() {
+        let p = DiurnalProfile::default();
+        for h in 0..240 {
+            let f = p.factor(&Calendar, SimTime::from_hours(h as f64), -8);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

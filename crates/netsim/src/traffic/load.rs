@@ -1,0 +1,536 @@
+//! Per-link utilization, queuing delay, and loss.
+//!
+//! Every link carries background traffic we never simulate packet-by-packet;
+//! instead each link has a *utilization process* ρ(t) composed of:
+//!
+//! * a **base utilization** drawn per link by kind — public exchange points
+//!   run hot (the MAE-East of paper §7.1's "particularly poor quality …
+//!   congested exchange points"), private interconnects and internal
+//!   backbone links cooler;
+//! * the **diurnal/weekly factor** of the link's location
+//!   ([`crate::traffic::diurnal`]);
+//! * slow **background wander** (two incommensurate sinusoids with per-link
+//!   phases) so paths measured at different times genuinely differ;
+//! * transient **congestion events** (Poisson arrivals, exponential
+//!   durations) standing in for flash crowds and reroutes.
+//!
+//! From ρ(t), per-probe queuing delay is sampled from an exponential with an
+//! M/M/1-shaped mean `scale · ρ/(1−ρ)`, and loss is Bernoulli with a
+//! probability that turns up sharply past a knee — idle links barely drop,
+//! saturated ones drop several percent, as in \[Bol93\]/\[Pax97a\].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geo::CITIES;
+use crate::sim::clock::{Calendar, SimTime};
+use crate::topology::{LinkId, LinkKind, Topology};
+use crate::traffic::diurnal::DiurnalProfile;
+
+/// Tuning for the load model.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Base-utilization range for internal backbone links.
+    pub base_internal: (f64, f64),
+    /// Base-utilization range for stub access uplinks (sized for the
+    /// stub's own traffic, so cooler than transit interconnects — a detour
+    /// pays two extra access traversals, and those must not drown the
+    /// congestion it avoids).
+    pub base_access: (f64, f64),
+    /// Base-utilization range for private interconnects.
+    pub base_private: (f64, f64),
+    /// Base-utilization range for public exchange ports.
+    pub base_public: (f64, f64),
+    /// Queue-delay scale (ms) at ρ/(1−ρ) = 1 for internal links.
+    pub queue_scale_internal_ms: f64,
+    /// Queue-delay scale (ms) for private interconnects.
+    pub queue_scale_private_ms: f64,
+    /// Queue-delay scale (ms) for public exchange ports.
+    pub queue_scale_public_ms: f64,
+    /// Hard cap on mean queuing delay (ms) — buffers are finite.
+    pub queue_cap_ms: f64,
+    /// Baseline loss probability per link per packet.
+    pub loss_base: f64,
+    /// Loss scale above the knee for ordinary links.
+    pub loss_scale: f64,
+    /// Loss scale above the knee for public exchange ports.
+    pub loss_scale_public: f64,
+    /// Utilization knee where loss starts climbing.
+    pub loss_knee: f64,
+    /// Mean congestion events per link per day (ordinary links).
+    pub events_per_day: f64,
+    /// Mean congestion events per link per day (public exchanges).
+    pub events_per_day_public: f64,
+    /// Mean congestion-event duration, seconds.
+    pub event_duration_s: f64,
+    /// Congestion-event magnitude range (added utilization).
+    pub event_magnitude: (f64, f64),
+    /// Mean full-outage events per link per day (fiber cuts, router
+    /// crashes, misconfigurations — the failures RON-style overlays route
+    /// around). Rare: most links never fail during a trace.
+    pub outages_per_day: f64,
+    /// Mean outage duration, seconds.
+    pub outage_duration_s: f64,
+    /// Fraction of internal/private links that are chronic hotspots.
+    ///
+    /// Congestion on the real Internet is concentrated: a few
+    /// under-provisioned circuits and exchange ports account for most
+    /// queuing, while typical links barely queue even at peak. That
+    /// concentration is what lets a detour around one hotspot win *more*
+    /// during busy hours instead of paying uniform peak tax everywhere
+    /// (paper §6.3).
+    pub hot_fraction: f64,
+    /// Base-utilization range for hotspot links.
+    pub base_hot: (f64, f64),
+}
+
+impl LoadConfig {
+    /// Era presets: 1995 runs hotter and lossier than 1999 (the paper's D2
+    /// loss-rate CDF shows substantially more improvement than UW's).
+    pub fn for_era(era: crate::topology::generator::Era) -> LoadConfig {
+        use crate::topology::generator::Era;
+        match era {
+            Era::Y1995 => LoadConfig {
+                base_internal: (0.12, 0.42),
+                base_access: (0.12, 0.45),
+                base_private: (0.18, 0.55),
+                base_public: (0.60, 0.96),
+                queue_scale_internal_ms: 2.0,
+                queue_scale_private_ms: 5.0,
+                queue_scale_public_ms: 18.0,
+                queue_cap_ms: 180.0,
+                // Mid-90s loss was substantial (Paxson measured ~5 %
+                // average in 1995). The per-link log-uniform multiplier has
+                // mean ~2.15, so 0.005 here yields ~1 % per link on average.
+                loss_base: 0.005,
+                loss_scale: 0.06,
+                loss_scale_public: 0.15,
+                loss_knee: 0.65,
+                events_per_day: 0.25,
+                events_per_day_public: 0.9,
+                event_duration_s: 45.0 * 60.0,
+                event_magnitude: (0.2, 0.55),
+                outages_per_day: 0.03,
+                outage_duration_s: 12.0 * 60.0,
+                hot_fraction: 0.25,
+                base_hot: (0.60, 0.92),
+            },
+            Era::Y1999 => LoadConfig {
+                base_internal: (0.10, 0.38),
+                base_access: (0.10, 0.40),
+                base_private: (0.15, 0.50),
+                base_public: (0.50, 0.93),
+                queue_scale_internal_ms: 1.5,
+                queue_scale_private_ms: 3.0,
+                queue_scale_public_ms: 12.0,
+                queue_cap_ms: 150.0,
+                loss_base: 0.0015,
+                loss_scale: 0.04,
+                loss_scale_public: 0.10,
+                loss_knee: 0.70,
+                events_per_day: 0.2,
+                events_per_day_public: 0.8,
+                event_duration_s: 30.0 * 60.0,
+                event_magnitude: (0.15, 0.5),
+                outages_per_day: 0.02,
+                outage_duration_s: 10.0 * 60.0,
+                hot_fraction: 0.20,
+                base_hot: (0.55, 0.88),
+            },
+        }
+    }
+}
+
+/// Per-link static load state.
+#[derive(Debug, Clone)]
+struct LinkLoad {
+    base: f64,
+    /// Phases and amplitudes of the two wander sinusoids.
+    wander: [(f64, f64); 2],
+    /// Sorted congestion events `(start_s, end_s, magnitude)`.
+    events: Vec<(f64, f64, f64)>,
+    /// Sorted full-outage windows `(start_s, end_s)`.
+    outages: Vec<(f64, f64)>,
+    queue_scale_ms: f64,
+    /// Per-link baseline loss: links are *not* equally lossy — a flaky
+    /// trans-oceanic circuit and a clean campus uplink differ by orders of
+    /// magnitude, and that heterogeneity is what makes low-loss detours
+    /// possible (paper Figures 3–5).
+    loss_base: f64,
+    loss_scale: f64,
+    tz: i8,
+}
+
+/// One sampled traversal of one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSample {
+    /// Queuing delay experienced, milliseconds.
+    pub queue_delay_ms: f64,
+    /// Whether the packet was dropped at this link.
+    pub lost: bool,
+}
+
+/// The complete load model for a topology over a time horizon.
+#[derive(Debug, Clone)]
+pub struct LoadModel {
+    cfg: LoadConfig,
+    profile: DiurnalProfile,
+    cal: Calendar,
+    links: Vec<LinkLoad>,
+}
+
+/// Wander periods (seconds): ~3.1 h and ~13.9 h, incommensurate with each
+/// other and with the 24 h diurnal cycle.
+const WANDER_PERIODS_S: [f64; 2] = [11_160.0, 50_040.0];
+
+impl LoadModel {
+    /// Builds the load process for every link of `topo` over
+    /// `[0, horizon_s)` seconds. Deterministic in `seed`.
+    pub fn generate(topo: &Topology, cfg: LoadConfig, seed: u64, horizon_s: f64) -> LoadModel {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x10ad_10ad_10ad_10ad);
+        let links = topo
+            .links
+            .iter()
+            .map(|l| {
+                // A non-internal link touching a stub AS is an access
+                // uplink, not a transit interconnect.
+                let touches_stub = {
+                    use crate::topology::AsTier;
+                    topo.asys(topo.router(l.from).asn).tier == AsTier::Stub
+                        || topo.asys(topo.router(l.to).asn).tier == AsTier::Stub
+                };
+                let (base_range, queue_scale, loss_scale, ev_rate) = match l.kind {
+                    LinkKind::Internal => (
+                        cfg.base_internal,
+                        cfg.queue_scale_internal_ms,
+                        cfg.loss_scale,
+                        cfg.events_per_day,
+                    ),
+                    LinkKind::PrivateInterconnect if touches_stub => (
+                        cfg.base_access,
+                        cfg.queue_scale_private_ms,
+                        cfg.loss_scale,
+                        cfg.events_per_day,
+                    ),
+                    LinkKind::PrivateInterconnect => (
+                        cfg.base_private,
+                        cfg.queue_scale_private_ms,
+                        cfg.loss_scale,
+                        cfg.events_per_day,
+                    ),
+                    LinkKind::PublicExchange => (
+                        cfg.base_public,
+                        cfg.queue_scale_public_ms,
+                        cfg.loss_scale_public,
+                        cfg.events_per_day_public,
+                    ),
+                };
+                let mut base = rng.gen_range(base_range.0..base_range.1);
+                // Chronic hotspots among ordinary links (public exchange
+                // ports are already hot by their own base range).
+                if l.kind != LinkKind::PublicExchange && rng.gen_bool(cfg.hot_fraction) {
+                    base = rng.gen_range(cfg.base_hot.0..cfg.base_hot.1);
+                }
+                let wander = [
+                    (rng.gen_range(0.0..std::f64::consts::TAU), rng.gen_range(0.04..0.14)),
+                    (rng.gen_range(0.0..std::f64::consts::TAU), rng.gen_range(0.03..0.10)),
+                ];
+                // Log-uniform per-link loss multiplier over [0.1, 10]: some
+                // links are nearly lossless, some chronically flaky.
+                let loss_mult = (rng.gen_range(-1.0f64..1.0) * 10.0f64.ln()).exp();
+                // Poisson congestion events over the horizon.
+                let mut events = Vec::new();
+                let mean_gap = 86_400.0 / ev_rate.max(1e-9);
+                let mut t = -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * mean_gap;
+                while t < horizon_s {
+                    let dur =
+                        -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * cfg.event_duration_s;
+                    let mag = rng.gen_range(cfg.event_magnitude.0..cfg.event_magnitude.1);
+                    events.push((t, t + dur.max(60.0), mag));
+                    t += dur + -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * mean_gap;
+                }
+                // Rare full outages, Poisson over the horizon.
+                let mut outages = Vec::new();
+                let outage_gap = 86_400.0 / cfg.outages_per_day.max(1e-9);
+                let mut ot =
+                    -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * outage_gap;
+                while ot < horizon_s {
+                    let dur = (-(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln()
+                        * cfg.outage_duration_s)
+                        .max(30.0);
+                    outages.push((ot, ot + dur));
+                    ot += dur
+                        + -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * outage_gap;
+                }
+                let tz = CITIES[topo.router(l.from).city].utc_offset_hours;
+                LinkLoad {
+                    base,
+                    wander,
+                    events,
+                    outages,
+                    queue_scale_ms: queue_scale,
+                    loss_base: cfg.loss_base * loss_mult,
+                    loss_scale,
+                    tz,
+                }
+            })
+            .collect();
+        LoadModel { cfg, profile: DiurnalProfile::default(), cal: Calendar, links }
+    }
+
+    /// Instantaneous utilization of `link` at time `t`, in `[0, 0.97]`.
+    pub fn utilization(&self, link: LinkId, t: SimTime) -> f64 {
+        let ll = &self.links[link.0 as usize];
+        let diurnal = self.profile.factor(&self.cal, t, ll.tz);
+        let mut rho = ll.base * diurnal;
+        for (i, &(phase, amp)) in ll.wander.iter().enumerate() {
+            rho += amp * (std::f64::consts::TAU * t.0 / WANDER_PERIODS_S[i] + phase).sin();
+        }
+        // Congestion events: binary-search the sorted starts, then scan the
+        // handful of potentially overlapping predecessors.
+        let i = ll.events.partition_point(|&(s, _, _)| s <= t.0);
+        for &(s, e, m) in ll.events[..i].iter().rev().take(4) {
+            if t.0 >= s && t.0 < e {
+                rho += m;
+            }
+        }
+        rho.clamp(0.0, 0.97)
+    }
+
+    /// True when `link` is in a full-outage window at `t`.
+    pub fn is_down(&self, link: LinkId, t: SimTime) -> bool {
+        let ll = &self.links[link.0 as usize];
+        let i = ll.outages.partition_point(|&(s, _)| s <= t.0);
+        i > 0 && t.0 < ll.outages[i - 1].1
+    }
+
+    /// Mean queuing delay (ms) at utilization `rho` for `link`.
+    pub fn mean_queue_delay_ms(&self, link: LinkId, rho: f64) -> f64 {
+        let ll = &self.links[link.0 as usize];
+        (ll.queue_scale_ms * rho / (1.0 - rho).max(0.03)).min(self.cfg.queue_cap_ms)
+    }
+
+    /// Loss probability at utilization `rho` for `link`.
+    pub fn loss_probability(&self, link: LinkId, rho: f64) -> f64 {
+        let ll = &self.links[link.0 as usize];
+        let knee = self.cfg.loss_knee;
+        let over = ((rho - knee) / (1.0 - knee)).max(0.0);
+        (ll.loss_base + ll.loss_scale * over * over).min(0.5)
+    }
+
+    /// Per-link probability that a packet hits a pathological delay burst
+    /// (router slow path, transient rerouting, upstream buffer storm). Rare
+    /// per link, but a 12-link path sees one every ~20 packets — the heavy
+    /// RTT tails of \[Bol93\]/\[Pax97a\].
+    pub const SPIKE_PROB: f64 = 0.0004;
+
+    /// Mean extra delay of a burst, milliseconds.
+    pub const SPIKE_MEAN_MS: f64 = 300.0;
+
+    /// Samples one packet's traversal of `link` at time `t`: Gamma(2)
+    /// queuing delay around the M/M/1 mean, a rare heavy-tail delay spike,
+    /// and Bernoulli loss.
+    pub fn sample(&self, link: LinkId, t: SimTime, rng: &mut impl Rng) -> LinkSample {
+        if self.is_down(link, t) {
+            return LinkSample { queue_delay_ms: 0.0, lost: true };
+        }
+        let rho = (self.utilization(link, t) + rng.gen_range(-0.04..0.04)).clamp(0.0, 0.97);
+        let mean_q = self.mean_queue_delay_ms(link, rho);
+        // Gamma(k=4): the sum of four exponentials at mean/4 — right-skewed
+        // like a real queue, but mild enough that path means track medians
+        // (the paper's §6.1 finding).
+        let ln_prod: f64 = (0..4)
+            .map(|_| rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln())
+            .sum();
+        let mut queue_delay_ms =
+            (-mean_q / 4.0 * ln_prod).min(self.cfg.queue_cap_ms * 4.0);
+        if rng.gen_bool(Self::SPIKE_PROB) {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            queue_delay_ms += -Self::SPIKE_MEAN_MS * u.ln();
+        }
+        let lost = rng.gen_bool(self.loss_probability(link, rho));
+        LinkSample { queue_delay_ms, lost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::generator::{generate, Era, TopologyConfig};
+
+    fn model() -> (Topology, LoadModel) {
+        let topo =
+            generate(&TopologyConfig::for_era(Era::Y1999), &mut StdRng::seed_from_u64(5));
+        let cfg = LoadConfig::for_era(Era::Y1999);
+        let lm = LoadModel::generate(&topo, cfg, 5, 14.0 * 86_400.0);
+        (topo, lm)
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let (topo, lm) = model();
+        for l in topo.links.iter().step_by(7) {
+            for h in (0..336).step_by(13) {
+                let rho = lm.utilization(l.id, SimTime::from_hours(h as f64));
+                assert!((0.0..=0.97).contains(&rho), "rho = {rho}");
+            }
+        }
+    }
+
+    #[test]
+    fn business_hours_run_hotter_than_night() {
+        let (topo, lm) = model();
+        // Average across links: Tuesday 11:00 local vs Tuesday 03:00 local.
+        let mut day = 0.0;
+        let mut night = 0.0;
+        let mut n = 0.0;
+        for l in &topo.links {
+            let tz = CITIES[topo.router(l.from).city].utc_offset_hours as f64;
+            let day_t = SimTime::from_hours(24.0 + 11.0 - tz);
+            let night_t = SimTime::from_hours(24.0 + 3.0 - tz);
+            day += lm.utilization(l.id, day_t);
+            night += lm.utilization(l.id, night_t);
+            n += 1.0;
+        }
+        assert!(day / n > 1.4 * (night / n), "day {day} vs night {night}");
+    }
+
+    #[test]
+    fn public_exchanges_run_hotter() {
+        let (topo, lm) = model();
+        // Tuesday 20:00 UTC = noon PST: most links are at their local peak.
+        let avg = |kind: LinkKind| {
+            let ls: Vec<_> = topo.links.iter().filter(|l| l.kind == kind).collect();
+            let sum: f64 = ls
+                .iter()
+                .map(|l| lm.utilization(l.id, SimTime::from_hours(44.0)))
+                .sum();
+            sum / ls.len().max(1) as f64
+        };
+        assert!(
+            avg(LinkKind::PublicExchange) > avg(LinkKind::Internal) + 0.08,
+            "public {} vs internal {}",
+            avg(LinkKind::PublicExchange),
+            avg(LinkKind::Internal)
+        );
+    }
+
+    #[test]
+    fn loss_probability_turns_up_past_knee() {
+        let (topo, lm) = model();
+        let l = topo.links[0].id;
+        let low = lm.loss_probability(l, 0.3);
+        let mid = lm.loss_probability(l, 0.75);
+        let high = lm.loss_probability(l, 0.95);
+        assert!(low < 0.01);
+        assert!(high > mid && mid >= low);
+        assert!(high > 0.01, "saturated links must visibly drop: {high}");
+    }
+
+    #[test]
+    fn queue_delay_grows_with_utilization_and_caps() {
+        let (topo, lm) = model();
+        let l = topo.links[0].id;
+        assert!(lm.mean_queue_delay_ms(l, 0.9) > lm.mean_queue_delay_ms(l, 0.3));
+        assert!(lm.mean_queue_delay_ms(l, 0.999) <= 120.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_rng() {
+        let (topo, lm) = model();
+        let l = topo.links[3].id;
+        let t = SimTime::from_hours(50.0);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(lm.sample(l, t, &mut r1), lm.sample(l, t, &mut r2));
+        }
+    }
+
+    #[test]
+    fn congestion_events_move_utilization() {
+        // Somewhere in 14 days, some link must be pushed above its
+        // event-free level.
+        let (topo, lm) = model();
+        let mut saw_spike = false;
+        'outer: for l in &topo.links {
+            let ll = &lm.links[l.id.0 as usize];
+            for &(s, e, m) in &ll.events {
+                if m < 0.15 || e - s < 120.0 {
+                    continue;
+                }
+                let during = lm.utilization(l.id, SimTime(s + 30.0));
+                let after = lm.utilization(l.id, SimTime(e + 1.0));
+                if during > after + 0.1 {
+                    saw_spike = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(saw_spike, "no congestion spike observed in two weeks");
+    }
+
+    #[test]
+    fn outages_black_hole_the_link() {
+        let (topo, lm) = model();
+        // Find any link with an outage window and verify total loss inside.
+        let mut found = false;
+        for l in &topo.links {
+            let ll = &lm.links[l.id.0 as usize];
+            if let Some(&(start, end)) = ll.outages.first() {
+                if end > start + 60.0 && end < 14.0 * 86_400.0 {
+                    found = true;
+                    let mid = SimTime((start + end) / 2.0);
+                    assert!(lm.is_down(l.id, mid));
+                    assert!(!lm.is_down(l.id, SimTime(end + 1.0)));
+                    let mut rng = StdRng::seed_from_u64(3);
+                    for _ in 0..20 {
+                        assert!(lm.sample(l.id, mid, &mut rng).lost);
+                    }
+                    break;
+                }
+            }
+        }
+        assert!(found, "two weeks x hundreds of links should include an outage");
+    }
+
+    #[test]
+    fn outages_are_rare() {
+        let (topo, lm) = model();
+        let horizon = 14.0 * 86_400.0;
+        let total_down: f64 = topo
+            .links
+            .iter()
+            .map(|l| {
+                lm.links[l.id.0 as usize]
+                    .outages
+                    .iter()
+                    .map(|&(s, e)| (e.min(horizon) - s).max(0.0))
+                    .sum::<f64>()
+            })
+            .sum();
+        let frac = total_down / (horizon * topo.links.len() as f64);
+        assert!(frac < 0.005, "links down {frac} of the time");
+        assert!(frac > 0.0, "some outage expected across the whole mesh");
+    }
+
+    #[test]
+    fn mean_sampled_queue_delay_tracks_model_mean() {
+        let (topo, lm) = model();
+        let l = topo.links[0].id;
+        let t = SimTime::from_hours(34.0); // midday Tuesday
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 4000;
+        let mean: f64 =
+            (0..n).map(|_| lm.sample(l, t, &mut rng).queue_delay_ms).sum::<f64>() / n as f64;
+        let rho = lm.utilization(l, t);
+        // The sampled mean sits near the model mean plus the small constant
+        // contribution of delay spikes (SPIKE_PROB × SPIKE_MEAN_MS ≈ 0.5 ms).
+        let model_mean =
+            lm.mean_queue_delay_ms(l, rho) + LoadModel::SPIKE_PROB * LoadModel::SPIKE_MEAN_MS;
+        assert!(
+            (mean - model_mean).abs() < model_mean * 0.5 + 1.0,
+            "sampled {mean} vs model {model_mean}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Probing-overhead accounting and the interval/quality trade-off.
+//!
+//! An overlay's Achilles heel is its n² active-probing bill (the criticism
+//! RON drew). This module makes the trade-off measurable: what probing
+//! rate does a configuration cost, and how does routing quality degrade as
+//! the probe interval stretches and estimates go stale?
+
+use detour_netsim::sim::clock::SimTime;
+use detour_netsim::Network;
+use rand::Rng;
+
+use crate::eval::{evaluate, EvalConfig, EvalReport};
+use crate::mesh::{Overlay, OverlayConfig};
+
+/// Assumed size of one probe packet on the wire, bytes (ICMP echo + IP).
+pub const PROBE_BYTES: f64 = 64.0;
+
+/// Probing cost of an overlay configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeBudget {
+    /// Overlay size (members).
+    pub members: usize,
+    /// Probes per second across the whole mesh.
+    pub probes_per_second: f64,
+    /// Probe bytes per second across the whole mesh.
+    pub bytes_per_second: f64,
+    /// Probes per second *initiated by each member*.
+    pub per_member_probes_per_second: f64,
+}
+
+/// Computes the steady-state probing cost of `cfg` for an overlay of
+/// `members` hosts: every directed pair probed once per interval.
+pub fn probe_budget(members: usize, cfg: &OverlayConfig) -> ProbeBudget {
+    let pairs = (members * members.saturating_sub(1)) as f64;
+    let probes_per_second = pairs / cfg.probe_interval_s;
+    ProbeBudget {
+        members,
+        probes_per_second,
+        bytes_per_second: probes_per_second * PROBE_BYTES,
+        per_member_probes_per_second: probes_per_second / members.max(1) as f64,
+    }
+}
+
+/// One point of the interval/quality sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Probe interval evaluated, seconds.
+    pub probe_interval_s: f64,
+    /// Probing cost at this interval.
+    pub budget: ProbeBudget,
+    /// Evaluation outcome.
+    pub report: EvalReport,
+}
+
+/// Sweeps the probe interval, evaluating routing quality at each setting —
+/// the staleness/overhead trade-off in one table.
+pub fn interval_sweep(
+    net: &Network,
+    members: Vec<detour_netsim::HostId>,
+    intervals_s: &[f64],
+    start: SimTime,
+    eval: EvalConfig,
+    rng: &mut impl Rng,
+) -> Vec<SweepPoint> {
+    intervals_s
+        .iter()
+        .map(|&probe_interval_s| {
+            let cfg = OverlayConfig { probe_interval_s, ..OverlayConfig::default() };
+            let mut overlay = Overlay::new(members.clone(), cfg);
+            let report = evaluate(net, &mut overlay, start, eval, rng);
+            SweepPoint {
+                probe_interval_s,
+                budget: probe_budget(members.len(), &cfg),
+                report,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detour_netsim::{Era, HostId, NetworkConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn budget_scales_quadratically_with_members() {
+        let cfg = OverlayConfig::default();
+        let b8 = probe_budget(8, &cfg);
+        let b16 = probe_budget(16, &cfg);
+        // 16·15 / (8·7) ≈ 4.29.
+        let ratio = b16.probes_per_second / b8.probes_per_second;
+        assert!((ratio - 240.0 / 56.0).abs() < 1e-9, "ratio {ratio}");
+        assert!(b16.per_member_probes_per_second > b8.per_member_probes_per_second);
+    }
+
+    #[test]
+    fn budget_is_inversely_proportional_to_interval() {
+        let fast = OverlayConfig { probe_interval_s: 10.0, ..OverlayConfig::default() };
+        let slow = OverlayConfig { probe_interval_s: 100.0, ..OverlayConfig::default() };
+        let bf = probe_budget(10, &fast);
+        let bs = probe_budget(10, &slow);
+        assert!((bf.probes_per_second / bs.probes_per_second - 10.0).abs() < 1e-9);
+        assert!((bf.bytes_per_second - bf.probes_per_second * PROBE_BYTES).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let cfg = OverlayConfig::default();
+        let b = probe_budget(0, &cfg);
+        assert_eq!(b.probes_per_second, 0.0);
+        assert_eq!(b.per_member_probes_per_second, 0.0);
+    }
+
+    #[test]
+    fn sweep_evaluates_every_interval() {
+        let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 606, 1.0));
+        let members: Vec<HostId> =
+            net.hosts().iter().take(5).map(|h| h.id).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let points = interval_sweep(
+            &net,
+            members,
+            &[30.0, 300.0],
+            SimTime::from_hours(10.0),
+            EvalConfig { duration_s: 900.0, epoch_s: 450.0 },
+            &mut rng,
+        );
+        assert_eq!(points.len(), 2);
+        assert!(points[0].budget.probes_per_second > points[1].budget.probes_per_second);
+        for p in &points {
+            assert!(p.report.total > 0);
+        }
+    }
+}

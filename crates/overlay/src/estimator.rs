@@ -1,0 +1,179 @@
+//! EWMA path-quality estimation.
+//!
+//! An overlay cannot afford the luxury of the study's multi-week averages:
+//! it needs a current estimate that tracks diurnal swings and congestion
+//! events within minutes while riding out single-probe noise. The standard
+//! tool is the exponentially weighted moving average, applied separately to
+//! round-trip time and to a loss indicator.
+
+/// EWMA estimator of one directed overlay path's quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathEstimator {
+    /// Smoothing factor in `(0, 1]`: weight of the newest observation.
+    alpha: f64,
+    rtt_ms: Option<f64>,
+    /// Smoothed loss indicator (probability estimate in `[0, 1]`).
+    loss: f64,
+    /// Probes observed so far.
+    samples: u64,
+    /// Consecutive lost probes — the fast-failure signal.
+    consecutive_losses: u32,
+}
+
+impl PathEstimator {
+    /// Creates an estimator with the given smoothing factor.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> PathEstimator {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        PathEstimator { alpha, rtt_ms: None, loss: 0.0, samples: 0, consecutive_losses: 0 }
+    }
+
+    /// Feeds one probe outcome (`None` = lost).
+    pub fn observe(&mut self, rtt_ms: Option<f64>) {
+        self.samples += 1;
+        match rtt_ms {
+            Some(r) => {
+                assert!(r.is_finite() && r >= 0.0, "bogus RTT {r}");
+                self.rtt_ms = Some(match self.rtt_ms {
+                    None => r,
+                    Some(prev) => prev + self.alpha * (r - prev),
+                });
+                self.loss += self.alpha * (0.0 - self.loss);
+                self.consecutive_losses = 0;
+            }
+            None => {
+                self.loss += self.alpha * (1.0 - self.loss);
+                self.consecutive_losses += 1;
+            }
+        }
+    }
+
+    /// Current RTT estimate; `None` until the first successful probe.
+    pub fn rtt_ms(&self) -> Option<f64> {
+        self.rtt_ms
+    }
+
+    /// Current loss-rate estimate.
+    pub fn loss_rate(&self) -> f64 {
+        self.loss
+    }
+
+    /// Number of probes observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// True when the path looks dead: several consecutive losses. RON used
+    /// exactly this kind of outage trigger to fail over within seconds.
+    pub fn looks_down(&self) -> bool {
+        self.consecutive_losses >= 3
+    }
+
+    /// A single scalar score for path selection: the estimated *effective*
+    /// latency, penalizing loss by the expected retransmission delay it
+    /// causes (one RTT per retry, geometric retries).
+    ///
+    /// `None` until the path has an RTT estimate.
+    pub fn score_ms(&self) -> Option<f64> {
+        let rtt = self.rtt_ms?;
+        if self.looks_down() {
+            return Some(f64::MAX / 4.0);
+        }
+        let p = self.loss.min(0.99);
+        // Expected transmissions per delivered packet = 1 / (1 − p).
+        Some(rtt / (1.0 - p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = PathEstimator::new(0.0);
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = PathEstimator::new(0.3);
+        assert!(e.rtt_ms().is_none());
+        assert!(e.score_ms().is_none());
+        e.observe(Some(80.0));
+        assert_eq!(e.rtt_ms(), Some(80.0));
+        assert_eq!(e.samples(), 1);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = PathEstimator::new(0.25);
+        for _ in 0..100 {
+            e.observe(Some(42.0));
+        }
+        assert!((e.rtt_ms().unwrap() - 42.0).abs() < 1e-9);
+        assert!(e.loss_rate() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_tracks_level_shift() {
+        let mut e = PathEstimator::new(0.3);
+        for _ in 0..50 {
+            e.observe(Some(40.0));
+        }
+        for _ in 0..20 {
+            e.observe(Some(120.0));
+        }
+        let r = e.rtt_ms().unwrap();
+        assert!(r > 110.0, "should have mostly converged: {r}");
+        assert!(r < 120.0, "but not overshoot");
+    }
+
+    #[test]
+    fn loss_estimate_tracks_loss_fraction() {
+        let mut e = PathEstimator::new(0.05);
+        for i in 0..2000 {
+            e.observe(if i % 5 == 0 { None } else { Some(50.0) });
+        }
+        assert!((e.loss_rate() - 0.2).abs() < 0.08, "loss {}", e.loss_rate());
+    }
+
+    #[test]
+    fn consecutive_losses_flag_outage() {
+        let mut e = PathEstimator::new(0.3);
+        e.observe(Some(30.0));
+        assert!(!e.looks_down());
+        e.observe(None);
+        e.observe(None);
+        assert!(!e.looks_down(), "two losses are not yet an outage");
+        e.observe(None);
+        assert!(e.looks_down());
+        e.observe(Some(31.0));
+        assert!(!e.looks_down(), "a response clears the outage");
+    }
+
+    #[test]
+    fn score_penalizes_loss() {
+        let mut clean = PathEstimator::new(0.05);
+        let mut lossy = PathEstimator::new(0.05);
+        for i in 0..400 {
+            clean.observe(Some(100.0));
+            lossy.observe(if i % 2 == 0 { None } else { Some(80.0) });
+        }
+        // 80 ms at ~50 % loss scores worse than 100 ms clean:
+        // 80/0.5 = 160 > 100.
+        assert!(lossy.score_ms().unwrap() > clean.score_ms().unwrap());
+    }
+
+    #[test]
+    fn down_paths_score_prohibitively() {
+        let mut e = PathEstimator::new(0.3);
+        e.observe(Some(30.0));
+        for _ in 0..5 {
+            e.observe(None);
+        }
+        assert!(e.score_ms().unwrap() > 1e6);
+    }
+}

@@ -1,0 +1,40 @@
+//! # detour-overlay
+//!
+//! The paper's conclusion — 30–80 % of Internet paths have a measurably
+//! better alternate through another host — directly motivated the *Detour*
+//! and later *RON* overlay-routing systems. This crate is that system: a
+//! small library that turns a set of cooperating end hosts into an overlay
+//! which continuously measures the paths between its members and relays
+//! application traffic through an intermediate member whenever doing so
+//! beats the default route.
+//!
+//! Components:
+//!
+//! * [`estimator`] — per-path EWMA estimators of round-trip time and loss
+//!   fed by active probes;
+//! * [`mesh`] — the overlay mesh: membership, the pairwise link-state
+//!   table, and the probe loop;
+//! * [`routing`] — path selection with hysteresis (switch only for a
+//!   clear win, so routes don't flap) and relay execution;
+//! * [`eval`] — an evaluation harness comparing overlay routing against
+//!   the default paths over simulated time;
+//! * [`budget`] — the n² probing bill, and the probe-interval vs. routing-
+//!   quality trade-off.
+//!
+//! The overlay sees the network only through probes — the same information
+//! barrier the measurement study had.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod estimator;
+pub mod eval;
+pub mod mesh;
+pub mod routing;
+
+pub use budget::{interval_sweep, probe_budget, ProbeBudget};
+pub use estimator::PathEstimator;
+pub use eval::{evaluate, EvalConfig, EvalReport};
+pub use mesh::{Overlay, OverlayConfig};
+pub use routing::{OverlayRoute, RelayOutcome};

@@ -1,0 +1,219 @@
+//! The overlay mesh: membership and the probe loop.
+//!
+//! An overlay of `n` member hosts maintains `n·(n−1)` directed path
+//! estimators, refreshed by a light active-probing loop (one ping per
+//! directed pair per probe round). The estimator table is exactly the
+//! paper's measurement graph, maintained online.
+
+use detour_netsim::sim::clock::SimTime;
+use detour_netsim::{probe, HostId, Network};
+use rand::Rng;
+
+use crate::estimator::PathEstimator;
+
+/// Overlay tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayConfig {
+    /// EWMA smoothing factor for the path estimators.
+    pub ewma_alpha: f64,
+    /// Seconds between probe rounds.
+    pub probe_interval_s: f64,
+    /// Relative improvement a detour must show before we switch away from
+    /// the direct path (hysteresis against route flapping). `0.2` = 20 %.
+    pub switch_threshold: f64,
+    /// Extra forwarding latency added by relaying through a member host
+    /// (user-space forwarding, ms).
+    pub relay_overhead_ms: f64,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            ewma_alpha: 0.3,
+            probe_interval_s: 30.0,
+            switch_threshold: 0.15,
+            relay_overhead_ms: 1.0,
+        }
+    }
+}
+
+/// A running overlay instance.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    cfg: OverlayConfig,
+    members: Vec<HostId>,
+    /// Dense `n × n` estimator table (diagonal unused).
+    table: Vec<Vec<PathEstimator>>,
+    probe_rounds: u64,
+}
+
+impl Overlay {
+    /// Creates an overlay over the given member hosts.
+    ///
+    /// # Panics
+    /// Panics with fewer than 3 members (no detours possible) or duplicate
+    /// members.
+    pub fn new(members: Vec<HostId>, cfg: OverlayConfig) -> Overlay {
+        assert!(members.len() >= 3, "an overlay needs at least 3 members");
+        let mut sorted = members.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate overlay members");
+        let n = members.len();
+        let table = vec![vec![PathEstimator::new(cfg.ewma_alpha); n]; n];
+        Overlay { cfg, members, table, probe_rounds: 0 }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.cfg
+    }
+
+    /// Member hosts.
+    pub fn members(&self) -> &[HostId] {
+        &self.members
+    }
+
+    /// Number of completed probe rounds.
+    pub fn probe_rounds(&self) -> u64 {
+        self.probe_rounds
+    }
+
+    /// Index of a member.
+    pub fn member_index(&self, h: HostId) -> Option<usize> {
+        self.members.iter().position(|&m| m == h)
+    }
+
+    /// The estimator for the directed member pair `(src, dst)`.
+    pub fn estimate(&self, src: HostId, dst: HostId) -> Option<&PathEstimator> {
+        let (i, j) = (self.member_index(src)?, self.member_index(dst)?);
+        (i != j).then(|| &self.table[i][j])
+    }
+
+    /// Runs one probe round at time `t`: one echo per directed pair.
+    ///
+    /// Probes within a round are spread over a few seconds, as a real
+    /// prober would pace them.
+    pub fn probe_round(&mut self, net: &Network, t: SimTime, rng: &mut impl Rng) {
+        let n = self.members.len();
+        let mut offset = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let when = t.plus_secs(offset);
+                offset += 0.02;
+                let res = probe::ping(net, self.members[i], self.members[j], when, rng);
+                self.table[i][j].observe(res.rtt_ms);
+            }
+        }
+        self.probe_rounds += 1;
+    }
+
+    /// Runs probe rounds from `start` for `duration_s` at the configured
+    /// interval.
+    pub fn run(&mut self, net: &Network, start: SimTime, duration_s: f64, rng: &mut impl Rng) {
+        let mut t = start;
+        let end = start.plus_secs(duration_s);
+        while t.0 < end.0 {
+            self.probe_round(net, t, rng);
+            t = t.plus_secs(self.cfg.probe_interval_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detour_netsim::{Era, NetworkConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        Network::generate(&NetworkConfig::for_era(Era::Y1999, 2024, 2.0))
+    }
+
+    fn members(net: &Network, n: usize) -> Vec<HostId> {
+        net.hosts().iter().take(n).map(|h| h.id).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn two_members_rejected() {
+        let n = net();
+        let _ = Overlay::new(members(&n, 2), OverlayConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        let n = net();
+        let m = members(&n, 3);
+        let _ = Overlay::new(vec![m[0], m[1], m[0]], OverlayConfig::default());
+    }
+
+    #[test]
+    fn probe_round_populates_every_pair() {
+        let n = net();
+        let mut ov = Overlay::new(members(&n, 5), OverlayConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        // A few rounds so even paths with a lost first probe get samples.
+        for k in 0..5 {
+            ov.probe_round(&n, SimTime::from_hours(10.0 + k as f64 * 0.01), &mut rng);
+        }
+        assert_eq!(ov.probe_rounds(), 5);
+        for &a in ov.members() {
+            for &b in ov.members() {
+                if a == b {
+                    continue;
+                }
+                let e = ov.estimate(a, b).unwrap();
+                assert_eq!(e.samples(), 5);
+                assert!(e.rtt_ms().is_some(), "{a:?}->{b:?} never answered");
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_track_the_underlying_network() {
+        let n = net();
+        let mut ov = Overlay::new(members(&n, 4), OverlayConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        ov.run(&n, SimTime::from_hours(20.0), 600.0, &mut rng);
+        // Compare the overlay estimate with an independent probe average.
+        let (a, b) = (ov.members()[0], ov.members()[1]);
+        let est = ov.estimate(a, b).unwrap().rtt_ms().unwrap();
+        let mut direct = Vec::new();
+        for _ in 0..40 {
+            if let Some(r) = probe::ping(&n, a, b, SimTime::from_hours(20.2), &mut rng).rtt_ms {
+                direct.push(r);
+            }
+        }
+        let mean = direct.iter().sum::<f64>() / direct.len() as f64;
+        assert!(
+            (est - mean).abs() < mean * 0.5 + 10.0,
+            "estimate {est} vs independent mean {mean}"
+        );
+    }
+
+    #[test]
+    fn run_paces_by_interval() {
+        let n = net();
+        let mut cfg = OverlayConfig::default();
+        cfg.probe_interval_s = 60.0;
+        let mut ov = Overlay::new(members(&n, 3), cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        ov.run(&n, SimTime::from_hours(5.0), 600.0, &mut rng);
+        assert_eq!(ov.probe_rounds(), 10);
+    }
+
+    #[test]
+    fn non_members_have_no_estimates() {
+        let n = net();
+        let ov = Overlay::new(members(&n, 3), OverlayConfig::default());
+        let outsider = n.hosts().last().unwrap().id;
+        assert!(ov.estimate(ov.members()[0], outsider).is_none());
+        assert!(ov.estimate(ov.members()[0], ov.members()[0]).is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! Overlay path selection and relay execution.
+//!
+//! Selection considers the direct path and every one-intermediate detour
+//! through a member (the paper's one-hop synthetic paths, live). Two
+//! stabilizers keep it deployable:
+//!
+//! * **hysteresis** — a detour must beat the direct path's score by the
+//!   configured threshold before we leave the default route (the paper's
+//!   §6.4 warns that the best alternate swings wildly episode to episode);
+//! * **outage override** — if the direct path looks down, fail over to the
+//!   best detour immediately regardless of threshold (RON's headline
+//!   feature).
+
+use detour_netsim::sim::clock::SimTime;
+use detour_netsim::{probe, HostId, Network};
+use rand::Rng;
+
+use crate::mesh::Overlay;
+
+/// A selected overlay route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlayRoute {
+    /// Source member.
+    pub src: HostId,
+    /// Destination member.
+    pub dst: HostId,
+    /// Relay member, or `None` for the direct path.
+    pub via: Option<HostId>,
+    /// Estimated effective latency of the chosen route, ms.
+    pub estimated_ms: f64,
+}
+
+impl OverlayRoute {
+    /// True when the route detours through a relay.
+    pub fn is_detour(&self) -> bool {
+        self.via.is_some()
+    }
+}
+
+/// Outcome of sending one packet over a chosen route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelayOutcome {
+    /// End-to-end round-trip time; `None` when lost on any leg.
+    pub rtt_ms: Option<f64>,
+    /// Route used.
+    pub route: OverlayRoute,
+}
+
+impl Overlay {
+    /// Selects the route from `src` to `dst` given current estimates.
+    ///
+    /// Returns `None` when either endpoint is not a member or the direct
+    /// path has no estimate yet (selection needs a baseline).
+    pub fn route(&self, src: HostId, dst: HostId) -> Option<OverlayRoute> {
+        let direct = self.estimate(src, dst)?;
+        let direct_score = direct.score_ms()?;
+
+        let mut best: Option<(f64, HostId)> = None;
+        for &m in self.members() {
+            if m == src || m == dst {
+                continue;
+            }
+            let (Some(leg1), Some(leg2)) = (self.estimate(src, m), self.estimate(m, dst))
+            else {
+                continue;
+            };
+            let (Some(s1), Some(s2)) = (leg1.score_ms(), leg2.score_ms()) else { continue };
+            let score = s1 + s2 + self.config().relay_overhead_ms;
+            if best.map_or(true, |(b, _)| score < b) {
+                best = Some((score, m));
+            }
+        }
+
+        let threshold = 1.0 - self.config().switch_threshold;
+        match best {
+            Some((score, via))
+                if direct.looks_down() && score < direct_score =>
+            {
+                // Outage failover: any live detour beats a dead direct path.
+                Some(OverlayRoute { src, dst, via: Some(via), estimated_ms: score })
+            }
+            Some((score, via)) if score < direct_score * threshold => {
+                Some(OverlayRoute { src, dst, via: Some(via), estimated_ms: score })
+            }
+            _ => Some(OverlayRoute { src, dst, via: None, estimated_ms: direct_score }),
+        }
+    }
+
+    /// Sends one echo over `route` at time `t`, relaying if the route says
+    /// so, and reports what actually happened on the wire.
+    pub fn send(
+        &self,
+        net: &Network,
+        route: OverlayRoute,
+        t: SimTime,
+        rng: &mut impl Rng,
+    ) -> RelayOutcome {
+        let rtt_ms = match route.via {
+            None => probe::ping(net, route.src, route.dst, t, rng).rtt_ms,
+            Some(via) => {
+                let leg1 = probe::ping(net, route.src, via, t, rng).rtt_ms;
+                match leg1 {
+                    None => None,
+                    Some(r1) => {
+                        let t2 = t.plus_secs(r1 / 1000.0);
+                        probe::ping(net, via, route.dst, t2, rng)
+                            .rtt_ms
+                            .map(|r2| r1 + r2 + self.config().relay_overhead_ms)
+                    }
+                }
+            }
+        };
+        RelayOutcome { rtt_ms, route }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::OverlayConfig;
+    use detour_netsim::{Era, NetworkConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        Network::generate(&NetworkConfig::for_era(Era::Y1999, 77_000, 2.0))
+    }
+
+    fn overlay(net: &Network, n: usize) -> Overlay {
+        let members: Vec<HostId> = net.hosts().iter().take(n).map(|h| h.id).collect();
+        Overlay::new(members, OverlayConfig::default())
+    }
+
+    fn warmed(net: &Network, n: usize, rng: &mut StdRng) -> Overlay {
+        let mut ov = overlay(net, n);
+        ov.run(net, SimTime::from_hours(18.0), 300.0, rng);
+        ov
+    }
+
+    #[test]
+    fn routes_exist_for_all_member_pairs_after_warmup() {
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ov = warmed(&n, 6, &mut rng);
+        for &a in ov.members() {
+            for &b in ov.members() {
+                if a == b {
+                    continue;
+                }
+                let r = ov.route(a, b).expect("warmed overlay routes everywhere");
+                assert_eq!(r.src, a);
+                assert_eq!(r.dst, b);
+                assert!(r.estimated_ms > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn no_route_before_any_probes() {
+        let n = net();
+        let ov = overlay(&n, 4);
+        assert!(ov.route(ov.members()[0], ov.members()[1]).is_none());
+    }
+
+    #[test]
+    fn detours_only_on_clear_wins() {
+        // With a 15 % threshold, every selected detour must estimate at
+        // least 15 % better than the direct path's score.
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ov = warmed(&n, 8, &mut rng);
+        for &a in ov.members() {
+            for &b in ov.members() {
+                if a == b {
+                    continue;
+                }
+                let r = ov.route(a, b).unwrap();
+                if let Some(_via) = r.via {
+                    let direct = ov.estimate(a, b).unwrap().score_ms().unwrap();
+                    assert!(
+                        r.estimated_ms < direct * 0.85 + 1e-9,
+                        "{a:?}->{b:?}: detour {:.1} vs direct {direct:.1}",
+                        r.estimated_ms
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn send_executes_the_relay() {
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ov = warmed(&n, 6, &mut rng);
+        let (a, b) = (ov.members()[0], ov.members()[3]);
+        let via = ov.members()[1];
+        let forced = OverlayRoute { src: a, dst: b, via: Some(via), estimated_ms: 0.0 };
+        let mut got = 0;
+        let mut sum = 0.0;
+        for k in 0..30 {
+            let out =
+                ov.send(&n, forced, SimTime::from_hours(18.2 + k as f64 * 0.001), &mut rng);
+            if let Some(r) = out.rtt_ms {
+                got += 1;
+                sum += r;
+            }
+        }
+        assert!(got > 15, "relayed sends mostly succeed");
+        // The relayed RTT includes both legs and the forwarding overhead,
+        // so it must exceed either leg's estimate alone.
+        let leg1 = ov.estimate(a, via).unwrap().rtt_ms().unwrap();
+        assert!(sum / got as f64 > leg1);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_marginal_detours() {
+        // Rebuild the same overlay with an enormous threshold: no detour
+        // should survive selection.
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(4);
+        let members: Vec<HostId> = n.hosts().iter().take(8).map(|h| h.id).collect();
+        let mut cfg = OverlayConfig::default();
+        cfg.switch_threshold = 0.95;
+        let mut ov = Overlay::new(members, cfg);
+        ov.run(&n, SimTime::from_hours(18.0), 300.0, &mut rng);
+        for &a in ov.members() {
+            for &b in ov.members() {
+                if a != b {
+                    assert!(ov.route(a, b).unwrap().via.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn some_pairs_pick_detours_at_modest_threshold() {
+        // The paper's whole point: on a policy-routed Internet, an 8-member
+        // overlay should find at least one pair worth detouring.
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ov = warmed(&n, 8, &mut rng);
+        let detours = ov
+            .members()
+            .iter()
+            .flat_map(|&a| ov.members().iter().map(move |&b| (a, b)))
+            .filter(|&(a, b)| a != b)
+            .filter(|&(a, b)| ov.route(a, b).unwrap().is_detour())
+            .count();
+        assert!(detours > 0, "no detours found at 15% threshold");
+    }
+}

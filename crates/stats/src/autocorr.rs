@@ -1,0 +1,104 @@
+//! Autocorrelation and effective sample size.
+//!
+//! Paper §4.1: "When we compare or combine two such statistics we are
+//! implicitly assuming that the measurements are all independent. This is
+//! clearly not true…". This module quantifies how untrue: the lag-k
+//! autocorrelation of a sample series, and the *effective* sample size
+//! after discounting the dependence — the honest `n` to feed a confidence
+//! interval.
+
+/// Lag-`k` sample autocorrelation of `xs` (biased estimator, the standard
+/// time-series convention). Returns `None` when the series is too short or
+/// has zero variance.
+pub fn autocorrelation(xs: &[f64], k: usize) -> Option<f64> {
+    let n = xs.len();
+    if n < 2 || k >= n {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    let num: f64 =
+        (0..n - k).map(|i| (xs[i] - mean) * (xs[i + k] - mean)).sum();
+    Some(num / denom)
+}
+
+/// Effective sample size under an AR-style dependence estimate:
+/// `n_eff = n / (1 + 2 Σ_{k=1..K} ρ_k)`, truncating the sum at the first
+/// non-positive autocorrelation (Geyer's initial positive sequence, the
+/// standard MCMC practice).
+///
+/// Returns `n` itself for an independent series, and as little as 1 for a
+/// perfectly dependent one.
+pub fn effective_sample_size(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 3 {
+        return n as f64;
+    }
+    let mut rho_sum = 0.0;
+    for k in 1..n / 2 {
+        match autocorrelation(xs, k) {
+            Some(r) if r > 0.0 => rho_sum += r,
+            _ => break,
+        }
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).clamp(1.0, n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        assert!((autocorrelation(&xs, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_noise_has_near_zero_autocorrelation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let r1 = autocorrelation(&xs, 1).unwrap();
+        assert!(r1.abs() < 0.06, "rho1 = {r1}");
+        let ess = effective_sample_size(&xs);
+        assert!(ess > 1500.0, "ess = {ess}");
+    }
+
+    #[test]
+    fn slow_drift_has_high_autocorrelation_and_small_ess() {
+        // A slow sinusoid sampled densely: adjacent samples nearly equal.
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 500.0).sin())
+            .collect();
+        assert!(autocorrelation(&xs, 1).unwrap() > 0.95);
+        let ess = effective_sample_size(&xs);
+        assert!(ess < 100.0, "ess = {ess}");
+    }
+
+    #[test]
+    fn constant_series_yields_none() {
+        let xs = [5.0; 10];
+        assert!(autocorrelation(&xs, 1).is_none());
+        // ESS falls back to n for a zero-variance series.
+        assert_eq!(effective_sample_size(&xs), 10.0);
+    }
+
+    #[test]
+    fn short_series_handled() {
+        assert!(autocorrelation(&[1.0], 1).is_none());
+        assert_eq!(effective_sample_size(&[1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1).unwrap() < -0.9);
+        // Negative autocorrelation must not inflate ESS beyond n.
+        assert!(effective_sample_size(&xs) <= 100.0);
+    }
+}

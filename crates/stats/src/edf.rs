@@ -1,0 +1,179 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Every figure in the paper is a CDF "across all pairs of hosts of the
+//! difference between the mean value for the metric in question and the mean
+//! value derived for the best alternate path" (§5). The paper also trims its
+//! graphs "to eliminate visual scaling artifacts resulting from very long
+//! tails, so consequently some of our CDFs do not reach 100 %" — [`Cdf::trim`]
+//! reproduces that.
+
+/// An empirical CDF over a finite sample.
+///
+/// Stored as the sorted sample; evaluation uses the right-continuous step
+/// function `F(x) = #{ xi <= x } / n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw (unsorted) observations.
+    ///
+    /// NaN values are dropped; the paper's pipelines never produce them, but
+    /// a robust tool should not panic on degenerate inputs.
+    pub fn from_samples(xs: impl IntoIterator<Item = f64>) -> Cdf {
+        let mut sorted: Vec<f64> = xs.into_iter().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Cdf { sorted }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted underlying sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates `F(x)`: the fraction of observations `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// The fraction of observations strictly greater than `x`.
+    ///
+    /// `fraction_above(0.0)` is the paper's headline number: the fraction of
+    /// host pairs whose best alternate path beats the default (when the
+    /// plotted quantity is `default - alternate`).
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// Inverse CDF: the `q`-quantile of the sample.
+    pub fn inverse(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        Some(crate::quantile::quantile_sorted(&self.sorted, q))
+    }
+
+    /// Step-function points `(x, F(x))` suitable for plotting, one point per
+    /// distinct observation.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut pts = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            let mut j = i;
+            while j < self.sorted.len() && self.sorted[j] == x {
+                j += 1;
+            }
+            pts.push((x, j as f64 / n));
+            i = j;
+        }
+        pts
+    }
+
+    /// Returns the points of the CDF restricted to `x` in `[lo, hi]`,
+    /// mirroring the paper's trimming of long tails: the y-values are kept
+    /// as absolute fractions so a trimmed curve "does not reach 100 %".
+    pub fn trim(&self, lo: f64, hi: f64) -> Vec<(f64, f64)> {
+        self.points().into_iter().filter(|&(x, _)| x >= lo && x <= hi).collect()
+    }
+
+    /// Samples the CDF at `n + 1` evenly spaced x positions across `[lo, hi]`,
+    /// handy for compact textual figure output.
+    pub fn sample_grid(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 1 && hi >= lo);
+        (0..=n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / n as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf_evaluates_to_zero() {
+        let c = Cdf::from_samples([]);
+        assert!(c.is_empty());
+        assert_eq!(c.eval(0.0), 0.0);
+        assert!(c.inverse(0.5).is_none());
+    }
+
+    #[test]
+    fn eval_is_right_continuous_step() {
+        let c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.5), 0.5);
+        assert_eq!(c.eval(4.0), 1.0);
+        assert_eq!(c.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_above_complements_eval() {
+        let c = Cdf::from_samples([-1.0, 0.0, 1.0, 2.0]);
+        assert!((c.fraction_above(0.0) - 0.5).abs() < 1e-12);
+        assert!((c.eval(0.0) + c.fraction_above(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_values_collapse_to_one_point() {
+        let c = Cdf::from_samples([2.0, 2.0, 2.0, 5.0]);
+        let pts = c.points();
+        assert_eq!(pts, vec![(2.0, 0.75), (5.0, 1.0)]);
+    }
+
+    #[test]
+    fn nan_values_are_dropped() {
+        let c = Cdf::from_samples([1.0, f64::NAN, 3.0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn trim_preserves_absolute_fractions() {
+        let c = Cdf::from_samples([-100.0, 0.0, 1.0, 2.0, 500.0]);
+        let trimmed = c.trim(-10.0, 10.0);
+        // Tail points removed, but the y values are global fractions, so the
+        // visible curve tops out below 1.0 — exactly the paper's trimming.
+        assert_eq!(trimmed.len(), 3);
+        let max_y = trimmed.iter().map(|&(_, y)| y).fold(0.0, f64::max);
+        assert!(max_y < 1.0);
+    }
+
+    #[test]
+    fn inverse_matches_quantile() {
+        let c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.inverse(0.0), Some(1.0));
+        assert_eq!(c.inverse(1.0), Some(4.0));
+        assert_eq!(c.inverse(0.5), Some(2.5));
+    }
+
+    #[test]
+    fn sample_grid_is_monotone() {
+        let c = Cdf::from_samples((0..100).map(|i| (i as f64).sin()));
+        let grid = c.sample_grid(-1.0, 1.0, 40);
+        assert_eq!(grid.len(), 41);
+        for w in grid.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Fixed-bin histograms.
+//!
+//! Used as the discretized representation of a path's round-trip-time sample
+//! distribution when convolving distributions to compute the median of a
+//! synthetic path (paper §6.1), and for compact textual rendering of figure
+//! data.
+
+/// A histogram over `[lo, hi)` with equally sized bins.
+///
+/// Observations outside the range are clamped into the first/last bin so no
+/// mass is silently lost — convolution (see [`crate::convolve`]) must
+/// conserve probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi)` with `bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Index of the bin that `x` falls into (after clamping).
+    pub fn bin_index(&self, x: f64) -> usize {
+        let idx = ((x - self.lo) / self.bin_width()).floor();
+        (idx.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Center x-value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, x: f64) {
+        let i = self.bin_index(x);
+        self.counts[i] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Normalized bin masses (sums to 1); all-zero when empty.
+    pub fn masses(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Builds a histogram from samples, sizing the range to the data.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn from_samples(xs: &[f64], bins: usize) -> Option<Histogram> {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        // Widen a degenerate range so a constant sample still bins cleanly.
+        let (lo, hi) = if hi > lo { (lo, hi) } else { (lo - 0.5, hi + 0.5) };
+        let mut h = Histogram::new(lo, hi * (1.0 + 1e-9) + 1e-12, bins);
+        for &x in xs {
+            h.record(x);
+        }
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn records_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.5);
+        h.record(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_clamps_not_drops() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-100.0);
+        h.record(100.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 7);
+        for i in 0..100 {
+            h.record(i as f64 / 100.0);
+        }
+        let sum: f64 = h.masses().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_does_not_panic() {
+        let h = Histogram::from_samples(&[3.0, 3.0, 3.0], 4).unwrap();
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn from_samples_covers_full_range() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let h = Histogram::from_samples(&xs, 10).unwrap();
+        assert_eq!(h.total(), 101);
+        // Max value must land in the last bin, not overflow.
+        assert!(h.counts()[9] >= 1);
+    }
+
+    #[test]
+    fn bin_centers_are_ordered() {
+        let h = Histogram::new(-5.0, 5.0, 10);
+        for i in 1..h.bins() {
+            assert!(h.bin_center(i) > h.bin_center(i - 1));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The paper compares whole CDFs informally ("the difference is
+//! negligible", "the curves track together"). The KS statistic makes those
+//! judgments quantitative: the maximum vertical distance between two
+//! empirical CDFs, with an asymptotic p-value for the null hypothesis that
+//! both samples come from one distribution.
+
+use crate::edf::Cdf;
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D = sup |F1(x) − F2(x)|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution).
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n: (usize, usize),
+}
+
+impl KsTest {
+    /// Conventional rejection decision at significance `alpha`.
+    pub fn distinguishable_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Exact supremum distance between two empirical CDFs, evaluated at every
+/// jump point of either sample.
+pub fn ks_statistic(a: &Cdf, b: &Cdf) -> f64 {
+    let mut d: f64 = 0.0;
+    for &x in a.values().iter().chain(b.values()) {
+        d = d.max((a.eval(x) - b.eval(x)).abs());
+        // Also check just below the jump (left limits).
+        let eps = x.abs().max(1.0) * 1e-12;
+        d = d.max((a.eval(x - eps) - b.eval(x - eps)).abs());
+    }
+    d
+}
+
+/// Asymptotic survival function of the Kolmogorov distribution:
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Runs the two-sample KS test. Returns `None` if either sample is empty.
+pub fn ks_two_sample(a: &Cdf, b: &Cdf) -> Option<KsTest> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let d = ks_statistic(a, b);
+    let (n, m) = (a.len() as f64, b.len() as f64);
+    let ne = (n * m / (n + m)).sqrt();
+    // Asymptotic with the standard small-sample correction.
+    let lambda = (ne + 0.12 + 0.11 / ne) * d;
+    Some(KsTest { statistic: d, p_value: kolmogorov_q(lambda), n: (a.len(), b.len()) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf(xs: impl IntoIterator<Item = f64>) -> Cdf {
+        Cdf::from_samples(xs)
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = cdf((0..100).map(|i| i as f64));
+        let t = ks_two_sample(&a, &a.clone()).unwrap();
+        assert_eq!(t.statistic, 0.0);
+        assert!(t.p_value > 0.99);
+        assert!(!t.distinguishable_at(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = cdf((0..50).map(|i| i as f64));
+        let b = cdf((0..50).map(|i| 1000.0 + i as f64));
+        let t = ks_two_sample(&a, &b).unwrap();
+        assert!((t.statistic - 1.0).abs() < 1e-12);
+        assert!(t.p_value < 1e-6);
+        assert!(t.distinguishable_at(0.01));
+    }
+
+    #[test]
+    fn shifted_distributions_are_detected_with_enough_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = cdf((0..400).map(|_| rng.gen_range(0.0..1.0f64)));
+        let b = cdf((0..400).map(|_| rng.gen_range(0.25..1.25f64)));
+        let t = ks_two_sample(&a, &b).unwrap();
+        assert!(t.statistic > 0.15);
+        assert!(t.distinguishable_at(0.01), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn same_distribution_different_draws_pass() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = cdf((0..300).map(|_| rng.gen_range(0.0..1.0f64)));
+        let b = cdf((0..300).map(|_| rng.gen_range(0.0..1.0f64)));
+        let t = ks_two_sample(&a, &b).unwrap();
+        assert!(!t.distinguishable_at(0.01), "false positive: p = {}", t.p_value);
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        let empty = cdf([]);
+        let full = cdf([1.0, 2.0]);
+        assert!(ks_two_sample(&empty, &full).is_none());
+        assert!(ks_two_sample(&full, &empty).is_none());
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // a = {1, 2}, b = {1.5}: F_a(1)=.5, F_b(1)=0 → D ≥ .5;
+        // at 1.5: F_a=.5, F_b=1 → D = .5 exactly.
+        let a = cdf([1.0, 2.0]);
+        let b = cdf([1.5]);
+        assert!((ks_statistic(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kolmogorov_q_is_monotone_decreasing() {
+        let mut prev = 1.0;
+        for i in 1..40 {
+            let q = kolmogorov_q(i as f64 * 0.1);
+            assert!(q <= prev + 1e-12);
+            prev = q;
+        }
+        assert!(kolmogorov_q(0.5) > 0.9);
+        assert!(kolmogorov_q(2.0) < 0.001);
+    }
+}

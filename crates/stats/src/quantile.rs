@@ -1,0 +1,117 @@
+//! Empirical quantiles.
+//!
+//! The paper estimates the *propagation delay* of a path as the **tenth
+//! percentile** of its measured round-trip times (§7.2): low enough to shed
+//! queuing delay, but not the raw minimum, "to protect against noise in the
+//! case where the minimum resulted from a different route than the majority
+//! of the measurements."
+
+/// Returns the `q`-quantile (`0.0 ..= 1.0`) of `xs` using linear
+/// interpolation between order statistics (type-7 / the R default).
+///
+/// Returns `None` for an empty slice or a `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Like [`quantile`] but assumes `xs` is already sorted ascending.
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let n = xs.len();
+    if n == 1 {
+        return xs[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let frac = pos - lo as f64;
+        xs[lo] + frac * (xs[hi] - xs[lo])
+    }
+}
+
+/// Returns the `p`-th percentile (`0 ..= 100`) of `xs`.
+///
+/// The paper's propagation-delay estimator is `percentile(rtts, 10.0)`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    quantile(xs, p / 100.0)
+}
+
+/// Returns the median of `xs`.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(median(&[]).is_none());
+    }
+
+    #[test]
+    fn out_of_range_q_is_none() {
+        assert!(quantile(&[1.0], -0.1).is_none());
+        assert!(quantile(&[1.0], 1.1).is_none());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(quantile(&[7.0], 0.5), Some(7.0));
+        assert_eq!(quantile(&[7.0], 1.0), Some(7.0));
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let xs = [9.0, 2.0, 5.0, 7.0];
+        assert_eq!(quantile(&xs, 0.0), Some(2.0));
+        assert_eq!(quantile(&xs, 1.0), Some(9.0));
+    }
+
+    #[test]
+    fn interpolation_matches_r_type7() {
+        // R: quantile(c(1,2,3,4), 0.1) == 1.3
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.1).unwrap() - 1.3).abs() < 1e-12);
+        // R: quantile(1:10, 0.25) == 3.25
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert!((quantile(&xs, 0.25).unwrap() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenth_percentile_sheds_outlier_minimum() {
+        // 100 samples around 50 ms plus one anomalous 1 ms minimum (as from
+        // a transient route change). The 10th percentile must sit near the
+        // bulk, not at the outlier.
+        let mut xs: Vec<f64> = (0..100).map(|i| 50.0 + (i % 10) as f64).collect();
+        xs.push(1.0);
+        let p10 = percentile(&xs, 10.0).unwrap();
+        assert!(p10 > 40.0, "p10 = {p10}");
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(median(&xs), Some(3.0));
+    }
+}

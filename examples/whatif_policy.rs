@@ -1,0 +1,63 @@
+//! What-if: turn the routing-policy knobs and watch Figure 1 move.
+//!
+//! The paper argues (§3) that policy routing — early-exit egress selection,
+//! AS-path-length route choice, no-valley export — is why alternate paths
+//! exist. The simulator lets us test that causal claim directly:
+//!
+//! * **hot potato** (the measured Internet): BGP + early exit;
+//! * **best exit**: BGP, but each AS hands packets off at the egress that
+//!   minimizes its local delay to the next AS;
+//! * **ideal**: global shortest-propagation-delay routing, no policy at
+//!   all — the negative control, where alternate paths should buy little.
+//!
+//! ```text
+//! cargo run --release --example whatif_policy
+//! ```
+
+use detour::core::analysis::cdf::{compare_all_pairs, improvement_cdf, ratio_cdf};
+use detour::core::{MeasurementGraph, Rtt, SearchDepth};
+use detour::datasets::{generate_on, uw3, Scale};
+use detour::netsim::{Era, Network, NetworkConfig, RoutingMode};
+
+fn main() {
+    let spec = uw3::spec();
+    let scale = Scale::reduced(22, 4);
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>16}",
+        "routing mode", "pairs better", ">=20ms better", ">=50% better"
+    );
+    for (label, mode) in [
+        ("policy + hot potato", RoutingMode::PolicyHotPotato),
+        ("policy + best exit", RoutingMode::PolicyBestExit),
+        ("ideal shortest-delay", RoutingMode::GlobalShortestDelay),
+    ] {
+        // Same era, same seed, same measurement campaign — only the
+        // path-selection rule differs.
+        let mut cfg = NetworkConfig::for_era(
+            Era::Y1999,
+            spec.network_seed,
+            spec.duration_days / 4.0,
+        );
+        cfg.mode = mode;
+        let net = Network::generate(&cfg);
+        let ds = generate_on(&net, &spec, scale);
+        let graph = MeasurementGraph::from_dataset(&ds);
+        let cs = compare_all_pairs(&graph, &Rtt, SearchDepth::Unrestricted);
+        let cdf = improvement_cdf(&cs);
+        let ratios = ratio_cdf(&cs);
+        println!(
+            "{label:<22} {:>13.1}% {:>13.1}% {:>15.1}%",
+            100.0 * cdf.fraction_above(0.0),
+            100.0 * cdf.fraction_above(20.0),
+            100.0 * ratios.fraction_above(1.5),
+        );
+    }
+
+    println!();
+    println!("reading the table:");
+    println!("  • hot potato vs best exit shows the cost of early-exit egress choice;");
+    println!("  • ideal routing cannot be beaten on propagation, so what remains");
+    println!("    there is purely congestion avoidance and measurement noise —");
+    println!("    the floor the paper's §3 argument predicts.");
+}

@@ -1,0 +1,83 @@
+//! The overlay crate exercised over the same simulated Internet the paper's
+//! datasets come from.
+
+use detour::netsim::sim::clock::SimTime;
+use detour::netsim::{Era, HostId, Network, NetworkConfig};
+use detour::overlay::{evaluate, EvalConfig, Overlay, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(members: usize) -> (Network, Overlay) {
+    let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 0x1999_0001, 2.0));
+    let hosts: Vec<HostId> =
+        net.hosts().iter().step_by(3).take(members).map(|h| h.id).collect();
+    let ov = Overlay::new(hosts, OverlayConfig::default());
+    (net, ov)
+}
+
+#[test]
+fn overlay_routes_the_uw_network_profitably_or_neutrally() {
+    let (net, mut ov) = setup(7);
+    let mut rng = StdRng::seed_from_u64(11);
+    let cfg = EvalConfig { duration_s: 3600.0, epoch_s: 300.0 };
+    // Tuesday 11:00 PST — peak hours, where the paper found the most
+    // opportunity.
+    let start = SimTime::from_hours(24.0 + 19.0);
+    let r = evaluate(&net, &mut ov, start, cfg, &mut rng);
+    assert!(r.total > 0);
+    assert!(
+        r.mean_saving_ms() > -5.0,
+        "overlay must not systematically lose: {} ms",
+        r.mean_saving_ms()
+    );
+    // On a policy-routed network with hysteresis, some detours get picked.
+    assert!(r.detours_selected > 0, "no detours ever selected");
+}
+
+#[test]
+fn overlay_estimates_match_study_measurements_in_spirit() {
+    // The overlay's live estimator table is the paper's measurement graph;
+    // its detour decisions should correlate with the study's alternate-path
+    // findings: pairs the overlay detours must show an estimated win.
+    let (net, mut ov) = setup(8);
+    let mut rng = StdRng::seed_from_u64(12);
+    ov.run(&net, SimTime::from_hours(43.0), 900.0, &mut rng);
+    let members: Vec<HostId> = ov.members().to_vec();
+    for &a in &members {
+        for &b in &members {
+            if a == b {
+                continue;
+            }
+            let route = ov.route(a, b).expect("warmed overlay");
+            if route.is_detour() {
+                let direct = ov.estimate(a, b).unwrap().score_ms().unwrap();
+                assert!(route.estimated_ms < direct, "{a:?}->{b:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn larger_overlays_find_at_least_as_many_detours() {
+    // More members = more candidate relays (the paper: "our ability to
+    // identify routing inefficiencies improves as the number of hosts
+    // increases").
+    let mut rng = StdRng::seed_from_u64(13);
+    let count_detours = |members: usize, rng: &mut StdRng| {
+        let (net, mut ov) = setup(members);
+        ov.run(&net, SimTime::from_hours(43.0), 600.0, rng);
+        let ms: Vec<HostId> = ov.members().to_vec();
+        ms.iter()
+            .flat_map(|&a| ms.iter().map(move |&b| (a, b)))
+            .filter(|&(a, b)| a != b)
+            .filter(|&(a, b)| ov.route(a, b).map(|r| r.is_detour()).unwrap_or(false))
+            .count() as f64
+            / (members * (members - 1)) as f64
+    };
+    let small = count_detours(4, &mut rng);
+    let large = count_detours(10, &mut rng);
+    assert!(
+        large >= small * 0.5,
+        "detour rate should not collapse with more members: {small} -> {large}"
+    );
+}

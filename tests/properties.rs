@@ -1,0 +1,196 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! Module-level proptests live in each crate; these exercise invariants
+//! that only hold across crate boundaries — dataset assembly feeding the
+//! measurement graph feeding the alternate-path search.
+
+use detour::core::{best_alternate, Loss, MeasurementGraph, Metric, Pair, Rtt};
+use detour::measure::record::HostMeta;
+use detour::measure::{Dataset, HostId, ProbeSample};
+use detour::stats::Cdf;
+use proptest::prelude::*;
+
+/// Builds a dataset from a generated RTT/loss matrix.
+fn dataset_from(matrix: &[Vec<Option<(f64, bool)>>]) -> Dataset {
+    let n = matrix.len();
+    let hosts = (0..n as u32)
+        .map(|id| HostMeta {
+            id: HostId(id),
+            name: format!("h{id}"),
+            asn: id as u16,
+            truly_rate_limited: false,
+        })
+        .collect();
+    let mut probes = Vec::new();
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some((rtt, lossy)) = cell {
+                // Three probes per edge: one lost when `lossy`.
+                for k in 0..3u8 {
+                    let lost = *lossy && k == 0;
+                    probes.push(ProbeSample {
+                        src: HostId(i as u32),
+                        dst: HostId(j as u32),
+                        t_s: k as f64,
+                        probe_index: k,
+                        rtt_ms: (!lost).then_some(*rtt),
+                        loss_eligible: true,
+                        episode: None,
+                        path_idx: 0,
+                    });
+                }
+            }
+        }
+    }
+    Dataset {
+        name: "prop".into(),
+        hosts,
+        probes,
+        transfers: vec![],
+        as_paths: vec![vec![0]],
+        duration_s: 10.0,
+        detected_rate_limited: vec![],
+    }
+}
+
+/// Strategy: a small adjacency matrix with random RTTs, some edges missing,
+/// some lossy.
+fn matrix_strategy() -> impl Strategy<Value = Vec<Vec<Option<(f64, bool)>>>> {
+    (3usize..7).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::option::weighted(
+                    0.8,
+                    ((1.0f64..300.0).prop_map(|r| r.round()), any::<bool>()),
+                ),
+                n,
+            ),
+            n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alternate_is_never_better_than_true_shortest_path(m in matrix_strategy()) {
+        // The best alternate (direct edge removed) can never beat the true
+        // shortest path (direct edge included) — removing an edge never
+        // shortens routes.
+        let ds = dataset_from(&m);
+        let g = MeasurementGraph::from_dataset(&ds);
+        for pair in g.pairs() {
+            if let Some(cmp) = best_alternate(&g, pair, &Rtt) {
+                let direct = cmp.default_value;
+                // True shortest path <= min(direct, alternate); so the
+                // alternate must be >= shortest-with-direct, i.e. it can't
+                // undercut a *shorter* direct edge by going around.
+                prop_assert!(cmp.alternate_value + 1e-9 >= direct.min(cmp.alternate_value));
+                // And the comparison orientation is consistent.
+                prop_assert_eq!(cmp.alternate_wins(), cmp.improvement() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn via_hosts_form_a_simple_path(m in matrix_strategy()) {
+        let ds = dataset_from(&m);
+        let g = MeasurementGraph::from_dataset(&ds);
+        for pair in g.pairs() {
+            if let Some(cmp) = best_alternate(&g, pair, &Rtt) {
+                // No repeated intermediates, endpoints excluded.
+                let mut seen = std::collections::HashSet::new();
+                for &h in &cmp.via {
+                    prop_assert!(h != pair.src && h != pair.dst);
+                    prop_assert!(seen.insert(h), "repeated via host {:?}", h);
+                }
+                // Every consecutive hop uses a measured edge, and composing
+                // the edge values reproduces alternate_value.
+                let mut hops = vec![pair.src];
+                hops.extend(cmp.via.iter().copied());
+                hops.push(pair.dst);
+                let mut sum = 0.0;
+                for w in hops.windows(2) {
+                    let e = g.edge(w[0], w[1]);
+                    prop_assert!(e.is_some(), "missing edge {:?}->{:?}", w[0], w[1]);
+                    sum += Rtt.value(e.unwrap()).unwrap();
+                }
+                prop_assert!((sum - cmp.alternate_value).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_composition_is_bounded_and_monotone(m in matrix_strategy()) {
+        let ds = dataset_from(&m);
+        let g = MeasurementGraph::from_dataset(&ds);
+        for pair in g.pairs() {
+            if let Some(cmp) = best_alternate(&g, pair, &Loss) {
+                prop_assert!((0.0..=1.0).contains(&cmp.alternate_value));
+                // Composed loss is at least the max of any constituent's
+                // loss (independence can only make things worse).
+                let mut hops = vec![pair.src];
+                hops.extend(cmp.via.iter().copied());
+                hops.push(pair.dst);
+                let max_leg = hops
+                    .windows(2)
+                    .map(|w| Loss.value(g.edge(w[0], w[1]).unwrap()).unwrap())
+                    .fold(0.0f64, f64::max);
+                prop_assert!(cmp.alternate_value >= max_leg - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn improvement_cdf_is_a_distribution(m in matrix_strategy()) {
+        let ds = dataset_from(&m);
+        let g = MeasurementGraph::from_dataset(&ds);
+        let improvements: Vec<f64> = g
+            .pairs()
+            .into_iter()
+            .filter_map(|p| best_alternate(&g, p, &Rtt))
+            .map(|c| c.improvement())
+            .collect();
+        let cdf = Cdf::from_samples(improvements.iter().copied());
+        // Monotone, bounded, complete.
+        let mut prev = 0.0;
+        for (_, y) in cdf.points() {
+            prop_assert!(y >= prev);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prev = y;
+        }
+        prop_assert_eq!(cdf.len(), improvements.len());
+    }
+
+    #[test]
+    fn removing_hosts_never_invents_better_alternates(m in matrix_strategy()) {
+        // Dropping a vertex can only remove detour options: for any pair
+        // still present, the best alternate in the reduced graph is no
+        // better than in the full graph.
+        let ds = dataset_from(&m);
+        let g = MeasurementGraph::from_dataset(&ds);
+        if g.len() < 4 {
+            return Ok(());
+        }
+        let victim = g.hosts()[g.len() - 1];
+        let reduced = g.without_host(victim);
+        for pair in reduced.pairs() {
+            let full = best_alternate(&g, pair, &Rtt);
+            let red = best_alternate(&reduced, pair, &Rtt);
+            if let (Some(f), Some(r)) = (full, red) {
+                prop_assert!(r.alternate_value + 1e-9 >= f.alternate_value);
+            }
+        }
+    }
+}
+
+#[test]
+fn pair_type_is_directional() {
+    let p = Pair { src: HostId(1), dst: HostId(2) };
+    let q = Pair { src: HostId(2), dst: HostId(1) };
+    assert_ne!(p, q);
+}

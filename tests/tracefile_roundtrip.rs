@@ -1,0 +1,60 @@
+//! Trace files survive a full save → load → re-analyze cycle with
+//! bit-identical analysis results.
+
+use detour::core::analysis::cdf::compare_all_pairs;
+use detour::core::{MeasurementGraph, Rtt, SearchDepth};
+use detour::datasets::DatasetId;
+use detour::measure::tracefile;
+
+#[test]
+fn saved_and_reloaded_datasets_analyze_identically() {
+    let ds = DatasetId::Uw4B.generate_scaled(8, 24);
+    let text = tracefile::to_string(&ds);
+    let reloaded = tracefile::from_str(&text).expect("roundtrip parses");
+
+    assert_eq!(reloaded.hosts, ds.hosts);
+    assert_eq!(reloaded.probes.len(), ds.probes.len());
+    assert_eq!(reloaded.as_paths, ds.as_paths);
+
+    let g1 = MeasurementGraph::from_dataset(&ds);
+    let g2 = MeasurementGraph::from_dataset(&reloaded);
+    let c1 = compare_all_pairs(&g1, &Rtt, SearchDepth::Unrestricted);
+    let c2 = compare_all_pairs(&g2, &Rtt, SearchDepth::Unrestricted);
+    assert_eq!(c1.len(), c2.len());
+    for (a, b) in c1.iter().zip(&c2) {
+        assert_eq!(a.pair, b.pair);
+        assert_eq!(a.default_value, b.default_value);
+        assert_eq!(a.alternate_value, b.alternate_value);
+        assert_eq!(a.via, b.via);
+    }
+}
+
+#[test]
+fn trace_text_is_stable_across_serializations() {
+    let ds = DatasetId::Uw4B.generate_scaled(8, 24);
+    let once = tracefile::to_string(&ds);
+    let twice = tracefile::to_string(&tracefile::from_str(&once).unwrap());
+    assert_eq!(once, twice, "serialization must be a fixed point");
+}
+
+#[test]
+fn transfer_datasets_roundtrip_too() {
+    let ds = DatasetId::N2.generate_scaled(10, 24);
+    assert!(!ds.transfers.is_empty());
+    let text = tracefile::to_string(&ds);
+    let back = tracefile::from_str(&text).unwrap();
+    assert_eq!(back.transfers, ds.transfers);
+}
+
+#[test]
+fn file_based_roundtrip() {
+    let dir = std::env::temp_dir().join("detour-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("uw4b.trace");
+    let ds = DatasetId::Uw4B.generate_scaled(8, 24);
+    tracefile::save(&ds, &path).unwrap();
+    let back = tracefile::load(&path).unwrap();
+    assert_eq!(back.name, ds.name);
+    assert_eq!(back.probes.len(), ds.probes.len());
+    std::fs::remove_file(&path).ok();
+}
