@@ -7,7 +7,7 @@
 //! shortest-delay routing — should show the alternate-path advantage
 //! largely vanishing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use detour_bench::Bench;
 use detour_core::analysis::cdf::{compare_all_pairs, improvement_cdf};
 use detour_core::{LossComposition, MeasurementGraph, Rtt, SearchDepth};
 use detour_datasets::uw3;
@@ -34,7 +34,7 @@ fn improved_fraction(ds: &detour_measure::Dataset) -> f64 {
     improvement_cdf(&cs).fraction_above(0.0)
 }
 
-fn bench_routing_modes(c: &mut Criterion) {
+fn bench_routing_modes(b: &mut Bench) {
     // Print the ablation verdict once.
     for mode in [
         RoutingMode::PolicyHotPotato,
@@ -48,51 +48,43 @@ fn bench_routing_modes(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("ablation_routing_mode");
-    group.sample_size(10);
     for mode in [RoutingMode::PolicyHotPotato, RoutingMode::GlobalShortestDelay] {
-        group.bench_function(format!("{mode:?}"), |b| {
-            b.iter(|| {
-                let ds = dataset_for_mode(mode);
-                std::hint::black_box(improved_fraction(&ds))
-            })
+        b.bench(&format!("ablation_routing_mode/{mode:?}"), || {
+            let ds = dataset_for_mode(mode);
+            improved_fraction(&ds)
         });
     }
-    group.finish();
 }
 
-fn bench_loss_composition(c: &mut Criterion) {
+fn bench_loss_composition(b: &mut Bench) {
     let (n2, _) = detour_datasets::n2::generate_with_na(Scale::reduced(10, 16));
     let g = MeasurementGraph::from_dataset(&n2);
-    let mut group = c.benchmark_group("ablation_loss_composition");
     for mode in [LossComposition::Optimistic, LossComposition::Pessimistic] {
-        group.bench_function(mode.label(), |b| {
-            b.iter(|| {
-                let cs =
-                    detour_core::analysis::cdf::compare_all_pairs_bandwidth(&g, mode);
-                std::hint::black_box(cs.len())
-            })
+        b.bench(&format!("ablation_loss_composition/{}", mode.label()), || {
+            let cs = detour_core::analysis::cdf::compare_all_pairs_bandwidth(&g, mode);
+            cs.len()
         });
     }
-    group.finish();
 }
 
-fn bench_search_depth(c: &mut Criterion) {
+fn bench_search_depth(b: &mut Bench) {
     let ds = dataset_for_mode(RoutingMode::PolicyHotPotato);
     let g = MeasurementGraph::from_dataset(&ds);
-    let mut group = c.benchmark_group("ablation_search_depth");
     for (label, depth) in
         [("unrestricted", SearchDepth::Unrestricted), ("one_hop", SearchDepth::OneHop)]
     {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let cs = compare_all_pairs(&g, &Rtt, depth);
-                std::hint::black_box(cs.len())
-            })
+        b.bench(&format!("ablation_search_depth/{label}"), || {
+            let cs = compare_all_pairs(&g, &Rtt, depth);
+            cs.len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_routing_modes, bench_loss_composition, bench_search_depth);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    b.sample_size(10);
+    bench_routing_modes(&mut b);
+    bench_loss_composition(&mut b);
+    bench_search_depth(&mut b);
+    b.finish();
+}

@@ -1,26 +1,20 @@
-//! One criterion bench per paper artifact: how long each analysis takes on
-//! a reduced bundle (dataset generation is excluded — it is benched in
+//! One bench per paper artifact: how long each analysis takes on a reduced
+//! bundle (dataset generation is excluded — it is benched in
 //! `substrate_bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use detour_bench::experiments::{run, ALL_EXPERIMENTS};
-use detour_bench::Bundle;
+use detour_bench::{Bench, Bundle};
 use detour_datasets::Scale;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let bundle = Bundle::generate(Scale::reduced(10, 16));
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+    let mut b = Bench::new();
+    b.sample_size(10);
     for id in ALL_EXPERIMENTS {
-        group.bench_function(*id, |bench| {
-            bench.iter(|| {
-                let report = run(id, &bundle).expect("known id");
-                std::hint::black_box(report.len())
-            })
+        b.bench(&format!("figures/{id}"), || {
+            let report = run(id, &bundle).expect("known id");
+            report.len()
         });
     }
-    group.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

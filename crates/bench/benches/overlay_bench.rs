@@ -1,12 +1,11 @@
-//! Criterion benches for the overlay: probe rounds, route selection, and a
-//! full evaluation epoch.
+//! Benches for the overlay: probe rounds, route selection, and a full
+//! evaluation epoch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use detour_bench::Bench;
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::{Era, HostId, Network, NetworkConfig};
 use detour_overlay::{Overlay, OverlayConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use detour_prng::Xoshiro256pp;
 
 fn setup(members: usize) -> (Network, Overlay) {
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 909, 2.0));
@@ -15,54 +14,54 @@ fn setup(members: usize) -> (Network, Overlay) {
     (net, Overlay::new(hosts, OverlayConfig::default()))
 }
 
-fn bench_probe_round(c: &mut Criterion) {
+fn bench_probe_round(b: &mut Bench) {
     let (net, overlay) = setup(10);
-    c.bench_function("overlay/probe_round_10_members", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut ov = overlay.clone();
-        let mut hour = 0.0;
-        b.iter(|| {
-            hour += 0.01;
-            ov.probe_round(&net, SimTime::from_hours(10.0 + hour), &mut rng);
-            std::hint::black_box(ov.probe_rounds())
-        })
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let mut ov = overlay.clone();
+    let mut hour = 0.0;
+    b.bench("overlay/probe_round_10_members", || {
+        hour += 0.01;
+        ov.probe_round(&net, SimTime::from_hours(10.0 + hour), &mut rng);
+        ov.probe_rounds()
     });
 }
 
-fn bench_route_selection(c: &mut Criterion) {
+fn bench_route_selection(b: &mut Bench) {
     let (net, mut overlay) = setup(12);
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
     overlay.run(&net, SimTime::from_hours(20.0), 300.0, &mut rng);
     let members: Vec<HostId> = overlay.members().to_vec();
-    c.bench_function("overlay/route_all_pairs_12_members", |b| {
-        b.iter(|| {
-            let mut detours = 0;
-            for &a in &members {
-                for &bm in &members {
-                    if a != bm && overlay.route(a, bm).map_or(false, |r| r.is_detour()) {
-                        detours += 1;
-                    }
+    b.bench("overlay/route_all_pairs_12_members", || {
+        let mut detours = 0;
+        for &a in &members {
+            for &bm in &members {
+                if a != bm && overlay.route(a, bm).map_or(false, |r| r.is_detour()) {
+                    detours += 1;
                 }
             }
-            std::hint::black_box(detours)
-        })
+        }
+        detours
     });
 }
 
-fn bench_relay_send(c: &mut Criterion) {
+fn bench_relay_send(b: &mut Bench) {
     let (net, mut overlay) = setup(8);
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
     overlay.run(&net, SimTime::from_hours(20.0), 300.0, &mut rng);
     let (a, b_host) = (overlay.members()[0], overlay.members()[4]);
-    c.bench_function("overlay/send_selected_route", |b| {
-        let mut rng = StdRng::seed_from_u64(4);
-        b.iter(|| {
-            let route = overlay.route(a, b_host).expect("warmed");
-            let out = overlay.send(&net, route, SimTime::from_hours(20.2), &mut rng);
-            std::hint::black_box(out.rtt_ms)
-        })
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
+    b.bench("overlay/send_selected_route", || {
+        let route = overlay.route(a, b_host).expect("warmed");
+        let out = overlay.send(&net, route, SimTime::from_hours(20.2), &mut rng);
+        out.rtt_ms
     });
 }
 
-criterion_group!(benches, bench_probe_round, bench_route_selection, bench_relay_send);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    b.sample_size(10);
+    bench_probe_round(&mut b);
+    bench_route_selection(&mut b);
+    bench_relay_send(&mut b);
+    b.finish();
+}

@@ -2,129 +2,110 @@
 //! computation, path resolution, probing, dataset assembly, and the
 //! statistical kernels (Dijkstra alternates, convolution).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use detour_bench::Bench;
 use detour_core::{best_alternate, MeasurementGraph, Rtt};
 use detour_datasets::{DatasetId, Scale};
 use detour_netsim::routing::path::Resolver;
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::topology::generator::{generate, TopologyConfig};
 use detour_netsim::{probe, Era, Network, NetworkConfig, RoutingMode};
+use detour_prng::Rng;
+use detour_prng::Xoshiro256pp;
 use detour_stats::convolve::SampleDist;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn bench_topology(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate");
-    group.sample_size(10);
-    group.bench_function("topology/generate_1999", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(7);
-            let t = generate(&TopologyConfig::for_era(Era::Y1999), &mut rng);
-            std::hint::black_box(t.links.len())
-        })
+fn bench_topology(b: &mut Bench) {
+    b.bench("substrate/topology_generate_1999", || {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let t = generate(&TopologyConfig::for_era(Era::Y1999), &mut rng);
+        t.links.len()
     });
-    group.bench_function("routing/resolver_build", |b| {
-        let mut rng = StdRng::seed_from_u64(7);
-        let topo = generate(&TopologyConfig::for_era(Era::Y1999), &mut rng);
-        b.iter(|| {
-            let r = Resolver::new(&topo);
-            std::hint::black_box(r.rib().as_count())
-        })
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    let topo = generate(&TopologyConfig::for_era(Era::Y1999), &mut rng);
+    b.bench("substrate/resolver_build", || {
+        let r = Resolver::new(&topo);
+        r.rib().as_count()
     });
-    group.finish();
 }
 
-fn bench_probing(c: &mut Criterion) {
+fn bench_probing(b: &mut Bench) {
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 42, 7.0));
-    let hosts = net.hosts();
+    let hosts = net.hosts().to_vec();
     let (s, d) = (hosts[0].id, hosts[hosts.len() / 2].id);
-    let mut group = c.benchmark_group("probing");
-    group.sample_size(20);
-    group.bench_function("probe/traceroute", |b| {
-        let mut rng = StdRng::seed_from_u64(9);
-        b.iter(|| {
-            let t = SimTime::from_hours(rng.gen_range(0.0..160.0));
-            let tr = probe::traceroute(&net, s, d, t, &mut rng);
-            std::hint::black_box(tr.hops.len())
-        })
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    b.bench("probing/traceroute", || {
+        let t = SimTime::from_hours(rng.gen_range(0.0..160.0));
+        let tr = probe::traceroute(&net, s, d, t, &mut rng);
+        tr.hops.len()
     });
-    group.bench_function("probe/path_resolution_uncached", |b| {
-        // One fresh network per batch (not per iteration — generation would
-        // dwarf the resolution being measured); vary the pair instead.
-        let fresh = Network::generate(&NetworkConfig::for_era(Era::Y1999, 43, 7.0));
-        let mut rng = StdRng::seed_from_u64(10);
-        b.iter(|| {
-            let i = rng.gen_range(0..hosts.len());
-            let j = (i + 1 + rng.gen_range(0..hosts.len() - 1)) % hosts.len();
-            // Distinct times defeat the path cache only when flaps differ,
-            // so resolve via the resolver directly.
-            let p = fresh.resolver().resolve(
-                &fresh.topology,
-                fresh.hosts()[i].router,
-                fresh.hosts()[j].router,
-                detour_netsim::RoutingMode::PolicyHotPotato,
-                false,
-            );
-            std::hint::black_box(p.map(|p| p.links.len()))
-        })
+    // One fresh network for the whole bench (not per iteration — generation
+    // would dwarf the resolution being measured); vary the pair instead.
+    let fresh = Network::generate(&NetworkConfig::for_era(Era::Y1999, 43, 7.0));
+    let mut rng = Xoshiro256pp::seed_from_u64(10);
+    b.bench("probing/path_resolution_uncached", || {
+        let i = rng.gen_range(0..hosts.len());
+        let j = (i + 1 + rng.gen_range(0..hosts.len() - 1)) % hosts.len();
+        // Distinct times defeat the path cache only when flaps differ, so
+        // resolve via the resolver directly.
+        let p = fresh.resolver().resolve(
+            &fresh.topology,
+            fresh.hosts()[i].router,
+            fresh.hosts()[j].router,
+            RoutingMode::PolicyHotPotato,
+            false,
+        );
+        p.map(|p| p.links.len())
     });
-    group.finish();
 }
 
-fn bench_analysis_kernels(c: &mut Criterion) {
+fn bench_analysis_kernels(b: &mut Bench) {
     let ds = DatasetId::Uw3.generate(Scale::reduced(14, 16));
     let g = MeasurementGraph::from_dataset(&ds);
-    c.bench_function("core/best_alternate_all_pairs", |b| {
-        b.iter(|| {
-            let mut n = 0;
-            for pair in g.pairs() {
-                if best_alternate(&g, pair, &Rtt).is_some() {
-                    n += 1;
-                }
+    b.bench("core/best_alternate_all_pairs", || {
+        let mut n = 0;
+        for pair in g.pairs() {
+            if best_alternate(&g, pair, &Rtt).is_some() {
+                n += 1;
             }
-            std::hint::black_box(n)
-        })
+        }
+        n
     });
-    c.bench_function("stats/convolve_rtt_dists", |b| {
-        let mut rng = StdRng::seed_from_u64(3);
-        let xs: Vec<f64> = (0..500).map(|_| rng.gen_range(20.0..120.0)).collect();
-        let ys: Vec<f64> = (0..500).map(|_| rng.gen_range(10.0..80.0)).collect();
-        let a = SampleDist::from_samples(&xs, 1.0).unwrap();
-        let bdist = SampleDist::from_samples(&ys, 1.0).unwrap();
-        b.iter(|| std::hint::black_box(a.convolve(&bdist).median()))
-    });
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    let xs: Vec<f64> = (0..500).map(|_| rng.gen_range(20.0..120.0)).collect();
+    let ys: Vec<f64> = (0..500).map(|_| rng.gen_range(10.0..80.0)).collect();
+    let a = SampleDist::from_samples(&xs, 1.0).unwrap();
+    let bdist = SampleDist::from_samples(&ys, 1.0).unwrap();
+    b.bench("stats/convolve_rtt_dists", || a.convolve(&bdist).median());
 }
 
-fn bench_modes(c: &mut Criterion) {
-    // Kept here (not only in ablation_bench) so a plain `cargo bench
-    // substrate` also shows the policy-resolution cost.
+fn bench_modes(b: &mut Bench) {
+    // Kept here (not only in ablation_bench) so a plain substrate run also
+    // shows the policy-resolution cost.
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 5, 7.0));
     let resolver = net.resolver();
-    let hosts = net.hosts();
+    let hosts = net.hosts().to_vec();
     for mode in [RoutingMode::PolicyHotPotato, RoutingMode::GlobalShortestDelay] {
-        c.bench_function(&format!("routing/resolve_{mode:?}"), |b| {
-            let mut rng = StdRng::seed_from_u64(6);
-            b.iter(|| {
-                let i = rng.gen_range(0..hosts.len());
-                let j = (i + 1 + rng.gen_range(0..hosts.len() - 1)) % hosts.len();
-                let p = resolver.resolve(
-                    &net.topology,
-                    hosts[i].router,
-                    hosts[j].router,
-                    mode,
-                    false,
-                );
-                std::hint::black_box(p.map(|p| p.links.len()))
-            })
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        b.bench(&format!("routing/resolve_{mode:?}"), || {
+            let i = rng.gen_range(0..hosts.len());
+            let j = (i + 1 + rng.gen_range(0..hosts.len() - 1)) % hosts.len();
+            let p = resolver.resolve(
+                &net.topology,
+                hosts[i].router,
+                hosts[j].router,
+                mode,
+                false,
+            );
+            p.map(|p| p.links.len())
         });
     }
 }
 
-criterion_group!(
-    benches,
-    bench_topology,
-    bench_probing,
-    bench_analysis_kernels,
-    bench_modes
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    b.sample_size(10);
+    bench_topology(&mut b);
+    bench_probing(&mut b);
+    bench_analysis_kernels(&mut b);
+    bench_modes(&mut b);
+    b.finish();
+}

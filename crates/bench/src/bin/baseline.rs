@@ -1,0 +1,87 @@
+//! Produces `BENCH_baseline.json`: wall-clock timings of the parallel
+//! experiment engine at several worker counts, plus the byte-identity
+//! check that justifies calling the parallelism safe.
+//!
+//! ```text
+//! cargo run -p detour-bench --release --bin baseline -- [out.json]
+//! ```
+//!
+//! One "run" generates the reduced bundle and executes every paper
+//! experiment. The run repeats at 1, 2, 4, and `available_parallelism`
+//! workers; every report must be byte-identical to the single-threaded
+//! reference (the binary exits non-zero otherwise, so `scripts/verify.sh`
+//! can gate on it). Speedups are only physical when the machine actually
+//! has the cores — `cores` is recorded so readers can tell.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use detour_bench::experiments::{run, ALL_EXPERIMENTS};
+use detour_bench::Bundle;
+use detour_core::pool;
+use detour_datasets::Scale;
+
+fn full_run() -> (f64, String) {
+    let t = Instant::now();
+    let bundle = Bundle::generate(Scale::reduced(10, 16));
+    let mut all = String::new();
+    for id in ALL_EXPERIMENTS {
+        all.push_str(&run(id, &bundle).expect("known id"));
+    }
+    (t.elapsed().as_secs_f64(), all)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut counts = vec![1usize, 2, 4, cores];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut reference: Option<String> = None;
+    let mut runs: Vec<(usize, f64)> = Vec::new();
+    for &n in &counts {
+        pool::set_threads(n);
+        let (secs, report) = full_run();
+        eprintln!("baseline: {n} worker(s): {secs:.2} s");
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => {
+                if *r != report {
+                    eprintln!(
+                        "baseline: FAIL — report at {n} workers differs from 1 worker"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        runs.push((n, secs));
+    }
+    pool::set_threads(0);
+
+    let t1 = runs[0].1;
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"figures_all_experiments_reduced_bundle\",\n  \"cores\": {cores},\n  \"experiments\": {},\n  \"byte_identical_across_thread_counts\": true,\n  \"runs\": [",
+        ALL_EXPERIMENTS.len()
+    );
+    for (i, (n, secs)) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\"threads\": {n}, \"seconds\": {secs:.3}, \"speedup_vs_1\": {:.2}}}",
+            t1 / secs
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("baseline: wrote {out_path}");
+    print!("{json}");
+}

@@ -4,22 +4,49 @@
 //! cargo run -p detour-bench --release --bin figures -- all
 //! cargo run -p detour-bench --release --bin figures -- fig1 fig3 table2
 //! cargo run -p detour-bench --release --bin figures -- --scaled all
+//! cargo run -p detour-bench --release --bin figures -- --threads 4 --scaled all
+//! cargo run -p detour-bench --release --bin figures -- --seed 7 --scaled fig1
 //! ```
+//!
+//! `--threads N` sets the experiment engine's worker count (0 or absent =
+//! one worker per core); output is bit-identical at any setting. `--seed S`
+//! regenerates the whole study on a different simulated Internet (S = 0 is
+//! the canonical run).
 //!
 //! Reports go to stdout and, per experiment, to `results/<id>.txt`.
 
 use std::fs;
 use std::path::Path;
+use std::process::exit;
 use std::time::Instant;
 
 use detour_bench::experiments::{run, ALL_EXPERIMENTS};
 use detour_bench::extras::{self, EXTRA_EXPERIMENTS};
 use detour_bench::Bundle;
+use detour_core::pool;
 use detour_datasets::Scale;
 
+fn parse_flag(args: &mut Vec<String>, name: &str) -> Option<u64> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        eprintln!("{name} needs a value");
+        exit(2);
+    }
+    let v = args[i + 1].parse().unwrap_or_else(|_| {
+        eprintln!("{name} needs a non-negative integer, got {:?}", args[i + 1]);
+        exit(2);
+    });
+    args.drain(i..=i + 1);
+    Some(v)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = parse_flag(&mut args, "--threads").unwrap_or(0);
+    let seed = parse_flag(&mut args, "--seed").unwrap_or(0);
     let scaled = args.iter().any(|a| a == "--scaled");
+    pool::set_threads(threads as usize);
+
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -38,20 +65,19 @@ fn main() {
             eprintln!(
                 "unknown experiment {id:?}; known: {ALL_EXPERIMENTS:?} + {EXTRA_EXPERIMENTS:?}"
             );
-            std::process::exit(2);
+            exit(2);
         }
     }
 
     eprintln!(
-        "generating the eight datasets at {} scale...",
-        if scaled { "reduced" } else { "full paper" }
+        "generating the eight datasets at {} scale (seed offset {seed}, {} worker{})...",
+        if scaled { "reduced" } else { "full paper" },
+        pool::threads(),
+        if pool::threads() == 1 { "" } else { "s" },
     );
     let t = Instant::now();
-    let bundle = if scaled {
-        Bundle::generate(Scale::reduced(12, 8))
-    } else {
-        Bundle::full()
-    };
+    let scale = if scaled { Scale::reduced(12, 8) } else { Scale::full() };
+    let bundle = Bundle::generate(scale.with_seed_offset(seed));
     eprintln!("datasets ready in {:.1?}", t.elapsed());
 
     let results = Path::new("results");

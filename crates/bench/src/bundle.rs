@@ -1,5 +1,6 @@
 //! Generation and caching of the eight Table-1 datasets.
 
+use detour_core::pool;
 use detour_datasets::{d2, n2, uw1, uw3, uw4, Scale};
 use detour_measure::Dataset;
 
@@ -26,13 +27,43 @@ pub struct Bundle {
 
 impl Bundle {
     /// Generates every dataset at the given scale.
+    ///
+    /// The five dataset *families* (D2, N2, UW1, UW3, UW4) are independent
+    /// simulations, so they generate on the [`pool`] — sibling pairs stay
+    /// together because they share one simulated network. The merge is
+    /// index-ordered, so the bundle is bit-identical at any thread count.
     pub fn generate(scale: Scale) -> Bundle {
-        let (d2, d2_na) = d2::generate_with_na(scale);
-        let (n2, n2_na) = n2::generate_with_na(scale);
-        let uw1 = detour_datasets::generate(&uw1::spec(), scale);
-        let uw3 = detour_datasets::generate(&uw3::spec(), scale);
-        let (uw4_a, uw4_b) = uw4::generate_both(scale);
-        Bundle { d2, d2_na, n2, n2_na, uw1, uw3, uw4_a, uw4_b }
+        let families: [usize; 5] = [0, 1, 2, 3, 4];
+        let mut built = pool::parallel_map(&families, |&family| match family {
+            0 => {
+                let (a, b) = d2::generate_with_na(scale);
+                vec![a, b]
+            }
+            1 => {
+                let (a, b) = n2::generate_with_na(scale);
+                vec![a, b]
+            }
+            2 => vec![detour_datasets::generate(&uw1::spec(), scale)],
+            3 => vec![detour_datasets::generate(&uw3::spec(), scale)],
+            _ => {
+                let (a, b) = uw4::generate_both(scale);
+                vec![a, b]
+            }
+        })
+        .into_iter();
+        let mut next = || built.next().expect("five families");
+        let (mut d2s, mut n2s, mut uw1s, mut uw3s, mut uw4s) =
+            (next(), next(), next(), next(), next());
+        Bundle {
+            d2: d2s.remove(0),
+            d2_na: d2s.remove(0),
+            n2: n2s.remove(0),
+            n2_na: n2s.remove(0),
+            uw1: uw1s.remove(0),
+            uw3: uw3s.remove(0),
+            uw4_a: uw4s.remove(0),
+            uw4_b: uw4s.remove(0),
+        }
     }
 
     /// Full paper scale.
@@ -40,7 +71,7 @@ impl Bundle {
         Bundle::generate(Scale::full())
     }
 
-    /// A fast, reduced bundle for smoke tests and criterion benches.
+    /// A fast, reduced bundle for smoke tests and the performance benches.
     pub fn reduced() -> Bundle {
         Bundle::generate(Scale::reduced(12, 8))
     }

@@ -12,6 +12,7 @@ use detour_core::analysis::{
     aspop, cdf, confidence, contribution, episodes, hostremoval, median, propagation,
     timeofday,
 };
+use detour_core::pool;
 use detour_core::{Loss, LossComposition, MeasurementGraph, Metric, Rtt, SearchDepth};
 use detour_measure::Dataset;
 use detour_stats::ttest::VerdictCounts;
@@ -107,9 +108,11 @@ pub fn table1(b: &Bundle) -> String {
 pub fn fig1(b: &Bundle) -> String {
     let mut out = header("Figure 1: RTT improvement CDF (UW1, UW3, D2-NA, D2)");
     let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
+    // The four datasets analyze independently; the pool merges in input
+    // order so the report is identical at any thread count.
+    let comparisons = pool::parallel_map(&sets, |ds| rtt_comparisons(ds));
     let mut curves = Vec::new();
-    for ds in sets {
-        let cs = rtt_comparisons(ds);
+    for (ds, cs) in sets.iter().zip(&comparisons) {
         let s = cdf::summarize(&cs, 20.0);
         out.push_str(&check(
             &format!("{}: fraction with a faster alternate", ds.name),
@@ -121,7 +124,7 @@ pub fn fig1(b: &Bundle) -> String {
             "a smaller fraction",
             pct(s.frac_significantly_better),
         ));
-        curves.push((ds.name.clone(), cdf::improvement_cdf(&cs)));
+        curves.push((ds.name.clone(), cdf::improvement_cdf(cs)));
     }
     let refs: Vec<(&str, &detour_stats::Cdf)> =
         curves.iter().map(|(n, c)| (n.as_str(), c)).collect();
@@ -133,10 +136,10 @@ pub fn fig1(b: &Bundle) -> String {
 pub fn fig2(b: &Bundle) -> String {
     let mut out = header("Figure 2: relative RTT improvement (UW1, UW3, D2-NA, D2)");
     let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
+    let comparisons = pool::parallel_map(&sets, |ds| rtt_comparisons(ds));
     let mut curves = Vec::new();
-    for ds in sets {
-        let cs = rtt_comparisons(ds);
-        let ratios = cdf::ratio_cdf(&cs);
+    for (ds, cs) in sets.iter().zip(&comparisons) {
+        let ratios = cdf::ratio_cdf(cs);
         out.push_str(&check(
             &format!("{}: fraction with >= 50% better latency", ds.name),
             "~10%",
@@ -156,10 +159,12 @@ pub fn fig2(b: &Bundle) -> String {
 pub fn fig3(b: &Bundle) -> String {
     let mut out = header("Figure 3: loss-rate improvement CDF (UW1, UW3, D2-NA, D2)");
     let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
+    let comparisons = pool::parallel_map(&sets, |ds| {
+        cdf::compare_all_pairs(&graph(ds), &Loss, SearchDepth::Unrestricted)
+    });
     let mut curves = Vec::new();
-    for ds in sets {
-        let cs = cdf::compare_all_pairs(&graph(ds), &Loss, SearchDepth::Unrestricted);
-        let s = cdf::summarize(&cs, 0.05);
+    for (ds, cs) in sets.iter().zip(&comparisons) {
+        let s = cdf::summarize(cs, 0.05);
         out.push_str(&check(
             &format!("{}: fraction with a lower-loss alternate", ds.name),
             "75-85%",
@@ -170,7 +175,7 @@ pub fn fig3(b: &Bundle) -> String {
             "5-50% (D2 highest)",
             pct(s.frac_significantly_better),
         ));
-        curves.push((ds.name.clone(), cdf::improvement_cdf(&cs)));
+        curves.push((ds.name.clone(), cdf::improvement_cdf(cs)));
     }
     let refs: Vec<(&str, &detour_stats::Cdf)> =
         curves.iter().map(|(n, c)| (n.as_str(), c)).collect();
@@ -343,9 +348,11 @@ pub fn table2(b: &Bundle) -> String {
         "{:<8} {:>9} {:>15} {:>8}\n",
         "dataset", "better", "indeterminate", "worse"
     ));
-    for ds in [&b.uw1, &b.uw3, &b.d2_na, &b.d2] {
-        let counts = confidence::verdict_table(&graph(ds), &Rtt, 0.95);
-        out.push_str(&verdict_row(&ds.name, &counts, false));
+    let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
+    let counts =
+        pool::parallel_map(&sets, |ds| confidence::verdict_table(&graph(ds), &Rtt, 0.95));
+    for (ds, c) in sets.iter().zip(&counts) {
+        out.push_str(&verdict_row(&ds.name, c, false));
     }
     out
 }
@@ -357,9 +364,11 @@ pub fn table3(b: &Bundle) -> String {
         "{:<8} {:>9} {:>15} {:>8} {:>7}\n",
         "dataset", "better", "indeterminate", "worse", "zero"
     ));
-    for ds in [&b.uw1, &b.uw3, &b.d2_na, &b.d2] {
-        let counts = confidence::verdict_table(&graph(ds), &Loss, 0.95);
-        out.push_str(&verdict_row(&ds.name, &counts, true));
+    let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
+    let counts =
+        pool::parallel_map(&sets, |ds| confidence::verdict_table(&graph(ds), &Loss, 0.95));
+    for (ds, c) in sets.iter().zip(&counts) {
+        out.push_str(&verdict_row(&ds.name, c, true));
     }
     out
 }

@@ -9,8 +9,7 @@ use detour_datasets::{generate_on, uw3, Scale};
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::{Era, HostId, Network, NetworkConfig, RoutingMode};
 use detour_overlay::{evaluate, EvalConfig, Overlay, OverlayConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use detour_prng::Xoshiro256pp;
 
 use crate::bundle::Bundle;
 use crate::render::{check, header, pct};
@@ -164,7 +163,7 @@ fn overlay_report() -> String {
     let members: Vec<HostId> =
         net.hosts().iter().step_by(5).take(8).map(|h| h.id).collect();
     let mut overlay = Overlay::new(members, OverlayConfig::default());
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
     let cfg = EvalConfig { duration_s: 2.0 * 3600.0, epoch_s: 180.0 };
     let r = evaluate(&net, &mut overlay, SimTime::from_hours(38.0), cfg, &mut rng);
     out.push_str(&check(

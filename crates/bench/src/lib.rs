@@ -1,7 +1,7 @@
 //! # detour-bench
 //!
-//! The benchmark harness: regenerates every table and figure of the paper
-//! (the `figures` binary) and hosts the criterion performance benches.
+//! The benchmark crate: regenerates every table and figure of the paper
+//! (the `figures` binary) and hosts the in-tree performance benches.
 //!
 //! * [`bundle`] — generates the eight Table-1 datasets, sharing simulations
 //!   between siblings (D2/D2-NA, N2/N2-NA, UW4-A/UW4-B);
@@ -9,7 +9,10 @@
 //! * [`experiments`] — one function per paper artifact, each returning a
 //!   report that states the paper's expectation next to the measured value;
 //! * [`extras`] — beyond-the-paper experiments: Paxson-phenomenon checks,
-//!   the routing-policy ablation, and the overlay evaluation.
+//!   the routing-policy ablation, and the overlay evaluation;
+//! * [`harness`] — the dependency-free micro-benchmark harness the
+//!   `benches/` binaries and the `baseline` binary run on (warm-up,
+//!   batched median-of-N timing, JSON-lines output).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,6 +20,8 @@
 pub mod bundle;
 pub mod experiments;
 pub mod extras;
+pub mod harness;
 pub mod render;
 
 pub use bundle::Bundle;
+pub use harness::Bench;

@@ -13,33 +13,39 @@ use crate::altpath::{
 use crate::compose::LossComposition;
 use crate::graph::MeasurementGraph;
 use crate::metric::Metric;
+use crate::pool;
 use detour_stats::Cdf;
 
 /// Per-pair comparisons for a whole graph under an additive metric.
+///
+/// The sweep fans out over [`crate::pool`] — every pair's search is
+/// independent — and merges in pair order, so the result is identical at
+/// every thread count.
 pub fn compare_all_pairs(
     graph: &MeasurementGraph,
     metric: &impl Metric,
     depth: SearchDepth,
 ) -> Vec<PathComparison> {
-    graph
-        .pairs()
-        .into_iter()
-        .filter_map(|pair| match depth {
-            SearchDepth::Unrestricted => best_alternate(graph, pair, metric),
-            SearchDepth::OneHop => best_alternate_one_hop(graph, pair, metric),
-        })
-        .collect()
+    let pairs = graph.pairs();
+    pool::parallel_map(&pairs, |&pair| match depth {
+        SearchDepth::Unrestricted => best_alternate(graph, pair, metric),
+        SearchDepth::OneHop => best_alternate_one_hop(graph, pair, metric),
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Per-pair comparisons for the bandwidth metric (one-hop, Mathis model).
+/// Parallel and order-deterministic like [`compare_all_pairs`].
 pub fn compare_all_pairs_bandwidth(
     graph: &MeasurementGraph,
     mode: LossComposition,
 ) -> Vec<PathComparison> {
-    graph
-        .pairs()
+    let pairs = graph.pairs();
+    pool::parallel_map(&pairs, |&pair| best_alternate_bandwidth(graph, pair, mode))
         .into_iter()
-        .filter_map(|pair| best_alternate_bandwidth(graph, pair, mode))
+        .flatten()
         .collect()
 }
 

@@ -127,12 +127,12 @@ mod tests {
     use crate::metric::{Loss, Rtt};
     use detour_measure::record::HostMeta;
     use detour_measure::{Dataset, HostId, ProbeSample};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use detour_prng::Xoshiro256pp;
+    use detour_prng::Rng;
 
     /// Dataset with noisy RTTs: direct 0→2 slow, detour via 1 fast.
     fn noisy_dataset(noise: f64, n_probes: usize) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
         let hosts = (0..3u32)
             .map(|id| HostMeta {
                 id: HostId(id),
@@ -142,7 +142,7 @@ mod tests {
             })
             .collect();
         let mut probes = Vec::new();
-        let mut push = |src: u32, dst: u32, base: f64, rng: &mut StdRng| {
+        let mut push = |src: u32, dst: u32, base: f64, rng: &mut Xoshiro256pp| {
             for k in 0..n_probes {
                 probes.push(ProbeSample {
                     src: HostId(src),

@@ -86,12 +86,12 @@ mod tests {
     use super::*;
     use detour_measure::record::HostMeta;
     use detour_measure::{Dataset, HostId, ProbeSample};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use detour_prng::Xoshiro256pp;
+    use detour_prng::Rng;
 
     /// Triangle dataset with symmetric RTT noise around the given bases.
     fn dataset(skewed: bool) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let hosts = (0..3u32)
             .map(|id| HostMeta {
                 id: HostId(id),

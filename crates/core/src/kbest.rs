@@ -260,9 +260,9 @@ mod tests {
 
     #[test]
     fn k_one_equals_plain_search_on_random_graphs() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(77);
+        use detour_prng::Xoshiro256pp;
+        use detour_prng::Rng;
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
         for _ in 0..15 {
             let n = rng.gen_range(4..7);
             let rows: Vec<Vec<f64>> = (0..n)

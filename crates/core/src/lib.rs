@@ -20,6 +20,10 @@
 //!
 //! This crate never touches the simulator: it consumes only measurement
 //! records, exactly as the original analysis consumed traces.
+//!
+//! The per-pair searches of step 3 run on the in-tree scoped thread pool
+//! ([`pool`]); results merge in input order, so every analysis is
+//! bit-identical at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +34,7 @@ pub mod compose;
 pub mod graph;
 pub mod kbest;
 pub mod metric;
+pub mod pool;
 
 pub use altpath::{
     best_alternate, best_alternate_bandwidth, best_alternate_one_hop, PathComparison,

@@ -19,7 +19,11 @@ use detour_stats::quantile::percentile;
 use detour_stats::Summary;
 
 /// A metric over measured edges that composes along synthetic paths.
-pub trait Metric {
+///
+/// `Sync` is a supertrait because the per-pair sweeps share one metric
+/// across the [`crate::pool`] workers; metrics are stateless unit structs,
+/// so this costs implementors nothing.
+pub trait Metric: Sync {
     /// Short name for reports ("rtt", "loss", …).
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,160 @@
+//! Scoped thread-pool executor for the analysis hot paths.
+//!
+//! The per-pair best-alternate sweep is embarrassingly parallel: every
+//! pair's Dijkstra reads the shared [`crate::MeasurementGraph`] and writes
+//! nothing. [`parallel_map`] fans such work out over `std::thread::scope`
+//! workers (no dependencies, no unsafe) and merges results **in input
+//! order**, so output is bit-identical at every thread count — a property
+//! the determinism integration tests pin down.
+//!
+//! Design points:
+//!
+//! * **Global thread budget.** [`set_threads`] (driven by the `figures`
+//!   binary's `--threads` flag) configures the whole process; `0` means
+//!   "use every available core". Analyses stay signature-compatible —
+//!   nothing threads a pool handle through twelve layers of calls.
+//! * **Work stealing via an atomic cursor.** Workers claim the next index
+//!   with a `fetch_add`, so a slow Dijkstra on one pair never stalls the
+//!   others (pair costs are highly skewed: well-connected pairs terminate
+//!   early).
+//! * **No nested fan-out.** A worker that itself calls [`parallel_map`]
+//!   runs the inner map sequentially (tracked with a thread-local), so
+//!   parallelizing both the per-dataset loop of an experiment and the
+//!   per-pair sweep inside it cannot multiply thread counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Requested thread count; 0 = auto (all available cores).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True inside a pool worker — makes nested `parallel_map` sequential.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Sets the process-wide thread budget. `0` restores the default (one
+/// thread per available core). Safe to call at any time; maps already in
+/// flight keep the budget they started with.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The resolved thread budget a new `parallel_map` would use.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on the process thread budget, returning results
+/// in input order (deterministic merge regardless of execution order).
+///
+/// Falls back to a plain sequential map when the budget is one thread,
+/// the input is tiny, or the caller is itself a pool worker.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = threads().min(items.len());
+    if workers <= 1 || IN_POOL.with(|p| p.get()) {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || {
+                IN_POOL.with(|p| p.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    // Send can only fail if the receiver is gone, which
+                    // cannot happen while the scope holds it alive.
+                    let _ = tx.send((i, f(&items[i])));
+                }
+                IN_POOL.with(|p| p.set(false));
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produced exactly one result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn respects_an_explicit_thread_budget() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(&items, |&x| x + 1);
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[49], 50);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let items: Vec<u64> = (0..500).collect();
+        let mut baseline = None;
+        for t in [1, 2, 8] {
+            set_threads(t);
+            // A mildly uneven workload to scramble completion order.
+            let out = parallel_map(&items, |&x| {
+                (0..(x % 7)).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+            });
+            match &baseline {
+                None => baseline = Some(out),
+                Some(b) => assert_eq!(b, &out, "thread count {t} changed results"),
+            }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn nested_maps_do_not_explode() {
+        set_threads(4);
+        let outer: Vec<usize> = (0..8).collect();
+        let out = parallel_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..20).collect();
+            parallel_map(&inner, |&j| i * 100 + j).iter().sum::<usize>()
+        });
+        let expect: Vec<usize> =
+            (0..8).map(|i| (0..20).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(out, expect);
+        set_threads(0);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x * 2), vec![14]);
+    }
+}

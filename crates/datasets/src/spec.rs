@@ -12,9 +12,8 @@ use detour_netsim::{Era, HostId, Network, NetworkConfig};
 use detour_measure::{
     run_campaign, CampaignConfig, Dataset, HostMeta, RateLimitPolicy, Schedule,
 };
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use detour_prng::Xoshiro256pp;
+use detour_prng::SliceRandom;
 
 /// Full description of one dataset's collection process.
 #[derive(Debug, Clone, Copy)]
@@ -56,18 +55,37 @@ pub struct Scale {
     pub n_hosts: Option<usize>,
     /// Divide the duration by this factor (≥ 1).
     pub time_divisor: u32,
+    /// Perturbation XOR-mixed into every spec seed (`0` = the canonical
+    /// run). Lets one binary (`figures --seed S`) regenerate the whole
+    /// study on a different simulated Internet while preserving the
+    /// seed-sharing between sibling datasets (D2/N2 on one network, the
+    /// UW family on another).
+    pub seed_offset: u64,
 }
 
 impl Scale {
     /// Full paper scale.
     pub fn full() -> Scale {
-        Scale { n_hosts: None, time_divisor: 1 }
+        Scale { n_hosts: None, time_divisor: 1, seed_offset: 0 }
     }
 
     /// A reduced scale for tests and examples.
     pub fn reduced(n_hosts: usize, time_divisor: u32) -> Scale {
         assert!(time_divisor >= 1);
-        Scale { n_hosts: Some(n_hosts), time_divisor }
+        Scale { n_hosts: Some(n_hosts), time_divisor, seed_offset: 0 }
+    }
+
+    /// The same scale with the given seed perturbation.
+    pub fn with_seed_offset(mut self, offset: u64) -> Scale {
+        self.seed_offset = offset;
+        self
+    }
+
+    /// A spec seed perturbed by the offset; identity when the offset is 0,
+    /// and equal inputs map to equal outputs, so datasets that share a seed
+    /// keep sharing it at every offset.
+    pub fn mixed_seed(&self, seed: u64) -> u64 {
+        seed ^ self.seed_offset.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 }
 
@@ -75,7 +93,11 @@ impl Scale {
 /// same network the dataset came from (e.g. the overlay-router example).
 pub fn build_network(spec: &DatasetSpec, scale: Scale) -> Network {
     let horizon_days = spec.duration_days / scale.time_divisor as f64;
-    Network::generate(&NetworkConfig::for_era(spec.era, spec.network_seed, horizon_days))
+    Network::generate(&NetworkConfig::for_era(
+        spec.era,
+        scale.mixed_seed(spec.network_seed),
+        horizon_days,
+    ))
 }
 
 /// Selects the measurement hosts: `n_na` North American plus the remainder
@@ -90,7 +112,7 @@ pub fn select_hosts(
     prescreened: bool,
 ) -> Vec<HostId> {
     assert!(n_na <= n_total);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1e_c7ed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5e1e_c7ed);
     let eligible =
         |h: &&detour_netsim::topology::Host| !prescreened || !h.icmp_rate_limited;
     let mut na: Vec<HostId> = net
@@ -138,11 +160,12 @@ pub fn generate_on(net: &Network, spec: &DatasetSpec, scale: Scale) -> Dataset {
     } else {
         spec.n_hosts_na
     };
+    let campaign_seed = scale.mixed_seed(spec.campaign_seed);
     let hosts =
-        select_hosts(net, n_hosts, n_na.min(n_hosts), spec.campaign_seed, spec.prescreened);
+        select_hosts(net, n_hosts, n_na.min(n_hosts), campaign_seed, spec.prescreened);
     let duration_s = spec.duration_days * 86_400.0 / scale.time_divisor as f64;
 
-    let mut rng = StdRng::seed_from_u64(spec.campaign_seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(campaign_seed);
     let requests = spec.schedule.generate(&hosts, duration_s, &mut rng);
     let raw = run_campaign(net, &requests, &spec.campaign, &mut rng);
 
@@ -239,6 +262,26 @@ mod tests {
         let net = build_network(&spec, Scale::full());
         assert_eq!(select_hosts(&net, 12, 12, 5, false), select_hosts(&net, 12, 12, 5, false));
         assert_ne!(select_hosts(&net, 12, 12, 5, false), select_hosts(&net, 12, 12, 6, false));
+    }
+
+    #[test]
+    fn seed_offset_zero_is_identity_and_nonzero_changes_the_world() {
+        let base = generate(&tiny_spec(), Scale::full());
+        let same = generate(&tiny_spec(), Scale::full().with_seed_offset(0));
+        assert_eq!(base.probes, same.probes);
+        assert_eq!(base.hosts, same.hosts);
+        let other = generate(&tiny_spec(), Scale::full().with_seed_offset(7));
+        assert_ne!(base.probes, other.probes);
+    }
+
+    #[test]
+    fn mixed_seed_preserves_seed_sharing() {
+        let s = Scale::full().with_seed_offset(1234);
+        // Equal seeds stay equal (siblings keep sharing one network)...
+        assert_eq!(s.mixed_seed(42), s.mixed_seed(42));
+        // ...distinct seeds stay distinct, and the offset actually mixes.
+        assert_ne!(s.mixed_seed(42), s.mixed_seed(43));
+        assert_ne!(s.mixed_seed(42), Scale::full().mixed_seed(42));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::{probe, tcp, Network};
-use rand::Rng;
+use detour_prng::Rng;
 
 use crate::record::{Invocation, TransferSample};
 use crate::schedule::Request;
@@ -140,8 +140,7 @@ mod tests {
     use super::*;
     use crate::schedule::Schedule;
     use detour_netsim::{Era, NetworkConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn net() -> Network {
         Network::generate(&NetworkConfig::for_era(Era::Y1999, 31, 2.0))
@@ -152,7 +151,7 @@ mod tests {
         Schedule::PairwiseExponential { mean_s }.generate(
             &hosts,
             4.0 * 3600.0,
-            &mut StdRng::seed_from_u64(8),
+            &mut Xoshiro256pp::seed_from_u64(8),
         )
     }
 
@@ -160,7 +159,7 @@ mod tests {
     fn traceroute_campaign_yields_invocations() {
         let n = net();
         let reqs = small_schedule(&n, 8, 120.0);
-        let raw = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut StdRng::seed_from_u64(1));
+        let raw = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut Xoshiro256pp::seed_from_u64(1));
         assert!(!raw.invocations.is_empty());
         assert!(raw.invocations.len() + raw.failed_requests + raw.timed_out == reqs.len());
         for inv in &raw.invocations {
@@ -176,7 +175,7 @@ mod tests {
         let reqs = small_schedule(&n, 8, 60.0);
         let mut cfg = CampaignConfig::traceroute();
         cfg.request_failure_prob = 0.5;
-        let raw = run_campaign(&n, &reqs, &cfg, &mut StdRng::seed_from_u64(2));
+        let raw = run_campaign(&n, &reqs, &cfg, &mut Xoshiro256pp::seed_from_u64(2));
         let frac = raw.failed_requests as f64 / reqs.len() as f64;
         assert!((0.4..0.6).contains(&frac), "failure fraction {frac}");
     }
@@ -185,7 +184,7 @@ mod tests {
     fn tcp_campaign_yields_transfers() {
         let n = net();
         let reqs = small_schedule(&n, 6, 600.0);
-        let raw = run_campaign(&n, &reqs, &CampaignConfig::tcp(), &mut StdRng::seed_from_u64(3));
+        let raw = run_campaign(&n, &reqs, &CampaignConfig::tcp(), &mut Xoshiro256pp::seed_from_u64(3));
         assert!(!raw.transfers.is_empty());
         for t in &raw.transfers {
             assert!(t.rtt_ms > 0.0);
@@ -198,8 +197,8 @@ mod tests {
     fn campaign_is_deterministic() {
         let n = net();
         let reqs = small_schedule(&n, 6, 300.0);
-        let a = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut StdRng::seed_from_u64(4));
-        let b = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut StdRng::seed_from_u64(4));
+        let a = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut Xoshiro256pp::seed_from_u64(4));
+        let b = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut Xoshiro256pp::seed_from_u64(4));
         assert_eq!(a.invocations, b.invocations);
     }
 
@@ -209,7 +208,7 @@ mod tests {
         let reqs = small_schedule(&n, 8, 120.0);
         let mut cfg = CampaignConfig::traceroute();
         cfg.timeout_s = 0.5; // traceroutes take seconds; nearly all time out
-        let raw = run_campaign(&n, &reqs, &cfg, &mut StdRng::seed_from_u64(5));
+        let raw = run_campaign(&n, &reqs, &cfg, &mut Xoshiro256pp::seed_from_u64(5));
         assert!(raw.timed_out > raw.invocations.len());
     }
 }

@@ -15,7 +15,7 @@
 //!   mean).
 
 use detour_netsim::HostId;
-use rand::Rng;
+use detour_prng::Rng;
 
 /// One scheduled measurement request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,8 +140,7 @@ impl Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn hosts(n: u32) -> Vec<HostId> {
         (0..n).map(HostId).collect()
@@ -153,7 +152,7 @@ mod tests {
     fn per_host_uniform_hits_expected_volume() {
         let hs = hosts(10);
         let reqs = Schedule::PerHostUniform { mean_s: 900.0 }
-            .generate(&hs, DAY, &mut StdRng::seed_from_u64(1));
+            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(1));
         // 10 hosts * 96 requests/day each = ~960.
         assert!((700..1300).contains(&reqs.len()), "{}", reqs.len());
         for w in reqs.windows(2) {
@@ -165,7 +164,7 @@ mod tests {
     fn pairwise_exponential_hits_expected_volume() {
         let hs = hosts(8);
         let reqs = Schedule::PairwiseExponential { mean_s: 60.0 }
-            .generate(&hs, DAY, &mut StdRng::seed_from_u64(2));
+            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(2));
         // ~1440/day.
         assert!((1200..1700).contains(&reqs.len()), "{}", reqs.len());
     }
@@ -174,7 +173,7 @@ mod tests {
     fn paired_schedule_emits_both_directions_at_once() {
         let hs = hosts(6);
         let reqs = Schedule::PairwiseExponentialPaired { mean_s: 120.0 }
-            .generate(&hs, DAY, &mut StdRng::seed_from_u64(7));
+            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(7));
         assert_eq!(reqs.len() % 2, 0);
         for pair in reqs.chunks(2) {
             assert_eq!(pair[0].t_s, pair[1].t_s);
@@ -192,7 +191,7 @@ mod tests {
             Schedule::PairwiseExponentialPaired { mean_s: 30.0 },
             Schedule::Episodes { mean_gap_s: 1800.0 },
         ] {
-            for r in sched.generate(&hs, DAY, &mut StdRng::seed_from_u64(3)) {
+            for r in sched.generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(3)) {
                 assert_ne!(r.src, r.dst);
             }
         }
@@ -202,7 +201,7 @@ mod tests {
     fn episodes_cover_all_ordered_pairs() {
         let hs = hosts(6);
         let reqs = Schedule::Episodes { mean_gap_s: 3600.0 }
-            .generate(&hs, DAY, &mut StdRng::seed_from_u64(4));
+            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(4));
         let episodes: u32 = reqs.iter().filter_map(|r| r.episode).max().unwrap() + 1;
         assert_eq!(reqs.len() as u32, episodes * 30, "6 hosts → 30 ordered pairs/episode");
         // Every request in an episode shares its timestamp.
@@ -220,7 +219,7 @@ mod tests {
             Schedule::PairwiseExponential { mean_s: 50.0 },
             Schedule::Episodes { mean_gap_s: 2000.0 },
         ] {
-            for r in sched.generate(&hs, DAY, &mut StdRng::seed_from_u64(5)) {
+            for r in sched.generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(5)) {
                 assert!((0.0..DAY).contains(&r.t_s));
             }
         }
@@ -230,9 +229,9 @@ mod tests {
     fn generation_is_deterministic() {
         let hs = hosts(7);
         let a = Schedule::PairwiseExponential { mean_s: 45.0 }
-            .generate(&hs, DAY, &mut StdRng::seed_from_u64(9));
+            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(9));
         let b = Schedule::PairwiseExponential { mean_s: 45.0 }
-            .generate(&hs, DAY, &mut StdRng::seed_from_u64(9));
+            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(9));
         assert_eq!(a, b);
     }
 
@@ -243,7 +242,7 @@ mod tests {
         let _ = Schedule::PairwiseExponential { mean_s: 1.0 }.generate(
             &hs,
             10.0,
-            &mut StdRng::seed_from_u64(0),
+            &mut Xoshiro256pp::seed_from_u64(0),
         );
     }
 }

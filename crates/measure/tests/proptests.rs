@@ -1,151 +1,141 @@
-//! Property-based tests for the measurement machinery: schedulers and the
-//! trace-file format must be robust to arbitrary (valid) inputs.
+//! Property-based tests for the measurement machinery, on the in-tree
+//! deterministic harness: schedulers and the trace-file format must be
+//! robust to arbitrary (valid) inputs.
 
 use detour_measure::dataset::Dataset;
 use detour_measure::record::{HostMeta, ProbeSample, TransferSample};
 use detour_measure::tracefile;
 use detour_measure::{HostId, Schedule};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use detour_prng::check::check;
+use detour_prng::{Rng, Xoshiro256pp};
 
-fn host_meta() -> impl Strategy<Value = HostMeta> {
-    (0u32..50, 0u16..300, any::<bool>(), "[a-z0-9.-]{1,24}").prop_map(
-        |(id, asn, limited, name)| HostMeta {
-            id: HostId(id),
-            asn,
-            truly_rate_limited: limited,
-            name,
-        },
-    )
+fn host_name(rng: &mut Xoshiro256pp) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.-";
+    let n = rng.gen_range(1..=24usize);
+    (0..n)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
 }
 
-fn probe() -> impl Strategy<Value = ProbeSample> {
-    (
-        0u32..50,
-        0u32..50,
-        0.0..1e6f64,
-        0u8..3,
-        proptest::option::of(0.01..5e3f64),
-        any::<bool>(),
-        proptest::option::of(0u32..2000),
-        0u32..5,
-    )
-        .prop_map(|(s, d, t, k, rtt, le, ep, path)| ProbeSample {
-            src: HostId(s),
-            dst: HostId(d),
-            t_s: t,
-            probe_index: k,
-            rtt_ms: rtt,
-            loss_eligible: le,
-            episode: ep,
-            path_idx: path,
-        })
+fn host_meta(rng: &mut Xoshiro256pp) -> HostMeta {
+    HostMeta {
+        id: HostId(rng.gen_range(0..50u32)),
+        asn: rng.gen_range(0..300u16),
+        truly_rate_limited: rng.gen_bool(0.5),
+        name: host_name(rng),
+    }
 }
 
-fn transfer() -> impl Strategy<Value = TransferSample> {
-    (0u32..50, 0u32..50, 0.0..1e6f64, 0.1..5e3f64, 0.0..1.0f64, 0.01..1e5f64).prop_map(
-        |(s, d, t, rtt, loss, bw)| TransferSample {
-            src: HostId(s),
-            dst: HostId(d),
-            t_s: t,
-            rtt_ms: rtt,
-            loss_rate: loss,
-            bandwidth_kbps: bw,
-        },
-    )
+fn probe(rng: &mut Xoshiro256pp) -> ProbeSample {
+    ProbeSample {
+        src: HostId(rng.gen_range(0..50u32)),
+        dst: HostId(rng.gen_range(0..50u32)),
+        t_s: rng.gen_range(0.0..1e6f64),
+        probe_index: rng.gen_range(0..3u8),
+        rtt_ms: rng.gen_bool(0.5).then(|| rng.gen_range(0.01..5e3f64)),
+        loss_eligible: rng.gen_bool(0.5),
+        episode: rng.gen_bool(0.5).then(|| rng.gen_range(0..2000u32)),
+        path_idx: rng.gen_range(0..5u32),
+    }
 }
 
-fn dataset() -> impl Strategy<Value = Dataset> {
-    (
-        proptest::collection::vec(host_meta(), 0..8),
-        proptest::collection::vec(probe(), 0..40),
-        proptest::collection::vec(transfer(), 0..10),
-        proptest::collection::vec(proptest::collection::vec(0u16..300, 1..6), 1..6),
-        1.0..1e7f64,
-    )
-        .prop_map(|(hosts, mut probes, transfers, as_paths, duration_s)| {
-            // Keep path indices in range for the generated pool.
-            let n_paths = as_paths.len() as u32;
-            for p in probes.iter_mut() {
-                p.path_idx %= n_paths;
-            }
-            Dataset {
-                name: "prop".into(),
-                hosts,
-                probes,
-                transfers,
-                as_paths,
-                duration_s,
-                detected_rate_limited: vec![],
-            }
-        })
+fn transfer(rng: &mut Xoshiro256pp) -> TransferSample {
+    TransferSample {
+        src: HostId(rng.gen_range(0..50u32)),
+        dst: HostId(rng.gen_range(0..50u32)),
+        t_s: rng.gen_range(0.0..1e6f64),
+        rtt_ms: rng.gen_range(0.1..5e3f64),
+        loss_rate: rng.gen_range(0.0..1.0f64),
+        bandwidth_kbps: rng.gen_range(0.01..1e5f64),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn dataset(rng: &mut Xoshiro256pp) -> Dataset {
+    let hosts = (0..rng.gen_range(0..8usize)).map(|_| host_meta(rng)).collect();
+    let mut probes: Vec<ProbeSample> =
+        (0..rng.gen_range(0..40usize)).map(|_| probe(rng)).collect();
+    let transfers = (0..rng.gen_range(0..10usize)).map(|_| transfer(rng)).collect();
+    let as_paths: Vec<Vec<u16>> = (0..rng.gen_range(1..6usize))
+        .map(|_| (0..rng.gen_range(1..6usize)).map(|_| rng.gen_range(0..300u16)).collect())
+        .collect();
+    // Keep path indices in range for the generated pool.
+    let n_paths = as_paths.len() as u32;
+    for p in probes.iter_mut() {
+        p.path_idx %= n_paths;
+    }
+    Dataset {
+        name: "prop".into(),
+        hosts,
+        probes,
+        transfers,
+        as_paths,
+        duration_s: rng.gen_range(1.0..1e7f64),
+        detected_rate_limited: vec![],
+    }
+}
 
-    #[test]
-    fn tracefile_roundtrips_any_dataset(ds in dataset()) {
+#[test]
+fn tracefile_roundtrips_any_dataset() {
+    check("tracefile_roundtrips_any_dataset", |rng| {
+        let ds = dataset(rng);
         let text = tracefile::to_string(&ds);
-        let back = tracefile::from_str(&text)
-            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
-        prop_assert_eq!(&back.hosts, &ds.hosts);
-        prop_assert_eq!(&back.probes, &ds.probes);
-        prop_assert_eq!(&back.transfers, &ds.transfers);
-        prop_assert_eq!(&back.as_paths, &ds.as_paths);
-        prop_assert_eq!(back.duration_s, ds.duration_s);
-    }
+        let back = tracefile::from_str(&text).expect("roundtrip parse");
+        assert_eq!(back.hosts, ds.hosts);
+        assert_eq!(back.probes, ds.probes);
+        assert_eq!(back.transfers, ds.transfers);
+        assert_eq!(back.as_paths, ds.as_paths);
+        assert_eq!(back.duration_s, ds.duration_s);
+    });
+}
 
-    #[test]
-    fn characteristics_never_panic_and_stay_bounded(ds in dataset()) {
+#[test]
+fn characteristics_never_panic_and_stay_bounded() {
+    check("characteristics_never_panic_and_stay_bounded", |rng| {
+        let ds = dataset(rng);
         let c = ds.characteristics();
-        prop_assert!(c.coverage_pct >= 0.0);
-        prop_assert!(c.duration_days > 0.0);
-        prop_assert!(c.measurements <= ds.probes.len() + ds.transfers.len());
-    }
+        assert!(c.coverage_pct >= 0.0);
+        assert!(c.duration_days > 0.0);
+        assert!(c.measurements <= ds.probes.len() + ds.transfers.len());
+    });
+}
 
-    #[test]
-    fn schedules_are_in_window_and_never_self_target(
-        seed in any::<u64>(),
-        n_hosts in 2usize..10,
-        duration in 600.0..86_400.0f64,
-        mean in 10.0..3600.0f64,
-    ) {
+#[test]
+fn schedules_are_in_window_and_never_self_target() {
+    check("schedules_are_in_window_and_never_self_target", |rng| {
+        let n_hosts = rng.gen_range(2..10usize);
+        let duration = rng.gen_range(600.0..86_400.0f64);
+        let mean = rng.gen_range(10.0..3600.0f64);
         let hosts: Vec<HostId> = (0..n_hosts as u32).map(HostId).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
         for sched in [
             Schedule::PerHostUniform { mean_s: mean },
             Schedule::PairwiseExponential { mean_s: mean },
             Schedule::PairwiseExponentialPaired { mean_s: mean },
             Schedule::Episodes { mean_gap_s: mean.max(600.0) },
         ] {
-            for r in sched.generate(&hosts, duration, &mut rng) {
-                prop_assert!(r.t_s >= 0.0 && r.t_s < duration);
-                prop_assert!(r.src != r.dst);
-                prop_assert!(hosts.contains(&r.src) && hosts.contains(&r.dst));
+            for r in sched.generate(&hosts, duration, rng) {
+                assert!(r.t_s >= 0.0 && r.t_s < duration);
+                assert!(r.src != r.dst);
+                assert!(hosts.contains(&r.src) && hosts.contains(&r.dst));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn episode_schedules_share_timestamps(
-        seed in any::<u64>(),
-        n_hosts in 2usize..7,
-    ) {
+#[test]
+fn episode_schedules_share_timestamps() {
+    check("episode_schedules_share_timestamps", |rng| {
+        let n_hosts = rng.gen_range(2..7usize);
         let hosts: Vec<HostId> = (0..n_hosts as u32).map(HostId).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let reqs = Schedule::Episodes { mean_gap_s: 1800.0 }
-            .generate(&hosts, 86_400.0, &mut rng);
+        let reqs = Schedule::Episodes { mean_gap_s: 1800.0 }.generate(&hosts, 86_400.0, rng);
         let per_episode = n_hosts * (n_hosts - 1);
-        prop_assert_eq!(reqs.len() % per_episode, 0);
+        assert_eq!(reqs.len() % per_episode, 0);
         for chunk in reqs.chunks(per_episode) {
             let t0 = chunk[0].t_s;
             let e0 = chunk[0].episode;
             for r in chunk {
-                prop_assert_eq!(r.t_s, t0);
-                prop_assert_eq!(r.episode, e0);
+                assert_eq!(r.t_s, t0);
+                assert_eq!(r.episode, e0);
             }
         }
-    }
+    });
 }

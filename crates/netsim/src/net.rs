@@ -10,7 +10,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use rand::Rng;
+use detour_prng::Rng;
 
 use crate::routing::flaps::{FlapConfig, FlapSchedule};
 use crate::routing::path::{ResolvedPath, Resolver};
@@ -82,8 +82,7 @@ pub struct Network {
 impl Network {
     /// Generates a network from `cfg`. Deterministic in `cfg.seed`.
     pub fn generate(cfg: &NetworkConfig) -> Network {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let mut rng = detour_prng::Xoshiro256pp::seed_from_u64(cfg.seed);
         let topology = generator::generate(&cfg.topology, &mut rng);
         let resolver = Resolver::new(&topology);
         let load = LoadModel::generate(&topology, cfg.load, cfg.seed, cfg.horizon_s);
@@ -211,8 +210,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn net() -> Network {
         Network::generate(&NetworkConfig::for_era(Era::Y1999, 77, 7.0))
@@ -250,7 +248,7 @@ mod tests {
         let t = SimTime::from_hours(34.0);
         let p = n.forward_path(n.hosts()[0].id, n.hosts()[9].id, t).unwrap();
         let prop = p.prop_delay_ms(&n.topology);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         for _ in 0..50 {
             let out = n.transit(&p, t, &mut rng);
             assert!(out.delay_ms > prop, "queuing must add delay");
@@ -261,8 +259,8 @@ mod tests {
     fn busy_hours_are_slower_on_average() {
         let n = net();
         let p = n.forward_path(n.hosts()[2].id, n.hosts()[11].id, SimTime::ZERO).unwrap();
-        let mut rng = StdRng::seed_from_u64(8);
-        let avg = |t: SimTime, rng: &mut StdRng| -> f64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let avg = |t: SimTime, rng: &mut Xoshiro256pp| -> f64 {
             (0..300).map(|_| n.transit(&p, t, rng).delay_ms).sum::<f64>() / 300.0
         };
         // Tuesday 11:00 PST vs Tuesday 03:30 PST (most hosts are NA).
@@ -276,7 +274,7 @@ mod tests {
         let n = net();
         let t = SimTime::from_hours(30.0);
         let hosts: Vec<HostId> = n.hosts().iter().map(|h| h.id).collect();
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
         let mut lost = 0;
         let mut total = 0;
         for &s in hosts.iter().take(10) {
@@ -304,7 +302,7 @@ mod tests {
         let t = SimTime::from_hours(16.0);
         let p = n.forward_path(n.hosts()[1].id, n.hosts()[13].id, t).unwrap();
         assert!(p.links.len() >= 2);
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
         let prefix_avg: f64 =
             (0..100).map(|_| n.transit_prefix(&p, 1, t, &mut rng).delay_ms).sum::<f64>() / 100.0;
         let full_avg: f64 =

@@ -20,7 +20,7 @@
 //! cannot observe either — the end-host samples, which all analyses use,
 //! do take the true reverse path.)
 
-use rand::Rng;
+use detour_prng::Rng;
 
 use crate::net::Network;
 use crate::sim::clock::SimTime;
@@ -191,8 +191,7 @@ mod tests {
     use super::*;
     use crate::net::NetworkConfig;
     use crate::topology::generator::Era;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn net() -> Network {
         Network::generate(&NetworkConfig::for_era(Era::Y1999, 1234, 7.0))
@@ -213,7 +212,7 @@ mod tests {
     fn ping_rtt_is_plausible() {
         let n = net();
         let (s, d) = pick_hosts(&n, false);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let t = SimTime::from_hours(20.0);
         let mut got = 0;
         for _ in 0..50 {
@@ -230,7 +229,7 @@ mod tests {
         let n = net();
         let (s, d) = pick_hosts(&n, false);
         let t = SimTime::from_hours(30.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let tr = traceroute(&n, s, d, t, &mut rng);
         let fwd = n.forward_path(s, d, t).unwrap();
         assert_eq!(tr.hops.len(), fwd.links.len());
@@ -246,7 +245,7 @@ mod tests {
         let n = net();
         let (s, d) = pick_hosts(&n, false);
         let t = SimTime::from_hours(26.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let mut first = Vec::new();
         let mut last = Vec::new();
         for _ in 0..20 {
@@ -268,8 +267,8 @@ mod tests {
         let (s, d_lim) = pick_hosts(&n, true);
         let (_, d_ok) = pick_hosts(&n, false);
         let t = SimTime::from_hours(40.0);
-        let mut rng = StdRng::seed_from_u64(4);
-        let followup_loss = |dst: HostId, rng: &mut StdRng| -> f64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let followup_loss = |dst: HostId, rng: &mut Xoshiro256pp| -> f64 {
             let mut lost = 0;
             let mut total = 0;
             for _ in 0..30 {
@@ -297,7 +296,7 @@ mod tests {
         let n = net();
         let (s, d) = pick_hosts(&n, false);
         let t = SimTime::from_hours(12.0);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let tr = traceroute(&n, s, d, t, &mut rng);
         let expected = n.forward_path(s, d, t).unwrap().as_sequence(&n.topology);
         // The traceroute's AS path skips the source AS only if the first
@@ -313,8 +312,8 @@ mod tests {
         let n = net();
         let (s, d) = pick_hosts(&n, false);
         let t = SimTime::from_hours(8.0);
-        let a = traceroute(&n, s, d, t, &mut StdRng::seed_from_u64(6));
-        let b = traceroute(&n, s, d, t, &mut StdRng::seed_from_u64(6));
+        let a = traceroute(&n, s, d, t, &mut Xoshiro256pp::seed_from_u64(6));
+        let b = traceroute(&n, s, d, t, &mut Xoshiro256pp::seed_from_u64(6));
         for (x, y) in a.hops.iter().zip(&b.hops) {
             assert_eq!(x.rtts, y.rtts);
         }

@@ -246,12 +246,11 @@ mod tests {
     use super::*;
     use crate::topology::generator::{generate, Era, TopologyConfig};
     use crate::topology::AsTier;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn setup() -> (Topology, BgpRib) {
         let topo =
-            generate(&TopologyConfig::for_era(Era::Y1999), &mut StdRng::seed_from_u64(99));
+            generate(&TopologyConfig::for_era(Era::Y1999), &mut Xoshiro256pp::seed_from_u64(99));
         let rib = BgpRib::compute(&topo);
         (topo, rib)
     }

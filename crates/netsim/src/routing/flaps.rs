@@ -12,8 +12,8 @@
 //! pair depends only on the network seed and the pair's ids, never on the
 //! order of queries.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detour_prng::Xoshiro256pp;
+use detour_prng::Rng;
 
 use crate::topology::AsId;
 
@@ -59,7 +59,7 @@ impl FlapSchedule {
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
-        let mut rng = StdRng::seed_from_u64(z);
+        let mut rng = Xoshiro256pp::seed_from_u64(z);
 
         let mut episodes = Vec::new();
         let mut t = exponential(&mut rng, cfg.mean_interval_s);

@@ -125,11 +125,10 @@ impl IgpTable {
 mod tests {
     use super::*;
     use crate::topology::generator::{generate, Era, TopologyConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn topo() -> Topology {
-        generate(&TopologyConfig::for_era(Era::Y1999), &mut StdRng::seed_from_u64(42))
+        generate(&TopologyConfig::for_era(Era::Y1999), &mut Xoshiro256pp::seed_from_u64(42))
     }
 
     #[test]

@@ -245,12 +245,11 @@ impl Resolver {
 mod tests {
     use super::*;
     use crate::topology::generator::{generate, Era, TopologyConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn setup() -> (Topology, Resolver) {
         let topo =
-            generate(&TopologyConfig::for_era(Era::Y1999), &mut StdRng::seed_from_u64(21));
+            generate(&TopologyConfig::for_era(Era::Y1999), &mut Xoshiro256pp::seed_from_u64(21));
         let resolver = Resolver::new(&topo);
         (topo, resolver)
     }

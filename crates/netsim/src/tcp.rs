@@ -14,7 +14,7 @@
 //! (background loss *plus* the self-induced loss of a sender probing for
 //! bandwidth), and the achieved throughput.
 
-use rand::Rng;
+use detour_prng::Rng;
 
 use crate::net::Network;
 use crate::sim::clock::SimTime;
@@ -152,8 +152,7 @@ mod tests {
     use super::*;
     use crate::net::NetworkConfig;
     use crate::topology::generator::Era;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn net() -> Network {
         Network::generate(&NetworkConfig::for_era(Era::Y1995, 555, 7.0))
@@ -184,7 +183,7 @@ mod tests {
     fn transfers_produce_plausible_1995_numbers() {
         let n = net();
         let hosts = n.hosts();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let t = SimTime::from_hours(30.0);
         let mut got = 0;
         for i in 0..10 {
@@ -212,7 +211,7 @@ mod tests {
         // self-induced-loss branch executes.
         let n = net();
         let hosts = n.hosts();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let mut saw_induced = false;
         'outer: for hour in [10.0, 20.0, 34.0, 60.0] {
             for i in 0..hosts.len().min(12) {
@@ -238,8 +237,8 @@ mod tests {
         let n = net();
         let (s, d) = (n.hosts()[0].id, n.hosts()[9].id);
         let t = SimTime::from_hours(22.0);
-        let a = bulk_transfer(&n, s, d, t, 20.0, &mut StdRng::seed_from_u64(3));
-        let b = bulk_transfer(&n, s, d, t, 20.0, &mut StdRng::seed_from_u64(3));
+        let a = bulk_transfer(&n, s, d, t, 20.0, &mut Xoshiro256pp::seed_from_u64(3));
+        let b = bulk_transfer(&n, s, d, t, 20.0, &mut Xoshiro256pp::seed_from_u64(3));
         assert_eq!(a, b);
     }
 }

@@ -10,8 +10,8 @@
 //!
 //! Generation is fully deterministic given the RNG.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use detour_prng::SliceRandom;
+use detour_prng::Rng;
 
 use crate::geo::{self, CityId, Region, CITIES};
 use crate::topology::{
@@ -313,7 +313,7 @@ pub fn generate(cfg: &TopologyConfig, rng: &mut impl Rng) -> Topology {
             pool.extend((0..CITIES.len()).filter(|&c| CITIES[c].region == Region::NaEast));
         }
         pool.shuffle(rng);
-        let n_pops = rng.gen_range(3..=5).min(pool.len());
+        let n_pops = rng.gen_range(3..=5usize).min(pool.len());
         pool.truncate(n_pops.max(1));
         let asn = b.add_as(AsTier::Regional, pool, rng.gen_bool(0.5));
         build_backbone(&mut b, asn, regional_cap, rng);
@@ -347,7 +347,7 @@ pub fn generate(cfg: &TopologyConfig, rng: &mut impl Rng) -> Topology {
             let (a, bb) = (tier1s[i], tier1s[j]);
             b.as_edges.push(AsEdge { a, b: bb, rel: Relationship::Peer });
             let colo = colocated_pops(&b, a, bb);
-            let n_points = rng.gen_range(2..=3).min(colo.len().max(1));
+            let n_points = rng.gen_range(2..=3usize).min(colo.len().max(1));
             if colo.is_empty() {
                 let (ra, rb, _) = closest_pops(&b, a, bb);
                 b.add_link_pair(ra, rb, core_cap, LinkKind::PrivateInterconnect);
@@ -483,12 +483,11 @@ fn era_ixp_prob(era: Era) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn topo(era: Era, seed: u64) -> Topology {
         let cfg = TopologyConfig::for_era(era);
-        generate(&cfg, &mut StdRng::seed_from_u64(seed))
+        generate(&cfg, &mut Xoshiro256pp::seed_from_u64(seed))
     }
 
     #[test]
@@ -645,7 +644,7 @@ mod tests {
     fn na_only_config_keeps_stub_hosts_in_na() {
         let mut cfg = TopologyConfig::for_era(Era::Y1999);
         cfg.stubs_na_only = true;
-        let t = generate(&cfg, &mut StdRng::seed_from_u64(14));
+        let t = generate(&cfg, &mut Xoshiro256pp::seed_from_u64(14));
         for h in &t.hosts {
             assert!(CITIES[h.city].region.is_north_america(), "{}", h.name);
         }

@@ -121,8 +121,7 @@ pub fn validate(topo: &Topology) -> Vec<Violation> {
 mod tests {
     use super::*;
     use crate::topology::generator::{generate, Era, TopologyConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     #[test]
     fn generated_topologies_are_valid_across_seeds_and_eras() {
@@ -130,7 +129,7 @@ mod tests {
             for seed in 0..12u64 {
                 let topo = generate(
                     &TopologyConfig::for_era(era),
-                    &mut StdRng::seed_from_u64(seed),
+                    &mut Xoshiro256pp::seed_from_u64(seed),
                 );
                 let violations = validate(&topo);
                 assert!(
@@ -145,7 +144,7 @@ mod tests {
     fn corruption_is_detected() {
         let mut topo = generate(
             &TopologyConfig::for_era(Era::Y1999),
-            &mut StdRng::seed_from_u64(1),
+            &mut Xoshiro256pp::seed_from_u64(1),
         );
         // Break a link's delay.
         topo.links[0].prop_delay_ms = -1.0;
@@ -157,7 +156,7 @@ mod tests {
     fn broken_kind_is_detected() {
         let mut topo = generate(
             &TopologyConfig::for_era(Era::Y1999),
-            &mut StdRng::seed_from_u64(2),
+            &mut Xoshiro256pp::seed_from_u64(2),
         );
         // Flip the first internal link to a border kind without moving it.
         let internal = topo

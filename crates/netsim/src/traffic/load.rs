@@ -19,8 +19,8 @@
 //! probability that turns up sharply past a knee — idle links barely drop,
 //! saturated ones drop several percent, as in \[Bol93\]/\[Pax97a\].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detour_prng::Xoshiro256pp;
+use detour_prng::Rng;
 
 use crate::geo::CITIES;
 use crate::sim::clock::{Calendar, SimTime};
@@ -187,7 +187,7 @@ impl LoadModel {
     /// Builds the load process for every link of `topo` over
     /// `[0, horizon_s)` seconds. Deterministic in `seed`.
     pub fn generate(topo: &Topology, cfg: LoadConfig, seed: u64, horizon_s: f64) -> LoadModel {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x10ad_10ad_10ad_10ad);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x10ad_10ad_10ad_10ad);
         let links = topo
             .links
             .iter()
@@ -334,7 +334,7 @@ impl LoadModel {
         if self.is_down(link, t) {
             return LinkSample { queue_delay_ms: 0.0, lost: true };
         }
-        let rho = (self.utilization(link, t) + rng.gen_range(-0.04..0.04)).clamp(0.0, 0.97);
+        let rho = (self.utilization(link, t) + rng.gen_range(-0.04..0.04f64)).clamp(0.0, 0.97);
         let mean_q = self.mean_queue_delay_ms(link, rho);
         // Gamma(k=4): the sum of four exponentials at mean/4 — right-skewed
         // like a real queue, but mild enough that path means track medians
@@ -360,7 +360,7 @@ mod tests {
 
     fn model() -> (Topology, LoadModel) {
         let topo =
-            generate(&TopologyConfig::for_era(Era::Y1999), &mut StdRng::seed_from_u64(5));
+            generate(&TopologyConfig::for_era(Era::Y1999), &mut Xoshiro256pp::seed_from_u64(5));
         let cfg = LoadConfig::for_era(Era::Y1999);
         let lm = LoadModel::generate(&topo, cfg, 5, 14.0 * 86_400.0);
         (topo, lm)
@@ -440,8 +440,8 @@ mod tests {
         let (topo, lm) = model();
         let l = topo.links[3].id;
         let t = SimTime::from_hours(50.0);
-        let mut r1 = StdRng::seed_from_u64(1);
-        let mut r2 = StdRng::seed_from_u64(1);
+        let mut r1 = Xoshiro256pp::seed_from_u64(1);
+        let mut r2 = Xoshiro256pp::seed_from_u64(1);
         for _ in 0..100 {
             assert_eq!(lm.sample(l, t, &mut r1), lm.sample(l, t, &mut r2));
         }
@@ -483,7 +483,7 @@ mod tests {
                     let mid = SimTime((start + end) / 2.0);
                     assert!(lm.is_down(l.id, mid));
                     assert!(!lm.is_down(l.id, SimTime(end + 1.0)));
-                    let mut rng = StdRng::seed_from_u64(3);
+                    let mut rng = Xoshiro256pp::seed_from_u64(3);
                     for _ in 0..20 {
                         assert!(lm.sample(l.id, mid, &mut rng).lost);
                     }
@@ -519,7 +519,7 @@ mod tests {
         let (topo, lm) = model();
         let l = topo.links[0].id;
         let t = SimTime::from_hours(34.0); // midday Tuesday
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let n = 4000;
         let mean: f64 =
             (0..n).map(|_| lm.sample(l, t, &mut rng).queue_delay_ms).sum::<f64>() / n as f64;

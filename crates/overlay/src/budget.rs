@@ -7,7 +7,7 @@
 
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::Network;
-use rand::Rng;
+use detour_prng::Rng;
 
 use crate::eval::{evaluate, EvalConfig, EvalReport};
 use crate::mesh::{Overlay, OverlayConfig};
@@ -81,8 +81,7 @@ pub fn interval_sweep(
 mod tests {
     use super::*;
     use detour_netsim::{Era, HostId, NetworkConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     #[test]
     fn budget_scales_quadratically_with_members() {
@@ -118,7 +117,7 @@ mod tests {
         let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 606, 1.0));
         let members: Vec<HostId> =
             net.hosts().iter().take(5).map(|h| h.id).collect();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let points = interval_sweep(
             &net,
             members,

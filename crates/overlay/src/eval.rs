@@ -6,7 +6,7 @@
 
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::Network;
-use rand::Rng;
+use detour_prng::Rng;
 
 use crate::mesh::Overlay;
 use crate::routing::OverlayRoute;
@@ -144,8 +144,7 @@ mod tests {
     use super::*;
     use crate::mesh::OverlayConfig;
     use detour_netsim::{Era, HostId, NetworkConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn setup() -> (Network, Overlay) {
         let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 314, 2.0));
@@ -157,7 +156,7 @@ mod tests {
     #[test]
     fn evaluation_produces_consistent_counts() {
         let (net, mut ov) = setup();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let cfg = EvalConfig { duration_s: 1200.0, epoch_s: 300.0 };
         let r = evaluate(&net, &mut ov, SimTime::from_hours(19.0), cfg, &mut rng);
         assert_eq!(r.epochs, 4);
@@ -175,7 +174,7 @@ mod tests {
         // detours only on clear wins, so across an evaluation window its
         // mean saving must not be a large negative number.
         let (net, mut ov) = setup();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let cfg = EvalConfig { duration_s: 2400.0, epoch_s: 300.0 };
         let r = evaluate(&net, &mut ov, SimTime::from_hours(19.0), cfg, &mut rng);
         assert!(

@@ -7,7 +7,7 @@
 
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::{probe, HostId, Network};
-use rand::Rng;
+use detour_prng::Rng;
 
 use crate::estimator::PathEstimator;
 
@@ -127,8 +127,7 @@ impl Overlay {
 mod tests {
     use super::*;
     use detour_netsim::{Era, NetworkConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn net() -> Network {
         Network::generate(&NetworkConfig::for_era(Era::Y1999, 2024, 2.0))
@@ -157,7 +156,7 @@ mod tests {
     fn probe_round_populates_every_pair() {
         let n = net();
         let mut ov = Overlay::new(members(&n, 5), OverlayConfig::default());
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         // A few rounds so even paths with a lost first probe get samples.
         for k in 0..5 {
             ov.probe_round(&n, SimTime::from_hours(10.0 + k as f64 * 0.01), &mut rng);
@@ -179,7 +178,7 @@ mod tests {
     fn estimates_track_the_underlying_network() {
         let n = net();
         let mut ov = Overlay::new(members(&n, 4), OverlayConfig::default());
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         ov.run(&n, SimTime::from_hours(20.0), 600.0, &mut rng);
         // Compare the overlay estimate with an independent probe average.
         let (a, b) = (ov.members()[0], ov.members()[1]);
@@ -203,7 +202,7 @@ mod tests {
         let mut cfg = OverlayConfig::default();
         cfg.probe_interval_s = 60.0;
         let mut ov = Overlay::new(members(&n, 3), cfg);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         ov.run(&n, SimTime::from_hours(5.0), 600.0, &mut rng);
         assert_eq!(ov.probe_rounds(), 10);
     }

@@ -13,7 +13,7 @@
 
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::{probe, HostId, Network};
-use rand::Rng;
+use detour_prng::Rng;
 
 use crate::mesh::Overlay;
 
@@ -119,8 +119,7 @@ mod tests {
     use super::*;
     use crate::mesh::OverlayConfig;
     use detour_netsim::{Era, NetworkConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use detour_prng::Xoshiro256pp;
 
     fn net() -> Network {
         Network::generate(&NetworkConfig::for_era(Era::Y1999, 77_000, 2.0))
@@ -131,7 +130,7 @@ mod tests {
         Overlay::new(members, OverlayConfig::default())
     }
 
-    fn warmed(net: &Network, n: usize, rng: &mut StdRng) -> Overlay {
+    fn warmed(net: &Network, n: usize, rng: &mut Xoshiro256pp) -> Overlay {
         let mut ov = overlay(net, n);
         ov.run(net, SimTime::from_hours(18.0), 300.0, rng);
         ov
@@ -140,7 +139,7 @@ mod tests {
     #[test]
     fn routes_exist_for_all_member_pairs_after_warmup() {
         let n = net();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let ov = warmed(&n, 6, &mut rng);
         for &a in ov.members() {
             for &b in ov.members() {
@@ -167,7 +166,7 @@ mod tests {
         // With a 15 % threshold, every selected detour must estimate at
         // least 15 % better than the direct path's score.
         let n = net();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let ov = warmed(&n, 8, &mut rng);
         for &a in ov.members() {
             for &b in ov.members() {
@@ -190,7 +189,7 @@ mod tests {
     #[test]
     fn send_executes_the_relay() {
         let n = net();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let ov = warmed(&n, 6, &mut rng);
         let (a, b) = (ov.members()[0], ov.members()[3]);
         let via = ov.members()[1];
@@ -217,7 +216,7 @@ mod tests {
         // Rebuild the same overlay with an enormous threshold: no detour
         // should survive selection.
         let n = net();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let members: Vec<HostId> = n.hosts().iter().take(8).map(|h| h.id).collect();
         let mut cfg = OverlayConfig::default();
         cfg.switch_threshold = 0.95;
@@ -237,7 +236,7 @@ mod tests {
         // The paper's whole point: on a policy-routed Internet, an 8-member
         // overlay should find at least one pair worth detouring.
         let n = net();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let ov = warmed(&n, 8, &mut rng);
         let detours = ov
             .members()

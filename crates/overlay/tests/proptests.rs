@@ -1,15 +1,21 @@
-//! Property-based tests for the overlay's path estimator.
+//! Property-based tests for the overlay's path estimator, on the in-tree
+//! deterministic harness (`detour_prng::check`).
 
 use detour_overlay::PathEstimator;
-use proptest::prelude::*;
+use detour_prng::check::check;
+use detour_prng::{Rng, Xoshiro256pp};
 
-fn observations() -> impl Strategy<Value = Vec<Option<f64>>> {
-    proptest::collection::vec(proptest::option::of(0.1..5_000.0f64), 1..200)
+fn observations(rng: &mut Xoshiro256pp) -> Vec<Option<f64>> {
+    let n = rng.gen_range(1..200usize);
+    (0..n)
+        .map(|_| rng.gen_bool(0.5).then(|| rng.gen_range(0.1..5_000.0f64)))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn rtt_estimate_stays_within_observed_range(obs in observations()) {
+#[test]
+fn rtt_estimate_stays_within_observed_range() {
+    check("rtt_estimate_stays_within_observed_range", |rng| {
+        let obs = observations(rng);
         let mut e = PathEstimator::new(0.3);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
@@ -21,56 +27,68 @@ proptest! {
             }
         }
         match e.rtt_ms() {
-            None => prop_assert!(obs.iter().all(Option::is_none)),
-            Some(r) => prop_assert!(
+            None => assert!(obs.iter().all(Option::is_none)),
+            Some(r) => assert!(
                 (lo - 1e-9..=hi + 1e-9).contains(&r),
                 "estimate {r} outside [{lo}, {hi}]"
             ),
         }
-    }
+    });
+}
 
-    #[test]
-    fn loss_estimate_is_a_probability(obs in observations()) {
+#[test]
+fn loss_estimate_is_a_probability() {
+    check("loss_estimate_is_a_probability", |rng| {
+        let obs = observations(rng);
         let mut e = PathEstimator::new(0.2);
         for o in &obs {
             e.observe(*o);
         }
-        prop_assert!((0.0..=1.0).contains(&e.loss_rate()));
-        prop_assert_eq!(e.samples(), obs.len() as u64);
-    }
+        assert!((0.0..=1.0).contains(&e.loss_rate()));
+        assert_eq!(e.samples(), obs.len() as u64);
+    });
+}
 
-    #[test]
-    fn all_losses_drive_loss_toward_one(n in 10usize..100) {
+#[test]
+fn all_losses_drive_loss_toward_one() {
+    check("all_losses_drive_loss_toward_one", |rng| {
+        let n = rng.gen_range(10..100usize);
         let mut e = PathEstimator::new(0.3);
         e.observe(Some(50.0));
         for _ in 0..n {
             e.observe(None);
         }
-        prop_assert!(e.loss_rate() > 0.9);
-        prop_assert!(e.looks_down());
-    }
+        assert!(e.loss_rate() > 0.9);
+        assert!(e.looks_down());
+    });
+}
 
-    #[test]
-    fn score_dominates_rtt(obs in observations()) {
+#[test]
+fn score_dominates_rtt() {
+    check("score_dominates_rtt", |rng| {
+        let obs = observations(rng);
         let mut e = PathEstimator::new(0.25);
         for o in &obs {
             e.observe(*o);
         }
         if let (Some(rtt), Some(score)) = (e.rtt_ms(), e.score_ms()) {
             // Loss can only make the effective latency worse.
-            prop_assert!(score >= rtt - 1e-9);
+            assert!(score >= rtt - 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn alpha_one_tracks_the_last_observation(obs in observations()) {
+#[test]
+fn alpha_one_tracks_the_last_observation() {
+    check("alpha_one_tracks_the_last_observation", |rng| {
+        let obs = observations(rng);
         let mut e = PathEstimator::new(1.0);
         for o in &obs {
             e.observe(*o);
         }
         let last_rtt = obs.iter().rev().find_map(|o| *o);
         if let Some(expected) = last_rtt {
-            prop_assert!((e.rtt_ms().unwrap() - expected).abs() < 1e-9);
+            assert!((e.rtt_ms().unwrap() - expected).abs() < 1e-9);
         }
-    }
+    });
 }

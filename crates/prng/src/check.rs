@@ -1,0 +1,145 @@
+//! Deterministic property-test harness — the in-tree `proptest` replacement.
+//!
+//! A property is a closure over an [`Xoshiro256pp`]: it draws whatever
+//! inputs it needs and asserts invariants with ordinary `assert!`s. The
+//! harness runs a fixed budget of cases, each with an independent seed
+//! derived from the property name and the case index, so:
+//!
+//! * every run of the suite exercises exactly the same cases (no flaky
+//!   CI, no shrink-dependent nondeterminism);
+//! * a failure reports the *case seed*, and re-running with
+//!   `DETOUR_PROP_SEED=<seed>` replays just that case under a debugger;
+//! * `DETOUR_PROP_CASES=<n>` scales the whole suite's budget up or down
+//!   without touching code (e.g. a 10 000-case soak before a release).
+//!
+//! ```
+//! use detour_prng::{check, Rng};
+//!
+//! check::check("reverse twice is identity", |rng| {
+//!     let n = rng.gen_range(0..50usize);
+//!     let xs: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+//!     let mut ys = xs.clone();
+//!     ys.reverse();
+//!     ys.reverse();
+//!     assert_eq!(xs, ys);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::{SplitMix64, Xoshiro256pp};
+
+/// Default number of cases per property, matching the budget the old
+/// proptest suites used.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Runs `property` under the default case budget ([`DEFAULT_CASES`], or
+/// `DETOUR_PROP_CASES` when set). Panics — preserving the property's own
+/// panic — after printing the failing case's replay seed.
+pub fn check(name: &str, property: impl Fn(&mut Xoshiro256pp)) {
+    check_with(name, DEFAULT_CASES, property);
+}
+
+/// Like [`check`] with an explicit per-property case budget (still
+/// overridden by `DETOUR_PROP_CASES`, so soaks scale everything at once).
+pub fn check_with(name: &str, cases: u64, property: impl Fn(&mut Xoshiro256pp)) {
+    if let Some(seed) = replay_seed() {
+        run_case(name, 0, 1, seed, &property);
+        return;
+    }
+    let cases = case_budget(cases);
+    for i in 0..cases {
+        run_case(name, i, cases, case_seed(name, i), &property);
+    }
+}
+
+/// The seed the `i`-th case of `name` runs under. Deterministic across
+/// platforms and releases: FNV-1a of the name, SplitMix64-mixed with the
+/// index so neighbouring cases are uncorrelated.
+pub fn case_seed(name: &str, i: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    SplitMix64::new(h ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+fn run_case(name: &str, i: u64, cases: u64, seed: u64, property: &impl Fn(&mut Xoshiro256pp)) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+        eprintln!(
+            "property '{name}' failed on case {}/{cases} (case seed {seed:#018x});\n\
+             replay just this case with: DETOUR_PROP_SEED={seed:#x} cargo test -q",
+            i + 1,
+        );
+        resume_unwind(panic);
+    }
+}
+
+fn case_budget(default: u64) -> u64 {
+    match std::env::var("DETOUR_PROP_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("DETOUR_PROP_CASES must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+fn replay_seed() -> Option<u64> {
+    let v = std::env::var("DETOUR_PROP_SEED").ok()?;
+    let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("DETOUR_PROP_SEED must be a u64, got {v:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_the_full_case_budget() {
+        let count = AtomicU64::new(0);
+        check_with("budget", 17, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn cases_see_distinct_deterministic_seeds() {
+        assert_ne!(case_seed("p", 0), case_seed("p", 1));
+        assert_ne!(case_seed("p", 0), case_seed("q", 0));
+        assert_eq!(case_seed("p", 5), case_seed("p", 5));
+    }
+
+    #[test]
+    fn failures_propagate_with_replay_guidance() {
+        let err = std::panic::catch_unwind(|| {
+            check_with("always fails", 8, |rng| {
+                let x = rng.gen_range(0..10u32);
+                assert!(x > 100, "drew {x}");
+            });
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn properties_draw_reproducible_inputs() {
+        let first = AtomicU64::new(u64::MAX);
+        for _ in 0..2 {
+            check_with("reproducible", 1, |rng| {
+                let v = rng.next_u64();
+                let prev = first.swap(v, Ordering::Relaxed);
+                if prev != u64::MAX {
+                    assert_eq!(prev, v);
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! # detour-prng
+//!
+//! Deterministic, dependency-free randomness for the whole workspace.
+//!
+//! The build environment is offline, so nothing in this repository may pull
+//! crates.io dependencies; this crate replaces `rand` everywhere. It
+//! provides:
+//!
+//! * [`SplitMix64`] — the seeding generator (Steele, Lea & Flood 2014).
+//!   Every 64-bit seed, including 0, expands into a well-mixed state.
+//! * [`Xoshiro256pp`] — xoshiro256++ (Blackman & Vigna 2019), the
+//!   workhorse generator: 256 bits of state, period 2²⁵⁶ − 1, passes
+//!   BigCrush, and is trivially cheap per draw.
+//! * [`Rng`] — the minimal trait the workspace needs: `next_u64`, `f64`,
+//!   `gen_range`, `gen_bool`, `shuffle`, `choose`.
+//! * [`SliceRandom`] — slice-side `shuffle`/`choose`, mirroring the call
+//!   style the codebase already uses (`hosts.shuffle(&mut rng)`).
+//! * [`check`] — the deterministic property-test harness that replaces
+//!   `proptest` (seeded case generation, fixed case budget, failing-seed
+//!   reporting).
+//!
+//! Determinism is a hard API guarantee: the same seed yields the same
+//! stream on every platform and at every optimization level, because all
+//! figure/table regeneration and all tests key off it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+
+/// SplitMix64: the canonical 64-bit seed expander.
+///
+/// Used to turn one user seed into the four xoshiro256++ state words and to
+/// derive independent per-case seeds in the property harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the expander from a raw seed (any value is fine).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// xoshiro256++: the workspace's standard generator.
+///
+/// Seeded through [`SplitMix64`] so that nearby seeds (0, 1, 2, …) still
+/// produce uncorrelated streams — the datasets use small consecutive seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Builds a generator from a single 64-bit seed via SplitMix64
+    /// expansion (the name matches `rand::SeedableRng` for familiarity).
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256pp {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // All-zero state would be a fixed point; SplitMix64 cannot produce
+        // four zeros from one seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            return Xoshiro256pp { s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3] };
+        }
+        Xoshiro256pp { s }
+    }
+
+    /// Next 64-bit output (the ++ scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256pp::next_u64(self)
+    }
+}
+
+/// The minimal random-number interface the workspace needs.
+///
+/// Method names deliberately mirror `rand::Rng` so the migration away from
+/// the external crate stayed mechanical: `gen_range`, `gen_bool`, and the
+/// slice helpers behave like their namesakes on half-open and inclusive
+/// ranges.
+pub trait Rng {
+    /// Next raw 64-bit output — everything else derives from this.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a half-open (`a..b`) or inclusive (`a..=b`) range
+    /// of any primitive integer or float type.
+    ///
+    /// `T` is a free parameter (not an associated type) so inference flows
+    /// both ways, exactly as with `rand`: `rng.gen_range(3..=5).min(n)`
+    /// resolves the literal range to `usize` from the later use.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<T>(&mut self, xs: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, `None` on an empty slice.
+    fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T>
+    where
+        Self: Sized,
+    {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range(0..xs.len())])
+        }
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample uniformly for values of `T`.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`. Panics on an empty range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Multiply-high mapping of a raw draw onto `[0, span)`.
+///
+/// The bias is at most `span / 2⁶⁴` — immaterial for simulation spans — and
+/// the mapping consumes exactly one draw, which keeps streams aligned
+/// across platforms.
+fn map_to_span(raw: u64, span: u64) -> u64 {
+    ((raw as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = map_to_span(rng.next_u64(), span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                let off = map_to_span(rng.next_u64(), span as u64);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let v = self.start + rng.f64() as $t * (self.end - self.start);
+                // Rounding can land exactly on `end` for tiny spans; keep
+                // the half-open contract.
+                if v < self.end { v } else { self.start }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                lo + rng.f64() as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Slice-side randomness helpers, mirroring `rand::seq::SliceRandom` so
+/// call sites read `hosts.shuffle(&mut rng)`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    /// Uniformly chosen element, `None` on an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        rng.shuffle(self);
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        rng.choose(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567, from the public-domain reference
+        // implementation (Vigna, prng.di.unimi.it).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256pp::seed_from_u64(42);
+        let mut b = Xoshiro256pp::seed_from_u64(42);
+        let mut c = Xoshiro256pp::seed_from_u64(43);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_hit_every_value() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(2..8usize);
+            assert!((2..8).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some bucket never hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_the_half_open_contract() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+            let w = rng.gen_range(-3.0..7.0f64);
+            assert!((-3.0..7.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let hits = (0..40_000).filter(|_| rng.gen_bool(0.2)).count();
+        let frac = hits as f64 / 40_000.0;
+        assert!((frac - 0.2).abs() < 0.01, "frac {frac}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_is_uniform_ish() {
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+
+        let pool = [1u32, 2, 3, 4];
+        let mut counts = [0usize; 4];
+        for _ in 0..4_000 {
+            counts[(*pool.choose(&mut rng).unwrap() - 1) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800), "{counts:?}");
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn rng_works_through_mutable_references() {
+        let mut rng = Xoshiro256pp::seed_from_u64(19);
+        fn draw(mut r: impl Rng) -> u64 {
+            r.next_u64()
+        }
+        let direct = Xoshiro256pp::seed_from_u64(19).next_u64();
+        assert_eq!(draw(&mut rng), direct);
+    }
+}

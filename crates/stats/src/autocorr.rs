@@ -50,8 +50,8 @@ pub fn effective_sample_size(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use detour_prng::Xoshiro256pp;
+    use detour_prng::Rng;
 
     #[test]
     fn lag_zero_is_one() {
@@ -61,7 +61,7 @@ mod tests {
 
     #[test]
     fn iid_noise_has_near_zero_autocorrelation() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let xs: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..1.0)).collect();
         let r1 = autocorrelation(&xs, 1).unwrap();
         assert!(r1.abs() < 0.06, "rho1 = {r1}");

@@ -100,9 +100,9 @@ mod tests {
 
     #[test]
     fn shifted_distributions_are_detected_with_enough_data() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(5);
+        use detour_prng::Xoshiro256pp;
+        use detour_prng::Rng;
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let a = cdf((0..400).map(|_| rng.gen_range(0.0..1.0f64)));
         let b = cdf((0..400).map(|_| rng.gen_range(0.25..1.25f64)));
         let t = ks_two_sample(&a, &b).unwrap();
@@ -112,9 +112,9 @@ mod tests {
 
     #[test]
     fn same_distribution_different_draws_pass() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(6);
+        use detour_prng::Xoshiro256pp;
+        use detour_prng::Rng;
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let a = cdf((0..300).map(|_| rng.gen_range(0.0..1.0f64)));
         let b = cdf((0..300).map(|_| rng.gen_range(0.0..1.0f64)));
         let t = ks_two_sample(&a, &b).unwrap();

@@ -1,132 +1,187 @@
-//! Property-based tests for the statistics substrate.
+//! Property-based tests for the statistics substrate, on the in-tree
+//! deterministic harness (`detour_prng::check`).
 
+use detour_prng::check::check;
+use detour_prng::{Rng, Xoshiro256pp};
 use detour_stats::ci::MeanEstimate;
 use detour_stats::convolve::SampleDist;
 use detour_stats::ks::{ks_statistic, ks_two_sample};
 use detour_stats::quantile::{median, quantile};
 use detour_stats::tdist::{t_cdf, t_quantile};
 use detour_stats::{Cdf, OnlineStats, Summary};
-use proptest::prelude::*;
 
-fn samples() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e4..1e4f64, 1..60)
+fn samples(rng: &mut Xoshiro256pp) -> Vec<f64> {
+    let n = rng.gen_range(1..60usize);
+    (0..n).map(|_| rng.gen_range(-1e4..1e4f64)).collect()
 }
 
-proptest! {
-    #[test]
-    fn welford_matches_naive_mean(xs in samples()) {
+#[test]
+fn welford_matches_naive_mean() {
+    check("welford_matches_naive_mean", |rng| {
+        let xs = samples(rng);
         let s = Summary::from_slice(&xs).unwrap();
         let naive = xs.iter().sum::<f64>() / xs.len() as f64;
-        prop_assert!((s.mean - naive).abs() < 1e-6 * (1.0 + naive.abs()));
-        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
-        prop_assert!(s.variance >= 0.0);
-    }
+        assert!((s.mean - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        assert!(s.variance >= 0.0);
+    });
+}
 
-    #[test]
-    fn merge_is_order_independent(xs in samples(), ys in samples()) {
+#[test]
+fn merge_is_order_independent() {
+    check("merge_is_order_independent", |rng| {
+        let (xs, ys) = (samples(rng), samples(rng));
         let feed = |v: &[f64]| {
             let mut acc = OnlineStats::new();
-            for &x in v { acc.push(x); }
+            for &x in v {
+                acc.push(x);
+            }
             acc
         };
         let mut ab = feed(&xs);
         ab.merge(&feed(&ys));
         let mut ba = feed(&ys);
         ba.merge(&feed(&xs));
-        prop_assert_eq!(ab.count(), ba.count());
-        prop_assert!((ab.mean().unwrap() - ba.mean().unwrap()).abs() < 1e-6);
+        assert_eq!(ab.count(), ba.count());
+        assert!((ab.mean().unwrap() - ba.mean().unwrap()).abs() < 1e-6);
         if let (Some(va), Some(vb)) = (ab.variance(), ba.variance()) {
-            prop_assert!((va - vb).abs() < 1e-3 * (1.0 + va.abs()));
+            assert!((va - vb).abs() < 1e-3 * (1.0 + va.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantile_is_monotone_and_bounded(xs in samples(), qa in 0.0..1.0f64, qb in 0.0..1.0f64) {
+#[test]
+fn quantile_is_monotone_and_bounded() {
+    check("quantile_is_monotone_and_bounded", |rng| {
+        let xs = samples(rng);
+        let (qa, qb) = (rng.gen_range(0.0..1.0f64), rng.gen_range(0.0..1.0f64));
         let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
         let vlo = quantile(&xs, lo).unwrap();
         let vhi = quantile(&xs, hi).unwrap();
-        prop_assert!(vlo <= vhi + 1e-12);
+        assert!(vlo <= vhi + 1e-12);
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(vlo >= min - 1e-12 && vhi <= max + 1e-12);
-    }
+        assert!(vlo >= min - 1e-12 && vhi <= max + 1e-12);
+    });
+}
 
-    #[test]
-    fn median_is_between_extremes(xs in samples()) {
+#[test]
+fn median_is_between_extremes() {
+    check("median_is_between_extremes", |rng| {
+        let xs = samples(rng);
         let m = median(&xs).unwrap();
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!((min..=max).contains(&m));
-    }
+        assert!((min..=max).contains(&m));
+    });
+}
 
-    #[test]
-    fn cdf_eval_is_monotone(xs in samples(), a in -1e4..1e4f64, b in -1e4..1e4f64) {
+#[test]
+fn cdf_eval_is_monotone() {
+    check("cdf_eval_is_monotone", |rng| {
+        let xs = samples(rng);
+        let (a, b) = (rng.gen_range(-1e4..1e4f64), rng.gen_range(-1e4..1e4f64));
         let cdf = Cdf::from_samples(xs);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(cdf.eval(lo) <= cdf.eval(hi));
-        prop_assert!((0.0..=1.0).contains(&cdf.eval(lo)));
-    }
+        assert!(cdf.eval(lo) <= cdf.eval(hi));
+        assert!((0.0..=1.0).contains(&cdf.eval(lo)));
+    });
+}
 
-    #[test]
-    fn cdf_fraction_above_complements(xs in samples(), x in -1e4..1e4f64) {
+#[test]
+fn cdf_fraction_above_complements() {
+    check("cdf_fraction_above_complements", |rng| {
+        let xs = samples(rng);
+        let x = rng.gen_range(-1e4..1e4f64);
         let cdf = Cdf::from_samples(xs);
-        prop_assert!((cdf.eval(x) + cdf.fraction_above(x) - 1.0).abs() < 1e-12);
-    }
+        assert!((cdf.eval(x) + cdf.fraction_above(x) - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn convolution_conserves_mass_and_adds_means(
-        xs in proptest::collection::vec(0.0..500.0f64, 1..40),
-        ys in proptest::collection::vec(0.0..500.0f64, 1..40),
-    ) {
+#[test]
+fn convolution_conserves_mass_and_adds_means() {
+    check("convolution_conserves_mass_and_adds_means", |rng| {
+        let gen_vec = |rng: &mut Xoshiro256pp| {
+            let n = rng.gen_range(1..40usize);
+            (0..n).map(|_| rng.gen_range(0.0..500.0f64)).collect::<Vec<_>>()
+        };
+        let (xs, ys) = (gen_vec(rng), gen_vec(rng));
         let a = SampleDist::from_samples(&xs, 2.0).unwrap();
         let b = SampleDist::from_samples(&ys, 2.0).unwrap();
         let c = a.convolve(&b);
-        prop_assert!((c.total_mass() - 1.0).abs() < 1e-6);
+        assert!((c.total_mass() - 1.0).abs() < 1e-6);
         // Means add within discretization slack (two bin widths).
-        prop_assert!((c.mean() - (a.mean() + b.mean())).abs() < 4.0);
+        assert!((c.mean() - (a.mean() + b.mean())).abs() < 4.0);
         // Median of the sum is within the supports' sum.
         let max_sum = xs.iter().fold(0.0f64, |m, &v| m.max(v))
             + ys.iter().fold(0.0f64, |m, &v| m.max(v));
-        prop_assert!(c.median() <= max_sum + 4.0);
-    }
+        assert!(c.median() <= max_sum + 4.0);
+    });
+}
 
-    #[test]
-    fn t_quantile_inverts_cdf(p in 0.01..0.99f64, df in 1.0..200.0f64) {
+#[test]
+fn t_quantile_inverts_cdf() {
+    check("t_quantile_inverts_cdf", |rng| {
+        let p = rng.gen_range(0.01..0.99f64);
+        let df = rng.gen_range(1.0..200.0f64);
         let t = t_quantile(p, df);
-        prop_assert!((t_cdf(t, df) - p).abs() < 1e-6);
-    }
+        assert!((t_cdf(t, df) - p).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn t_cdf_is_monotone(df in 1.0..100.0f64, a in -50.0..50.0f64, b in -50.0..50.0f64) {
+#[test]
+fn t_cdf_is_monotone() {
+    check("t_cdf_is_monotone", |rng| {
+        let df = rng.gen_range(1.0..100.0f64);
+        let (a, b) = (rng.gen_range(-50.0..50.0f64), rng.gen_range(-50.0..50.0f64));
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(t_cdf(lo, df) <= t_cdf(hi, df) + 1e-12);
-    }
+        assert!(t_cdf(lo, df) <= t_cdf(hi, df) + 1e-12);
+    });
+}
 
-    #[test]
-    fn ci_widens_with_level(mean in -100.0..100.0f64, var in 0.001..100.0f64, df in 1.0..60.0f64) {
-        let est = MeanEstimate { mean, var_of_mean: var, df };
+#[test]
+fn ci_widens_with_level() {
+    check("ci_widens_with_level", |rng| {
+        let est = MeanEstimate {
+            mean: rng.gen_range(-100.0..100.0f64),
+            var_of_mean: rng.gen_range(0.001..100.0f64),
+            df: rng.gen_range(1.0..60.0f64),
+        };
         let narrow = est.ci(0.5);
         let wide = est.ci(0.99);
-        prop_assert!(wide.half_width >= narrow.half_width);
-        prop_assert!((narrow.center - mean).abs() < 1e-12);
-    }
+        assert!(wide.half_width >= narrow.half_width);
+        assert!((narrow.center - est.mean).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn ks_statistic_is_bounded_and_symmetric(xs in samples(), ys in samples()) {
-        let a = Cdf::from_samples(xs);
-        let b = Cdf::from_samples(ys);
+#[test]
+fn ks_statistic_is_bounded_and_symmetric() {
+    check("ks_statistic_is_bounded_and_symmetric", |rng| {
+        let a = Cdf::from_samples(samples(rng));
+        let b = Cdf::from_samples(samples(rng));
         let d1 = ks_statistic(&a, &b);
         let d2 = ks_statistic(&b, &a);
-        prop_assert!((0.0..=1.0).contains(&d1));
-        prop_assert!((d1 - d2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d1));
+        assert!((d1 - d2).abs() < 1e-12);
         if let Some(t) = ks_two_sample(&a, &b) {
-            prop_assert!((0.0..=1.0).contains(&t.p_value));
+            assert!((0.0..=1.0).contains(&t.p_value));
         }
-    }
+    });
+}
 
-    #[test]
-    fn composed_estimates_add_means(parts in proptest::collection::vec(
-        (-100.0..100.0f64, 0.001..10.0f64, 1.0..50.0f64), 1..6)) {
+#[test]
+fn composed_estimates_add_means() {
+    check("composed_estimates_add_means", |rng| {
+        let n = rng.gen_range(1..6usize);
+        let parts: Vec<(f64, f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(-100.0..100.0f64),
+                    rng.gen_range(0.001..10.0f64),
+                    rng.gen_range(1.0..50.0f64),
+                )
+            })
+            .collect();
         let ests: Vec<MeanEstimate> = parts
             .iter()
             .map(|&(m, v, d)| MeanEstimate { mean: m, var_of_mean: v, df: d })
@@ -134,12 +189,12 @@ proptest! {
         let sum = MeanEstimate::sum(&ests).unwrap();
         let expect_mean: f64 = parts.iter().map(|p| p.0).sum();
         let expect_var: f64 = parts.iter().map(|p| p.1).sum();
-        prop_assert!((sum.mean - expect_mean).abs() < 1e-9);
-        prop_assert!((sum.var_of_mean - expect_var).abs() < 1e-9);
+        assert!((sum.mean - expect_mean).abs() < 1e-9);
+        assert!((sum.var_of_mean - expect_var).abs() < 1e-9);
         // Welch-Satterthwaite df is between min component df and the sum.
         let min_df = parts.iter().map(|p| p.2).fold(f64::INFINITY, f64::min);
         let sum_df: f64 = parts.iter().map(|p| p.2).sum();
-        prop_assert!(sum.df >= min_df - 1e-9);
-        prop_assert!(sum.df <= sum_df + 1e-6);
-    }
+        assert!(sum.df >= min_df - 1e-9);
+        assert!(sum.df <= sum_df + 1e-6);
+    });
 }

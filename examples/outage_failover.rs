@@ -12,8 +12,7 @@
 use detour::netsim::sim::clock::SimTime;
 use detour::netsim::{Era, HostId, Network, NetworkConfig};
 use detour::overlay::{evaluate, probe_budget, EvalConfig, Overlay, OverlayConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use detour_prng::Xoshiro256pp;
 
 fn main() {
     // A rough decade on the simulated Internet: outages every ~8 hours per
@@ -38,7 +37,7 @@ fn main() {
     );
 
     let mut overlay = Overlay::new(members, ocfg);
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
     let eval = EvalConfig { duration_s: 6.0 * 3600.0, epoch_s: 120.0 };
     let r = evaluate(&net, &mut overlay, SimTime::from_hours(10.0), eval, &mut rng);
 

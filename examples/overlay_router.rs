@@ -13,8 +13,7 @@
 use detour::netsim::sim::clock::SimTime;
 use detour::netsim::{Era, HostId, Network, NetworkConfig};
 use detour::overlay::{evaluate, EvalConfig, Overlay, OverlayConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use detour_prng::Xoshiro256pp;
 
 fn main() {
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 0xe41a, 2.0));
@@ -25,7 +24,7 @@ fn main() {
     }
 
     let mut overlay = Overlay::new(members, OverlayConfig::default());
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
 
     // Tuesday 06:00 PST (14:00 UTC, trace starts Monday 00:00 UTC): the
     // morning ramp, where the paper found alternate paths help the most.

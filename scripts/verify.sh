@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: build, test, and regenerate the
+# performance baseline (which doubles as the parallel-determinism gate —
+# the baseline binary exits non-zero if any thread count changes a report).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== cargo test --offline =="
+cargo test -q --offline --workspace
+
+echo "== baseline (thread-scaling + byte-identity) =="
+cargo run --release --offline -q -p detour-bench --bin baseline -- BENCH_baseline.json
+
+echo "verify: OK"

@@ -4,8 +4,7 @@
 use detour::netsim::sim::clock::SimTime;
 use detour::netsim::{Era, HostId, Network, NetworkConfig};
 use detour::overlay::{evaluate, EvalConfig, Overlay, OverlayConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use detour_prng::Xoshiro256pp;
 
 fn setup(members: usize) -> (Network, Overlay) {
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 0x1999_0001, 2.0));
@@ -18,7 +17,7 @@ fn setup(members: usize) -> (Network, Overlay) {
 #[test]
 fn overlay_routes_the_uw_network_profitably_or_neutrally() {
     let (net, mut ov) = setup(7);
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
     let cfg = EvalConfig { duration_s: 3600.0, epoch_s: 300.0 };
     // Tuesday 11:00 PST — peak hours, where the paper found the most
     // opportunity.
@@ -40,7 +39,7 @@ fn overlay_estimates_match_study_measurements_in_spirit() {
     // its detour decisions should correlate with the study's alternate-path
     // findings: pairs the overlay detours must show an estimated win.
     let (net, mut ov) = setup(8);
-    let mut rng = StdRng::seed_from_u64(12);
+    let mut rng = Xoshiro256pp::seed_from_u64(12);
     ov.run(&net, SimTime::from_hours(43.0), 900.0, &mut rng);
     let members: Vec<HostId> = ov.members().to_vec();
     for &a in &members {
@@ -62,8 +61,8 @@ fn larger_overlays_find_at_least_as_many_detours() {
     // More members = more candidate relays (the paper: "our ability to
     // identify routing inefficiencies improves as the number of hosts
     // increases").
-    let mut rng = StdRng::seed_from_u64(13);
-    let count_detours = |members: usize, rng: &mut StdRng| {
+    let mut rng = Xoshiro256pp::seed_from_u64(13);
+    let count_detours = |members: usize, rng: &mut Xoshiro256pp| {
         let (net, mut ov) = setup(members);
         ov.run(&net, SimTime::from_hours(43.0), 600.0, rng);
         let ms: Vec<HostId> = ov.members().to_vec();

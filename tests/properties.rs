@@ -1,14 +1,15 @@
-//! Cross-crate property-based tests (proptest).
+//! Cross-crate property-based tests, on the in-tree deterministic harness.
 //!
-//! Module-level proptests live in each crate; these exercise invariants
-//! that only hold across crate boundaries — dataset assembly feeding the
-//! measurement graph feeding the alternate-path search.
+//! Module-level property tests live in each crate; these exercise
+//! invariants that only hold across crate boundaries — dataset assembly
+//! feeding the measurement graph feeding the alternate-path search.
 
 use detour::core::{best_alternate, Loss, MeasurementGraph, Metric, Pair, Rtt};
 use detour::measure::record::HostMeta;
 use detour::measure::{Dataset, HostId, ProbeSample};
+use detour::prng::check::check;
+use detour::prng::{Rng, Xoshiro256pp};
 use detour::stats::Cdf;
-use proptest::prelude::*;
 
 /// Builds a dataset from a generated RTT/loss matrix.
 fn dataset_from(matrix: &[Vec<Option<(f64, bool)>>]) -> Dataset {
@@ -56,32 +57,29 @@ fn dataset_from(matrix: &[Vec<Option<(f64, bool)>>]) -> Dataset {
     }
 }
 
-/// Strategy: a small adjacency matrix with random RTTs, some edges missing,
+/// Generates a small adjacency matrix with random RTTs, some edges missing,
 /// some lossy.
-fn matrix_strategy() -> impl Strategy<Value = Vec<Vec<Option<(f64, bool)>>>> {
-    (3usize..7).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::vec(
-                proptest::option::weighted(
-                    0.8,
-                    ((1.0f64..300.0).prop_map(|r| r.round()), any::<bool>()),
-                ),
-                n,
-            ),
-            n,
-        )
-    })
+fn matrix(rng: &mut Xoshiro256pp) -> Vec<Vec<Option<(f64, bool)>>> {
+    let n = rng.gen_range(3..7usize);
+    (0..n)
+        .map(|_| {
+            (0..n)
+                .map(|_| {
+                    rng.gen_bool(0.8)
+                        .then(|| (rng.gen_range(1.0..300.0f64).round(), rng.gen_bool(0.5)))
+                })
+                .collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn alternate_is_never_better_than_true_shortest_path(m in matrix_strategy()) {
+#[test]
+fn alternate_is_never_better_than_true_shortest_path() {
+    check("alternate_is_never_better_than_true_shortest_path", |rng| {
         // The best alternate (direct edge removed) can never beat the true
         // shortest path (direct edge included) — removing an edge never
         // shortens routes.
-        let ds = dataset_from(&m);
+        let ds = dataset_from(&matrix(rng));
         let g = MeasurementGraph::from_dataset(&ds);
         for pair in g.pairs() {
             if let Some(cmp) = best_alternate(&g, pair, &Rtt) {
@@ -89,24 +87,26 @@ proptest! {
                 // True shortest path <= min(direct, alternate); so the
                 // alternate must be >= shortest-with-direct, i.e. it can't
                 // undercut a *shorter* direct edge by going around.
-                prop_assert!(cmp.alternate_value + 1e-9 >= direct.min(cmp.alternate_value));
+                assert!(cmp.alternate_value + 1e-9 >= direct.min(cmp.alternate_value));
                 // And the comparison orientation is consistent.
-                prop_assert_eq!(cmp.alternate_wins(), cmp.improvement() > 0.0);
+                assert_eq!(cmp.alternate_wins(), cmp.improvement() > 0.0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn via_hosts_form_a_simple_path(m in matrix_strategy()) {
-        let ds = dataset_from(&m);
+#[test]
+fn via_hosts_form_a_simple_path() {
+    check("via_hosts_form_a_simple_path", |rng| {
+        let ds = dataset_from(&matrix(rng));
         let g = MeasurementGraph::from_dataset(&ds);
         for pair in g.pairs() {
             if let Some(cmp) = best_alternate(&g, pair, &Rtt) {
                 // No repeated intermediates, endpoints excluded.
                 let mut seen = std::collections::HashSet::new();
                 for &h in &cmp.via {
-                    prop_assert!(h != pair.src && h != pair.dst);
-                    prop_assert!(seen.insert(h), "repeated via host {:?}", h);
+                    assert!(h != pair.src && h != pair.dst);
+                    assert!(seen.insert(h), "repeated via host {h:?}");
                 }
                 // Every consecutive hop uses a measured edge, and composing
                 // the edge values reproduces alternate_value.
@@ -116,21 +116,23 @@ proptest! {
                 let mut sum = 0.0;
                 for w in hops.windows(2) {
                     let e = g.edge(w[0], w[1]);
-                    prop_assert!(e.is_some(), "missing edge {:?}->{:?}", w[0], w[1]);
+                    assert!(e.is_some(), "missing edge {:?}->{:?}", w[0], w[1]);
                     sum += Rtt.value(e.unwrap()).unwrap();
                 }
-                prop_assert!((sum - cmp.alternate_value).abs() < 1e-9);
+                assert!((sum - cmp.alternate_value).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn loss_composition_is_bounded_and_monotone(m in matrix_strategy()) {
-        let ds = dataset_from(&m);
+#[test]
+fn loss_composition_is_bounded_and_monotone() {
+    check("loss_composition_is_bounded_and_monotone", |rng| {
+        let ds = dataset_from(&matrix(rng));
         let g = MeasurementGraph::from_dataset(&ds);
         for pair in g.pairs() {
             if let Some(cmp) = best_alternate(&g, pair, &Loss) {
-                prop_assert!((0.0..=1.0).contains(&cmp.alternate_value));
+                assert!((0.0..=1.0).contains(&cmp.alternate_value));
                 // Composed loss is at least the max of any constituent's
                 // loss (independence can only make things worse).
                 let mut hops = vec![pair.src];
@@ -140,14 +142,16 @@ proptest! {
                     .windows(2)
                     .map(|w| Loss.value(g.edge(w[0], w[1]).unwrap()).unwrap())
                     .fold(0.0f64, f64::max);
-                prop_assert!(cmp.alternate_value >= max_leg - 1e-9);
+                assert!(cmp.alternate_value >= max_leg - 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn improvement_cdf_is_a_distribution(m in matrix_strategy()) {
-        let ds = dataset_from(&m);
+#[test]
+fn improvement_cdf_is_a_distribution() {
+    check("improvement_cdf_is_a_distribution", |rng| {
+        let ds = dataset_from(&matrix(rng));
         let g = MeasurementGraph::from_dataset(&ds);
         let improvements: Vec<f64> = g
             .pairs()
@@ -159,22 +163,24 @@ proptest! {
         // Monotone, bounded, complete.
         let mut prev = 0.0;
         for (_, y) in cdf.points() {
-            prop_assert!(y >= prev);
-            prop_assert!((0.0..=1.0).contains(&y));
+            assert!(y >= prev);
+            assert!((0.0..=1.0).contains(&y));
             prev = y;
         }
-        prop_assert_eq!(cdf.len(), improvements.len());
-    }
+        assert_eq!(cdf.len(), improvements.len());
+    });
+}
 
-    #[test]
-    fn removing_hosts_never_invents_better_alternates(m in matrix_strategy()) {
+#[test]
+fn removing_hosts_never_invents_better_alternates() {
+    check("removing_hosts_never_invents_better_alternates", |rng| {
         // Dropping a vertex can only remove detour options: for any pair
         // still present, the best alternate in the reduced graph is no
         // better than in the full graph.
-        let ds = dataset_from(&m);
+        let ds = dataset_from(&matrix(rng));
         let g = MeasurementGraph::from_dataset(&ds);
         if g.len() < 4 {
-            return Ok(());
+            return;
         }
         let victim = g.hosts()[g.len() - 1];
         let reduced = g.without_host(victim);
@@ -182,10 +188,10 @@ proptest! {
             let full = best_alternate(&g, pair, &Rtt);
             let red = best_alternate(&reduced, pair, &Rtt);
             if let (Some(f), Some(r)) = (full, red) {
-                prop_assert!(r.alternate_value + 1e-9 >= f.alternate_value);
+                assert!(r.alternate_value + 1e-9 >= f.alternate_value);
             }
         }
-    }
+    });
 }
 
 #[test]
