@@ -7,28 +7,95 @@
 //! ```
 //!
 //! One "run" generates the reduced bundle and executes every paper
-//! experiment. The run repeats at 1, 2, 4, and `available_parallelism`
-//! workers; every report must be byte-identical to the single-threaded
-//! reference (the binary exits non-zero otherwise, so `scripts/verify.sh`
-//! can gate on it). Speedups are only physical when the machine actually
-//! has the cores — `cores` is recorded so readers can tell.
+//! experiment, with the wall-clock split per stage: dataset generation,
+//! measurement-graph construction, and the experiment sweep itself. The
+//! run repeats at 1, 2, 4, and `available_parallelism` workers; every
+//! report must be byte-identical to the single-threaded reference, and on
+//! a multi-core host the 2-worker run must not be slower than the
+//! 1-worker run (the binary exits non-zero on either failure, so
+//! `scripts/verify.sh` can gate on both). Speedups are only physical when
+//! the machine actually has the cores — `cores` is recorded so readers can
+//! tell.
+//!
+//! A separate `fig12_greedy` entry times the Figure-12 greedy host
+//! removal both ways — the pre-change clone-plus-rebuild loop
+//! ([`detour_bench::reference::clone_rebuild_greedy`]) against the
+//! mask-based flat-kernel loop — on the same graph, recording both costs
+//! and their ratio in the same JSON file.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use detour_bench::experiments::{run, ALL_EXPERIMENTS};
-use detour_bench::Bundle;
-use detour_core::pool;
+use detour_bench::{reference, Bundle};
+use detour_core::analysis::hostremoval::greedy_removal;
+use detour_core::{pool, MeasurementGraph, Rtt};
 use detour_datasets::Scale;
 
-fn full_run() -> (f64, String) {
+/// Stage timings of one full run, in seconds.
+struct Stages {
+    generate: f64,
+    graph_build: f64,
+    sweep: f64,
+}
+
+impl Stages {
+    fn total(&self) -> f64 {
+        self.generate + self.graph_build + self.sweep
+    }
+}
+
+fn full_run() -> (Stages, String) {
     let t = Instant::now();
     let bundle = Bundle::generate(Scale::reduced(10, 16));
+    let generate = t.elapsed().as_secs_f64();
+
+    // Graph construction is timed on the bundle's eight datasets. The
+    // experiments rebuild these internally, so this stage is measured, not
+    // subtracted from the sweep; it shows where a run's time actually goes.
+    let t = Instant::now();
+    let graphs = [
+        &bundle.d2, &bundle.d2_na, &bundle.n2, &bundle.n2_na, &bundle.uw1, &bundle.uw3,
+        &bundle.uw4_a, &bundle.uw4_b,
+    ]
+    .map(MeasurementGraph::from_dataset);
+    let graph_build = t.elapsed().as_secs_f64();
+    assert!(graphs.iter().all(|g| g.len() > 0), "empty measurement graph");
+
+    let t = Instant::now();
     let mut all = String::new();
     for id in ALL_EXPERIMENTS {
         all.push_str(&run(id, &bundle).expect("known id"));
     }
-    (t.elapsed().as_secs_f64(), all)
+    let sweep = t.elapsed().as_secs_f64();
+    (Stages { generate, graph_build, sweep }, all)
+}
+
+/// Host count and removal count for the `fig12_greedy` timing: big enough
+/// that both loops run for milliseconds (timer granularity is noise), small
+/// enough to keep the baseline quick.
+const FIG12_HOSTS: usize = 20;
+const FIG12_REMOVALS: usize = 5;
+
+/// Times the Figure-12 greedy both ways on one graph; returns
+/// `(reference_secs, kernel_secs)` after checking both agree.
+fn time_fig12_greedy() -> (f64, f64) {
+    let ds = detour_datasets::DatasetId::Uw3.generate_scaled(FIG12_HOSTS, 16);
+    let graph = MeasurementGraph::from_dataset(&ds);
+    let k = FIG12_REMOVALS;
+
+    let t = Instant::now();
+    let kern = greedy_removal(&graph, &Rtt, k);
+    let kernel_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let refr = reference::clone_rebuild_greedy(&graph, &Rtt, k);
+    let reference_secs = t.elapsed().as_secs_f64();
+
+    // The speedup claim is only meaningful if both loops computed the same
+    // experiment.
+    assert_eq!(kern.removed, refr.removed, "kernel and reference greedy diverged");
+    (reference_secs, kernel_secs)
 }
 
 fn main() {
@@ -41,14 +108,20 @@ fn main() {
     counts.sort_unstable();
     counts.dedup();
 
-    let mut reference: Option<String> = None;
-    let mut runs: Vec<(usize, f64)> = Vec::new();
+    let mut reference_report: Option<String> = None;
+    let mut runs: Vec<(usize, Stages)> = Vec::new();
     for &n in &counts {
         pool::set_threads(n);
-        let (secs, report) = full_run();
-        eprintln!("baseline: {n} worker(s): {secs:.2} s");
-        match &reference {
-            None => reference = Some(report),
+        let (stages, report) = full_run();
+        eprintln!(
+            "baseline: {n} worker(s): {:.2} s (generate {:.2} + graphs {:.2} + sweep {:.2})",
+            stages.total(),
+            stages.generate,
+            stages.graph_build,
+            stages.sweep,
+        );
+        match &reference_report {
+            None => reference_report = Some(report),
             Some(r) => {
                 if *r != report {
                     eprintln!(
@@ -58,30 +131,61 @@ fn main() {
                 }
             }
         }
-        runs.push((n, secs));
+        runs.push((n, stages));
     }
+
+    // Figure-12 greedy: clone-rebuild reference vs. masked kernel, single
+    // worker so the ratio measures the algorithm, not the fan-out.
+    pool::set_threads(1);
+    let (fig12_ref, fig12_kernel) = time_fig12_greedy();
+    let fig12_speedup = fig12_ref / fig12_kernel.max(1e-9);
+    eprintln!(
+        "baseline: fig12_greedy: clone-rebuild {fig12_ref:.3} s, masked kernel \
+         {fig12_kernel:.3} s ({fig12_speedup:.1}x)"
+    );
     pool::set_threads(0);
 
-    let t1 = runs[0].1;
+    let t1 = runs[0].1.total();
+    let two_thread_speedup =
+        runs.iter().find(|(n, _)| *n == 2).map(|(_, s)| t1 / s.total());
+
     let mut json = String::new();
     let _ = write!(
         json,
         "{{\n  \"bench\": \"figures_all_experiments_reduced_bundle\",\n  \"cores\": {cores},\n  \"experiments\": {},\n  \"byte_identical_across_thread_counts\": true,\n  \"runs\": [",
         ALL_EXPERIMENTS.len()
     );
-    for (i, (n, secs)) in runs.iter().enumerate() {
+    for (i, (n, s)) in runs.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n    {{\"threads\": {n}, \"seconds\": {secs:.3}, \"speedup_vs_1\": {:.2}}}",
-            t1 / secs
+            "\n    {{\"threads\": {n}, \"seconds\": {:.3}, \"generate_seconds\": {:.3}, \"graph_build_seconds\": {:.3}, \"sweep_seconds\": {:.3}, \"speedup_vs_1\": {:.2}}}",
+            s.total(),
+            s.generate,
+            s.graph_build,
+            s.sweep,
+            t1 / s.total()
         );
     }
-    json.push_str("\n  ]\n}\n");
+    let _ = write!(
+        json,
+        "\n  ],\n  \"fig12_greedy\": {{\n    \"hosts\": {FIG12_HOSTS},\n    \"removals\": {FIG12_REMOVALS},\n    \"clone_rebuild_seconds\": {fig12_ref:.3},\n    \"masked_kernel_seconds\": {fig12_kernel:.3},\n    \"speedup\": {fig12_speedup:.2}\n  }}\n}}\n"
+    );
 
     std::fs::write(&out_path, &json).expect("write baseline json");
     eprintln!("baseline: wrote {out_path}");
     print!("{json}");
+
+    // Gates. Byte identity already enforced above; on a real multi-core
+    // machine, two workers must not lose to one.
+    if cores > 1 {
+        if let Some(s) = two_thread_speedup {
+            if s < 1.0 {
+                eprintln!("baseline: FAIL — 2-worker speedup {s:.2} < 1.0 on {cores} cores");
+                std::process::exit(1);
+            }
+        }
+    }
 }

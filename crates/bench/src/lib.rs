@@ -12,7 +12,10 @@
 //!   the routing-policy ablation, and the overlay evaluation;
 //! * [`harness`] — the dependency-free micro-benchmark harness the
 //!   `benches/` binaries and the `baseline` binary run on (warm-up,
-//!   batched median-of-N timing, JSON-lines output).
+//!   batched median-of-N timing, JSON-lines output);
+//! * [`reference`] — the pre-kernel edge-walk search and clone-rebuild
+//!   greedy loop, preserved verbatim so the benches can measure the flat
+//!   weight-matrix kernel against the exact code it replaced.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +24,7 @@ pub mod bundle;
 pub mod experiments;
 pub mod extras;
 pub mod harness;
+pub mod reference;
 pub mod render;
 
 pub use bundle::Bundle;

@@ -1,0 +1,161 @@
+//! Pre-kernel reference implementations, preserved for benchmarking.
+//!
+//! `detour_core`'s alternate-path search now runs on the flat
+//! [`detour_core::WeightMatrix`] kernel; the original per-relaxation
+//! edge-walk (chasing `edge_by_index` `Option`s and calling
+//! `Metric::weight` inside the Dijkstra loop, with fresh allocations per
+//! pair) and the clone-plus-rebuild Figure-12 greedy loop survive here,
+//! verbatim, so `benches/altpath_kernel_bench.rs` and the `baseline`
+//! binary's `fig12_greedy` entry can measure the kernel against the exact
+//! code it replaced. Both produce results identical to the kernel — the
+//! property tests in `detour-core` pin that down — so the comparison is
+//! pure cost, not accuracy.
+
+use detour_core::analysis::cdf::improvement_cdf;
+use detour_core::analysis::hostremoval::RemovalAnalysis;
+use detour_core::metric::Metric;
+use detour_core::{pool, MeasurementGraph, Pair, PathComparison};
+use detour_measure::HostId;
+
+/// The pre-change unrestricted search: dense Dijkstra walking graph edges
+/// through `edge_by_index`, re-deriving each weight via `Metric::weight` at
+/// every relaxation and allocating its working state per call.
+pub fn edge_walk_best_alternate(
+    graph: &MeasurementGraph,
+    pair: Pair,
+    metric: &impl Metric,
+) -> Option<PathComparison> {
+    let s = graph.host_index(pair.src)?;
+    let d = graph.host_index(pair.dst)?;
+    let default_value = metric.value(graph.edge_by_index(s, d)?)?;
+
+    let n = graph.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    dist[s] = 0.0;
+    for _ in 0..n {
+        let u = (0..n)
+            .filter(|&u| !done[u] && dist[u].is_finite())
+            .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())?;
+        if u == d {
+            break;
+        }
+        done[u] = true;
+        for v in 0..n {
+            if v == u || done[v] {
+                continue;
+            }
+            if u == s && v == d {
+                continue;
+            }
+            let Some(e) = graph.edge_by_index(u, v) else { continue };
+            let Some(w) = metric.weight(e) else { continue };
+            if dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+                prev[v] = u;
+            }
+        }
+    }
+    if !dist[d].is_finite() {
+        return None;
+    }
+    let mut rev = vec![d];
+    let mut cur = d;
+    while cur != s {
+        cur = prev[cur];
+        rev.push(cur);
+    }
+    rev.reverse();
+    let values: Vec<f64> = rev
+        .windows(2)
+        .map(|w| metric.value(graph.edge_by_index(w[0], w[1]).expect("path edge")).unwrap())
+        .collect();
+    Some(PathComparison {
+        pair,
+        default_value,
+        alternate_value: metric.compose(&values),
+        via: rev[1..rev.len() - 1].iter().map(|&i| graph.host_at(i)).collect(),
+        lower_is_better: true,
+    })
+}
+
+/// The pre-change all-pairs sweep: fan the edge-walk search out over the
+/// pool, one fresh allocation set per pair.
+pub fn edge_walk_sweep(graph: &MeasurementGraph, metric: &impl Metric) -> Vec<PathComparison> {
+    let pairs = graph.pairs();
+    pool::parallel_map(&pairs, |&pair| edge_walk_best_alternate(graph, pair, metric))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+fn cdf_position(graph: &MeasurementGraph, metric: &impl Metric) -> f64 {
+    let cs = edge_walk_sweep(graph, metric);
+    if cs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    cs.iter().map(|c| c.improvement()).sum::<f64>() / cs.len() as f64
+}
+
+/// The pre-change Figure-12 greedy loop: every candidate evaluation deep
+/// clones the graph via `without_host` and re-runs the edge-walk sweep on
+/// the rebuilt copy.
+pub fn clone_rebuild_greedy(
+    graph: &MeasurementGraph,
+    metric: &impl Metric,
+    k: usize,
+) -> RemovalAnalysis {
+    let full = improvement_cdf(&edge_walk_sweep(graph, metric));
+    let mut current = graph.clone();
+    let mut removed = Vec::new();
+    for _ in 0..k.min(graph.len().saturating_sub(3)) {
+        let mut best: Option<(f64, HostId)> = None;
+        for &h in current.hosts() {
+            let candidate = current.without_host(h);
+            let pos = cdf_position(&candidate, metric);
+            if best.map_or(true, |(b, bh)| pos < b || (pos == b && h < bh)) {
+                best = Some((pos, h));
+            }
+        }
+        let Some((_, h)) = best else { break };
+        current = current.without_host(h);
+        removed.push(h);
+    }
+    let reduced = improvement_cdf(&edge_walk_sweep(&current, metric));
+    RemovalAnalysis { full, removed, reduced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detour_core::analysis::cdf::compare_all_pairs;
+    use detour_core::analysis::hostremoval::greedy_removal;
+    use detour_core::{Rtt, SearchDepth};
+    use detour_datasets::DatasetId;
+
+    /// The whole point of keeping the reference: it must agree with the
+    /// kernel bit for bit, or the bench compares different computations.
+    /// This also pins the greedy loop's incremental candidate evaluation
+    /// (reuse of pairs whose best path avoids the candidate) against the
+    /// exhaustive clone-rebuild loop, at several graph sizes.
+    #[test]
+    fn reference_matches_kernel_exactly() {
+        for n in [9usize, 12, 16] {
+            let ds = DatasetId::Uw3.generate_scaled(n, 32);
+            let g = MeasurementGraph::from_dataset(&ds);
+            assert_eq!(
+                edge_walk_sweep(&g, &Rtt),
+                compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted)
+            );
+            let a = clone_rebuild_greedy(&g, &Rtt, 3);
+            let b = greedy_removal(&g, &Rtt, 3);
+            assert_eq!(a.removed, b.removed, "n={n}");
+            assert_eq!(
+                a.reduced.fraction_above(0.0).to_bits(),
+                b.reduced.fraction_above(0.0).to_bits(),
+                "n={n}"
+            );
+        }
+    }
+}

@@ -14,8 +14,9 @@
 //! * [`best_alternate_bandwidth`] — the N2 bandwidth search, one-hop only,
 //!   composing transfer RTT/loss through the Mathis model.
 
-use crate::compose::{synthetic_bandwidth_kbps, LossComposition};
+use crate::compose::LossComposition;
 use crate::graph::{MeasurementGraph, Pair};
+use crate::kernel::{BandwidthMatrix, DijkstraScratch, WeightMatrix};
 use crate::metric::Metric;
 use detour_measure::HostId;
 
@@ -80,6 +81,12 @@ impl PathComparison {
 ///
 /// Returns `None` when the pair has no measured direct edge (nothing to
 /// compare against) or no alternate route exists.
+///
+/// Convenience single-pair entry point: builds a one-shot
+/// [`WeightMatrix`] and runs the flat kernel search
+/// ([`crate::kernel::best_alternate_masked`]). All-pairs loops should
+/// build the matrix once and call the kernel directly — the sweeps in
+/// [`crate::analysis`] do.
 pub fn best_alternate(
     graph: &MeasurementGraph,
     pair: Pair,
@@ -87,63 +94,19 @@ pub fn best_alternate(
 ) -> Option<PathComparison> {
     let s = graph.host_index(pair.src)?;
     let d = graph.host_index(pair.dst)?;
-    let default_value = metric.value(graph.edge_by_index(s, d)?)?;
-
-    let n = graph.len();
-    // Dense Dijkstra: n ≤ a few dozen hosts, O(n²) is exact and simple.
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev = vec![usize::MAX; n];
-    let mut done = vec![false; n];
-    dist[s] = 0.0;
-    for _ in 0..n {
-        let u = (0..n)
-            .filter(|&u| !done[u] && dist[u].is_finite())
-            .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())?;
-        if u == d {
-            break;
-        }
-        done[u] = true;
-        for v in 0..n {
-            if v == u || done[v] {
-                continue;
-            }
-            // The excluded direct edge.
-            if u == s && v == d {
-                continue;
-            }
-            let Some(e) = graph.edge_by_index(u, v) else { continue };
-            let Some(w) = metric.weight(e) else { continue };
-            if dist[u] + w < dist[v] {
-                dist[v] = dist[u] + w;
-                prev[v] = u;
-            }
-        }
-    }
-    if !dist[d].is_finite() {
-        return None;
-    }
-    // Recover vertices, then compose the true metric values edge by edge.
-    let mut rev = vec![d];
-    let mut cur = d;
-    while cur != s {
-        cur = prev[cur];
-        rev.push(cur);
-    }
-    rev.reverse();
-    let values: Vec<f64> = rev
-        .windows(2)
-        .map(|w| metric.value(graph.edge_by_index(w[0], w[1]).expect("path edge")).unwrap())
-        .collect();
-    Some(PathComparison {
-        pair,
-        default_value,
-        alternate_value: metric.compose(&values),
-        via: rev[1..rev.len() - 1].iter().map(|&i| graph.host_at(i)).collect(),
-        lower_is_better: true,
-    })
+    let m = WeightMatrix::build(graph, metric);
+    crate::kernel::best_alternate_masked(
+        &m,
+        &m.no_mask(),
+        s,
+        d,
+        metric,
+        &mut DijkstraScratch::new(),
+    )
 }
 
-/// Best alternate through exactly one intermediate host.
+/// Best alternate through exactly one intermediate host. Single-pair
+/// convenience wrapper over [`crate::kernel::best_alternate_one_hop_masked`].
 pub fn best_alternate_one_hop(
     graph: &MeasurementGraph,
     pair: Pair,
@@ -151,36 +114,15 @@ pub fn best_alternate_one_hop(
 ) -> Option<PathComparison> {
     let s = graph.host_index(pair.src)?;
     let d = graph.host_index(pair.dst)?;
-    let default_value = metric.value(graph.edge_by_index(s, d)?)?;
-
-    let mut best: Option<(f64, usize)> = None;
-    for m in 0..graph.len() {
-        if m == s || m == d {
-            continue;
-        }
-        let (Some(e1), Some(e2)) = (graph.edge_by_index(s, m), graph.edge_by_index(m, d))
-        else {
-            continue;
-        };
-        let (Some(v1), Some(v2)) = (metric.value(e1), metric.value(e2)) else { continue };
-        let composed = metric.compose(&[v1, v2]);
-        if best.map_or(true, |(b, _)| composed < b) {
-            best = Some((composed, m));
-        }
-    }
-    let (alternate_value, m) = best?;
-    Some(PathComparison {
-        pair,
-        default_value,
-        alternate_value,
-        via: vec![graph.host_at(m)],
-        lower_is_better: true,
-    })
+    let m = WeightMatrix::build(graph, metric);
+    crate::kernel::best_alternate_one_hop_masked(&m, &m.no_mask(), s, d, metric)
 }
 
 /// The N2 bandwidth search (paper §5): one-hop alternates whose bandwidth
 /// is derived from constituent transfer RTTs and losses via the Mathis
 /// model; the default path's value is its *measured* bandwidth.
+/// Single-pair convenience wrapper over
+/// [`crate::kernel::best_alternate_bandwidth_masked`].
 pub fn best_alternate_bandwidth(
     graph: &MeasurementGraph,
     pair: Pair,
@@ -188,33 +130,8 @@ pub fn best_alternate_bandwidth(
 ) -> Option<PathComparison> {
     let s = graph.host_index(pair.src)?;
     let d = graph.host_index(pair.dst)?;
-    let default_value = graph.edge_by_index(s, d)?.bandwidth.map(|b| b.mean)?;
-
-    let mut best: Option<(f64, usize)> = None;
-    for m in 0..graph.len() {
-        if m == s || m == d {
-            continue;
-        }
-        let (Some(e1), Some(e2)) = (graph.edge_by_index(s, m), graph.edge_by_index(m, d))
-        else {
-            continue;
-        };
-        let (Some(r1), Some(r2)) = (e1.transfer_rtt, e2.transfer_rtt) else { continue };
-        let (Some(p1), Some(p2)) = (e1.transfer_loss, e2.transfer_loss) else { continue };
-        let bw =
-            synthetic_bandwidth_kbps(&[r1.mean, r2.mean], &[p1.mean, p2.mean], mode);
-        if best.map_or(true, |(b, _)| bw > b) {
-            best = Some((bw, m));
-        }
-    }
-    let (alternate_value, m) = best?;
-    Some(PathComparison {
-        pair,
-        default_value,
-        alternate_value,
-        via: vec![graph.host_at(m)],
-        lower_is_better: false,
-    })
+    let bm = BandwidthMatrix::build(graph);
+    crate::kernel::best_alternate_bandwidth_masked(&bm, &bm.no_mask(), s, d, mode)
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crate::altpath::best_alternate;
+use crate::altpath::SearchDepth;
+use crate::analysis::cdf::compare_all_pairs;
 use crate::graph::MeasurementGraph;
 use crate::metric::Metric;
 
@@ -31,25 +32,30 @@ pub fn analyze(graph: &MeasurementGraph, metric: &impl Metric) -> Vec<AsPoint> {
     let mut default_counts: HashMap<u16, usize> = HashMap::new();
     let mut alternate_counts: HashMap<u16, usize> = HashMap::new();
 
+    // Default paths: every measured pair contributes its modal AS path —
+    // including pairs with no usable `metric` value, so this stays on
+    // `graph.pairs()` rather than the metric's measured-pair set.
     for pair in graph.pairs() {
         let edge = graph.edge(pair.src, pair.dst).expect("pair has an edge");
         for &asn in edge.modal_as_path.iter().collect::<HashSet<_>>() {
             *default_counts.entry(asn).or_default() += 1;
         }
-        if let Some(cmp) = best_alternate(graph, pair, metric) {
-            if cmp.alternate_wins() {
-                let mut hops = vec![pair.src];
-                hops.extend(cmp.via.iter().copied());
-                hops.push(pair.dst);
-                let mut ases: HashSet<u16> = HashSet::new();
-                for w in hops.windows(2) {
-                    if let Some(e) = graph.edge(w[0], w[1]) {
-                        ases.extend(e.modal_as_path.iter().copied());
-                    }
+    }
+    // Alternates: one kernel sweep; winning comparisons contribute the
+    // union of their constituent edges' AS paths.
+    for cmp in compare_all_pairs(graph, metric, SearchDepth::Unrestricted) {
+        if cmp.alternate_wins() {
+            let mut hops = vec![cmp.pair.src];
+            hops.extend(cmp.via.iter().copied());
+            hops.push(cmp.pair.dst);
+            let mut ases: HashSet<u16> = HashSet::new();
+            for w in hops.windows(2) {
+                if let Some(e) = graph.edge(w[0], w[1]) {
+                    ases.extend(e.modal_as_path.iter().copied());
                 }
-                for asn in ases {
-                    *alternate_counts.entry(asn).or_default() += 1;
-                }
+            }
+            for asn in ases {
+                *alternate_counts.entry(asn).or_default() += 1;
             }
         }
     }

@@ -6,34 +6,26 @@
 //! alternate path for that metric." Values above zero (above one for
 //! ratios) mean the best alternate was superior.
 
-use crate::altpath::{
-    best_alternate, best_alternate_bandwidth, best_alternate_one_hop, PathComparison,
-    SearchDepth,
-};
+use crate::altpath::{PathComparison, SearchDepth};
 use crate::compose::LossComposition;
 use crate::graph::MeasurementGraph;
+use crate::kernel::{self, BandwidthMatrix, WeightMatrix};
 use crate::metric::Metric;
-use crate::pool;
 use detour_stats::Cdf;
 
 /// Per-pair comparisons for a whole graph under an additive metric.
 ///
-/// The sweep fans out over [`crate::pool`] — every pair's search is
-/// independent — and merges in pair order, so the result is identical at
-/// every thread count.
+/// Builds one flat [`WeightMatrix`] (every edge weight derived exactly
+/// once) and fans the per-pair searches out over [`crate::pool`] with one
+/// reusable scratch per worker; results merge in pair order, so the result
+/// is identical at every thread count.
 pub fn compare_all_pairs(
     graph: &MeasurementGraph,
     metric: &impl Metric,
     depth: SearchDepth,
 ) -> Vec<PathComparison> {
-    let pairs = graph.pairs();
-    pool::parallel_map(&pairs, |&pair| match depth {
-        SearchDepth::Unrestricted => best_alternate(graph, pair, metric),
-        SearchDepth::OneHop => best_alternate_one_hop(graph, pair, metric),
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    let m = WeightMatrix::build(graph, metric);
+    kernel::sweep(&m, &m.no_mask(), metric, depth)
 }
 
 /// Per-pair comparisons for the bandwidth metric (one-hop, Mathis model).
@@ -42,11 +34,8 @@ pub fn compare_all_pairs_bandwidth(
     graph: &MeasurementGraph,
     mode: LossComposition,
 ) -> Vec<PathComparison> {
-    let pairs = graph.pairs();
-    pool::parallel_map(&pairs, |&pair| best_alternate_bandwidth(graph, pair, mode))
-        .into_iter()
-        .flatten()
-        .collect()
+    let bm = BandwidthMatrix::build(graph);
+    kernel::sweep_bandwidth(&bm, &bm.no_mask(), mode)
 }
 
 /// CDF of signed improvements (positive = alternate better): Figures 1, 3, 4.

@@ -15,7 +15,7 @@
 //! for the small per-path rates here reduces to the same sum of variances
 //! (each `Π_{j≠i}(1 − pⱼ)` factor is ≈ 1).
 
-use crate::altpath::{best_alternate, SearchDepth};
+use crate::altpath::{PathComparison, SearchDepth};
 use crate::analysis::cdf::compare_all_pairs;
 use crate::graph::MeasurementGraph;
 use crate::metric::Metric;
@@ -33,14 +33,14 @@ pub struct PairInterval {
     pub verdict: TTestVerdict,
 }
 
-/// Builds the composed [`MeanEstimate`] of the best alternate path chosen
-/// by `metric`, together with the default path's estimate.
+/// Builds the composed [`MeanEstimate`] of an already-found best alternate
+/// (`cmp`), together with the default path's estimate.
 fn pair_estimates(
     graph: &MeasurementGraph,
-    pair: crate::graph::Pair,
+    cmp: &PathComparison,
     metric: &impl Metric,
 ) -> Option<(MeanEstimate, MeanEstimate)> {
-    let cmp = best_alternate(graph, pair, metric)?;
+    let pair = cmp.pair;
     let default_est = MeanEstimate::from_summary(&metric.summary(graph.edge(pair.src, pair.dst)?)?);
 
     // Walk the alternate's hops and sum the per-edge estimates.
@@ -64,16 +64,19 @@ fn pair_estimates(
 }
 
 /// Per-pair intervals for a whole graph at the given confidence level.
+///
+/// The best-alternate searches run as one kernel sweep
+/// ([`compare_all_pairs`]); only the surviving comparisons pay for the
+/// per-edge summary walks.
 pub fn pair_intervals(
     graph: &MeasurementGraph,
     metric: &impl Metric,
     level: f64,
 ) -> Vec<PairInterval> {
-    graph
-        .pairs()
-        .into_iter()
-        .filter_map(|pair| {
-            let (default_est, alt_est) = pair_estimates(graph, pair, metric)?;
+    compare_all_pairs(graph, metric, SearchDepth::Unrestricted)
+        .iter()
+        .filter_map(|cmp| {
+            let (default_est, alt_est) = pair_estimates(graph, cmp, metric)?;
             let ci = default_est.diff(&alt_est).ci(level);
             Some(PairInterval {
                 improvement: ci.center,

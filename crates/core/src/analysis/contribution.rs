@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use crate::graph::MeasurementGraph;
+use crate::kernel::WeightMatrix;
 use crate::metric::Metric;
 use detour_measure::HostId;
 use detour_stats::Cdf;
@@ -31,35 +32,34 @@ pub struct ContributionAnalysis {
 }
 
 /// Runs the Figure-13 analysis.
+///
+/// The triple loop runs on a flat [`WeightMatrix`] of precomputed metric
+/// values — `O(n³)` lookups but each metric value derived only once.
 pub fn analyze(graph: &MeasurementGraph, metric: &impl Metric) -> ContributionAnalysis {
     let mut raw: HashMap<HostId, f64> =
         graph.hosts().iter().map(|&h| (h, 0.0)).collect();
-    let n = graph.len();
+    let w = WeightMatrix::build(graph, metric);
+    let n = w.len();
     for s in 0..n {
         for d in 0..n {
             if s == d {
                 continue;
             }
-            let Some(default_value) =
-                graph.edge_by_index(s, d).and_then(|e| metric.value(e))
-            else {
+            let default_value = w.value(s, d);
+            if default_value.is_nan() {
                 continue;
-            };
+            }
             for m in 0..n {
                 if m == s || m == d {
                     continue;
                 }
-                let (Some(e1), Some(e2)) =
-                    (graph.edge_by_index(s, m), graph.edge_by_index(m, d))
-                else {
+                let (v1, v2) = (w.value(s, m), w.value(m, d));
+                if v1.is_nan() || v2.is_nan() {
                     continue;
-                };
-                let (Some(v1), Some(v2)) = (metric.value(e1), metric.value(e2)) else {
-                    continue;
-                };
+                }
                 let improvement = default_value - metric.compose(&[v1, v2]);
                 if improvement > 0.0 {
-                    *raw.get_mut(&graph.host_at(m)).unwrap() += improvement;
+                    *raw.get_mut(&w.hosts()[m]).unwrap() += improvement;
                 }
             }
         }

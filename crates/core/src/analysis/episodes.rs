@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use crate::altpath::{best_alternate, SearchDepth};
+use crate::altpath::SearchDepth;
 use crate::analysis::cdf::{compare_all_pairs, improvement_cdf};
 use crate::graph::MeasurementGraph;
 use crate::metric::Metric;
@@ -59,10 +59,11 @@ pub fn analyze(
     let mut per_pair: HashMap<(HostId, HostId), Vec<f64>> = HashMap::new();
     for &ep in &ids {
         let g = MeasurementGraph::from_episode(episodic, ep);
-        for pair in g.pairs() {
-            if let Some(cmp) = best_alternate(&g, pair, metric) {
-                per_pair.entry((pair.src, pair.dst)).or_default().push(cmp.improvement());
-            }
+        for cmp in compare_all_pairs(&g, metric, SearchDepth::Unrestricted) {
+            per_pair
+                .entry((cmp.pair.src, cmp.pair.dst))
+                .or_default()
+                .push(cmp.improvement());
         }
     }
     let unaveraged = Cdf::from_samples(per_pair.values().flatten().copied());

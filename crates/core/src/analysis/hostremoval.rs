@@ -7,10 +7,12 @@
 //! the superior alternates, the remaining curve would collapse; the paper
 //! finds it barely moves.
 
-use crate::altpath::SearchDepth;
-use crate::analysis::cdf::{compare_all_pairs, improvement_cdf};
+use crate::altpath::{PathComparison, SearchDepth};
+use crate::analysis::cdf::improvement_cdf;
 use crate::graph::MeasurementGraph;
+use crate::kernel::{self, DijkstraScratch, WeightMatrix};
 use crate::metric::Metric;
+use crate::pool;
 use detour_measure::HostId;
 use detour_stats::Cdf;
 
@@ -25,41 +27,99 @@ pub struct RemovalAnalysis {
     pub reduced: Cdf,
 }
 
-/// The greedy objective: how far "left" a CDF sits. We use the mean of the
-/// improvement distribution — removing a host that manufactures large
-/// improvements drags the mean down hardest.
-fn cdf_position(graph: &MeasurementGraph, metric: &impl Metric) -> f64 {
-    let cs = compare_all_pairs(graph, metric, SearchDepth::Unrestricted);
-    if cs.is_empty() {
+/// The greedy objective for one candidate: the mean improvement with host
+/// `h` masked out — how far "left" the CDF would sit. Computed
+/// incrementally from `current`, the comparisons under the mask *without*
+/// `h`: a pair's optimal alternate value cannot change when its recorded
+/// best path avoids `h` (the path is still available and nothing got
+/// cheaper), so only pairs whose `via` contains `h` are re-searched, in
+/// place, keeping the summation order — and therefore every bit of the
+/// mean — identical to a full masked sweep.
+fn masked_position(
+    m: &WeightMatrix,
+    mask_with_h: &[bool],
+    metric: &impl Metric,
+    current: &[PathComparison],
+    h: usize,
+    scratch: &mut DijkstraScratch,
+) -> f64 {
+    let hid = m.hosts()[h];
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for c in current {
+        if c.pair.src == hid || c.pair.dst == hid {
+            continue;
+        }
+        let improvement = if c.via.contains(&hid) {
+            let s = m.host_index(c.pair.src).expect("pair host");
+            let d = m.host_index(c.pair.dst).expect("pair host");
+            match kernel::best_alternate_masked(m, mask_with_h, s, d, metric, scratch) {
+                Some(r) => r.improvement(),
+                None => continue,
+            }
+        } else {
+            c.improvement()
+        };
+        sum += improvement;
+        count += 1;
+    }
+    if count == 0 {
         return f64::NEG_INFINITY;
     }
-    cs.iter().map(|c| c.improvement()).sum::<f64>() / cs.len() as f64
+    sum / count as f64
 }
 
 /// Runs the greedy experiment, removing `k` hosts.
+///
+/// The matrix is built once; each candidate removal is evaluated through a
+/// zero-copy mask over it rather than the old clone-plus-rebuild via
+/// `without_host` — masked sweeps are value-identical to rebuilt-graph
+/// sweeps (relative vertex order is preserved, so every tie-break
+/// matches), which the kernel property tests pin down. On top of that,
+/// candidate evaluation is incremental ([`masked_position`]): removing `h`
+/// can only affect pairs whose best alternate routes through `h`, so the
+/// per-candidate cost drops from a full sweep to a handful of re-searches.
+/// Even weight-tied alternates keep the reuse exact for the in-tree
+/// metrics: a tied path composes to the very sum the relaxation
+/// accumulated, so equal weight-space optima mean equal composed bits.
 pub fn greedy_removal(
     graph: &MeasurementGraph,
     metric: &impl Metric,
     k: usize,
 ) -> RemovalAnalysis {
-    let full = improvement_cdf(&compare_all_pairs(graph, metric, SearchDepth::Unrestricted));
-    let mut current = graph.clone();
+    let m = WeightMatrix::build(graph, metric);
+    let mut mask = m.no_mask();
+    let mut current = kernel::sweep(&m, &mask, metric, SearchDepth::Unrestricted);
+    let full = improvement_cdf(&current);
     let mut removed = Vec::new();
     for _ in 0..k.min(graph.len().saturating_sub(3)) {
-        let mut best: Option<(f64, HostId)> = None;
-        for &h in current.hosts() {
-            let candidate = current.without_host(h);
-            let pos = cdf_position(&candidate, metric);
-            if best.map_or(true, |(b, bh)| pos < b || (pos == b && h < bh)) {
+        // Candidates fan out over the pool (each worker reuses one
+        // scratch); the argmin below runs on the in-order results, so the
+        // pick is identical at any thread count.
+        let candidates: Vec<usize> = (0..m.len()).filter(|&h| !mask[h]).collect();
+        let positions = pool::parallel_map_init(&candidates, DijkstraScratch::new, {
+            let (m, mask, current) = (&m, &mask, &current);
+            move |scratch, &h| {
+                let mut mask_h = mask.to_vec();
+                mask_h[h] = true;
+                masked_position(m, &mask_h, metric, current, h, scratch)
+            }
+        });
+        let mut best: Option<(f64, usize)> = None;
+        for (&h, &pos) in candidates.iter().zip(&positions) {
+            let better = best.map_or(true, |(b, bh)| {
+                pos < b || (pos == b && m.hosts()[h] < m.hosts()[bh])
+            });
+            if better {
                 best = Some((pos, h));
             }
         }
         let Some((_, h)) = best else { break };
-        current = current.without_host(h);
-        removed.push(h);
+        mask[h] = true;
+        removed.push(m.hosts()[h]);
+        current = kernel::sweep(&m, &mask, metric, SearchDepth::Unrestricted);
     }
-    let reduced =
-        improvement_cdf(&compare_all_pairs(&current, metric, SearchDepth::Unrestricted));
+    let reduced = improvement_cdf(&current);
     RemovalAnalysis { full, removed, reduced }
 }
 

@@ -16,7 +16,7 @@
 //!   outnumbers group 3 — "many superior alternate paths are in fact going
 //!   out of their way to avoid congestion."
 
-use crate::altpath::{best_alternate, SearchDepth};
+use crate::altpath::SearchDepth;
 use crate::analysis::cdf::{compare_all_pairs, improvement_cdf};
 use crate::graph::MeasurementGraph;
 use crate::metric::{Metric, PropDelay, Rtt};
@@ -90,11 +90,12 @@ pub struct Decomposition {
 }
 
 /// Runs the Figure-16 analysis: alternates chosen by mean RTT, decomposed
-/// into propagation and queuing differences.
+/// into propagation and queuing differences. The RTT searches run as one
+/// kernel sweep; only surviving comparisons pay for the propagation walk.
 pub fn decompose(graph: &MeasurementGraph) -> Decomposition {
     let mut points = Vec::new();
-    for pair in graph.pairs() {
-        let Some(cmp) = best_alternate(graph, pair, &Rtt) else { continue };
+    for cmp in compare_all_pairs(graph, &Rtt, SearchDepth::Unrestricted) {
+        let pair = cmp.pair;
         // Propagation of the default path and of the *same* alternate path.
         let Some(default_prop) =
             graph.edge(pair.src, pair.dst).and_then(|e| PropDelay.value(e))

@@ -8,8 +8,10 @@
 //! k-best machinery.
 
 use crate::graph::{MeasurementGraph, Pair};
-use crate::kbest::k_best_alternates;
+use crate::kbest::k_best_alternates_in;
+use crate::kernel::WeightMatrix;
 use crate::metric::Metric;
+use crate::pool;
 use detour_stats::Cdf;
 
 /// Per-pair fragility of the best alternate.
@@ -51,22 +53,31 @@ pub struct SensitivityReport {
 }
 
 /// Runs the sensitivity analysis for `metric` (lower-is-better metrics).
+///
+/// Builds the [`WeightMatrix`] once and fans the per-pair Yen searches out
+/// over [`crate::pool`]; results merge in pair order, so the report is
+/// identical at every thread count.
 pub fn analyze(graph: &MeasurementGraph, metric: &impl Metric) -> SensitivityReport {
-    let mut pairs = Vec::new();
-    for pair in graph.pairs() {
-        let kb = k_best_alternates(graph, pair, metric, 2);
+    let m = WeightMatrix::build(graph, metric);
+    let mask = m.no_mask();
+    let idx_pairs = m.measured_pairs(&mask);
+    let pairs: Vec<PairSensitivity> = pool::parallel_map(&idx_pairs, |&(s, d)| {
+        let kb = k_best_alternates_in(&m, &mask, s, d, metric, 2);
         if kb.len() < 2 {
-            continue;
+            return None;
         }
         let best_set: std::collections::HashSet<_> = kb[0].via.iter().copied().collect();
         let disjoint_backup = kb[1].via.iter().all(|h| !best_set.contains(h));
-        pairs.push(PairSensitivity {
-            pair,
+        Some(PairSensitivity {
+            pair: Pair { src: m.hosts()[s], dst: m.hosts()[d] },
             best: kb[0].alternate_value,
             second: kb[1].alternate_value,
             disjoint_backup,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let gap_cdf = Cdf::from_samples(pairs.iter().map(|p| p.relative_gap()));
     let disjoint_fraction = if pairs.is_empty() {
         0.0

@@ -57,8 +57,10 @@ pub struct Pair {
 pub struct MeasurementGraph {
     hosts: Vec<HostId>,
     index: HashMap<HostId, usize>,
-    /// Dense `n × n` adjacency; `edges[i][j]` is the directed edge i→j.
-    edges: Vec<Vec<Option<EdgeStats>>>,
+    /// Dense row-major `n × n` adjacency; `edges[i * n + j]` is the
+    /// directed edge i→j. One contiguous allocation keeps whole-row scans
+    /// (every sweep, the weight-matrix build) on a single cache stream.
+    edges: Vec<Option<EdgeStats>>,
 }
 
 /// Intermediate per-edge accumulator.
@@ -90,13 +92,17 @@ impl MeasurementGraph {
         let index: HashMap<HostId, usize> =
             hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
         let n = hosts.len();
-        let mut accs: HashMap<(usize, usize), EdgeAcc> = HashMap::new();
+        // Flat row-major accumulators: indexing by `i * n + j` removes all
+        // hashing from graph construction, and the final edge pass iterates
+        // in (i, j) order by construction rather than by incidental
+        // determinism of a hash map.
+        let mut accs: Vec<Option<EdgeAcc>> = (0..n * n).map(|_| None).collect();
 
         for p in ds.probes.iter().filter(|p| keep(p)) {
             let (Some(&i), Some(&j)) = (index.get(&p.src), index.get(&p.dst)) else {
                 continue;
             };
-            let acc = accs.entry((i, j)).or_default();
+            let acc = accs[i * n + j].get_or_insert_with(EdgeAcc::default);
             if let Some(rtt) = p.rtt_ms {
                 acc.rtt.push(rtt);
                 acc.rtt_samples.push(rtt);
@@ -110,14 +116,15 @@ impl MeasurementGraph {
             let (Some(&i), Some(&j)) = (index.get(&t.src), index.get(&t.dst)) else {
                 continue;
             };
-            let acc = accs.entry((i, j)).or_default();
+            let acc = accs[i * n + j].get_or_insert_with(EdgeAcc::default);
             acc.bw.push(t.bandwidth_kbps);
             acc.t_rtt.push(t.rtt_ms);
             acc.t_loss.push(t.loss_rate);
         }
 
-        let mut edges: Vec<Vec<Option<EdgeStats>>> = vec![vec![None; n]; n];
-        for ((i, j), acc) in accs {
+        let mut edges: Vec<Option<EdgeStats>> = (0..n * n).map(|_| None).collect();
+        for (cell, slot) in accs.into_iter().zip(edges.iter_mut()) {
+            let Some(acc) = cell else { continue };
             let modal = acc
                 .path_votes
                 .iter()
@@ -134,7 +141,7 @@ impl MeasurementGraph {
                 modal_as_path: modal,
             };
             if !e.is_empty() {
-                edges[i][j] = Some(e);
+                *slot = Some(e);
             }
         }
         MeasurementGraph { hosts, index, edges }
@@ -173,12 +180,12 @@ impl MeasurementGraph {
     /// The directed edge between two hosts, if measured.
     pub fn edge(&self, src: HostId, dst: HostId) -> Option<&EdgeStats> {
         let (i, j) = (self.host_index(src)?, self.host_index(dst)?);
-        self.edges[i][j].as_ref()
+        self.edge_by_index(i, j)
     }
 
     /// The directed edge by dense indices.
     pub fn edge_by_index(&self, i: usize, j: usize) -> Option<&EdgeStats> {
-        self.edges[i][j].as_ref()
+        self.edges[i * self.hosts.len() + j].as_ref()
     }
 
     /// All directed pairs with a measured edge, in deterministic order.
@@ -186,7 +193,7 @@ impl MeasurementGraph {
         let mut out = Vec::new();
         for i in 0..self.hosts.len() {
             for j in 0..self.hosts.len() {
-                if i != j && self.edges[i][j].is_some() {
+                if i != j && self.edge_by_index(i, j).is_some() {
                     out.push(Pair { src: self.hosts[i], dst: self.hosts[j] });
                 }
             }
@@ -196,23 +203,29 @@ impl MeasurementGraph {
 
     /// Number of measured directed edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.iter().flatten().filter(|e| e.is_some()).count()
+        self.edges.iter().filter(|e| e.is_some()).count()
     }
 
     /// Removes a host (the Figure-12 greedy experiment), returning a new
     /// graph without it.
+    ///
+    /// This deep-copies every surviving edge; the analysis hot paths use
+    /// masked [`crate::kernel::WeightMatrix`] views instead and never pay
+    /// this cost — `without_host` remains the reference semantics those
+    /// views are property-tested against.
     pub fn without_host(&self, h: HostId) -> MeasurementGraph {
         let hosts: Vec<HostId> = self.hosts.iter().copied().filter(|&x| x != h).collect();
         let index: HashMap<HostId, usize> =
             hosts.iter().enumerate().map(|(i, &x)| (x, i)).collect();
         let n = hosts.len();
-        let mut edges: Vec<Vec<Option<EdgeStats>>> = vec![vec![None; n]; n];
+        let mut edges: Vec<Option<EdgeStats>> = (0..n * n).map(|_| None).collect();
         for (new_i, &hi) in hosts.iter().enumerate() {
             for (new_j, &hj) in hosts.iter().enumerate() {
                 if new_i != new_j {
                     let old_i = self.index[&hi];
                     let old_j = self.index[&hj];
-                    edges[new_i][new_j] = self.edges[old_i][old_j].clone();
+                    edges[new_i * n + new_j] =
+                        self.edges[old_i * self.hosts.len() + old_j].clone();
                 }
             }
         }

@@ -12,19 +12,19 @@
 
 use crate::altpath::PathComparison;
 use crate::graph::{MeasurementGraph, Pair};
+use crate::kernel::WeightMatrix;
 use crate::metric::Metric;
 
-/// Internal Dijkstra with banned vertices/edges; returns the vertex
-/// sequence and total weight.
+/// Internal Dijkstra over the flat weight matrix with banned
+/// vertices/edges; returns the vertex sequence and total weight.
 fn dijkstra_restricted(
-    graph: &MeasurementGraph,
-    metric: &impl Metric,
+    m: &WeightMatrix,
     s: usize,
     d: usize,
     banned_vertices: &[bool],
     banned_edges: &std::collections::HashSet<(usize, usize)>,
 ) -> Option<(Vec<usize>, f64)> {
-    let n = graph.len();
+    let n = m.len();
     let mut dist = vec![f64::INFINITY; n];
     let mut prev = vec![usize::MAX; n];
     let mut done = vec![false; n];
@@ -41,8 +41,10 @@ fn dijkstra_restricted(
             if v == u || done[v] || banned_vertices[v] || banned_edges.contains(&(u, v)) {
                 continue;
             }
-            let Some(e) = graph.edge_by_index(u, v) else { continue };
-            let Some(w) = metric.weight(e) else { continue };
+            let w = m.weight(u, v);
+            if w == f64::INFINITY {
+                continue;
+            }
             if dist[u] + w < dist[v] {
                 dist[v] = dist[u] + w;
                 prev[v] = u;
@@ -63,11 +65,8 @@ fn dijkstra_restricted(
 }
 
 /// Composes the true metric value along a vertex sequence.
-fn compose_along(graph: &MeasurementGraph, metric: &impl Metric, path: &[usize]) -> f64 {
-    let values: Vec<f64> = path
-        .windows(2)
-        .map(|w| metric.value(graph.edge_by_index(w[0], w[1]).expect("path edge")).unwrap())
-        .collect();
+fn compose_along(m: &WeightMatrix, metric: &impl Metric, path: &[usize]) -> f64 {
+    let values: Vec<f64> = path.windows(2).map(|w| m.value(w[0], w[1])).collect();
     metric.compose(&values)
 }
 
@@ -77,24 +76,43 @@ fn compose_along(graph: &MeasurementGraph, metric: &impl Metric, path: &[usize])
 /// Returns fewer than `k` entries when the graph runs out of distinct
 /// loopless alternates, and an empty vector when the pair has no measured
 /// direct edge (nothing to compare against).
+///
+/// Single-pair convenience wrapper: builds a one-shot [`WeightMatrix`] and
+/// delegates to [`k_best_alternates_in`] — per-pair loops should prebuild
+/// the matrix and call that directly (as [`crate::analysis::sensitivity`]
+/// does).
 pub fn k_best_alternates(
     graph: &MeasurementGraph,
     pair: Pair,
     metric: &impl Metric,
     k: usize,
 ) -> Vec<PathComparison> {
-    let Some(s) = graph.host_index(pair.src) else { return Vec::new() };
-    let Some(d) = graph.host_index(pair.dst) else { return Vec::new() };
-    let Some(default_value) =
-        graph.edge_by_index(s, d).and_then(|e| metric.value(e))
+    let (Some(s), Some(d)) = (graph.host_index(pair.src), graph.host_index(pair.dst))
     else {
         return Vec::new();
     };
+    let m = WeightMatrix::build(graph, metric);
+    k_best_alternates_in(&m, &m.no_mask(), s, d, metric, k)
+}
+
+/// [`k_best_alternates`] on a prebuilt [`WeightMatrix`] with a host-removal
+/// mask (`removed[i]` = host masked out): Yen's algorithm, dense indices
+/// `s → d`.
+pub fn k_best_alternates_in(
+    m: &WeightMatrix,
+    removed: &[bool],
+    s: usize,
+    d: usize,
+    metric: &impl Metric,
+    k: usize,
+) -> Vec<PathComparison> {
+    let default_value = m.value(s, d);
+    if default_value.is_nan() {
+        return Vec::new();
+    }
 
     let direct: std::collections::HashSet<(usize, usize)> = [(s, d)].into();
-    let no_vertices = vec![false; graph.len()];
-    let Some(first) = dijkstra_restricted(graph, metric, s, d, &no_vertices, &direct)
-    else {
+    let Some(first) = dijkstra_restricted(m, s, d, removed, &direct) else {
         return Vec::new();
     };
 
@@ -115,22 +133,19 @@ pub fn k_best_alternates(
                     banned_edges.insert((p[spur_idx], p[spur_idx + 1]));
                 }
             }
-            // Ban root vertices (except the spur) to keep paths loopless.
-            let mut banned_vertices = vec![false; graph.len()];
+            // Ban root vertices (except the spur) to keep paths loopless,
+            // on top of the caller's removal mask.
+            let mut banned_vertices = removed.to_vec();
             for &v in &root[..spur_idx] {
                 banned_vertices[v] = true;
             }
             if let Some((tail, _)) =
-                dijkstra_restricted(graph, metric, spur, d, &banned_vertices, &banned_edges)
+                dijkstra_restricted(m, spur, d, &banned_vertices, &banned_edges)
             {
                 let mut total: Vec<usize> = root[..spur_idx].to_vec();
                 total.extend(tail);
-                let weight: f64 = total
-                    .windows(2)
-                    .map(|w| {
-                        metric.weight(graph.edge_by_index(w[0], w[1]).unwrap()).unwrap()
-                    })
-                    .sum();
+                let weight: f64 =
+                    total.windows(2).map(|w| m.weight(w[0], w[1])).sum();
                 if !accepted.iter().any(|(p, _)| *p == total)
                     && !candidates.iter().any(|(p, _)| *p == total)
                 {
@@ -148,10 +163,10 @@ pub fn k_best_alternates(
     accepted
         .into_iter()
         .map(|(path, _)| PathComparison {
-            pair,
+            pair: Pair { src: m.hosts()[s], dst: m.hosts()[d] },
             default_value,
-            alternate_value: compose_along(graph, metric, &path),
-            via: path[1..path.len() - 1].iter().map(|&i| graph.host_at(i)).collect(),
+            alternate_value: compose_along(m, metric, &path),
+            via: path[1..path.len() - 1].iter().map(|&i| m.hosts()[i]).collect(),
             lower_is_better: true,
         })
         .collect()

@@ -1,0 +1,635 @@
+//! The flat weight-matrix analysis kernel.
+//!
+//! Every alternate-path sweep reduces to the same inner loop: visit the
+//! edges of the measurement graph, ask a [`Metric`] for each edge's search
+//! weight, relax. The naive form pays for that with an `Option<EdgeStats>`
+//! pointer chase plus an `Option<Summary>` unwrap *per relaxation* — for an
+//! all-pairs sweep that re-derives the same `n²` weights `O(n²)` times
+//! each. The paper itself retreated to one-hop detours in places "to keep
+//! the computational costs reasonable" (§4.1, §6.1); this module is why the
+//! reproduction does not have to.
+//!
+//! Three pieces:
+//!
+//! * [`WeightMatrix`] — one contiguous row-major `n × n` `Vec<f64>` of
+//!   search weights (missing edge = `+∞`) and one of figure-facing metric
+//!   values (missing = `NaN`), precomputed **once per (graph, metric)** by
+//!   calling [`Metric::weight`]/[`Metric::value`] exactly once per edge.
+//!   [`BandwidthMatrix`] is the analogue for the N2 Mathis-model search.
+//! * [`DijkstraScratch`] — reusable dist/prev/done/path buffers, one per
+//!   pool worker (threaded through [`crate::pool::parallel_map_init`]), so
+//!   the per-pair search performs zero heap allocations in its inner loop.
+//! * **Masked views** — every kernel entry point takes a `removed: &[bool]`
+//!   host mask. Masking a host is equivalent, value-for-value, to
+//!   rebuilding the graph with [`crate::MeasurementGraph::without_host`]
+//!   (relative vertex order is preserved, so tie-breaks resolve
+//!   identically) but costs nothing — which turns the Figure-12 greedy
+//!   removal loop from clone-plus-rebuild per candidate into a pure sweep.
+//!
+//! **The invariant: same arithmetic, same bytes.** The kernel changes
+//! memory layout, never arithmetic: weights and values are the identical
+//! `f64`s the metric produced, visited in the identical order the
+//! edge-walking searches visited them, composed by the same
+//! [`Metric::compose`] calls. Every report downstream is byte-identical to
+//! the pre-kernel implementation, a property pinned by the determinism
+//! integration tests and the kernel property tests.
+
+use crate::altpath::{PathComparison, SearchDepth};
+use crate::compose::{synthetic_bandwidth_kbps, LossComposition};
+use crate::graph::{MeasurementGraph, Pair};
+use crate::metric::Metric;
+use crate::pool;
+use detour_measure::HostId;
+
+/// Precomputed flat edge weights and values for one `(graph, metric)`.
+#[derive(Debug, Clone)]
+pub struct WeightMatrix {
+    n: usize,
+    hosts: Vec<HostId>,
+    /// Row-major additive search weights; missing/unusable edge = `+∞`.
+    weights: Vec<f64>,
+    /// Row-major figure-facing metric values; missing = `NaN`.
+    values: Vec<f64>,
+}
+
+impl WeightMatrix {
+    /// Builds the matrix, calling `metric.weight` and `metric.value`
+    /// exactly once per measured edge.
+    pub fn build(graph: &MeasurementGraph, metric: &impl Metric) -> WeightMatrix {
+        let n = graph.len();
+        let mut weights = vec![f64::INFINITY; n * n];
+        let mut values = vec![f64::NAN; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                if let Some(e) = graph.edge_by_index(i, j) {
+                    if let Some(v) = metric.value(e) {
+                        values[i * n + j] = v;
+                    }
+                    if let Some(w) = metric.weight(e) {
+                        weights[i * n + j] = w;
+                    }
+                }
+            }
+        }
+        WeightMatrix { n, hosts: graph.hosts().to_vec(), weights, values }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The hosts, in the graph's dense-index order.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// Dense index of a host.
+    pub fn host_index(&self, h: HostId) -> Option<usize> {
+        self.hosts.iter().position(|&x| x == h)
+    }
+
+    /// The search weight of edge `i → j` (`+∞` when missing).
+    #[inline]
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        self.weights[i * self.n + j]
+    }
+
+    /// The metric value of edge `i → j` (`NaN` when missing).
+    #[inline]
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// An all-hosts-present mask sized for this matrix.
+    pub fn no_mask(&self) -> Vec<bool> {
+        vec![false; self.n]
+    }
+
+    /// A removal mask with `host` masked out — the zero-copy analogue of
+    /// [`MeasurementGraph::without_host`]. Unknown hosts yield [`no_mask`].
+    ///
+    /// [`no_mask`]: WeightMatrix::no_mask
+    pub fn masked(&self, host: HostId) -> Vec<bool> {
+        let mut mask = self.no_mask();
+        if let Some(i) = self.host_index(host) {
+            mask[i] = true;
+        }
+        mask
+    }
+
+    /// Directed index pairs with a measured metric value, in the same
+    /// deterministic `(i, j)` order as [`MeasurementGraph::pairs`], with
+    /// masked hosts excluded.
+    ///
+    /// Pairs whose edge exists but lacks this metric's value are omitted:
+    /// the search returns `None` for them anyway (nothing to compare
+    /// against), so the surviving comparison stream is identical.
+    pub fn measured_pairs(&self, removed: &[bool]) -> Vec<(usize, usize)> {
+        debug_assert_eq!(removed.len(), self.n);
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            if removed[i] {
+                continue;
+            }
+            for j in 0..self.n {
+                if i != j && !removed[j] && !self.values[i * self.n + j].is_nan() {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Precomputed flat per-edge bandwidth inputs for the N2 search (§5):
+/// measured bandwidth plus transfer RTT/loss means (`NaN` = missing).
+#[derive(Debug, Clone)]
+pub struct BandwidthMatrix {
+    n: usize,
+    hosts: Vec<HostId>,
+    bw: Vec<f64>,
+    t_rtt: Vec<f64>,
+    t_loss: Vec<f64>,
+}
+
+impl BandwidthMatrix {
+    /// Builds the matrix, reading each edge's summaries exactly once.
+    pub fn build(graph: &MeasurementGraph) -> BandwidthMatrix {
+        let n = graph.len();
+        let mut bw = vec![f64::NAN; n * n];
+        let mut t_rtt = vec![f64::NAN; n * n];
+        let mut t_loss = vec![f64::NAN; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                if let Some(e) = graph.edge_by_index(i, j) {
+                    if let Some(b) = e.bandwidth {
+                        bw[i * n + j] = b.mean;
+                    }
+                    if let Some(r) = e.transfer_rtt {
+                        t_rtt[i * n + j] = r.mean;
+                    }
+                    if let Some(p) = e.transfer_loss {
+                        t_loss[i * n + j] = p.mean;
+                    }
+                }
+            }
+        }
+        BandwidthMatrix { n, hosts: graph.hosts().to_vec(), bw, t_rtt, t_loss }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// An all-hosts-present mask sized for this matrix.
+    pub fn no_mask(&self) -> Vec<bool> {
+        vec![false; self.n]
+    }
+
+    /// Directed index pairs with a measured bandwidth, `(i, j)` order,
+    /// masked hosts excluded.
+    pub fn measured_pairs(&self, removed: &[bool]) -> Vec<(usize, usize)> {
+        debug_assert_eq!(removed.len(), self.n);
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            if removed[i] {
+                continue;
+            }
+            for j in 0..self.n {
+                if i != j && !removed[j] && !self.bw[i * self.n + j].is_nan() {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Reusable per-worker buffers for the dense Dijkstra: distances,
+/// predecessors, done flags, plus path-recovery and value-composition
+/// staging. One scratch serves any number of searches; `reset` is an
+/// `O(n)` fill, not an allocation.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    prev: Vec<usize>,
+    done: Vec<bool>,
+    path: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; buffers grow to the graph size on first use.
+    pub fn new() -> DijkstraScratch {
+        DijkstraScratch::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.prev.clear();
+        self.prev.resize(n, usize::MAX);
+        self.done.clear();
+        self.done.resize(n, false);
+    }
+}
+
+/// Unrestricted best alternate on the matrix: Dijkstra from `s` to `d`
+/// with the direct edge removed and `removed` hosts masked out.
+///
+/// Identical, comparison for comparison, to running
+/// [`crate::altpath::best_alternate`] on a graph with the masked hosts
+/// dropped: masked vertices keep infinite distance (nothing relaxes into
+/// them), relative vertex order is unchanged, so the extraction tie-breaks
+/// and every `dist[u] + w` sum match the rebuild bit-for-bit.
+pub fn best_alternate_masked(
+    m: &WeightMatrix,
+    removed: &[bool],
+    s: usize,
+    d: usize,
+    metric: &impl Metric,
+    scratch: &mut DijkstraScratch,
+) -> Option<PathComparison> {
+    let n = m.n;
+    debug_assert_eq!(removed.len(), n);
+    debug_assert!(!removed[s] && !removed[d]);
+    let default_value = m.value(s, d);
+    if default_value.is_nan() {
+        return None;
+    }
+
+    scratch.reset(n);
+    let DijkstraScratch { dist, prev, done, .. } = scratch;
+    dist[s] = 0.0;
+    for _ in 0..n {
+        let u = (0..n)
+            .filter(|&u| !done[u] && dist[u].is_finite())
+            .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())?;
+        if u == d {
+            break;
+        }
+        done[u] = true;
+        let row = u * n;
+        for v in 0..n {
+            if v == u || done[v] || removed[v] {
+                continue;
+            }
+            // The excluded direct edge.
+            if u == s && v == d {
+                continue;
+            }
+            let w = m.weights[row + v];
+            if w == f64::INFINITY {
+                continue;
+            }
+            if dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+                prev[v] = u;
+            }
+        }
+    }
+    if !dist[d].is_finite() {
+        return None;
+    }
+    // Recover vertices, then compose the true metric values edge by edge.
+    scratch.path.clear();
+    scratch.path.push(d);
+    let mut cur = d;
+    while cur != s {
+        cur = scratch.prev[cur];
+        scratch.path.push(cur);
+    }
+    scratch.path.reverse();
+    scratch.vals.clear();
+    for w in scratch.path.windows(2) {
+        let v = m.value(w[0], w[1]);
+        debug_assert!(!v.is_nan(), "path edge must have a metric value");
+        scratch.vals.push(v);
+    }
+    Some(PathComparison {
+        pair: Pair { src: m.hosts[s], dst: m.hosts[d] },
+        default_value,
+        alternate_value: metric.compose(&scratch.vals),
+        via: scratch.path[1..scratch.path.len() - 1]
+            .iter()
+            .map(|&i| m.hosts[i])
+            .collect(),
+        lower_is_better: true,
+    })
+}
+
+/// Best alternate through exactly one unmasked intermediate host.
+pub fn best_alternate_one_hop_masked(
+    m: &WeightMatrix,
+    removed: &[bool],
+    s: usize,
+    d: usize,
+    metric: &impl Metric,
+) -> Option<PathComparison> {
+    let n = m.n;
+    debug_assert_eq!(removed.len(), n);
+    let default_value = m.value(s, d);
+    if default_value.is_nan() {
+        return None;
+    }
+
+    let mut best: Option<(f64, usize)> = None;
+    for mid in 0..n {
+        if mid == s || mid == d || removed[mid] {
+            continue;
+        }
+        let (v1, v2) = (m.value(s, mid), m.value(mid, d));
+        if v1.is_nan() || v2.is_nan() {
+            continue;
+        }
+        let composed = metric.compose(&[v1, v2]);
+        if best.map_or(true, |(b, _)| composed < b) {
+            best = Some((composed, mid));
+        }
+    }
+    let (alternate_value, mid) = best?;
+    Some(PathComparison {
+        pair: Pair { src: m.hosts[s], dst: m.hosts[d] },
+        default_value,
+        alternate_value,
+        via: vec![m.hosts[mid]],
+        lower_is_better: true,
+    })
+}
+
+/// The N2 bandwidth search (§5) on the flat matrix: one-hop alternates,
+/// Mathis-model composition of transfer RTT/loss means.
+pub fn best_alternate_bandwidth_masked(
+    bm: &BandwidthMatrix,
+    removed: &[bool],
+    s: usize,
+    d: usize,
+    mode: LossComposition,
+) -> Option<PathComparison> {
+    let n = bm.n;
+    debug_assert_eq!(removed.len(), n);
+    let default_value = bm.bw[s * n + d];
+    if default_value.is_nan() {
+        return None;
+    }
+
+    let mut best: Option<(f64, usize)> = None;
+    for mid in 0..n {
+        if mid == s || mid == d || removed[mid] {
+            continue;
+        }
+        let (r1, r2) = (bm.t_rtt[s * n + mid], bm.t_rtt[mid * n + d]);
+        let (p1, p2) = (bm.t_loss[s * n + mid], bm.t_loss[mid * n + d]);
+        if r1.is_nan() || r2.is_nan() || p1.is_nan() || p2.is_nan() {
+            continue;
+        }
+        let bw = synthetic_bandwidth_kbps(&[r1, r2], &[p1, p2], mode);
+        if best.map_or(true, |(b, _)| bw > b) {
+            best = Some((bw, mid));
+        }
+    }
+    let (alternate_value, mid) = best?;
+    Some(PathComparison {
+        pair: Pair { src: bm.hosts[s], dst: bm.hosts[d] },
+        default_value,
+        alternate_value,
+        via: vec![bm.hosts[mid]],
+        lower_is_better: false,
+    })
+}
+
+/// All-pairs sweep on the matrix with a host mask: the parallel engine
+/// behind [`crate::analysis::cdf::compare_all_pairs`] and the Figure-12
+/// greedy loop. Fans out over [`crate::pool`] with one
+/// [`DijkstraScratch`] per worker; results merge in pair order, so the
+/// output is bit-identical at every thread count.
+pub fn sweep(
+    m: &WeightMatrix,
+    removed: &[bool],
+    metric: &impl Metric,
+    depth: SearchDepth,
+) -> Vec<PathComparison> {
+    let pairs = m.measured_pairs(removed);
+    pool::parallel_map_init(&pairs, DijkstraScratch::new, |scratch, &(s, d)| match depth {
+        SearchDepth::Unrestricted => {
+            best_alternate_masked(m, removed, s, d, metric, scratch)
+        }
+        SearchDepth::OneHop => best_alternate_one_hop_masked(m, removed, s, d, metric),
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// All-pairs bandwidth sweep on the matrix with a host mask; parallel and
+/// order-deterministic like [`sweep`].
+pub fn sweep_bandwidth(
+    bm: &BandwidthMatrix,
+    removed: &[bool],
+    mode: LossComposition,
+) -> Vec<PathComparison> {
+    let pairs = bm.measured_pairs(removed);
+    pool::parallel_map(&pairs, |&(s, d)| {
+        best_alternate_bandwidth_masked(bm, removed, s, d, mode)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::altpath::best_alternate;
+    use crate::metric::Rtt;
+    use detour_measure::record::HostMeta;
+    use detour_measure::{Dataset, ProbeSample};
+
+    fn dataset_from_rtt_matrix(matrix: &[&[f64]]) -> Dataset {
+        let n = matrix.len();
+        let hosts = (0..n as u32)
+            .map(|id| HostMeta {
+                id: HostId(id),
+                name: format!("h{id}"),
+                asn: id as u16,
+                truly_rate_limited: false,
+            })
+            .collect();
+        let mut probes = Vec::new();
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, &rtt) in row.iter().enumerate() {
+                if i == j || rtt.is_nan() {
+                    continue;
+                }
+                for k in 0..2 {
+                    probes.push(ProbeSample {
+                        src: HostId(i as u32),
+                        dst: HostId(j as u32),
+                        t_s: k as f64,
+                        probe_index: 0,
+                        rtt_ms: Some(rtt),
+                        loss_eligible: true,
+                        episode: None,
+                        path_idx: 0,
+                    });
+                }
+            }
+        }
+        Dataset {
+            name: "W".into(),
+            hosts,
+            probes,
+            transfers: vec![],
+            as_paths: vec![vec![0]],
+            duration_s: 10.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    const X: f64 = f64::NAN;
+
+    fn diamond() -> MeasurementGraph {
+        MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+            &[0.0, 10.0, 30.0, 100.0],
+            &[X, 0.0, 5.0, 20.0],
+            &[X, X, 0.0, 25.0],
+            &[X, X, X, 0.0],
+        ]))
+    }
+
+    #[test]
+    fn build_records_weights_once_per_edge() {
+        let g = diamond();
+        let m = WeightMatrix::build(&g, &Rtt);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.weight(0, 1), 10.0);
+        assert_eq!(m.value(0, 3), 100.0);
+        assert_eq!(m.weight(1, 0), f64::INFINITY, "unmeasured direction");
+        assert!(m.value(1, 0).is_nan());
+        assert_eq!(m.weight(2, 2), f64::INFINITY, "no self loops");
+    }
+
+    #[test]
+    fn measured_pairs_match_graph_pairs() {
+        let g = diamond();
+        let m = WeightMatrix::build(&g, &Rtt);
+        let from_matrix: Vec<Pair> = m
+            .measured_pairs(&m.no_mask())
+            .into_iter()
+            .map(|(i, j)| Pair { src: m.hosts()[i], dst: m.hosts()[j] })
+            .collect();
+        assert_eq!(from_matrix, g.pairs());
+    }
+
+    #[test]
+    fn kernel_finds_hand_computed_detours() {
+        // Diamond alternates, worked by hand (direct edge always excluded):
+        // 0→3 direct 100: best 0-1-3 = 30; one-hop best also via 1 (30,
+        // beating via 2 = 55). 0→2 direct 30: best 0-1-2 = 15. 1→3 direct
+        // 20: only 1-2-3 = 30. 0→1, 1→2, 2→3 have no alternate at all.
+        let g = diamond();
+        let m = WeightMatrix::build(&g, &Rtt);
+        let mask = m.no_mask();
+        let mut scratch = DijkstraScratch::new();
+
+        let c = best_alternate_masked(&m, &mask, 0, 3, &Rtt, &mut scratch).unwrap();
+        assert_eq!(c.default_value, 100.0);
+        assert_eq!(c.alternate_value, 30.0);
+        assert_eq!(c.via, vec![HostId(1)]);
+        let oh = best_alternate_one_hop_masked(&m, &mask, 0, 3, &Rtt).unwrap();
+        assert_eq!(oh.alternate_value, 30.0);
+        assert_eq!(oh.via, vec![HostId(1)]);
+
+        let c = best_alternate_masked(&m, &mask, 0, 2, &Rtt, &mut scratch).unwrap();
+        assert_eq!((c.default_value, c.alternate_value), (30.0, 15.0));
+        let c = best_alternate_masked(&m, &mask, 1, 3, &Rtt, &mut scratch).unwrap();
+        assert_eq!((c.default_value, c.alternate_value), (20.0, 30.0));
+        assert!(!c.alternate_wins());
+        for (s, d) in [(0, 1), (1, 2), (2, 3)] {
+            assert!(best_alternate_masked(&m, &mask, s, d, &Rtt, &mut scratch).is_none());
+        }
+    }
+
+    #[test]
+    fn masking_reroutes_around_the_removed_host() {
+        // With host 1 masked, 0→3's best alternate degrades to 0-2-3 = 55.
+        let g = diamond();
+        let m = WeightMatrix::build(&g, &Rtt);
+        let mask = m.masked(HostId(1));
+        let mut scratch = DijkstraScratch::new();
+        let c = best_alternate_masked(&m, &mask, 0, 3, &Rtt, &mut scratch).unwrap();
+        assert_eq!(c.alternate_value, 55.0);
+        assert_eq!(c.via, vec![HostId(2)]);
+        // And 0→2 loses its only detour entirely.
+        assert!(best_alternate_masked(&m, &mask, 0, 2, &Rtt, &mut scratch).is_none());
+    }
+
+    #[test]
+    fn masking_equals_rebuilding_without_the_host() {
+        let g = diamond();
+        let m = WeightMatrix::build(&g, &Rtt);
+        for victim in 0..g.len() {
+            let mut mask = m.no_mask();
+            mask[victim] = true;
+            let rebuilt = g.without_host(g.host_at(victim));
+            let masked = sweep(&m, &mask, &Rtt, SearchDepth::Unrestricted);
+            let reference = crate::analysis::cdf::compare_all_pairs(
+                &rebuilt,
+                &Rtt,
+                SearchDepth::Unrestricted,
+            );
+            assert_eq!(masked, reference, "victim {victim}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_sizes() {
+        let small = diamond();
+        let big = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+            &[0.0, 10.0, 30.0, 100.0, 7.0],
+            &[X, 0.0, 5.0, 20.0, X],
+            &[X, X, 0.0, 25.0, 9.0],
+            &[X, X, X, 0.0, X],
+            &[4.0, X, X, 11.0, 0.0],
+        ]));
+        let mut scratch = DijkstraScratch::new();
+        for g in [&big, &small, &big] {
+            let m = WeightMatrix::build(g, &Rtt);
+            let mask = m.no_mask();
+            for (s, d) in m.measured_pairs(&mask) {
+                let pair = Pair { src: m.hosts()[s], dst: m.hosts()[d] };
+                assert_eq!(
+                    best_alternate_masked(&m, &mask, s, d, &Rtt, &mut scratch),
+                    best_alternate(g, pair, &Rtt),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[]));
+        let m = WeightMatrix::build(&g, &Rtt);
+        assert!(m.is_empty());
+        assert!(m.measured_pairs(&m.no_mask()).is_empty());
+        assert!(sweep(&m, &m.no_mask(), &Rtt, SearchDepth::Unrestricted).is_empty());
+    }
+}

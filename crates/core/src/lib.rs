@@ -14,7 +14,8 @@
 //!    composition), propagation delay (10th percentile), or Mathis-model
 //!    bandwidth;
 //! 3. for every host pair, remove the direct edge and search for the best
-//!    alternate ([`altpath`]);
+//!    alternate ([`altpath`] — executed on the flat, precomputed
+//!    [`kernel`] weight matrices);
 //! 4. feed the comparisons to the [`analysis`] modules that regenerate each
 //!    figure and table of the paper.
 //!
@@ -33,6 +34,7 @@ pub mod analysis;
 pub mod compose;
 pub mod graph;
 pub mod kbest;
+pub mod kernel;
 pub mod metric;
 pub mod pool;
 
@@ -41,7 +43,8 @@ pub use altpath::{
     SearchDepth,
 };
 pub use compose::mathis_bandwidth_kbps;
-pub use kbest::k_best_alternates;
+pub use kbest::{k_best_alternates, k_best_alternates_in};
 pub use compose::LossComposition;
 pub use graph::{EdgeStats, MeasurementGraph, Pair};
+pub use kernel::{BandwidthMatrix, DijkstraScratch, WeightMatrix};
 pub use metric::{Loss, Metric, PropDelay, Rtt};

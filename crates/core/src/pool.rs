@@ -13,20 +13,33 @@
 //!   binary's `--threads` flag) configures the whole process; `0` means
 //!   "use every available core". Analyses stay signature-compatible —
 //!   nothing threads a pool handle through twelve layers of calls.
-//! * **Work stealing via an atomic cursor.** Workers claim the next index
-//!   with a `fetch_add`, so a slow Dijkstra on one pair never stalls the
-//!   others (pair costs are highly skewed: well-connected pairs terminate
-//!   early).
+//! * **Chunked claiming via an atomic cursor.** Workers claim index
+//!   *ranges* with a single `fetch_add` and return one result `Vec` per
+//!   chunk through their join handle. The earlier per-item
+//!   `mpsc::send((index, result))` design paid one allocation plus one
+//!   channel synchronization per item, which produced *negative* scaling
+//!   on cheap items; chunking amortizes the claim to a few atomics per
+//!   worker while small chunk sizes keep the load balanced when item
+//!   costs are skewed (well-connected pairs terminate early).
+//! * **Per-worker state.** [`parallel_map_init`] hands every worker one
+//!   `init()` value reused across all items it claims — how the
+//!   best-alternate sweeps recycle a [`crate::kernel::DijkstraScratch`]
+//!   instead of allocating dist/prev/done buffers per pair.
 //! * **No nested fan-out.** A worker that itself calls [`parallel_map`]
 //!   runs the inner map sequentially (tracked with a thread-local), so
 //!   parallelizing both the per-dataset loop of an experiment and the
 //!   per-pair sweep inside it cannot multiply thread counts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// Requested thread count; 0 = auto (all available cores).
 static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Chunks each worker should expect to claim, on average. More chunks =
+/// better load balancing for skewed item costs; fewer = less claiming
+/// overhead. Eight per worker keeps the worst-case imbalance under ~1/8 of
+/// one worker's share while the cursor stays off the hot path.
+const CHUNKS_PER_WORKER: usize = 8;
 
 thread_local! {
     /// True inside a pool worker — makes nested `parallel_map` sequential.
@@ -57,37 +70,67 @@ pub fn parallel_map<T: Sync, R: Send>(
     items: &[T],
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
+    parallel_map_init(items, || (), |(), item| f(item))
+}
+
+/// Like [`parallel_map`], but each worker first builds one `init()` state
+/// and threads it mutably through every item it claims — scratch buffers
+/// live once per worker, not once per item. The sequential fallback uses a
+/// single state for all items, which is indistinguishable for any state
+/// that only caches capacity (the intended use).
+pub fn parallel_map_init<T: Sync, R: Send, S>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R> {
     let workers = threads().min(items.len());
     if workers <= 1 || IN_POOL.with(|p| p.get()) {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
 
+    // Chunk size: enough chunks for stealing to balance skewed costs, but
+    // never one item per claim.
+    let chunk = items.len().div_ceil(workers * CHUNKS_PER_WORKER).max(1);
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || {
-                IN_POOL.with(|p| p.set(true));
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    IN_POOL.with(|p| p.set(true));
+                    let mut state = init();
+                    let mut chunks: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        let mut out = Vec::with_capacity(end - start);
+                        for item in &items[start..end] {
+                            out.push(f(&mut state, item));
+                        }
+                        chunks.push((start, out));
                     }
-                    // Send can only fail if the receiver is gone, which
-                    // cannot happen while the scope holds it alive.
-                    let _ = tx.send((i, f(&items[i])));
-                }
-                IN_POOL.with(|p| p.set(false));
-            });
-        }
-        drop(tx);
+                    IN_POOL.with(|p| p.set(false));
+                    chunks
+                })
+            })
+            .collect();
 
+        // Index-ordered merge: place each chunk at its claimed offset, so
+        // the output is bit-identical to the sequential map no matter which
+        // worker ran which chunk.
         let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
+        for h in handles {
+            for (start, chunk_results) in h.join().expect("pool worker panicked") {
+                for (k, r) in chunk_results.into_iter().enumerate() {
+                    slots[start + k] = Some(r);
+                }
+            }
         }
         slots
             .into_iter()
@@ -99,6 +142,18 @@ pub fn parallel_map<T: Sync, R: Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes every test that mutates the process-wide thread budget:
+    /// `set_threads` is global state, and the test harness runs tests
+    /// concurrently in one process, so unguarded budget changes can race
+    /// (one test asserting `threads() == 3` while another sets 8).
+    fn thread_budget_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        // A poisoned lock only means another test failed; the budget is
+        // still safe to use.
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn maps_in_input_order() {
@@ -109,6 +164,7 @@ mod tests {
 
     #[test]
     fn respects_an_explicit_thread_budget() {
+        let _guard = thread_budget_lock();
         set_threads(3);
         assert_eq!(threads(), 3);
         let items: Vec<u64> = (0..50).collect();
@@ -121,6 +177,7 @@ mod tests {
 
     #[test]
     fn identical_results_across_thread_counts() {
+        let _guard = thread_budget_lock();
         let items: Vec<u64> = (0..500).collect();
         let mut baseline = None;
         for t in [1, 2, 8] {
@@ -139,6 +196,7 @@ mod tests {
 
     #[test]
     fn nested_maps_do_not_explode() {
+        let _guard = thread_budget_lock();
         set_threads(4);
         let outer: Vec<usize> = (0..8).collect();
         let out = parallel_map(&outer, |&i| {
@@ -156,5 +214,57 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(&empty, |&x| x).is_empty());
         assert_eq!(parallel_map(&[7u32], |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn init_state_is_reused_within_workers() {
+        let _guard = thread_budget_lock();
+        set_threads(4);
+        let items: Vec<u64> = (0..300).collect();
+        // State = a scratch buffer; correctness must not depend on which
+        // worker processed which item, only on the item itself.
+        let out = parallel_map_init(
+            &items,
+            || Vec::<u64>::new(),
+            |scratch, &x| {
+                scratch.clear();
+                scratch.extend((0..(x % 5)).map(|i| x + i));
+                scratch.iter().sum::<u64>()
+            },
+        );
+        let mut state = Vec::new();
+        let expect: Vec<u64> = items
+            .iter()
+            .map(|&x| {
+                state.clear();
+                state.extend((0..(x % 5)).map(|i| x + i));
+                state.iter().sum::<u64>()
+            })
+            .collect();
+        assert_eq!(out, expect);
+        set_threads(0);
+    }
+
+    #[test]
+    fn init_determinism_across_thread_counts() {
+        let _guard = thread_budget_lock();
+        let items: Vec<u64> = (0..400).collect();
+        let mut baseline: Option<Vec<u64>> = None;
+        for t in [1usize, 2, 8] {
+            set_threads(t);
+            let out = parallel_map_init(
+                &items,
+                || 0u64,
+                |acc, &x| {
+                    *acc = acc.wrapping_add(x); // worker-local, must not leak
+                    x.wrapping_mul(2654435761)
+                },
+            );
+            match &baseline {
+                None => baseline = Some(out),
+                Some(b) => assert_eq!(b, &out, "thread count {t} changed results"),
+            }
+        }
+        set_threads(0);
     }
 }

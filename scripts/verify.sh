@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification, fully offline: build, test, and regenerate the
-# performance baseline (which doubles as the parallel-determinism gate —
-# the baseline binary exits non-zero if any thread count changes a report).
+# performance baseline. The baseline binary doubles as the parallelism
+# gate — it exits non-zero if any thread count changes a report byte, or
+# if the 2-worker run is slower than the 1-worker run on a multi-core
+# host — so `set -e` makes this script fail with it.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -13,7 +15,15 @@ cargo build --release --offline --workspace --all-targets
 echo "== cargo test --offline =="
 cargo test -q --offline --workspace
 
-echo "== baseline (thread-scaling + byte-identity) =="
-cargo run --release --offline -q -p detour-bench --bin baseline -- BENCH_baseline.json
+echo "== baseline (thread-scaling + byte-identity + fig12 kernel speedup) =="
+cargo run --release --offline -q -p detour-bench --bin baseline -- BENCH_baseline.json >/dev/null
+
+echo
+echo "thread scaling (from BENCH_baseline.json):"
+printf '  %-8s %-9s %-10s %-8s %-8s %s\n' threads total generate graphs sweep speedup
+sed -n 's/.*"threads": \([0-9]*\), "seconds": \([0-9.]*\), "generate_seconds": \([0-9.]*\), "graph_build_seconds": \([0-9.]*\), "sweep_seconds": \([0-9.]*\), "speedup_vs_1": \([0-9.]*\).*/  \1        \2s    \3s     \4s   \5s   \6x/p' \
+  BENCH_baseline.json
+sed -n 's/.*"clone_rebuild_seconds": \([0-9.]*\).*/  fig12 greedy: clone-rebuild \1s/p; s/.*"masked_kernel_seconds": \([0-9.]*\).*/  fig12 greedy: masked kernel \1s/p; s/.*"speedup": \([0-9.]*\).*/  fig12 greedy: speedup \1x/p' \
+  BENCH_baseline.json
 
 echo "verify: OK"

@@ -31,6 +31,32 @@ fn reports_are_byte_identical_at_1_2_and_8_threads() {
 }
 
 #[test]
+fn masked_greedy_removal_is_identical_at_1_2_and_8_threads() {
+    use detour::core::analysis::hostremoval::greedy_removal;
+    use detour::core::{MeasurementGraph, Rtt};
+    use detour::datasets::DatasetId;
+
+    let ds = DatasetId::Uw3.generate_scaled(10, 24);
+    let graph = MeasurementGraph::from_dataset(&ds);
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        pool::set_threads(threads);
+        let a = greedy_removal(&graph, &Rtt, 3);
+        // Bit-exact comparison: removal order plus both CDF headline
+        // fractions, as raw f64 bits.
+        runs.push((
+            a.removed.clone(),
+            a.full.fraction_above(0.0).to_bits(),
+            a.reduced.fraction_above(0.0).to_bits(),
+        ));
+    }
+    pool::set_threads(0);
+    assert_eq!(runs[0].0.len(), 3, "expected 3 removals");
+    assert_eq!(runs[0], runs[1], "2 threads diverged from 1");
+    assert_eq!(runs[0], runs[2], "8 threads diverged from 1");
+}
+
+#[test]
 fn same_seed_reproduces_and_different_seed_diverges() {
     let scale = Scale::reduced(8, 24);
     let a = Bundle::generate(scale.with_seed_offset(1));
