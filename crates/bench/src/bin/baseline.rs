@@ -22,6 +22,19 @@
 //! ([`detour_bench::reference::clone_rebuild_greedy`]) against the
 //! mask-based flat-kernel loop — on the same graph, recording both costs
 //! and their ratio in the same JSON file.
+//!
+//! Two further sections map where dataset generation itself spends its
+//! time, now that the campaign is the parallel engine's other half:
+//!
+//! * `generate_stages` — one representative reduced UW3 generation per
+//!   worker count, split into network-build / routing-precompute /
+//!   campaign / assemble wall-clock (the first two come from the eager
+//!   path-table construction inside `Network::generate_timed`);
+//! * `campaign` — the measurement campaign alone (fixed network, fixed
+//!   request list) at each worker count, with the output byte-compared to
+//!   the 1-worker run. On a multi-core host the 2-worker campaign must
+//!   reach a 1.3× speedup — the campaign is embarrassingly parallel over
+//!   requests, so anything less means the fan-out is broken.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -30,7 +43,10 @@ use detour_bench::experiments::{run, ALL_EXPERIMENTS};
 use detour_bench::{reference, Bundle};
 use detour_core::analysis::hostremoval::greedy_removal;
 use detour_core::{pool, MeasurementGraph, Rtt};
-use detour_datasets::Scale;
+use detour_datasets::{generate_staged, GenerateStages, Scale};
+use detour_measure::{run_campaign, CampaignConfig, RawMeasurements, Request, Schedule};
+use detour_netsim::Network;
+use detour_prng::Xoshiro256pp;
 
 /// Stage timings of one full run, in seconds.
 struct Stages {
@@ -98,6 +114,37 @@ fn time_fig12_greedy() -> (f64, f64) {
     (reference_secs, kernel_secs)
 }
 
+/// One representative reduced UW3 generation, staged. Returns the
+/// wall-clock split so the JSON (and `scripts/verify.sh`) can show where
+/// generation time goes as workers scale.
+fn staged_generate() -> GenerateStages {
+    let spec = detour_datasets::uw3::spec();
+    let (_, stages) = generate_staged(&spec, Scale::reduced(10, 16));
+    stages
+}
+
+/// A fixed campaign workload for the thread-scaling entry: one reduced
+/// 1999 network and a pairwise-exponential request list, both independent
+/// of the worker count.
+fn campaign_workload() -> (Network, Vec<Request>) {
+    let spec = detour_datasets::uw3::spec();
+    let net = detour_datasets::build_network(&spec, Scale::reduced(10, 16));
+    let hosts: Vec<_> = net.hosts().iter().take(10).map(|h| h.id).collect();
+    let requests = Schedule::PairwiseExponential { mean_s: 6.0 }.generate(
+        &hosts,
+        12.0 * 3600.0,
+        &mut Xoshiro256pp::seed_from_u64(17),
+    );
+    (net, requests)
+}
+
+/// Times the campaign alone at the current worker count.
+fn time_campaign(net: &Network, requests: &[Request]) -> (f64, RawMeasurements) {
+    let t = Instant::now();
+    let raw = run_campaign(net, requests, &CampaignConfig::traceroute(), 17);
+    (t.elapsed().as_secs_f64(), raw)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -108,8 +155,16 @@ fn main() {
     counts.sort_unstable();
     counts.dedup();
 
+    // The campaign workload is built once, outside the timed loop, so every
+    // worker count measures the same network and request list.
+    pool::set_threads(0);
+    let (camp_net, camp_reqs) = campaign_workload();
+
     let mut reference_report: Option<String> = None;
+    let mut camp_reference: Option<RawMeasurements> = None;
     let mut runs: Vec<(usize, Stages)> = Vec::new();
+    let mut gen_runs: Vec<(usize, GenerateStages)> = Vec::new();
+    let mut camp_runs: Vec<(usize, f64)> = Vec::new();
     for &n in &counts {
         pool::set_threads(n);
         let (stages, report) = full_run();
@@ -132,6 +187,31 @@ fn main() {
             }
         }
         runs.push((n, stages));
+
+        let gs = staged_generate();
+        eprintln!(
+            "baseline: {n} worker(s) generate stages: network {:.3} + routing {:.3} + campaign {:.3} + assemble {:.3} s",
+            gs.network_build, gs.routing_precompute, gs.campaign, gs.assemble,
+        );
+        gen_runs.push((n, gs));
+
+        let (camp_secs, raw) = time_campaign(&camp_net, &camp_reqs);
+        eprintln!(
+            "baseline: {n} worker(s) campaign alone: {camp_secs:.3} s ({} requests)",
+            camp_reqs.len()
+        );
+        match &camp_reference {
+            None => camp_reference = Some(raw),
+            Some(r) => {
+                if *r != raw {
+                    eprintln!(
+                        "baseline: FAIL — campaign output at {n} workers differs from 1 worker"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        camp_runs.push((n, camp_secs));
     }
 
     // Figure-12 greedy: clone-rebuild reference vs. masked kernel, single
@@ -169,9 +249,36 @@ fn main() {
             t1 / s.total()
         );
     }
+    json.push_str("\n  ],\n  \"generate_stages\": [");
+    for (i, (n, gs)) in gen_runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let total = gs.network_build + gs.routing_precompute + gs.campaign + gs.assemble;
+        let _ = write!(
+            json,
+            "\n    {{\"threads\": {n}, \"network_build_seconds\": {:.3}, \"routing_precompute_seconds\": {:.3}, \"campaign_seconds\": {:.3}, \"assemble_seconds\": {:.3}, \"total_seconds\": {total:.3}}}",
+            gs.network_build, gs.routing_precompute, gs.campaign, gs.assemble,
+        );
+    }
+    let camp_t1 = camp_runs[0].1;
+    let campaign_2thread_speedup =
+        camp_runs.iter().find(|(n, _)| *n == 2).map(|&(_, s)| camp_t1 / s.max(1e-9));
+    json.push_str("\n  ],\n  \"campaign\": [");
+    for (i, (n, s)) in camp_runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\"threads\": {n}, \"seconds\": {s:.3}, \"speedup_vs_1\": {:.2}}}",
+            camp_t1 / s.max(1e-9)
+        );
+    }
     let _ = write!(
         json,
-        "\n  ],\n  \"fig12_greedy\": {{\n    \"hosts\": {FIG12_HOSTS},\n    \"removals\": {FIG12_REMOVALS},\n    \"clone_rebuild_seconds\": {fig12_ref:.3},\n    \"masked_kernel_seconds\": {fig12_kernel:.3},\n    \"speedup\": {fig12_speedup:.2}\n  }}\n}}\n"
+        "\n  ],\n  \"campaign_requests\": {},\n  \"fig12_greedy\": {{\n    \"hosts\": {FIG12_HOSTS},\n    \"removals\": {FIG12_REMOVALS},\n    \"clone_rebuild_seconds\": {fig12_ref:.3},\n    \"masked_kernel_seconds\": {fig12_kernel:.3},\n    \"speedup\": {fig12_speedup:.2}\n  }}\n}}\n",
+        camp_reqs.len()
     );
 
     std::fs::write(&out_path, &json).expect("write baseline json");
@@ -179,11 +286,21 @@ fn main() {
     print!("{json}");
 
     // Gates. Byte identity already enforced above; on a real multi-core
-    // machine, two workers must not lose to one.
+    // machine, two workers must not lose to one end-to-end, and the
+    // campaign alone — embarrassingly parallel over requests — must show a
+    // real speedup, not just parity.
     if cores > 1 {
         if let Some(s) = two_thread_speedup {
             if s < 1.0 {
                 eprintln!("baseline: FAIL — 2-worker speedup {s:.2} < 1.0 on {cores} cores");
+                std::process::exit(1);
+            }
+        }
+        if let Some(s) = campaign_2thread_speedup {
+            if s < 1.3 {
+                eprintln!(
+                    "baseline: FAIL — 2-worker campaign speedup {s:.2} < 1.3 on {cores} cores"
+                );
                 std::process::exit(1);
             }
         }

@@ -46,6 +46,10 @@ use detour_measure::HostId;
 pub struct WeightMatrix {
     n: usize,
     hosts: Vec<HostId>,
+    /// Dense index of each host, inverted from `hosts` once at build time
+    /// so [`WeightMatrix::host_index`] is O(1) — it sits inside the
+    /// Figure-12 greedy loop, which calls it once per candidate per round.
+    index_of: std::collections::HashMap<HostId, usize>,
     /// Row-major additive search weights; missing/unusable edge = `+∞`.
     weights: Vec<f64>,
     /// Row-major figure-facing metric values; missing = `NaN`.
@@ -74,7 +78,9 @@ impl WeightMatrix {
                 }
             }
         }
-        WeightMatrix { n, hosts: graph.hosts().to_vec(), weights, values }
+        let hosts = graph.hosts().to_vec();
+        let index_of = hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        WeightMatrix { n, hosts, index_of, weights, values }
     }
 
     /// Number of vertices.
@@ -94,7 +100,7 @@ impl WeightMatrix {
 
     /// Dense index of a host.
     pub fn host_index(&self, h: HostId) -> Option<usize> {
-        self.hosts.iter().position(|&x| x == h)
+        self.index_of.get(&h).copied()
     }
 
     /// The search weight of edge `i → j` (`+∞` when missing).

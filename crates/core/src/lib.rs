@@ -36,7 +36,11 @@ pub mod graph;
 pub mod kbest;
 pub mod kernel;
 pub mod metric;
-pub mod pool;
+/// The scoped thread-pool executor, now its own bottom-of-stack crate
+/// (`detour-pool`) so the simulator and measurement engine can share it;
+/// re-exported here to keep every existing `detour_core::pool` call site
+/// working unchanged.
+pub use detour_pool as pool;
 
 pub use altpath::{
     best_alternate, best_alternate_bandwidth, best_alternate_one_hop, PathComparison,

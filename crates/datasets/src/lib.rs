@@ -30,4 +30,7 @@ pub mod uw3;
 pub mod uw4;
 
 pub use registry::DatasetId;
-pub use spec::{build_network, generate, generate_on, restrict_na, DatasetSpec, Scale};
+pub use spec::{
+    build_network, generate, generate_on, generate_staged, restrict_na, DatasetSpec,
+    GenerateStages, Scale,
+};

@@ -144,15 +144,56 @@ pub fn select_hosts(
     out
 }
 
+/// Wall-clock breakdown of one dataset generation, seconds. Produced by
+/// [`generate_staged`] so the bench harness can attribute time to the
+/// pipeline's phases instead of reporting one opaque total.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GenerateStages {
+    /// Topology + load-model construction (everything before routing).
+    pub network_build: f64,
+    /// Eager path-table and flap-schedule resolution (parallel).
+    pub routing_precompute: f64,
+    /// The measurement campaign itself (parallel).
+    pub campaign: f64,
+    /// Dataset assembly: rate-limit policy, filtering, packaging.
+    pub assemble: f64,
+}
+
 /// Runs the full generation pipeline for `spec` at `scale`.
 pub fn generate(spec: &DatasetSpec, scale: Scale) -> Dataset {
     let net = build_network(spec, scale);
     generate_on(&net, spec, scale)
 }
 
+/// Like [`generate`] but reporting where the wall-clock time went.
+/// Identical output to [`generate`] — the stages are instrumentation only.
+pub fn generate_staged(spec: &DatasetSpec, scale: Scale) -> (Dataset, GenerateStages) {
+    let horizon_days = spec.duration_days / scale.time_divisor as f64;
+    let (net, build) = Network::generate_timed(&NetworkConfig::for_era(
+        spec.era,
+        scale.mixed_seed(spec.network_seed),
+        horizon_days,
+    ));
+    let (ds, campaign, assemble) = generate_on_timed(&net, spec, scale);
+    (
+        ds,
+        GenerateStages {
+            network_build: build.core_seconds,
+            routing_precompute: build.precompute_seconds,
+            campaign,
+            assemble,
+        },
+    )
+}
+
 /// Like [`generate`] but over a caller-provided network — lets UW4-A and
 /// UW4-B (or an example) share one network instance.
 pub fn generate_on(net: &Network, spec: &DatasetSpec, scale: Scale) -> Dataset {
+    generate_on_timed(net, spec, scale).0
+}
+
+/// Shared tail of the pipeline, returning `(dataset, campaign_s, assemble_s)`.
+fn generate_on_timed(net: &Network, spec: &DatasetSpec, scale: Scale) -> (Dataset, f64, f64) {
     let n_hosts = scale.n_hosts.unwrap_or(spec.n_hosts);
     let n_na = if scale.n_hosts.is_some() {
         // Scaled runs keep the spec's NA proportion.
@@ -167,7 +208,10 @@ pub fn generate_on(net: &Network, spec: &DatasetSpec, scale: Scale) -> Dataset {
 
     let mut rng = Xoshiro256pp::seed_from_u64(campaign_seed);
     let requests = spec.schedule.generate(&hosts, duration_s, &mut rng);
-    let raw = run_campaign(net, &requests, &spec.campaign, &mut rng);
+    let t_campaign = std::time::Instant::now();
+    let raw = run_campaign(net, &requests, &spec.campaign, campaign_seed);
+    let campaign_s = t_campaign.elapsed().as_secs_f64();
+    let t_assemble = std::time::Instant::now();
 
     let metas: Vec<HostMeta> = hosts
         .iter()
@@ -187,7 +231,8 @@ pub fn generate_on(net: &Network, spec: &DatasetSpec, scale: Scale) -> Dataset {
     } else {
         spec.min_samples
     };
-    Dataset::assemble(spec.name, metas, &raw, spec.policy, min_samples, duration_s)
+    let ds = Dataset::assemble(spec.name, metas, &raw, spec.policy, min_samples, duration_s);
+    (ds, campaign_s, t_assemble.elapsed().as_secs_f64())
 }
 
 /// Restricts a world dataset to its North American hosts, renaming it —

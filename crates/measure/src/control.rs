@@ -7,10 +7,33 @@
 //! was not returned within 5 minutes." Both failure modes are reproduced
 //! here; their documented consequence — over-estimating the quality of
 //! poorly connected paths — carries through to the datasets.
+//!
+//! ## Order-independent parallel execution
+//!
+//! [`run_campaign`] is embarrassingly parallel over requests. Two design
+//! decisions make that sound:
+//!
+//! * **Counter-based per-request randomness.** Every request draws from
+//!   its own RNG, [`detour_prng::Xoshiro256pp::stream`]`(campaign_seed,
+//!   index)`, where `index` is the request's position in the canonical
+//!   execution order. A request's outcome therefore depends only on its
+//!   index and its simulated time — never on which thread ran it, or on
+//!   what ran before it.
+//! * **A canonical execution order.** Requests are sorted once by
+//!   `(t_s, src, dst, episode)` — simulated-time order with a
+//!   content-based tie-break — so the order (and with it every stream
+//!   index) is a function of the request *set*, not of the list's
+//!   arrangement. Shuffling the input list cannot change one byte of
+//!   output; the `detour_prng::check` property tests pin this down.
+//!
+//! [`run_campaign_sequential`] replays the same sorted list through the
+//! original discrete-event queue with the same per-request streams; it is
+//! the single-threaded reference the parallel path must match
+//! byte-for-byte (asserted in tests at 1, 2, and 8 workers).
 
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::{probe, tcp, Network};
-use detour_prng::Rng;
+use detour_prng::{Rng, Xoshiro256pp};
 
 use crate::record::{Invocation, TransferSample};
 use crate::schedule::Request;
@@ -60,7 +83,7 @@ impl CampaignConfig {
 }
 
 /// Raw yield of a campaign, before dataset assembly.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RawMeasurements {
     /// Traceroute invocations that returned.
     pub invocations: Vec<Invocation>,
@@ -72,67 +95,142 @@ pub struct RawMeasurements {
     pub timed_out: usize,
 }
 
-/// Executes `requests` against the network, in simulated-time order.
+/// What one request produced; merged index-ordered into [`RawMeasurements`].
+enum Outcome {
+    ContactFailed,
+    TimedOut,
+    Invocation(Invocation),
+    Transfer(TransferSample),
+}
+
+/// Domain-separation constant mixed into the campaign seed before stream
+/// derivation, so the per-request family cannot collide with the schedule
+/// generator seeded directly from the same campaign seed.
+const REQUEST_STREAM_DOMAIN: u64 = 0x6d65_6173_7572_6531; // "measure1"
+
+/// Returns `requests` in canonical execution order: simulated-time order
+/// with deterministic content-based tie-breaking. This is the FIFO order
+/// the event queue replays (schedulers emit tied requests in `(src, dst)`
+/// order) and the order that defines each request's stream index; because
+/// it sorts by request *content*, any permutation of the same request set
+/// yields the same canonical list.
+fn canonical_order(requests: &[Request]) -> Vec<Request> {
+    let mut sorted = requests.to_vec();
+    sorted.sort_by(|a, b| {
+        a.t_s
+            .partial_cmp(&b.t_s)
+            .expect("request times are never NaN")
+            .then(a.src.cmp(&b.src))
+            .then(a.dst.cmp(&b.dst))
+            .then(a.episode.cmp(&b.episode))
+    });
+    sorted
+}
+
+/// Executes one request at its scheduled time with its own RNG stream.
+fn execute(net: &Network, cfg: &CampaignConfig, req: Request, rng: &mut impl Rng) -> Outcome {
+    let t = SimTime(req.t_s);
+    if rng.gen_bool(cfg.request_failure_prob) {
+        return Outcome::ContactFailed;
+    }
+    match cfg.kind {
+        ProbeKind::Traceroute => {
+            let tr = probe::traceroute(net, req.src, req.dst, t, rng);
+            if tr.elapsed_s > cfg.timeout_s {
+                return Outcome::TimedOut;
+            }
+            let as_path: Vec<u16> = {
+                // Observed path, prefixed with the source AS (the
+                // traceroute client knows where it is).
+                let mut p = vec![net.host(req.src).asn.0];
+                p.extend(tr.as_path().iter().map(|a| a.0));
+                p.dedup();
+                p
+            };
+            Outcome::Invocation(Invocation {
+                src: req.src,
+                dst: req.dst,
+                t_s: req.t_s,
+                episode: req.episode,
+                rtts: tr.destination_samples(),
+                as_path,
+            })
+        }
+        ProbeKind::TcpTransfer { duration_s } => {
+            match tcp::bulk_transfer(net, req.src, req.dst, t, duration_s, rng) {
+                Some(ts) => Outcome::Transfer(TransferSample {
+                    src: req.src,
+                    dst: req.dst,
+                    t_s: req.t_s,
+                    rtt_ms: ts.rtt_ms,
+                    loss_rate: ts.loss_rate,
+                    bandwidth_kbps: ts.bandwidth_kbps,
+                }),
+                None => Outcome::ContactFailed,
+            }
+        }
+    }
+}
+
+/// Folds per-request outcomes, in canonical index order, into the raw
+/// yield — the deterministic merge shared by both execution strategies.
+fn merge(outcomes: Vec<Outcome>) -> RawMeasurements {
+    let mut out = RawMeasurements::default();
+    for o in outcomes {
+        match o {
+            Outcome::ContactFailed => out.failed_requests += 1,
+            Outcome::TimedOut => out.timed_out += 1,
+            Outcome::Invocation(inv) => out.invocations.push(inv),
+            Outcome::Transfer(ts) => out.transfers.push(ts),
+        }
+    }
+    out
+}
+
+/// Executes `requests` against the network in simulated-time order, fanned
+/// out over the `detour-pool` workers.
 ///
-/// Requests are replayed through a discrete-event queue, so an unsorted
-/// request list still executes in time order with deterministic FIFO
-/// tie-breaking — the property the UW4-A "simultaneous" episodes rely on.
+/// Output is byte-identical at every thread count and for every
+/// permutation of `requests`: each request's RNG stream is derived from
+/// `(campaign_seed, canonical index)` alone, and results merge in
+/// canonical order.
 pub fn run_campaign(
     net: &Network,
     requests: &[Request],
     cfg: &CampaignConfig,
-    rng: &mut impl Rng,
+    campaign_seed: u64,
 ) -> RawMeasurements {
+    let key = campaign_seed ^ REQUEST_STREAM_DOMAIN;
+    let sorted = canonical_order(requests);
+    let indexed: Vec<(u64, Request)> =
+        sorted.into_iter().enumerate().map(|(i, r)| (i as u64, r)).collect();
+    let outcomes = detour_pool::parallel_map(&indexed, |&(i, req)| {
+        execute(net, cfg, req, &mut Xoshiro256pp::stream(key, i))
+    });
+    merge(outcomes)
+}
+
+/// The single-threaded reference: replays the canonical request list
+/// through the discrete-event queue, executing each pop with the same
+/// per-request stream [`run_campaign`] uses. Kept as the oracle the
+/// parallel fan-out is tested against, and as the executor of record for
+/// anyone reading what a campaign *means*.
+pub fn run_campaign_sequential(
+    net: &Network,
+    requests: &[Request],
+    cfg: &CampaignConfig,
+    campaign_seed: u64,
+) -> RawMeasurements {
+    let key = campaign_seed ^ REQUEST_STREAM_DOMAIN;
     let mut queue = detour_netsim::sim::EventQueue::new();
-    for &req in requests {
-        queue.push(SimTime(req.t_s), req);
+    for (i, req) in canonical_order(requests).into_iter().enumerate() {
+        queue.push(SimTime(req.t_s), (i as u64, req));
     }
-    let mut out = RawMeasurements::default();
-    while let Some((t, req)) = queue.pop() {
-        if rng.gen_bool(cfg.request_failure_prob) {
-            out.failed_requests += 1;
-            continue;
-        }
-        match cfg.kind {
-            ProbeKind::Traceroute => {
-                let tr = probe::traceroute(net, req.src, req.dst, t, rng);
-                if tr.elapsed_s > cfg.timeout_s {
-                    out.timed_out += 1;
-                    continue;
-                }
-                let as_path: Vec<u16> = {
-                    // Observed path, prefixed with the source AS (the
-                    // traceroute client knows where it is).
-                    let mut p = vec![net.host(req.src).asn.0];
-                    p.extend(tr.as_path().iter().map(|a| a.0));
-                    p.dedup();
-                    p
-                };
-                out.invocations.push(Invocation {
-                    src: req.src,
-                    dst: req.dst,
-                    t_s: req.t_s,
-                    episode: req.episode,
-                    rtts: tr.destination_samples(),
-                    as_path,
-                });
-            }
-            ProbeKind::TcpTransfer { duration_s } => {
-                match tcp::bulk_transfer(net, req.src, req.dst, t, duration_s, rng) {
-                    Some(ts) => out.transfers.push(TransferSample {
-                        src: req.src,
-                        dst: req.dst,
-                        t_s: req.t_s,
-                        rtt_ms: ts.rtt_ms,
-                        loss_rate: ts.loss_rate,
-                        bandwidth_kbps: ts.bandwidth_kbps,
-                    }),
-                    None => out.failed_requests += 1,
-                }
-            }
-        }
+    let mut outcomes = Vec::with_capacity(queue.len());
+    while let Some((_, (i, req))) = queue.pop() {
+        outcomes.push(execute(net, cfg, req, &mut Xoshiro256pp::stream(key, i)));
     }
-    out
+    merge(outcomes)
 }
 
 #[cfg(test)]
@@ -159,7 +257,7 @@ mod tests {
     fn traceroute_campaign_yields_invocations() {
         let n = net();
         let reqs = small_schedule(&n, 8, 120.0);
-        let raw = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut Xoshiro256pp::seed_from_u64(1));
+        let raw = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 1);
         assert!(!raw.invocations.is_empty());
         assert!(raw.invocations.len() + raw.failed_requests + raw.timed_out == reqs.len());
         for inv in &raw.invocations {
@@ -175,7 +273,7 @@ mod tests {
         let reqs = small_schedule(&n, 8, 60.0);
         let mut cfg = CampaignConfig::traceroute();
         cfg.request_failure_prob = 0.5;
-        let raw = run_campaign(&n, &reqs, &cfg, &mut Xoshiro256pp::seed_from_u64(2));
+        let raw = run_campaign(&n, &reqs, &cfg, 2);
         let frac = raw.failed_requests as f64 / reqs.len() as f64;
         assert!((0.4..0.6).contains(&frac), "failure fraction {frac}");
     }
@@ -184,7 +282,7 @@ mod tests {
     fn tcp_campaign_yields_transfers() {
         let n = net();
         let reqs = small_schedule(&n, 6, 600.0);
-        let raw = run_campaign(&n, &reqs, &CampaignConfig::tcp(), &mut Xoshiro256pp::seed_from_u64(3));
+        let raw = run_campaign(&n, &reqs, &CampaignConfig::tcp(), 3);
         assert!(!raw.transfers.is_empty());
         for t in &raw.transfers {
             assert!(t.rtt_ms > 0.0);
@@ -197,9 +295,18 @@ mod tests {
     fn campaign_is_deterministic() {
         let n = net();
         let reqs = small_schedule(&n, 6, 300.0);
-        let a = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut Xoshiro256pp::seed_from_u64(4));
-        let b = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), &mut Xoshiro256pp::seed_from_u64(4));
-        assert_eq!(a.invocations, b.invocations);
+        let a = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 4);
+        let b = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn campaign_seed_changes_outcomes() {
+        let n = net();
+        let reqs = small_schedule(&n, 6, 300.0);
+        let a = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 4);
+        let c = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 5);
+        assert_ne!(a, c, "seed must steer measurement outcomes");
     }
 
     #[test]
@@ -208,7 +315,44 @@ mod tests {
         let reqs = small_schedule(&n, 8, 120.0);
         let mut cfg = CampaignConfig::traceroute();
         cfg.timeout_s = 0.5; // traceroutes take seconds; nearly all time out
-        let raw = run_campaign(&n, &reqs, &cfg, &mut Xoshiro256pp::seed_from_u64(5));
+        let raw = run_campaign(&n, &reqs, &cfg, 5);
         assert!(raw.timed_out > raw.invocations.len());
+    }
+
+    #[test]
+    fn parallel_campaign_matches_event_queue_reference() {
+        // The core tentpole invariant: the pool fan-out at any worker count
+        // reproduces the sequential event-queue replay byte-for-byte.
+        let n = net();
+        let reqs = small_schedule(&n, 8, 120.0);
+        let reference = run_campaign_sequential(&n, &reqs, &CampaignConfig::traceroute(), 7);
+        for workers in [1usize, 2, 8] {
+            let prev = detour_pool::threads();
+            detour_pool::set_threads(workers);
+            let got = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 7);
+            detour_pool::set_threads(if prev == 0 { 0 } else { prev });
+            assert_eq!(got, reference, "{workers} workers diverged from the event queue");
+        }
+        detour_pool::set_threads(0);
+    }
+
+    #[test]
+    fn shuffled_requests_yield_identical_output() {
+        // Order-independence is a stated invariant now, not an accident of
+        // the event queue: the canonical sort re-derives the same stream
+        // indices from any permutation.
+        use detour_prng::SliceRandom;
+        let n = net();
+        let reqs = small_schedule(&n, 6, 200.0);
+        let baseline = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 11);
+        let mut shuffled = reqs.clone();
+        shuffled.shuffle(&mut Xoshiro256pp::seed_from_u64(99));
+        assert_ne!(
+            shuffled.iter().map(|r| r.t_s).collect::<Vec<_>>(),
+            reqs.iter().map(|r| r.t_s).collect::<Vec<_>>(),
+            "shuffle should actually permute"
+        );
+        let got = run_campaign(&n, &shuffled, &CampaignConfig::traceroute(), 11);
+        assert_eq!(got, baseline);
     }
 }

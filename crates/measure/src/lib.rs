@@ -26,7 +26,7 @@ pub mod record;
 pub mod schedule;
 pub mod tracefile;
 
-pub use control::{run_campaign, CampaignConfig, ProbeKind, RawMeasurements};
+pub use control::{run_campaign, run_campaign_sequential, CampaignConfig, ProbeKind, RawMeasurements};
 pub use dataset::{Characteristics, Dataset, MIN_SAMPLES_PER_PATH};
 pub use ratelimit::RateLimitPolicy;
 pub use record::{HostMeta, Invocation, ProbeSample, TransferSample};

@@ -5,9 +5,9 @@
 use detour_measure::dataset::Dataset;
 use detour_measure::record::{HostMeta, ProbeSample, TransferSample};
 use detour_measure::tracefile;
-use detour_measure::{HostId, Schedule};
-use detour_prng::check::check;
-use detour_prng::{Rng, Xoshiro256pp};
+use detour_measure::{run_campaign, CampaignConfig, HostId, Schedule};
+use detour_prng::check::{check, check_with};
+use detour_prng::{Rng, SliceRandom, Xoshiro256pp};
 
 fn host_name(rng: &mut Xoshiro256pp) -> String {
     const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.-";
@@ -118,6 +118,32 @@ fn schedules_are_in_window_and_never_self_target() {
                 assert!(hosts.contains(&r.src) && hosts.contains(&r.dst));
             }
         }
+    });
+}
+
+#[test]
+fn campaign_output_is_invariant_under_request_permutation() {
+    // Order-independence is a stated contract of `run_campaign`: each
+    // request's RNG stream is keyed by its canonical (content-sorted)
+    // index, so any permutation of the same request set must produce
+    // byte-identical output. One network serves every case; the cases vary
+    // the schedule, seed, and shuffle.
+    use detour_netsim::{Era, Network, NetworkConfig};
+    let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 77, 1.0));
+    let hosts: Vec<HostId> = net.hosts().iter().take(7).map(|h| h.id).collect();
+    check_with("campaign_output_is_invariant_under_request_permutation", 8, |rng| {
+        let sched = match rng.gen_range(0..3u8) {
+            0 => Schedule::PairwiseExponential { mean_s: 400.0 },
+            1 => Schedule::PairwiseExponentialPaired { mean_s: 500.0 },
+            _ => Schedule::Episodes { mean_gap_s: 2400.0 },
+        };
+        let reqs = sched.generate(&hosts, 2.0 * 3600.0, rng);
+        let campaign_seed = rng.next_u64();
+        let baseline = run_campaign(&net, &reqs, &CampaignConfig::traceroute(), campaign_seed);
+        let mut shuffled = reqs.clone();
+        shuffled.shuffle(rng);
+        let got = run_campaign(&net, &shuffled, &CampaignConfig::traceroute(), campaign_seed);
+        assert_eq!(got, baseline, "shuffling {} requests changed the output", reqs.len());
     });
 }
 

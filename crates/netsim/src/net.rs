@@ -5,10 +5,19 @@
 //! resolve a path, send a probe, run a transfer — mirroring the information
 //! barrier real measurement tools face: they cannot see utilization or
 //! routing tables, only packets.
+//!
+//! A generated network is **immutable and `Send + Sync`** by construction:
+//! everything measurement-relevant — the flap schedule of every ordered AS
+//! pair and the resolved router path of every (host-router, host-router,
+//! flapped) triple — is computed eagerly at generation time (in parallel,
+//! per source, over the `detour-pool` workers), so [`Network::forward_path`]
+//! is a lock-free array read and a campaign can fan requests out across
+//! threads without any synchronization. The earlier design cached paths and
+//! flap schedules lazily behind `RefCell`s, which pinned the whole
+//! measurement pipeline to one thread and grew without bound; the caches
+//! are gone, not wrapped.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use detour_prng::Rng;
 
@@ -16,7 +25,7 @@ use crate::routing::flaps::{FlapConfig, FlapSchedule};
 use crate::routing::path::{ResolvedPath, Resolver};
 use crate::routing::RoutingMode;
 use crate::sim::clock::SimTime;
-use crate::topology::generator::{self, Era, TopologyConfig};
+use crate::topology::{generator::{self, Era, TopologyConfig}, RouterId};
 use crate::topology::{AsId, Host, HostId, Topology};
 use crate::traffic::load::{LoadConfig, LoadModel};
 
@@ -65,38 +74,97 @@ pub struct TransitOutcome {
     pub lost: bool,
 }
 
+/// Wall-clock breakdown of [`Network::generate_timed`], seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildTimings {
+    /// Topology generation + IGP/BGP routing-table computation + load model.
+    pub core_seconds: f64,
+    /// Eager precomputation of the flap-schedule and path tables.
+    pub precompute_seconds: f64,
+}
+
 /// A generated network instance.
+///
+/// `Send + Sync`: all state is immutable after generation (asserted at
+/// compile time below), so campaigns may probe one network from many
+/// threads concurrently.
 pub struct Network {
     /// The static topology (public: analyses inspect AS ownership etc.).
     pub topology: Topology,
     resolver: Resolver,
     load: LoadModel,
-    flap_cfg: FlapConfig,
     mode: RoutingMode,
-    seed: u64,
     horizon_s: f64,
-    flap_cache: RefCell<HashMap<(AsId, AsId), Rc<FlapSchedule>>>,
-    path_cache: RefCell<HashMap<(u32, u32, bool), Rc<ResolvedPath>>>,
+    /// Router id → slot in the host-router index space (`u32::MAX` for
+    /// routers no host attaches to — they never terminate a measurement).
+    router_slot: Vec<u32>,
+    /// Number of distinct host-attachment routers (the slot space).
+    n_slots: usize,
+    /// Flat path table: `(src_slot * n_slots + dst_slot) * 2 + flapped`.
+    /// `Arc` so callers share one resolution, as they shared the old
+    /// cache's `Rc`s — but now across threads.
+    paths: Vec<Option<Arc<ResolvedPath>>>,
+    /// Flat per-ordered-AS-pair flap schedules: `src_as * n_as + dst_as`.
+    flap_table: Vec<FlapSchedule>,
+    n_as: usize,
 }
+
+// The whole point of the precomputed design: a campaign can fan out over
+// requests only if sharing `&Network` across threads is sound. Pin it so a
+// future `RefCell` cannot sneak back in unnoticed.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Network>();
+};
 
 impl Network {
     /// Generates a network from `cfg`. Deterministic in `cfg.seed`.
     pub fn generate(cfg: &NetworkConfig) -> Network {
+        Network::generate_timed(cfg).0
+    }
+
+    /// Like [`Network::generate`], reporting where the build time went
+    /// (used by the `baseline` bench binary's stage breakdown).
+    pub fn generate_timed(cfg: &NetworkConfig) -> (Network, BuildTimings) {
+        let t0 = std::time::Instant::now();
         let mut rng = detour_prng::Xoshiro256pp::seed_from_u64(cfg.seed);
         let topology = generator::generate(&cfg.topology, &mut rng);
         let resolver = Resolver::new(&topology);
         let load = LoadModel::generate(&topology, cfg.load, cfg.seed, cfg.horizon_s);
-        Network {
+        let core_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = std::time::Instant::now();
+        let n_as = topology.as_count();
+        let flap_table = precompute_flaps(&cfg.flaps, cfg.seed, n_as, cfg.horizon_s);
+
+        // Host-attachment routers define the measurement-relevant slot
+        // space; every forward path a probe can ever ask for starts and
+        // ends on one of them.
+        let mut slots: Vec<RouterId> = topology.hosts.iter().map(|h| h.router).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        let mut router_slot = vec![u32::MAX; topology.routers.len()];
+        for (i, &r) in slots.iter().enumerate() {
+            router_slot[r.0 as usize] = i as u32;
+        }
+        let paths = precompute_paths(
+            &topology, &resolver, &flap_table, n_as, &slots, cfg.mode,
+        );
+        let precompute_seconds = t1.elapsed().as_secs_f64();
+
+        let net = Network {
             topology,
             resolver,
             load,
-            flap_cfg: cfg.flaps,
             mode: cfg.mode,
-            seed: cfg.seed,
             horizon_s: cfg.horizon_s,
-            flap_cache: RefCell::new(HashMap::new()),
-            path_cache: RefCell::new(HashMap::new()),
-        }
+            router_slot,
+            n_slots: slots.len(),
+            paths,
+            flap_table,
+            n_as,
+        };
+        (net, BuildTimings { core_seconds, precompute_seconds })
     }
 
     /// All hosts.
@@ -129,42 +197,28 @@ impl Network {
         self.horizon_s
     }
 
-    /// The flap schedule for an ordered AS pair (cached).
-    fn flaps(&self, src: AsId, dst: AsId) -> Rc<FlapSchedule> {
-        self.flap_cache
-            .borrow_mut()
-            .entry((src, dst))
-            .or_insert_with(|| {
-                Rc::new(FlapSchedule::generate(
-                    &self.flap_cfg,
-                    self.seed,
-                    src,
-                    dst,
-                    self.horizon_s,
-                ))
-            })
-            .clone()
+    /// The precomputed flap schedule for an ordered AS pair.
+    pub fn flap_schedule(&self, src: AsId, dst: AsId) -> &FlapSchedule {
+        &self.flap_table[src.0 as usize * self.n_as + dst.0 as usize]
     }
 
     /// Resolves the forward router path from `src` to `dst` hosts at time
     /// `t`, honoring any active flap episode at the source AS.
     ///
+    /// A lock-free read of the precomputed path table — safe to call from
+    /// any number of threads concurrently.
+    ///
     /// Returns `None` when routing cannot produce a path (does not happen
     /// on generated topologies, but callers must treat it as a measurement
     /// failure, not a panic — real traceroutes fail too).
-    pub fn forward_path(&self, src: HostId, dst: HostId, t: SimTime) -> Option<Rc<ResolvedPath>> {
-        let sr = self.topology.host(src).router;
-        let dr = self.topology.host(dst).router;
-        let (sa, da) = (self.topology.host(src).asn, self.topology.host(dst).asn);
-        let flapped =
-            self.mode != RoutingMode::GlobalShortestDelay && self.flaps(sa, da).active_at(t.0);
-        let key = (sr.0, dr.0, flapped);
-        if let Some(p) = self.path_cache.borrow().get(&key) {
-            return Some(p.clone());
-        }
-        let p = Rc::new(self.resolver.resolve(&self.topology, sr, dr, self.mode, flapped)?);
-        self.path_cache.borrow_mut().insert(key, p.clone());
-        Some(p)
+    pub fn forward_path(&self, src: HostId, dst: HostId, t: SimTime) -> Option<Arc<ResolvedPath>> {
+        let sh = self.topology.host(src);
+        let dh = self.topology.host(dst);
+        let flapped = self.mode != RoutingMode::GlobalShortestDelay
+            && self.flap_schedule(sh.asn, dh.asn).active_at(t.0);
+        let i = self.router_slot[sh.router.0 as usize] as usize;
+        let j = self.router_slot[dh.router.0 as usize] as usize;
+        self.paths[(i * self.n_slots + j) * 2 + flapped as usize].clone()
     }
 
     /// Sends one packet across `path` at time `t`, sampling queuing delay
@@ -205,6 +259,77 @@ impl Network {
         }
         TransitOutcome { delay_ms: delay, lost }
     }
+}
+
+/// Generates the flap schedule of every ordered AS pair, in parallel per
+/// source AS. Each schedule depends only on `(seed, src, dst)` — exactly
+/// the derivation the old lazy cache used — so the table is bit-identical
+/// to what lazy generation would have produced, at every thread count.
+fn precompute_flaps(
+    cfg: &FlapConfig,
+    seed: u64,
+    n_as: usize,
+    horizon_s: f64,
+) -> Vec<FlapSchedule> {
+    let sources: Vec<u16> = (0..n_as as u16).collect();
+    detour_pool::parallel_map(&sources, |&src| {
+        (0..n_as as u16)
+            .map(|dst| FlapSchedule::generate(cfg, seed, AsId(src), AsId(dst), horizon_s))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Resolves the full (host-router × host-router × flapped) path table, in
+/// parallel per source router.
+///
+/// Two economies keep this cheap without changing any observable path:
+///
+/// * The flapped variant is only resolved when some AS pair routed between
+///   the two routers can actually flap (its schedule has episodes inside
+///   the horizon); otherwise the unflapped `Arc` is shared — `forward_path`
+///   only consults the flapped slot during an active episode.
+/// * Under `GlobalShortestDelay` one Dijkstra per source covers every
+///   destination (and flaps are ignored by definition, so both slots share
+///   one path).
+fn precompute_paths(
+    topo: &Topology,
+    resolver: &Resolver,
+    flap_table: &[FlapSchedule],
+    n_as: usize,
+    slots: &[RouterId],
+    mode: RoutingMode,
+) -> Vec<Option<Arc<ResolvedPath>>> {
+    let rows = detour_pool::parallel_map(slots, |&src| {
+        let mut row: Vec<Option<Arc<ResolvedPath>>> = Vec::with_capacity(slots.len() * 2);
+        if mode == RoutingMode::GlobalShortestDelay {
+            for p in resolver.resolve_global_all(topo, src, slots) {
+                let p = p.map(Arc::new);
+                row.push(p.clone());
+                row.push(p);
+            }
+            return row;
+        }
+        let src_as = topo.router(src).asn;
+        for &dst in slots {
+            let dst_as = topo.router(dst).asn;
+            let base = resolver.resolve(topo, src, dst, mode, false).map(Arc::new);
+            let can_flap = flap_table[src_as.0 as usize * n_as + dst_as.0 as usize]
+                .episode_count()
+                > 0;
+            let flapped = if can_flap {
+                resolver.resolve(topo, src, dst, mode, true).map(Arc::new)
+            } else {
+                base.clone()
+            };
+            row.push(base);
+            row.push(flapped);
+        }
+        row
+    });
+    rows.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -359,12 +484,75 @@ mod tests {
     }
 
     #[test]
-    fn path_cache_is_transparent() {
+    fn path_table_is_shared_not_copied() {
+        // The precomputed table hands every caller the same Arc, as the old
+        // lazy cache handed out the same Rc — resolution work is never
+        // repeated per query.
         let n = net();
         let t = SimTime::from_hours(5.0);
         let (s, d) = (n.hosts()[0].id, n.hosts()[4].id);
         let a = n.forward_path(s, d, t).unwrap();
         let b = n.forward_path(s, d, t).unwrap();
-        assert!(Rc::ptr_eq(&a, &b), "second resolution should hit the cache");
+        assert!(Arc::ptr_eq(&a, &b), "both queries must share the precomputed path");
+    }
+
+    #[test]
+    fn network_is_send_and_sync() {
+        fn check<T: Send + Sync>(_: &T) {}
+        check(&net());
+    }
+
+    #[test]
+    fn precomputed_paths_match_direct_resolution() {
+        // The table must hold exactly what the resolver would produce on
+        // demand — for the unflapped and the flapped variant alike.
+        let n = net();
+        let hosts: Vec<HostId> = n.hosts().iter().map(|h| h.id).collect();
+        for &s in hosts.iter().take(6) {
+            for &d in hosts.iter().rev().take(6) {
+                if s == d {
+                    continue;
+                }
+                let table = n.forward_path(s, d, SimTime::ZERO).unwrap();
+                let direct = n
+                    .resolver()
+                    .resolve(
+                        &n.topology,
+                        n.host(s).router,
+                        n.host(d).router,
+                        n.mode(),
+                        false,
+                    )
+                    .unwrap();
+                assert_eq!(*table, direct);
+            }
+        }
+    }
+
+    #[test]
+    fn global_mode_table_matches_pairwise_dijkstra() {
+        let mut cfg = NetworkConfig::for_era(Era::Y1999, 99, 2.0);
+        cfg.mode = RoutingMode::GlobalShortestDelay;
+        let n = Network::generate(&cfg);
+        let hosts: Vec<HostId> = n.hosts().iter().map(|h| h.id).collect();
+        for &s in hosts.iter().take(5) {
+            for &d in hosts.iter().rev().take(5) {
+                if s == d {
+                    continue;
+                }
+                let table = n.forward_path(s, d, SimTime::ZERO).unwrap();
+                let direct = n
+                    .resolver()
+                    .resolve(
+                        &n.topology,
+                        n.host(s).router,
+                        n.host(d).router,
+                        RoutingMode::GlobalShortestDelay,
+                        false,
+                    )
+                    .unwrap();
+                assert_eq!(*table, direct, "{s:?}→{d:?}");
+            }
+        }
     }
 }

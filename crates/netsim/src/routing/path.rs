@@ -188,6 +188,25 @@ impl Resolver {
         }
     }
 
+    /// Resolves the idealized global-shortest-delay paths from `src` to
+    /// every router in `dsts` with **one** Dijkstra pass (no early exit),
+    /// for the eager path-table precompute.
+    ///
+    /// Produces exactly the paths [`Resolver::resolve`] would return
+    /// pairwise under `GlobalShortestDelay`: a settled vertex can never be
+    /// improved (non-negative weights, strict relaxation), so running the
+    /// search to exhaustion instead of stopping at one destination leaves
+    /// every reconstructed path unchanged.
+    pub fn resolve_global_all(
+        &self,
+        topo: &Topology,
+        src: RouterId,
+        dsts: &[RouterId],
+    ) -> Vec<Option<ResolvedPath>> {
+        let (dist, prev) = self.dijkstra_relax(topo, src, None);
+        dsts.iter().map(|&d| reconstruct(topo, src, d, &dist, &prev)).collect()
+    }
+
     /// Plain Dijkstra over the whole router graph, weighted by propagation
     /// delay — the idealized global routing baseline.
     fn dijkstra_delay(
@@ -196,6 +215,19 @@ impl Resolver {
         src: RouterId,
         dst: RouterId,
     ) -> Option<ResolvedPath> {
+        let (dist, prev) = self.dijkstra_relax(topo, src, Some(dst));
+        reconstruct(topo, src, dst, &dist, &prev)
+    }
+
+    /// The shared Dijkstra relaxation loop: distances and predecessor
+    /// links from `src`, stopping early when `stop` settles (pairwise
+    /// query) or running to exhaustion (`None`, table precompute).
+    fn dijkstra_relax(
+        &self,
+        topo: &Topology,
+        src: RouterId,
+        stop: Option<RouterId>,
+    ) -> (Vec<f64>, Vec<Option<LinkId>>) {
         let n = topo.routers.len();
         let mut dist = vec![f64::INFINITY; n];
         let mut prev: Vec<Option<LinkId>> = vec![None; n];
@@ -209,7 +241,7 @@ impl Resolver {
             if d_us > (dist[r as usize] * 1000.0).round() as u64 {
                 continue;
             }
-            if r == dst.0 {
+            if stop == Some(RouterId(r)) {
                 break;
             }
             for l in topo.links_from(RouterId(r)) {
@@ -222,23 +254,35 @@ impl Resolver {
                 }
             }
         }
-        if !dist[dst.0 as usize].is_finite() {
-            return None;
-        }
-        let mut links_rev = Vec::new();
-        let mut cur = dst;
-        while cur != src {
-            let l = prev[cur.0 as usize]?;
-            links_rev.push(l);
-            cur = topo.link(l).from;
-        }
-        links_rev.reverse();
-        let mut routers = vec![src];
-        for &l in &links_rev {
-            routers.push(topo.link(l).to);
-        }
-        Some(ResolvedPath { routers, links: links_rev })
+        (dist, prev)
     }
+}
+
+/// Rebuilds the router/link path `src → dst` from Dijkstra's predecessor
+/// array; `None` when `dst` was never reached.
+fn reconstruct(
+    topo: &Topology,
+    src: RouterId,
+    dst: RouterId,
+    dist: &[f64],
+    prev: &[Option<LinkId>],
+) -> Option<ResolvedPath> {
+    if !dist[dst.0 as usize].is_finite() {
+        return None;
+    }
+    let mut links_rev = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let l = prev[cur.0 as usize]?;
+        links_rev.push(l);
+        cur = topo.link(l).from;
+    }
+    links_rev.reverse();
+    let mut routers = vec![src];
+    for &l in &links_rev {
+        routers.push(topo.link(l).to);
+    }
+    Some(ResolvedPath { routers, links: links_rev })
 }
 
 #[cfg(test)]
@@ -406,6 +450,22 @@ mod tests {
                 let p = res.resolve(&topo, s, d, RoutingMode::PolicyHotPotato, true);
                 assert!(p.is_some());
                 assert_eq!(p.unwrap().routers.last(), Some(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn one_pass_global_resolution_matches_pairwise() {
+        // The table precompute runs one exhaustive Dijkstra per source; it
+        // must reconstruct exactly the paths the early-exit pairwise query
+        // returns.
+        let (topo, res) = setup();
+        let hr = host_routers(&topo);
+        for &s in hr.iter().take(10) {
+            let all = res.resolve_global_all(&topo, s, &hr);
+            for (&d, got) in hr.iter().zip(&all) {
+                let want = res.resolve(&topo, s, d, RoutingMode::GlobalShortestDelay, false);
+                assert_eq!(got, &want, "{s:?}→{d:?}");
             }
         }
     }

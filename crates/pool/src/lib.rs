@@ -1,11 +1,20 @@
-//! Scoped thread-pool executor for the analysis hot paths.
+//! # detour-pool
 //!
-//! The per-pair best-alternate sweep is embarrassingly parallel: every
-//! pair's Dijkstra reads the shared [`crate::MeasurementGraph`] and writes
+//! Scoped thread-pool executor for the workspace's hot paths.
+//!
+//! The workloads this pool serves — per-pair best-alternate sweeps in
+//! `detour-core`, per-source routing precomputation in `detour-netsim`,
+//! per-request measurement campaigns in `detour-measure` — are all
+//! embarrassingly parallel: every item reads shared state and writes
 //! nothing. [`parallel_map`] fans such work out over `std::thread::scope`
 //! workers (no dependencies, no unsafe) and merges results **in input
 //! order**, so output is bit-identical at every thread count — a property
 //! the determinism integration tests pin down.
+//!
+//! This crate sits at the bottom of the dependency graph (std only), so
+//! the simulator and the measurement engine can use it without depending
+//! on the analysis crate; `detour_core::pool` re-exports it for the
+//! existing call sites.
 //!
 //! Design points:
 //!
@@ -23,12 +32,15 @@
 //!   costs are skewed (well-connected pairs terminate early).
 //! * **Per-worker state.** [`parallel_map_init`] hands every worker one
 //!   `init()` value reused across all items it claims — how the
-//!   best-alternate sweeps recycle a [`crate::kernel::DijkstraScratch`]
-//!   instead of allocating dist/prev/done buffers per pair.
+//!   best-alternate sweeps recycle a `DijkstraScratch` instead of
+//!   allocating dist/prev/done buffers per pair.
 //! * **No nested fan-out.** A worker that itself calls [`parallel_map`]
 //!   runs the inner map sequentially (tracked with a thread-local), so
 //!   parallelizing both the per-dataset loop of an experiment and the
 //!   per-pair sweep inside it cannot multiply thread counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -82,6 +82,28 @@ impl Xoshiro256pp {
         Xoshiro256pp { s }
     }
 
+    /// The `index`-th generator of a counter-based stream family keyed by
+    /// `key` — the seed-expansion machinery applied twice: the key is
+    /// finalized once through [`SplitMix64`], advanced along the SplitMix64
+    /// orbit by `index` golden-ratio steps, and the resulting state is
+    /// expanded into a full xoshiro256++ state.
+    ///
+    /// Properties the measurement campaign relies on:
+    ///
+    /// * **Pure**: `stream(k, i)` is a function of `(k, i)` alone — no
+    ///   shared state, so any number of threads can derive their streams
+    ///   concurrently and a stream's output never depends on which other
+    ///   streams were drawn, or in what order.
+    /// * **Well mixed**: for a fixed key, the per-index seeds are exactly
+    ///   consecutive SplitMix64 states, the construction SplitMix64 was
+    ///   designed for; nearby indices yield uncorrelated streams.
+    pub fn stream(key: u64, index: u64) -> Xoshiro256pp {
+        let base = SplitMix64::new(key).next_u64();
+        Xoshiro256pp::seed_from_u64(
+            base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
     /// Next 64-bit output (the ++ scrambler).
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
@@ -351,6 +373,28 @@ mod tests {
         assert!(counts.iter().all(|&c| c > 800), "{counts:?}");
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        fn draws(key: u64, index: u64) -> Vec<u64> {
+            let mut r = Xoshiro256pp::stream(key, index);
+            (0..8).map(|_| r.next_u64()).collect()
+        }
+        assert_eq!(draws(5, 0), draws(5, 0), "same (key, index) must replay");
+        assert_ne!(draws(5, 0), draws(5, 1), "adjacent indices must diverge");
+        assert_ne!(draws(5, 0), draws(6, 0), "different keys must diverge");
+    }
+
+    #[test]
+    fn stream_outputs_are_uniform_ish_across_indices() {
+        // First draw of 4000 consecutive streams: roughly half the bits of
+        // a fixed position should be set — catches a degenerate derivation
+        // (e.g. forgetting to finalize the index).
+        let ones = (0..4_000)
+            .filter(|&i| Xoshiro256pp::stream(42, i).next_u64() & (1 << 31) != 0)
+            .count();
+        assert!((1_700..=2_300).contains(&ones), "bit bias: {ones}/4000");
     }
 
     #[test]

@@ -23,6 +23,19 @@ echo "thread scaling (from BENCH_baseline.json):"
 printf '  %-8s %-9s %-10s %-8s %-8s %s\n' threads total generate graphs sweep speedup
 sed -n 's/.*"threads": \([0-9]*\), "seconds": \([0-9.]*\), "generate_seconds": \([0-9.]*\), "graph_build_seconds": \([0-9.]*\), "sweep_seconds": \([0-9.]*\), "speedup_vs_1": \([0-9.]*\).*/  \1        \2s    \3s     \4s   \5s   \6x/p' \
   BENCH_baseline.json
+echo
+echo "generate-stage scaling (one reduced UW3 generation per worker count):"
+printf '  %-8s %-9s %-9s %-10s %-9s %s\n' threads network routing campaign assemble total
+sed -n 's/.*"threads": \([0-9]*\), "network_build_seconds": \([0-9.]*\), "routing_precompute_seconds": \([0-9.]*\), "campaign_seconds": \([0-9.]*\), "assemble_seconds": \([0-9.]*\), "total_seconds": \([0-9.]*\).*/  \1        \2s   \3s   \4s    \5s   \6s/p' \
+  BENCH_baseline.json
+
+echo
+echo "campaign-only scaling (fixed network + request list):"
+printf '  %-8s %-9s %s\n' threads seconds speedup
+sed -n 's/.*"threads": \([0-9]*\), "seconds": \([0-9.]*\), "speedup_vs_1": \([0-9.]*\).*/  \1        \2s   \3x/p' \
+  BENCH_baseline.json
+
+echo
 sed -n 's/.*"clone_rebuild_seconds": \([0-9.]*\).*/  fig12 greedy: clone-rebuild \1s/p; s/.*"masked_kernel_seconds": \([0-9.]*\).*/  fig12 greedy: masked kernel \1s/p; s/.*"speedup": \([0-9.]*\).*/  fig12 greedy: speedup \1x/p' \
   BENCH_baseline.json
 

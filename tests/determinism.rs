@@ -57,6 +57,43 @@ fn masked_greedy_removal_is_identical_at_1_2_and_8_threads() {
 }
 
 #[test]
+fn campaign_and_generation_are_byte_identical_at_1_2_and_8_threads() {
+    // Pins the tentpole invariant end-to-end: both the raw measurement
+    // campaign and the full dataset-generation pipeline (network build,
+    // eager routing precompute, campaign, assembly) produce identical
+    // bytes at every worker count, and the parallel campaign reproduces
+    // the sequential event-queue reference exactly.
+    use detour::datasets::DatasetId;
+    use detour::measure::{run_campaign, run_campaign_sequential, CampaignConfig, Schedule};
+    use detour::netsim::{Era, Network, NetworkConfig};
+    use detour::prng::Xoshiro256pp;
+
+    let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 5, 1.0));
+    let hosts: Vec<_> = net.hosts().iter().take(8).map(|h| h.id).collect();
+    let reqs = Schedule::PairwiseExponential { mean_s: 180.0 }.generate(
+        &hosts,
+        4.0 * 3600.0,
+        &mut Xoshiro256pp::seed_from_u64(21),
+    );
+    let reference = run_campaign_sequential(&net, &reqs, &CampaignConfig::traceroute(), 21);
+    assert!(!reference.invocations.is_empty());
+
+    let mut datasets = Vec::new();
+    for threads in [1usize, 2, 8] {
+        pool::set_threads(threads);
+        let raw = run_campaign(&net, &reqs, &CampaignConfig::traceroute(), 21);
+        assert_eq!(raw, reference, "{threads}-thread campaign diverged from event queue");
+        datasets.push(DatasetId::Uw3.generate_scaled(8, 24));
+    }
+    pool::set_threads(0);
+    for (i, ds) in datasets.iter().enumerate().skip(1) {
+        assert_eq!(ds.probes, datasets[0].probes, "run {i} probes diverged");
+        assert_eq!(ds.hosts, datasets[0].hosts, "run {i} hosts diverged");
+        assert_eq!(ds.as_paths, datasets[0].as_paths, "run {i} AS paths diverged");
+    }
+}
+
+#[test]
 fn same_seed_reproduces_and_different_seed_diverges() {
     let scale = Scale::reduced(8, 24);
     let a = Bundle::generate(scale.with_seed_offset(1));
