@@ -8,7 +8,7 @@
 //! largely vanishing.
 
 use detour_bench::Bench;
-use detour_core::analysis::cdf::{compare_all_pairs, improvement_cdf};
+use detour_core::analysis::cdf::{compare_graph, compare_graph_bandwidth, improvement_cdf};
 use detour_core::{LossComposition, MeasurementGraph, Rtt, SearchDepth};
 use detour_datasets::uw3;
 use detour_datasets::{generate_on, Scale};
@@ -27,7 +27,7 @@ fn dataset_for_mode(mode: RoutingMode) -> detour_measure::Dataset {
 
 fn improved_fraction(ds: &detour_measure::Dataset) -> f64 {
     let g = MeasurementGraph::from_dataset(ds);
-    let cs = compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted);
+    let cs = compare_graph(&g, &Rtt, SearchDepth::Unrestricted);
     if cs.is_empty() {
         return 0.0;
     }
@@ -61,7 +61,7 @@ fn bench_loss_composition(b: &mut Bench) {
     let g = MeasurementGraph::from_dataset(&n2);
     for mode in [LossComposition::Optimistic, LossComposition::Pessimistic] {
         b.bench(&format!("ablation_loss_composition/{}", mode.label()), || {
-            let cs = detour_core::analysis::cdf::compare_all_pairs_bandwidth(&g, mode);
+            let cs = compare_graph_bandwidth(&g, mode);
             cs.len()
         });
     }
@@ -74,7 +74,7 @@ fn bench_search_depth(b: &mut Bench) {
         [("unrestricted", SearchDepth::Unrestricted), ("one_hop", SearchDepth::OneHop)]
     {
         b.bench(&format!("ablation_search_depth/{label}"), || {
-            let cs = compare_all_pairs(&g, &Rtt, depth);
+            let cs = compare_graph(&g, &Rtt, depth);
             cs.len()
         });
     }

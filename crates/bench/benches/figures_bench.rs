@@ -1,18 +1,23 @@
 //! One bench per paper artifact: how long each analysis takes on a reduced
-//! bundle (dataset generation is excluded — it is benched in
+//! study (dataset generation is excluded — it is benched in
 //! `substrate_bench`).
+//!
+//! The study's shared artifacts warm up on the first iteration of each
+//! experiment, so the steady-state numbers measure the analysis itself —
+//! the cost profile the build-once engine gives every run after its first
+//! experiment.
 
 use detour_bench::experiments::{run, ALL_EXPERIMENTS};
-use detour_bench::{Bench, Bundle};
+use detour_bench::{Bench, Bundle, Study};
 use detour_datasets::Scale;
 
 fn main() {
-    let bundle = Bundle::generate(Scale::reduced(10, 16));
+    let study = Study::from_bundle(Bundle::generate(Scale::reduced(10, 16)));
     let mut b = Bench::new();
     b.sample_size(10);
     for id in ALL_EXPERIMENTS {
         b.bench(&format!("figures/{id}"), || {
-            let report = run(id, &bundle).expect("known id");
+            let report = run(id, &study).expect("known id");
             report.len()
         });
     }

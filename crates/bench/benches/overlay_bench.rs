@@ -35,7 +35,7 @@ fn bench_route_selection(b: &mut Bench) {
         let mut detours = 0;
         for &a in &members {
             for &bm in &members {
-                if a != bm && overlay.route(a, bm).map_or(false, |r| r.is_detour()) {
+                if a != bm && overlay.route(a, bm).is_some_and(|r| r.is_detour()) {
                     detours += 1;
                 }
             }

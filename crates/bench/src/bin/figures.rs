@@ -6,12 +6,19 @@
 //! cargo run -p detour-bench --release --bin figures -- --scaled all
 //! cargo run -p detour-bench --release --bin figures -- --threads 4 --scaled all
 //! cargo run -p detour-bench --release --bin figures -- --seed 7 --scaled fig1
+//! cargo run -p detour-bench --release --bin figures -- --fresh --scaled all
 //! ```
 //!
 //! `--threads N` sets the experiment engine's worker count (0 or absent =
 //! one worker per core); output is bit-identical at any setting. `--seed S`
 //! regenerates the whole study on a different simulated Internet (S = 0 is
 //! the canonical run).
+//!
+//! Datasets come from the trace cache under `results/cache/`: the first
+//! run at a given (seed, scale) simulates and saves, later runs load the
+//! saved traces and skip the simulator entirely (the round-trip is
+//! lossless, so reports are byte-identical either way). `--fresh` purges
+//! the cache first.
 //!
 //! Reports go to stdout and, per experiment, to `results/<id>.txt`.
 
@@ -20,9 +27,9 @@ use std::path::Path;
 use std::process::exit;
 use std::time::Instant;
 
-use detour_bench::experiments::{run, ALL_EXPERIMENTS};
+use detour_bench::experiments::{run_all, ALL_EXPERIMENTS};
 use detour_bench::extras::{self, EXTRA_EXPERIMENTS};
-use detour_bench::Bundle;
+use detour_bench::{cache, Bundle, Study};
 use detour_core::pool;
 use detour_datasets::Scale;
 
@@ -45,6 +52,7 @@ fn main() {
     let threads = parse_flag(&mut args, "--threads").unwrap_or(0);
     let seed = parse_flag(&mut args, "--seed").unwrap_or(0);
     let scaled = args.iter().any(|a| a == "--scaled");
+    let fresh = args.iter().any(|a| a == "--fresh");
     pool::set_threads(threads as usize);
 
     let ids: Vec<&str> = args
@@ -69,26 +77,52 @@ fn main() {
         }
     }
 
+    let cache_dir = Path::new("results/cache");
+    if fresh {
+        let removed = cache::purge(cache_dir).expect("purge trace cache");
+        eprintln!("purged {removed} cached trace(s) from {}", cache_dir.display());
+    }
+
     eprintln!(
-        "generating the eight datasets at {} scale (seed offset {seed}, {} worker{})...",
+        "loading the eight datasets at {} scale (seed offset {seed}, {} worker{})...",
         if scaled { "reduced" } else { "full paper" },
         pool::threads(),
         if pool::threads() == 1 { "" } else { "s" },
     );
     let t = Instant::now();
     let scale = if scaled { Scale::reduced(12, 8) } else { Scale::full() };
-    let bundle = Bundle::generate(scale.with_seed_offset(seed));
-    eprintln!("datasets ready in {:.1?}", t.elapsed());
+    let (bundle, stats) =
+        Bundle::generate_cached(scale.with_seed_offset(seed), cache_dir)
+            .expect("trace cache");
+    eprintln!(
+        "datasets ready in {:.1?} ({} cached, {} generated)",
+        t.elapsed(),
+        stats.hits,
+        stats.misses
+    );
+    let study = Study::from_bundle(bundle);
+
+    // The paper experiments run through the parallel engine (prebuilt
+    // shared artifacts, request-ordered reports); extras run inline after.
+    let paper_ids: Vec<&str> =
+        ids.iter().copied().filter(|id| ALL_EXPERIMENTS.contains(id)).collect();
+    let t = Instant::now();
+    let paper_reports = run_all(&study, &paper_ids);
+    eprintln!("[{} paper experiment(s) done in {:.1?}]", paper_ids.len(), t.elapsed());
 
     let results = Path::new("results");
     fs::create_dir_all(results).expect("create results/");
+    let mut paper_iter = paper_ids.iter().zip(paper_reports);
     for id in ids {
-        let t = Instant::now();
-        let report = run(id, &bundle)
-            .or_else(|| extras::run(id, &bundle))
-            .expect("id validated above");
+        let report = if ALL_EXPERIMENTS.contains(&id) {
+            paper_iter.next().expect("engine report per paper id").1
+        } else {
+            let t = Instant::now();
+            let r = extras::run(id, &study).expect("id validated above");
+            eprintln!("[{id} done in {:.1?}]", t.elapsed());
+            r
+        };
         println!("{report}");
-        eprintln!("[{id} done in {:.1?}]", t.elapsed());
         fs::write(results.join(format!("{id}.txt")), &report)
             .expect("write results file");
     }

@@ -25,32 +25,45 @@ pub struct Bundle {
     pub uw4_b: Dataset,
 }
 
+/// The five independent dataset families, each generating one or two
+/// sibling datasets on a shared simulated network.
+pub(crate) const FAMILIES: usize = 5;
+
+/// The dataset names family `i` produces, in production order.
+pub(crate) fn family_names(family: usize) -> &'static [&'static str] {
+    match family {
+        0 => &["D2", "D2-NA"],
+        1 => &["N2", "N2-NA"],
+        2 => &["UW1"],
+        3 => &["UW3"],
+        _ => &["UW4-A", "UW4-B"],
+    }
+}
+
+/// Generates one family from scratch.
+pub(crate) fn generate_family(family: usize, scale: Scale) -> Vec<Dataset> {
+    match family {
+        0 => {
+            let (a, b) = d2::generate_with_na(scale);
+            vec![a, b]
+        }
+        1 => {
+            let (a, b) = n2::generate_with_na(scale);
+            vec![a, b]
+        }
+        2 => vec![detour_datasets::generate(&uw1::spec(), scale)],
+        3 => vec![detour_datasets::generate(&uw3::spec(), scale)],
+        _ => {
+            let (a, b) = uw4::generate_both(scale);
+            vec![a, b]
+        }
+    }
+}
+
 impl Bundle {
-    /// Generates every dataset at the given scale.
-    ///
-    /// The five dataset *families* (D2, N2, UW1, UW3, UW4) are independent
-    /// simulations, so they generate on the [`pool`] — sibling pairs stay
-    /// together because they share one simulated network. The merge is
-    /// index-ordered, so the bundle is bit-identical at any thread count.
-    pub fn generate(scale: Scale) -> Bundle {
-        let families: [usize; 5] = [0, 1, 2, 3, 4];
-        let mut built = pool::parallel_map(&families, |&family| match family {
-            0 => {
-                let (a, b) = d2::generate_with_na(scale);
-                vec![a, b]
-            }
-            1 => {
-                let (a, b) = n2::generate_with_na(scale);
-                vec![a, b]
-            }
-            2 => vec![detour_datasets::generate(&uw1::spec(), scale)],
-            3 => vec![detour_datasets::generate(&uw3::spec(), scale)],
-            _ => {
-                let (a, b) = uw4::generate_both(scale);
-                vec![a, b]
-            }
-        })
-        .into_iter();
+    /// Assembles a bundle from the per-family outputs, in family order.
+    pub(crate) fn from_families(built: Vec<Vec<Dataset>>) -> Bundle {
+        let mut built = built.into_iter();
         let mut next = || built.next().expect("five families");
         let (mut d2s, mut n2s, mut uw1s, mut uw3s, mut uw4s) =
             (next(), next(), next(), next(), next());
@@ -64,6 +77,19 @@ impl Bundle {
             uw4_a: uw4s.remove(0),
             uw4_b: uw4s.remove(0),
         }
+    }
+
+    /// Generates every dataset at the given scale.
+    ///
+    /// The five dataset *families* (D2, N2, UW1, UW3, UW4) are independent
+    /// simulations, so they generate on the [`pool`] — sibling pairs stay
+    /// together because they share one simulated network. The merge is
+    /// index-ordered, so the bundle is bit-identical at any thread count.
+    pub fn generate(scale: Scale) -> Bundle {
+        let families: [usize; FAMILIES] = [0, 1, 2, 3, 4];
+        Bundle::from_families(pool::parallel_map(&families, |&family| {
+            generate_family(family, scale)
+        }))
     }
 
     /// Full paper scale.

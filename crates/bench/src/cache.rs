@@ -1,0 +1,181 @@
+//! The on-disk trace cache for generated datasets.
+//!
+//! Dataset generation dominates a cold `figures`/`baseline` run, yet for a
+//! fixed `(spec, seed, scale)` the output is deterministic — so it caches.
+//! Each generated dataset is saved once through the v1 tracefile format
+//! (whose round-trip is lossless: `f64` text round-trips exactly in Rust)
+//! and later runs load it back instead of re-simulating. The cache key is
+//! the file name:
+//!
+//! ```text
+//! {name}-o{seed_offset}-h{hosts|full}-t{time_divisor}.trace
+//! ```
+//!
+//! which covers every generation input: the dataset spec (via its name),
+//! the seed perturbation, and both scale knobs. Files live under a caller
+//! chosen directory (the binaries use `results/cache/`); a missing,
+//! unreadable, or mismatched file is simply a miss, and the family
+//! regenerates and re-saves. Loads and misses are decided per *family* —
+//! sibling datasets (D2/D2-NA, N2/N2-NA, UW4-A/UW4-B) share a simulated
+//! network, so a partial hit would split one simulation across two runs;
+//! instead, a family with any missing member regenerates whole.
+
+use std::path::{Path, PathBuf};
+
+use detour_core::pool;
+use detour_datasets::Scale;
+use detour_measure::{tracefile, Dataset};
+
+use crate::bundle::{family_names, generate_family, Bundle, FAMILIES};
+
+/// Hit/miss counts of one [`Bundle::generate_cached`] call, per dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Datasets loaded from disk.
+    pub hits: usize,
+    /// Datasets regenerated (and re-saved).
+    pub misses: usize,
+}
+
+/// The cache file for one dataset at one scale.
+pub fn cache_path(dir: &Path, name: &str, scale: Scale) -> PathBuf {
+    let hosts =
+        scale.n_hosts.map_or_else(|| "full".to_string(), |n| n.to_string());
+    dir.join(format!(
+        "{name}-o{}-h{hosts}-t{}.trace",
+        scale.seed_offset, scale.time_divisor
+    ))
+}
+
+/// A cached dataset, if present, parseable, and actually the named dataset.
+fn load_cached(dir: &Path, name: &str, scale: Scale) -> Option<Dataset> {
+    let ds = tracefile::load(&cache_path(dir, name, scale)).ok()?;
+    (ds.name == name).then_some(ds)
+}
+
+impl Bundle {
+    /// Like [`Bundle::generate`], but backed by the trace cache in `dir`.
+    ///
+    /// Families whose members are all cached load from disk; the rest
+    /// regenerate and save. Both paths yield byte-identical datasets (the
+    /// tracefile round-trip is lossless), and the per-family fan-out merges
+    /// index-ordered, so the bundle is the same at any thread count whether
+    /// it came from simulation or disk.
+    pub fn generate_cached(scale: Scale, dir: &Path) -> std::io::Result<(Bundle, CacheStats)> {
+        std::fs::create_dir_all(dir)?;
+        let families: [usize; FAMILIES] = [0, 1, 2, 3, 4];
+        let outcomes = pool::parallel_map(&families, |&family| -> std::io::Result<_> {
+            let names = family_names(family);
+            let cached: Option<Vec<Dataset>> =
+                names.iter().map(|n| load_cached(dir, n, scale)).collect();
+            if let Some(dss) = cached {
+                return Ok((dss, names.len(), 0));
+            }
+            let dss = generate_family(family, scale);
+            for ds in &dss {
+                tracefile::save(ds, &cache_path(dir, &ds.name, scale))?;
+            }
+            Ok((dss, 0, names.len()))
+        });
+        let mut stats = CacheStats::default();
+        let mut built = Vec::with_capacity(FAMILIES);
+        for outcome in outcomes {
+            let (dss, hits, misses): (Vec<Dataset>, usize, usize) = outcome?;
+            stats.hits += hits;
+            stats.misses += misses;
+            built.push(dss);
+        }
+        Ok((Bundle::from_families(built), stats))
+    }
+}
+
+/// Deletes every cache file in `dir` (the `--fresh` flag). Missing
+/// directories count as already purged.
+pub fn purge(dir: &Path) -> std::io::Result<usize> {
+    let mut removed = 0;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "trace") {
+            std::fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("detour-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cold_then_warm_round_trips_bit_identically() {
+        let dir = tmp_dir("roundtrip");
+        let scale = Scale::reduced(8, 24);
+        let (cold, s0) = Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!((s0.hits, s0.misses), (0, 8), "empty dir: all misses");
+        let (warm, s1) = Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!((s1.hits, s1.misses), (8, 0), "second run: all hits");
+        for (a, b) in cold.in_table_order().iter().zip(warm.in_table_order()) {
+            assert_eq!(*a, b, "{} changed across the cache", a.name);
+        }
+        // And both match direct generation.
+        let direct = Bundle::generate(scale);
+        assert_eq!(cold.uw3, direct.uw3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn family_names_match_generated_names() {
+        for family in 0..FAMILIES {
+            let dss = generate_family(family, Scale::reduced(6, 48));
+            let names: Vec<&str> = dss.iter().map(|d| d.name.as_str()).collect();
+            assert_eq!(names, family_names(family), "family {family}");
+        }
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_a_miss() {
+        let dir = tmp_dir("corrupt");
+        let scale = Scale::reduced(8, 24);
+        let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        std::fs::write(cache_path(&dir, "UW3", scale), "# detour trace v9\n").unwrap();
+        let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!((stats.hits, stats.misses), (7, 1), "UW3 family regenerates");
+        assert_eq!(again.uw3, reference.uw3, "regeneration restores the dataset");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn different_scales_use_disjoint_keys() {
+        let dir = Path::new("unused");
+        let a = cache_path(dir, "UW3", Scale::reduced(8, 24));
+        let b = cache_path(dir, "UW3", Scale::reduced(9, 24));
+        let c = cache_path(dir, "UW3", Scale::reduced(8, 24).with_seed_offset(1));
+        let d = cache_path(dir, "UW3", Scale::full());
+        assert!(a != b && a != c && a != d && b != c && b != d && c != d);
+    }
+
+    #[test]
+    fn purge_empties_the_cache() {
+        let dir = tmp_dir("purge");
+        let scale = Scale::reduced(8, 24);
+        Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!(purge(&dir).unwrap(), 8);
+        let (_, stats) = Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!(stats.misses, 8, "purged cache regenerates everything");
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(purge(&dir).unwrap(), 0, "missing dir is already purged");
+    }
+}

@@ -1,24 +1,134 @@
-//! One function per paper artifact.
+//! The declarative experiment registry.
 //!
-//! Each experiment consumes the [`crate::Bundle`] of regenerated datasets,
-//! runs the corresponding `detour-core` analysis, and renders a report that
-//! places the paper's published expectation beside the measured value. The
-//! absolute numbers live on a simulated Internet and will not match the
-//! 1995–1999 measurements; the *shapes* — who wins, by what rough factor,
-//! where the crossovers sit — are the reproduction targets (see
-//! EXPERIMENTS.md).
+//! Each paper artifact is one [`Experiment`]: an id, the derived artifacts
+//! it needs (stated as [`Need`]s over the [`DataKey`]/[`MetricKind`]
+//! vocabulary), and a run function over the shared [`Study`]. The engine
+//! ([`run_all`]) resolves the union of the requested experiments' needs,
+//! prebuilds those artifacts in parallel, then fans the experiments out
+//! concurrently — each borrowing the same [`detour_core::AnalysisContext`]s
+//! — and merges reports in request order, so the output is byte-identical
+//! at every thread count (and to the rebuild-per-experiment reference
+//! engine in [`crate::reference`]).
+//!
+//! Each report places the paper's published expectation beside the
+//! measured value. The absolute numbers live on a simulated Internet and
+//! will not match the 1995–1999 measurements; the *shapes* — who wins, by
+//! what rough factor, where the crossovers sit — are the reproduction
+//! targets (see EXPERIMENTS.md).
 
 use detour_core::analysis::{
     aspop, cdf, confidence, contribution, episodes, hostremoval, median, propagation,
     timeofday,
 };
-use detour_core::pool;
-use detour_core::{Loss, LossComposition, MeasurementGraph, Metric, Rtt, SearchDepth};
-use detour_measure::Dataset;
+use detour_core::{
+    pool, AnalysisContext, ArtifactKind, Loss, LossComposition, Metric, MetricKind, Rtt,
+    SearchDepth,
+};
 use detour_stats::ttest::VerdictCounts;
 
-use crate::bundle::Bundle;
 use crate::render::{cdf_grid, check, header, pct};
+use crate::study::{DataKey, Study};
+
+/// One derived artifact an experiment consumes, in registry declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Need {
+    /// The weight matrix of a metric family on a dataset.
+    Weights(DataKey, MetricKind),
+    /// The one-hop bandwidth matrix of a dataset.
+    Bandwidth(DataKey),
+}
+
+impl Need {
+    /// Builds the named artifact in the study (idempotent).
+    pub fn build(&self, study: &Study) {
+        match *self {
+            Need::Weights(key, kind) => study.ctx(key).ensure(ArtifactKind::Weights(kind)),
+            Need::Bandwidth(key) => study.ctx(key).ensure(ArtifactKind::Bandwidth),
+        }
+    }
+}
+
+/// One registered paper artifact.
+pub struct Experiment {
+    /// Identifier ("fig1", "table2", …).
+    pub id: &'static str,
+    /// The derived artifacts the run function touches. The engine
+    /// prebuilds these; anything touched but not declared still works (the
+    /// context builds it lazily) but serializes behind the experiment.
+    pub needs: &'static [Need],
+    /// The report generator.
+    pub run: fn(&Study) -> String,
+}
+
+/// The four datasets of the headline RTT/loss figures, in legend order.
+const HEADLINE: [DataKey; 4] = [DataKey::Uw1, DataKey::Uw3, DataKey::D2Na, DataKey::D2];
+
+const HEADLINE_RTT: &[Need] = &[
+    Need::Weights(DataKey::Uw1, MetricKind::Rtt),
+    Need::Weights(DataKey::Uw3, MetricKind::Rtt),
+    Need::Weights(DataKey::D2Na, MetricKind::Rtt),
+    Need::Weights(DataKey::D2, MetricKind::Rtt),
+];
+
+const HEADLINE_LOSS: &[Need] = &[
+    Need::Weights(DataKey::Uw1, MetricKind::Loss),
+    Need::Weights(DataKey::Uw3, MetricKind::Loss),
+    Need::Weights(DataKey::D2Na, MetricKind::Loss),
+    Need::Weights(DataKey::D2, MetricKind::Loss),
+];
+
+const BANDWIDTH_N2: &[Need] =
+    &[Need::Bandwidth(DataKey::N2), Need::Bandwidth(DataKey::N2Na)];
+
+const UW3_RTT: &[Need] = &[Need::Weights(DataKey::Uw3, MetricKind::Rtt)];
+
+/// Every paper experiment, in paper order.
+pub const REGISTRY: &[Experiment] = &[
+    Experiment { id: "table1", needs: &[], run: table1 },
+    Experiment { id: "fig1", needs: HEADLINE_RTT, run: fig1 },
+    Experiment { id: "fig2", needs: HEADLINE_RTT, run: fig2 },
+    Experiment { id: "fig3", needs: HEADLINE_LOSS, run: fig3 },
+    Experiment { id: "fig4", needs: BANDWIDTH_N2, run: fig4 },
+    Experiment { id: "fig5", needs: BANDWIDTH_N2, run: fig5 },
+    Experiment {
+        id: "fig6",
+        needs: &[Need::Weights(DataKey::D2Na, MetricKind::Rtt)],
+        run: fig6,
+    },
+    Experiment { id: "fig7", needs: UW3_RTT, run: fig7 },
+    Experiment {
+        id: "fig8",
+        needs: &[Need::Weights(DataKey::Uw3, MetricKind::Loss)],
+        run: fig8,
+    },
+    Experiment { id: "table2", needs: HEADLINE_RTT, run: table2 },
+    Experiment { id: "table3", needs: HEADLINE_LOSS, run: table3 },
+    // Figures 9-10 slice the dataset by time of day and rebuild throwaway
+    // per-slice graphs; they use no whole-dataset artifacts.
+    Experiment { id: "fig9", needs: &[], run: fig9 },
+    Experiment { id: "fig10", needs: &[], run: fig10 },
+    Experiment {
+        id: "fig11",
+        needs: &[Need::Weights(DataKey::Uw4B, MetricKind::Rtt)],
+        run: fig11,
+    },
+    Experiment { id: "fig12", needs: UW3_RTT, run: fig12 },
+    Experiment { id: "fig13", needs: UW3_RTT, run: fig13 },
+    Experiment {
+        id: "fig14",
+        needs: &[Need::Weights(DataKey::Uw1, MetricKind::Rtt)],
+        run: fig14,
+    },
+    Experiment {
+        id: "fig15",
+        needs: &[
+            Need::Weights(DataKey::Uw3, MetricKind::PropDelay),
+            Need::Weights(DataKey::Uw3, MetricKind::Rtt),
+        ],
+        run: fig15,
+    },
+    Experiment { id: "fig16", needs: UW3_RTT, run: fig16 },
+];
 
 /// All experiment identifiers, in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
@@ -26,38 +136,53 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 ];
 
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
 /// Dispatches one experiment by id.
-pub fn run(id: &str, bundle: &Bundle) -> Option<String> {
-    Some(match id {
-        "table1" => table1(bundle),
-        "fig1" => fig1(bundle),
-        "fig2" => fig2(bundle),
-        "fig3" => fig3(bundle),
-        "fig4" => fig4(bundle),
-        "fig5" => fig5(bundle),
-        "fig6" => fig6(bundle),
-        "fig7" => fig7(bundle),
-        "fig8" => fig8(bundle),
-        "table2" => table2(bundle),
-        "table3" => table3(bundle),
-        "fig9" => fig9(bundle),
-        "fig10" => fig10(bundle),
-        "fig11" => fig11(bundle),
-        "fig12" => fig12(bundle),
-        "fig13" => fig13(bundle),
-        "fig14" => fig14(bundle),
-        "fig15" => fig15(bundle),
-        "fig16" => fig16(bundle),
-        _ => return None,
+pub fn run(id: &str, study: &Study) -> Option<String> {
+    find(id).map(|e| (e.run)(study))
+}
+
+/// The union of the named experiments' needs, first-use ordered and
+/// deduplicated. Unknown ids contribute nothing.
+pub fn resolve_needs(ids: &[&str]) -> Vec<Need> {
+    let mut union: Vec<Need> = Vec::new();
+    for id in ids {
+        for need in find(id).map_or(&[][..], |e| e.needs) {
+            if !union.contains(need) {
+                union.push(*need);
+            }
+        }
+    }
+    union
+}
+
+/// Builds every artifact in `needs` on the pool. Artifacts are
+/// independent, and `OnceLock` makes each build idempotent, so order does
+/// not matter; afterwards, experiments only ever *read* the caches.
+pub fn prebuild(study: &Study, needs: &[Need]) {
+    pool::parallel_map(needs, |need| need.build(study));
+}
+
+/// The parallel experiment engine: prebuilds the union of artifact needs,
+/// runs the named experiments concurrently over the shared study, and
+/// returns their reports in request order.
+///
+/// # Panics
+/// On an unknown experiment id (callers validate ids against
+/// [`ALL_EXPERIMENTS`] first).
+pub fn run_all(study: &Study, ids: &[&str]) -> Vec<String> {
+    prebuild(study, &resolve_needs(ids));
+    pool::parallel_map(ids, |id| {
+        run(id, study).unwrap_or_else(|| panic!("unknown experiment {id:?}"))
     })
 }
 
-fn graph(ds: &Dataset) -> MeasurementGraph {
-    MeasurementGraph::from_dataset(ds)
-}
-
-fn rtt_comparisons(ds: &Dataset) -> Vec<detour_core::PathComparison> {
-    cdf::compare_all_pairs(&graph(ds), &Rtt, SearchDepth::Unrestricted)
+fn rtt_comparisons(cx: &AnalysisContext) -> Vec<detour_core::PathComparison> {
+    cdf::compare_all_pairs(cx, &Rtt, SearchDepth::Unrestricted)
 }
 
 // ---------------------------------------------------------------------------
@@ -78,7 +203,7 @@ const TABLE1_PAPER: &[(&str, &str, f64, usize, usize, f64)] = &[
 ];
 
 /// Table 1: characteristics of the regenerated datasets vs. the paper's.
-pub fn table1(b: &Bundle) -> String {
+pub fn table1(s: &Study) -> String {
     let mut out = header("Table 1: dataset characteristics");
     out.push_str(&format!(
         "{:<8} {:<11} {:>6} {:>12} {:>10} | {:>6} {:>12} {:>10}\n",
@@ -88,10 +213,10 @@ pub fn table1(b: &Bundle) -> String {
         "{:<8} {:<11} {:>30} | {:>30}\n",
         "", "", "——— paper ———", "—— measured ——"
     ));
-    for (ds, &(name, method, _days, p_hosts, p_meas, p_cov)) in
-        b.in_table_order().iter().zip(TABLE1_PAPER)
+    for (cx, &(name, method, _days, p_hosts, p_meas, p_cov)) in
+        s.in_table_order().iter().zip(TABLE1_PAPER)
     {
-        let c = ds.characteristics();
+        let c = cx.dataset().characteristics();
         out.push_str(&format!(
             "{:<8} {:<11} {:>6} {:>12} {:>9.0}% | {:>6} {:>12} {:>9.1}%\n",
             name, method, p_hosts, p_meas, p_cov, c.hosts, c.measurements, c.coverage_pct
@@ -105,26 +230,26 @@ pub fn table1(b: &Bundle) -> String {
 // ---------------------------------------------------------------------------
 
 /// Figure 1: CDF of mean-RTT difference (default − best alternate).
-pub fn fig1(b: &Bundle) -> String {
+pub fn fig1(s: &Study) -> String {
     let mut out = header("Figure 1: RTT improvement CDF (UW1, UW3, D2-NA, D2)");
-    let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
     // The four datasets analyze independently; the pool merges in input
     // order so the report is identical at any thread count.
-    let comparisons = pool::parallel_map(&sets, |ds| rtt_comparisons(ds));
+    let comparisons = pool::parallel_map(&HEADLINE, |&key| rtt_comparisons(s.ctx(key)));
     let mut curves = Vec::new();
-    for (ds, cs) in sets.iter().zip(&comparisons) {
-        let s = cdf::summarize(&cs, 20.0);
+    for (&key, cs) in HEADLINE.iter().zip(&comparisons) {
+        let name = &s.ctx(key).dataset().name;
+        let summary = cdf::summarize(cs, 20.0);
         out.push_str(&check(
-            &format!("{}: fraction with a faster alternate", ds.name),
+            &format!("{name}: fraction with a faster alternate"),
             "30-55%",
-            pct(s.frac_better),
+            pct(summary.frac_better),
         ));
         out.push_str(&check(
-            &format!("{}: fraction improved >= 20 ms", ds.name),
+            &format!("{name}: fraction improved >= 20 ms"),
             "a smaller fraction",
-            pct(s.frac_significantly_better),
+            pct(summary.frac_significantly_better),
         ));
-        curves.push((ds.name.clone(), cdf::improvement_cdf(cs)));
+        curves.push((name.clone(), cdf::improvement_cdf(cs)));
     }
     let refs: Vec<(&str, &detour_stats::Cdf)> =
         curves.iter().map(|(n, c)| (n.as_str(), c)).collect();
@@ -133,19 +258,19 @@ pub fn fig1(b: &Bundle) -> String {
 }
 
 /// Figure 2: CDF of the RTT ratio (default / best alternate).
-pub fn fig2(b: &Bundle) -> String {
+pub fn fig2(s: &Study) -> String {
     let mut out = header("Figure 2: relative RTT improvement (UW1, UW3, D2-NA, D2)");
-    let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
-    let comparisons = pool::parallel_map(&sets, |ds| rtt_comparisons(ds));
+    let comparisons = pool::parallel_map(&HEADLINE, |&key| rtt_comparisons(s.ctx(key)));
     let mut curves = Vec::new();
-    for (ds, cs) in sets.iter().zip(&comparisons) {
+    for (&key, cs) in HEADLINE.iter().zip(&comparisons) {
+        let name = &s.ctx(key).dataset().name;
         let ratios = cdf::ratio_cdf(cs);
         out.push_str(&check(
-            &format!("{}: fraction with >= 50% better latency", ds.name),
+            &format!("{name}: fraction with >= 50% better latency"),
             "~10%",
             pct(ratios.fraction_above(1.5)),
         ));
-        curves.push((ds.name.clone(), ratios));
+        curves.push((name.clone(), ratios));
     }
     // The paper notes the D2 vs D2-NA imbalance "largely disappears" in
     // relative terms — visible in the grid below.
@@ -156,26 +281,26 @@ pub fn fig2(b: &Bundle) -> String {
 }
 
 /// Figure 3: CDF of the mean-loss-rate difference.
-pub fn fig3(b: &Bundle) -> String {
+pub fn fig3(s: &Study) -> String {
     let mut out = header("Figure 3: loss-rate improvement CDF (UW1, UW3, D2-NA, D2)");
-    let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
-    let comparisons = pool::parallel_map(&sets, |ds| {
-        cdf::compare_all_pairs(&graph(ds), &Loss, SearchDepth::Unrestricted)
+    let comparisons = pool::parallel_map(&HEADLINE, |&key| {
+        cdf::compare_all_pairs(s.ctx(key), &Loss, SearchDepth::Unrestricted)
     });
     let mut curves = Vec::new();
-    for (ds, cs) in sets.iter().zip(&comparisons) {
-        let s = cdf::summarize(cs, 0.05);
+    for (&key, cs) in HEADLINE.iter().zip(&comparisons) {
+        let name = &s.ctx(key).dataset().name;
+        let summary = cdf::summarize(cs, 0.05);
         out.push_str(&check(
-            &format!("{}: fraction with a lower-loss alternate", ds.name),
+            &format!("{name}: fraction with a lower-loss alternate"),
             "75-85%",
-            pct(s.frac_better),
+            pct(summary.frac_better),
         ));
         out.push_str(&check(
-            &format!("{}: fraction improved >= 5 pct points", ds.name),
+            &format!("{name}: fraction improved >= 5 pct points"),
             "5-50% (D2 highest)",
-            pct(s.frac_significantly_better),
+            pct(summary.frac_significantly_better),
         ));
-        curves.push((ds.name.clone(), cdf::improvement_cdf(cs)));
+        curves.push((name.clone(), cdf::improvement_cdf(cs)));
     }
     let refs: Vec<(&str, &detour_stats::Cdf)> =
         curves.iter().map(|(n, c)| (n.as_str(), c)).collect();
@@ -189,20 +314,21 @@ pub fn fig3(b: &Bundle) -> String {
 
 /// Figure 4: CDF of the bandwidth difference (best one-hop alternate −
 /// default), optimistic and pessimistic loss composition.
-pub fn fig4(b: &Bundle) -> String {
+pub fn fig4(s: &Study) -> String {
     let mut out = header("Figure 4: bandwidth improvement CDF (N2, N2-NA)");
     let mut curves = Vec::new();
-    for ds in [&b.n2, &b.n2_na] {
-        let g = graph(ds);
+    for key in [DataKey::N2, DataKey::N2Na] {
+        let cx = s.ctx(key);
+        let name = &cx.dataset().name;
         for mode in [LossComposition::Pessimistic, LossComposition::Optimistic] {
-            let cs = cdf::compare_all_pairs_bandwidth(&g, mode);
+            let cs = cdf::compare_all_pairs_bandwidth(cx, mode);
             let c = cdf::improvement_cdf(&cs);
             out.push_str(&check(
-                &format!("{} {}: fraction with more bandwidth", ds.name, mode.label()),
+                &format!("{name} {}: fraction with more bandwidth", mode.label()),
                 "70-80%",
                 pct(c.fraction_above(0.0)),
             ));
-            curves.push((format!("{} {}", ds.name, mode.label()), c));
+            curves.push((format!("{name} {}", mode.label()), c));
         }
     }
     let refs: Vec<(&str, &detour_stats::Cdf)> =
@@ -212,20 +338,21 @@ pub fn fig4(b: &Bundle) -> String {
 }
 
 /// Figure 5: CDF of the bandwidth ratio (alternate / default).
-pub fn fig5(b: &Bundle) -> String {
+pub fn fig5(s: &Study) -> String {
     let mut out = header("Figure 5: relative bandwidth improvement (N2, N2-NA)");
     let mut curves = Vec::new();
-    for ds in [&b.n2, &b.n2_na] {
-        let g = graph(ds);
+    for key in [DataKey::N2, DataKey::N2Na] {
+        let cx = s.ctx(key);
+        let name = &cx.dataset().name;
         for mode in [LossComposition::Pessimistic, LossComposition::Optimistic] {
-            let cs = cdf::compare_all_pairs_bandwidth(&g, mode);
+            let cs = cdf::compare_all_pairs_bandwidth(cx, mode);
             let ratios = cdf::ratio_cdf(&cs);
             out.push_str(&check(
-                &format!("{} {}: fraction with >= 3x bandwidth", ds.name, mode.label()),
+                &format!("{name} {}: fraction with >= 3x bandwidth", mode.label()),
                 "10-20%",
                 pct(ratios.fraction_above(3.0)),
             ));
-            curves.push((format!("{} {}", ds.name, mode.label()), ratios));
+            curves.push((format!("{name} {}", mode.label()), ratios));
         }
     }
     let refs: Vec<(&str, &detour_stats::Cdf)> =
@@ -240,10 +367,9 @@ pub fn fig5(b: &Bundle) -> String {
 
 /// Figure 6: mean-based vs convolved-median-based improvement (D2-NA,
 /// one-hop alternates).
-pub fn fig6(b: &Bundle) -> String {
+pub fn fig6(s: &Study) -> String {
     let mut out = header("Figure 6: mean vs median RTT improvement (D2-NA, one-hop)");
-    let g = graph(&b.d2_na);
-    let cmp = median::analyze(&g);
+    let cmp = median::analyze(s.ctx(DataKey::D2Na));
     let gap = median::max_cdf_gap(&cmp, -50.0, 150.0, 200);
     // The paper's "negligible difference" is a visual judgment on a
     // ~200 ms-wide axis, so report the *horizontal* displacement between
@@ -287,9 +413,8 @@ pub fn fig6(b: &Bundle) -> String {
 // Figures 7-8 and Tables 2-3 — confidence intervals
 // ---------------------------------------------------------------------------
 
-fn interval_report(ds: &Dataset, metric: &impl Metric, unit: &str) -> String {
-    let g = graph(ds);
-    let series = confidence::interval_cdf_series(&g, metric, 0.95);
+fn interval_report(cx: &AnalysisContext, metric: &impl Metric, unit: &str) -> String {
+    let series = confidence::interval_cdf_series(cx, metric, 0.95);
     let mut out = String::new();
     out.push_str(&format!(
         "{:>12} {:>10} {:>12}   ({} improvement, every 8th path)\n",
@@ -304,26 +429,26 @@ fn interval_report(ds: &Dataset, metric: &impl Metric, unit: &str) -> String {
 }
 
 /// Figure 7: the Figure-1 CDF for UW3 with 95 % confidence error bars.
-pub fn fig7(b: &Bundle) -> String {
+pub fn fig7(s: &Study) -> String {
     let mut out = header("Figure 7: RTT improvement with 95% CIs (UW3)");
     out.push_str(&check(
         "most paths have relatively tight error bounds",
         "yes",
         "see half-widths below".to_string(),
     ));
-    out.push_str(&interval_report(&b.uw3, &Rtt, "ms"));
+    out.push_str(&interval_report(s.ctx(DataKey::Uw3), &Rtt, "ms"));
     out
 }
 
 /// Figure 8: the loss-rate CDF for UW3 with 95 % confidence error bars.
-pub fn fig8(b: &Bundle) -> String {
+pub fn fig8(s: &Study) -> String {
     let mut out = header("Figure 8: loss improvement with 95% CIs (UW3)");
     out.push_str(&check(
         "loss error bars are wider than RTT's (binary samples)",
         "yes",
         "see half-widths below".to_string(),
     ));
-    out.push_str(&interval_report(&b.uw3, &Loss, "rate"));
+    out.push_str(&interval_report(s.ctx(DataKey::Uw3), &Loss, "rate"));
     out
 }
 
@@ -337,7 +462,7 @@ fn verdict_row(name: &str, counts: &VerdictCounts, with_zero: bool) -> String {
 }
 
 /// Table 2: t-test classification for round-trip time.
-pub fn table2(b: &Bundle) -> String {
+pub fn table2(s: &Study) -> String {
     let mut out = header("Table 2: RTT t-test at 95% (UW1, UW3, D2-NA, D2)");
     out.push_str(&check(
         "alternate significantly better",
@@ -348,27 +473,27 @@ pub fn table2(b: &Bundle) -> String {
         "{:<8} {:>9} {:>15} {:>8}\n",
         "dataset", "better", "indeterminate", "worse"
     ));
-    let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
-    let counts =
-        pool::parallel_map(&sets, |ds| confidence::verdict_table(&graph(ds), &Rtt, 0.95));
-    for (ds, c) in sets.iter().zip(&counts) {
-        out.push_str(&verdict_row(&ds.name, c, false));
+    let counts = pool::parallel_map(&HEADLINE, |&key| {
+        confidence::verdict_table(s.ctx(key), &Rtt, 0.95)
+    });
+    for (&key, c) in HEADLINE.iter().zip(&counts) {
+        out.push_str(&verdict_row(&s.ctx(key).dataset().name, c, false));
     }
     out
 }
 
 /// Table 3: t-test classification for loss rate (with the "zero" bucket).
-pub fn table3(b: &Bundle) -> String {
+pub fn table3(s: &Study) -> String {
     let mut out = header("Table 3: loss t-test at 95% (UW1, UW3, D2-NA, D2)");
     out.push_str(&format!(
         "{:<8} {:>9} {:>15} {:>8} {:>7}\n",
         "dataset", "better", "indeterminate", "worse", "zero"
     ));
-    let sets = [&b.uw1, &b.uw3, &b.d2_na, &b.d2];
-    let counts =
-        pool::parallel_map(&sets, |ds| confidence::verdict_table(&graph(ds), &Loss, 0.95));
-    for (ds, c) in sets.iter().zip(&counts) {
-        out.push_str(&verdict_row(&ds.name, c, true));
+    let counts = pool::parallel_map(&HEADLINE, |&key| {
+        confidence::verdict_table(s.ctx(key), &Loss, 0.95)
+    });
+    for (&key, c) in HEADLINE.iter().zip(&counts) {
+        out.push_str(&verdict_row(&s.ctx(key).dataset().name, c, true));
     }
     out
 }
@@ -377,8 +502,8 @@ pub fn table3(b: &Bundle) -> String {
 // Figures 9-10 — time of day
 // ---------------------------------------------------------------------------
 
-fn timeofday_report(ds: &Dataset, metric: &impl Metric, lo: f64, hi: f64) -> String {
-    let slices = timeofday::improvement_by_slice(ds, metric, SearchDepth::Unrestricted);
+fn timeofday_report(cx: &AnalysisContext, metric: &impl Metric, lo: f64, hi: f64) -> String {
+    let slices = timeofday::improvement_by_slice(cx, metric, SearchDepth::Unrestricted);
     let mut out = String::new();
     for (slice, cdf) in &slices {
         out.push_str(&format!(
@@ -396,26 +521,26 @@ fn timeofday_report(ds: &Dataset, metric: &impl Metric, lo: f64, hi: f64) -> Str
 }
 
 /// Figure 9: RTT improvement by time of day (UW3).
-pub fn fig9(b: &Bundle) -> String {
+pub fn fig9(s: &Study) -> String {
     let mut out = header("Figure 9: RTT improvement by time of day (UW3)");
     out.push_str(&check(
         "effect occurs in every slice; strongest 06-12 PST",
         "yes",
         "see slice medians".to_string(),
     ));
-    out.push_str(&timeofday_report(&b.uw3, &Rtt, -50.0, 100.0));
+    out.push_str(&timeofday_report(s.ctx(DataKey::Uw3), &Rtt, -50.0, 100.0));
     out
 }
 
 /// Figure 10: loss improvement by time of day (UW3).
-pub fn fig10(b: &Bundle) -> String {
+pub fn fig10(s: &Study) -> String {
     let mut out = header("Figure 10: loss improvement by time of day (UW3)");
     out.push_str(&check(
         "effect occurs in every slice; weekend/night weakest",
         "yes",
         "see slice medians".to_string(),
     ));
-    out.push_str(&timeofday_report(&b.uw3, &Loss, -0.05, 0.15));
+    out.push_str(&timeofday_report(s.ctx(DataKey::Uw3), &Loss, -0.05, 0.15));
     out
 }
 
@@ -424,9 +549,9 @@ pub fn fig10(b: &Bundle) -> String {
 // ---------------------------------------------------------------------------
 
 /// Figure 11: UW4-B time-averaged vs UW4-A pair-averaged vs unaveraged.
-pub fn fig11(b: &Bundle) -> String {
+pub fn fig11(s: &Study) -> String {
     let mut out = header("Figure 11: long-term average vs simultaneous (UW4)");
-    let a = episodes::analyze(&b.uw4_a, &b.uw4_b, &Rtt);
+    let a = episodes::analyze(s.ctx(DataKey::Uw4A), s.ctx(DataKey::Uw4B), &Rtt);
     out.push_str(&format!("  episodes analyzed: {}\n", a.episodes));
     out.push_str(&check(
         "simultaneous finds (slightly) more improvement",
@@ -464,10 +589,9 @@ pub fn fig11(b: &Bundle) -> String {
 // ---------------------------------------------------------------------------
 
 /// Figure 12: greedy removal of the "top ten" hosts (UW3, RTT).
-pub fn fig12(b: &Bundle) -> String {
+pub fn fig12(s: &Study) -> String {
     let mut out = header("Figure 12: removing the top-ten hosts (UW3)");
-    let g = graph(&b.uw3);
-    let a = hostremoval::greedy_removal(&g, &Rtt, 10);
+    let a = hostremoval::greedy_removal(s.ctx(DataKey::Uw3), &Rtt, 10);
     let (before, after) = hostremoval::improved_fractions(&a);
     out.push_str(&format!("  removed hosts: {:?}\n", a.removed));
     out.push_str(&check(
@@ -485,10 +609,9 @@ pub fn fig12(b: &Bundle) -> String {
 }
 
 /// Figure 13: normalized per-host improvement contribution (UW3, RTT).
-pub fn fig13(b: &Bundle) -> String {
+pub fn fig13(s: &Study) -> String {
     let mut out = header("Figure 13: per-host improvement contribution (UW3)");
-    let g = graph(&b.uw3);
-    let a = contribution::analyze(&g, &Rtt);
+    let a = contribution::analyze(s.ctx(DataKey::Uw3), &Rtt);
     out.push_str(&check(
         "no heavy tail (no host with an outsized contribution)",
         "max share far below 1",
@@ -499,10 +622,9 @@ pub fn fig13(b: &Bundle) -> String {
 }
 
 /// Figure 14: AS appearances in default vs best alternate paths (UW1, RTT).
-pub fn fig14(b: &Bundle) -> String {
+pub fn fig14(s: &Study) -> String {
     let mut out = header("Figure 14: AS scatter, default vs alternate (UW1)");
-    let g = graph(&b.uw1);
-    let pts = aspop::analyze(&g, &Rtt);
+    let pts = aspop::analyze(s.ctx(DataKey::Uw1), &Rtt);
     out.push_str(&check(
         "no AS substantially over-represented on either axis",
         "points hug the diagonal",
@@ -527,10 +649,9 @@ pub fn fig14(b: &Bundle) -> String {
 // ---------------------------------------------------------------------------
 
 /// Figure 15: propagation-delay improvement CDF vs the mean-RTT CDF (UW3).
-pub fn fig15(b: &Bundle) -> String {
+pub fn fig15(s: &Study) -> String {
     let mut out = header("Figure 15: propagation vs mean-RTT improvement (UW3)");
-    let g = graph(&b.uw3);
-    let c = propagation::propagation_cdfs(&g);
+    let c = propagation::propagation_cdfs(s.ctx(DataKey::Uw3));
     out.push_str(&check(
         "superior alternates exist by propagation delay alone",
         "~50% of paths",
@@ -556,10 +677,9 @@ pub fn fig15(b: &Bundle) -> String {
 
 /// Figure 16: Δtotal vs Δpropagation decomposition and six-group census
 /// (UW3).
-pub fn fig16(b: &Bundle) -> String {
+pub fn fig16(s: &Study) -> String {
     let mut out = header("Figure 16: propagation/queuing decomposition (UW3)");
-    let g = graph(&b.uw3);
-    let d = propagation::decompose(&g);
+    let d = propagation::decompose(s.ctx(DataKey::Uw3));
     out.push_str(&format!("  groups 1..6: {:?}  (n = {})\n", d.group_counts, d.points.len()));
     out.push_str(&check(
         "group 3 nearly empty (few default wins with worse prop)",
@@ -587,20 +707,64 @@ pub fn fig16(b: &Bundle) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Bundle;
     use detour_datasets::Scale;
 
     #[test]
-    fn every_experiment_runs_on_a_reduced_bundle() {
-        let b = Bundle::generate(Scale::reduced(8, 24));
+    fn registry_matches_id_list_in_order() {
+        let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+        assert_eq!(ids, ALL_EXPERIMENTS);
+    }
+
+    #[test]
+    fn every_experiment_runs_on_a_reduced_study() {
+        let s = Study::from_bundle(Bundle::generate(Scale::reduced(8, 24)));
         for id in ALL_EXPERIMENTS {
-            let report = run(id, &b).unwrap_or_else(|| panic!("unknown id {id}"));
+            let report = run(id, &s).unwrap_or_else(|| panic!("unknown id {id}"));
             assert!(report.len() > 50, "{id} report suspiciously short:\n{report}");
         }
     }
 
     #[test]
     fn unknown_ids_return_none() {
-        let b = Bundle::generate(Scale::reduced(8, 24));
-        assert!(run("fig99", &b).is_none());
+        let s = Study::from_bundle(Bundle::generate(Scale::reduced(8, 24)));
+        assert!(run("fig99", &s).is_none());
+    }
+
+    #[test]
+    fn needs_union_dedups_in_first_use_order() {
+        let needs = resolve_needs(&["fig1", "fig2", "fig12", "nonsense"]);
+        assert_eq!(
+            needs,
+            vec![
+                Need::Weights(DataKey::Uw1, MetricKind::Rtt),
+                Need::Weights(DataKey::Uw3, MetricKind::Rtt),
+                Need::Weights(DataKey::D2Na, MetricKind::Rtt),
+                Need::Weights(DataKey::D2, MetricKind::Rtt),
+            ]
+        );
+    }
+
+    #[test]
+    fn engine_prebuilds_exactly_the_declared_artifacts() {
+        let s = Study::from_bundle(Bundle::generate(Scale::reduced(8, 24)));
+        // Eight contexts eagerly build table + graph each.
+        assert_eq!(s.artifact_builds(), 16);
+        let reports = run_all(&s, &["fig1", "fig2"]);
+        assert_eq!(reports.len(), 2);
+        // fig1 + fig2 share the same four RTT matrices; nothing builds twice.
+        assert_eq!(s.artifact_builds(), 20);
+        run_all(&s, &["fig1"]);
+        assert_eq!(s.artifact_builds(), 20, "warm rerun builds nothing");
+    }
+
+    #[test]
+    fn engine_report_matches_sequential_runs() {
+        let s = Study::from_bundle(Bundle::generate(Scale::reduced(8, 24)));
+        let ids = ["table1", "fig1", "fig9"];
+        let engine = run_all(&s, &ids);
+        for (id, report) in ids.iter().zip(&engine) {
+            assert_eq!(run(id, &s).as_deref(), Some(report.as_str()), "{id}");
+        }
     }
 }

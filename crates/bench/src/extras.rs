@@ -4,27 +4,27 @@
 
 use detour_core::analysis::cdf::{compare_all_pairs, improvement_cdf, ratio_cdf};
 use detour_core::analysis::{asymmetry, prevalence};
-use detour_core::{MeasurementGraph, Rtt, SearchDepth};
+use detour_core::{AnalysisContext, Rtt, SearchDepth};
 use detour_datasets::{generate_on, uw3, Scale};
 use detour_netsim::sim::clock::SimTime;
 use detour_netsim::{Era, HostId, Network, NetworkConfig, RoutingMode};
 use detour_overlay::{evaluate, EvalConfig, Overlay, OverlayConfig};
 use detour_prng::Xoshiro256pp;
 
-use crate::bundle::Bundle;
 use crate::render::{check, header, pct};
+use crate::study::{DataKey, Study};
 
 /// Extra experiment identifiers.
 pub const EXTRA_EXPERIMENTS: &[&str] =
     &["asymmetry", "prevalence", "independence", "sensitivity", "ablation", "overlay"];
 
 /// Dispatches one extra experiment by id.
-pub fn run(id: &str, bundle: &Bundle) -> Option<String> {
+pub fn run(id: &str, study: &Study) -> Option<String> {
     Some(match id {
-        "asymmetry" => asymmetry_report(bundle),
-        "prevalence" => prevalence_report(bundle),
-        "independence" => independence_report(bundle),
-        "sensitivity" => sensitivity_report(bundle),
+        "asymmetry" => asymmetry_report(study),
+        "prevalence" => prevalence_report(study),
+        "independence" => independence_report(study),
+        "sensitivity" => sensitivity_report(study),
         "ablation" => ablation_report(),
         "overlay" => overlay_report(),
         _ => return None,
@@ -32,18 +32,20 @@ pub fn run(id: &str, bundle: &Bundle) -> Option<String> {
 }
 
 /// Temporal-dependence audit of the paper's §4.1 independence assumption.
-fn independence_report(b: &Bundle) -> String {
+fn independence_report(s: &Study) -> String {
     use detour_core::analysis::independence;
     let mut out = header("Extra: sample-independence audit (paper 4.1 assumption)");
-    for ds in [&b.uw3, &b.d2] {
-        let r = independence::analyze(ds);
+    for key in [DataKey::Uw3, DataKey::D2] {
+        let cx = s.ctx(key);
+        let name = &cx.dataset().name;
+        let r = independence::analyze(cx);
         out.push_str(&check(
-            &format!("{}: median lag-1 autocorrelation of per-path RTTs", ds.name),
+            &format!("{name}: median lag-1 autocorrelation of per-path RTTs"),
             "positive (diurnal drift)",
             format!("{:+.2}", r.median_lag1()),
         ));
         out.push_str(&check(
-            &format!("{}: median effective/nominal sample-size ratio", ds.name),
+            &format!("{name}: median effective/nominal sample-size ratio"),
             "< 1 (CIs optimistic)",
             format!("{:.2}", r.median_ess_ratio()),
         ));
@@ -55,11 +57,10 @@ fn independence_report(b: &Bundle) -> String {
 }
 
 /// Fragility of the best alternate (paper 6.4's instability, k-best view).
-fn sensitivity_report(b: &Bundle) -> String {
+fn sensitivity_report(s: &Study) -> String {
     use detour_core::analysis::sensitivity;
     let mut out = header("Extra: best-alternate sensitivity (k-best view)");
-    let g = MeasurementGraph::from_dataset(&b.uw3);
-    let r = sensitivity::analyze(&g, &Rtt);
+    let r = sensitivity::analyze(s.ctx(DataKey::Uw3), &Rtt);
     out.push_str(&check(
         "pairs with a second distinct alternate",
         "nearly all",
@@ -79,13 +80,13 @@ fn sensitivity_report(b: &Bundle) -> String {
 }
 
 /// Routing asymmetry (Paxson 1996, cited in paper §2).
-fn asymmetry_report(b: &Bundle) -> String {
+fn asymmetry_report(s: &Study) -> String {
     let mut out = header("Extra: routing asymmetry (Paxson-96 phenomenon)");
-    for ds in [&b.uw3, &b.uw1, &b.d2] {
-        let g = MeasurementGraph::from_dataset(ds);
-        let r = asymmetry::analyze(&g);
+    for key in [DataKey::Uw3, DataKey::Uw1, DataKey::D2] {
+        let cx = s.ctx(key);
+        let r = asymmetry::analyze(cx);
         out.push_str(&check(
-            &format!("{}: fraction of pairs with asymmetric AS routes", ds.name),
+            &format!("{}: fraction of pairs with asymmetric AS routes", cx.dataset().name),
             "large (Pax96: ~50% host-pair granularity)",
             format!(
                 "{} of {} bidirectional pairs",
@@ -101,17 +102,19 @@ fn asymmetry_report(b: &Bundle) -> String {
 }
 
 /// Route prevalence (Paxson 1996: paths dominated by a single route).
-fn prevalence_report(b: &Bundle) -> String {
+fn prevalence_report(s: &Study) -> String {
     let mut out = header("Extra: route prevalence (Paxson-96 phenomenon)");
-    for ds in [&b.uw3, &b.d2] {
-        let r = prevalence::analyze(ds);
+    for key in [DataKey::Uw3, DataKey::D2] {
+        let cx = s.ctx(key);
+        let name = &cx.dataset().name;
+        let r = prevalence::analyze(cx);
         out.push_str(&check(
-            &format!("{}: pairs dominated (>=90%) by one route", ds.name),
+            &format!("{name}: pairs dominated (>=90%) by one route"),
             "the vast majority",
             pct(r.dominated_fraction(0.9)),
         ));
         out.push_str(&check(
-            &format!("{}: pairs that ever saw a second route", ds.name),
+            &format!("{name}: pairs that ever saw a second route"),
             "a minority (route flaps)",
             format!("{} of {}", r.fluctuating_pairs(), r.dominance.len()),
         ));
@@ -137,8 +140,8 @@ fn ablation_report() -> String {
         cfg.mode = mode;
         let net = Network::generate(&cfg);
         let ds = generate_on(&net, &spec, Scale::reduced(22, 4));
-        let g = MeasurementGraph::from_dataset(&ds);
-        let cs = compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted);
+        let cx = AnalysisContext::from_dataset(&ds);
+        let cs = compare_all_pairs(&cx, &Rtt, SearchDepth::Unrestricted);
         let cdf = improvement_cdf(&cs);
         let ratios = ratio_cdf(&cs);
         out.push_str(&format!(
@@ -225,9 +228,9 @@ mod tests {
 
     #[test]
     fn extra_experiments_run() {
-        let b = Bundle::generate(Scale::reduced(8, 24));
+        let s = Study::from_bundle(crate::Bundle::generate(Scale::reduced(8, 24)));
         for id in EXTRA_EXPERIMENTS {
-            let r = run(id, &b).unwrap_or_else(|| panic!("unknown {id}"));
+            let r = run(id, &s).unwrap_or_else(|| panic!("unknown {id}"));
             assert!(r.len() > 60, "{id}:\n{r}");
         }
     }

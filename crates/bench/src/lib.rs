@@ -5,27 +5,41 @@
 //!
 //! * [`bundle`] — generates the eight Table-1 datasets, sharing simulations
 //!   between siblings (D2/D2-NA, N2/N2-NA, UW4-A/UW4-B);
+//! * [`cache`] — the on-disk trace cache: generated datasets round-trip
+//!   through the v1 tracefile format under `results/cache/`, keyed by
+//!   (spec, seed, scale), so warm runs skip the simulator entirely;
+//! * [`study`] — one shared `AnalysisContext` per dataset: pair tables,
+//!   graphs, and weight matrices build once and every experiment borrows
+//!   them;
 //! * [`render`] — plain-text rendering of CDFs, tables, and scatters;
-//! * [`experiments`] — one function per paper artifact, each returning a
-//!   report that states the paper's expectation next to the measured value;
+//! * [`experiments`] — the declarative registry: one [`Experiment`] per
+//!   paper artifact stating the derived artifacts it needs; the engine
+//!   prebuilds the union and fans experiments out in parallel with
+//!   request-ordered (byte-identical) report merging;
 //! * [`extras`] — beyond-the-paper experiments: Paxson-phenomenon checks,
 //!   the routing-policy ablation, and the overlay evaluation;
 //! * [`harness`] — the dependency-free micro-benchmark harness the
 //!   `benches/` binaries and the `baseline` binary run on (warm-up,
 //!   batched median-of-N timing, JSON-lines output);
-//! * [`reference`] — the pre-kernel edge-walk search and clone-rebuild
-//!   greedy loop, preserved verbatim so the benches can measure the flat
-//!   weight-matrix kernel against the exact code it replaced.
+//! * [`reference`] — the pre-kernel edge-walk search, the clone-rebuild
+//!   greedy loop, and the rebuild-per-experiment engine, preserved so the
+//!   benches and equivalence tests can measure the shared-artifact engine
+//!   against the exact behaviour it replaced.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bundle;
+pub mod cache;
 pub mod experiments;
 pub mod extras;
 pub mod harness;
 pub mod reference;
 pub mod render;
+pub mod study;
 
 pub use bundle::Bundle;
+pub use cache::CacheStats;
+pub use experiments::{Experiment, Need};
 pub use harness::Bench;
+pub use study::{DataKey, Study};

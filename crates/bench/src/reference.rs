@@ -17,6 +17,19 @@ use detour_core::metric::Metric;
 use detour_core::{pool, MeasurementGraph, Pair, PathComparison};
 use detour_measure::HostId;
 
+use crate::study::Study;
+
+/// The pre-refactor experiment engine: run one experiment against a study
+/// whose artifact caches start *empty*, so every pair table, graph, and
+/// weight matrix rebuilds from the shared datasets — exactly what each
+/// experiment paid before the build-once [`detour_core::AnalysisContext`].
+/// The equivalence tests and the `baseline` binary byte-compare the shared
+/// engine's reports against this at every thread count.
+pub fn run_rebuild(id: &str, study: &Study) -> Option<String> {
+    let fresh = study.rebuild_fresh();
+    crate::experiments::run(id, &fresh).or_else(|| crate::extras::run(id, &fresh))
+}
+
 /// The pre-change unrestricted search: dense Dijkstra walking graph edges
 /// through `edge_by_index`, re-deriving each weight via `Metric::weight` at
 /// every relaxation and allocating its working state per call.
@@ -114,7 +127,7 @@ pub fn clone_rebuild_greedy(
         for &h in current.hosts() {
             let candidate = current.without_host(h);
             let pos = cdf_position(&candidate, metric);
-            if best.map_or(true, |(b, bh)| pos < b || (pos == b && h < bh)) {
+            if best.is_none_or(|(b, bh)| pos < b || (pos == b && h < bh)) {
                 best = Some((pos, h));
             }
         }
@@ -129,9 +142,9 @@ pub fn clone_rebuild_greedy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use detour_core::analysis::cdf::compare_all_pairs;
+    use detour_core::analysis::cdf::compare_graph;
     use detour_core::analysis::hostremoval::greedy_removal;
-    use detour_core::{Rtt, SearchDepth};
+    use detour_core::{AnalysisContext, Rtt, SearchDepth};
     use detour_datasets::DatasetId;
 
     /// The whole point of keeping the reference: it must agree with the
@@ -143,13 +156,14 @@ mod tests {
     fn reference_matches_kernel_exactly() {
         for n in [9usize, 12, 16] {
             let ds = DatasetId::Uw3.generate_scaled(n, 32);
-            let g = MeasurementGraph::from_dataset(&ds);
+            let cx = AnalysisContext::from_dataset(&ds);
+            let g = cx.graph();
             assert_eq!(
-                edge_walk_sweep(&g, &Rtt),
-                compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted)
+                edge_walk_sweep(g, &Rtt),
+                compare_graph(g, &Rtt, SearchDepth::Unrestricted)
             );
-            let a = clone_rebuild_greedy(&g, &Rtt, 3);
-            let b = greedy_removal(&g, &Rtt, 3);
+            let a = clone_rebuild_greedy(g, &Rtt, 3);
+            let b = greedy_removal(&cx, &Rtt, 3);
             assert_eq!(a.removed, b.removed, "n={n}");
             assert_eq!(
                 a.reduced.fraction_above(0.0).to_bits(),

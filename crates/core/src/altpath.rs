@@ -323,6 +323,7 @@ mod tests {
         let n = g.len();
         let mut best: Option<f64> = None;
         // DFS over simple paths.
+        #[allow(clippy::too_many_arguments)]
         fn dfs(
             g: &MeasurementGraph,
             cur: usize,
@@ -334,7 +335,7 @@ mod tests {
             first_step: bool,
         ) {
             if cur == d {
-                if best.map_or(true, |b| cost < b) {
+                if best.is_none_or(|b| cost < b) {
                     *best = Some(cost);
                 }
                 return;

@@ -13,7 +13,7 @@ use std::collections::{HashMap, HashSet};
 
 use crate::altpath::SearchDepth;
 use crate::analysis::cdf::compare_all_pairs;
-use crate::graph::MeasurementGraph;
+use crate::context::AnalysisContext;
 use crate::metric::Metric;
 
 /// One scatter point: an AS's appearance counts.
@@ -28,7 +28,8 @@ pub struct AsPoint {
 }
 
 /// Computes the Figure-14 scatter for `metric`-selected alternates.
-pub fn analyze(graph: &MeasurementGraph, metric: &impl Metric) -> Vec<AsPoint> {
+pub fn analyze(cx: &AnalysisContext, metric: &impl Metric) -> Vec<AsPoint> {
+    let graph = cx.graph();
     let mut default_counts: HashMap<u16, usize> = HashMap::new();
     let mut alternate_counts: HashMap<u16, usize> = HashMap::new();
 
@@ -43,7 +44,7 @@ pub fn analyze(graph: &MeasurementGraph, metric: &impl Metric) -> Vec<AsPoint> {
     }
     // Alternates: one kernel sweep; winning comparisons contribute the
     // union of their constituent edges' AS paths.
-    for cmp in compare_all_pairs(graph, metric, SearchDepth::Unrestricted) {
+    for cmp in compare_all_pairs(cx, metric, SearchDepth::Unrestricted) {
         if cmp.alternate_wins() {
             let mut hops = vec![cmp.pair.src];
             hops.extend(cmp.via.iter().copied());
@@ -153,8 +154,8 @@ mod tests {
 
     #[test]
     fn default_counts_use_observed_paths() {
-        let g = MeasurementGraph::from_dataset(&dataset());
-        let pts = analyze(&g, &Rtt);
+        let cx = AnalysisContext::from_dataset(&dataset());
+        let pts = analyze(&cx, &Rtt);
         let transit = pts.iter().find(|p| p.asn == 99).expect("transit AS present");
         // AS 99 appears in all 3 default paths.
         assert_eq!(transit.default_count, 3);
@@ -162,8 +163,8 @@ mod tests {
 
     #[test]
     fn alternate_counts_union_constituents() {
-        let g = MeasurementGraph::from_dataset(&dataset());
-        let pts = analyze(&g, &Rtt);
+        let cx = AnalysisContext::from_dataset(&dataset());
+        let pts = analyze(&cx, &Rtt);
         // The only winning alternate is 0→1→2, whose constituent paths
         // cover ASes {0, 99, 1, 2} — each counted once.
         for asn in [0u16, 1, 2, 99] {

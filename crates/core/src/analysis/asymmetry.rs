@@ -10,7 +10,7 @@
 
 use std::collections::HashSet;
 
-use crate::graph::MeasurementGraph;
+use crate::context::AnalysisContext;
 use detour_measure::HostId;
 
 /// Asymmetry census over a dataset.
@@ -38,7 +38,8 @@ impl AsymmetryReport {
 }
 
 /// Computes the asymmetry census from the graph's modal AS paths.
-pub fn analyze(graph: &MeasurementGraph) -> AsymmetryReport {
+pub fn analyze(cx: &AnalysisContext) -> AsymmetryReport {
+    let graph = cx.graph();
     let mut report = AsymmetryReport::default();
     let mut seen: HashSet<(HostId, HostId)> = HashSet::new();
     for pair in graph.pairs() {
@@ -115,8 +116,8 @@ mod tests {
     #[test]
     fn symmetric_pair_detected() {
         let ds = dataset(&[(0, 1, vec![0, 9, 1]), (1, 0, vec![1, 9, 0])]);
-        let g = MeasurementGraph::from_dataset(&ds);
-        let r = analyze(&g);
+        let cx = AnalysisContext::from_dataset(&ds);
+        let r = analyze(&cx);
         assert_eq!(r.pairs_bidirectional, 1);
         assert_eq!(r.symmetric, 1);
         assert_eq!(r.asymmetric, 0);
@@ -127,8 +128,8 @@ mod tests {
     fn asymmetric_pair_detected() {
         // Forward via AS 9, reverse via AS 8 — hot-potato style asymmetry.
         let ds = dataset(&[(0, 1, vec![0, 9, 1]), (1, 0, vec![1, 8, 0])]);
-        let g = MeasurementGraph::from_dataset(&ds);
-        let r = analyze(&g);
+        let cx = AnalysisContext::from_dataset(&ds);
+        let r = analyze(&cx);
         assert_eq!(r.asymmetric, 1);
         assert_eq!(r.asymmetric_pairs, vec![(HostId(0), HostId(1))]);
         assert_eq!(r.asymmetric_fraction(), 1.0);
@@ -137,8 +138,8 @@ mod tests {
     #[test]
     fn unidirectional_pairs_are_skipped() {
         let ds = dataset(&[(0, 1, vec![0, 9, 1])]);
-        let g = MeasurementGraph::from_dataset(&ds);
-        let r = analyze(&g);
+        let cx = AnalysisContext::from_dataset(&ds);
+        let r = analyze(&cx);
         assert_eq!(r.pairs_bidirectional, 0);
     }
 
@@ -150,8 +151,8 @@ mod tests {
             (0, 2, vec![0, 9, 2]),
             (2, 0, vec![2, 8, 0]),
         ]);
-        let g = MeasurementGraph::from_dataset(&ds);
-        let r = analyze(&g);
+        let cx = AnalysisContext::from_dataset(&ds);
+        let r = analyze(&cx);
         assert_eq!(r.pairs_bidirectional, 2);
         assert_eq!(r.symmetric + r.asymmetric, 2);
         assert!((r.asymmetric_fraction() - 0.5).abs() < 1e-12);

@@ -8,18 +8,32 @@
 
 use crate::altpath::{PathComparison, SearchDepth};
 use crate::compose::LossComposition;
+use crate::context::AnalysisContext;
 use crate::graph::MeasurementGraph;
 use crate::kernel::{self, BandwidthMatrix, WeightMatrix};
 use crate::metric::Metric;
 use detour_stats::Cdf;
 
-/// Per-pair comparisons for a whole graph under an additive metric.
+/// Per-pair comparisons for a whole dataset under an additive metric.
 ///
-/// Builds one flat [`WeightMatrix`] (every edge weight derived exactly
-/// once) and fans the per-pair searches out over [`crate::pool`] with one
-/// reusable scratch per worker; results merge in pair order, so the result
-/// is identical at every thread count.
+/// Borrows the context's cached [`WeightMatrix`] (built at most once per
+/// metric family) and fans the per-pair searches out over [`crate::pool`]
+/// with one reusable scratch per worker; results merge in pair order, so
+/// the result is identical at every thread count.
 pub fn compare_all_pairs(
+    cx: &AnalysisContext,
+    metric: &impl Metric,
+    depth: SearchDepth,
+) -> Vec<PathComparison> {
+    let m = cx.weights(metric);
+    kernel::sweep(m, &m.no_mask(), metric, depth)
+}
+
+/// Per-pair comparisons for an ad-hoc graph (a time-of-day slice, an
+/// episode, a what-if reconstruction) that has no backing context. Builds
+/// a throwaway [`WeightMatrix`]; prefer [`compare_all_pairs`] whenever a
+/// context exists.
+pub fn compare_graph(
     graph: &MeasurementGraph,
     metric: &impl Metric,
     depth: SearchDepth,
@@ -28,9 +42,19 @@ pub fn compare_all_pairs(
     kernel::sweep(&m, &m.no_mask(), metric, depth)
 }
 
-/// Per-pair comparisons for the bandwidth metric (one-hop, Mathis model).
-/// Parallel and order-deterministic like [`compare_all_pairs`].
+/// Per-pair comparisons for the bandwidth metric (one-hop, Mathis model),
+/// using the context's cached [`BandwidthMatrix`]. Parallel and
+/// order-deterministic like [`compare_all_pairs`].
 pub fn compare_all_pairs_bandwidth(
+    cx: &AnalysisContext,
+    mode: LossComposition,
+) -> Vec<PathComparison> {
+    let bm = cx.bandwidth_matrix();
+    kernel::sweep_bandwidth(bm, &bm.no_mask(), mode)
+}
+
+/// Bandwidth comparisons for an ad-hoc graph without a backing context.
+pub fn compare_graph_bandwidth(
     graph: &MeasurementGraph,
     mode: LossComposition,
 ) -> Vec<PathComparison> {

@@ -17,6 +17,7 @@
 
 use crate::altpath::{PathComparison, SearchDepth};
 use crate::analysis::cdf::compare_all_pairs;
+use crate::context::AnalysisContext;
 use crate::graph::MeasurementGraph;
 use crate::metric::Metric;
 use detour_stats::ci::MeanEstimate;
@@ -69,14 +70,14 @@ fn pair_estimates(
 /// ([`compare_all_pairs`]); only the surviving comparisons pay for the
 /// per-edge summary walks.
 pub fn pair_intervals(
-    graph: &MeasurementGraph,
+    cx: &AnalysisContext,
     metric: &impl Metric,
     level: f64,
 ) -> Vec<PairInterval> {
-    compare_all_pairs(graph, metric, SearchDepth::Unrestricted)
+    compare_all_pairs(cx, metric, SearchDepth::Unrestricted)
         .iter()
         .filter_map(|cmp| {
-            let (default_est, alt_est) = pair_estimates(graph, cmp, metric)?;
+            let (default_est, alt_est) = pair_estimates(cx.graph(), cmp, metric)?;
             let ci = default_est.diff(&alt_est).ci(level);
             Some(PairInterval {
                 improvement: ci.center,
@@ -88,9 +89,9 @@ pub fn pair_intervals(
 }
 
 /// One Table-2/3 row: verdict percentages for a dataset.
-pub fn verdict_table(graph: &MeasurementGraph, metric: &impl Metric, level: f64) -> VerdictCounts {
+pub fn verdict_table(cx: &AnalysisContext, metric: &impl Metric, level: f64) -> VerdictCounts {
     let mut counts = VerdictCounts::default();
-    for pi in pair_intervals(graph, metric, level) {
+    for pi in pair_intervals(cx, metric, level) {
         counts.record(pi.verdict);
     }
     counts
@@ -99,11 +100,11 @@ pub fn verdict_table(graph: &MeasurementGraph, metric: &impl Metric, level: f64)
 /// The Figure-7/8 series: improvements sorted ascending with their CDF
 /// fraction and interval half-width, `(improvement, fraction, half_width)`.
 pub fn interval_cdf_series(
-    graph: &MeasurementGraph,
+    cx: &AnalysisContext,
     metric: &impl Metric,
     level: f64,
 ) -> Vec<(f64, f64, f64)> {
-    let mut pis = pair_intervals(graph, metric, level);
+    let mut pis = pair_intervals(cx, metric, level);
     pis.sort_by(|a, b| a.improvement.partial_cmp(&b.improvement).unwrap());
     let n = pis.len() as f64;
     pis.iter()
@@ -115,8 +116,8 @@ pub fn interval_cdf_series(
 /// Sanity link between the CDF view and the interval view: both must agree
 /// on how many pairs improved (point-estimate-wise). Exposed for tests and
 /// the figures harness.
-pub fn improved_fraction(graph: &MeasurementGraph, metric: &impl Metric) -> f64 {
-    let cs = compare_all_pairs(graph, metric, SearchDepth::Unrestricted);
+pub fn improved_fraction(cx: &AnalysisContext, metric: &impl Metric) -> f64 {
+    let cs = compare_all_pairs(cx, metric, SearchDepth::Unrestricted);
     if cs.is_empty() {
         return 0.0;
     }
@@ -126,7 +127,7 @@ pub fn improved_fraction(graph: &MeasurementGraph, metric: &impl Metric) -> f64 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::MeasurementGraph;
+    use crate::context::AnalysisContext;
     use crate::metric::{Loss, Rtt};
     use detour_measure::record::HostMeta;
     use detour_measure::{Dataset, HostId, ProbeSample};
@@ -175,8 +176,8 @@ mod tests {
 
     #[test]
     fn clear_improvement_is_classified_better() {
-        let g = MeasurementGraph::from_dataset(&noisy_dataset(5.0, 50));
-        let table = verdict_table(&g, &Rtt, 0.95);
+        let cx = AnalysisContext::from_dataset(&noisy_dataset(5.0, 50));
+        let table = verdict_table(&cx, &Rtt, 0.95);
         // Only 0→2 has an alternate (other pairs lack detours with both
         // edges); that one is decisively better.
         assert_eq!(table.better, 1);
@@ -186,15 +187,15 @@ mod tests {
     #[test]
     fn huge_noise_turns_indeterminate() {
         // Noise swamping the 60 ms gap with only a handful of samples.
-        let g = MeasurementGraph::from_dataset(&noisy_dataset(400.0, 4));
-        let table = verdict_table(&g, &Rtt, 0.95);
+        let cx = AnalysisContext::from_dataset(&noisy_dataset(400.0, 4));
+        let table = verdict_table(&cx, &Rtt, 0.95);
         assert_eq!(table.indeterminate, 1, "{table:?}");
     }
 
     #[test]
     fn interval_series_is_sorted_and_fractions_reach_one() {
-        let g = MeasurementGraph::from_dataset(&noisy_dataset(5.0, 30));
-        let series = interval_cdf_series(&g, &Rtt, 0.95);
+        let cx = AnalysisContext::from_dataset(&noisy_dataset(5.0, 30));
+        let series = interval_cdf_series(&cx, &Rtt, 0.95);
         assert!(!series.is_empty());
         for w in series.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -209,14 +210,14 @@ mod tests {
     #[test]
     fn lossless_pairs_classify_as_zero() {
         // All probes return: loss 0 everywhere → Zero verdict.
-        let g = MeasurementGraph::from_dataset(&noisy_dataset(5.0, 40));
-        let table = verdict_table(&g, &Loss, 0.95);
+        let cx = AnalysisContext::from_dataset(&noisy_dataset(5.0, 40));
+        let table = verdict_table(&cx, &Loss, 0.95);
         assert_eq!(table.zero, 1, "{table:?}");
     }
 
     #[test]
     fn improved_fraction_matches_point_estimates() {
-        let g = MeasurementGraph::from_dataset(&noisy_dataset(5.0, 30));
-        assert!((improved_fraction(&g, &Rtt) - 1.0).abs() < 1e-12);
+        let cx = AnalysisContext::from_dataset(&noisy_dataset(5.0, 30));
+        assert!((improved_fraction(&cx, &Rtt) - 1.0).abs() < 1e-12);
     }
 }

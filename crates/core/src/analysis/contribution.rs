@@ -14,8 +14,7 @@
 
 use std::collections::HashMap;
 
-use crate::graph::MeasurementGraph;
-use crate::kernel::WeightMatrix;
+use crate::context::AnalysisContext;
 use crate::metric::Metric;
 use detour_measure::HostId;
 use detour_stats::Cdf;
@@ -33,12 +32,13 @@ pub struct ContributionAnalysis {
 
 /// Runs the Figure-13 analysis.
 ///
-/// The triple loop runs on a flat [`WeightMatrix`] of precomputed metric
-/// values — `O(n³)` lookups but each metric value derived only once.
-pub fn analyze(graph: &MeasurementGraph, metric: &impl Metric) -> ContributionAnalysis {
+/// The triple loop runs on the context's cached weight matrix of
+/// precomputed metric values — `O(n³)` lookups but each metric value
+/// derived only once per run.
+pub fn analyze(cx: &AnalysisContext, metric: &impl Metric) -> ContributionAnalysis {
+    let w = cx.weights(metric);
     let mut raw: HashMap<HostId, f64> =
-        graph.hosts().iter().map(|&h| (h, 0.0)).collect();
-    let w = WeightMatrix::build(graph, metric);
+        w.hosts().iter().map(|&h| (h, 0.0)).collect();
     let n = w.len();
     for s in 0..n {
         for d in 0..n {
@@ -140,8 +140,8 @@ mod tests {
         // Odd→odd pairs (100 ms direct) improve via any even host
         // (25+25 ms). Every even host contributes equally; odd hosts
         // contribute nothing.
-        let g = MeasurementGraph::from_dataset(&uniform_mesh(6, 100.0, 25.0));
-        let a = analyze(&g, &Rtt);
+        let cx = AnalysisContext::from_dataset(&uniform_mesh(6, 100.0, 25.0));
+        let a = analyze(&cx, &Rtt);
         let evens: Vec<f64> =
             (0..6).step_by(2).map(|i| a.normalized[&HostId(i)]).collect();
         let odds: Vec<f64> =
@@ -157,8 +157,8 @@ mod tests {
 
     #[test]
     fn normalization_makes_the_mean_100() {
-        let g = MeasurementGraph::from_dataset(&uniform_mesh(6, 100.0, 25.0));
-        let a = analyze(&g, &Rtt);
+        let cx = AnalysisContext::from_dataset(&uniform_mesh(6, 100.0, 25.0));
+        let a = analyze(&cx, &Rtt);
         let mean: f64 = a.normalized.values().sum::<f64>() / a.normalized.len() as f64;
         assert!((mean - 100.0).abs() < 1e-9);
     }
@@ -166,8 +166,8 @@ mod tests {
     #[test]
     fn no_improvements_means_zero_contributions() {
         // Uniform mesh where detours always cost double: nobody contributes.
-        let g = MeasurementGraph::from_dataset(&uniform_mesh(5, 30.0, 30.0));
-        let a = analyze(&g, &Rtt);
+        let cx = AnalysisContext::from_dataset(&uniform_mesh(5, 30.0, 30.0));
+        let a = analyze(&cx, &Rtt);
         assert!(a.normalized.values().all(|&v| v == 0.0));
         assert_eq!(max_share(&a), 0.0);
     }

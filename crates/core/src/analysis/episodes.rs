@@ -15,7 +15,8 @@
 use std::collections::HashMap;
 
 use crate::altpath::SearchDepth;
-use crate::analysis::cdf::{compare_all_pairs, improvement_cdf};
+use crate::analysis::cdf::{compare_all_pairs, compare_graph, improvement_cdf};
+use crate::context::AnalysisContext;
 use crate::graph::MeasurementGraph;
 use crate::metric::Metric;
 use detour_measure::{Dataset, HostId};
@@ -42,24 +43,24 @@ pub fn episode_ids(ds: &Dataset) -> Vec<u32> {
     ids
 }
 
-/// Runs the Figure-11 analysis: `episodic` must be the UW4-A-style dataset,
-/// `averaged` the UW4-B-style companion.
+/// Runs the Figure-11 analysis: `episodic` must be the UW4-A-style
+/// context, `averaged` the UW4-B-style companion.
 pub fn analyze(
-    episodic: &Dataset,
-    averaged: &Dataset,
+    episodic: &AnalysisContext,
+    averaged: &AnalysisContext,
     metric: &impl Metric,
 ) -> EpisodeAnalysis {
-    // Curve 1: plain time-averaged comparison on UW4-B.
-    let gb = MeasurementGraph::from_dataset(averaged);
+    // Curve 1: plain time-averaged comparison on UW4-B (cached matrix).
     let time_averaged =
-        improvement_cdf(&compare_all_pairs(&gb, metric, SearchDepth::Unrestricted));
+        improvement_cdf(&compare_all_pairs(averaged, metric, SearchDepth::Unrestricted));
 
-    // Curves 2 and 3: per-episode best alternates on UW4-A.
-    let ids = episode_ids(episodic);
+    // Curves 2 and 3: per-episode best alternates on UW4-A. Episode
+    // slices are ad-hoc graphs, deliberately outside the artifact cache.
+    let ids = episode_ids(episodic.dataset());
     let mut per_pair: HashMap<(HostId, HostId), Vec<f64>> = HashMap::new();
     for &ep in &ids {
-        let g = MeasurementGraph::from_episode(episodic, ep);
-        for cmp in compare_all_pairs(&g, metric, SearchDepth::Unrestricted) {
+        let g = MeasurementGraph::from_episode(episodic.dataset(), ep);
+        for cmp in compare_graph(&g, metric, SearchDepth::Unrestricted) {
             per_pair
                 .entry((cmp.pair.src, cmp.pair.dst))
                 .or_default()
@@ -154,7 +155,11 @@ mod tests {
         // The defining feature of Figure 11: episode-level points swing
         // between +60 and −60 while the pair average sits near 0.
         let (episodic, averaged) = swing_datasets();
-        let a = analyze(&episodic, &averaged, &Rtt);
+        let a = analyze(
+            &AnalysisContext::from_dataset(&episodic),
+            &AnalysisContext::from_dataset(&averaged),
+            &Rtt,
+        );
         assert_eq!(a.episodes, 40);
         let un = &a.unaveraged;
         let pa = &a.pair_averaged;
@@ -165,7 +170,11 @@ mod tests {
     #[test]
     fn pair_average_matches_time_average_for_stable_paths() {
         let (episodic, averaged) = swing_datasets();
-        let a = analyze(&episodic, &averaged, &Rtt);
+        let a = analyze(
+            &AnalysisContext::from_dataset(&episodic),
+            &AnalysisContext::from_dataset(&averaged),
+            &Rtt,
+        );
         // Episode improvements alternate +60/−60 (mean 0), and the
         // time-averaged detour costs (20+80)/2 × 2 = 100 = the default —
         // so both averaging routes must land near zero.
@@ -178,7 +187,11 @@ mod tests {
     #[test]
     fn unaveraged_has_one_point_per_pair_episode() {
         let (episodic, averaged) = swing_datasets();
-        let a = analyze(&episodic, &averaged, &Rtt);
+        let a = analyze(
+            &AnalysisContext::from_dataset(&episodic),
+            &AnalysisContext::from_dataset(&averaged),
+            &Rtt,
+        );
         // Only pair (0,2) has an alternate; 40 episodes → 40 points.
         assert_eq!(a.unaveraged.len(), 40);
         assert_eq!(a.pair_averaged.len(), 1);

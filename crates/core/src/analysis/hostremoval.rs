@@ -9,7 +9,7 @@
 
 use crate::altpath::{PathComparison, SearchDepth};
 use crate::analysis::cdf::improvement_cdf;
-use crate::graph::MeasurementGraph;
+use crate::context::AnalysisContext;
 use crate::kernel::{self, DijkstraScratch, WeightMatrix};
 use crate::metric::Metric;
 use crate::pool;
@@ -71,7 +71,7 @@ fn masked_position(
 
 /// Runs the greedy experiment, removing `k` hosts.
 ///
-/// The matrix is built once; each candidate removal is evaluated through a
+/// The matrix comes from the context's artifact cache; each candidate removal is evaluated through a
 /// zero-copy mask over it rather than the old clone-plus-rebuild via
 /// `without_host` — masked sweeps are value-identical to rebuilt-graph
 /// sweeps (relative vertex order is preserved, so every tie-break
@@ -83,22 +83,22 @@ fn masked_position(
 /// metrics: a tied path composes to the very sum the relaxation
 /// accumulated, so equal weight-space optima mean equal composed bits.
 pub fn greedy_removal(
-    graph: &MeasurementGraph,
+    cx: &AnalysisContext,
     metric: &impl Metric,
     k: usize,
 ) -> RemovalAnalysis {
-    let m = WeightMatrix::build(graph, metric);
+    let m = cx.weights(metric);
     let mut mask = m.no_mask();
-    let mut current = kernel::sweep(&m, &mask, metric, SearchDepth::Unrestricted);
+    let mut current = kernel::sweep(m, &mask, metric, SearchDepth::Unrestricted);
     let full = improvement_cdf(&current);
     let mut removed = Vec::new();
-    for _ in 0..k.min(graph.len().saturating_sub(3)) {
+    for _ in 0..k.min(m.len().saturating_sub(3)) {
         // Candidates fan out over the pool (each worker reuses one
         // scratch); the argmin below runs on the in-order results, so the
         // pick is identical at any thread count.
         let candidates: Vec<usize> = (0..m.len()).filter(|&h| !mask[h]).collect();
         let positions = pool::parallel_map_init(&candidates, DijkstraScratch::new, {
-            let (m, mask, current) = (&m, &mask, &current);
+            let (m, mask, current) = (m, &mask, &current);
             move |scratch, &h| {
                 let mut mask_h = mask.to_vec();
                 mask_h[h] = true;
@@ -107,7 +107,7 @@ pub fn greedy_removal(
         });
         let mut best: Option<(f64, usize)> = None;
         for (&h, &pos) in candidates.iter().zip(&positions) {
-            let better = best.map_or(true, |(b, bh)| {
+            let better = best.is_none_or(|(b, bh)| {
                 pos < b || (pos == b && m.hosts()[h] < m.hosts()[bh])
             });
             if better {
@@ -117,7 +117,7 @@ pub fn greedy_removal(
         let Some((_, h)) = best else { break };
         mask[h] = true;
         removed.push(m.hosts()[h]);
-        current = kernel::sweep(&m, &mask, metric, SearchDepth::Unrestricted);
+        current = kernel::sweep(m, &mask, metric, SearchDepth::Unrestricted);
     }
     let reduced = improvement_cdf(&current);
     RemovalAnalysis { full, removed, reduced }
@@ -133,6 +133,7 @@ pub fn improved_fractions(a: &RemovalAnalysis) -> (f64, f64) {
 mod tests {
     use super::*;
     use crate::metric::Rtt;
+    use detour_measure::HostId;
     use detour_measure::record::HostMeta;
     use detour_measure::{Dataset, ProbeSample};
 
@@ -188,8 +189,8 @@ mod tests {
 
     #[test]
     fn greedy_finds_the_magic_host_first() {
-        let g = MeasurementGraph::from_dataset(&magic_host_dataset(6));
-        let a = greedy_removal(&g, &Rtt, 1);
+        let cx = AnalysisContext::from_dataset(&magic_host_dataset(6));
+        let a = greedy_removal(&cx, &Rtt, 1);
         assert_eq!(a.removed, vec![HostId(0)]);
         let (before, after) = improved_fractions(&a);
         assert!(before > 0.5, "magic host creates improvements: {before}");
@@ -198,17 +199,17 @@ mod tests {
 
     #[test]
     fn removal_count_is_capped() {
-        let g = MeasurementGraph::from_dataset(&magic_host_dataset(5));
-        let a = greedy_removal(&g, &Rtt, 100);
+        let cx = AnalysisContext::from_dataset(&magic_host_dataset(5));
+        let a = greedy_removal(&cx, &Rtt, 100);
         // Must keep at least 3 hosts (a pair plus one possible detour).
         assert!(a.removed.len() <= 2);
     }
 
     #[test]
     fn removal_is_deterministic() {
-        let g = MeasurementGraph::from_dataset(&magic_host_dataset(6));
-        let a = greedy_removal(&g, &Rtt, 3);
-        let b = greedy_removal(&g, &Rtt, 3);
+        let cx = AnalysisContext::from_dataset(&magic_host_dataset(6));
+        let a = greedy_removal(&cx, &Rtt, 3);
+        let b = greedy_removal(&cx, &Rtt, 3);
         assert_eq!(a.removed, b.removed);
     }
 }

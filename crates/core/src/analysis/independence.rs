@@ -7,7 +7,8 @@
 //! intervals. The paper argues the bias is conservative; this module lets
 //! a user of this library *see* the dependence instead of assuming it.
 
-use detour_measure::{Dataset, HostId};
+use crate::context::AnalysisContext;
+use detour_measure::HostId;
 use detour_stats::autocorr::{autocorrelation, effective_sample_size};
 use detour_stats::Cdf;
 use std::collections::HashMap;
@@ -39,7 +40,8 @@ impl IndependenceReport {
 
 /// Computes the dependence audit over `ds`, using each pair's RTT samples
 /// in time order.
-pub fn analyze(ds: &Dataset) -> IndependenceReport {
+pub fn analyze(cx: &AnalysisContext) -> IndependenceReport {
+    let ds = cx.dataset();
     let mut series: HashMap<(HostId, HostId), Vec<(f64, f64)>> = HashMap::new();
     for p in &ds.probes {
         if let Some(rtt) = p.rtt_ms {
@@ -71,6 +73,7 @@ pub fn analyze(ds: &Dataset) -> IndependenceReport {
 mod tests {
     use super::*;
     use detour_measure::record::HostMeta;
+    use detour_measure::Dataset;
     use detour_measure::ProbeSample;
 
     fn dataset(rtts: &[f64]) -> Dataset {
@@ -111,7 +114,7 @@ mod tests {
     fn drifting_path_shows_dependence() {
         // Slow ramp: adjacent samples strongly correlated.
         let rtts: Vec<f64> = (0..200).map(|i| 50.0 + (i as f64) * 0.5).collect();
-        let r = analyze(&dataset(&rtts));
+        let r = analyze(&AnalysisContext::from_dataset(&dataset(&rtts)));
         assert!(r.lag1[&(HostId(0), HostId(1))] > 0.9);
         assert!(r.ess_ratio[&(HostId(0), HostId(1))] < 0.2);
         assert!(r.median_lag1() > 0.9);
@@ -121,14 +124,14 @@ mod tests {
     fn alternating_path_shows_no_positive_dependence() {
         let rtts: Vec<f64> =
             (0..200).map(|i| if i % 2 == 0 { 40.0 } else { 60.0 }).collect();
-        let r = analyze(&dataset(&rtts));
+        let r = analyze(&AnalysisContext::from_dataset(&dataset(&rtts)));
         assert!(r.lag1[&(HostId(0), HostId(1))] < 0.0);
         assert!(r.median_ess_ratio() >= 0.9, "{}", r.median_ess_ratio());
     }
 
     #[test]
     fn thin_pairs_are_skipped() {
-        let r = analyze(&dataset(&[50.0, 51.0, 52.0]));
+        let r = analyze(&AnalysisContext::from_dataset(&dataset(&[50.0, 51.0, 52.0])));
         assert!(r.lag1.is_empty());
     }
 
@@ -149,7 +152,7 @@ mod tests {
                 path_idx: 0,
             });
         }
-        let r = analyze(&ds);
+        let r = analyze(&AnalysisContext::from_dataset(&ds));
         assert!(r.lag1[&(HostId(0), HostId(1))] > 0.9);
     }
 }

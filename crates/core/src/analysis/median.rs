@@ -10,6 +10,7 @@
 
 use crate::altpath::SearchDepth;
 use crate::analysis::cdf::{compare_all_pairs, improvement_cdf};
+use crate::context::AnalysisContext;
 use crate::graph::MeasurementGraph;
 use crate::metric::Rtt;
 use detour_stats::convolve::SampleDist;
@@ -53,17 +54,18 @@ fn median_improvement(graph: &MeasurementGraph, pair: crate::graph::Pair) -> Opt
             continue;
         };
         let med = d1.convolve(&d2).median();
-        if best.map_or(true, |b| med < b) {
+        if best.is_none_or(|b| med < b) {
             best = Some(med);
         }
     }
     Some(default_median - best?)
 }
 
-/// Runs the Figure-6 analysis over a graph.
-pub fn analyze(graph: &MeasurementGraph) -> MeanMedianComparison {
+/// Runs the Figure-6 analysis over a dataset's context.
+pub fn analyze(cx: &AnalysisContext) -> MeanMedianComparison {
     let mean_based =
-        improvement_cdf(&compare_all_pairs(graph, &Rtt, SearchDepth::OneHop));
+        improvement_cdf(&compare_all_pairs(cx, &Rtt, SearchDepth::OneHop));
+    let graph = cx.graph();
     let median_based =
         Cdf::from_samples(graph.pairs().into_iter().filter_map(|p| median_improvement(graph, p)));
     MeanMedianComparison { mean_based, median_based }
@@ -134,8 +136,8 @@ mod tests {
 
     #[test]
     fn symmetric_noise_gives_negligible_gap() {
-        let g = MeasurementGraph::from_dataset(&dataset(false));
-        let cmp = analyze(&g);
+        let cx = AnalysisContext::from_dataset(&dataset(false));
+        let cmp = analyze(&cx);
         assert_eq!(cmp.mean_based.len(), cmp.median_based.len());
         // Mean-based improvement ≈ median-based ≈ 100 − 50 = 50 ms.
         let m = cmp.mean_based.inverse(0.5).unwrap();
@@ -145,8 +147,8 @@ mod tests {
 
     #[test]
     fn median_resists_outliers_the_mean_does_not() {
-        let g = MeasurementGraph::from_dataset(&dataset(true));
-        let cmp = analyze(&g);
+        let cx = AnalysisContext::from_dataset(&dataset(true));
+        let cmp = analyze(&cx);
         // Outliers inflate the default path's *mean* (and both detour legs'
         // means) by 20 ms each; medians barely move. The median-based
         // improvement stays ≈ 50; the mean-based improvement becomes
@@ -167,8 +169,8 @@ mod tests {
             };
             p.rtt_ms = Some(base);
         }
-        let g = MeasurementGraph::from_dataset(&ds);
-        let cmp = analyze(&g);
+        let cx = AnalysisContext::from_dataset(&ds);
+        let cmp = analyze(&cx);
         let med_impr = cmp.median_based.inverse(0.5).unwrap();
         assert!((med_impr - 50.0).abs() <= 2.0 * CONVOLUTION_BIN_MS, "got {med_impr}");
     }

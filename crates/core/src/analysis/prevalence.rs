@@ -10,7 +10,8 @@
 
 use std::collections::HashMap;
 
-use detour_measure::{Dataset, HostId};
+use crate::context::AnalysisContext;
+use detour_measure::HostId;
 use detour_stats::Cdf;
 
 /// Prevalence analysis output.
@@ -42,7 +43,8 @@ impl PrevalenceReport {
 }
 
 /// Computes route prevalence from per-probe AS-path observations.
-pub fn analyze(ds: &Dataset) -> PrevalenceReport {
+pub fn analyze(cx: &AnalysisContext) -> PrevalenceReport {
+    let ds = cx.dataset();
     // Count path observations per pair (per invocation: use probe 0 so the
     // three probes of one traceroute don't triple-count one observation).
     let mut votes: HashMap<(HostId, HostId), HashMap<u32, usize>> = HashMap::new();
@@ -67,6 +69,7 @@ pub fn analyze(ds: &Dataset) -> PrevalenceReport {
 mod tests {
     use super::*;
     use detour_measure::record::HostMeta;
+    use detour_measure::Dataset;
     use detour_measure::ProbeSample;
 
     fn dataset(observations: &[(u32, u32, u32)]) -> Dataset {
@@ -106,7 +109,7 @@ mod tests {
     #[test]
     fn single_route_pair_has_full_dominance() {
         let ds = dataset(&[(0, 1, 0), (0, 1, 0), (0, 1, 0)]);
-        let r = analyze(&ds);
+        let r = analyze(&AnalysisContext::from_dataset(&ds));
         assert_eq!(r.dominance[&(HostId(0), HostId(1))], 1.0);
         assert_eq!(r.route_counts[&(HostId(0), HostId(1))], 1);
         assert_eq!(r.fluctuating_pairs(), 0);
@@ -119,7 +122,7 @@ mod tests {
         let mut obs = vec![(0, 1, 0); 8];
         obs.extend(vec![(0, 1, 1); 2]);
         let ds = dataset(&obs);
-        let r = analyze(&ds);
+        let r = analyze(&AnalysisContext::from_dataset(&ds));
         assert!((r.dominance[&(HostId(0), HostId(1))] - 0.8).abs() < 1e-12);
         assert_eq!(r.route_counts[&(HostId(0), HostId(1))], 2);
         assert_eq!(r.fluctuating_pairs(), 1);
@@ -143,14 +146,14 @@ mod tests {
             episode: None,
             path_idx: 1,
         });
-        let r = analyze(&ds);
+        let r = analyze(&AnalysisContext::from_dataset(&ds));
         assert_eq!(r.dominance[&(HostId(0), HostId(1))], 1.0);
     }
 
     #[test]
     fn cdf_covers_all_pairs() {
         let ds = dataset(&[(0, 1, 0), (0, 1, 1), (2, 3, 0), (2, 3, 0)]);
-        let r = analyze(&ds);
+        let r = analyze(&AnalysisContext::from_dataset(&ds));
         assert_eq!(r.dominance_cdf.len(), 2);
     }
 }

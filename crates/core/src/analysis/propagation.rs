@@ -18,7 +18,7 @@
 
 use crate::altpath::SearchDepth;
 use crate::analysis::cdf::{compare_all_pairs, improvement_cdf};
-use crate::graph::MeasurementGraph;
+use crate::context::AnalysisContext;
 use crate::metric::{Metric, PropDelay, Rtt};
 use detour_stats::Cdf;
 
@@ -32,14 +32,14 @@ pub struct PropagationCdfs {
 }
 
 /// Runs the Figure-15 analysis.
-pub fn propagation_cdfs(graph: &MeasurementGraph) -> PropagationCdfs {
+pub fn propagation_cdfs(cx: &AnalysisContext) -> PropagationCdfs {
     PropagationCdfs {
         propagation: improvement_cdf(&compare_all_pairs(
-            graph,
+            cx,
             &PropDelay,
             SearchDepth::Unrestricted,
         )),
-        mean_rtt: improvement_cdf(&compare_all_pairs(graph, &Rtt, SearchDepth::Unrestricted)),
+        mean_rtt: improvement_cdf(&compare_all_pairs(cx, &Rtt, SearchDepth::Unrestricted)),
     }
 }
 
@@ -92,9 +92,10 @@ pub struct Decomposition {
 /// Runs the Figure-16 analysis: alternates chosen by mean RTT, decomposed
 /// into propagation and queuing differences. The RTT searches run as one
 /// kernel sweep; only surviving comparisons pay for the propagation walk.
-pub fn decompose(graph: &MeasurementGraph) -> Decomposition {
+pub fn decompose(cx: &AnalysisContext) -> Decomposition {
+    let graph = cx.graph();
     let mut points = Vec::new();
-    for cmp in compare_all_pairs(graph, &Rtt, SearchDepth::Unrestricted) {
+    for cmp in compare_all_pairs(cx, &Rtt, SearchDepth::Unrestricted) {
         let pair = cmp.pair;
         // Propagation of the default path and of the *same* alternate path.
         let Some(default_prop) =
@@ -215,8 +216,8 @@ mod tests {
 
         #[test]
         fn congestion_avoiding_detour_lands_in_group_6() {
-            let g = MeasurementGraph::from_dataset(&congested_direct());
-            let d = decompose(&g);
+            let cx = AnalysisContext::from_dataset(&congested_direct());
+            let d = decompose(&cx);
             assert_eq!(d.points.len(), 1);
             let p = d.points[0];
             assert!(p.d_total > 0.0, "alternate wins on mean: {p:?}");
@@ -226,8 +227,8 @@ mod tests {
 
         #[test]
         fn figure15_shrinks_but_does_not_vanish() {
-            let g = MeasurementGraph::from_dataset(&congested_direct());
-            let c = propagation_cdfs(&g);
+            let cx = AnalysisContext::from_dataset(&congested_direct());
+            let c = propagation_cdfs(&cx);
             // The mean-RTT improvement is large; the propagation-only
             // improvement is negative (the detour is physically longer).
             let mean_impr = c.mean_rtt.inverse(0.5).unwrap();

@@ -7,9 +7,9 @@
 //! does it route through a different host? This analysis answers with the
 //! k-best machinery.
 
-use crate::graph::{MeasurementGraph, Pair};
+use crate::context::AnalysisContext;
+use crate::graph::Pair;
 use crate::kbest::k_best_alternates_in;
-use crate::kernel::WeightMatrix;
 use crate::metric::Metric;
 use crate::pool;
 use detour_stats::Cdf;
@@ -54,15 +54,15 @@ pub struct SensitivityReport {
 
 /// Runs the sensitivity analysis for `metric` (lower-is-better metrics).
 ///
-/// Builds the [`WeightMatrix`] once and fans the per-pair Yen searches out
-/// over [`crate::pool`]; results merge in pair order, so the report is
-/// identical at every thread count.
-pub fn analyze(graph: &MeasurementGraph, metric: &impl Metric) -> SensitivityReport {
-    let m = WeightMatrix::build(graph, metric);
+/// Borrows the context's cached weight matrix and fans the per-pair Yen
+/// searches out over [`crate::pool`]; results merge in pair order, so the
+/// report is identical at every thread count.
+pub fn analyze(cx: &AnalysisContext, metric: &impl Metric) -> SensitivityReport {
+    let m = cx.weights(metric);
     let mask = m.no_mask();
     let idx_pairs = m.measured_pairs(&mask);
     let pairs: Vec<PairSensitivity> = pool::parallel_map(&idx_pairs, |&(s, d)| {
-        let kb = k_best_alternates_in(&m, &mask, s, d, metric, 2);
+        let kb = k_best_alternates_in(m, &mask, s, d, metric, 2);
         if kb.len() < 2 {
             return None;
         }
@@ -139,13 +139,13 @@ mod tests {
     fn two_parallel_relays_give_disjoint_backup() {
         // 0→3 direct 100; via 1: 30; via 2: 36 — disjoint runner-up 20%
         // worse.
-        let g = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+        let cx = AnalysisContext::from_dataset(&dataset_from_rtt_matrix(&[
             &[0.0, 15.0, 18.0, 100.0],
             &[X, 0.0, X, 15.0],
             &[X, X, 0.0, 18.0],
             &[X, X, X, 0.0],
         ]));
-        let r = analyze(&g, &Rtt);
+        let r = analyze(&cx, &Rtt);
         let pair = r
             .pairs
             .iter()
@@ -160,26 +160,26 @@ mod tests {
     #[test]
     fn single_alternate_pairs_are_excluded() {
         // Triangle: each pair has exactly one alternate (the third vertex).
-        let g = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+        let cx = AnalysisContext::from_dataset(&dataset_from_rtt_matrix(&[
             &[0.0, 10.0, 20.0],
             &[10.0, 0.0, 10.0],
             &[20.0, 10.0, 0.0],
         ]));
-        let r = analyze(&g, &Rtt);
+        let r = analyze(&cx, &Rtt);
         assert!(r.pairs.is_empty(), "triangles have no runner-up alternates");
         assert_eq!(r.disjoint_fraction, 0.0);
     }
 
     #[test]
     fn gap_is_nonnegative_and_second_dominates_best() {
-        let g = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+        let cx = AnalysisContext::from_dataset(&dataset_from_rtt_matrix(&[
             &[0.0, 15.0, 18.0, 100.0, 25.0],
             &[X, 0.0, 5.0, 15.0, X],
             &[X, 5.0, 0.0, 18.0, X],
             &[X, X, X, 0.0, 30.0],
             &[X, X, X, 30.0, 0.0],
         ]));
-        let r = analyze(&g, &Rtt);
+        let r = analyze(&cx, &Rtt);
         assert!(!r.pairs.is_empty());
         for p in &r.pairs {
             assert!(p.second >= p.best);

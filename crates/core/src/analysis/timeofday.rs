@@ -8,10 +8,10 @@
 //! load.
 
 use crate::altpath::SearchDepth;
-use crate::analysis::cdf::{compare_all_pairs, improvement_cdf};
+use crate::analysis::cdf::{compare_graph, improvement_cdf};
+use crate::context::AnalysisContext;
 use crate::graph::MeasurementGraph;
 use crate::metric::Metric;
-use detour_measure::Dataset;
 use detour_stats::Cdf;
 
 /// PST offset from UTC, hours (the paper's clock).
@@ -78,16 +78,17 @@ impl TimeSlice {
 /// the dataset does — including its documented cost: "dividing the dataset
 /// reduces the number of samples per path").
 pub fn improvement_by_slice(
-    ds: &Dataset,
+    cx: &AnalysisContext,
     metric: &impl Metric,
     depth: SearchDepth,
 ) -> Vec<(TimeSlice, Cdf)> {
+    let ds = cx.dataset();
     TimeSlice::all()
         .into_iter()
         .map(|slice| {
             let g =
                 MeasurementGraph::from_dataset_filtered(ds, |p| TimeSlice::classify(p.t_s) == slice);
-            let cs = compare_all_pairs(&g, metric, depth);
+            let cs = compare_graph(&g, metric, depth);
             (slice, improvement_cdf(&cs))
         })
         .collect()

@@ -1,0 +1,242 @@
+//! The build-once artifact store shared by every analysis.
+//!
+//! The pipeline is strictly layered — dataset → per-pair aggregates
+//! ([`PairTable`]) → measurement graph → per-metric weight matrices — but
+//! historically every analysis entry point rebuilt the upstream layers for
+//! itself, so a 19-experiment run paid for the same matrices dozens of
+//! times. An [`AnalysisContext`] owns one immutable copy of each layer and
+//! hands out `&`-borrows:
+//!
+//! * the dataset and eagerly built table/graph are `Arc`-shared, so a
+//!   context is cheap to construct from an already-loaded dataset and a
+//!   fresh context (for reference comparisons) can reuse the same data;
+//! * weight matrices are built lazily, at most once per [`MetricKind`],
+//!   behind [`OnceLock`]s — concurrent experiments racing for the same
+//!   matrix block until the single winner finishes building, then share it;
+//! * everything handed out is immutable, so a `&AnalysisContext` is freely
+//!   shareable across the thread pool (the type is `Sync` by construction).
+//!
+//! The context never mutates after creation beyond these idempotent cache
+//! fills; analyses therefore compose without ordering constraints, and the
+//! build counter ([`AnalysisContext::artifact_builds`]) lets the bench
+//! harness assert that each artifact really was built exactly once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use detour_measure::{Dataset, PairTable};
+
+use crate::graph::MeasurementGraph;
+use crate::kernel::{BandwidthMatrix, WeightMatrix};
+use crate::metric::{Metric, MetricKind};
+
+/// Names one derived artifact, for declarative prebuilding: the experiment
+/// registry states which artifacts an experiment touches, and the engine
+/// resolves the union before fanning experiments out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// The additive weight matrix of a metric family.
+    Weights(MetricKind),
+    /// The one-hop bandwidth matrix (N2 datasets).
+    Bandwidth,
+}
+
+/// Build-once, borrow-everywhere artifacts of a single dataset.
+pub struct AnalysisContext {
+    dataset: Arc<Dataset>,
+    table: Arc<PairTable>,
+    graph: Arc<MeasurementGraph>,
+    rtt: OnceLock<WeightMatrix>,
+    loss: OnceLock<WeightMatrix>,
+    prop: OnceLock<WeightMatrix>,
+    bandwidth: OnceLock<BandwidthMatrix>,
+    builds: AtomicUsize,
+}
+
+impl std::fmt::Debug for AnalysisContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisContext")
+            .field("dataset", &self.dataset.name)
+            .field("hosts", &self.graph.len())
+            .field("artifact_builds", &self.artifact_builds())
+            .finish()
+    }
+}
+
+impl AnalysisContext {
+    /// Builds the eager artifacts (pair table, graph) for a shared dataset.
+    /// Counts as two artifact builds; matrices follow lazily on first use.
+    pub fn new(dataset: Arc<Dataset>) -> AnalysisContext {
+        let table = Arc::new(PairTable::build(&dataset));
+        let graph = Arc::new(MeasurementGraph::from_pair_table(&dataset, &table));
+        AnalysisContext {
+            dataset,
+            table,
+            graph,
+            rtt: OnceLock::new(),
+            loss: OnceLock::new(),
+            prop: OnceLock::new(),
+            bandwidth: OnceLock::new(),
+            builds: AtomicUsize::new(2),
+        }
+    }
+
+    /// Convenience for tests and examples: clone a borrowed dataset into a
+    /// fresh context.
+    pub fn from_dataset(ds: &Dataset) -> AnalysisContext {
+        Self::new(Arc::new(ds.clone()))
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// A clone of the shared dataset handle (for building sibling contexts
+    /// without copying the data).
+    pub fn dataset_arc(&self) -> Arc<Dataset> {
+        Arc::clone(&self.dataset)
+    }
+
+    /// The per-pair aggregate table.
+    pub fn table(&self) -> &PairTable {
+        &self.table
+    }
+
+    /// The assembled measurement graph.
+    pub fn graph(&self) -> &MeasurementGraph {
+        &self.graph
+    }
+
+    fn slot(&self, kind: MetricKind) -> &OnceLock<WeightMatrix> {
+        match kind {
+            MetricKind::Rtt => &self.rtt,
+            MetricKind::Loss => &self.loss,
+            MetricKind::PropDelay => &self.prop,
+        }
+    }
+
+    /// The weight matrix for `metric`'s family, built on first request and
+    /// shared thereafter.
+    pub fn weights(&self, metric: &impl Metric) -> &WeightMatrix {
+        self.slot(metric.kind()).get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            WeightMatrix::build(&self.graph, metric)
+        })
+    }
+
+    /// The bandwidth matrix, built on first request and shared thereafter.
+    pub fn bandwidth_matrix(&self) -> &BandwidthMatrix {
+        self.bandwidth.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            BandwidthMatrix::build(&self.graph)
+        })
+    }
+
+    /// Forces an artifact into the cache (the engine's prebuild step).
+    pub fn ensure(&self, kind: ArtifactKind) {
+        match kind {
+            ArtifactKind::Weights(MetricKind::Rtt) => {
+                self.weights(&crate::metric::Rtt);
+            }
+            ArtifactKind::Weights(MetricKind::Loss) => {
+                self.weights(&crate::metric::Loss);
+            }
+            ArtifactKind::Weights(MetricKind::PropDelay) => {
+                self.weights(&crate::metric::PropDelay);
+            }
+            ArtifactKind::Bandwidth => {
+                self.bandwidth_matrix();
+            }
+        }
+    }
+
+    /// How many artifacts (table, graph, matrices) this context has built.
+    /// The bench harness records this to prove build-once behaviour.
+    pub fn artifact_builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{Loss, Rtt};
+    use detour_measure::{HostId, ProbeSample};
+    use detour_measure::record::HostMeta;
+
+    fn tiny_dataset() -> Dataset {
+        let probe = |src: u32, dst: u32, t: f64, rtt: f64| ProbeSample {
+            src: HostId(src),
+            dst: HostId(dst),
+            t_s: t,
+            probe_index: 0,
+            rtt_ms: Some(rtt),
+            loss_eligible: true,
+            episode: None,
+            path_idx: 0,
+        };
+        Dataset {
+            name: "T".into(),
+            hosts: (0..3)
+                .map(|id| HostMeta {
+                    id: HostId(id),
+                    name: format!("h{id}"),
+                    asn: id as u16,
+                    truly_rate_limited: false,
+                })
+                .collect(),
+            probes: vec![
+                probe(0, 1, 0.0, 50.0),
+                probe(1, 2, 0.0, 30.0),
+                probe(0, 2, 0.0, 120.0),
+            ],
+            transfers: vec![],
+            as_paths: vec![vec![0, 9, 1]],
+            duration_s: 10.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    #[test]
+    fn matrices_build_once_per_kind() {
+        let cx = AnalysisContext::from_dataset(&tiny_dataset());
+        assert_eq!(cx.artifact_builds(), 2, "table + graph are eager");
+        let a = cx.weights(&Rtt) as *const WeightMatrix;
+        let b = cx.weights(&Rtt) as *const WeightMatrix;
+        assert_eq!(a, b, "second request reuses the cached matrix");
+        assert_eq!(cx.artifact_builds(), 3);
+        cx.weights(&Loss);
+        cx.bandwidth_matrix();
+        cx.bandwidth_matrix();
+        assert_eq!(cx.artifact_builds(), 5);
+    }
+
+    #[test]
+    fn ensure_prebuilds_without_duplicate_work() {
+        let cx = AnalysisContext::from_dataset(&tiny_dataset());
+        cx.ensure(ArtifactKind::Weights(MetricKind::Rtt));
+        cx.ensure(ArtifactKind::Weights(MetricKind::Rtt));
+        cx.ensure(ArtifactKind::Bandwidth);
+        assert_eq!(cx.artifact_builds(), 4);
+        cx.weights(&Rtt);
+        assert_eq!(cx.artifact_builds(), 4, "later use hits the cache");
+    }
+
+    #[test]
+    fn graph_matches_direct_construction() {
+        let ds = tiny_dataset();
+        let cx = AnalysisContext::from_dataset(&ds);
+        let direct = MeasurementGraph::from_dataset(&ds);
+        assert_eq!(cx.graph().hosts(), direct.hosts());
+        for p in direct.pairs() {
+            assert_eq!(cx.graph().edge(p.src, p.dst), direct.edge(p.src, p.dst));
+        }
+    }
+
+    #[test]
+    fn context_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<AnalysisContext>();
+    }
+}

@@ -15,11 +15,11 @@
 
 use std::collections::HashMap;
 
-use detour_measure::{Dataset, HostId, ProbeSample};
-use detour_stats::{OnlineStats, Summary};
+use detour_measure::{Dataset, HostId, PairTable, ProbeSample};
+use detour_stats::Summary;
 
 /// Statistics of one directed measured path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeStats {
     /// Round-trip time summary over returned probes (ms).
     pub rtt: Option<Summary>,
@@ -35,12 +35,6 @@ pub struct EdgeStats {
     pub transfer_loss: Option<Summary>,
     /// Most frequently observed AS path for this edge (AS numbers).
     pub modal_as_path: Vec<u16>,
-}
-
-impl EdgeStats {
-    fn is_empty(&self) -> bool {
-        self.rtt.is_none() && self.loss.is_none() && self.bandwidth.is_none()
-    }
 }
 
 /// A directed host pair.
@@ -63,22 +57,10 @@ pub struct MeasurementGraph {
     edges: Vec<Option<EdgeStats>>,
 }
 
-/// Intermediate per-edge accumulator.
-#[derive(Default)]
-struct EdgeAcc {
-    rtt: OnlineStats,
-    rtt_samples: Vec<f64>,
-    loss: OnlineStats,
-    bw: OnlineStats,
-    t_rtt: OnlineStats,
-    t_loss: OnlineStats,
-    path_votes: HashMap<u32, usize>,
-}
-
 impl MeasurementGraph {
     /// Builds the graph from every sample in `ds`.
     pub fn from_dataset(ds: &Dataset) -> MeasurementGraph {
-        Self::from_dataset_filtered(ds, |_| true)
+        Self::from_pair_table(ds, &PairTable::build(ds))
     }
 
     /// Builds the graph from the probes satisfying `keep` (all transfers
@@ -88,60 +70,37 @@ impl MeasurementGraph {
         ds: &Dataset,
         keep: impl Fn(&ProbeSample) -> bool,
     ) -> MeasurementGraph {
-        let hosts: Vec<HostId> = ds.hosts.iter().map(|h| h.id).collect();
+        Self::from_pair_table(ds, &PairTable::build_filtered(ds, keep))
+    }
+
+    /// Assembles the graph from a prebuilt [`PairTable`] — all aggregation
+    /// lives in the table (built once per dataset by the artifact store);
+    /// this is pure assembly: clone the per-cell summaries and sample
+    /// spans, and resolve modal AS-path pool indices against `ds`.
+    pub fn from_pair_table(ds: &Dataset, table: &PairTable) -> MeasurementGraph {
+        let hosts: Vec<HostId> = table.hosts().to_vec();
         let index: HashMap<HostId, usize> =
             hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
         let n = hosts.len();
-        // Flat row-major accumulators: indexing by `i * n + j` removes all
-        // hashing from graph construction, and the final edge pass iterates
-        // in (i, j) order by construction rather than by incidental
-        // determinism of a hash map.
-        let mut accs: Vec<Option<EdgeAcc>> = (0..n * n).map(|_| None).collect();
-
-        for p in ds.probes.iter().filter(|p| keep(p)) {
-            let (Some(&i), Some(&j)) = (index.get(&p.src), index.get(&p.dst)) else {
-                continue;
-            };
-            let acc = accs[i * n + j].get_or_insert_with(EdgeAcc::default);
-            if let Some(rtt) = p.rtt_ms {
-                acc.rtt.push(rtt);
-                acc.rtt_samples.push(rtt);
-            }
-            if p.loss_eligible {
-                acc.loss.push(if p.lost() { 1.0 } else { 0.0 });
-            }
-            *acc.path_votes.entry(p.path_idx).or_default() += 1;
-        }
-        for t in &ds.transfers {
-            let (Some(&i), Some(&j)) = (index.get(&t.src), index.get(&t.dst)) else {
-                continue;
-            };
-            let acc = accs[i * n + j].get_or_insert_with(EdgeAcc::default);
-            acc.bw.push(t.bandwidth_kbps);
-            acc.t_rtt.push(t.rtt_ms);
-            acc.t_loss.push(t.loss_rate);
-        }
-
         let mut edges: Vec<Option<EdgeStats>> = (0..n * n).map(|_| None).collect();
-        for (cell, slot) in accs.into_iter().zip(edges.iter_mut()) {
-            let Some(acc) = cell else { continue };
-            let modal = acc
-                .path_votes
-                .iter()
-                .max_by_key(|&(&idx, &c)| (c, std::cmp::Reverse(idx)))
-                .map(|(&idx, _)| ds.as_paths.get(idx as usize).cloned().unwrap_or_default())
-                .unwrap_or_default();
-            let e = EdgeStats {
-                rtt: acc.rtt.summary(),
-                rtt_samples: acc.rtt_samples,
-                loss: acc.loss.summary(),
-                bandwidth: acc.bw.summary(),
-                transfer_rtt: acc.t_rtt.summary(),
-                transfer_loss: acc.t_loss.summary(),
-                modal_as_path: modal,
-            };
-            if !e.is_empty() {
-                *slot = Some(e);
+        for i in 0..n {
+            for j in 0..n {
+                if !table.measured(i, j) {
+                    continue;
+                }
+                let modal = table
+                    .modal_path_idx(i, j)
+                    .map(|idx| ds.as_paths.get(idx as usize).cloned().unwrap_or_default())
+                    .unwrap_or_default();
+                edges[i * n + j] = Some(EdgeStats {
+                    rtt: table.rtt(i, j),
+                    rtt_samples: table.rtt_samples(i, j).to_vec(),
+                    loss: table.loss(i, j),
+                    bandwidth: table.bandwidth(i, j),
+                    transfer_rtt: table.transfer_rtt(i, j),
+                    transfer_loss: table.transfer_loss(i, j),
+                    modal_as_path: modal,
+                });
             }
         }
         MeasurementGraph { hosts, index, edges }

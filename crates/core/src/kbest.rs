@@ -11,7 +11,8 @@
 //! second-best detour?").
 
 use crate::altpath::PathComparison;
-use crate::graph::{MeasurementGraph, Pair};
+use crate::context::AnalysisContext;
+use crate::graph::Pair;
 use crate::kernel::WeightMatrix;
 use crate::metric::Metric;
 
@@ -77,22 +78,21 @@ fn compose_along(m: &WeightMatrix, metric: &impl Metric, path: &[usize]) -> f64 
 /// loopless alternates, and an empty vector when the pair has no measured
 /// direct edge (nothing to compare against).
 ///
-/// Single-pair convenience wrapper: builds a one-shot [`WeightMatrix`] and
-/// delegates to [`k_best_alternates_in`] — per-pair loops should prebuild
-/// the matrix and call that directly (as [`crate::analysis::sensitivity`]
-/// does).
+/// Single-pair convenience wrapper: borrows the context's cached
+/// [`WeightMatrix`] and delegates to [`k_best_alternates_in`] — per-pair
+/// loops should hold the matrix reference and call that directly (as
+/// [`crate::analysis::sensitivity`] does).
 pub fn k_best_alternates(
-    graph: &MeasurementGraph,
+    cx: &AnalysisContext,
     pair: Pair,
     metric: &impl Metric,
     k: usize,
 ) -> Vec<PathComparison> {
-    let (Some(s), Some(d)) = (graph.host_index(pair.src), graph.host_index(pair.dst))
-    else {
+    let m = cx.weights(metric);
+    let (Some(s), Some(d)) = (m.host_index(pair.src), m.host_index(pair.dst)) else {
         return Vec::new();
     };
-    let m = WeightMatrix::build(graph, metric);
-    k_best_alternates_in(&m, &m.no_mask(), s, d, metric, k)
+    k_best_alternates_in(m, &m.no_mask(), s, d, metric, k)
 }
 
 /// [`k_best_alternates`] on a prebuilt [`WeightMatrix`] with a host-removal
@@ -226,8 +226,8 @@ mod tests {
     /// Diamond: 0→3 direct 100; via 1 costs 30; via 2 costs 50;
     /// via 1→2 chain costs 10+15+25 = 50 too... make distinct: 0-1-3=30,
     /// 0-2-3=50, 0-1-2-3=10+5+25=40.
-    fn diamond() -> MeasurementGraph {
-        MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+    fn diamond() -> AnalysisContext {
+        AnalysisContext::from_dataset(&dataset_from_rtt_matrix(&[
             &[0.0, 10.0, 30.0, 100.0],
             &[X, 0.0, 5.0, 20.0],
             &[X, X, 0.0, 25.0],
@@ -240,7 +240,7 @@ mod tests {
         let g = diamond();
         let pair = Pair { src: HostId(0), dst: HostId(3) };
         let kb = k_best_alternates(&g, pair, &Rtt, 3);
-        let best = best_alternate(&g, pair, &Rtt).unwrap();
+        let best = best_alternate(g.graph(), pair, &Rtt).unwrap();
         assert_eq!(kb[0].alternate_value, best.alternate_value);
         assert_eq!(kb[0].via, best.via);
     }
@@ -294,10 +294,10 @@ mod tests {
                 })
                 .collect();
             let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-            let g = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&refs));
-            for pair in g.pairs() {
+            let g = AnalysisContext::from_dataset(&dataset_from_rtt_matrix(&refs));
+            for pair in g.graph().pairs() {
                 let kb = k_best_alternates(&g, pair, &Rtt, 1);
-                let best = best_alternate(&g, pair, &Rtt);
+                let best = best_alternate(g.graph(), pair, &Rtt);
                 match (kb.first(), best) {
                     (None, None) => {}
                     (Some(a), Some(b)) => {
@@ -324,7 +324,7 @@ mod tests {
 
     #[test]
     fn missing_direct_edge_yields_empty() {
-        let g = MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&[
+        let g = AnalysisContext::from_dataset(&dataset_from_rtt_matrix(&[
             &[0.0, 10.0, X],
             &[X, 0.0, 10.0],
             &[X, X, 0.0],

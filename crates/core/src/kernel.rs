@@ -146,8 +146,8 @@ impl WeightMatrix {
             if removed[i] {
                 continue;
             }
-            for j in 0..self.n {
-                if i != j && !removed[j] && !self.values[i * self.n + j].is_nan() {
+            for (j, &gone) in removed.iter().enumerate() {
+                if i != j && !gone && !self.values[i * self.n + j].is_nan() {
                     out.push((i, j));
                 }
             }
@@ -219,8 +219,8 @@ impl BandwidthMatrix {
             if removed[i] {
                 continue;
             }
-            for j in 0..self.n {
-                if i != j && !removed[j] && !self.bw[i * self.n + j].is_nan() {
+            for (j, &gone) in removed.iter().enumerate() {
+                if i != j && !gone && !self.bw[i * self.n + j].is_nan() {
                     out.push((i, j));
                 }
             }
@@ -358,8 +358,8 @@ pub fn best_alternate_one_hop_masked(
     }
 
     let mut best: Option<(f64, usize)> = None;
-    for mid in 0..n {
-        if mid == s || mid == d || removed[mid] {
+    for (mid, &gone) in removed.iter().enumerate() {
+        if mid == s || mid == d || gone {
             continue;
         }
         let (v1, v2) = (m.value(s, mid), m.value(mid, d));
@@ -367,7 +367,7 @@ pub fn best_alternate_one_hop_masked(
             continue;
         }
         let composed = metric.compose(&[v1, v2]);
-        if best.map_or(true, |(b, _)| composed < b) {
+        if best.is_none_or(|(b, _)| composed < b) {
             best = Some((composed, mid));
         }
     }
@@ -398,8 +398,8 @@ pub fn best_alternate_bandwidth_masked(
     }
 
     let mut best: Option<(f64, usize)> = None;
-    for mid in 0..n {
-        if mid == s || mid == d || removed[mid] {
+    for (mid, &gone) in removed.iter().enumerate() {
+        if mid == s || mid == d || gone {
             continue;
         }
         let (r1, r2) = (bm.t_rtt[s * n + mid], bm.t_rtt[mid * n + d]);
@@ -408,7 +408,7 @@ pub fn best_alternate_bandwidth_masked(
             continue;
         }
         let bw = synthetic_bandwidth_kbps(&[r1, r2], &[p1, p2], mode);
-        if best.map_or(true, |(b, _)| bw > b) {
+        if best.is_none_or(|(b, _)| bw > b) {
             best = Some((bw, mid));
         }
     }
@@ -597,7 +597,7 @@ mod tests {
             mask[victim] = true;
             let rebuilt = g.without_host(g.host_at(victim));
             let masked = sweep(&m, &mask, &Rtt, SearchDepth::Unrestricted);
-            let reference = crate::analysis::cdf::compare_all_pairs(
+            let reference = crate::analysis::cdf::compare_graph(
                 &rebuilt,
                 &Rtt,
                 SearchDepth::Unrestricted,

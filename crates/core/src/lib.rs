@@ -32,6 +32,7 @@
 pub mod altpath;
 pub mod analysis;
 pub mod compose;
+pub mod context;
 pub mod graph;
 pub mod kbest;
 pub mod kernel;
@@ -47,8 +48,9 @@ pub use altpath::{
     SearchDepth,
 };
 pub use compose::mathis_bandwidth_kbps;
+pub use context::{AnalysisContext, ArtifactKind};
 pub use kbest::{k_best_alternates, k_best_alternates_in};
 pub use compose::LossComposition;
 pub use graph::{EdgeStats, MeasurementGraph, Pair};
 pub use kernel::{BandwidthMatrix, DijkstraScratch, WeightMatrix};
-pub use metric::{Loss, Metric, PropDelay, Rtt};
+pub use metric::{Loss, Metric, MetricKind, PropDelay, Rtt};

@@ -18,6 +18,20 @@ use crate::graph::EdgeStats;
 use detour_stats::quantile::percentile;
 use detour_stats::Summary;
 
+/// Identifies a metric family for artifact caching: an
+/// [`crate::context::AnalysisContext`] keys its lazily built weight
+/// matrices by the metric's kind, and the experiment registry declares its
+/// needs in these terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Mean round-trip time ([`Rtt`]).
+    Rtt,
+    /// Mean loss rate ([`Loss`]).
+    Loss,
+    /// Propagation-delay estimate ([`PropDelay`]).
+    PropDelay,
+}
+
 /// A metric over measured edges that composes along synthetic paths.
 ///
 /// `Sync` is a supertrait because the per-pair sweeps share one metric
@@ -26,6 +40,11 @@ use detour_stats::Summary;
 pub trait Metric: Sync {
     /// Short name for reports ("rtt", "loss", …).
     fn name(&self) -> &'static str;
+
+    /// Which cached-artifact family this metric belongs to. Two metrics of
+    /// the same kind must produce identical weight matrices, since the
+    /// artifact store shares one matrix per kind.
+    fn kind(&self) -> MetricKind;
 
     /// The figure-facing value of an edge (e.g. mean RTT in ms), or `None`
     /// when the edge lacks the needed measurements.
@@ -59,6 +78,10 @@ impl Metric for Rtt {
         "rtt"
     }
 
+    fn kind(&self) -> MetricKind {
+        MetricKind::Rtt
+    }
+
     fn value(&self, e: &EdgeStats) -> Option<f64> {
         e.rtt.map(|s| s.mean)
     }
@@ -79,6 +102,10 @@ pub struct Loss;
 impl Metric for Loss {
     fn name(&self) -> &'static str {
         "loss"
+    }
+
+    fn kind(&self) -> MetricKind {
+        MetricKind::Loss
     }
 
     fn value(&self, e: &EdgeStats) -> Option<f64> {
@@ -109,6 +136,10 @@ pub struct PropDelay;
 impl Metric for PropDelay {
     fn name(&self) -> &'static str {
         "propagation"
+    }
+
+    fn kind(&self) -> MetricKind {
+        MetricKind::PropDelay
     }
 
     fn value(&self, e: &EdgeStats) -> Option<f64> {

@@ -11,7 +11,7 @@
 //!   a graph rebuilt by `without_host`, value for value — the invariant
 //!   that lets the Figure-12 greedy loop drop its clone-per-candidate.
 
-use detour_core::analysis::cdf::compare_all_pairs;
+use detour_core::analysis::cdf::compare_graph;
 use detour_core::kernel::{self, DijkstraScratch, WeightMatrix};
 use detour_core::metric::{Metric, Rtt};
 use detour_core::{MeasurementGraph, SearchDepth};
@@ -79,7 +79,7 @@ fn brute_force_best(g: &MeasurementGraph, s: usize, d: usize) -> Option<f64> {
         best: &mut Option<f64>,
     ) {
         if cur == d {
-            if best.map_or(true, |b| cost < b) {
+            if best.is_none_or(|b| cost < b) {
                 *best = Some(cost);
             }
             return;
@@ -153,7 +153,7 @@ fn one_hop_kernel_matches_exhaustive_midpoint_scan() {
                     continue;
                 };
                 let c = Rtt.compose(&[v1, v2]);
-                if best.map_or(true, |b| c < b) {
+                if best.is_none_or(|b| c < b) {
                     best = Some(c);
                 }
             }
@@ -175,7 +175,7 @@ fn masked_sweep_equals_without_host_sweep() {
         let masked =
             kernel::sweep(&m, &m.masked(victim), &Rtt, SearchDepth::Unrestricted);
         let rebuilt =
-            compare_all_pairs(&g.without_host(victim), &Rtt, SearchDepth::Unrestricted);
+            compare_graph(&g.without_host(victim), &Rtt, SearchDepth::Unrestricted);
         // Full structural equality: same pairs in the same order, same
         // values bit for bit, same detour hosts (tie-breaks included).
         assert_eq!(masked, rebuilt);
@@ -190,7 +190,7 @@ fn masked_one_hop_sweep_equals_without_host_sweep() {
         let victim = HostId(rng.gen_range(0..g.len() as u32));
         let masked = kernel::sweep(&m, &m.masked(victim), &Rtt, SearchDepth::OneHop);
         let rebuilt =
-            compare_all_pairs(&g.without_host(victim), &Rtt, SearchDepth::OneHop);
+            compare_graph(&g.without_host(victim), &Rtt, SearchDepth::OneHop);
         assert_eq!(masked, rebuilt);
     });
 }

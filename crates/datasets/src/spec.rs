@@ -238,7 +238,7 @@ fn generate_on_timed(net: &Network, spec: &DatasetSpec, scale: Scale) -> (Datase
 /// Restricts a world dataset to its North American hosts, renaming it —
 /// how D2-NA and N2-NA are derived from D2 and N2.
 pub fn restrict_na(net: &Network, parent: &Dataset, name: &str) -> Dataset {
-    let keep: std::collections::HashSet<HostId> = parent
+    let keep: Vec<HostId> = parent
         .hosts
         .iter()
         .filter(|h| CITIES[net.host(h.id).city].region.is_north_america())

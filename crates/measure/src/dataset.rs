@@ -22,7 +22,7 @@ use crate::record::{HostMeta, ProbeSample, TransferSample};
 pub const MIN_SAMPLES_PER_PATH: usize = 30;
 
 /// An assembled, cleaned dataset.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Dataset name ("UW3", "D2-NA", …).
     pub name: String,
@@ -171,9 +171,6 @@ impl Dataset {
             .filter(|t| transfer_counts[&(t.src, t.dst)] >= min_transfers)
             .collect();
 
-        let mut detected_rate_limited: Vec<HostId> = detected.into_iter().collect();
-        detected_rate_limited.sort();
-
         Dataset {
             name: name.to_string(),
             hosts,
@@ -181,26 +178,34 @@ impl Dataset {
             transfers,
             as_paths,
             duration_s,
-            detected_rate_limited,
+            detected_rate_limited: detected,
         }
     }
 
     /// Restricts the dataset to a host subset (used to derive the `-NA`
     /// variants from the world datasets, and by the host-removal analysis).
-    pub fn restrict_to_hosts(&self, keep: &HashSet<HostId>) -> Dataset {
+    ///
+    /// `keep` need not be sorted or deduplicated; membership is resolved
+    /// against a normalized copy, so callers can pass slices in any order
+    /// without iteration-order hazards.
+    pub fn restrict_to_hosts(&self, keep: &[HostId]) -> Dataset {
+        let mut keep: Vec<HostId> = keep.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        let kept = |h: HostId| keep.binary_search(&h).is_ok();
         Dataset {
             name: self.name.clone(),
-            hosts: self.hosts.iter().filter(|h| keep.contains(&h.id)).cloned().collect(),
+            hosts: self.hosts.iter().filter(|h| kept(h.id)).cloned().collect(),
             probes: self
                 .probes
                 .iter()
-                .filter(|p| keep.contains(&p.src) && keep.contains(&p.dst))
+                .filter(|p| kept(p.src) && kept(p.dst))
                 .copied()
                 .collect(),
             transfers: self
                 .transfers
                 .iter()
-                .filter(|t| keep.contains(&t.src) && keep.contains(&t.dst))
+                .filter(|t| kept(t.src) && kept(t.dst))
                 .copied()
                 .collect(),
             as_paths: self.as_paths.clone(),
@@ -209,12 +214,18 @@ impl Dataset {
         }
     }
 
-    /// Directed pairs with at least one probe (or transfer) present.
-    pub fn measured_pairs(&self) -> HashSet<(HostId, HostId)> {
-        let mut set: HashSet<(HostId, HostId)> =
-            self.probes.iter().map(|p| (p.src, p.dst)).collect();
-        set.extend(self.transfers.iter().map(|t| (t.src, t.dst)));
-        set
+    /// Directed pairs with at least one probe (or transfer) present,
+    /// sorted ascending (deterministic regardless of sample order).
+    pub fn measured_pairs(&self) -> Vec<(HostId, HostId)> {
+        let set: HashSet<(HostId, HostId)> = self
+            .probes
+            .iter()
+            .map(|p| (p.src, p.dst))
+            .chain(self.transfers.iter().map(|t| (t.src, t.dst)))
+            .collect();
+        let mut pairs: Vec<(HostId, HostId)> = set.into_iter().collect();
+        pairs.sort_unstable();
+        pairs
     }
 
     /// The Table-1 row for this dataset.
@@ -440,10 +451,26 @@ mod tests {
             30,
             86_400.0,
         );
-        let keep: HashSet<HostId> = [HostId(0), HostId(1)].into();
-        let sub = ds.restrict_to_hosts(&keep);
+        // Deliberately unsorted with a duplicate: the API normalizes.
+        let sub = ds.restrict_to_hosts(&[HostId(1), HostId(0), HostId(1)]);
         assert_eq!(sub.hosts.len(), 2);
         assert_eq!(sub.measured_pairs().len(), 2);
+    }
+
+    #[test]
+    fn measured_pairs_are_sorted() {
+        let raw = clean_raw(&[2, 0, 1], 12);
+        let ds = Dataset::assemble(
+            "T",
+            (0..3).map(meta).collect(),
+            &raw,
+            RateLimitPolicy::FilterHosts,
+            30,
+            86_400.0,
+        );
+        let pairs = ds.measured_pairs();
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+        assert_eq!(pairs.len(), 6);
     }
 
     #[test]

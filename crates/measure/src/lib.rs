@@ -12,6 +12,8 @@
 //! * [`dataset`] — assembly into an analysis-ready [`dataset::Dataset`]
 //!   (probe flattening, ≥30-samples-per-path filtering, Table-1
 //!   characteristics);
+//! * [`pairtable`] — columnar per-pair aggregates, built once per dataset
+//!   and shared by every downstream analysis;
 //! * [`record`] — the sample records every downstream analysis consumes;
 //! * [`tracefile`] — a plain-text trace format so generated datasets can be
 //!   saved, inspected, and reloaded without regeneration.
@@ -21,6 +23,7 @@
 
 pub mod control;
 pub mod dataset;
+pub mod pairtable;
 pub mod ratelimit;
 pub mod record;
 pub mod schedule;
@@ -28,6 +31,7 @@ pub mod tracefile;
 
 pub use control::{run_campaign, run_campaign_sequential, CampaignConfig, ProbeKind, RawMeasurements};
 pub use dataset::{Characteristics, Dataset, MIN_SAMPLES_PER_PATH};
+pub use pairtable::PairTable;
 pub use ratelimit::RateLimitPolicy;
 pub use record::{HostMeta, Invocation, ProbeSample, TransferSample};
 pub use schedule::{Request, Schedule};

@@ -1,0 +1,347 @@
+//! Columnar per-pair aggregates: the dataset's build-once artifact.
+//!
+//! The analysis pipeline is strictly layered — traces → per-pair aggregates
+//! → weighted graph → alternate-path searches — yet the per-pair layer used
+//! to be recomputed inside every consumer. A [`PairTable`] materializes it
+//! exactly once per [`Dataset`]: for every directed host pair, the finished
+//! RTT/loss/bandwidth summaries, the raw RTT samples (the median and
+//! 10th-percentile analyses need the distribution, not just moments), and
+//! the modal AS-path pool index.
+//!
+//! Layout is columnar (one dense row-major `n × n` vector per statistic)
+//! rather than row-wise structs: consumers scan one statistic across all
+//! pairs at a time, and equality/round-trip checks compare column by
+//! column.
+//!
+//! Determinism contract: the table stores the *finished* summaries from the
+//! same incremental [`OnlineStats`] pushes, in probe order, that the
+//! downstream measurement graph historically performed. Welford means are
+//! floating-point push-order-dependent, so preserving the push order makes
+//! a graph assembled from this table bit-identical to one built directly
+//! from the dataset.
+
+use std::collections::HashMap;
+
+use detour_netsim::HostId;
+use detour_stats::{OnlineStats, Summary};
+
+use crate::dataset::Dataset;
+use crate::record::ProbeSample;
+
+/// Per-pair aggregate columns over one dataset (or probe subset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairTable {
+    hosts: Vec<HostId>,
+    /// RTT summary over returned probes, per `i * n + j` cell.
+    rtt: Vec<Option<Summary>>,
+    /// Loss-indicator summary over loss-eligible probes.
+    loss: Vec<Option<Summary>>,
+    /// Bandwidth summary over TCP transfers (kB/s).
+    bandwidth: Vec<Option<Summary>>,
+    /// Mean RTT within TCP transfers (ms).
+    transfer_rtt: Vec<Option<Summary>>,
+    /// Mean loss rate within TCP transfers.
+    transfer_loss: Vec<Option<Summary>>,
+    /// Modal AS path as an index into `Dataset::as_paths`.
+    modal_path: Vec<Option<u32>>,
+    /// Prefix offsets into `rtt_samples`, length `n * n + 1`.
+    rtt_off: Vec<u32>,
+    /// Concatenated per-cell RTT samples, in probe order.
+    rtt_samples: Vec<f64>,
+}
+
+/// Intermediate per-cell accumulator (probe order preserved).
+#[derive(Default)]
+struct CellAcc {
+    rtt: OnlineStats,
+    rtt_samples: Vec<f64>,
+    loss: OnlineStats,
+    bw: OnlineStats,
+    t_rtt: OnlineStats,
+    t_loss: OnlineStats,
+    path_votes: HashMap<u32, usize>,
+}
+
+impl PairTable {
+    /// Builds the table from every sample in `ds`.
+    pub fn build(ds: &Dataset) -> PairTable {
+        Self::build_filtered(ds, |_| true)
+    }
+
+    /// Builds the table from the probes satisfying `keep` (all transfers
+    /// are always included — the time-of-day and episode analyses only
+    /// slice probe datasets).
+    pub fn build_filtered(ds: &Dataset, keep: impl Fn(&ProbeSample) -> bool) -> PairTable {
+        let hosts: Vec<HostId> = ds.hosts.iter().map(|h| h.id).collect();
+        let index: HashMap<HostId, usize> =
+            hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        let n = hosts.len();
+        let mut accs: Vec<Option<CellAcc>> = (0..n * n).map(|_| None).collect();
+
+        for p in ds.probes.iter().filter(|p| keep(p)) {
+            let (Some(&i), Some(&j)) = (index.get(&p.src), index.get(&p.dst)) else {
+                continue;
+            };
+            let acc = accs[i * n + j].get_or_insert_with(CellAcc::default);
+            if let Some(rtt) = p.rtt_ms {
+                acc.rtt.push(rtt);
+                acc.rtt_samples.push(rtt);
+            }
+            if p.loss_eligible {
+                acc.loss.push(if p.lost() { 1.0 } else { 0.0 });
+            }
+            *acc.path_votes.entry(p.path_idx).or_default() += 1;
+        }
+        for t in &ds.transfers {
+            let (Some(&i), Some(&j)) = (index.get(&t.src), index.get(&t.dst)) else {
+                continue;
+            };
+            let acc = accs[i * n + j].get_or_insert_with(CellAcc::default);
+            acc.bw.push(t.bandwidth_kbps);
+            acc.t_rtt.push(t.rtt_ms);
+            acc.t_loss.push(t.loss_rate);
+        }
+
+        let mut table = PairTable {
+            hosts,
+            rtt: Vec::with_capacity(n * n),
+            loss: Vec::with_capacity(n * n),
+            bandwidth: Vec::with_capacity(n * n),
+            transfer_rtt: Vec::with_capacity(n * n),
+            transfer_loss: Vec::with_capacity(n * n),
+            modal_path: Vec::with_capacity(n * n),
+            rtt_off: Vec::with_capacity(n * n + 1),
+            rtt_samples: Vec::new(),
+        };
+        table.rtt_off.push(0);
+        for cell in accs {
+            // A cell counts as measured only when at least one summary
+            // materialized — mirrors the downstream graph's edge filter.
+            let keep = cell.as_ref().is_some_and(|a| {
+                a.rtt.summary().is_some()
+                    || a.loss.summary().is_some()
+                    || a.bw.summary().is_some()
+            });
+            match cell {
+                Some(a) if keep => {
+                    table.rtt.push(a.rtt.summary());
+                    table.loss.push(a.loss.summary());
+                    table.bandwidth.push(a.bw.summary());
+                    table.transfer_rtt.push(a.t_rtt.summary());
+                    table.transfer_loss.push(a.t_loss.summary());
+                    table.modal_path.push(
+                        a.path_votes
+                            .iter()
+                            .max_by_key(|&(&idx, &c)| (c, std::cmp::Reverse(idx)))
+                            .map(|(&idx, _)| idx),
+                    );
+                    table.rtt_samples.extend_from_slice(&a.rtt_samples);
+                }
+                _ => {
+                    table.rtt.push(None);
+                    table.loss.push(None);
+                    table.bandwidth.push(None);
+                    table.transfer_rtt.push(None);
+                    table.transfer_loss.push(None);
+                    table.modal_path.push(None);
+                }
+            }
+            table.rtt_off.push(table.rtt_samples.len() as u32);
+        }
+        table
+    }
+
+    /// Hosts covered, in `Dataset::hosts` order (the table's dense axis).
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// Number of hosts (the table is `n × n`).
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when the table covers no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    fn cell(&self, i: usize, j: usize) -> usize {
+        i * self.hosts.len() + j
+    }
+
+    /// True when the directed pair `(i, j)` has any aggregate.
+    pub fn measured(&self, i: usize, j: usize) -> bool {
+        let c = self.cell(i, j);
+        self.rtt[c].is_some() || self.loss[c].is_some() || self.bandwidth[c].is_some()
+    }
+
+    /// Number of measured directed pairs.
+    pub fn measured_count(&self) -> usize {
+        let n = self.hosts.len();
+        (0..n * n)
+            .filter(|&c| {
+                self.rtt[c].is_some() || self.loss[c].is_some() || self.bandwidth[c].is_some()
+            })
+            .count()
+    }
+
+    /// RTT summary of the directed pair, by dense indices.
+    pub fn rtt(&self, i: usize, j: usize) -> Option<Summary> {
+        self.rtt[self.cell(i, j)]
+    }
+
+    /// Loss summary (mean = loss rate) of the directed pair.
+    pub fn loss(&self, i: usize, j: usize) -> Option<Summary> {
+        self.loss[self.cell(i, j)]
+    }
+
+    /// Bandwidth summary (kB/s) of the directed pair.
+    pub fn bandwidth(&self, i: usize, j: usize) -> Option<Summary> {
+        self.bandwidth[self.cell(i, j)]
+    }
+
+    /// Mean-RTT-within-transfers summary of the directed pair.
+    pub fn transfer_rtt(&self, i: usize, j: usize) -> Option<Summary> {
+        self.transfer_rtt[self.cell(i, j)]
+    }
+
+    /// Mean-loss-within-transfers summary of the directed pair.
+    pub fn transfer_loss(&self, i: usize, j: usize) -> Option<Summary> {
+        self.transfer_loss[self.cell(i, j)]
+    }
+
+    /// The raw RTT samples behind [`PairTable::rtt`], in probe order.
+    pub fn rtt_samples(&self, i: usize, j: usize) -> &[f64] {
+        let c = self.cell(i, j);
+        &self.rtt_samples[self.rtt_off[c] as usize..self.rtt_off[c + 1] as usize]
+    }
+
+    /// Number of returned-probe samples for the directed pair.
+    pub fn sample_count(&self, i: usize, j: usize) -> usize {
+        self.rtt_samples(i, j).len()
+    }
+
+    /// Modal AS path of the directed pair, as an index into
+    /// `Dataset::as_paths` (`None` when the pair saw no probes).
+    pub fn modal_path_idx(&self, i: usize, j: usize) -> Option<u32> {
+        self.modal_path[self.cell(i, j)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{HostMeta, TransferSample};
+
+    fn meta(id: u32) -> HostMeta {
+        HostMeta {
+            id: HostId(id),
+            name: format!("h{id}"),
+            asn: id as u16,
+            truly_rate_limited: false,
+        }
+    }
+
+    fn probe(src: u32, dst: u32, t: f64, rtt: Option<f64>) -> ProbeSample {
+        ProbeSample {
+            src: HostId(src),
+            dst: HostId(dst),
+            t_s: t,
+            probe_index: 0,
+            rtt_ms: rtt,
+            loss_eligible: true,
+            episode: None,
+            path_idx: 0,
+        }
+    }
+
+    fn tiny_dataset() -> Dataset {
+        Dataset {
+            name: "T".into(),
+            hosts: (0..3).map(meta).collect(),
+            probes: vec![
+                probe(0, 1, 0.0, Some(50.0)),
+                probe(0, 1, 1.0, Some(70.0)),
+                probe(0, 1, 2.0, None),
+                probe(1, 2, 0.0, Some(30.0)),
+                probe(1, 2, 1.0, Some(40.0)),
+            ],
+            transfers: vec![TransferSample {
+                src: HostId(0),
+                dst: HostId(2),
+                t_s: 0.0,
+                rtt_ms: 90.0,
+                loss_rate: 0.01,
+                bandwidth_kbps: 200.0,
+            }],
+            as_paths: vec![vec![0, 9, 1]],
+            duration_s: 10.0,
+            detected_rate_limited: vec![],
+        }
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let t = PairTable::build(&tiny_dataset());
+        assert_eq!(t.len(), 3);
+        let rtt = t.rtt(0, 1).expect("0→1 measured");
+        assert_eq!(rtt.n, 2);
+        assert!((rtt.mean - 60.0).abs() < 1e-12);
+        let loss = t.loss(0, 1).expect("loss summary");
+        assert_eq!(loss.n, 3);
+        assert!((loss.mean - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.rtt_samples(0, 1), &[50.0, 70.0]);
+        assert_eq!(t.modal_path_idx(0, 1), Some(0));
+    }
+
+    #[test]
+    fn transfers_populate_bandwidth_cells() {
+        let t = PairTable::build(&tiny_dataset());
+        assert!((t.bandwidth(0, 2).unwrap().mean - 200.0).abs() < 1e-12);
+        assert!((t.transfer_rtt(0, 2).unwrap().mean - 90.0).abs() < 1e-12);
+        assert!(t.rtt(0, 2).is_none(), "no probes on this pair");
+        assert_eq!(t.modal_path_idx(0, 2), None, "transfer-only cell has no path");
+    }
+
+    #[test]
+    fn unmeasured_cells_are_empty() {
+        let t = PairTable::build(&tiny_dataset());
+        assert!(!t.measured(2, 0));
+        assert!(!t.measured(1, 0));
+        assert_eq!(t.measured_count(), 3);
+        assert!(t.rtt_samples(2, 0).is_empty());
+    }
+
+    #[test]
+    fn filtering_subsets_probes() {
+        let ds = tiny_dataset();
+        let t = PairTable::build_filtered(&ds, |p| p.t_s < 0.5);
+        let rtt = t.rtt(0, 1).unwrap();
+        assert_eq!(rtt.n, 1);
+        assert!((rtt.mean - 50.0).abs() < 1e-12);
+        assert_eq!(t.rtt_samples(0, 1), &[50.0]);
+    }
+
+    #[test]
+    fn equality_is_columnwise() {
+        let ds = tiny_dataset();
+        assert_eq!(PairTable::build(&ds), PairTable::build(&ds));
+        let mut other = ds.clone();
+        other.probes[0].rtt_ms = Some(51.0);
+        assert_ne!(PairTable::build(&ds), PairTable::build(&other));
+    }
+
+    #[test]
+    fn modal_path_prefers_most_voted_then_lowest_index() {
+        let mut ds = tiny_dataset();
+        ds.as_paths = vec![vec![1], vec![2]];
+        // Equal votes for path 0 and 1 on pair 1→2: lowest index wins.
+        ds.probes = vec![
+            ProbeSample { path_idx: 1, ..probe(1, 2, 0.0, Some(10.0)) },
+            ProbeSample { path_idx: 0, ..probe(1, 2, 1.0, Some(10.0)) },
+        ];
+        let t = PairTable::build(&ds);
+        assert_eq!(t.modal_path_idx(1, 2), Some(0));
+    }
+}

@@ -21,7 +21,7 @@
 //!   after the fact, so "only the first traceroute sample was counted
 //!   against losses".
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use detour_netsim::HostId;
 
@@ -102,13 +102,17 @@ pub fn loss_profiles(invocations: &[Invocation]) -> HashMap<HostId, HostLossProf
     map
 }
 
-/// Empirically detects rate-limiting hosts from raw invocations.
-pub fn detect_rate_limited(invocations: &[Invocation]) -> HashSet<HostId> {
-    loss_profiles(invocations)
+/// Empirically detects rate-limiting hosts from raw invocations,
+/// returned sorted by host id (a deterministic, binary-searchable list —
+/// no hash-order leakage into callers).
+pub fn detect_rate_limited(invocations: &[Invocation]) -> Vec<HostId> {
+    let mut detected: Vec<HostId> = loss_profiles(invocations)
         .into_iter()
         .filter(|(_, p)| p.invocations >= MIN_INVOCATIONS && p.gap() > DETECTION_GAP)
         .map(|(h, _)| h)
-        .collect()
+        .collect();
+    detected.sort_unstable();
+    detected
 }
 
 #[cfg(test)]

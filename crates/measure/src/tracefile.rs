@@ -112,6 +112,21 @@ pub fn from_str(text: &str) -> Result<Dataset, ParseError> {
         let line_no = i + 1;
         let line = raw_line.trim();
         if line.is_empty() || line.starts_with('#') {
+            // Comments are skipped, but a version banner is checked: loading
+            // a trace written by a future format must fail loudly rather
+            // than silently mis-parse (the on-disk cache depends on this).
+            if let Some(version) = line.strip_prefix('#').map(str::trim).and_then(|c| {
+                c.strip_prefix("detour trace v")
+            }) {
+                if version != "1" {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!(
+                            "unsupported trace version {version:?} (this reader understands v1)"
+                        ),
+                    });
+                }
+            }
             continue;
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
@@ -272,6 +287,20 @@ mod tests {
         let ds = from_str(text).unwrap();
         assert_eq!(ds.name, "X");
         assert_eq!(ds.duration_s, 10.0);
+    }
+
+    #[test]
+    fn unknown_trace_version_is_an_error() {
+        let err = from_str("# detour trace v2\ndataset X\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unsupported trace version"), "{}", err.message);
+        assert!(err.message.contains("v2") || err.message.contains("\"2\""), "{}", err.message);
+    }
+
+    #[test]
+    fn current_version_banner_is_accepted() {
+        let ds = from_str("# detour trace v1\ndataset X\nduration_s 5\n").unwrap();
+        assert_eq!(ds.name, "X");
     }
 
     #[test]

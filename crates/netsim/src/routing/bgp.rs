@@ -156,7 +156,7 @@ fn offer(rib: &mut DestRib, at: AsId, cand: Route) -> bool {
             // next hop than the (new) best; drop it if it now collides, and
             // let the demoted old best compete for the slot.
             let mut new_alt = rib.alt[i].filter(|a| a.next_hop != cand.next_hop);
-            if best.next_hop != cand.next_hop && new_alt.map_or(true, |a| best.better_than(&a)) {
+            if best.next_hop != cand.next_hop && new_alt.is_none_or(|a| best.better_than(&a)) {
                 new_alt = Some(best);
             }
             rib.alt[i] = new_alt;
@@ -164,7 +164,7 @@ fn offer(rib: &mut DestRib, at: AsId, cand: Route) -> bool {
         }
         Some(best) => {
             if cand.next_hop != best.next_hop
-                && rib.alt[i].map_or(true, |a| cand.better_than(&a))
+                && rib.alt[i].is_none_or(|a| cand.better_than(&a))
             {
                 rib.alt[i] = Some(cand);
             }

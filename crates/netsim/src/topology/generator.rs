@@ -227,8 +227,8 @@ fn build_backbone(b: &mut Builder, asn: AsId, capacity: f64, rng: &mut impl Rng)
             if !in_tree[i] {
                 continue;
             }
-            for j in 0..n {
-                if in_tree[j] {
+            for (j, &in_j) in in_tree.iter().enumerate() {
+                if in_j {
                     continue;
                 }
                 let d = dist(b, i, j);

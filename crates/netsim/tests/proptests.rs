@@ -130,7 +130,7 @@ fn utilization_stays_in_bounds_for_all_seeds() {
             let p = net.load().loss_probability(l.id, rho);
             assert!((0.0..=0.5).contains(&p));
             let q = net.load().mean_queue_delay_ms(l.id, rho);
-            assert!(q >= 0.0 && q <= 200.0);
+            assert!((0.0..=200.0).contains(&q));
         }
     });
 }

@@ -199,8 +199,7 @@ mod tests {
     #[test]
     fn run_paces_by_interval() {
         let n = net();
-        let mut cfg = OverlayConfig::default();
-        cfg.probe_interval_s = 60.0;
+        let cfg = OverlayConfig { probe_interval_s: 60.0, ..Default::default() };
         let mut ov = Overlay::new(members(&n, 3), cfg);
         let mut rng = Xoshiro256pp::seed_from_u64(3);
         ov.run(&n, SimTime::from_hours(5.0), 600.0, &mut rng);

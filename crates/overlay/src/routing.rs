@@ -66,7 +66,7 @@ impl Overlay {
             };
             let (Some(s1), Some(s2)) = (leg1.score_ms(), leg2.score_ms()) else { continue };
             let score = s1 + s2 + self.config().relay_overhead_ms;
-            if best.map_or(true, |(b, _)| score < b) {
+            if best.is_none_or(|(b, _)| score < b) {
                 best = Some((score, m));
             }
         }
@@ -218,8 +218,7 @@ mod tests {
         let n = net();
         let mut rng = Xoshiro256pp::seed_from_u64(4);
         let members: Vec<HostId> = n.hosts().iter().take(8).map(|h| h.id).collect();
-        let mut cfg = OverlayConfig::default();
-        cfg.switch_threshold = 0.95;
+        let cfg = OverlayConfig { switch_threshold: 0.95, ..Default::default() };
         let mut ov = Overlay::new(members, cfg);
         ov.run(&n, SimTime::from_hours(18.0), 300.0, &mut rng);
         for &a in ov.members() {

@@ -237,7 +237,7 @@ mod tests {
         // worker processed which item, only on the item itself.
         let out = parallel_map_init(
             &items,
-            || Vec::<u64>::new(),
+            Vec::<u64>::new,
             |scratch, &x| {
                 scratch.clear();
                 scratch.extend((0..(x % 5)).map(|i| x + i));

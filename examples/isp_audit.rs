@@ -14,15 +14,16 @@ use std::collections::HashMap;
 
 use detour::core::analysis::aspop;
 use detour::core::analysis::cdf::compare_all_pairs;
-use detour::core::{MeasurementGraph, Rtt, SearchDepth};
+use detour::core::{AnalysisContext, Rtt, SearchDepth};
 use detour::datasets::DatasetId;
 
 fn main() {
     println!("generating a reduced UW1 dataset (public traceroute servers)...");
     let ds = DatasetId::Uw1.generate_scaled(24, 4);
-    let graph = MeasurementGraph::from_dataset(&ds);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let graph = cx.graph();
 
-    let comparisons = compare_all_pairs(&graph, &Rtt, SearchDepth::Unrestricted);
+    let comparisons = compare_all_pairs(&cx, &Rtt, SearchDepth::Unrestricted);
     let losers: Vec<_> = comparisons.iter().filter(|c| c.alternate_wins()).collect();
     println!(
         "{} of {} measured pairs have a faster alternate\n",
@@ -62,7 +63,7 @@ fn main() {
     // fault of a few rogue ASes, their alternate-path counts would crater
     // relative to their default-path counts. The paper (and this model)
     // find they do not.
-    let points = aspop::analyze(&graph, &Rtt);
+    let points = aspop::analyze(&cx, &Rtt);
     let corr = aspop::log_correlation(&points).unwrap_or(f64::NAN);
     println!("\nFigure-14 cross-check over {} ASes:", points.len());
     println!("  log-correlation(default appearances, alternate appearances) = {corr:.2}");

@@ -9,7 +9,7 @@
 //! ```
 
 use detour::core::analysis::cdf::{compare_all_pairs, improvement_cdf, ratio_cdf, summarize};
-use detour::core::{Loss, MeasurementGraph, Rtt, SearchDepth};
+use detour::core::{AnalysisContext, Loss, Rtt, SearchDepth};
 use detour::datasets::DatasetId;
 
 fn main() {
@@ -23,10 +23,12 @@ fn main() {
         c.name, c.hosts, c.measurements, c.coverage_pct
     );
 
-    let graph = MeasurementGraph::from_dataset(&ds);
+    // One shared context: the pair table and graph build once here, and
+    // each metric's weight matrix builds once on first use below.
+    let cx = AnalysisContext::from_dataset(&ds);
 
     // --- Round-trip time (the paper's Figures 1-2) ---
-    let rtt_cmp = compare_all_pairs(&graph, &Rtt, SearchDepth::Unrestricted);
+    let rtt_cmp = compare_all_pairs(&cx, &Rtt, SearchDepth::Unrestricted);
     let rtt = summarize(&rtt_cmp, 20.0);
     let ratios = ratio_cdf(&rtt_cmp);
     println!("round-trip time across {} host pairs:", rtt.pairs);
@@ -41,7 +43,7 @@ fn main() {
     );
 
     // --- Loss rate (the paper's Figure 3) ---
-    let loss_cmp = compare_all_pairs(&graph, &Loss, SearchDepth::Unrestricted);
+    let loss_cmp = compare_all_pairs(&cx, &Loss, SearchDepth::Unrestricted);
     let loss = summarize(&loss_cmp, 0.05);
     println!("\nloss rate across {} host pairs:", loss.pairs);
     println!("  {:>5.1}%  have a lower-loss alternate path", 100.0 * loss.frac_better);

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 
 use detour::core::analysis::prevalence;
+use detour::core::AnalysisContext;
 use detour::datasets::DatasetId;
 use detour::measure::tracefile;
 use detour::measure::Dataset;
@@ -79,7 +80,7 @@ fn main() {
     }
 
     // Route stability.
-    let prev = prevalence::analyze(&ds);
+    let prev = prevalence::analyze(&AnalysisContext::from_dataset(&ds));
     println!("\nroute stability:");
     println!(
         "  {:.0}% of pairs ≥90% dominated by one route; {} pairs saw multiple routes",

@@ -15,7 +15,7 @@
 //! ```
 
 use detour::core::analysis::cdf::{compare_all_pairs, improvement_cdf, ratio_cdf};
-use detour::core::{MeasurementGraph, Rtt, SearchDepth};
+use detour::core::{AnalysisContext, Rtt, SearchDepth};
 use detour::datasets::{generate_on, uw3, Scale};
 use detour::netsim::{Era, Network, NetworkConfig, RoutingMode};
 
@@ -42,8 +42,8 @@ fn main() {
         cfg.mode = mode;
         let net = Network::generate(&cfg);
         let ds = generate_on(&net, &spec, scale);
-        let graph = MeasurementGraph::from_dataset(&ds);
-        let cs = compare_all_pairs(&graph, &Rtt, SearchDepth::Unrestricted);
+        let cx = AnalysisContext::from_dataset(&ds);
+        let cs = compare_all_pairs(&cx, &Rtt, SearchDepth::Unrestricted);
         let cdf = improvement_cdf(&cs);
         let ratios = ratio_cdf(&cs);
         println!(

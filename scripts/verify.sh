@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verification, fully offline: build, test, and regenerate the
-# performance baseline. The baseline binary doubles as the parallelism
-# gate — it exits non-zero if any thread count changes a report byte, or
-# if the 2-worker run is slower than the 1-worker run on a multi-core
-# host — so `set -e` makes this script fail with it.
+# Tier-1 verification, fully offline: lint, build, test, and regenerate
+# the performance baseline. The baseline binary doubles as the
+# parallelism gate — it exits non-zero if any thread count changes a
+# report byte, if any report differs from the rebuild-per-experiment
+# reference engine, or if the 2-worker warm run misses its speedup
+# target on a multi-core host — so `set -e` makes this script fail
+# with it.
 #
-# Usage: scripts/verify.sh
+# Usage: scripts/verify.sh [--fresh]
+#   --fresh   purge the trace cache under results/cache/ first, so the
+#             baseline's cold-start timing starts from an empty disk
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fresh" ]]; then
+  echo "== --fresh: purging results/cache/ =="
+  rm -f results/cache/*.trace 2>/dev/null || true
+fi
+
+echo "== cargo clippy --offline (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace --all-targets
@@ -15,14 +27,18 @@ cargo build --release --offline --workspace --all-targets
 echo "== cargo test --offline =="
 cargo test -q --offline --workspace
 
-echo "== baseline (thread-scaling + byte-identity + fig12 kernel speedup) =="
+echo "== baseline (artifact store + thread-scaling + byte-identity gates) =="
 cargo run --release --offline -q -p detour-bench --bin baseline -- BENCH_baseline.json >/dev/null
 
 echo
-echo "thread scaling (from BENCH_baseline.json):"
-printf '  %-8s %-9s %-10s %-8s %-8s %s\n' threads total generate graphs sweep speedup
-sed -n 's/.*"threads": \([0-9]*\), "seconds": \([0-9.]*\), "generate_seconds": \([0-9.]*\), "graph_build_seconds": \([0-9.]*\), "sweep_seconds": \([0-9.]*\), "speedup_vs_1": \([0-9.]*\).*/  \1        \2s    \3s     \4s   \5s   \6x/p' \
+echo "artifact cache (from BENCH_baseline.json):"
+sed -n 's/.*"cache": {"dir": "\([^"]*\)", "cold_seconds": \([0-9.]*\), "cold_hits": \([0-9]*\), "cold_misses": \([0-9]*\)}.*/  dir \1: cold start \2s (\3 hits, \4 misses)/p' \
   BENCH_baseline.json
+printf '  %-8s %-9s %-8s %-10s %-12s %-7s %-8s %s\n' \
+  threads total load contexts experiments hits builds speedup
+sed -n 's/.*"threads": \([0-9]*\), "seconds": \([0-9.]*\), "load_seconds": \([0-9.]*\), "context_seconds": \([0-9.]*\), "experiment_seconds": \([0-9.]*\), "cache_hits": \([0-9]*\), "cache_misses": [0-9]*, "artifact_builds": \([0-9]*\), "speedup_vs_1": \([0-9.]*\).*/  \1        \2s    \3s   \4s     \5s      \6      \7      \8x/p' \
+  BENCH_baseline.json
+
 echo
 echo "generate-stage scaling (one reduced UW3 generation per worker count):"
 printf '  %-8s %-9s %-9s %-10s %-9s %s\n' threads network routing campaign assemble total

@@ -4,16 +4,12 @@
 
 use detour::core::pool;
 use detour::datasets::Scale;
-use detour_bench::experiments::{run, ALL_EXPERIMENTS};
-use detour_bench::Bundle;
+use detour_bench::experiments::{run_all, ALL_EXPERIMENTS};
+use detour_bench::{Bundle, Study};
 
 fn full_report(scale: Scale) -> String {
-    let bundle = Bundle::generate(scale);
-    let mut all = String::new();
-    for id in ALL_EXPERIMENTS {
-        all.push_str(run(id, &bundle).expect("known id").as_str());
-    }
-    all
+    let study = Study::from_bundle(Bundle::generate(scale));
+    run_all(&study, ALL_EXPERIMENTS).concat()
 }
 
 #[test]
@@ -33,15 +29,15 @@ fn reports_are_byte_identical_at_1_2_and_8_threads() {
 #[test]
 fn masked_greedy_removal_is_identical_at_1_2_and_8_threads() {
     use detour::core::analysis::hostremoval::greedy_removal;
-    use detour::core::{MeasurementGraph, Rtt};
+    use detour::core::{AnalysisContext, Rtt};
     use detour::datasets::DatasetId;
 
     let ds = DatasetId::Uw3.generate_scaled(10, 24);
-    let graph = MeasurementGraph::from_dataset(&ds);
+    let cx = AnalysisContext::from_dataset(&ds);
     let mut runs = Vec::new();
     for threads in [1usize, 2, 8] {
         pool::set_threads(threads);
-        let a = greedy_removal(&graph, &Rtt, 3);
+        let a = greedy_removal(&cx, &Rtt, 3);
         // Bit-exact comparison: removal order plus both CDF headline
         // fractions, as raw f64 bits.
         runs.push((

@@ -2,7 +2,7 @@
 //! dataset → measurement graph → alternate-path analysis.
 
 use detour::core::analysis::cdf::{compare_all_pairs, improvement_cdf};
-use detour::core::{best_alternate, Loss, MeasurementGraph, Rtt, SearchDepth};
+use detour::core::{best_alternate, AnalysisContext, Loss, MeasurementGraph, Rtt, SearchDepth};
 use detour::datasets::DatasetId;
 
 #[test]
@@ -35,8 +35,8 @@ fn pipeline_produces_analyzable_graph() {
 fn generation_is_reproducible_end_to_end() {
     let a = DatasetId::Uw4B.generate_scaled(8, 24);
     let b = DatasetId::Uw4B.generate_scaled(8, 24);
-    let ga = MeasurementGraph::from_dataset(&a);
-    let gb = MeasurementGraph::from_dataset(&b);
+    let ga = AnalysisContext::from_dataset(&a);
+    let gb = AnalysisContext::from_dataset(&b);
     let ca = compare_all_pairs(&ga, &Rtt, SearchDepth::Unrestricted);
     let cb = compare_all_pairs(&gb, &Rtt, SearchDepth::Unrestricted);
     assert_eq!(ca.len(), cb.len());
@@ -50,7 +50,7 @@ fn generation_is_reproducible_end_to_end() {
 #[test]
 fn rtt_improvements_are_physical() {
     let ds = DatasetId::Uw3.generate_scaled(14, 24);
-    let g = MeasurementGraph::from_dataset(&ds);
+    let g = AnalysisContext::from_dataset(&ds);
     let cs = compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted);
     for c in &cs {
         // Nothing in North America should show second-scale RTTs or
@@ -63,7 +63,7 @@ fn rtt_improvements_are_physical() {
 #[test]
 fn loss_values_are_probabilities_all_the_way_down() {
     let ds = DatasetId::Uw3.generate_scaled(14, 24);
-    let g = MeasurementGraph::from_dataset(&ds);
+    let g = AnalysisContext::from_dataset(&ds);
     for c in compare_all_pairs(&g, &Loss, SearchDepth::Unrestricted) {
         assert!((0.0..=1.0).contains(&c.default_value));
         assert!((0.0..=1.0).contains(&c.alternate_value));
@@ -73,7 +73,7 @@ fn loss_values_are_probabilities_all_the_way_down() {
 #[test]
 fn one_hop_never_beats_unrestricted_search() {
     let ds = DatasetId::Uw3.generate_scaled(14, 24);
-    let g = MeasurementGraph::from_dataset(&ds);
+    let g = AnalysisContext::from_dataset(&ds);
     let unrestricted = compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted);
     let one_hop = compare_all_pairs(&g, &Rtt, SearchDepth::OneHop);
     // Index unrestricted results by pair for the comparison.
@@ -94,7 +94,7 @@ fn one_hop_never_beats_unrestricted_search() {
 #[test]
 fn improvement_cdf_brackets_all_comparisons() {
     let ds = DatasetId::Uw3.generate_scaled(14, 24);
-    let g = MeasurementGraph::from_dataset(&ds);
+    let g = AnalysisContext::from_dataset(&ds);
     let cs = compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted);
     let cdf = improvement_cdf(&cs);
     assert_eq!(cdf.len(), cs.len());

@@ -9,11 +9,11 @@ use detour::core::analysis::cdf::{
     compare_all_pairs, compare_all_pairs_bandwidth, improvement_cdf,
 };
 use detour::core::analysis::propagation;
-use detour::core::{Loss, LossComposition, MeasurementGraph, Rtt, SearchDepth};
+use detour::core::{AnalysisContext, Loss, LossComposition, Rtt, SearchDepth};
 use detour::datasets::{d2, n2, uw3, DatasetId, Scale};
 
 fn frac_better(ds: &detour::measure::Dataset, metric: MetricKind) -> f64 {
-    let g = MeasurementGraph::from_dataset(ds);
+    let g = AnalysisContext::from_dataset(ds);
     let cs = match metric {
         MetricKind::Rtt => compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted),
         MetricKind::Loss => compare_all_pairs(&g, &Loss, SearchDepth::Unrestricted),
@@ -54,7 +54,7 @@ fn d2_era_shows_more_loss_improvement_than_uw_era() {
     let (d2, _) = d2::generate_with_na(Scale::reduced(14, 12));
     let uw3 = detour::datasets::generate(&uw3::spec(), Scale::reduced(14, 8));
     let sig = |ds: &detour::measure::Dataset| {
-        let g = MeasurementGraph::from_dataset(ds);
+        let g = AnalysisContext::from_dataset(ds);
         let cs = compare_all_pairs(&g, &Loss, SearchDepth::Unrestricted);
         improvement_cdf(&cs).fraction_above(0.05)
     };
@@ -71,7 +71,7 @@ fn bandwidth_bounds_bracket() {
     // Paper Fig. 4: optimistic and pessimistic compositions bound each
     // other — optimistic alternates are always at least as fast.
     let (n2, _) = n2::generate_with_na(Scale::reduced(12, 12));
-    let g = MeasurementGraph::from_dataset(&n2);
+    let g = AnalysisContext::from_dataset(&n2);
     let opt = compare_all_pairs_bandwidth(&g, LossComposition::Optimistic);
     let pes = compare_all_pairs_bandwidth(&g, LossComposition::Pessimistic);
     assert_eq!(opt.len(), pes.len());
@@ -92,7 +92,7 @@ fn bandwidth_bounds_bracket() {
 fn bandwidth_alternates_exist() {
     // Paper: 70-80 % with improved bandwidth; reduced scale: demand > 35 %.
     let (n2, _) = n2::generate_with_na(Scale::reduced(12, 12));
-    let g = MeasurementGraph::from_dataset(&n2);
+    let g = AnalysisContext::from_dataset(&n2);
     let cs = compare_all_pairs_bandwidth(&g, LossComposition::Optimistic);
     assert!(!cs.is_empty());
     let f = improvement_cdf(&cs).fraction_above(0.0);
@@ -104,7 +104,7 @@ fn propagation_improvements_exist_but_mean_rtt_improvements_are_larger() {
     // Paper Fig. 15: superior alternates by propagation delay alone for
     // ~50 % of pairs, at reduced magnitude vs mean RTT.
     let ds = DatasetId::Uw3.generate_scaled(16, 8);
-    let g = MeasurementGraph::from_dataset(&ds);
+    let g = AnalysisContext::from_dataset(&ds);
     let c = propagation::propagation_cdfs(&g);
     let prop_frac = c.propagation.fraction_above(0.0);
     assert!((0.25..=0.8).contains(&prop_frac), "prop fraction {prop_frac}");
@@ -123,7 +123,7 @@ fn decomposition_census_is_structurally_sound() {
     // structure: the census partitions the points and the "typical"
     // groups 1/4 (both components agree) dominate the off-diagonal ones.
     let ds = DatasetId::Uw3.generate_scaled(20, 4);
-    let g = MeasurementGraph::from_dataset(&ds);
+    let g = AnalysisContext::from_dataset(&ds);
     let d = propagation::decompose(&g);
     assert_eq!(d.group_counts.iter().sum::<usize>(), d.points.len());
     let typical = d.group_counts[0] + d.group_counts[3];

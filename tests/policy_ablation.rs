@@ -2,7 +2,7 @@
 //! idealized routing removes most of them.
 
 use detour::core::analysis::cdf::{compare_all_pairs, improvement_cdf, ratio_cdf};
-use detour::core::{MeasurementGraph, PropDelay, Rtt, SearchDepth};
+use detour::core::{AnalysisContext, PropDelay, Rtt, SearchDepth};
 use detour::datasets::{generate_on, uw3, Scale};
 use detour::netsim::{Era, Network, NetworkConfig, RoutingMode};
 
@@ -15,8 +15,8 @@ fn dataset_under(mode: RoutingMode) -> detour::measure::Dataset {
 }
 
 fn big_win_fraction(ds: &detour::measure::Dataset) -> f64 {
-    let g = MeasurementGraph::from_dataset(ds);
-    let cs = compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted);
+    let cx = AnalysisContext::from_dataset(ds);
+    let cs = compare_all_pairs(&cx, &Rtt, SearchDepth::Unrestricted);
     ratio_cdf(&cs).fraction_above(1.5)
 }
 
@@ -37,8 +37,8 @@ fn propagation_delay_is_near_optimal_under_ideal_routing() {
     // whatever improvement remains is queue avoidance plus estimator noise
     // (the 10th percentile still carries some queuing).
     let ds = dataset_under(RoutingMode::GlobalShortestDelay);
-    let g = MeasurementGraph::from_dataset(&ds);
-    let cs = compare_all_pairs(&g, &PropDelay, SearchDepth::Unrestricted);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let cs = compare_all_pairs(&cx, &PropDelay, SearchDepth::Unrestricted);
     let cdf = improvement_cdf(&cs);
     let big = cdf.fraction_above(25.0);
     assert!(
@@ -53,8 +53,8 @@ fn policy_routing_does_leave_propagation_on_the_table() {
     // The mirror assertion: under hot-potato policy, substantial
     // propagation-delay improvements exist (paper Fig. 15).
     let ds = dataset_under(RoutingMode::PolicyHotPotato);
-    let g = MeasurementGraph::from_dataset(&ds);
-    let cs = compare_all_pairs(&g, &PropDelay, SearchDepth::Unrestricted);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let cs = compare_all_pairs(&cx, &PropDelay, SearchDepth::Unrestricted);
     let cdf = improvement_cdf(&cs);
     assert!(
         cdf.fraction_above(0.0) > 0.25,

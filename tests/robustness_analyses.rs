@@ -4,16 +4,16 @@
 use detour::core::analysis::{
     confidence, contribution, episodes, hostremoval, median, timeofday,
 };
-use detour::core::{MeasurementGraph, Rtt, SearchDepth};
+use detour::core::{AnalysisContext, Rtt, SearchDepth};
 use detour::datasets::{uw4, DatasetId, Scale};
 use detour::stats::ttest::TTestVerdict;
 
 #[test]
 fn ttest_buckets_partition_all_pairs() {
     let ds = DatasetId::Uw3.generate_scaled(12, 16);
-    let g = MeasurementGraph::from_dataset(&ds);
-    let intervals = confidence::pair_intervals(&g, &Rtt, 0.95);
-    let counts = confidence::verdict_table(&g, &Rtt, 0.95);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let intervals = confidence::pair_intervals(&cx, &Rtt, 0.95);
+    let counts = confidence::verdict_table(&cx, &Rtt, 0.95);
     assert_eq!(counts.total(), intervals.len());
     for pi in &intervals {
         assert!(pi.half_width >= 0.0);
@@ -32,9 +32,9 @@ fn ttest_buckets_partition_all_pairs() {
 #[test]
 fn stricter_confidence_is_more_conservative() {
     let ds = DatasetId::Uw3.generate_scaled(12, 16);
-    let g = MeasurementGraph::from_dataset(&ds);
-    let at95 = confidence::verdict_table(&g, &Rtt, 0.95);
-    let at999 = confidence::verdict_table(&g, &Rtt, 0.999);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let at95 = confidence::verdict_table(&cx, &Rtt, 0.95);
+    let at999 = confidence::verdict_table(&cx, &Rtt, 0.999);
     assert!(at999.indeterminate >= at95.indeterminate);
     assert!(at999.better <= at95.better);
 }
@@ -44,7 +44,8 @@ fn time_slices_cover_all_probes_and_effect_persists() {
     // Needs a trace spanning at least one full week so every slice (incl.
     // the weekend) has data: UW4-B at divisor 2 covers 7 days cheaply.
     let ds = DatasetId::Uw4B.generate_scaled(10, 2);
-    let slices = timeofday::improvement_by_slice(&ds, &Rtt, SearchDepth::Unrestricted);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let slices = timeofday::improvement_by_slice(&cx, &Rtt, SearchDepth::Unrestricted);
     assert_eq!(slices.len(), 5);
     for (slice, cdf) in &slices {
         assert!(
@@ -61,7 +62,8 @@ fn time_slices_cover_all_probes_and_effect_persists() {
 #[test]
 fn episode_analysis_runs_on_real_uw4() {
     let (a, b) = uw4::generate_both(Scale::reduced(8, 16));
-    let r = episodes::analyze(&a, &b, &Rtt);
+    let (ca, cb) = (AnalysisContext::from_dataset(&a), AnalysisContext::from_dataset(&b));
+    let r = episodes::analyze(&ca, &cb, &Rtt);
     assert!(r.episodes > 10, "got {} episodes", r.episodes);
     assert!(!r.unaveraged.is_empty());
     assert!(!r.pair_averaged.is_empty());
@@ -76,8 +78,8 @@ fn episode_analysis_runs_on_real_uw4() {
 #[test]
 fn greedy_removal_keeps_the_effect_alive() {
     let ds = DatasetId::Uw3.generate_scaled(24, 16);
-    let g = MeasurementGraph::from_dataset(&ds);
-    let r = hostremoval::greedy_removal(&g, &Rtt, 3);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let r = hostremoval::greedy_removal(&cx, &Rtt, 3);
     assert_eq!(r.removed.len(), 3);
     let (before, after) = hostremoval::improved_fractions(&r);
     assert!(before > 0.2, "baseline effect too weak: {before}");
@@ -88,21 +90,25 @@ fn greedy_removal_keeps_the_effect_alive() {
 #[test]
 fn contribution_is_spread_across_hosts() {
     let ds = DatasetId::Uw3.generate_scaled(24, 16);
-    let g = MeasurementGraph::from_dataset(&ds);
-    let a = contribution::analyze(&g, &Rtt);
-    assert_eq!(a.normalized.len(), g.len());
+    let cx = AnalysisContext::from_dataset(&ds);
+    let a = contribution::analyze(&cx, &Rtt);
+    assert_eq!(a.normalized.len(), cx.graph().len());
     let share = contribution::max_share(&a);
     assert!(share < 0.6, "one host contributes {share} of all improvement");
     // Most hosts contribute something on a policy-routed topology.
     let contributors = a.normalized.values().filter(|&&v| v > 0.0).count();
-    assert!(contributors * 2 > g.len(), "{contributors}/{} contribute", g.len());
+    assert!(
+        contributors * 2 > cx.graph().len(),
+        "{contributors}/{} contribute",
+        cx.graph().len()
+    );
 }
 
 #[test]
 fn mean_and_median_agree_on_the_conclusion() {
     let ds = DatasetId::D2Na.generate_scaled(12, 16);
-    let g = MeasurementGraph::from_dataset(&ds);
-    let cmp = median::analyze(&g);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let cmp = median::analyze(&cx);
     let f_mean = cmp.mean_based.fraction_above(0.0);
     let f_median = cmp.median_based.fraction_above(0.0);
     assert!(

@@ -1,10 +1,12 @@
 //! Trace files survive a full save → load → re-analyze cycle with
-//! bit-identical analysis results.
+//! bit-identical analysis results — the property the on-disk trace cache
+//! stands on: a dataset loaded from `results/cache/` must be
+//! indistinguishable from the generation it replaced.
 
 use detour::core::analysis::cdf::compare_all_pairs;
-use detour::core::{MeasurementGraph, Rtt, SearchDepth};
+use detour::core::{AnalysisContext, Rtt, SearchDepth};
 use detour::datasets::DatasetId;
-use detour::measure::tracefile;
+use detour::measure::{tracefile, PairTable};
 
 #[test]
 fn saved_and_reloaded_datasets_analyze_identically() {
@@ -16,8 +18,8 @@ fn saved_and_reloaded_datasets_analyze_identically() {
     assert_eq!(reloaded.probes.len(), ds.probes.len());
     assert_eq!(reloaded.as_paths, ds.as_paths);
 
-    let g1 = MeasurementGraph::from_dataset(&ds);
-    let g2 = MeasurementGraph::from_dataset(&reloaded);
+    let g1 = AnalysisContext::from_dataset(&ds);
+    let g2 = AnalysisContext::from_dataset(&reloaded);
     let c1 = compare_all_pairs(&g1, &Rtt, SearchDepth::Unrestricted);
     let c2 = compare_all_pairs(&g2, &Rtt, SearchDepth::Unrestricted);
     assert_eq!(c1.len(), c2.len());
@@ -27,6 +29,58 @@ fn saved_and_reloaded_datasets_analyze_identically() {
         assert_eq!(a.alternate_value, b.alternate_value);
         assert_eq!(a.via, b.via);
     }
+}
+
+#[test]
+fn pair_table_is_identical_after_a_round_trip() {
+    // The aggregate layer the whole analysis stack is built on must come
+    // out of a trace file bit-for-bit — including the episodic dataset
+    // (UW4-A carries episode ids) and the rate-limit metadata, which the
+    // text format stores as dedicated fields.
+    for ds in [
+        DatasetId::Uw4A.generate_scaled(8, 24),
+        DatasetId::Uw4B.generate_scaled(8, 24),
+        DatasetId::Uw3.generate_scaled(10, 24),
+    ] {
+        let back = tracefile::from_str(&tracefile::to_string(&ds)).unwrap();
+        assert_eq!(back, ds, "{}: dataset fields changed across the trip", ds.name);
+        assert_eq!(
+            PairTable::build(&back),
+            PairTable::build(&ds),
+            "{}: pair table changed across the trip",
+            ds.name
+        );
+    }
+}
+
+#[test]
+fn episodic_and_ratelimit_fields_survive_the_trip() {
+    let ds = DatasetId::Uw4A.generate_scaled(8, 24);
+    assert!(
+        ds.probes.iter().any(|p| p.episode.is_some()),
+        "UW4-A should carry episode ids (test needs them)"
+    );
+    let back = tracefile::from_str(&tracefile::to_string(&ds)).unwrap();
+    let episodes = |d: &detour::measure::Dataset| {
+        d.probes.iter().map(|p| p.episode).collect::<Vec<_>>()
+    };
+    assert_eq!(episodes(&back), episodes(&ds));
+    assert_eq!(back.detected_rate_limited, ds.detected_rate_limited);
+    let limited = |d: &detour::measure::Dataset| {
+        d.hosts.iter().map(|h| h.truly_rate_limited).collect::<Vec<_>>()
+    };
+    assert_eq!(limited(&back), limited(&ds));
+}
+
+#[test]
+fn unknown_trace_versions_fail_loudly() {
+    let ds = DatasetId::Uw4B.generate_scaled(8, 24);
+    let text = tracefile::to_string(&ds).replace("# detour trace v1", "# detour trace v2");
+    let err = tracefile::from_str(&text).expect_err("future version must not parse");
+    assert!(
+        err.to_string().contains("unsupported trace version"),
+        "unhelpful error: {err}"
+    );
 }
 
 #[test]
