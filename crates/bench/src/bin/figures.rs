@@ -27,7 +27,7 @@ use std::path::Path;
 use std::process::exit;
 use std::time::Instant;
 
-use detour_bench::experiments::{run_all, ALL_EXPERIMENTS};
+use detour_bench::experiments::{self, run_all, ALL_EXPERIMENTS, FAULT_EXPERIMENTS};
 use detour_bench::extras::{self, EXTRA_EXPERIMENTS};
 use detour_bench::{cache, Bundle, Study};
 use detour_core::pool;
@@ -63,15 +63,19 @@ fn main() {
     let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
         let mut v = ALL_EXPERIMENTS.to_vec();
         v.extend(EXTRA_EXPERIMENTS);
+        v.extend(FAULT_EXPERIMENTS);
         v
     } else {
         ids
     };
 
     for id in &ids {
-        if !ALL_EXPERIMENTS.contains(id) && !EXTRA_EXPERIMENTS.contains(id) {
+        if !ALL_EXPERIMENTS.contains(id)
+            && !EXTRA_EXPERIMENTS.contains(id)
+            && !FAULT_EXPERIMENTS.contains(id)
+        {
             eprintln!(
-                "unknown experiment {id:?}; known: {ALL_EXPERIMENTS:?} + {EXTRA_EXPERIMENTS:?}"
+                "unknown experiment {id:?}; known: {ALL_EXPERIMENTS:?} + {EXTRA_EXPERIMENTS:?} + {FAULT_EXPERIMENTS:?}"
             );
             exit(2);
         }
@@ -117,8 +121,13 @@ fn main() {
         let report = if ALL_EXPERIMENTS.contains(&id) {
             paper_iter.next().expect("engine report per paper id").1
         } else {
+            // Extras and the fault experiments run inline after the engine
+            // batch (the fault sweeps generate their own datasets and touch
+            // no shared study artifact).
             let t = Instant::now();
-            let r = extras::run(id, &study).expect("id validated above");
+            let r = extras::run(id, &study)
+                .or_else(|| experiments::run(id, &study))
+                .expect("id validated above");
             eprintln!("[{id} done in {:.1?}]", t.elapsed());
             r
         };

@@ -35,6 +35,11 @@ pub struct CacheStats {
     pub hits: usize,
     /// Datasets regenerated (and re-saved).
     pub misses: usize,
+    /// Cache files that existed but were corrupt — truncated, unparseable,
+    /// or holding the wrong dataset. Each was renamed to
+    /// `{file}.quarantined` for post-mortem and its dataset regenerated
+    /// (so every quarantine is also counted as a miss).
+    pub quarantined: usize,
 }
 
 /// The cache file for one dataset at one scale.
@@ -47,10 +52,36 @@ pub fn cache_path(dir: &Path, name: &str, scale: Scale) -> PathBuf {
     ))
 }
 
-/// A cached dataset, if present, parseable, and actually the named dataset.
-fn load_cached(dir: &Path, name: &str, scale: Scale) -> Option<Dataset> {
-    let ds = tracefile::load(&cache_path(dir, name, scale)).ok()?;
-    (ds.name == name).then_some(ds)
+/// What probing one cache file found.
+enum CacheProbe {
+    /// Present, parseable, and actually the named dataset.
+    Loaded(Dataset),
+    /// No file (or unreadable): a plain miss.
+    Missing,
+    /// A file exists but is truncated, unparseable, or holds the wrong
+    /// dataset. The caller quarantines it rather than overwriting the
+    /// evidence.
+    Corrupt,
+}
+
+/// Probes the cache file for one dataset without touching it.
+fn probe_cached(dir: &Path, name: &str, scale: Scale) -> CacheProbe {
+    let path = cache_path(dir, name, scale);
+    if !path.exists() {
+        return CacheProbe::Missing;
+    }
+    match tracefile::load(&path) {
+        Ok(ds) if ds.name == name => CacheProbe::Loaded(ds),
+        Ok(_) | Err(_) => CacheProbe::Corrupt,
+    }
+}
+
+/// The quarantine destination for a corrupt cache file:
+/// `{name}.trace.quarantined`, next to the original.
+pub fn quarantine_path(dir: &Path, name: &str, scale: Scale) -> PathBuf {
+    let mut p = cache_path(dir, name, scale).into_os_string();
+    p.push(".quarantined");
+    PathBuf::from(p)
 }
 
 impl Bundle {
@@ -66,31 +97,46 @@ impl Bundle {
         let families: [usize; FAMILIES] = [0, 1, 2, 3, 4];
         let outcomes = pool::parallel_map(&families, |&family| -> std::io::Result<_> {
             let names = family_names(family);
-            let cached: Option<Vec<Dataset>> =
-                names.iter().map(|n| load_cached(dir, n, scale)).collect();
-            if let Some(dss) = cached {
-                return Ok((dss, names.len(), 0));
+            let mut loaded = Vec::with_capacity(names.len());
+            let mut quarantined = 0;
+            for n in names {
+                match probe_cached(dir, n, scale) {
+                    CacheProbe::Loaded(ds) => loaded.push(ds),
+                    CacheProbe::Missing => {}
+                    CacheProbe::Corrupt => {
+                        std::fs::rename(
+                            cache_path(dir, n, scale),
+                            quarantine_path(dir, n, scale),
+                        )?;
+                        quarantined += 1;
+                    }
+                }
+            }
+            if loaded.len() == names.len() && quarantined == 0 {
+                return Ok((loaded, names.len(), 0, 0));
             }
             let dss = generate_family(family, scale);
             for ds in &dss {
                 tracefile::save(ds, &cache_path(dir, &ds.name, scale))?;
             }
-            Ok((dss, 0, names.len()))
+            Ok((dss, 0, names.len(), quarantined))
         });
         let mut stats = CacheStats::default();
         let mut built = Vec::with_capacity(FAMILIES);
         for outcome in outcomes {
-            let (dss, hits, misses): (Vec<Dataset>, usize, usize) = outcome?;
+            let (dss, hits, misses, quarantined): (Vec<Dataset>, usize, usize, usize) = outcome?;
             stats.hits += hits;
             stats.misses += misses;
+            stats.quarantined += quarantined;
             built.push(dss);
         }
         Ok((Bundle::from_families(built), stats))
     }
 }
 
-/// Deletes every cache file in `dir` (the `--fresh` flag). Missing
-/// directories count as already purged.
+/// Deletes every cache file in `dir` — live `.trace` entries and
+/// `.quarantined` corpses alike (the `--fresh` flag). Missing directories
+/// count as already purged.
 pub fn purge(dir: &Path) -> std::io::Result<usize> {
     let mut removed = 0;
     let entries = match std::fs::read_dir(dir) {
@@ -100,7 +146,7 @@ pub fn purge(dir: &Path) -> std::io::Result<usize> {
     };
     for entry in entries {
         let path = entry?.path();
-        if path.extension().is_some_and(|e| e == "trace") {
+        if path.extension().is_some_and(|e| e == "trace" || e == "quarantined") {
             std::fs::remove_file(&path)?;
             removed += 1;
         }
@@ -146,14 +192,47 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_cache_entry_is_a_miss() {
+    fn corrupt_cache_entry_is_quarantined_and_regenerated() {
         let dir = tmp_dir("corrupt");
         let scale = Scale::reduced(8, 24);
         let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
-        std::fs::write(cache_path(&dir, "UW3", scale), "# detour trace v9\n").unwrap();
+        let bad = "# detour trace v9\n";
+        std::fs::write(cache_path(&dir, "UW3", scale), bad).unwrap();
         let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
         assert_eq!((stats.hits, stats.misses), (7, 1), "UW3 family regenerates");
+        assert_eq!(stats.quarantined, 1, "the corrupt file is quarantined");
         assert_eq!(again.uw3, reference.uw3, "regeneration restores the dataset");
+        let corpse = quarantine_path(&dir, "UW3", scale);
+        assert_eq!(
+            std::fs::read_to_string(&corpse).unwrap(),
+            bad,
+            "quarantine preserves the corrupt bytes for post-mortem"
+        );
+        let (_, warm) = Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!(
+            (warm.hits, warm.misses, warm.quarantined),
+            (8, 0, 0),
+            "the rewritten entry is healthy; the corpse is ignored"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_cache_entry_is_quarantined_and_regenerated() {
+        let dir = tmp_dir("truncate");
+        let scale = Scale::reduced(8, 24);
+        let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        // Chop a valid trace mid-record — simulating a crash during save.
+        // Cutting one byte into a line leaves a one-letter record type the
+        // parser rejects, so the detection is deterministic.
+        let path = cache_path(&dir, "UW3", scale);
+        let whole = std::fs::read_to_string(&path).unwrap();
+        let cut = whole[..whole.len() / 2].rfind('\n').unwrap() + 2;
+        std::fs::write(&path, &whole[..cut]).unwrap();
+        let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!(stats.quarantined, 1, "the truncated file is quarantined");
+        assert_eq!(again.uw3, reference.uw3, "regeneration restores the dataset");
+        assert!(quarantine_path(&dir, "UW3", scale).exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -82,7 +82,10 @@ const BANDWIDTH_N2: &[Need] =
 
 const UW3_RTT: &[Need] = &[Need::Weights(DataKey::Uw3, MetricKind::Rtt)];
 
-/// Every paper experiment, in paper order.
+/// Every registered experiment: the paper artifacts in paper order,
+/// followed by the fault-injection experiments (which are in the registry
+/// so `figures` can dispatch them, but outside [`ALL_EXPERIMENTS`] so the
+/// perf baseline measures only the paper set).
 pub const REGISTRY: &[Experiment] = &[
     Experiment { id: "table1", needs: &[], run: table1 },
     Experiment { id: "fig1", needs: HEADLINE_RTT, run: fig1 },
@@ -128,6 +131,10 @@ pub const REGISTRY: &[Experiment] = &[
         run: fig15,
     },
     Experiment { id: "fig16", needs: UW3_RTT, run: fig16 },
+    // Self-contained: generates its own tiny faulted datasets, touching no
+    // study artifact — so it declares no needs and can run after the
+    // engine batch without serializing behind it.
+    Experiment { id: "outage_sweep", needs: &[], run: outage_sweep },
 ];
 
 /// All experiment identifiers, in paper order.
@@ -135,6 +142,12 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2",
     "table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 ];
+
+/// The fault-injection experiments (DESIGN.md §6e). Registered like the
+/// paper set but listed separately: `figures` runs them, the `baseline`
+/// perf gates do not (their cost is dataset generation, which is constant
+/// across engine thread counts and would dilute the speedup gates).
+pub const FAULT_EXPERIMENTS: &[&str] = &["outage_sweep"];
 
 /// Looks an experiment up by id.
 pub fn find(id: &str) -> Option<&'static Experiment> {
@@ -704,6 +717,115 @@ pub fn fig16(s: &Study) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// outage_sweep — detour prevalence under injected failures (DESIGN.md §6e)
+// ---------------------------------------------------------------------------
+
+/// The fault-intensity grid the sweep walks. `0` is the fault-free
+/// control; `1` matches the per-class defaults of
+/// [`detour_faults::FaultConfig::with_intensity`]; the geometric tail
+/// pushes into the regime where host downtime starves pairs below the
+/// paper's minimum-sample filter.
+const SWEEP_INTENSITIES: [f64; 4] = [0.0, 1.0, 4.0, 16.0];
+
+/// Seed for the sweep's fault schedules and its simulated Internet.
+const SWEEP_SEED: u64 = 0x6f75_7467; // "outg"
+
+/// A small UW3-like collection the sweep regenerates per intensity: one
+/// simulated day, a dozen NA traceroute hosts, paired exponential
+/// requests. Small enough that four generations stay test-affordable,
+/// long enough that ~1/day failure processes actually fire.
+fn sweep_spec(faults: detour_faults::FaultConfig) -> detour_datasets::DatasetSpec {
+    detour_datasets::DatasetSpec {
+        name: "SWEEP",
+        era: detour_netsim::Era::Y1999,
+        network_seed: SWEEP_SEED,
+        campaign_seed: SWEEP_SEED ^ 1,
+        duration_days: 1.0,
+        n_hosts: 12,
+        n_hosts_na: 12,
+        schedule: detour_measure::Schedule::PairwiseExponentialPaired { mean_s: 20.0 },
+        campaign: detour_measure::CampaignConfig::traceroute(),
+        policy: detour_measure::RateLimitPolicy::FilterHosts,
+        // The paper's filter. The schedule budgets ~2x this per directed
+        // pair, so the fault-free control passes comfortably while heavy
+        // host downtime pushes pairs below it — which is the effect the
+        // sweep exists to surface.
+        min_samples: 30,
+        prescreened: false,
+        faults,
+    }
+}
+
+/// Sweep: how the paper's headline result — 30-80 % of pairs have a
+/// better alternate — degrades (or does not) as link, router, BGP, host,
+/// and storm failures intensify. Each intensity regenerates the same
+/// small collection with only the fault knob turned, then reruns the
+/// Figure-1 analysis on whatever the degraded campaign still measured.
+pub fn outage_sweep(_s: &Study) -> String {
+    let mut out = header("Sweep: detour prevalence vs failure intensity");
+    // Each intensity is an independent generate→analyze chain; the pool
+    // merges in input order so the report is byte-identical at any thread
+    // count (and the fault schedules themselves are pure functions of the
+    // seed, so the whole table replays exactly).
+    let rows = pool::parallel_map(&SWEEP_INTENSITIES, |&intensity| {
+        let faults = detour_faults::FaultConfig::with_intensity(SWEEP_SEED ^ 2, intensity);
+        let mut ds =
+            detour_datasets::generate(&sweep_spec(faults), detour_datasets::Scale::full());
+        ds.name = format!("SWEEP-x{intensity}");
+        let cx = AnalysisContext::from_dataset(&ds);
+        let deg = cx.degradation();
+        let cs = rtt_comparisons(&cx);
+        let summary = cdf::summarize(&cs, 20.0);
+        (intensity, deg, cs.len(), summary)
+    });
+    out.push_str(&format!(
+        "{:>10} {:>8} {:>9} {:>9} {:>8} {:>10}  {}\n",
+        "intensity", "compared", "starved", "isolated", "better", ">=20ms", "health"
+    ));
+    for (intensity, deg, pairs, summary) in &rows {
+        let (better, signif) = if *pairs == 0 {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (pct(summary.frac_better), pct(summary.frac_significantly_better))
+        };
+        out.push_str(&format!(
+            "{:>10} {:>8} {:>9} {:>9} {:>8} {:>10}  {}\n",
+            intensity,
+            pairs,
+            deg.starved_pairs,
+            deg.isolated_hosts,
+            better,
+            signif,
+            deg.summary(),
+        ));
+    }
+    let control = &rows[0];
+    let heaviest = rows.last().expect("non-empty grid");
+    out.push_str(&check(
+        "fault-free control inside the paper's headline band",
+        "30-80% better",
+        pct(control.3.frac_better),
+    ));
+    out.push_str(&check(
+        "faults starve pairs rather than silently vanishing",
+        "starved/isolated grow with intensity",
+        format!(
+            "starved {} -> {}, isolated {} -> {}",
+            control.1.starved_pairs,
+            heaviest.1.starved_pairs,
+            control.1.isolated_hosts,
+            heaviest.1.isolated_hosts,
+        ),
+    ));
+    out.push_str(&check(
+        "the detour phenomenon survives on the measured remainder",
+        "better-fraction stays in band",
+        pct(heaviest.3.frac_better),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,7 +835,9 @@ mod tests {
     #[test]
     fn registry_matches_id_list_in_order() {
         let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
-        assert_eq!(ids, ALL_EXPERIMENTS);
+        let expected: Vec<&str> =
+            ALL_EXPERIMENTS.iter().chain(FAULT_EXPERIMENTS).copied().collect();
+        assert_eq!(ids, expected);
     }
 
     #[test]

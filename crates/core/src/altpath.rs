@@ -181,6 +181,7 @@ mod tests {
             as_paths: vec![vec![0]],
             duration_s: 100.0,
             detected_rate_limited: vec![],
+            starved_pairs: 0,
         }
     }
 

@@ -110,6 +110,7 @@ mod tests {
             as_paths,
             duration_s: 10.0,
             detected_rate_limited: vec![],
+            starved_pairs: 0,
         }
     }
 

@@ -137,6 +137,7 @@ mod tests {
             as_paths: vec![vec![0]],
             duration_s: 40_000.0,
             detected_rate_limited: vec![],
+            starved_pairs: 0,
         };
         (make(episodic), make(averaged))
     }

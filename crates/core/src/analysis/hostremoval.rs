@@ -184,6 +184,7 @@ mod tests {
             as_paths: vec![vec![0]],
             duration_s: 10.0,
             detected_rate_limited: vec![],
+            starved_pairs: 0,
         }
     }
 

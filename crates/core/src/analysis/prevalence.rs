@@ -103,6 +103,7 @@ mod tests {
             as_paths: vec![vec![0, 1], vec![0, 2, 1], vec![0, 3, 1]],
             duration_s: 10.0,
             detected_rate_limited: vec![],
+            starved_pairs: 0,
         }
     }
 

@@ -156,6 +156,68 @@ impl AnalysisContext {
     pub fn artifact_builds(&self) -> usize {
         self.builds.load(Ordering::Relaxed)
     }
+
+    /// Measures how degraded this dataset is — the graceful-degradation
+    /// contract every report leans on under fault injection. Derived from
+    /// the pair table, so it is free relative to any analysis.
+    pub fn degradation(&self) -> Degradation {
+        let n = self.table.len();
+        let mut isolated_hosts = 0;
+        for i in 0..n {
+            let connected = (0..n)
+                .any(|j| i != j && (self.table.measured(i, j) || self.table.measured(j, i)));
+            if !connected {
+                isolated_hosts += 1;
+            }
+        }
+        Degradation {
+            hosts: n,
+            isolated_hosts,
+            measured_pairs: self.table.measured_count(),
+            possible_pairs: n * n.saturating_sub(1),
+            starved_pairs: self.dataset.starved_pairs,
+        }
+    }
+}
+
+/// How far a dataset falls short of full measurement coverage. Under the
+/// paper's benign conditions everything is near-complete; injected faults
+/// starve pairs below the ≥30-sample filter, isolate hosts, or empty the
+/// dataset outright — all of which must surface as flags in reports, not
+/// as crashes or silently skewed aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Degradation {
+    /// Hosts present in the assembled dataset.
+    pub hosts: usize,
+    /// Hosts with no surviving measurement in either direction.
+    pub isolated_hosts: usize,
+    /// Directed pairs with surviving data.
+    pub measured_pairs: usize,
+    /// `hosts · (hosts − 1)`.
+    pub possible_pairs: usize,
+    /// Directed pairs dropped by the min-sample filter at assembly (they
+    /// had data, but too little to trust).
+    pub starved_pairs: usize,
+}
+
+impl Degradation {
+    /// True when a report built from this dataset must carry a DEGRADED
+    /// flag.
+    pub fn is_degraded(&self) -> bool {
+        self.starved_pairs > 0 || self.isolated_hosts > 0 || self.measured_pairs == 0
+    }
+
+    /// One-line status for report headers: `OK` or
+    /// `DEGRADED[starved=…, isolated=…, pairs=…/…]`.
+    pub fn summary(&self) -> String {
+        if !self.is_degraded() {
+            return format!("OK[pairs={}/{}]", self.measured_pairs, self.possible_pairs);
+        }
+        format!(
+            "DEGRADED[starved={}, isolated={}, pairs={}/{}]",
+            self.starved_pairs, self.isolated_hosts, self.measured_pairs, self.possible_pairs
+        )
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +257,7 @@ mod tests {
             as_paths: vec![vec![0, 9, 1]],
             duration_s: 10.0,
             detected_rate_limited: vec![],
+            starved_pairs: 0,
         }
     }
 
@@ -238,5 +301,50 @@ mod tests {
     fn context_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<AnalysisContext>();
+    }
+
+    #[test]
+    fn healthy_dataset_reports_ok() {
+        let cx = AnalysisContext::from_dataset(&tiny_dataset());
+        let d = cx.degradation();
+        assert!(!d.is_degraded(), "{d:?}");
+        assert_eq!(d.hosts, 3);
+        assert_eq!(d.measured_pairs, 3);
+        assert_eq!(d.possible_pairs, 6);
+        assert!(d.summary().starts_with("OK["), "{}", d.summary());
+    }
+
+    #[test]
+    fn starved_and_isolated_hosts_flag_degradation() {
+        let mut ds = tiny_dataset();
+        ds.starved_pairs = 4;
+        // Add a host with no measurements at all.
+        ds.hosts.push(HostMeta {
+            id: HostId(9),
+            name: "h9".into(),
+            asn: 9,
+            truly_rate_limited: false,
+        });
+        let cx = AnalysisContext::from_dataset(&ds);
+        let d = cx.degradation();
+        assert!(d.is_degraded());
+        assert_eq!(d.isolated_hosts, 1);
+        assert_eq!(d.starved_pairs, 4);
+        let s = d.summary();
+        assert!(s.contains("DEGRADED") && s.contains("starved=4"), "{s}");
+    }
+
+    #[test]
+    fn empty_dataset_degrades_gracefully() {
+        let mut ds = tiny_dataset();
+        ds.probes.clear();
+        // Building every artifact on an empty dataset must not panic.
+        let cx = AnalysisContext::from_dataset(&ds);
+        cx.ensure(ArtifactKind::Weights(MetricKind::Rtt));
+        cx.ensure(ArtifactKind::Bandwidth);
+        let d = cx.degradation();
+        assert!(d.is_degraded());
+        assert_eq!(d.measured_pairs, 0);
+        assert_eq!(d.isolated_hosts, d.hosts);
     }
 }

@@ -241,6 +241,7 @@ mod tests {
             as_paths: vec![vec![0, 9, 1]],
             duration_s: 10.0,
             detected_rate_limited: vec![],
+            starved_pairs: 0,
         }
     }
 

@@ -507,6 +507,7 @@ mod tests {
             as_paths: vec![vec![0]],
             duration_s: 10.0,
             detected_rate_limited: vec![],
+            starved_pairs: 0,
         }
     }
 

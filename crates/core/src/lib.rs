@@ -48,7 +48,7 @@ pub use altpath::{
     SearchDepth,
 };
 pub use compose::mathis_bandwidth_kbps;
-pub use context::{AnalysisContext, ArtifactKind};
+pub use context::{AnalysisContext, ArtifactKind, Degradation};
 pub use kbest::{k_best_alternates, k_best_alternates_in};
 pub use compose::LossComposition;
 pub use graph::{EdgeStats, MeasurementGraph, Pair};

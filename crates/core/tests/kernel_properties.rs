@@ -61,6 +61,7 @@ fn random_dataset(rng: &mut Xoshiro256pp) -> Dataset {
         as_paths: vec![vec![0]],
         duration_s: 10.0,
         detected_rate_limited: vec![],
+        starved_pairs: 0,
     }
 }
 

@@ -31,6 +31,7 @@ pub fn spec() -> DatasetSpec {
         policy: RateLimitPolicy::FirstSampleOnly,
         min_samples: 30,
         prescreened: false,
+        faults: detour_faults::FaultConfig::none(),
     }
 }
 

@@ -7,10 +7,11 @@
 //! request schedule → run the measurement campaign → assemble and clean the
 //! dataset.
 
+use detour_faults::FaultConfig;
 use detour_netsim::geo::CITIES;
 use detour_netsim::{Era, HostId, Network, NetworkConfig};
 use detour_measure::{
-    run_campaign, CampaignConfig, Dataset, HostMeta, RateLimitPolicy, Schedule,
+    run_campaign_faulted, CampaignConfig, Dataset, HostMeta, RateLimitPolicy, Schedule,
 };
 use detour_prng::Xoshiro256pp;
 use detour_prng::SliceRandom;
@@ -46,6 +47,11 @@ pub struct DatasetSpec {
     /// Whether the host pool was pre-screened to exclude ICMP rate
     /// limiters (UW4 drew from hosts already validated during UW3).
     pub prescreened: bool,
+    /// Injected faults ([`FaultConfig::none`] for every paper dataset).
+    /// The network-side classes (links, routers, withdrawals) go into the
+    /// network build; the campaign-side classes (host outages, storms,
+    /// truncation) into the measurement run — one knob drives both.
+    pub faults: FaultConfig,
 }
 
 /// Scaling for fast tests/examples: fewer hosts, shorter trace.
@@ -92,12 +98,20 @@ impl Scale {
 /// Builds the network a spec measures. Exposed so examples can drive the
 /// same network the dataset came from (e.g. the overlay-router example).
 pub fn build_network(spec: &DatasetSpec, scale: Scale) -> Network {
+    Network::generate(&network_config(spec, scale))
+}
+
+/// The network config a spec implies: era defaults plus the spec's
+/// injected network faults.
+fn network_config(spec: &DatasetSpec, scale: Scale) -> NetworkConfig {
     let horizon_days = spec.duration_days / scale.time_divisor as f64;
-    Network::generate(&NetworkConfig::for_era(
+    let mut cfg = NetworkConfig::for_era(
         spec.era,
         scale.mixed_seed(spec.network_seed),
         horizon_days,
-    ))
+    );
+    cfg.faults = spec.faults;
+    cfg
 }
 
 /// Selects the measurement hosts: `n_na` North American plus the remainder
@@ -168,12 +182,7 @@ pub fn generate(spec: &DatasetSpec, scale: Scale) -> Dataset {
 /// Like [`generate`] but reporting where the wall-clock time went.
 /// Identical output to [`generate`] — the stages are instrumentation only.
 pub fn generate_staged(spec: &DatasetSpec, scale: Scale) -> (Dataset, GenerateStages) {
-    let horizon_days = spec.duration_days / scale.time_divisor as f64;
-    let (net, build) = Network::generate_timed(&NetworkConfig::for_era(
-        spec.era,
-        scale.mixed_seed(spec.network_seed),
-        horizon_days,
-    ));
+    let (net, build) = Network::generate_timed(&network_config(spec, scale));
     let (ds, campaign, assemble) = generate_on_timed(&net, spec, scale);
     (
         ds,
@@ -209,7 +218,7 @@ fn generate_on_timed(net: &Network, spec: &DatasetSpec, scale: Scale) -> (Datase
     let mut rng = Xoshiro256pp::seed_from_u64(campaign_seed);
     let requests = spec.schedule.generate(&hosts, duration_s, &mut rng);
     let t_campaign = std::time::Instant::now();
-    let raw = run_campaign(net, &requests, &spec.campaign, campaign_seed);
+    let raw = run_campaign_faulted(net, &requests, &spec.campaign, campaign_seed, &spec.faults);
     let campaign_s = t_campaign.elapsed().as_secs_f64();
     let t_assemble = std::time::Instant::now();
 
@@ -267,6 +276,7 @@ mod tests {
             policy: RateLimitPolicy::FilterHosts,
             min_samples: 12,
             prescreened: false,
+            faults: FaultConfig::none(),
         }
     }
 

@@ -41,6 +41,7 @@ pub fn spec() -> DatasetSpec {
         policy: RateLimitPolicy::ReverseDirection,
         min_samples: 30,
         prescreened: false,
+        faults: detour_faults::FaultConfig::none(),
     }
 }
 

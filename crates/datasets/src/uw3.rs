@@ -30,6 +30,7 @@ pub fn spec() -> DatasetSpec {
         policy: RateLimitPolicy::FilterHosts,
         min_samples: 30,
         prescreened: false,
+        faults: detour_faults::FaultConfig::none(),
     }
 }
 

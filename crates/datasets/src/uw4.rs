@@ -37,6 +37,7 @@ pub fn spec_a() -> DatasetSpec {
         policy: RateLimitPolicy::FilterHosts,
         min_samples: 30,
         prescreened: true,
+        faults: detour_faults::FaultConfig::none(),
     }
 }
 
@@ -55,6 +56,7 @@ pub fn spec_b() -> DatasetSpec {
         policy: RateLimitPolicy::FilterHosts,
         min_samples: 30,
         prescreened: true,
+        faults: detour_faults::FaultConfig::none(),
     }
 }
 

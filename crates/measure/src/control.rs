@@ -31,8 +31,11 @@
 //! the single-threaded reference the parallel path must match
 //! byte-for-byte (asserted in tests at 1, 2, and 8 workers).
 
+use std::collections::HashMap;
+
+use detour_faults::{FaultConfig, FaultPlan, OutageSchedule};
 use detour_netsim::sim::clock::SimTime;
-use detour_netsim::{probe, tcp, Network};
+use detour_netsim::{probe, tcp, HostId, Network};
 use detour_prng::{Rng, Xoshiro256pp};
 
 use crate::record::{Invocation, TransferSample};
@@ -93,14 +96,71 @@ pub struct RawMeasurements {
     pub failed_requests: usize,
     /// Measurements discarded for exceeding the timeout.
     pub timed_out: usize,
+    /// Requests dropped because an injected host outage had the source or
+    /// destination down (fault injection only).
+    pub host_outages: usize,
+    /// Requests dropped because the campaign was truncated before their
+    /// scheduled time (fault injection only).
+    pub truncated: usize,
 }
 
 /// What one request produced; merged index-ordered into [`RawMeasurements`].
 enum Outcome {
     ContactFailed,
     TimedOut,
+    HostDown,
+    Truncated,
     Invocation(Invocation),
     Transfer(TransferSample),
+}
+
+/// Precomputed campaign-side fault state: per-host outage schedules for
+/// every host the request list touches, the global storm schedule, and
+/// the truncation cutoff. Built once per campaign; every schedule is a
+/// pure function of the fault seed and the host id, so the table is the
+/// same regardless of thread count or request order.
+struct CampaignFaults {
+    cutoff_s: Option<f64>,
+    host_down: HashMap<HostId, OutageSchedule>,
+    storm: OutageSchedule,
+    storm_slowdown: f64,
+}
+
+impl CampaignFaults {
+    /// The no-fault state: every check below is a cheap miss, and the
+    /// executed path is byte-identical to the pre-fault code.
+    fn none() -> CampaignFaults {
+        CampaignFaults {
+            cutoff_s: None,
+            host_down: HashMap::new(),
+            storm: OutageSchedule::empty(),
+            storm_slowdown: 1.0,
+        }
+    }
+
+    fn build(cfg: &FaultConfig, horizon_s: f64, requests: &[Request]) -> CampaignFaults {
+        if !cfg.campaign_faults() {
+            return CampaignFaults::none();
+        }
+        let plan = FaultPlan::new(*cfg, horizon_s);
+        let mut hosts: Vec<HostId> =
+            requests.iter().flat_map(|r| [r.src, r.dst]).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        CampaignFaults {
+            cutoff_s: plan.truncation_cutoff_s(),
+            host_down: hosts
+                .into_iter()
+                .map(|h| (h, plan.host_schedule(h.0 as u64)))
+                .collect(),
+            storm: plan.storm_schedule(),
+            storm_slowdown: cfg.storm_slowdown,
+        }
+    }
+
+    fn host_down_at(&self, h: HostId, t: f64) -> bool {
+        self.host_down.get(&h).is_some_and(|s| s.down_at(t))
+    }
 }
 
 /// Domain-separation constant mixed into the campaign seed before stream
@@ -128,15 +188,37 @@ fn canonical_order(requests: &[Request]) -> Vec<Request> {
 }
 
 /// Executes one request at its scheduled time with its own RNG stream.
-fn execute(net: &Network, cfg: &CampaignConfig, req: Request, rng: &mut impl Rng) -> Outcome {
+///
+/// Fault checks are deterministic schedule lookups that draw **no RNG**
+/// and short-circuit before any draw is made, so with no fault active the
+/// RNG stream — and thus every outcome — is identical to the fault-free
+/// code path.
+fn execute(
+    net: &Network,
+    cfg: &CampaignConfig,
+    faults: &CampaignFaults,
+    req: Request,
+    rng: &mut impl Rng,
+) -> Outcome {
     let t = SimTime(req.t_s);
+    if faults.cutoff_s.is_some_and(|c| req.t_s >= c) {
+        return Outcome::Truncated;
+    }
+    if faults.host_down_at(req.src, req.t_s) || faults.host_down_at(req.dst, req.t_s) {
+        return Outcome::HostDown;
+    }
     if rng.gen_bool(cfg.request_failure_prob) {
         return Outcome::ContactFailed;
     }
+    let storming = faults.storm.down_at(req.t_s);
     match cfg.kind {
         ProbeKind::Traceroute => {
             let tr = probe::traceroute(net, req.src, req.dst, t, rng);
-            if tr.elapsed_s > cfg.timeout_s {
+            // A storm inflates wall-clock probe time past the campaign
+            // timeout for all but the fastest paths.
+            let elapsed_s =
+                if storming { tr.elapsed_s * faults.storm_slowdown } else { tr.elapsed_s };
+            if elapsed_s > cfg.timeout_s {
                 return Outcome::TimedOut;
             }
             let as_path: Vec<u16> = {
@@ -157,6 +239,11 @@ fn execute(net: &Network, cfg: &CampaignConfig, req: Request, rng: &mut impl Rng
             })
         }
         ProbeKind::TcpTransfer { duration_s } => {
+            if storming {
+                // Handshake and every retransmission balloon past the
+                // transfer deadline; no data comes back to summarize.
+                return Outcome::TimedOut;
+            }
             match tcp::bulk_transfer(net, req.src, req.dst, t, duration_s, rng) {
                 Some(ts) => Outcome::Transfer(TransferSample {
                     src: req.src,
@@ -180,6 +267,8 @@ fn merge(outcomes: Vec<Outcome>) -> RawMeasurements {
         match o {
             Outcome::ContactFailed => out.failed_requests += 1,
             Outcome::TimedOut => out.timed_out += 1,
+            Outcome::HostDown => out.host_outages += 1,
+            Outcome::Truncated => out.truncated += 1,
             Outcome::Invocation(inv) => out.invocations.push(inv),
             Outcome::Transfer(ts) => out.transfers.push(ts),
         }
@@ -200,12 +289,29 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
     campaign_seed: u64,
 ) -> RawMeasurements {
+    run_campaign_faulted(net, requests, cfg, campaign_seed, &FaultConfig::none())
+}
+
+/// [`run_campaign`] with injected campaign-side faults: host outages,
+/// probe-timeout storms, and truncation, per `faults` (the network-side
+/// classes are injected by the `Network` itself). With
+/// [`FaultConfig::none`] this *is* `run_campaign`, byte for byte. All the
+/// order-independence invariants hold: fault schedules are pure functions
+/// of the fault seed, so output is identical at every worker count.
+pub fn run_campaign_faulted(
+    net: &Network,
+    requests: &[Request],
+    cfg: &CampaignConfig,
+    campaign_seed: u64,
+    faults: &FaultConfig,
+) -> RawMeasurements {
     let key = campaign_seed ^ REQUEST_STREAM_DOMAIN;
+    let fault_state = CampaignFaults::build(faults, net.horizon_s(), requests);
     let sorted = canonical_order(requests);
     let indexed: Vec<(u64, Request)> =
         sorted.into_iter().enumerate().map(|(i, r)| (i as u64, r)).collect();
     let outcomes = detour_pool::parallel_map(&indexed, |&(i, req)| {
-        execute(net, cfg, req, &mut Xoshiro256pp::stream(key, i))
+        execute(net, cfg, &fault_state, req, &mut Xoshiro256pp::stream(key, i))
     });
     merge(outcomes)
 }
@@ -221,14 +327,27 @@ pub fn run_campaign_sequential(
     cfg: &CampaignConfig,
     campaign_seed: u64,
 ) -> RawMeasurements {
+    run_campaign_sequential_faulted(net, requests, cfg, campaign_seed, &FaultConfig::none())
+}
+
+/// The event-queue oracle for [`run_campaign_faulted`] — same faults, one
+/// thread, one queue.
+pub fn run_campaign_sequential_faulted(
+    net: &Network,
+    requests: &[Request],
+    cfg: &CampaignConfig,
+    campaign_seed: u64,
+    faults: &FaultConfig,
+) -> RawMeasurements {
     let key = campaign_seed ^ REQUEST_STREAM_DOMAIN;
+    let fault_state = CampaignFaults::build(faults, net.horizon_s(), requests);
     let mut queue = detour_netsim::sim::EventQueue::new();
     for (i, req) in canonical_order(requests).into_iter().enumerate() {
         queue.push(SimTime(req.t_s), (i as u64, req));
     }
     let mut outcomes = Vec::with_capacity(queue.len());
     while let Some((_, (i, req))) = queue.pop() {
-        outcomes.push(execute(net, cfg, req, &mut Xoshiro256pp::stream(key, i)));
+        outcomes.push(execute(net, cfg, &fault_state, req, &mut Xoshiro256pp::stream(key, i)));
     }
     merge(outcomes)
 }
@@ -332,6 +451,87 @@ mod tests {
             let got = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 7);
             detour_pool::set_threads(if prev == 0 { 0 } else { prev });
             assert_eq!(got, reference, "{workers} workers diverged from the event queue");
+        }
+        detour_pool::set_threads(0);
+    }
+
+    #[test]
+    fn faulted_campaign_with_no_faults_is_the_plain_campaign() {
+        let n = net();
+        let reqs = small_schedule(&n, 8, 120.0);
+        let plain = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 7);
+        let none =
+            run_campaign_faulted(&n, &reqs, &CampaignConfig::traceroute(), 7, &FaultConfig::none());
+        assert_eq!(plain, none);
+    }
+
+    #[test]
+    fn host_outages_are_counted_and_accounted() {
+        let n = net();
+        let reqs = small_schedule(&n, 8, 60.0);
+        let mut faults = FaultConfig::host_outages(3);
+        faults.host_mtbf_s = 2.0 * 3600.0; // frequent inside the 4 h window
+        faults.host_mttr_s = 1800.0;
+        let raw = run_campaign_faulted(&n, &reqs, &CampaignConfig::traceroute(), 7, &faults);
+        assert!(raw.host_outages > 0, "cranked host outages must hit some requests");
+        assert_eq!(
+            raw.invocations.len()
+                + raw.failed_requests
+                + raw.timed_out
+                + raw.host_outages
+                + raw.truncated,
+            reqs.len(),
+            "every request must be accounted for exactly once"
+        );
+    }
+
+    #[test]
+    fn truncation_drops_exactly_the_tail() {
+        let n = net(); // horizon 2 days; requests span the first 4 h
+        let reqs = small_schedule(&n, 8, 120.0);
+        let mut faults = FaultConfig::none();
+        faults.truncate_frac = 0.05; // cutoff at 2.4 h, inside the window
+        let cutoff = 0.05 * n.horizon_s();
+        let expected = reqs.iter().filter(|r| r.t_s >= cutoff).count();
+        assert!(expected > 0, "some requests must fall past the cutoff");
+        let raw = run_campaign_faulted(&n, &reqs, &CampaignConfig::traceroute(), 7, &faults);
+        assert_eq!(raw.truncated, expected);
+    }
+
+    #[test]
+    fn storms_inflate_timeouts() {
+        let n = net();
+        let reqs = small_schedule(&n, 8, 60.0);
+        let mut faults = FaultConfig::timeout_storms(5);
+        faults.storm_mtbf_s = 3600.0; // storms all over the 4 h window
+        faults.storm_mttr_s = 1800.0;
+        faults.storm_slowdown = 1.0e6; // nothing survives a storm
+        let calm = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 7);
+        let stormy = run_campaign_faulted(&n, &reqs, &CampaignConfig::traceroute(), 7, &faults);
+        assert!(
+            stormy.timed_out > calm.timed_out,
+            "storms must push probes past the timeout ({} vs {})",
+            stormy.timed_out,
+            calm.timed_out
+        );
+    }
+
+    #[test]
+    fn faulted_parallel_matches_event_queue_reference() {
+        let n = net();
+        let reqs = small_schedule(&n, 8, 120.0);
+        let faults = FaultConfig::heavy(21);
+        let reference = run_campaign_sequential_faulted(
+            &n,
+            &reqs,
+            &CampaignConfig::traceroute(),
+            7,
+            &faults,
+        );
+        for workers in [1usize, 2, 8] {
+            detour_pool::set_threads(workers);
+            let got = run_campaign_faulted(&n, &reqs, &CampaignConfig::traceroute(), 7, &faults);
+            assert_eq!(got, reference, "{workers} workers diverged under faults");
         }
         detour_pool::set_threads(0);
     }

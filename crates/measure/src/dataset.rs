@@ -38,6 +38,13 @@ pub struct Dataset {
     pub duration_s: f64,
     /// Hosts the empirical detector flagged as rate limiting.
     pub detected_rate_limited: Vec<HostId>,
+    /// Directed pairs that had *some* data but fell below the paper's
+    /// ≥30-sample filter at assembly and were dropped. Nonzero means the
+    /// dataset under-represents bad connectivity (outages starve exactly
+    /// the paths that were failing) — reports flag it rather than let the
+    /// aggregates skew silently. Restriction to a host subset keeps the
+    /// assembly-time count.
+    pub starved_pairs: usize,
 }
 
 /// Table-1 row: the dataset's summary characteristics.
@@ -171,6 +178,12 @@ impl Dataset {
             .filter(|t| transfer_counts[&(t.src, t.dst)] >= min_transfers)
             .collect();
 
+        // Degradation signal: pairs the filter just removed. These had
+        // real (if thin) data — typically exactly the paths an injected
+        // outage starved.
+        let starved_pairs = probe_counts.values().filter(|&&c| c < min_samples).count()
+            + transfer_counts.values().filter(|&&c| c < min_transfers).count();
+
         Dataset {
             name: name.to_string(),
             hosts,
@@ -179,6 +192,7 @@ impl Dataset {
             as_paths,
             duration_s,
             detected_rate_limited: detected,
+            starved_pairs,
         }
     }
 
@@ -211,6 +225,7 @@ impl Dataset {
             as_paths: self.as_paths.clone(),
             duration_s: self.duration_s,
             detected_rate_limited: self.detected_rate_limited.clone(),
+            starved_pairs: self.starved_pairs,
         }
     }
 

@@ -50,6 +50,9 @@ pub fn to_string(ds: &Dataset) -> String {
     let _ = writeln!(s, "# detour trace v1");
     let _ = writeln!(s, "dataset {}", ds.name);
     let _ = writeln!(s, "duration_s {}", ds.duration_s);
+    if ds.starved_pairs > 0 {
+        let _ = writeln!(s, "starved_pairs {}", ds.starved_pairs);
+    }
     for h in &ds.hosts {
         let _ = writeln!(
             s,
@@ -107,6 +110,7 @@ pub fn from_str(text: &str) -> Result<Dataset, ParseError> {
         as_paths: Vec::new(),
         duration_s: 0.0,
         detected_rate_limited: Vec::new(),
+        starved_pairs: 0,
     };
     for (i, raw_line) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -131,8 +135,22 @@ pub fn from_str(text: &str) -> Result<Dataset, ParseError> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         match parts[0] {
-            "dataset" => ds.name = parts.get(1).unwrap_or(&"").to_string(),
+            // A bare `dataset` line used to silently produce an empty name
+            // (and a cache entry that could never match); it is a corrupt
+            // record and must say so.
+            "dataset" => {
+                ds.name = parts
+                    .get(1)
+                    .ok_or_else(|| ParseError {
+                        line: line_no,
+                        message: "dataset record is missing its name".to_string(),
+                    })?
+                    .to_string()
+            }
             "duration_s" => ds.duration_s = field(&parts, 1, line_no)?,
+            // Absent in traces written before the fault-injection work;
+            // the struct default of 0 covers those.
+            "starved_pairs" => ds.starved_pairs = field(&parts, 1, line_no)?,
             "host" => ds.hosts.push(HostMeta {
                 id: HostId(field(&parts, 1, line_no)?),
                 asn: field(&parts, 2, line_no)?,
@@ -264,6 +282,7 @@ mod tests {
             as_paths: vec![vec![9, 2, 11]],
             duration_s: 86_400.0,
             detected_rate_limited: vec![HostId(5)],
+            starved_pairs: 3,
         }
     }
 
@@ -279,6 +298,22 @@ mod tests {
         assert_eq!(back.transfers, ds.transfers);
         assert_eq!(back.as_paths, ds.as_paths);
         assert_eq!(back.detected_rate_limited, ds.detected_rate_limited);
+        assert_eq!(back.starved_pairs, ds.starved_pairs);
+    }
+
+    #[test]
+    fn bare_dataset_line_is_a_typed_error() {
+        // Regression: `dataset` with no name used to parse as an empty
+        // dataset name instead of failing.
+        let err = from_str("dataset\nduration_s 10\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("missing its name"), "{}", err.message);
+    }
+
+    #[test]
+    fn starved_pairs_default_to_zero_for_old_traces() {
+        let ds = from_str("dataset X\nduration_s 5\n").unwrap();
+        assert_eq!(ds.starved_pairs, 0);
     }
 
     #[test]

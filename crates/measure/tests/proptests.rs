@@ -71,6 +71,7 @@ fn dataset(rng: &mut Xoshiro256pp) -> Dataset {
         as_paths,
         duration_s: rng.gen_range(1.0..1e7f64),
         detected_rate_limited: vec![],
+            starved_pairs: 0,
     }
 }
 

@@ -40,6 +40,7 @@ pub mod tcp;
 pub mod topology;
 pub mod traffic;
 
+pub use detour_faults::FaultConfig;
 pub use net::{Network, NetworkConfig, TransitOutcome};
 pub use probe::{ping, traceroute, PingResult, TracerouteResult};
 pub use routing::RoutingMode;

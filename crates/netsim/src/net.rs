@@ -19,6 +19,7 @@
 
 use std::sync::Arc;
 
+use detour_faults::{FaultConfig, FaultPlan, OutageSchedule, RoutePhase, WithdrawalSchedule};
 use detour_prng::Rng;
 
 use crate::routing::flaps::{FlapConfig, FlapSchedule};
@@ -44,6 +45,9 @@ pub struct NetworkConfig {
     pub seed: u64,
     /// Simulated horizon in seconds (trace duration).
     pub horizon_s: f64,
+    /// Fault-injection knobs ([`FaultConfig::none`] in every era default;
+    /// the network only consumes the link/router/withdrawal classes).
+    pub faults: FaultConfig,
 }
 
 impl NetworkConfig {
@@ -56,6 +60,7 @@ impl NetworkConfig {
             mode: RoutingMode::PolicyHotPotato,
             seed,
             horizon_s: horizon_days * 86_400.0,
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -107,6 +112,21 @@ pub struct Network {
     /// Flat per-ordered-AS-pair flap schedules: `src_as * n_as + dst_as`.
     flap_table: Vec<FlapSchedule>,
     n_as: usize,
+    /// Injected-fault tables; `None` when the config has no network
+    /// faults, keeping the benign path untouched.
+    faults: Option<NetworkFaultTables>,
+}
+
+/// Precomputed per-entity fault schedules. Like the flap table, every
+/// schedule depends only on `(fault seed, domain, entity id)` — generated
+/// in parallel but bit-identical at every thread count.
+struct NetworkFaultTables {
+    /// Per-link outage schedules, indexed by `LinkId`.
+    link_down: Vec<OutageSchedule>,
+    /// Per-router outage schedules, indexed by `RouterId`.
+    router_down: Vec<OutageSchedule>,
+    /// Per-ordered-AS-pair withdrawal schedules: `src_as * n_as + dst_as`.
+    withdrawals: Vec<WithdrawalSchedule>,
 }
 
 // The whole point of the precomputed design: a campaign can fan out over
@@ -147,8 +167,18 @@ impl Network {
         for (i, &r) in slots.iter().enumerate() {
             router_slot[r.0 as usize] = i as u32;
         }
+        let faults = cfg
+            .faults
+            .network_faults()
+            .then(|| precompute_faults(&cfg.faults, &topology, n_as, cfg.horizon_s));
         let paths = precompute_paths(
-            &topology, &resolver, &flap_table, n_as, &slots, cfg.mode,
+            &topology,
+            &resolver,
+            &flap_table,
+            faults.as_ref().map(|f| f.withdrawals.as_slice()),
+            n_as,
+            &slots,
+            cfg.mode,
         );
         let precompute_seconds = t1.elapsed().as_secs_f64();
 
@@ -163,6 +193,7 @@ impl Network {
             paths,
             flap_table,
             n_as,
+            faults,
         };
         (net, BuildTimings { core_seconds, precompute_seconds })
     }
@@ -202,6 +233,28 @@ impl Network {
         &self.flap_table[src.0 as usize * self.n_as + dst.0 as usize]
     }
 
+    /// The injected withdrawal schedule for an ordered AS pair, if any
+    /// network faults were configured.
+    pub fn withdrawal_schedule(&self, src: AsId, dst: AsId) -> Option<&WithdrawalSchedule> {
+        self.faults
+            .as_ref()
+            .map(|f| &f.withdrawals[src.0 as usize * self.n_as + dst.0 as usize])
+    }
+
+    /// Total injected (link, router, withdrawal) episodes across all
+    /// entities — `(0, 0, 0)` without faults. Diagnostics for chaos tests
+    /// and degraded reports.
+    pub fn fault_episode_counts(&self) -> (usize, usize, usize) {
+        match &self.faults {
+            None => (0, 0, 0),
+            Some(f) => (
+                f.link_down.iter().map(|s| s.episode_count()).sum(),
+                f.router_down.iter().map(|s| s.episode_count()).sum(),
+                f.withdrawals.iter().map(|s| s.episode_count()).sum(),
+            ),
+        }
+    }
+
     /// Resolves the forward router path from `src` to `dst` hosts at time
     /// `t`, honoring any active flap episode at the source AS.
     ///
@@ -211,11 +264,25 @@ impl Network {
     /// Returns `None` when routing cannot produce a path (does not happen
     /// on generated topologies, but callers must treat it as a measurement
     /// failure, not a panic — real traceroutes fail too).
+    /// Returns `None` during an injected BGP withdrawal (the route is
+    /// blackholed until convergence starts); the convergence tail routes
+    /// via the second-choice path, like a flap episode.
     pub fn forward_path(&self, src: HostId, dst: HostId, t: SimTime) -> Option<Arc<ResolvedPath>> {
         let sh = self.topology.host(src);
         let dh = self.topology.host(dst);
-        let flapped = self.mode != RoutingMode::GlobalShortestDelay
+        let mut flapped = self.mode != RoutingMode::GlobalShortestDelay
             && self.flap_schedule(sh.asn, dh.asn).active_at(t.0);
+        if self.mode != RoutingMode::GlobalShortestDelay {
+            if let Some(f) = &self.faults {
+                match f.withdrawals[sh.asn.0 as usize * self.n_as + dh.asn.0 as usize]
+                    .phase_at(t.0)
+                {
+                    RoutePhase::Withdrawn => return None,
+                    RoutePhase::Converging => flapped = true,
+                    RoutePhase::Stable => {}
+                }
+            }
+        }
         let i = self.router_slot[sh.router.0 as usize] as usize;
         let j = self.router_slot[dh.router.0 as usize] as usize;
         self.paths[(i * self.n_slots + j) * 2 + flapped as usize].clone()
@@ -225,7 +292,11 @@ impl Network {
     /// and loss on each link.
     pub fn transit(&self, path: &ResolvedPath, t: SimTime, rng: &mut impl Rng) -> TransitOutcome {
         let mut delay = PER_HOP_PROCESSING_MS * path.routers.len() as f64;
-        let mut lost = false;
+        // Injected outages drop the packet deterministically (no RNG
+        // draw), so the load-sampling stream below is unperturbed: a
+        // faulted run differs from the benign run only where a fault is
+        // actually active.
+        let mut lost = self.faulted_element(&path.routers, &path.links, t);
         for &l in &path.links {
             let link = self.topology.link(l);
             let s = self.load.sample(l, t, rng);
@@ -248,7 +319,8 @@ impl Network {
     ) -> TransitOutcome {
         let n = prefix_links.min(path.links.len());
         let mut delay = PER_HOP_PROCESSING_MS * (n + 1) as f64;
-        let mut lost = false;
+        let routers = &path.routers[..(n + 1).min(path.routers.len())];
+        let mut lost = self.faulted_element(routers, &path.links[..n], t);
         for &l in &path.links[..n] {
             let link = self.topology.link(l);
             let s = self.load.sample(l, t, rng);
@@ -258,6 +330,43 @@ impl Network {
             }
         }
         TransitOutcome { delay_ms: delay, lost }
+    }
+
+    /// True when any router or link on the (sub)path is inside an injected
+    /// outage episode at `t`. Pure schedule lookups — no RNG.
+    fn faulted_element(&self, routers: &[RouterId], links: &[crate::topology::LinkId], t: SimTime) -> bool {
+        let Some(f) = &self.faults else {
+            return false;
+        };
+        routers.iter().any(|r| f.router_down[r.0 as usize].down_at(t.0))
+            || links.iter().any(|l| f.link_down[l.0 as usize].down_at(t.0))
+    }
+}
+
+/// Generates the per-link, per-router, and per-AS-pair fault schedules —
+/// in parallel, but each schedule is a pure function of the fault seed and
+/// the entity's id, so the tables are identical at every thread count.
+fn precompute_faults(
+    cfg: &FaultConfig,
+    topo: &Topology,
+    n_as: usize,
+    horizon_s: f64,
+) -> NetworkFaultTables {
+    let plan = FaultPlan::new(*cfg, horizon_s);
+    let link_ids: Vec<u64> = (0..topo.links.len() as u64).collect();
+    let router_ids: Vec<u64> = (0..topo.routers.len() as u64).collect();
+    let sources: Vec<u16> = (0..n_as as u16).collect();
+    NetworkFaultTables {
+        link_down: detour_pool::parallel_map(&link_ids, |&l| plan.link_schedule(l)),
+        router_down: detour_pool::parallel_map(&router_ids, |&r| plan.router_schedule(r)),
+        withdrawals: detour_pool::parallel_map(&sources, |&src| {
+            (0..n_as as u16)
+                .map(|dst| plan.withdrawal_schedule(src, dst))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect(),
     }
 }
 
@@ -288,9 +397,11 @@ fn precompute_flaps(
 /// Two economies keep this cheap without changing any observable path:
 ///
 /// * The flapped variant is only resolved when some AS pair routed between
-///   the two routers can actually flap (its schedule has episodes inside
-///   the horizon); otherwise the unflapped `Arc` is shared — `forward_path`
-///   only consults the flapped slot during an active episode.
+///   the two routers can actually use it — its flap schedule has episodes
+///   inside the horizon, or an injected withdrawal's convergence tail can
+///   send it to the second-choice route; otherwise the unflapped `Arc` is
+///   shared — `forward_path` only consults the flapped slot during an
+///   active episode.
 /// * Under `GlobalShortestDelay` one Dijkstra per source covers every
 ///   destination (and flaps are ignored by definition, so both slots share
 ///   one path).
@@ -298,6 +409,7 @@ fn precompute_paths(
     topo: &Topology,
     resolver: &Resolver,
     flap_table: &[FlapSchedule],
+    withdrawals: Option<&[WithdrawalSchedule]>,
     n_as: usize,
     slots: &[RouterId],
     mode: RoutingMode,
@@ -316,9 +428,9 @@ fn precompute_paths(
         for &dst in slots {
             let dst_as = topo.router(dst).asn;
             let base = resolver.resolve(topo, src, dst, mode, false).map(Arc::new);
-            let can_flap = flap_table[src_as.0 as usize * n_as + dst_as.0 as usize]
-                .episode_count()
-                > 0;
+            let pair = src_as.0 as usize * n_as + dst_as.0 as usize;
+            let can_flap = flap_table[pair].episode_count() > 0
+                || withdrawals.is_some_and(|w| w[pair].episode_count() > 0);
             let flapped = if can_flap {
                 resolver.resolve(topo, src, dst, mode, true).map(Arc::new)
             } else {
@@ -526,6 +638,134 @@ mod tests {
                     .unwrap();
                 assert_eq!(*table, direct);
             }
+        }
+    }
+
+    #[test]
+    fn benign_config_builds_no_fault_tables() {
+        let n = net();
+        assert_eq!(n.fault_episode_counts(), (0, 0, 0));
+        assert!(n.withdrawal_schedule(AsId(0), AsId(1)).is_none());
+    }
+
+    #[test]
+    fn faulted_network_is_identical_to_benign_when_no_fault_is_active() {
+        // Deterministic fault drops draw no RNG, so outside fault episodes
+        // the faulted network transits packets identically.
+        let mut cfg = NetworkConfig::for_era(Era::Y1999, 77, 7.0);
+        let benign = Network::generate(&cfg);
+        cfg.faults = detour_faults::FaultConfig::link_failures(5);
+        let faulted = Network::generate(&cfg);
+        let (s, d) = (benign.hosts()[0].id, benign.hosts()[9].id);
+        let mut checked = 0;
+        for hour in 0..48 {
+            let t = SimTime::from_hours(hour as f64);
+            let p = benign.forward_path(s, d, t).unwrap();
+            if faulted.faulted_element(&p.routers, &p.links, t) {
+                continue; // some link on the path is down right now
+            }
+            let mut ra = Xoshiro256pp::seed_from_u64(hour);
+            let mut rb = Xoshiro256pp::seed_from_u64(hour);
+            assert_eq!(benign.transit(&p, t, &mut ra), faulted.transit(&p, t, &mut rb));
+            checked += 1;
+        }
+        assert!(checked > 0, "some fault-free instants must exist");
+    }
+
+    #[test]
+    fn link_outages_drop_packets_deterministically() {
+        let mut cfg = NetworkConfig::for_era(Era::Y1999, 77, 7.0);
+        // Crank link failures so episodes are plentiful inside a week.
+        cfg.faults = detour_faults::FaultConfig::link_failures(5);
+        cfg.faults.link_mtbf_s = 6.0 * 3600.0;
+        cfg.faults.link_mttr_s = 3600.0;
+        let n = Network::generate(&cfg);
+        let (l, r, w) = n.fault_episode_counts();
+        assert!(l > 0, "high link failure rate must produce episodes");
+        assert_eq!((r, w), (0, 0), "only links were enabled");
+
+        // During an active episode on a path's link, every packet drops
+        // regardless of the RNG.
+        let hosts: Vec<HostId> = n.hosts().iter().map(|h| h.id).collect();
+        let mut saw_outage = false;
+        'outer: for &s in hosts.iter().take(10) {
+            for &d in hosts.iter().rev().take(10) {
+                if s == d {
+                    continue;
+                }
+                for hour in 0..(7 * 24) {
+                    let t = SimTime::from_hours(hour as f64);
+                    let p = n.forward_path(s, d, t).unwrap();
+                    if n.faulted_element(&p.routers, &p.links, t) {
+                        for k in 0..5u64 {
+                            let mut rng = Xoshiro256pp::seed_from_u64(k);
+                            assert!(n.transit(&p, t, &mut rng).lost);
+                            let mut rng = Xoshiro256pp::seed_from_u64(k);
+                            assert!(n.transit_prefix(&p, p.links.len(), t, &mut rng).lost);
+                        }
+                        saw_outage = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(saw_outage, "no probed path crossed a down link in a week");
+    }
+
+    #[test]
+    fn withdrawals_blackhole_then_route_second_choice() {
+        let mut cfg = NetworkConfig::for_era(Era::Y1999, 515, 7.0);
+        cfg.faults = detour_faults::FaultConfig::withdrawals(9);
+        cfg.faults.withdraw_mtbf_s = 12.0 * 3600.0;
+        cfg.faults.withdraw_mttr_s = 1800.0;
+        let n = Network::generate(&cfg);
+        let (_, _, w) = n.fault_episode_counts();
+        assert!(w > 0);
+
+        let hosts: Vec<HostId> = n.hosts().iter().map(|h| h.id).collect();
+        let mut saw_blackhole = false;
+        for &s in hosts.iter().take(12) {
+            for &d in hosts.iter().rev().take(12) {
+                if s == d {
+                    continue;
+                }
+                let (sh, dh) = (n.host(s).asn, n.host(d).asn);
+                let sched = n.withdrawal_schedule(sh, dh).unwrap().clone();
+                for hour in 0..(7 * 24 * 4) {
+                    let t = SimTime(hour as f64 * 900.0);
+                    match sched.phase_at(t.0) {
+                        detour_faults::RoutePhase::Withdrawn => {
+                            assert!(
+                                n.forward_path(s, d, t).is_none(),
+                                "withdrawn route must blackhole"
+                            );
+                            saw_blackhole = true;
+                        }
+                        _ => assert!(n.forward_path(s, d, t).is_some()),
+                    }
+                }
+            }
+        }
+        assert!(saw_blackhole, "no withdrawal hit a measured pair");
+    }
+
+    #[test]
+    fn fault_tables_are_thread_count_independent() {
+        let mut cfg = NetworkConfig::for_era(Era::Y1999, 77, 7.0);
+        cfg.faults = detour_faults::FaultConfig::heavy(13);
+        detour_pool::set_threads(1);
+        let a = Network::generate(&cfg);
+        detour_pool::set_threads(8);
+        let b = Network::generate(&cfg);
+        detour_pool::set_threads(0);
+        assert_eq!(a.fault_episode_counts(), b.fault_episode_counts());
+        let (s, d) = (a.hosts()[0].id, a.hosts()[9].id);
+        for hour in 0..(7 * 24) {
+            let t = SimTime::from_hours(hour as f64);
+            assert_eq!(
+                a.forward_path(s, d, t).map(|p| p.routers.clone()),
+                b.forward_path(s, d, t).map(|p| p.routers.clone())
+            );
         }
     }
 

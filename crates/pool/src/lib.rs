@@ -39,10 +39,59 @@
 //!   parallelizing both the per-dataset loop of an experiment and the
 //!   per-pair sweep inside it cannot multiply thread counts.
 
+//! * **Panic capture.** [`try_parallel_map`] / [`try_parallel_map_init`]
+//!   catch worker panics and surface them as a structured
+//!   [`WorkerPanic`] — which worker died, on which item index, with the
+//!   panic payload — instead of aborting the process. The infallible
+//!   variants delegate to them and re-panic with that context attached,
+//!   so existing call sites keep their semantics but lose the opaque
+//!   "pool worker panicked" message.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A pool worker panicked while mapping an item. Carries enough context
+/// to report the fault without re-running: the worker's index, the input
+/// index it was processing, and the stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the worker thread that panicked (0-based; the sequential
+    /// fallback reports worker 0).
+    pub worker: usize,
+    /// Index into the input slice of the item being mapped when the
+    /// panic fired.
+    pub item: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim,
+    /// anything else as a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool worker {} panicked on item {}: {}",
+            self.worker, self.item, self.payload
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Stringifies a `catch_unwind` payload (panics carry `&str` or `String`
+/// in practice; anything else gets a placeholder).
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Requested thread count; 0 = auto (all available cores).
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -85,6 +134,15 @@ pub fn parallel_map<T: Sync, R: Send>(
     parallel_map_init(items, || (), |(), item| f(item))
 }
 
+/// Fallible variant of [`parallel_map`]: a panicking closure yields a
+/// structured [`WorkerPanic`] instead of aborting the process.
+pub fn try_parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Result<Vec<R>, WorkerPanic> {
+    try_parallel_map_init(items, || (), |(), item| f(item))
+}
+
 /// Like [`parallel_map`], but each worker first builds one `init()` state
 /// and threads it mutably through every item it claims — scratch buffers
 /// live once per worker, not once per item. The sequential fallback uses a
@@ -95,10 +153,48 @@ pub fn parallel_map_init<T: Sync, R: Send, S>(
     init: impl Fn() -> S + Sync,
     f: impl Fn(&mut S, &T) -> R + Sync,
 ) -> Vec<R> {
+    match try_parallel_map_init(items, init, f) {
+        Ok(out) => out,
+        // Preserve the infallible contract, but with the worker's own
+        // payload and position in the message instead of the former
+        // opaque "pool worker panicked".
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`parallel_map_init`].
+///
+/// A panic inside `init` or `f` is caught and returned as a
+/// [`WorkerPanic`]; already-claimed work on other workers completes
+/// normally and is discarded. For a deterministic `f`, the reported
+/// `item` and `payload` are stable across runs and thread counts; the
+/// `worker` index is whichever thread happened to claim the poisoned
+/// chunk. When several items panic, the error from the lowest-indexed
+/// worker wins.
+pub fn try_parallel_map_init<T: Sync, R: Send, S>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Result<Vec<R>, WorkerPanic> {
     let workers = threads().min(items.len());
     if workers <= 1 || IN_POOL.with(|p| p.get()) {
-        let mut state = init();
-        return items.iter().map(|item| f(&mut state, item)).collect();
+        let current = std::cell::Cell::new(0usize);
+        return catch_unwind(AssertUnwindSafe(|| {
+            let mut state = init();
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    current.set(i);
+                    f(&mut state, item)
+                })
+                .collect()
+        }))
+        .map_err(|p| WorkerPanic {
+            worker: 0,
+            item: current.get(),
+            payload: payload_string(p),
+        });
     }
 
     // Chunk size: enough chunks for stealing to balance skewed costs, but
@@ -113,22 +209,29 @@ pub fn parallel_map_init<T: Sync, R: Send, S>(
                 let f = &f;
                 scope.spawn(move || {
                     IN_POOL.with(|p| p.set(true));
-                    let mut state = init();
-                    let mut chunks: Vec<(usize, Vec<R>)> = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= items.len() {
-                            break;
+                    // Tracks the item under evaluation so a caught panic
+                    // can report *where* it fired.
+                    let current = std::cell::Cell::new(0usize);
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut state = init();
+                        let mut chunks: Vec<(usize, Vec<R>)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            let mut out = Vec::with_capacity(end - start);
+                            for (k, item) in items[start..end].iter().enumerate() {
+                                current.set(start + k);
+                                out.push(f(&mut state, item));
+                            }
+                            chunks.push((start, out));
                         }
-                        let end = (start + chunk).min(items.len());
-                        let mut out = Vec::with_capacity(end - start);
-                        for item in &items[start..end] {
-                            out.push(f(&mut state, item));
-                        }
-                        chunks.push((start, out));
-                    }
+                        chunks
+                    }));
                     IN_POOL.with(|p| p.set(false));
-                    chunks
+                    result.map_err(|p| (current.get(), payload_string(p)))
                 })
             })
             .collect();
@@ -137,17 +240,31 @@ pub fn parallel_map_init<T: Sync, R: Send, S>(
         // the output is bit-identical to the sequential map no matter which
         // worker ran which chunk.
         let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-        for h in handles {
-            for (start, chunk_results) in h.join().expect("pool worker panicked") {
-                for (k, r) in chunk_results.into_iter().enumerate() {
-                    slots[start + k] = Some(r);
+        let mut first_panic: Option<WorkerPanic> = None;
+        for (w, h) in handles.into_iter().enumerate() {
+            let joined = h.join().map_err(|p| (0usize, payload_string(p)));
+            match joined {
+                Ok(Ok(chunks)) => {
+                    for (start, chunk_results) in chunks {
+                        for (k, r) in chunk_results.into_iter().enumerate() {
+                            slots[start + k] = Some(r);
+                        }
+                    }
+                }
+                Ok(Err((item, payload))) | Err((item, payload)) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(WorkerPanic { worker: w, item, payload });
+                    }
                 }
             }
         }
-        slots
+        if let Some(e) = first_panic {
+            return Err(e);
+        }
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("every index produced exactly one result"))
-            .collect()
+            .collect())
     })
 }
 
@@ -254,6 +371,76 @@ mod tests {
             })
             .collect();
         assert_eq!(out, expect);
+        set_threads(0);
+    }
+
+    #[test]
+    fn panicking_closure_yields_structured_error() {
+        let _guard = thread_budget_lock();
+        for t in [1usize, 4] {
+            set_threads(t);
+            let items: Vec<u64> = (0..200).collect();
+            let err = try_parallel_map(&items, |&x| {
+                if x == 17 {
+                    panic!("boom on item {x}");
+                }
+                x * 2
+            })
+            .expect_err("the poisoned item must surface as an error");
+            assert_eq!(err.item, 17, "threads={t}");
+            assert_eq!(err.payload, "boom on item 17", "threads={t}");
+            assert!(err.to_string().contains("item 17"), "threads={t}: {err}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn infallible_map_repanics_with_context() {
+        let _guard = thread_budget_lock();
+        set_threads(2);
+        let items: Vec<u32> = (0..50).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&x| {
+                if x == 31 {
+                    panic!("original payload");
+                }
+                x
+            })
+        })
+        .expect_err("parallel_map must still panic on a poisoned item");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("item 31") && msg.contains("original payload"),
+            "re-panic should carry worker context, got: {msg}"
+        );
+        set_threads(0);
+    }
+
+    #[test]
+    fn panicking_init_is_captured() {
+        let _guard = thread_budget_lock();
+        set_threads(4);
+        let items: Vec<u32> = (0..100).collect();
+        let err = try_parallel_map_init(
+            &items,
+            || -> u32 { panic!("init exploded") },
+            |_, &x| x,
+        )
+        .expect_err("init panic must be captured");
+        assert_eq!(err.payload, "init exploded");
+        set_threads(0);
+    }
+
+    #[test]
+    fn try_map_matches_map_on_success() {
+        let _guard = thread_budget_lock();
+        set_threads(4);
+        let items: Vec<u64> = (0..300).collect();
+        let ok = try_parallel_map(&items, |&x| x.wrapping_mul(31)).unwrap();
+        assert_eq!(ok, parallel_map(&items, |&x| x.wrapping_mul(31)));
         set_threads(0);
     }
 

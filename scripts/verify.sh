@@ -7,15 +7,28 @@
 # target on a multi-core host — so `set -e` makes this script fail
 # with it.
 #
-# Usage: scripts/verify.sh [--fresh]
+# Usage: scripts/verify.sh [--fresh] [--smoke]
 #   --fresh   purge the trace cache under results/cache/ first, so the
 #             baseline's cold-start timing starts from an empty disk
+#   --smoke   stop after the smoke tier (lint, build, chaos + golden
+#             suites) — the fast early signal; skips the full test run
+#             and the baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--fresh" ]]; then
+FRESH=0
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --fresh) FRESH=1 ;;
+    --smoke) SMOKE=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$FRESH" == 1 ]]; then
   echo "== --fresh: purging results/cache/ =="
-  rm -f results/cache/*.trace 2>/dev/null || true
+  rm -f results/cache/*.trace results/cache/*.quarantined 2>/dev/null || true
 fi
 
 echo "== cargo clippy --offline (deny warnings) =="
@@ -23,6 +36,18 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace --all-targets
+
+# Smoke tier: the tiny-scale end-to-end suites — the chaos suite (every
+# fault scenario through the whole pipeline) and the golden snapshots
+# (byte-level replay of committed reports, fault sweep included). Fails
+# fast before the full test run and baseline.
+echo "== smoke: chaos + golden report suites =="
+cargo test -q --offline -p detour --test chaos --test golden_reports
+
+if [[ "$SMOKE" == 1 ]]; then
+  echo "verify: OK (smoke tier)"
+  exit 0
+fi
 
 echo "== cargo test --offline =="
 cargo test -q --offline --workspace

@@ -50,6 +50,7 @@
 
 pub use detour_core as core;
 pub use detour_datasets as datasets;
+pub use detour_faults as faults;
 pub use detour_measure as measure;
 pub use detour_netsim as netsim;
 pub use detour_overlay as overlay;

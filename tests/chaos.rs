@@ -1,0 +1,203 @@
+//! The chaos suite: deterministic fault injection across the whole
+//! simulate→measure→analyze pipeline.
+//!
+//! Every fault scenario — link and router failures, BGP withdrawal
+//! transients, measurement-host outages, probe-timeout storms, truncated
+//! campaigns, and all of them at once — must come out the other end as a
+//! *flagged* degraded report or a typed error. Never a panic, never a
+//! silently skewed report. And because every fault schedule is a pure
+//! function of the seed (no RNG draws on any fault check), the faulted
+//! pipeline must stay byte-identical at any worker count, exactly like the
+//! benign one.
+
+use detour::core::{pool, AnalysisContext, Degradation};
+use detour::datasets::{generate, DatasetSpec, Scale};
+use detour::faults::FaultConfig;
+use detour::measure::{tracefile, CampaignConfig, RateLimitPolicy, Schedule};
+use detour::netsim::Era;
+use detour::prng::Xoshiro256pp;
+
+/// A small half-day collection: big enough that the fault-free control is
+/// healthy (each directed pair gets ~5x the minimum samples), small enough
+/// that eight scenario generations stay test-affordable.
+fn chaos_spec(faults: FaultConfig) -> DatasetSpec {
+    DatasetSpec {
+        name: "CHAOS",
+        era: Era::Y1999,
+        network_seed: 0xc4a05,
+        campaign_seed: 0xc4a05 ^ 1,
+        duration_days: 0.5,
+        n_hosts: 8,
+        n_hosts_na: 8,
+        schedule: Schedule::PairwiseExponentialPaired { mean_s: 25.0 },
+        campaign: CampaignConfig::traceroute(),
+        policy: RateLimitPolicy::FilterHosts,
+        min_samples: 12,
+        prescreened: false,
+        faults,
+    }
+}
+
+/// Every fault class alone, plus the all-at-once worst case.
+fn scenarios() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("none", FaultConfig::none()),
+        ("links", FaultConfig::link_failures(7)),
+        ("routers", FaultConfig::router_failures(7)),
+        ("withdrawals", FaultConfig::withdrawals(7)),
+        ("hosts", FaultConfig::host_outages(7)),
+        ("storms", FaultConfig::timeout_storms(7)),
+        ("truncation", FaultConfig::truncation(7)),
+        ("heavy", FaultConfig::heavy(7)),
+    ]
+}
+
+fn degradation_of(faults: FaultConfig) -> (Degradation, String) {
+    let ds = generate(&chaos_spec(faults), Scale::full());
+    let cx = AnalysisContext::from_dataset(&ds);
+    let deg = cx.degradation();
+    (deg, deg.summary())
+}
+
+#[test]
+fn every_fault_scenario_ends_in_a_flagged_report() {
+    for (name, faults) in scenarios() {
+        // The whole pipeline — network with injected outages, faulted
+        // campaign, assembly, analysis context — must complete without
+        // panicking for every scenario; that it returns at all is half the
+        // assertion.
+        let (deg, summary) = degradation_of(faults);
+        assert_eq!(
+            summary.starts_with("DEGRADED"),
+            deg.is_degraded(),
+            "{name}: health flag and summary disagree: {summary}"
+        );
+        assert!(deg.hosts > 0, "{name}: assembly lost every host");
+        if !faults.enabled() {
+            assert!(
+                !deg.is_degraded(),
+                "fault-free control must be healthy, got {summary}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_starves_pairs_and_is_flagged() {
+    // Keeping only the first 6% of a campaign that budgets ~5x the
+    // minimum samples leaves pairs with a handful of probes each — data,
+    // but too little to trust — the scenario the paper hit when hosts
+    // were decommissioned mid-study.
+    let hard_cut = FaultConfig { truncate_frac: 0.06, ..FaultConfig::truncation(7) };
+    let (deg, summary) = degradation_of(hard_cut);
+    assert!(
+        deg.starved_pairs > 0,
+        "a hard-truncated campaign must starve pairs, got {summary}"
+    );
+    assert!(deg.is_degraded(), "starvation must flag the report: {summary}");
+    assert!(summary.starts_with("DEGRADED"), "{summary}");
+}
+
+#[test]
+fn an_emptied_campaign_degrades_without_panicking() {
+    // truncate_frac 0 drops every request: the dataset assembles empty and
+    // every downstream artifact must still build.
+    let nothing = FaultConfig { truncate_frac: 0.0, ..FaultConfig::none() };
+    let (deg, summary) = degradation_of(nothing);
+    assert_eq!(deg.measured_pairs, 0, "{summary}");
+    assert!(deg.is_degraded(), "an empty dataset is maximally degraded");
+}
+
+#[test]
+fn heavy_chaos_is_byte_identical_across_worker_counts() {
+    let reference = generate(&chaos_spec(FaultConfig::heavy(21)), Scale::full());
+    let reference_trace = tracefile::to_string(&reference);
+    for threads in [1usize, 2, 8] {
+        pool::set_threads(threads);
+        let ds = generate(&chaos_spec(FaultConfig::heavy(21)), Scale::full());
+        assert_eq!(
+            tracefile::to_string(&ds),
+            reference_trace,
+            "heavy-fault dataset diverged at {threads} worker thread(s)"
+        );
+    }
+    pool::set_threads(0);
+}
+
+#[test]
+fn fault_replay_is_seed_sensitive() {
+    let a = generate(&chaos_spec(FaultConfig::heavy(21)), Scale::full());
+    let b = generate(&chaos_spec(FaultConfig::heavy(22)), Scale::full());
+    assert_ne!(
+        tracefile::to_string(&a),
+        tracefile::to_string(&b),
+        "different fault seeds must produce different campaigns"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Infrastructure faults: the tracefile parser under a mutation corpus.
+// ---------------------------------------------------------------------------
+
+/// Seeded mutations of a valid trace: truncations, byte flips, line edits.
+/// The parser must return `Ok` or a typed `ParseError` for every mutant —
+/// never panic, never abort.
+#[test]
+fn mutated_tracefiles_never_panic_the_parser() {
+    let ds = generate(&chaos_spec(FaultConfig::none()), Scale::reduced(6, 4));
+    let valid = tracefile::to_string(&ds);
+    let bytes = valid.as_bytes();
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7e57_c0de);
+    let mut parsed = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..200 {
+        let mutant = match rng.next_u64() % 4 {
+            // Truncate at an arbitrary byte (respecting UTF-8 is the
+            // mutator's job only so `from_str` gets a &str at all; the
+            // trace format itself is ASCII).
+            0 => {
+                let cut = (rng.next_u64() as usize) % bytes.len();
+                String::from_utf8_lossy(&bytes[..cut]).into_owned()
+            }
+            // Flip one byte to an arbitrary printable character.
+            1 => {
+                let mut b = bytes.to_vec();
+                let at = (rng.next_u64() as usize) % b.len();
+                b[at] = 32 + (rng.next_u64() % 95) as u8;
+                String::from_utf8_lossy(&b).into_owned()
+            }
+            // Delete one whole line.
+            2 => {
+                let lines: Vec<&str> = valid.lines().collect();
+                let drop = (rng.next_u64() as usize) % lines.len();
+                let mut kept: Vec<&str> = Vec::with_capacity(lines.len() - 1);
+                kept.extend(lines.iter().enumerate().filter(|(i, _)| *i != drop).map(|(_, l)| *l));
+                kept.join("\n")
+            }
+            // Duplicate one line somewhere else.
+            _ => {
+                let lines: Vec<&str> = valid.lines().collect();
+                let take = (rng.next_u64() as usize) % lines.len();
+                let at = (rng.next_u64() as usize) % lines.len();
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+                out.extend(&lines[..at]);
+                out.push(lines[take]);
+                out.extend(&lines[at..]);
+                out.join("\n")
+            }
+        };
+        match tracefile::from_str(&mutant) {
+            Ok(_) => parsed += 1,
+            Err(e) => {
+                rejected += 1;
+                // Typed errors must locate the damage.
+                assert!(e.line >= 1, "error without a line number: {e}");
+                assert!(!e.message.is_empty(), "error without a message");
+            }
+        }
+    }
+    // The corpus must actually exercise both outcomes: some mutants stay
+    // parseable (dropped whole records), some are rejected.
+    assert!(parsed > 0, "no mutant parsed — mutator too destructive");
+    assert!(rejected > 0, "no mutant rejected — mutator too gentle");
+}

@@ -54,6 +54,7 @@ fn dataset_from(matrix: &[Vec<Option<(f64, bool)>>]) -> Dataset {
         as_paths: vec![vec![0]],
         duration_s: 10.0,
         detected_rate_limited: vec![],
+            starved_pairs: 0,
     }
 }
 
