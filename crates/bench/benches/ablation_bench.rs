@@ -48,7 +48,10 @@ fn bench_routing_modes(b: &mut Bench) {
         );
     }
 
-    for mode in [RoutingMode::PolicyHotPotato, RoutingMode::GlobalShortestDelay] {
+    for mode in [
+        RoutingMode::PolicyHotPotato,
+        RoutingMode::GlobalShortestDelay,
+    ] {
         b.bench(&format!("ablation_routing_mode/{mode:?}"), || {
             let ds = dataset_for_mode(mode);
             improved_fraction(&ds)
@@ -60,19 +63,23 @@ fn bench_loss_composition(b: &mut Bench) {
     let (n2, _) = detour_datasets::n2::generate_with_na(Scale::reduced(10, 16));
     let g = MeasurementGraph::from_dataset(&n2);
     for mode in [LossComposition::Optimistic, LossComposition::Pessimistic] {
-        b.bench(&format!("ablation_loss_composition/{}", mode.label()), || {
-            let cs = compare_graph_bandwidth(&g, mode);
-            cs.len()
-        });
+        b.bench(
+            &format!("ablation_loss_composition/{}", mode.label()),
+            || {
+                let cs = compare_graph_bandwidth(&g, mode);
+                cs.len()
+            },
+        );
     }
 }
 
 fn bench_search_depth(b: &mut Bench) {
     let ds = dataset_for_mode(RoutingMode::PolicyHotPotato);
     let g = MeasurementGraph::from_dataset(&ds);
-    for (label, depth) in
-        [("unrestricted", SearchDepth::Unrestricted), ("one_hop", SearchDepth::OneHop)]
-    {
+    for (label, depth) in [
+        ("unrestricted", SearchDepth::Unrestricted),
+        ("one_hop", SearchDepth::OneHop),
+    ] {
         b.bench(&format!("ablation_search_depth/{label}"), || {
             let cs = compare_graph(&g, &Rtt, depth);
             cs.len()

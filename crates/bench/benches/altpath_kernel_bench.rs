@@ -27,7 +27,9 @@ fn main() {
     let ds = DatasetId::Uw3.generate(Scale::reduced(14, 16));
     let g = MeasurementGraph::from_dataset(&ds);
 
-    b.bench("altpath/edge_walk_sweep", || reference::edge_walk_sweep(&g, &Rtt).len());
+    b.bench("altpath/edge_walk_sweep", || {
+        reference::edge_walk_sweep(&g, &Rtt).len()
+    });
     b.bench("altpath/kernel_sweep", || {
         compare_graph(&g, &Rtt, SearchDepth::Unrestricted).len()
     });
@@ -49,7 +51,9 @@ fn main() {
     // loop's matrix build is part of what the clone-rebuild loop pays too.
     let ds2 = ds.clone();
     b.bench("fig12/masked_kernel_greedy", || {
-        greedy_removal(&AnalysisContext::from_dataset(&ds2), &Rtt, 3).removed.len()
+        greedy_removal(&AnalysisContext::from_dataset(&ds2), &Rtt, 3)
+            .removed
+            .len()
     });
 
     b.finish();

@@ -9,8 +9,13 @@ use detour_prng::Xoshiro256pp;
 
 fn setup(members: usize) -> (Network, Overlay) {
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 909, 2.0));
-    let hosts: Vec<HostId> =
-        net.hosts().iter().step_by(2).take(members).map(|h| h.id).collect();
+    let hosts: Vec<HostId> = net
+        .hosts()
+        .iter()
+        .step_by(2)
+        .take(members)
+        .map(|h| h.id)
+        .collect();
     (net, Overlay::new(hosts, OverlayConfig::default()))
 }
 

@@ -83,18 +83,15 @@ fn bench_modes(b: &mut Bench) {
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 5, 7.0));
     let resolver = net.resolver();
     let hosts = net.hosts().to_vec();
-    for mode in [RoutingMode::PolicyHotPotato, RoutingMode::GlobalShortestDelay] {
+    for mode in [
+        RoutingMode::PolicyHotPotato,
+        RoutingMode::GlobalShortestDelay,
+    ] {
         let mut rng = Xoshiro256pp::seed_from_u64(6);
         b.bench(&format!("routing/resolve_{mode:?}"), || {
             let i = rng.gen_range(0..hosts.len());
             let j = (i + 1 + rng.gen_range(0..hosts.len() - 1)) % hosts.len();
-            let p = resolver.resolve(
-                &net.topology,
-                hosts[i].router,
-                hosts[j].router,
-                mode,
-                false,
-            );
+            let p = resolver.resolve(&net.topology, hosts[i].router, hosts[j].router, mode, false);
             p.map(|p| p.links.len())
         });
     }

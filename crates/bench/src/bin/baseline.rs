@@ -38,6 +38,15 @@
 //! mask-based flat-kernel loop — on the same graph, recording both costs
 //! and their ratio in the same JSON file.
 //!
+//! A `scale_sweep` entry times the source-batched best-alternate kernel on
+//! the 128-host SCALE dataset ([`detour_bench::scale`], generated through
+//! the same trace cache) at every worker count, byte-compares every run
+//! against the first and against the retained per-pair reference
+//! ([`reference::per_pair_sweep`]), and records the fix-up/avoided
+//! re-search counts. Two gates ride on it: the batched kernel must beat
+//! the per-pair reference ≥ 3× at one worker (always), and two workers
+//! must beat one by ≥ 1.3× (multi-core hosts only).
+//!
 //! Two further sections map where dataset generation itself spends its
 //! time (it is all cold-start cost now that warm runs load traces):
 //!
@@ -54,8 +63,10 @@ use std::path::Path;
 use std::time::Instant;
 
 use detour_bench::experiments::{run_all, ALL_EXPERIMENTS};
-use detour_bench::{cache, reference, Bundle, Study};
+use detour_bench::{cache, reference, scale as scale_workload, Bundle, Study};
+use detour_core::altpath::SearchDepth;
 use detour_core::analysis::hostremoval::greedy_removal;
+use detour_core::kernel;
 use detour_core::{pool, AnalysisContext, Rtt};
 use detour_datasets::{generate_staged, GenerateStages, Scale};
 use detour_measure::{run_campaign, CampaignConfig, RawMeasurements, Request, Schedule};
@@ -102,7 +113,16 @@ fn warm_run(dir: &Path) -> (Stages, Vec<String>, cache::CacheStats, usize) {
     let reports = run_all(&study, ALL_EXPERIMENTS);
     let experiments = t.elapsed().as_secs_f64();
 
-    (Stages { load, context, experiments }, reports, stats, study.artifact_builds())
+    (
+        Stages {
+            load,
+            context,
+            experiments,
+        },
+        reports,
+        stats,
+        study.artifact_builds(),
+    )
 }
 
 /// The pre-refactor engine's reports for the same study, for byte-identity.
@@ -136,7 +156,10 @@ fn time_fig12_greedy() -> (f64, f64) {
 
     // The speedup claim is only meaningful if both loops computed the same
     // experiment.
-    assert_eq!(kern.removed, refr.removed, "kernel and reference greedy diverged");
+    assert_eq!(
+        kern.removed, refr.removed,
+        "kernel and reference greedy diverged"
+    );
     (reference_secs, kernel_secs)
 }
 
@@ -175,7 +198,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let cache_dir = Path::new(CACHE_DIR);
 
     let mut counts = vec![1usize, 2, 4, cores];
@@ -231,7 +256,10 @@ fn main() {
             None => reference_reports = Some(reports.clone()),
             Some(r) => {
                 if *r != reports {
-                    eprintln!("baseline: FAIL — reports at {n} workers differ from {} workers", counts[0]);
+                    eprintln!(
+                        "baseline: FAIL — reports at {n} workers differ from {} workers",
+                        counts[0]
+                    );
                     std::process::exit(1);
                 }
             }
@@ -242,7 +270,9 @@ fn main() {
         if rebuilt != reports {
             for (id, (a, b)) in ALL_EXPERIMENTS.iter().zip(reports.iter().zip(&rebuilt)) {
                 if a != b {
-                    eprintln!("baseline: FAIL — {id} differs from the rebuild engine at {n} workers");
+                    eprintln!(
+                        "baseline: FAIL — {id} differs from the rebuild engine at {n} workers"
+                    );
                 }
             }
             std::process::exit(1);
@@ -286,9 +316,83 @@ fn main() {
     );
     pool::set_threads(0);
 
+    // scale_sweep: the 128-host kernel workload. The batched sweep runs at
+    // every worker count (byte-compared against the first run), then the
+    // retained per-pair reference runs once at one worker for the headline
+    // algorithmic speedup.
+    let t = Instant::now();
+    let (scale_ds, scale_hit) = scale_workload::load_or_generate(cache_dir).expect("scale dataset");
+    let scale_load_secs = t.elapsed().as_secs_f64();
+    eprintln!(
+        "baseline: scale_sweep dataset: {} hosts, cache {} ({scale_load_secs:.2} s)",
+        scale_ds.hosts.len(),
+        if scale_hit { "hit" } else { "miss" },
+    );
+    assert!(
+        scale_ds.hosts.len() >= 120,
+        "scale_sweep needs >= 120 hosts, got {}",
+        scale_ds.hosts.len()
+    );
+    let scale_cx = AnalysisContext::from_dataset(&scale_ds);
+    let scale_m = scale_cx.weights(&Rtt);
+    let scale_mask = scale_m.no_mask();
+    let mut sweep_runs: Vec<(usize, f64)> = Vec::new();
+    let mut sweep_reference = None;
+    let mut sweep_stats = kernel::SweepStats::default();
+    for &n in &counts {
+        pool::set_threads(n);
+        let t = Instant::now();
+        let (out, stats) =
+            kernel::sweep_with_stats(scale_m, &scale_mask, &Rtt, SearchDepth::Unrestricted);
+        let secs = t.elapsed().as_secs_f64();
+        eprintln!(
+            "baseline: scale_sweep {n} worker(s): {secs:.3} s ({} pairs, {} fixups, {} avoided)",
+            stats.pairs, stats.fixups, stats.avoided
+        );
+        match &sweep_reference {
+            None => {
+                sweep_reference = Some(out);
+                sweep_stats = stats;
+            }
+            Some(r) => {
+                if *r != out || sweep_stats != stats {
+                    eprintln!(
+                        "baseline: FAIL — scale_sweep output at {n} workers differs from {} workers",
+                        counts[0]
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        sweep_runs.push((n, secs));
+    }
+    // The per-pair reference, single-worker, and the batched kernel's
+    // matching single-worker time for the algorithmic (not fan-out) ratio.
+    pool::set_threads(1);
+    let t = Instant::now();
+    let per_pair = reference::per_pair_sweep(scale_m, &scale_mask, &Rtt, SearchDepth::Unrestricted);
+    let sweep_ref_secs = t.elapsed().as_secs_f64();
+    pool::set_threads(0);
+    if sweep_reference.as_deref() != Some(&per_pair[..]) {
+        eprintln!("baseline: FAIL — scale_sweep batched kernel differs from per-pair reference");
+        std::process::exit(1);
+    }
+    let sweep_t1 = sweep_runs[0].1;
+    let sweep_algo_speedup = sweep_ref_secs / sweep_t1.max(1e-9);
+    let sweep_2thread_speedup = sweep_runs
+        .iter()
+        .find(|(n, _)| *n == 2)
+        .map(|&(_, s)| sweep_t1 / s.max(1e-9));
+    eprintln!(
+        "baseline: scale_sweep: per-pair reference {sweep_ref_secs:.3} s, batched \
+         {sweep_t1:.3} s ({sweep_algo_speedup:.1}x)"
+    );
+
     let t1 = runs[0].1.total();
-    let two_thread_speedup =
-        runs.iter().find(|(n, ..)| *n == 2).map(|(_, s, ..)| t1 / s.total());
+    let two_thread_speedup = runs
+        .iter()
+        .find(|(n, ..)| *n == 2)
+        .map(|(_, s, ..)| t1 / s.total());
 
     let mut json = String::new();
     let _ = write!(
@@ -327,8 +431,10 @@ fn main() {
         );
     }
     let camp_t1 = camp_runs[0].1;
-    let campaign_2thread_speedup =
-        camp_runs.iter().find(|(n, _)| *n == 2).map(|&(_, s)| camp_t1 / s.max(1e-9));
+    let campaign_2thread_speedup = camp_runs
+        .iter()
+        .find(|(n, _)| *n == 2)
+        .map(|&(_, s)| camp_t1 / s.max(1e-9));
     json.push_str("\n  ],\n  \"campaign\": [");
     for (i, (n, s)) in camp_runs.iter().enumerate() {
         if i > 0 {
@@ -342,9 +448,24 @@ fn main() {
     }
     let _ = write!(
         json,
-        "\n  ],\n  \"campaign_requests\": {},\n  \"fig12_greedy\": {{\n    \"hosts\": {FIG12_HOSTS},\n    \"removals\": {FIG12_REMOVALS},\n    \"clone_rebuild_seconds\": {fig12_ref:.3},\n    \"masked_kernel_seconds\": {fig12_kernel:.3},\n    \"speedup\": {fig12_speedup:.2}\n  }}\n}}\n",
-        camp_reqs.len()
+        "\n  ],\n  \"campaign_requests\": {},\n  \"fig12_greedy\": {{\n    \"hosts\": {FIG12_HOSTS},\n    \"removals\": {FIG12_REMOVALS},\n    \"clone_rebuild_seconds\": {fig12_ref:.3},\n    \"masked_kernel_seconds\": {fig12_kernel:.3},\n    \"speedup\": {fig12_speedup:.2}\n  }},\n  \"scale_sweep\": {{\n    \"scale_hosts\": {}, \"pairs\": {}, \"fixups\": {}, \"avoided\": {},\n    \"cache_hit\": {scale_hit}, \"load_seconds\": {scale_load_secs:.3},\n    \"reference_seconds\": {sweep_ref_secs:.3}, \"batched_speedup_vs_reference\": {sweep_algo_speedup:.2},\n    \"runs\": [",
+        camp_reqs.len(),
+        scale_ds.hosts.len(),
+        sweep_stats.pairs,
+        sweep_stats.fixups,
+        sweep_stats.avoided,
     );
+    for (i, (n, s)) in sweep_runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n      {{\"threads\": {n}, \"sweep_seconds\": {s:.3}, \"sweep_speedup_vs_1\": {:.2}}}",
+            sweep_t1 / s.max(1e-9)
+        );
+    }
+    json.push_str("\n    ]\n  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("write baseline json");
     eprintln!("baseline: wrote {out_path}");
@@ -354,7 +475,7 @@ fn main() {
     // machine, two workers must beat one by a real margin end-to-end (the
     // experiments fan out whole, and artifact prebuilding parallelizes),
     // and the campaign alone — embarrassingly parallel over requests —
-    // must too.
+    // must too, as must the batched sweep on the scale workload.
     if cores > 1 {
         if let Some(s) = two_thread_speedup {
             if s < 1.2 {
@@ -370,5 +491,24 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if let Some(s) = sweep_2thread_speedup {
+            if s < 1.3 {
+                eprintln!(
+                    "baseline: FAIL — 2-worker scale_sweep speedup {s:.2} < 1.3 on {cores} cores"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Gate 4, unconditional: the batched kernel must beat the per-pair
+    // reference by an algorithmic margin at one worker — one SSSP per
+    // source plus a minority of fix-up re-searches vs. one full Dijkstra
+    // per pair.
+    if sweep_algo_speedup < 3.0 {
+        eprintln!(
+            "baseline: FAIL — scale_sweep batched/reference speedup {sweep_algo_speedup:.2} < 3.0"
+        );
+        std::process::exit(1);
     }
 }

@@ -84,7 +84,10 @@ fn main() {
     let cache_dir = Path::new("results/cache");
     if fresh {
         let removed = cache::purge(cache_dir).expect("purge trace cache");
-        eprintln!("purged {removed} cached trace(s) from {}", cache_dir.display());
+        eprintln!(
+            "purged {removed} cached trace(s) from {}",
+            cache_dir.display()
+        );
     }
 
     eprintln!(
@@ -94,10 +97,13 @@ fn main() {
         if pool::threads() == 1 { "" } else { "s" },
     );
     let t = Instant::now();
-    let scale = if scaled { Scale::reduced(12, 8) } else { Scale::full() };
+    let scale = if scaled {
+        Scale::reduced(12, 8)
+    } else {
+        Scale::full()
+    };
     let (bundle, stats) =
-        Bundle::generate_cached(scale.with_seed_offset(seed), cache_dir)
-            .expect("trace cache");
+        Bundle::generate_cached(scale.with_seed_offset(seed), cache_dir).expect("trace cache");
     eprintln!(
         "datasets ready in {:.1?} ({} cached, {} generated)",
         t.elapsed(),
@@ -108,11 +114,18 @@ fn main() {
 
     // The paper experiments run through the parallel engine (prebuilt
     // shared artifacts, request-ordered reports); extras run inline after.
-    let paper_ids: Vec<&str> =
-        ids.iter().copied().filter(|id| ALL_EXPERIMENTS.contains(id)).collect();
+    let paper_ids: Vec<&str> = ids
+        .iter()
+        .copied()
+        .filter(|id| ALL_EXPERIMENTS.contains(id))
+        .collect();
     let t = Instant::now();
     let paper_reports = run_all(&study, &paper_ids);
-    eprintln!("[{} paper experiment(s) done in {:.1?}]", paper_ids.len(), t.elapsed());
+    eprintln!(
+        "[{} paper experiment(s) done in {:.1?}]",
+        paper_ids.len(),
+        t.elapsed()
+    );
 
     let results = Path::new("results");
     fs::create_dir_all(results).expect("create results/");
@@ -132,7 +145,6 @@ fn main() {
             r
         };
         println!("{report}");
-        fs::write(results.join(format!("{id}.txt")), &report)
-            .expect("write results file");
+        fs::write(results.join(format!("{id}.txt")), &report).expect("write results file");
     }
 }

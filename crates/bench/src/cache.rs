@@ -44,8 +44,9 @@ pub struct CacheStats {
 
 /// The cache file for one dataset at one scale.
 pub fn cache_path(dir: &Path, name: &str, scale: Scale) -> PathBuf {
-    let hosts =
-        scale.n_hosts.map_or_else(|| "full".to_string(), |n| n.to_string());
+    let hosts = scale
+        .n_hosts
+        .map_or_else(|| "full".to_string(), |n| n.to_string());
     dir.join(format!(
         "{name}-o{}-h{hosts}-t{}.trace",
         scale.seed_offset, scale.time_divisor
@@ -104,10 +105,7 @@ impl Bundle {
                     CacheProbe::Loaded(ds) => loaded.push(ds),
                     CacheProbe::Missing => {}
                     CacheProbe::Corrupt => {
-                        std::fs::rename(
-                            cache_path(dir, n, scale),
-                            quarantine_path(dir, n, scale),
-                        )?;
+                        std::fs::rename(cache_path(dir, n, scale), quarantine_path(dir, n, scale))?;
                         quarantined += 1;
                     }
                 }
@@ -146,7 +144,10 @@ pub fn purge(dir: &Path) -> std::io::Result<usize> {
     };
     for entry in entries {
         let path = entry?.path();
-        if path.extension().is_some_and(|e| e == "trace" || e == "quarantined") {
+        if path
+            .extension()
+            .is_some_and(|e| e == "trace" || e == "quarantined")
+        {
             std::fs::remove_file(&path)?;
             removed += 1;
         }
@@ -159,8 +160,8 @@ mod tests {
     use super::*;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("detour-cache-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("detour-cache-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -201,7 +202,10 @@ mod tests {
         let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
         assert_eq!((stats.hits, stats.misses), (7, 1), "UW3 family regenerates");
         assert_eq!(stats.quarantined, 1, "the corrupt file is quarantined");
-        assert_eq!(again.uw3, reference.uw3, "regeneration restores the dataset");
+        assert_eq!(
+            again.uw3, reference.uw3,
+            "regeneration restores the dataset"
+        );
         let corpse = quarantine_path(&dir, "UW3", scale);
         assert_eq!(
             std::fs::read_to_string(&corpse).unwrap(),
@@ -231,7 +235,10 @@ mod tests {
         std::fs::write(&path, &whole[..cut]).unwrap();
         let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
         assert_eq!(stats.quarantined, 1, "the truncated file is quarantined");
-        assert_eq!(again.uw3, reference.uw3, "regeneration restores the dataset");
+        assert_eq!(
+            again.uw3, reference.uw3,
+            "regeneration restores the dataset"
+        );
         assert!(quarantine_path(&dir, "UW3", scale).exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -17,8 +17,7 @@
 //! targets (see EXPERIMENTS.md).
 
 use detour_core::analysis::{
-    aspop, cdf, confidence, contribution, episodes, hostremoval, median, propagation,
-    timeofday,
+    aspop, cdf, confidence, contribution, episodes, hostremoval, median, propagation, timeofday,
 };
 use detour_core::{
     pool, AnalysisContext, ArtifactKind, Loss, LossComposition, Metric, MetricKind, Rtt,
@@ -77,8 +76,7 @@ const HEADLINE_LOSS: &[Need] = &[
     Need::Weights(DataKey::D2, MetricKind::Loss),
 ];
 
-const BANDWIDTH_N2: &[Need] =
-    &[Need::Bandwidth(DataKey::N2), Need::Bandwidth(DataKey::N2Na)];
+const BANDWIDTH_N2: &[Need] = &[Need::Bandwidth(DataKey::N2), Need::Bandwidth(DataKey::N2Na)];
 
 const UW3_RTT: &[Need] = &[Need::Weights(DataKey::Uw3, MetricKind::Rtt)];
 
@@ -87,36 +85,88 @@ const UW3_RTT: &[Need] = &[Need::Weights(DataKey::Uw3, MetricKind::Rtt)];
 /// so `figures` can dispatch them, but outside [`ALL_EXPERIMENTS`] so the
 /// perf baseline measures only the paper set).
 pub const REGISTRY: &[Experiment] = &[
-    Experiment { id: "table1", needs: &[], run: table1 },
-    Experiment { id: "fig1", needs: HEADLINE_RTT, run: fig1 },
-    Experiment { id: "fig2", needs: HEADLINE_RTT, run: fig2 },
-    Experiment { id: "fig3", needs: HEADLINE_LOSS, run: fig3 },
-    Experiment { id: "fig4", needs: BANDWIDTH_N2, run: fig4 },
-    Experiment { id: "fig5", needs: BANDWIDTH_N2, run: fig5 },
+    Experiment {
+        id: "table1",
+        needs: &[],
+        run: table1,
+    },
+    Experiment {
+        id: "fig1",
+        needs: HEADLINE_RTT,
+        run: fig1,
+    },
+    Experiment {
+        id: "fig2",
+        needs: HEADLINE_RTT,
+        run: fig2,
+    },
+    Experiment {
+        id: "fig3",
+        needs: HEADLINE_LOSS,
+        run: fig3,
+    },
+    Experiment {
+        id: "fig4",
+        needs: BANDWIDTH_N2,
+        run: fig4,
+    },
+    Experiment {
+        id: "fig5",
+        needs: BANDWIDTH_N2,
+        run: fig5,
+    },
     Experiment {
         id: "fig6",
         needs: &[Need::Weights(DataKey::D2Na, MetricKind::Rtt)],
         run: fig6,
     },
-    Experiment { id: "fig7", needs: UW3_RTT, run: fig7 },
+    Experiment {
+        id: "fig7",
+        needs: UW3_RTT,
+        run: fig7,
+    },
     Experiment {
         id: "fig8",
         needs: &[Need::Weights(DataKey::Uw3, MetricKind::Loss)],
         run: fig8,
     },
-    Experiment { id: "table2", needs: HEADLINE_RTT, run: table2 },
-    Experiment { id: "table3", needs: HEADLINE_LOSS, run: table3 },
+    Experiment {
+        id: "table2",
+        needs: HEADLINE_RTT,
+        run: table2,
+    },
+    Experiment {
+        id: "table3",
+        needs: HEADLINE_LOSS,
+        run: table3,
+    },
     // Figures 9-10 slice the dataset by time of day and rebuild throwaway
     // per-slice graphs; they use no whole-dataset artifacts.
-    Experiment { id: "fig9", needs: &[], run: fig9 },
-    Experiment { id: "fig10", needs: &[], run: fig10 },
+    Experiment {
+        id: "fig9",
+        needs: &[],
+        run: fig9,
+    },
+    Experiment {
+        id: "fig10",
+        needs: &[],
+        run: fig10,
+    },
     Experiment {
         id: "fig11",
         needs: &[Need::Weights(DataKey::Uw4B, MetricKind::Rtt)],
         run: fig11,
     },
-    Experiment { id: "fig12", needs: UW3_RTT, run: fig12 },
-    Experiment { id: "fig13", needs: UW3_RTT, run: fig13 },
+    Experiment {
+        id: "fig12",
+        needs: UW3_RTT,
+        run: fig12,
+    },
+    Experiment {
+        id: "fig13",
+        needs: UW3_RTT,
+        run: fig13,
+    },
     Experiment {
         id: "fig14",
         needs: &[Need::Weights(DataKey::Uw1, MetricKind::Rtt)],
@@ -130,17 +180,25 @@ pub const REGISTRY: &[Experiment] = &[
         ],
         run: fig15,
     },
-    Experiment { id: "fig16", needs: UW3_RTT, run: fig16 },
+    Experiment {
+        id: "fig16",
+        needs: UW3_RTT,
+        run: fig16,
+    },
     // Self-contained: generates its own tiny faulted datasets, touching no
     // study artifact — so it declares no needs and can run after the
     // engine batch without serializing behind it.
-    Experiment { id: "outage_sweep", needs: &[], run: outage_sweep },
+    Experiment {
+        id: "outage_sweep",
+        needs: &[],
+        run: outage_sweep,
+    },
 ];
 
 /// All experiment identifiers, in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2",
-    "table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "table3",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 ];
 
 /// The fault-injection experiments (DESIGN.md §6e). Registered like the
@@ -395,7 +453,12 @@ pub fn fig6(s: &Study) -> String {
     out.push_str(&check(
         "horizontal offset between curves at the quartiles",
         "negligible (~a few ms)",
-        format!("{:+.1} / {:+.1} / {:+.1} ms", hshift(0.25), hshift(0.5), hshift(0.75)),
+        format!(
+            "{:+.1} / {:+.1} / {:+.1} ms",
+            hshift(0.25),
+            hshift(0.5),
+            hshift(0.75)
+        ),
     ));
     out.push_str(&check(
         "max vertical gap between mean and median CDFs",
@@ -575,10 +638,10 @@ pub fn fig11(s: &Study) -> String {
             pct(a.time_averaged.fraction_above(0.0)),
         ),
     ));
-    let tail_un = a.unaveraged.inverse(0.99).unwrap_or(0.0)
-        - a.unaveraged.inverse(0.01).unwrap_or(0.0);
-    let tail_pa = a.pair_averaged.inverse(0.99).unwrap_or(0.0)
-        - a.pair_averaged.inverse(0.01).unwrap_or(0.0);
+    let tail_un =
+        a.unaveraged.inverse(0.99).unwrap_or(0.0) - a.unaveraged.inverse(0.01).unwrap_or(0.0);
+    let tail_pa =
+        a.pair_averaged.inverse(0.99).unwrap_or(0.0) - a.pair_averaged.inverse(0.01).unwrap_or(0.0);
     out.push_str(&check(
         "unaveraged tail much broader than pair-averaged",
         "yes",
@@ -647,7 +710,10 @@ pub fn fig14(s: &Study) -> String {
             pts.len()
         ),
     ));
-    out.push_str(&format!("{:>8} {:>10} {:>11}\n", "AS", "default", "alternate"));
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>11}\n",
+        "AS", "default", "alternate"
+    ));
     for p in &pts {
         out.push_str(&format!(
             "{:>8} {:>10} {:>11}\n",
@@ -693,7 +759,11 @@ pub fn fig15(s: &Study) -> String {
 pub fn fig16(s: &Study) -> String {
     let mut out = header("Figure 16: propagation/queuing decomposition (UW3)");
     let d = propagation::decompose(s.ctx(DataKey::Uw3));
-    out.push_str(&format!("  groups 1..6: {:?}  (n = {})\n", d.group_counts, d.points.len()));
+    out.push_str(&format!(
+        "  groups 1..6: {:?}  (n = {})\n",
+        d.group_counts,
+        d.points.len()
+    ));
     out.push_str(&check(
         "group 3 nearly empty (few default wins with worse prop)",
         "very few paths",
@@ -770,8 +840,7 @@ pub fn outage_sweep(_s: &Study) -> String {
     // seed, so the whole table replays exactly).
     let rows = pool::parallel_map(&SWEEP_INTENSITIES, |&intensity| {
         let faults = detour_faults::FaultConfig::with_intensity(SWEEP_SEED ^ 2, intensity);
-        let mut ds =
-            detour_datasets::generate(&sweep_spec(faults), detour_datasets::Scale::full());
+        let mut ds = detour_datasets::generate(&sweep_spec(faults), detour_datasets::Scale::full());
         ds.name = format!("SWEEP-x{intensity}");
         let cx = AnalysisContext::from_dataset(&ds);
         let deg = cx.degradation();
@@ -787,7 +856,10 @@ pub fn outage_sweep(_s: &Study) -> String {
         let (better, signif) = if *pairs == 0 {
             ("-".to_string(), "-".to_string())
         } else {
-            (pct(summary.frac_better), pct(summary.frac_significantly_better))
+            (
+                pct(summary.frac_better),
+                pct(summary.frac_significantly_better),
+            )
         };
         out.push_str(&format!(
             "{:>10} {:>8} {:>9} {:>9} {:>8} {:>10}  {}\n",
@@ -835,8 +907,11 @@ mod tests {
     #[test]
     fn registry_matches_id_list_in_order() {
         let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
-        let expected: Vec<&str> =
-            ALL_EXPERIMENTS.iter().chain(FAULT_EXPERIMENTS).copied().collect();
+        let expected: Vec<&str> = ALL_EXPERIMENTS
+            .iter()
+            .chain(FAULT_EXPERIMENTS)
+            .copied()
+            .collect();
         assert_eq!(ids, expected);
     }
 
@@ -845,7 +920,10 @@ mod tests {
         let s = Study::from_bundle(Bundle::generate(Scale::reduced(8, 24)));
         for id in ALL_EXPERIMENTS {
             let report = run(id, &s).unwrap_or_else(|| panic!("unknown id {id}"));
-            assert!(report.len() > 50, "{id} report suspiciously short:\n{report}");
+            assert!(
+                report.len() > 50,
+                "{id} report suspiciously short:\n{report}"
+            );
         }
     }
 

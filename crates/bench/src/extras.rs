@@ -15,8 +15,14 @@ use crate::render::{check, header, pct};
 use crate::study::{DataKey, Study};
 
 /// Extra experiment identifiers.
-pub const EXTRA_EXPERIMENTS: &[&str] =
-    &["asymmetry", "prevalence", "independence", "sensitivity", "ablation", "overlay"];
+pub const EXTRA_EXPERIMENTS: &[&str] = &[
+    "asymmetry",
+    "prevalence",
+    "independence",
+    "sensitivity",
+    "ablation",
+    "overlay",
+];
 
 /// Dispatches one extra experiment by id.
 pub fn run(id: &str, study: &Study) -> Option<String> {
@@ -86,7 +92,10 @@ fn asymmetry_report(s: &Study) -> String {
         let cx = s.ctx(key);
         let r = asymmetry::analyze(cx);
         out.push_str(&check(
-            &format!("{}: fraction of pairs with asymmetric AS routes", cx.dataset().name),
+            &format!(
+                "{}: fraction of pairs with asymmetric AS routes",
+                cx.dataset().name
+            ),
             "large (Pax96: ~50% host-pair granularity)",
             format!(
                 "{} of {} bidirectional pairs",
@@ -163,11 +172,19 @@ fn ablation_report() -> String {
 fn overlay_report() -> String {
     let mut out = header("Extra: Detour/RON-style overlay evaluation");
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 0xe41a, 2.0));
-    let members: Vec<HostId> =
-        net.hosts().iter().step_by(5).take(8).map(|h| h.id).collect();
+    let members: Vec<HostId> = net
+        .hosts()
+        .iter()
+        .step_by(5)
+        .take(8)
+        .map(|h| h.id)
+        .collect();
     let mut overlay = Overlay::new(members, OverlayConfig::default());
     let mut rng = Xoshiro256pp::seed_from_u64(7);
-    let cfg = EvalConfig { duration_s: 2.0 * 3600.0, epoch_s: 180.0 };
+    let cfg = EvalConfig {
+        duration_s: 2.0 * 3600.0,
+        epoch_s: 180.0,
+    };
     let r = evaluate(&net, &mut overlay, SimTime::from_hours(38.0), cfg, &mut rng);
     out.push_str(&check(
         "overlay vs default, mean RTT saving per pair-send",
@@ -194,14 +211,22 @@ fn overlay_report() -> String {
     outage_cfg.load.outages_per_day = 2.0;
     outage_cfg.load.outage_duration_s = 10.0 * 60.0;
     let flaky = Network::generate(&outage_cfg);
-    let members: Vec<HostId> =
-        flaky.hosts().iter().step_by(5).take(8).map(|h| h.id).collect();
+    let members: Vec<HostId> = flaky
+        .hosts()
+        .iter()
+        .step_by(5)
+        .take(8)
+        .map(|h| h.id)
+        .collect();
     let sweep = detour_overlay::interval_sweep(
         &flaky,
         members,
         &[30.0, 120.0, 600.0],
         SimTime::from_hours(12.0),
-        EvalConfig { duration_s: 3.0 * 3600.0, epoch_s: 180.0 },
+        EvalConfig {
+            duration_s: 3.0 * 3600.0,
+            epoch_s: 180.0,
+        },
         &mut rng,
     );
     out.push_str(&format!(

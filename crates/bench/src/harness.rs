@@ -87,7 +87,10 @@ impl Bench {
             .and_then(|v| v.parse().ok())
             .filter(|&n| n > 0)
             .unwrap_or(10);
-        Bench { sample_size, results: Vec::new() }
+        Bench {
+            sample_size,
+            results: Vec::new(),
+        }
     }
 
     /// Sets the per-benchmark sample count (ignored when the
@@ -165,7 +168,11 @@ impl Bench {
         eprintln!("bench: {} benchmarks complete", self.results.len());
         if let Ok(path) = std::env::var("DETOUR_BENCH_JSON") {
             use std::io::Write;
-            match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
                 Ok(mut f) => {
                     let _ = f.write_all(self.to_json_lines().as_bytes());
                     eprintln!("bench: results appended to {path}");

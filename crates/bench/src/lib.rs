@@ -22,9 +22,12 @@
 //!   `benches/` binaries and the `baseline` binary run on (warm-up,
 //!   batched median-of-N timing, JSON-lines output);
 //! * [`reference`] — the pre-kernel edge-walk search, the clone-rebuild
-//!   greedy loop, and the rebuild-per-experiment engine, preserved so the
-//!   benches and equivalence tests can measure the shared-artifact engine
-//!   against the exact behaviour it replaced.
+//!   greedy loop, the rebuild-per-experiment engine, and the per-pair
+//!   Dijkstra sweep, preserved so the benches and equivalence tests can
+//!   measure the shared-artifact engine and the source-batched kernel
+//!   against the exact behaviour they replaced;
+//! * [`scale`] — the 128-host `scale_sweep` workload: a dataset big enough
+//!   for kernel speedups to show, generated once through the trace cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +39,7 @@ pub mod extras;
 pub mod harness;
 pub mod reference;
 pub mod render;
+pub mod scale;
 pub mod study;
 
 pub use bundle::Bundle;

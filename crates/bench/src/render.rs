@@ -60,7 +60,10 @@ pub fn pct(x: f64) -> String {
 
 /// Section header.
 pub fn header(title: &str) -> String {
-    format!("\n=== {title} {}\n", "=".repeat(66usize.saturating_sub(title.len())))
+    format!(
+        "\n=== {title} {}\n",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    )
 }
 
 #[cfg(test)]

@@ -110,7 +110,10 @@ impl Study {
     /// harness records this to prove each artifact was built exactly once
     /// no matter how many experiments consumed it.
     pub fn artifact_builds(&self) -> usize {
-        self.in_table_order().iter().map(|cx| cx.artifact_builds()).sum()
+        self.in_table_order()
+            .iter()
+            .map(|cx| cx.artifact_builds())
+            .sum()
     }
 
     /// A sibling study over the same datasets with *empty* artifact caches
@@ -140,11 +143,17 @@ mod tests {
     #[test]
     fn table_order_matches_bundle_order() {
         let b = Bundle::generate(Scale::reduced(8, 24));
-        let names: Vec<String> =
-            b.in_table_order().iter().map(|ds| ds.name.clone()).collect();
+        let names: Vec<String> = b
+            .in_table_order()
+            .iter()
+            .map(|ds| ds.name.clone())
+            .collect();
         let s = Study::from_bundle(b);
-        let ctx_names: Vec<String> =
-            s.in_table_order().iter().map(|cx| cx.dataset().name.clone()).collect();
+        let ctx_names: Vec<String> = s
+            .in_table_order()
+            .iter()
+            .map(|cx| cx.dataset().name.clone())
+            .collect();
         assert_eq!(names, ctx_names);
     }
 

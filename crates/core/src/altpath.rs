@@ -195,8 +195,15 @@ mod tests {
             3,
         );
         let g = MeasurementGraph::from_dataset(&ds);
-        let cmp =
-            best_alternate(&g, Pair { src: HostId(0), dst: HostId(2) }, &Rtt).unwrap();
+        let cmp = best_alternate(
+            &g,
+            Pair {
+                src: HostId(0),
+                dst: HostId(2),
+            },
+            &Rtt,
+        )
+        .unwrap();
         assert_eq!(cmp.default_value, 100.0);
         assert_eq!(cmp.alternate_value, 30.0);
         assert_eq!(cmp.via, vec![HostId(1)]);
@@ -218,8 +225,15 @@ mod tests {
             3,
         );
         let g = MeasurementGraph::from_dataset(&ds);
-        let cmp =
-            best_alternate(&g, Pair { src: HostId(0), dst: HostId(3) }, &Rtt).unwrap();
+        let cmp = best_alternate(
+            &g,
+            Pair {
+                src: HostId(0),
+                dst: HostId(3),
+            },
+            &Rtt,
+        )
+        .unwrap();
         assert_eq!(cmp.alternate_value, 30.0);
         assert_eq!(cmp.via, vec![HostId(1), HostId(2)]);
     }
@@ -229,7 +243,15 @@ mod tests {
         // Only the direct edge exists: no alternate.
         let ds = dataset_from_rtt_matrix(&[&[0.0, 10.0], &[10.0, 0.0]], 3);
         let g = MeasurementGraph::from_dataset(&ds);
-        assert!(best_alternate(&g, Pair { src: HostId(0), dst: HostId(1) }, &Rtt).is_none());
+        assert!(best_alternate(
+            &g,
+            Pair {
+                src: HostId(0),
+                dst: HostId(1)
+            },
+            &Rtt
+        )
+        .is_none());
     }
 
     #[test]
@@ -240,8 +262,15 @@ mod tests {
             3,
         );
         let g = MeasurementGraph::from_dataset(&ds);
-        let cmp =
-            best_alternate(&g, Pair { src: HostId(0), dst: HostId(2) }, &Rtt).unwrap();
+        let cmp = best_alternate(
+            &g,
+            Pair {
+                src: HostId(0),
+                dst: HostId(2),
+            },
+            &Rtt,
+        )
+        .unwrap();
         assert!(!cmp.alternate_wins());
         assert!(cmp.improvement() < 0.0);
         assert!(cmp.ratio() < 1.0);
@@ -254,7 +283,10 @@ mod tests {
             3,
         );
         let g = MeasurementGraph::from_dataset(&ds);
-        let pair = Pair { src: HostId(0), dst: HostId(2) };
+        let pair = Pair {
+            src: HostId(0),
+            dst: HostId(2),
+        };
         let a = best_alternate(&g, pair, &Rtt).unwrap();
         let b = best_alternate_one_hop(&g, pair, &Rtt).unwrap();
         assert_eq!(a.alternate_value, b.alternate_value);
@@ -274,15 +306,18 @@ mod tests {
             3,
         );
         let g = MeasurementGraph::from_dataset(&ds);
-        let pair = Pair { src: HostId(0), dst: HostId(3) };
+        let pair = Pair {
+            src: HostId(0),
+            dst: HostId(3),
+        };
         assert!(best_alternate_one_hop(&g, pair, &Rtt).is_none());
         assert!(best_alternate(&g, pair, &Rtt).is_some());
     }
 
     #[test]
     fn dijkstra_matches_brute_force_on_random_graphs() {
-        use detour_prng::Xoshiro256pp;
         use detour_prng::Rng;
+        use detour_prng::Xoshiro256pp;
         let mut rng = Xoshiro256pp::seed_from_u64(33);
         for _ in 0..20 {
             let n = rng.gen_range(4..7);
@@ -381,7 +416,15 @@ mod tests {
             }
         }
         let g = MeasurementGraph::from_dataset(&ds);
-        let cmp = best_alternate(&g, Pair { src: HostId(0), dst: HostId(2) }, &Loss).unwrap();
+        let cmp = best_alternate(
+            &g,
+            Pair {
+                src: HostId(0),
+                dst: HostId(2),
+            },
+            &Loss,
+        )
+        .unwrap();
         assert!((cmp.default_value - 0.2).abs() < 1e-9);
         assert_eq!(cmp.alternate_value, 0.0);
         assert!(cmp.alternate_wins());

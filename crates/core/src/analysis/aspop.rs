@@ -85,9 +85,14 @@ pub fn log_correlation(points: &[AsPoint]) -> Option<f64> {
     if points.len() < 3 {
         return None;
     }
-    let xs: Vec<f64> = points.iter().map(|p| (1.0 + p.default_count as f64).ln()).collect();
-    let ys: Vec<f64> =
-        points.iter().map(|p| (1.0 + p.alternate_count as f64).ln()).collect();
+    let xs: Vec<f64> = points
+        .iter()
+        .map(|p| (1.0 + p.default_count as f64).ln())
+        .collect();
+    let ys: Vec<f64> = points
+        .iter()
+        .map(|p| (1.0 + p.alternate_count as f64).ln())
+        .collect();
     let n = xs.len() as f64;
     let mx = xs.iter().sum::<f64>() / n;
     let my = ys.iter().sum::<f64>() / n;
@@ -125,9 +130,11 @@ mod tests {
             vec![0, 99, 2], // 0→2
         ];
         let mut probes = Vec::new();
-        for (s, d, rtt, idx) in
-            [(0u32, 1u32, 20.0f64, 0u32), (1, 2, 20.0, 1), (0, 2, 100.0, 2)]
-        {
+        for (s, d, rtt, idx) in [
+            (0u32, 1u32, 20.0f64, 0u32),
+            (1, 2, 20.0, 1),
+            (0, 2, 100.0, 2),
+        ] {
             for k in 0..3 {
                 probes.push(ProbeSample {
                     src: HostId(s),
@@ -157,7 +164,10 @@ mod tests {
     fn default_counts_use_observed_paths() {
         let cx = AnalysisContext::from_dataset(&dataset());
         let pts = analyze(&cx, &Rtt);
-        let transit = pts.iter().find(|p| p.asn == 99).expect("transit AS present");
+        let transit = pts
+            .iter()
+            .find(|p| p.asn == 99)
+            .expect("transit AS present");
         // AS 99 appears in all 3 default paths.
         assert_eq!(transit.default_count, 3);
     }
@@ -177,14 +187,34 @@ mod tests {
     #[test]
     fn correlation_needs_variance() {
         let pts = vec![
-            AsPoint { asn: 1, default_count: 5, alternate_count: 5 },
-            AsPoint { asn: 2, default_count: 5, alternate_count: 1 },
+            AsPoint {
+                asn: 1,
+                default_count: 5,
+                alternate_count: 5,
+            },
+            AsPoint {
+                asn: 2,
+                default_count: 5,
+                alternate_count: 1,
+            },
         ];
         assert!(log_correlation(&pts).is_none(), "too few points");
         let pts = vec![
-            AsPoint { asn: 1, default_count: 1, alternate_count: 1 },
-            AsPoint { asn: 2, default_count: 10, alternate_count: 9 },
-            AsPoint { asn: 3, default_count: 100, alternate_count: 110 },
+            AsPoint {
+                asn: 1,
+                default_count: 1,
+                alternate_count: 1,
+            },
+            AsPoint {
+                asn: 2,
+                default_count: 10,
+                alternate_count: 9,
+            },
+            AsPoint {
+                asn: 3,
+                default_count: 100,
+                alternate_count: 110,
+            },
         ];
         let r = log_correlation(&pts).unwrap();
         assert!(r > 0.95, "diagonal points correlate strongly: {r}");

@@ -43,13 +43,15 @@ pub fn analyze(cx: &AnalysisContext) -> AsymmetryReport {
     let mut report = AsymmetryReport::default();
     let mut seen: HashSet<(HostId, HostId)> = HashSet::new();
     for pair in graph.pairs() {
-        let key = if pair.src < pair.dst { (pair.src, pair.dst) } else { (pair.dst, pair.src) };
+        let key = if pair.src < pair.dst {
+            (pair.src, pair.dst)
+        } else {
+            (pair.dst, pair.src)
+        };
         if !seen.insert(key) {
             continue;
         }
-        let (Some(fwd), Some(rev)) =
-            (graph.edge(key.0, key.1), graph.edge(key.1, key.0))
-        else {
+        let (Some(fwd), Some(rev)) = (graph.edge(key.0, key.1), graph.edge(key.1, key.0)) else {
             continue;
         };
         if fwd.modal_as_path.is_empty() || rev.modal_as_path.is_empty() {

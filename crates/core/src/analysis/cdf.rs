@@ -17,9 +17,12 @@ use detour_stats::Cdf;
 /// Per-pair comparisons for a whole dataset under an additive metric.
 ///
 /// Borrows the context's cached [`WeightMatrix`] (built at most once per
-/// metric family) and fans the per-pair searches out over [`crate::pool`]
-/// with one reusable scratch per worker; results merge in pair order, so
-/// the result is identical at every thread count.
+/// metric family) and rides the source-batched sweep: one SSSP tree per
+/// source fanned out over [`crate::pool`] (one reusable scratch per
+/// worker), with exclusion re-searches only for pairs whose tree path
+/// starts on the direct edge. Results merge in pair order, so the result
+/// is identical at every thread count — and bit-identical to the per-pair
+/// reference kept in `detour_bench::reference`.
 pub fn compare_all_pairs(
     cx: &AnalysisContext,
     metric: &impl Metric,
@@ -69,7 +72,12 @@ pub fn improvement_cdf(comparisons: &[PathComparison]) -> Cdf {
 
 /// CDF of quality ratios (> 1 = alternate better): Figures 2 and 5.
 pub fn ratio_cdf(comparisons: &[PathComparison]) -> Cdf {
-    Cdf::from_samples(comparisons.iter().map(|c| c.ratio()).filter(|r| r.is_finite()))
+    Cdf::from_samples(
+        comparisons
+            .iter()
+            .map(|c| c.ratio())
+            .filter(|r| r.is_finite()),
+    )
 }
 
 /// Headline summary of one improvement CDF.
@@ -105,7 +113,10 @@ mod tests {
 
     fn cmp(default: f64, alt: f64, lower: bool) -> PathComparison {
         PathComparison {
-            pair: Pair { src: HostId(0), dst: HostId(1) },
+            pair: Pair {
+                src: HostId(0),
+                dst: HostId(1),
+            },
             default_value: default,
             alternate_value: alt,
             via: vec![],
@@ -116,7 +127,11 @@ mod tests {
     #[test]
     fn improvement_cdf_orientation() {
         // Two winners, one loser (lower-is-better metric).
-        let cs = vec![cmp(100.0, 60.0, true), cmp(50.0, 45.0, true), cmp(30.0, 90.0, true)];
+        let cs = vec![
+            cmp(100.0, 60.0, true),
+            cmp(50.0, 45.0, true),
+            cmp(30.0, 90.0, true),
+        ];
         let cdf = improvement_cdf(&cs);
         assert!((cdf.fraction_above(0.0) - 2.0 / 3.0).abs() < 1e-12);
         assert!((cdf.fraction_above(20.0) - 1.0 / 3.0).abs() < 1e-12);

@@ -69,11 +69,7 @@ fn pair_estimates(
 /// The best-alternate searches run as one kernel sweep
 /// ([`compare_all_pairs`]); only the surviving comparisons pay for the
 /// per-edge summary walks.
-pub fn pair_intervals(
-    cx: &AnalysisContext,
-    metric: &impl Metric,
-    level: f64,
-) -> Vec<PairInterval> {
+pub fn pair_intervals(cx: &AnalysisContext, metric: &impl Metric, level: f64) -> Vec<PairInterval> {
     compare_all_pairs(cx, metric, SearchDepth::Unrestricted)
         .iter()
         .filter_map(|cmp| {
@@ -131,8 +127,8 @@ mod tests {
     use crate::metric::{Loss, Rtt};
     use detour_measure::record::HostMeta;
     use detour_measure::{Dataset, HostId, ProbeSample};
-    use detour_prng::Xoshiro256pp;
     use detour_prng::Rng;
+    use detour_prng::Xoshiro256pp;
 
     /// Dataset with noisy RTTs: direct 0→2 slow, detour via 1 fast.
     fn noisy_dataset(noise: f64, n_probes: usize) -> Dataset {

@@ -37,8 +37,7 @@ pub struct ContributionAnalysis {
 /// derived only once per run.
 pub fn analyze(cx: &AnalysisContext, metric: &impl Metric) -> ContributionAnalysis {
     let w = cx.weights(metric);
-    let mut raw: HashMap<HostId, f64> =
-        w.hosts().iter().map(|&h| (h, 0.0)).collect();
+    let mut raw: HashMap<HostId, f64> = w.hosts().iter().map(|&h| (h, 0.0)).collect();
     let n = w.len();
     for s in 0..n {
         for d in 0..n {
@@ -66,7 +65,9 @@ pub fn analyze(cx: &AnalysisContext, metric: &impl Metric) -> ContributionAnalys
     }
     let mean = raw.values().sum::<f64>() / raw.len().max(1) as f64;
     let normalized: HashMap<HostId, f64> = if mean > 0.0 {
-        raw.into_iter().map(|(h, v)| (h, 100.0 * v / mean)).collect()
+        raw.into_iter()
+            .map(|(h, v)| (h, 100.0 * v / mean))
+            .collect()
     } else {
         raw
     };
@@ -109,7 +110,11 @@ mod tests {
                 }
                 // All edges cost `via`, except a slow clique where both ends
                 // are odd ids: those direct edges cost `direct`.
-                let rtt = if s % 2 == 1 && d % 2 == 1 { direct } else { via };
+                let rtt = if s % 2 == 1 && d % 2 == 1 {
+                    direct
+                } else {
+                    via
+                };
                 for k in 0..2 {
                     probes.push(ProbeSample {
                         src: HostId(s),
@@ -143,10 +148,14 @@ mod tests {
         // contribute nothing.
         let cx = AnalysisContext::from_dataset(&uniform_mesh(6, 100.0, 25.0));
         let a = analyze(&cx, &Rtt);
-        let evens: Vec<f64> =
-            (0..6).step_by(2).map(|i| a.normalized[&HostId(i)]).collect();
-        let odds: Vec<f64> =
-            (1..6).step_by(2).map(|i| a.normalized[&HostId(i)]).collect();
+        let evens: Vec<f64> = (0..6)
+            .step_by(2)
+            .map(|i| a.normalized[&HostId(i)])
+            .collect();
+        let odds: Vec<f64> = (1..6)
+            .step_by(2)
+            .map(|i| a.normalized[&HostId(i)])
+            .collect();
         for &o in &odds {
             assert_eq!(o, 0.0);
         }

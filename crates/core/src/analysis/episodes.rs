@@ -51,8 +51,11 @@ pub fn analyze(
     metric: &impl Metric,
 ) -> EpisodeAnalysis {
     // Curve 1: plain time-averaged comparison on UW4-B (cached matrix).
-    let time_averaged =
-        improvement_cdf(&compare_all_pairs(averaged, metric, SearchDepth::Unrestricted));
+    let time_averaged = improvement_cdf(&compare_all_pairs(
+        averaged,
+        metric,
+        SearchDepth::Unrestricted,
+    ));
 
     // Curves 2 and 3: per-episode best alternates on UW4-A. Episode
     // slices are ad-hoc graphs, deliberately outside the artifact cache.
@@ -74,7 +77,12 @@ pub fn analyze(
             .filter(|v| !v.is_empty())
             .map(|v| v.iter().sum::<f64>() / v.len() as f64),
     );
-    EpisodeAnalysis { time_averaged, pair_averaged, unaveraged, episodes: ids.len() }
+    EpisodeAnalysis {
+        time_averaged,
+        pair_averaged,
+        unaveraged,
+        episodes: ids.len(),
+    }
 }
 
 #[cfg(test)]

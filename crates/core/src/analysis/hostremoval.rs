@@ -82,14 +82,15 @@ fn masked_position(
 /// Even weight-tied alternates keep the reuse exact for the in-tree
 /// metrics: a tied path composes to the very sum the relaxation
 /// accumulated, so equal weight-space optima mean equal composed bits.
-pub fn greedy_removal(
-    cx: &AnalysisContext,
-    metric: &impl Metric,
-    k: usize,
-) -> RemovalAnalysis {
+pub fn greedy_removal(cx: &AnalysisContext, metric: &impl Metric, k: usize) -> RemovalAnalysis {
     let m = cx.weights(metric);
     let mut mask = m.no_mask();
-    let mut current = kernel::sweep(m, &mask, metric, SearchDepth::Unrestricted);
+    // One pair buffer serves every sweep in the greedy loop: the batched
+    // kernel refills it in place instead of allocating a fresh Vec per
+    // removal step.
+    let mut pairs_buf = Vec::new();
+    let (mut current, _) =
+        kernel::sweep_with_stats_into(m, &mask, metric, SearchDepth::Unrestricted, &mut pairs_buf);
     let full = improvement_cdf(&current);
     let mut removed = Vec::new();
     for _ in 0..k.min(m.len().saturating_sub(3)) {
@@ -107,9 +108,8 @@ pub fn greedy_removal(
         });
         let mut best: Option<(f64, usize)> = None;
         for (&h, &pos) in candidates.iter().zip(&positions) {
-            let better = best.is_none_or(|(b, bh)| {
-                pos < b || (pos == b && m.hosts()[h] < m.hosts()[bh])
-            });
+            let better =
+                best.is_none_or(|(b, bh)| pos < b || (pos == b && m.hosts()[h] < m.hosts()[bh]));
             if better {
                 best = Some((pos, h));
             }
@@ -117,10 +117,20 @@ pub fn greedy_removal(
         let Some((_, h)) = best else { break };
         mask[h] = true;
         removed.push(m.hosts()[h]);
-        current = kernel::sweep(m, &mask, metric, SearchDepth::Unrestricted);
+        (current, _) = kernel::sweep_with_stats_into(
+            m,
+            &mask,
+            metric,
+            SearchDepth::Unrestricted,
+            &mut pairs_buf,
+        );
     }
     let reduced = improvement_cdf(&current);
-    RemovalAnalysis { full, removed, reduced }
+    RemovalAnalysis {
+        full,
+        removed,
+        reduced,
+    }
 }
 
 /// The figure's verdict quantified: fraction of pairs with a superior
@@ -133,8 +143,8 @@ pub fn improved_fractions(a: &RemovalAnalysis) -> (f64, f64) {
 mod tests {
     use super::*;
     use crate::metric::Rtt;
-    use detour_measure::HostId;
     use detour_measure::record::HostMeta;
+    use detour_measure::HostId;
     use detour_measure::{Dataset, ProbeSample};
 
     /// A graph where host `magic` is the sole source of all improvements:

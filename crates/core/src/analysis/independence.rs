@@ -123,8 +123,9 @@ mod tests {
 
     #[test]
     fn alternating_path_shows_no_positive_dependence() {
-        let rtts: Vec<f64> =
-            (0..200).map(|i| if i % 2 == 0 { 40.0 } else { 60.0 }).collect();
+        let rtts: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 40.0 } else { 60.0 })
+            .collect();
         let r = analyze(&AnalysisContext::from_dataset(&dataset(&rtts)));
         assert!(r.lag1[&(HostId(0), HostId(1))] < 0.0);
         assert!(r.median_ess_ratio() >= 0.9, "{}", r.median_ess_ratio());
@@ -132,7 +133,9 @@ mod tests {
 
     #[test]
     fn thin_pairs_are_skipped() {
-        let r = analyze(&AnalysisContext::from_dataset(&dataset(&[50.0, 51.0, 52.0])));
+        let r = analyze(&AnalysisContext::from_dataset(&dataset(&[
+            50.0, 51.0, 52.0,
+        ])));
         assert!(r.lag1.is_empty());
     }
 

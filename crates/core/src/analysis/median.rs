@@ -43,8 +43,7 @@ fn median_improvement(graph: &MeasurementGraph, pair: crate::graph::Pair) -> Opt
         if m == s || m == d {
             continue;
         }
-        let (Some(e1), Some(e2)) = (graph.edge_by_index(s, m), graph.edge_by_index(m, d))
-        else {
+        let (Some(e1), Some(e2)) = (graph.edge_by_index(s, m), graph.edge_by_index(m, d)) else {
             continue;
         };
         let (Some(d1), Some(d2)) = (
@@ -63,12 +62,18 @@ fn median_improvement(graph: &MeasurementGraph, pair: crate::graph::Pair) -> Opt
 
 /// Runs the Figure-6 analysis over a dataset's context.
 pub fn analyze(cx: &AnalysisContext) -> MeanMedianComparison {
-    let mean_based =
-        improvement_cdf(&compare_all_pairs(cx, &Rtt, SearchDepth::OneHop));
+    let mean_based = improvement_cdf(&compare_all_pairs(cx, &Rtt, SearchDepth::OneHop));
     let graph = cx.graph();
-    let median_based =
-        Cdf::from_samples(graph.pairs().into_iter().filter_map(|p| median_improvement(graph, p)));
-    MeanMedianComparison { mean_based, median_based }
+    let median_based = Cdf::from_samples(
+        graph
+            .pairs()
+            .into_iter()
+            .filter_map(|p| median_improvement(graph, p)),
+    );
+    MeanMedianComparison {
+        mean_based,
+        median_based,
+    }
 }
 
 /// Maximum vertical gap between the two CDFs sampled on `[lo, hi]` — the
@@ -88,8 +93,8 @@ mod tests {
     use super::*;
     use detour_measure::record::HostMeta;
     use detour_measure::{Dataset, HostId, ProbeSample};
-    use detour_prng::Xoshiro256pp;
     use detour_prng::Rng;
+    use detour_prng::Xoshiro256pp;
 
     /// Triangle dataset with symmetric RTT noise around the given bases.
     fn dataset(skewed: bool) -> Dataset {
@@ -173,6 +178,9 @@ mod tests {
         let cx = AnalysisContext::from_dataset(&ds);
         let cmp = analyze(&cx);
         let med_impr = cmp.median_based.inverse(0.5).unwrap();
-        assert!((med_impr - 50.0).abs() <= 2.0 * CONVOLUTION_BIN_MS, "got {med_impr}");
+        assert!(
+            (med_impr - 50.0).abs() <= 2.0 * CONVOLUTION_BIN_MS,
+            "got {med_impr}"
+        );
     }
 }

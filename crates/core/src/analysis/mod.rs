@@ -29,6 +29,6 @@ pub mod hostremoval;
 pub mod independence;
 pub mod median;
 pub mod prevalence;
-pub mod sensitivity;
 pub mod propagation;
+pub mod sensitivity;
 pub mod timeofday;

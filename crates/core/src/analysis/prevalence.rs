@@ -49,7 +49,11 @@ pub fn analyze(cx: &AnalysisContext) -> PrevalenceReport {
     // three probes of one traceroute don't triple-count one observation).
     let mut votes: HashMap<(HostId, HostId), HashMap<u32, usize>> = HashMap::new();
     for p in ds.probes.iter().filter(|p| p.probe_index == 0) {
-        *votes.entry((p.src, p.dst)).or_default().entry(p.path_idx).or_default() += 1;
+        *votes
+            .entry((p.src, p.dst))
+            .or_default()
+            .entry(p.path_idx)
+            .or_default() += 1;
     }
     let mut dominance = HashMap::new();
     let mut route_counts = HashMap::new();
@@ -62,7 +66,11 @@ pub fn analyze(cx: &AnalysisContext) -> PrevalenceReport {
         }
     }
     let dominance_cdf = Cdf::from_samples(dominance.values().copied());
-    PrevalenceReport { dominance, route_counts, dominance_cdf }
+    PrevalenceReport {
+        dominance,
+        route_counts,
+        dominance_cdf,
+    }
 }
 
 #[cfg(test)]

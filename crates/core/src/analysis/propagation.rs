@@ -98,8 +98,9 @@ pub fn decompose(cx: &AnalysisContext) -> Decomposition {
     for cmp in compare_all_pairs(cx, &Rtt, SearchDepth::Unrestricted) {
         let pair = cmp.pair;
         // Propagation of the default path and of the *same* alternate path.
-        let Some(default_prop) =
-            graph.edge(pair.src, pair.dst).and_then(|e| PropDelay.value(e))
+        let Some(default_prop) = graph
+            .edge(pair.src, pair.dst)
+            .and_then(|e| PropDelay.value(e))
         else {
             continue;
         };
@@ -120,7 +121,10 @@ pub fn decompose(cx: &AnalysisContext) -> Decomposition {
     for p in &points {
         group_counts[(p.group() - 1) as usize] += 1;
     }
-    Decomposition { points, group_counts }
+    Decomposition {
+        points,
+        group_counts,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +132,10 @@ mod tests {
     use super::*;
 
     fn pt(x: f64, y: f64) -> DecompositionPoint {
-        DecompositionPoint { d_total: x, d_prop: y }
+        DecompositionPoint {
+            d_total: x,
+            d_prop: y,
+        }
     }
 
     #[test]
@@ -157,8 +164,11 @@ mod tests {
         for (x, y) in [(10.0, 5.0), (10.0, 15.0), (10.0, -5.0)] {
             let g = pt(x, y).group();
             let g_ref = pt(-x, -y).group();
-            let expected =
-                mapping.iter().find(|&&(a, _)| a == g).map(|&(_, b)| b).unwrap();
+            let expected = mapping
+                .iter()
+                .find(|&&(a, _)| a == g)
+                .map(|&(_, b)| b)
+                .unwrap();
             assert_eq!(g_ref, expected, "({x},{y})");
         }
     }
@@ -196,8 +206,7 @@ mod tests {
             };
             // Direct 0→2: floor 21 ms (20 % of samples) but usually queued
             // to ~150 ms — keeping the 10th percentile at the floor.
-            let direct: Vec<f64> =
-                (0..50).map(|i| if i < 10 { 21.0 } else { 150.0 }).collect();
+            let direct: Vec<f64> = (0..50).map(|i| if i < 10 { 21.0 } else { 150.0 }).collect();
             push(0, 2, &direct);
             // Legs: floor 25 ms each, negligible queuing.
             let leg: Vec<f64> = (0..50).map(|i| 25.0 + (i % 3) as f64).collect();
@@ -211,7 +220,7 @@ mod tests {
                 as_paths: vec![vec![0]],
                 duration_s: 100.0,
                 detected_rate_limited: vec![],
-            starved_pairs: 0,
+                starved_pairs: 0,
             }
         }
 

@@ -69,7 +69,10 @@ pub fn analyze(cx: &AnalysisContext, metric: &impl Metric) -> SensitivityReport 
         let best_set: std::collections::HashSet<_> = kb[0].via.iter().copied().collect();
         let disjoint_backup = kb[1].via.iter().all(|h| !best_set.contains(h));
         Some(PairSensitivity {
-            pair: Pair { src: m.hosts()[s], dst: m.hosts()[d] },
+            pair: Pair {
+                src: m.hosts()[s],
+                dst: m.hosts()[d],
+            },
             best: kb[0].alternate_value,
             second: kb[1].alternate_value,
             disjoint_backup,
@@ -84,7 +87,11 @@ pub fn analyze(cx: &AnalysisContext, metric: &impl Metric) -> SensitivityReport 
     } else {
         pairs.iter().filter(|p| p.disjoint_backup).count() as f64 / pairs.len() as f64
     };
-    SensitivityReport { pairs, gap_cdf, disjoint_fraction }
+    SensitivityReport {
+        pairs,
+        gap_cdf,
+        disjoint_fraction,
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +157,13 @@ mod tests {
         let pair = r
             .pairs
             .iter()
-            .find(|p| p.pair == Pair { src: HostId(0), dst: HostId(3) })
+            .find(|p| {
+                p.pair
+                    == Pair {
+                        src: HostId(0),
+                        dst: HostId(3),
+                    }
+            })
             .expect("0→3 analyzed");
         assert_eq!(pair.best, 30.0);
         assert_eq!(pair.second, 36.0);

@@ -86,8 +86,9 @@ pub fn improvement_by_slice(
     TimeSlice::all()
         .into_iter()
         .map(|slice| {
-            let g =
-                MeasurementGraph::from_dataset_filtered(ds, |p| TimeSlice::classify(p.t_s) == slice);
+            let g = MeasurementGraph::from_dataset_filtered(ds, |p| {
+                TimeSlice::classify(p.t_s) == slice
+            });
             let cs = compare_graph(&g, metric, depth);
             (slice, improvement_cdf(&cs))
         })
@@ -109,7 +110,10 @@ mod tests {
     #[test]
     fn weekend_dominates_hour_slices() {
         // Saturday 10:00 PST = Saturday 18:00 UTC = day 5, t = (5·24+18) h.
-        assert_eq!(TimeSlice::classify((5.0 * 24.0 + 18.0) * HOUR), TimeSlice::Weekend);
+        assert_eq!(
+            TimeSlice::classify((5.0 * 24.0 + 18.0) * HOUR),
+            TimeSlice::Weekend
+        );
     }
 
     #[test]

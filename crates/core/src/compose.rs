@@ -36,9 +36,7 @@ impl LossComposition {
     pub fn combine(&self, losses: &[f64]) -> f64 {
         match self {
             LossComposition::Optimistic => losses.iter().copied().fold(0.0, f64::max),
-            LossComposition::Pessimistic => {
-                1.0 - losses.iter().map(|p| 1.0 - p).product::<f64>()
-            }
+            LossComposition::Pessimistic => 1.0 - losses.iter().map(|p| 1.0 - p).product::<f64>(),
         }
     }
 }
@@ -67,11 +65,7 @@ pub fn mathis_bandwidth_kbps(rtt_ms: f64, p: f64) -> f64 {
 
 /// Synthetic-path bandwidth (kB/s) from constituent transfer observations:
 /// RTTs add, losses combine per `mode`, Mathis converts.
-pub fn synthetic_bandwidth_kbps(
-    rtts_ms: &[f64],
-    losses: &[f64],
-    mode: LossComposition,
-) -> f64 {
+pub fn synthetic_bandwidth_kbps(rtts_ms: &[f64], losses: &[f64], mode: LossComposition) -> f64 {
     assert_eq!(rtts_ms.len(), losses.len());
     assert!(!rtts_ms.is_empty());
     let rtt: f64 = rtts_ms.iter().sum();
@@ -85,7 +79,10 @@ mod tests {
 
     #[test]
     fn optimistic_takes_the_max() {
-        assert_eq!(LossComposition::Optimistic.combine(&[0.01, 0.05, 0.02]), 0.05);
+        assert_eq!(
+            LossComposition::Optimistic.combine(&[0.01, 0.05, 0.02]),
+            0.05
+        );
     }
 
     #[test]

@@ -164,8 +164,8 @@ impl AnalysisContext {
         let n = self.table.len();
         let mut isolated_hosts = 0;
         for i in 0..n {
-            let connected = (0..n)
-                .any(|j| i != j && (self.table.measured(i, j) || self.table.measured(j, i)));
+            let connected =
+                (0..n).any(|j| i != j && (self.table.measured(i, j) || self.table.measured(j, i)));
             if !connected {
                 isolated_hosts += 1;
             }
@@ -224,8 +224,8 @@ impl Degradation {
 mod tests {
     use super::*;
     use crate::metric::{Loss, Rtt};
-    use detour_measure::{HostId, ProbeSample};
     use detour_measure::record::HostMeta;
+    use detour_measure::{HostId, ProbeSample};
 
     fn tiny_dataset() -> Dataset {
         let probe = |src: u32, dst: u32, t: f64, rtt: f64| ProbeSample {

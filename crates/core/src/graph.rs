@@ -103,7 +103,11 @@ impl MeasurementGraph {
                 });
             }
         }
-        MeasurementGraph { hosts, index, edges }
+        MeasurementGraph {
+            hosts,
+            index,
+            edges,
+        }
     }
 
     /// Builds the graph from one UW4-A episode only.
@@ -153,7 +157,10 @@ impl MeasurementGraph {
         for i in 0..self.hosts.len() {
             for j in 0..self.hosts.len() {
                 if i != j && self.edge_by_index(i, j).is_some() {
-                    out.push(Pair { src: self.hosts[i], dst: self.hosts[j] });
+                    out.push(Pair {
+                        src: self.hosts[i],
+                        dst: self.hosts[j],
+                    });
                 }
             }
         }
@@ -183,12 +190,15 @@ impl MeasurementGraph {
                 if new_i != new_j {
                     let old_i = self.index[&hi];
                     let old_j = self.index[&hj];
-                    edges[new_i * n + new_j] =
-                        self.edges[old_i * self.hosts.len() + old_j].clone();
+                    edges[new_i * n + new_j] = self.edges[old_i * self.hosts.len() + old_j].clone();
                 }
             }
         }
-        MeasurementGraph { hosts, index, edges }
+        MeasurementGraph {
+            hosts,
+            index,
+            edges,
+        }
     }
 }
 
@@ -279,9 +289,18 @@ mod tests {
         let g = MeasurementGraph::from_dataset(&tiny_dataset());
         let pairs = g.pairs();
         assert_eq!(pairs.len(), 3);
-        assert!(pairs.contains(&Pair { src: HostId(0), dst: HostId(1) }));
-        assert!(pairs.contains(&Pair { src: HostId(1), dst: HostId(2) }));
-        assert!(pairs.contains(&Pair { src: HostId(0), dst: HostId(2) }));
+        assert!(pairs.contains(&Pair {
+            src: HostId(0),
+            dst: HostId(1)
+        }));
+        assert!(pairs.contains(&Pair {
+            src: HostId(1),
+            dst: HostId(2)
+        }));
+        assert!(pairs.contains(&Pair {
+            src: HostId(0),
+            dst: HostId(2)
+        }));
     }
 
     #[test]

@@ -13,57 +13,8 @@
 use crate::altpath::PathComparison;
 use crate::context::AnalysisContext;
 use crate::graph::Pair;
-use crate::kernel::WeightMatrix;
+use crate::kernel::{self, DijkstraScratch, WeightMatrix};
 use crate::metric::Metric;
-
-/// Internal Dijkstra over the flat weight matrix with banned
-/// vertices/edges; returns the vertex sequence and total weight.
-fn dijkstra_restricted(
-    m: &WeightMatrix,
-    s: usize,
-    d: usize,
-    banned_vertices: &[bool],
-    banned_edges: &std::collections::HashSet<(usize, usize)>,
-) -> Option<(Vec<usize>, f64)> {
-    let n = m.len();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev = vec![usize::MAX; n];
-    let mut done = vec![false; n];
-    dist[s] = 0.0;
-    loop {
-        let u = (0..n)
-            .filter(|&u| !done[u] && dist[u].is_finite())
-            .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())?;
-        if u == d {
-            break;
-        }
-        done[u] = true;
-        for v in 0..n {
-            if v == u || done[v] || banned_vertices[v] || banned_edges.contains(&(u, v)) {
-                continue;
-            }
-            let w = m.weight(u, v);
-            if w == f64::INFINITY {
-                continue;
-            }
-            if dist[u] + w < dist[v] {
-                dist[v] = dist[u] + w;
-                prev[v] = u;
-            }
-        }
-    }
-    if !dist[d].is_finite() {
-        return None;
-    }
-    let mut path = vec![d];
-    let mut cur = d;
-    while cur != s {
-        cur = prev[cur];
-        path.push(cur);
-    }
-    path.reverse();
-    Some((path, dist[d]))
-}
 
 /// Composes the true metric value along a vertex sequence.
 fn compose_along(m: &WeightMatrix, metric: &impl Metric, path: &[usize]) -> f64 {
@@ -111,8 +62,12 @@ pub fn k_best_alternates_in(
         return Vec::new();
     }
 
+    // One generation-stamped scratch serves the initial search and every
+    // Yen spur search below — no per-call allocation or O(n) reset.
+    let mut scratch = DijkstraScratch::new();
     let direct: std::collections::HashSet<(usize, usize)> = [(s, d)].into();
-    let Some(first) = dijkstra_restricted(m, s, d, removed, &direct) else {
+    let Some(first) = kernel::shortest_path_restricted(m, s, d, removed, &direct, &mut scratch)
+    else {
         return Vec::new();
     };
 
@@ -139,13 +94,17 @@ pub fn k_best_alternates_in(
             for &v in &root[..spur_idx] {
                 banned_vertices[v] = true;
             }
-            if let Some((tail, _)) =
-                dijkstra_restricted(m, spur, d, &banned_vertices, &banned_edges)
-            {
+            if let Some((tail, _)) = kernel::shortest_path_restricted(
+                m,
+                spur,
+                d,
+                &banned_vertices,
+                &banned_edges,
+                &mut scratch,
+            ) {
                 let mut total: Vec<usize> = root[..spur_idx].to_vec();
                 total.extend(tail);
-                let weight: f64 =
-                    total.windows(2).map(|w| m.weight(w[0], w[1])).sum();
+                let weight: f64 = total.windows(2).map(|w| m.weight(w[0], w[1])).sum();
                 if !accepted.iter().any(|(p, _)| *p == total)
                     && !candidates.iter().any(|(p, _)| *p == total)
                 {
@@ -163,10 +122,16 @@ pub fn k_best_alternates_in(
     accepted
         .into_iter()
         .map(|(path, _)| PathComparison {
-            pair: Pair { src: m.hosts()[s], dst: m.hosts()[d] },
+            pair: Pair {
+                src: m.hosts()[s],
+                dst: m.hosts()[d],
+            },
             default_value,
             alternate_value: compose_along(m, metric, &path),
-            via: path[1..path.len() - 1].iter().map(|&i| m.hosts()[i]).collect(),
+            via: path[1..path.len() - 1]
+                .iter()
+                .map(|&i| m.hosts()[i])
+                .collect(),
             lower_is_better: true,
         })
         .collect()
@@ -239,7 +204,10 @@ mod tests {
     #[test]
     fn first_result_matches_best_alternate() {
         let g = diamond();
-        let pair = Pair { src: HostId(0), dst: HostId(3) };
+        let pair = Pair {
+            src: HostId(0),
+            dst: HostId(3),
+        };
         let kb = k_best_alternates(&g, pair, &Rtt, 3);
         let best = best_alternate(g.graph(), pair, &Rtt).unwrap();
         assert_eq!(kb[0].alternate_value, best.alternate_value);
@@ -249,7 +217,10 @@ mod tests {
     #[test]
     fn paths_come_back_ranked_and_distinct() {
         let g = diamond();
-        let pair = Pair { src: HostId(0), dst: HostId(3) };
+        let pair = Pair {
+            src: HostId(0),
+            dst: HostId(3),
+        };
         let kb = k_best_alternates(&g, pair, &Rtt, 5);
         // Diamond has exactly three loopless alternates:
         // 0-1-3 (30), 0-1-2-3 (40), 0-2-3 (55).
@@ -268,7 +239,10 @@ mod tests {
     #[test]
     fn direct_edge_is_never_used() {
         let g = diamond();
-        let pair = Pair { src: HostId(0), dst: HostId(3) };
+        let pair = Pair {
+            src: HostId(0),
+            dst: HostId(3),
+        };
         for cmp in k_best_alternates(&g, pair, &Rtt, 10) {
             assert!(!cmp.via.is_empty(), "the direct edge sneaked in");
         }
@@ -276,8 +250,8 @@ mod tests {
 
     #[test]
     fn k_one_equals_plain_search_on_random_graphs() {
-        use detour_prng::Xoshiro256pp;
         use detour_prng::Rng;
+        use detour_prng::Xoshiro256pp;
         let mut rng = Xoshiro256pp::seed_from_u64(77);
         for _ in 0..15 {
             let n = rng.gen_range(4..7);
@@ -311,9 +285,12 @@ mod tests {
     }
 
     #[test]
-    fn all_returned_paths_are_loopless(){
+    fn all_returned_paths_are_loopless() {
         let g = diamond();
-        let pair = Pair { src: HostId(0), dst: HostId(3) };
+        let pair = Pair {
+            src: HostId(0),
+            dst: HostId(3),
+        };
         for cmp in k_best_alternates(&g, pair, &Rtt, 10) {
             let mut seen = std::collections::HashSet::new();
             for &h in &cmp.via {
@@ -331,7 +308,10 @@ mod tests {
             &[X, X, 0.0],
         ]));
         // 0→2 has no direct edge: nothing to compare against.
-        let pair = Pair { src: HostId(0), dst: HostId(2) };
+        let pair = Pair {
+            src: HostId(0),
+            dst: HostId(2),
+        };
         assert!(k_best_alternates(&g, pair, &Rtt, 3).is_empty());
     }
 }

@@ -9,16 +9,32 @@
 //! the computational costs reasonable" (§4.1, §6.1); this module is why the
 //! reproduction does not have to.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`WeightMatrix`] — one contiguous row-major `n × n` `Vec<f64>` of
 //!   search weights (missing edge = `+∞`) and one of figure-facing metric
 //!   values (missing = `NaN`), precomputed **once per (graph, metric)** by
 //!   calling [`Metric::weight`]/[`Metric::value`] exactly once per edge.
 //!   [`BandwidthMatrix`] is the analogue for the N2 Mathis-model search.
-//! * [`DijkstraScratch`] — reusable dist/prev/done/path buffers, one per
-//!   pool worker (threaded through [`crate::pool::parallel_map_init`]), so
-//!   the per-pair search performs zero heap allocations in its inner loop.
+//! * **The source-batched sweep** ([`sweep_with_stats_into`]) — the paper's
+//!   all-pairs question ("best alternate with the direct edge excluded")
+//!   does not need one Dijkstra per *pair*. For each source `s` the sweep
+//!   runs **one** full SSSP tree over the masked matrix (no exclusions)
+//!   and answers all of `s`'s pairs from it: the tree path to `d` can only
+//!   contain the excluded edge `(s, d)` as the terminal path `[s, d]`
+//!   itself, so a pair needs its own exclusion re-search exactly when
+//!   `prev[d] == s` — the fix-up condition. Everything else (including
+//!   unreachable destinations) reads straight off the tree, bit-identical
+//!   to the per-pair search; [`SweepStats`] reports how many re-searches
+//!   that avoided. An all-pairs sweep drops from `O(n⁴)` to
+//!   `O(n³ + fixups·n²)`.
+//! * [`DijkstraScratch`] — reusable per-worker search state (threaded
+//!   through [`crate::pool::parallel_map_init`]; the fan-out unit is a
+//!   *source*, so each task is `O(n²)` of real work). Generation-stamped
+//!   `dist`/`prev` buffers make starting a search `O(1)` instead of three
+//!   `O(n)` fills, and extraction scans a compact unvisited-frontier list
+//!   that shrinks as vertices settle instead of re-filtering all `n`
+//!   vertices per iteration.
 //! * **Masked views** — every kernel entry point takes a `removed: &[bool]`
 //!   host mask. Masking a host is equivalent, value-for-value, to
 //!   rebuilding the graph with [`crate::MeasurementGraph::without_host`]
@@ -27,12 +43,15 @@
 //!   removal loop from clone-plus-rebuild per candidate into a pure sweep.
 //!
 //! **The invariant: same arithmetic, same bytes.** The kernel changes
-//! memory layout, never arithmetic: weights and values are the identical
-//! `f64`s the metric produced, visited in the identical order the
-//! edge-walking searches visited them, composed by the same
-//! [`Metric::compose`] calls. Every report downstream is byte-identical to
-//! the pre-kernel implementation, a property pinned by the determinism
-//! integration tests and the kernel property tests.
+//! memory layout and search *strategy*, never arithmetic: weights and
+//! values are the identical `f64`s the metric produced, relaxed with the
+//! same `dist[u] + w` sums and the same strict `<`, extracted with the
+//! same lowest-index tie-break, composed by the same [`Metric::compose`]
+//! calls. Every report downstream is byte-identical to the pre-kernel
+//! implementation, a property pinned by the determinism integration
+//! tests, the kernel property tests, and the batched-vs-per-pair
+//! equivalence suite (`tests/batched_kernel.rs` against the retained
+//! `detour_bench::reference::per_pair_sweep`).
 
 use crate::altpath::{PathComparison, SearchDepth};
 use crate::compose::{synthetic_bandwidth_kbps, LossComposition};
@@ -80,7 +99,13 @@ impl WeightMatrix {
         }
         let hosts = graph.hosts().to_vec();
         let index_of = hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
-        WeightMatrix { n, hosts, index_of, weights, values }
+        WeightMatrix {
+            n,
+            hosts,
+            index_of,
+            weights,
+            values,
+        }
     }
 
     /// Number of vertices.
@@ -140,8 +165,20 @@ impl WeightMatrix {
     /// the search returns `None` for them anyway (nothing to compare
     /// against), so the surviving comparison stream is identical.
     pub fn measured_pairs(&self, removed: &[bool]) -> Vec<(usize, usize)> {
-        debug_assert_eq!(removed.len(), self.n);
         let mut out = Vec::new();
+        self.measured_pairs_into(removed, &mut out);
+        out
+    }
+
+    /// [`measured_pairs`] into a caller-owned buffer (cleared first), so
+    /// loops that sweep repeatedly — the Figure-12 greedy removal re-sweeps
+    /// after every removal — reuse one allocation instead of building a
+    /// fresh `Vec` per call.
+    ///
+    /// [`measured_pairs`]: WeightMatrix::measured_pairs
+    pub fn measured_pairs_into(&self, removed: &[bool], out: &mut Vec<(usize, usize)>) {
+        debug_assert_eq!(removed.len(), self.n);
+        out.clear();
         for i in 0..self.n {
             if removed[i] {
                 continue;
@@ -152,7 +189,6 @@ impl WeightMatrix {
                 }
             }
         }
-        out
     }
 }
 
@@ -192,7 +228,13 @@ impl BandwidthMatrix {
                 }
             }
         }
-        BandwidthMatrix { n, hosts: graph.hosts().to_vec(), bw, t_rtt, t_loss }
+        BandwidthMatrix {
+            n,
+            hosts: graph.hosts().to_vec(),
+            bw,
+            t_rtt,
+            t_loss,
+        }
     }
 
     /// Number of vertices.
@@ -229,15 +271,31 @@ impl BandwidthMatrix {
     }
 }
 
-/// Reusable per-worker buffers for the dense Dijkstra: distances,
-/// predecessors, done flags, plus path-recovery and value-composition
-/// staging. One scratch serves any number of searches; `reset` is an
-/// `O(n)` fill, not an allocation.
+/// Reusable per-worker buffers for the dense Dijkstra, one per pool
+/// worker. Starting a search costs `O(1)` amortized, not `O(n)`:
+///
+/// * **Generation stamps.** `dist[v]`/`prev[v]` are valid only when
+///   `stamp[v]` equals the current generation; `begin` bumps the
+///   generation instead of filling three `O(n)` arrays with `+∞`, `MAX`,
+///   and `false` per search. A stale `dist` reads as `+∞`; `prev` needs no
+///   check of its own because it is only ever followed along chains of
+///   currently-stamped vertices.
+/// * **Compact unvisited frontier.** Extraction scans a dense index list
+///   that shrinks by `swap_remove` as vertices settle, instead of
+///   re-filtering all `n` vertices (done flags and all) per iteration —
+///   and the relaxation loop visits only that same shrinking list. The
+///   scan tracks the strict lexicographic minimum of `(dist, vertex)`, so
+///   whatever order `swap_remove` leaves the list in, the extracted vertex
+///   is the lowest-indexed one among equal minima — exactly the tie-break
+///   `Iterator::min_by` (first wins) gave the old full-range scan.
 #[derive(Debug, Default)]
 pub struct DijkstraScratch {
+    /// Current search generation; entries with `stamp[v] != gen` are stale.
+    gen: u32,
+    stamp: Vec<u32>,
     dist: Vec<f64>,
     prev: Vec<usize>,
-    done: Vec<bool>,
+    unvisited: Vec<u32>,
     path: Vec<usize>,
     vals: Vec<f64>,
 }
@@ -248,13 +306,76 @@ impl DijkstraScratch {
         DijkstraScratch::default()
     }
 
-    fn reset(&mut self, n: usize) {
-        self.dist.clear();
-        self.dist.resize(n, f64::INFINITY);
-        self.prev.clear();
-        self.prev.resize(n, usize::MAX);
-        self.done.clear();
-        self.done.resize(n, false);
+    /// Opens a new search generation over `n` vertices. Only a size change
+    /// (or a generation-counter wrap) pays for a real fill.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() != n {
+            self.stamp.clear();
+            self.stamp.resize(n, 0);
+            self.dist.clear();
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.clear();
+            self.prev.resize(n, usize::MAX);
+            self.gen = 0;
+        }
+        if self.gen == u32::MAX {
+            self.stamp.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    /// `dist[v]` under the stamp discipline: stale entries are `+∞`.
+    #[inline]
+    fn dist_at(&self, v: usize) -> f64 {
+        if self.stamp[v] == self.gen {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Records `dist[v] = d` reached from `from`, stamping the entry live.
+    #[inline]
+    fn relax_to(&mut self, v: usize, d: f64, from: usize) {
+        self.dist[v] = d;
+        self.prev[v] = from;
+        self.stamp[v] = self.gen;
+    }
+
+    /// Fills the unvisited frontier with every unmasked vertex.
+    fn fill_unvisited(&mut self, n: usize, removed: &[bool]) {
+        self.unvisited.clear();
+        self.unvisited
+            .extend((0..n as u32).filter(|&v| !removed[v as usize]));
+    }
+
+    /// Extracts the unvisited vertex minimizing `(dist, index)`, removing
+    /// it from the frontier; `None` once no unvisited vertex is reachable.
+    /// Identical selection to the old `(0..n).filter(...).min_by(...)`
+    /// scan: strictly smaller distance wins, equal distances fall to the
+    /// lower vertex index.
+    fn extract_min(&mut self) -> Option<(usize, f64)> {
+        let mut best_pos = usize::MAX;
+        let mut best_v = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for (pos, &vu) in self.unvisited.iter().enumerate() {
+            let v = vu as usize;
+            if self.stamp[v] != self.gen {
+                continue;
+            }
+            let dv = self.dist[v];
+            if dv < best_d || (dv == best_d && v < best_v) {
+                best_d = dv;
+                best_v = v;
+                best_pos = pos;
+            }
+        }
+        if best_pos == usize::MAX {
+            return None;
+        }
+        self.unvisited.swap_remove(best_pos);
+        Some((best_v, best_d))
     }
 }
 
@@ -282,22 +403,23 @@ pub fn best_alternate_masked(
         return None;
     }
 
-    scratch.reset(n);
-    let DijkstraScratch { dist, prev, done, .. } = scratch;
-    dist[s] = 0.0;
-    for _ in 0..n {
-        let u = (0..n)
-            .filter(|&u| !done[u] && dist[u].is_finite())
-            .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())?;
+    scratch.begin(n);
+    scratch.fill_unvisited(n, removed);
+    scratch.relax_to(s, 0.0, usize::MAX);
+    loop {
+        // `None` = frontier exhausted before reaching `d`: no alternate.
+        let (u, du) = scratch.extract_min()?;
         if u == d {
             break;
         }
-        done[u] = true;
         let row = u * n;
-        for v in 0..n {
-            if v == u || done[v] || removed[v] {
-                continue;
-            }
+        // Relax over the shrinking unvisited list only — settled vertices
+        // cannot improve (weights are non-negative), and the per-vertex
+        // updates within one extraction are independent, so visiting the
+        // survivors in list order leaves dist/prev exactly as the old
+        // full `0..n` pass did.
+        for pos in 0..scratch.unvisited.len() {
+            let v = scratch.unvisited[pos] as usize;
             // The excluded direct edge.
             if u == s && v == d {
                 continue;
@@ -306,16 +428,26 @@ pub fn best_alternate_masked(
             if w == f64::INFINITY {
                 continue;
             }
-            if dist[u] + w < dist[v] {
-                dist[v] = dist[u] + w;
-                prev[v] = u;
+            let nd = du + w;
+            if nd < scratch.dist_at(v) {
+                scratch.relax_to(v, nd, u);
             }
         }
     }
-    if !dist[d].is_finite() {
-        return None;
-    }
-    // Recover vertices, then compose the true metric values edge by edge.
+    Some(compose_comparison(m, scratch, s, d, default_value, metric))
+}
+
+/// Recovers the `prev`-chain path `s → … → d` from the scratch's current
+/// generation and composes the true metric values edge by edge — the
+/// shared tail of the per-pair search and the batched tree read-off.
+fn compose_comparison(
+    m: &WeightMatrix,
+    scratch: &mut DijkstraScratch,
+    s: usize,
+    d: usize,
+    default_value: f64,
+    metric: &impl Metric,
+) -> PathComparison {
     scratch.path.clear();
     scratch.path.push(d);
     let mut cur = d;
@@ -330,8 +462,11 @@ pub fn best_alternate_masked(
         debug_assert!(!v.is_nan(), "path edge must have a metric value");
         scratch.vals.push(v);
     }
-    Some(PathComparison {
-        pair: Pair { src: m.hosts[s], dst: m.hosts[d] },
+    PathComparison {
+        pair: Pair {
+            src: m.hosts[s],
+            dst: m.hosts[d],
+        },
         default_value,
         alternate_value: metric.compose(&scratch.vals),
         via: scratch.path[1..scratch.path.len() - 1]
@@ -339,7 +474,87 @@ pub fn best_alternate_masked(
             .map(|&i| m.hosts[i])
             .collect(),
         lower_is_better: true,
-    })
+    }
+}
+
+/// One full single-source shortest-path tree from `s` over the masked
+/// matrix — **no** edge exclusions, run to frontier exhaustion. The
+/// batched sweep answers every `(s, d)` pair from this tree; a pair needs
+/// its own exclusion re-search only when `prev[d] == s`, i.e. when the
+/// tree reaches `d` through the very edge the comparison must exclude.
+fn sssp_masked(m: &WeightMatrix, removed: &[bool], s: usize, scratch: &mut DijkstraScratch) {
+    let n = m.n;
+    debug_assert!(!removed[s]);
+    scratch.begin(n);
+    scratch.fill_unvisited(n, removed);
+    scratch.relax_to(s, 0.0, usize::MAX);
+    while let Some((u, du)) = scratch.extract_min() {
+        let row = u * n;
+        for pos in 0..scratch.unvisited.len() {
+            let v = scratch.unvisited[pos] as usize;
+            let w = m.weights[row + v];
+            if w == f64::INFINITY {
+                continue;
+            }
+            let nd = du + w;
+            if nd < scratch.dist_at(v) {
+                scratch.relax_to(v, nd, u);
+            }
+        }
+    }
+}
+
+/// Shortest path `s → d` with banned vertices and banned edges — the
+/// restricted search behind Yen's algorithm ([`crate::kbest`]), rewired
+/// onto the generation-stamped scratch so spur searches stop allocating
+/// (and stop paying `O(n)` resets) per call. Returns the vertex sequence
+/// and the total search weight. `s` itself is exempt from the vertex ban,
+/// matching the old implementation (which seeded `dist[s] = 0` before any
+/// ban could apply).
+pub fn shortest_path_restricted(
+    m: &WeightMatrix,
+    s: usize,
+    d: usize,
+    banned_vertices: &[bool],
+    banned_edges: &std::collections::HashSet<(usize, usize)>,
+    scratch: &mut DijkstraScratch,
+) -> Option<(Vec<usize>, f64)> {
+    let n = m.n;
+    scratch.begin(n);
+    scratch.unvisited.clear();
+    scratch
+        .unvisited
+        .extend((0..n as u32).filter(|&v| v as usize == s || !banned_vertices[v as usize]));
+    scratch.relax_to(s, 0.0, usize::MAX);
+    let total = loop {
+        let (u, du) = scratch.extract_min()?;
+        if u == d {
+            break du;
+        }
+        let row = u * n;
+        for pos in 0..scratch.unvisited.len() {
+            let v = scratch.unvisited[pos] as usize;
+            if banned_edges.contains(&(u, v)) {
+                continue;
+            }
+            let w = m.weights[row + v];
+            if w == f64::INFINITY {
+                continue;
+            }
+            let nd = du + w;
+            if nd < scratch.dist_at(v) {
+                scratch.relax_to(v, nd, u);
+            }
+        }
+    };
+    let mut path = vec![d];
+    let mut cur = d;
+    while cur != s {
+        cur = scratch.prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some((path, total))
 }
 
 /// Best alternate through exactly one unmasked intermediate host.
@@ -373,7 +588,10 @@ pub fn best_alternate_one_hop_masked(
     }
     let (alternate_value, mid) = best?;
     Some(PathComparison {
-        pair: Pair { src: m.hosts[s], dst: m.hosts[d] },
+        pair: Pair {
+            src: m.hosts[s],
+            dst: m.hosts[d],
+        },
         default_value,
         alternate_value,
         via: vec![m.hosts[mid]],
@@ -414,7 +632,10 @@ pub fn best_alternate_bandwidth_masked(
     }
     let (alternate_value, mid) = best?;
     Some(PathComparison {
-        pair: Pair { src: bm.hosts[s], dst: bm.hosts[d] },
+        pair: Pair {
+            src: bm.hosts[s],
+            dst: bm.hosts[d],
+        },
         default_value,
         alternate_value,
         via: vec![bm.hosts[mid]],
@@ -422,41 +643,193 @@ pub fn best_alternate_bandwidth_masked(
     })
 }
 
+/// Re-search accounting of one batched sweep: how much work the
+/// one-SSSP-per-source strategy saved. Counters are meaningful for
+/// [`SearchDepth::Unrestricted`] (the one-hop scan has no tree to read
+/// from, so both stay 0 there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Measured pairs the sweep answered.
+    pub pairs: usize,
+    /// Pairs whose SSSP-tree path to `d` begins with the direct edge
+    /// `(s, d)` — the only case needing a per-pair exclusion re-search.
+    pub fixups: usize,
+    /// Pairs answered straight off the SSSP tree: the per-pair Dijkstras
+    /// the batching avoided.
+    pub avoided: usize,
+}
+
+/// Groups a `(src, dst)`-sorted pair list into per-source `(s, start, end)`
+/// ranges — the batched fan-out unit: one task per source is `O(n²)` of
+/// real work, coarse enough to amortize pool claiming at any scale.
+fn group_by_source(pairs: &[(usize, usize)]) -> Vec<(usize, usize, usize)> {
+    let mut groups = Vec::new();
+    let mut start = 0;
+    for k in 1..=pairs.len() {
+        if k == pairs.len() || pairs[k].0 != pairs[start].0 {
+            groups.push((pairs[start].0, start, k));
+            start = k;
+        }
+    }
+    groups
+}
+
+/// Answers one source's pairs from a single SSSP tree, deferring the
+/// fix-up re-searches (which reuse — and clobber — the same scratch) until
+/// every tree answer has been composed. Returns the per-pair results in
+/// group order plus the fix-up count.
+fn sweep_source(
+    m: &WeightMatrix,
+    removed: &[bool],
+    metric: &impl Metric,
+    s: usize,
+    group: &[(usize, usize)],
+    scratch: &mut DijkstraScratch,
+) -> (Vec<Option<PathComparison>>, usize) {
+    sssp_masked(m, removed, s, scratch);
+    let mut out: Vec<Option<PathComparison>> = Vec::with_capacity(group.len());
+    let mut fixup_idx: Vec<usize> = Vec::new();
+    for (k, &(src, d)) in group.iter().enumerate() {
+        debug_assert_eq!(src, s);
+        if scratch.stamp[d] != scratch.gen {
+            // Unreachable even with every edge available — the exclusion
+            // search cannot do better, so this pair is `None` for free.
+            out.push(None);
+        } else if scratch.prev[d] == s {
+            // The tree path is the direct edge (ties included: relaxation
+            // is strict, so an equal-weight alternate never displaced it).
+            // Only here does the exclusion change the answer — re-search.
+            out.push(None); // placeholder, filled below
+            fixup_idx.push(k);
+        } else {
+            // The tree path avoids the direct edge — edge (s, d) can only
+            // ever appear as the terminal path [s, d] — so it *is* the
+            // exclusion search's answer, tie-breaks and sums included.
+            let default_value = m.value(s, d);
+            out.push(Some(compose_comparison(
+                m,
+                scratch,
+                s,
+                d,
+                default_value,
+                metric,
+            )));
+        }
+    }
+    let fixups = fixup_idx.len();
+    for k in fixup_idx {
+        let (src, d) = group[k];
+        out[k] = best_alternate_masked(m, removed, src, d, metric, scratch);
+    }
+    (out, fixups)
+}
+
 /// All-pairs sweep on the matrix with a host mask: the parallel engine
 /// behind [`crate::analysis::cdf::compare_all_pairs`] and the Figure-12
-/// greedy loop. Fans out over [`crate::pool`] with one
-/// [`DijkstraScratch`] per worker; results merge in pair order, so the
-/// output is bit-identical at every thread count.
+/// greedy loop. [`sweep_with_stats`] with the accounting dropped.
 pub fn sweep(
     m: &WeightMatrix,
     removed: &[bool],
     metric: &impl Metric,
     depth: SearchDepth,
 ) -> Vec<PathComparison> {
-    let pairs = m.measured_pairs(removed);
-    pool::parallel_map_init(&pairs, DijkstraScratch::new, |scratch, &(s, d)| match depth {
+    sweep_with_stats(m, removed, metric, depth).0
+}
+
+/// [`sweep`], also reporting how many per-pair re-searches the batching
+/// avoided.
+pub fn sweep_with_stats(
+    m: &WeightMatrix,
+    removed: &[bool],
+    metric: &impl Metric,
+    depth: SearchDepth,
+) -> (Vec<PathComparison>, SweepStats) {
+    let mut pairs = Vec::new();
+    sweep_with_stats_into(m, removed, metric, depth, &mut pairs)
+}
+
+/// The batched sweep engine. For [`SearchDepth::Unrestricted`] it runs
+/// **one** dense Dijkstra per source — not per pair — producing the full
+/// SSSP tree over the masked matrix, answers every `(s, d)` from that
+/// tree, and re-searches only the pairs whose tree path *is* the excluded
+/// direct edge (`prev[d] == s`). Fan-out over [`crate::pool`] is by
+/// source with one [`DijkstraScratch`] per worker; per-source results
+/// concatenate in source order (pairs are `(i, j)`-sorted within), so the
+/// output is bit-identical at every thread count — and bit-identical to
+/// the retained per-pair reference (`detour_bench::reference`), which the
+/// equivalence property tests and the `scale_sweep` baseline gate enforce.
+///
+/// `pairs_buf` is a caller-owned staging buffer for the measured-pair
+/// list ([`WeightMatrix::measured_pairs_into`]); repeated sweeps — the
+/// greedy removal loop — pass the same buffer to skip the per-call
+/// allocation.
+pub fn sweep_with_stats_into(
+    m: &WeightMatrix,
+    removed: &[bool],
+    metric: &impl Metric,
+    depth: SearchDepth,
+    pairs_buf: &mut Vec<(usize, usize)>,
+) -> (Vec<PathComparison>, SweepStats) {
+    m.measured_pairs_into(removed, pairs_buf);
+    let pairs: &[(usize, usize)] = pairs_buf;
+    let groups = group_by_source(pairs);
+    match depth {
         SearchDepth::Unrestricted => {
-            best_alternate_masked(m, removed, s, d, metric, scratch)
+            let per_source =
+                pool::parallel_map_init(&groups, DijkstraScratch::new, |scratch, &(s, a, b)| {
+                    sweep_source(m, removed, metric, s, &pairs[a..b], scratch)
+                });
+            let mut out = Vec::new();
+            let mut fixups = 0;
+            for (cmps, f) in per_source {
+                fixups += f;
+                out.extend(cmps.into_iter().flatten());
+            }
+            let stats = SweepStats {
+                pairs: pairs.len(),
+                fixups,
+                avoided: pairs.len() - fixups,
+            };
+            (out, stats)
         }
-        SearchDepth::OneHop => best_alternate_one_hop_masked(m, removed, s, d, metric),
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+        SearchDepth::OneHop => {
+            let per_source = pool::parallel_map(&groups, |&(_, a, b)| {
+                pairs[a..b]
+                    .iter()
+                    .map(|&(s, d)| best_alternate_one_hop_masked(m, removed, s, d, metric))
+                    .collect::<Vec<_>>()
+            });
+            let out = per_source.into_iter().flatten().flatten().collect();
+            (
+                out,
+                SweepStats {
+                    pairs: pairs.len(),
+                    fixups: 0,
+                    avoided: 0,
+                },
+            )
+        }
+    }
 }
 
 /// All-pairs bandwidth sweep on the matrix with a host mask; parallel and
-/// order-deterministic like [`sweep`].
+/// order-deterministic like [`sweep`], fanned out by source so each task
+/// carries a full row of pairs.
 pub fn sweep_bandwidth(
     bm: &BandwidthMatrix,
     removed: &[bool],
     mode: LossComposition,
 ) -> Vec<PathComparison> {
     let pairs = bm.measured_pairs(removed);
-    pool::parallel_map(&pairs, |&(s, d)| {
-        best_alternate_bandwidth_masked(bm, removed, s, d, mode)
+    let groups = group_by_source(&pairs);
+    pool::parallel_map(&groups, |&(_, a, b)| {
+        pairs[a..b]
+            .iter()
+            .map(|&(s, d)| best_alternate_bandwidth_masked(bm, removed, s, d, mode))
+            .collect::<Vec<_>>()
     })
     .into_iter()
+    .flatten()
     .flatten()
     .collect()
 }
@@ -541,7 +914,10 @@ mod tests {
         let from_matrix: Vec<Pair> = m
             .measured_pairs(&m.no_mask())
             .into_iter()
-            .map(|(i, j)| Pair { src: m.hosts()[i], dst: m.hosts()[j] })
+            .map(|(i, j)| Pair {
+                src: m.hosts()[i],
+                dst: m.hosts()[j],
+            })
             .collect();
         assert_eq!(from_matrix, g.pairs());
     }
@@ -598,13 +974,95 @@ mod tests {
             mask[victim] = true;
             let rebuilt = g.without_host(g.host_at(victim));
             let masked = sweep(&m, &mask, &Rtt, SearchDepth::Unrestricted);
-            let reference = crate::analysis::cdf::compare_graph(
-                &rebuilt,
-                &Rtt,
-                SearchDepth::Unrestricted,
-            );
+            let reference =
+                crate::analysis::cdf::compare_graph(&rebuilt, &Rtt, SearchDepth::Unrestricted);
             assert_eq!(masked, reference, "victim {victim}");
         }
+    }
+
+    /// Hand-built 5-host hub fixture, every ordered pair measured: legs
+    /// to/from hub 0 cost 10 ms, everything else 100 ms — except the tied
+    /// edges 1↔2 at 20 ms, exactly the cost of detouring via the hub.
+    fn hub_five() -> MeasurementGraph {
+        let mut rows = vec![vec![100.0f64; 5]; 5];
+        rows[0] = vec![X, 10.0, 10.0, 10.0, 10.0];
+        for (i, row) in rows.iter_mut().enumerate().skip(1) {
+            row[i] = X;
+            row[0] = 10.0;
+        }
+        rows[1][2] = 20.0;
+        rows[2][1] = 20.0;
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        MeasurementGraph::from_dataset(&dataset_from_rtt_matrix(&refs))
+    }
+
+    #[test]
+    fn fixup_triggers_exactly_when_direct_edge_is_first_hop() {
+        let g = hub_five();
+        let m = WeightMatrix::build(&g, &Rtt);
+        let mask = m.no_mask();
+        let (cmps, stats) = sweep_with_stats(&m, &mask, &Rtt, SearchDepth::Unrestricted);
+        assert_eq!(stats.pairs, 20, "all ordered pairs are measured");
+        // Fix-ups are exactly the pairs whose SSSP tree reaches `d` over
+        // the direct edge: the 8 pairs touching hub 0 (no cheaper detour
+        // exists), plus the tied pairs 1↔2 — direct 20 equals via-hub 20,
+        // and strict relaxation keeps `prev[d] = s` on ties, so ties must
+        // fall into the re-search.
+        assert_eq!((stats.fixups, stats.avoided), (10, 10));
+        assert_eq!(stats.pairs, stats.fixups + stats.avoided);
+        // Every answer must match the per-pair exclusion search.
+        let mut scratch = DijkstraScratch::new();
+        let per_pair: Vec<_> = m
+            .measured_pairs(&mask)
+            .into_iter()
+            .filter_map(|(s, d)| best_alternate_masked(&m, &mask, s, d, &Rtt, &mut scratch))
+            .collect();
+        assert_eq!(cmps, per_pair);
+        // The tie resolves to the equal-cost hub detour, found by fix-up.
+        let tied = cmps
+            .iter()
+            .find(|c| c.pair.src == HostId(1) && c.pair.dst == HostId(2))
+            .unwrap();
+        assert_eq!((tied.default_value, tied.alternate_value), (20.0, 20.0));
+        assert_eq!(tied.via, vec![HostId(0)]);
+        // A tree-answered pair for contrast: 1→3 detours via the hub.
+        let avoided = cmps
+            .iter()
+            .find(|c| c.pair.src == HostId(1) && c.pair.dst == HostId(3))
+            .unwrap();
+        assert_eq!(
+            (avoided.default_value, avoided.alternate_value),
+            (100.0, 20.0)
+        );
+        assert_eq!(avoided.via, vec![HostId(0)]);
+    }
+
+    #[test]
+    fn one_hop_sweep_reports_no_fixups() {
+        let g = hub_five();
+        let m = WeightMatrix::build(&g, &Rtt);
+        let (cmps, stats) = sweep_with_stats(&m, &m.no_mask(), &Rtt, SearchDepth::OneHop);
+        assert_eq!(
+            stats,
+            SweepStats {
+                pairs: 20,
+                fixups: 0,
+                avoided: 0
+            }
+        );
+        assert_eq!(cmps.len(), 20);
+    }
+
+    #[test]
+    fn measured_pairs_into_reuses_the_buffer() {
+        let g = diamond();
+        let m = WeightMatrix::build(&g, &Rtt);
+        let mut buf = vec![(9usize, 9usize); 3]; // stale contents must go
+        m.measured_pairs_into(&m.no_mask(), &mut buf);
+        assert_eq!(buf, m.measured_pairs(&m.no_mask()));
+        let mask = m.masked(HostId(1));
+        m.measured_pairs_into(&mask, &mut buf);
+        assert_eq!(buf, m.measured_pairs(&mask));
     }
 
     #[test]
@@ -622,7 +1080,10 @@ mod tests {
             let m = WeightMatrix::build(g, &Rtt);
             let mask = m.no_mask();
             for (s, d) in m.measured_pairs(&mask) {
-                let pair = Pair { src: m.hosts()[s], dst: m.hosts()[d] };
+                let pair = Pair {
+                    src: m.hosts()[s],
+                    dst: m.hosts()[d],
+                };
                 assert_eq!(
                     best_alternate_masked(&m, &mask, s, d, &Rtt, &mut scratch),
                     best_alternate(g, pair, &Rtt),

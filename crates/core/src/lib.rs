@@ -44,13 +44,12 @@ pub mod metric;
 pub use detour_pool as pool;
 
 pub use altpath::{
-    best_alternate, best_alternate_bandwidth, best_alternate_one_hop, PathComparison,
-    SearchDepth,
+    best_alternate, best_alternate_bandwidth, best_alternate_one_hop, PathComparison, SearchDepth,
 };
 pub use compose::mathis_bandwidth_kbps;
-pub use context::{AnalysisContext, ArtifactKind, Degradation};
-pub use kbest::{k_best_alternates, k_best_alternates_in};
 pub use compose::LossComposition;
+pub use context::{AnalysisContext, ArtifactKind, Degradation};
 pub use graph::{EdgeStats, MeasurementGraph, Pair};
+pub use kbest::{k_best_alternates, k_best_alternates_in};
 pub use kernel::{BandwidthMatrix, DijkstraScratch, WeightMatrix};
 pub use metric::{Loss, Metric, MetricKind, PropDelay, Rtt};

@@ -160,7 +160,13 @@ mod tests {
         EdgeStats {
             rtt: Summary::from_slice(rtt_samples),
             rtt_samples: rtt_samples.to_vec(),
-            loss: loss_rate.map(|(p, n)| Summary { n, mean: p, variance: 0.0, min: 0.0, max: 1.0 }),
+            loss: loss_rate.map(|(p, n)| Summary {
+                n,
+                mean: p,
+                variance: 0.0,
+                min: 0.0,
+                max: 1.0,
+            }),
             bandwidth: None,
             transfer_rtt: None,
             transfer_loss: None,

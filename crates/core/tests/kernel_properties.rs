@@ -145,8 +145,7 @@ fn one_hop_kernel_matches_exhaustive_midpoint_scan() {
                 if mid == s || mid == d {
                     continue;
                 }
-                let (Some(e1), Some(e2)) =
-                    (g.edge_by_index(s, mid), g.edge_by_index(mid, d))
+                let (Some(e1), Some(e2)) = (g.edge_by_index(s, mid), g.edge_by_index(mid, d))
                 else {
                     continue;
                 };
@@ -173,10 +172,8 @@ fn masked_sweep_equals_without_host_sweep() {
         let g = MeasurementGraph::from_dataset(&random_dataset(rng));
         let m = WeightMatrix::build(&g, &Rtt);
         let victim = HostId(rng.gen_range(0..g.len() as u32));
-        let masked =
-            kernel::sweep(&m, &m.masked(victim), &Rtt, SearchDepth::Unrestricted);
-        let rebuilt =
-            compare_graph(&g.without_host(victim), &Rtt, SearchDepth::Unrestricted);
+        let masked = kernel::sweep(&m, &m.masked(victim), &Rtt, SearchDepth::Unrestricted);
+        let rebuilt = compare_graph(&g.without_host(victim), &Rtt, SearchDepth::Unrestricted);
         // Full structural equality: same pairs in the same order, same
         // values bit for bit, same detour hosts (tie-breaks included).
         assert_eq!(masked, rebuilt);
@@ -190,8 +187,7 @@ fn masked_one_hop_sweep_equals_without_host_sweep() {
         let m = WeightMatrix::build(&g, &Rtt);
         let victim = HostId(rng.gen_range(0..g.len() as u32));
         let masked = kernel::sweep(&m, &m.masked(victim), &Rtt, SearchDepth::OneHop);
-        let rebuilt =
-            compare_graph(&g.without_host(victim), &Rtt, SearchDepth::OneHop);
+        let rebuilt = compare_graph(&g.without_host(victim), &Rtt, SearchDepth::OneHop);
         assert_eq!(masked, rebuilt);
     });
 }

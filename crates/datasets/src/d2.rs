@@ -63,7 +63,10 @@ mod tests {
     #[test]
     fn first_sample_only_policy_is_applied() {
         let (d2, _) = generate_with_na(Scale::reduced(10, 24));
-        assert!(d2.probes.iter().any(|p| !p.loss_eligible || p.probe_index == 0));
+        assert!(d2
+            .probes
+            .iter()
+            .any(|p| !p.loss_eligible || p.probe_index == 0));
         for p in &d2.probes {
             if p.probe_index > 0 {
                 assert!(!p.loss_eligible);

@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn names_match_table1() {
         let names: Vec<&str> = DatasetId::all().iter().map(|d| d.name()).collect();
-        assert_eq!(names, ["D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B"]);
+        assert_eq!(
+            names,
+            ["D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B"]
+        );
     }
 
     #[test]

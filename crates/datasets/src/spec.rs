@@ -8,13 +8,13 @@
 //! dataset.
 
 use detour_faults::FaultConfig;
-use detour_netsim::geo::CITIES;
-use detour_netsim::{Era, HostId, Network, NetworkConfig};
 use detour_measure::{
     run_campaign_faulted, CampaignConfig, Dataset, HostMeta, RateLimitPolicy, Schedule,
 };
-use detour_prng::Xoshiro256pp;
+use detour_netsim::geo::CITIES;
+use detour_netsim::{Era, HostId, Network, NetworkConfig};
 use detour_prng::SliceRandom;
+use detour_prng::Xoshiro256pp;
 
 /// Full description of one dataset's collection process.
 #[derive(Debug, Clone, Copy)]
@@ -72,13 +72,21 @@ pub struct Scale {
 impl Scale {
     /// Full paper scale.
     pub fn full() -> Scale {
-        Scale { n_hosts: None, time_divisor: 1, seed_offset: 0 }
+        Scale {
+            n_hosts: None,
+            time_divisor: 1,
+            seed_offset: 0,
+        }
     }
 
     /// A reduced scale for tests and examples.
     pub fn reduced(n_hosts: usize, time_divisor: u32) -> Scale {
         assert!(time_divisor >= 1);
-        Scale { n_hosts: Some(n_hosts), time_divisor, seed_offset: 0 }
+        Scale {
+            n_hosts: Some(n_hosts),
+            time_divisor,
+            seed_offset: 0,
+        }
     }
 
     /// The same scale with the given seed perturbation.
@@ -105,11 +113,8 @@ pub fn build_network(spec: &DatasetSpec, scale: Scale) -> Network {
 /// injected network faults.
 fn network_config(spec: &DatasetSpec, scale: Scale) -> NetworkConfig {
     let horizon_days = spec.duration_days / scale.time_divisor as f64;
-    let mut cfg = NetworkConfig::for_era(
-        spec.era,
-        scale.mixed_seed(spec.network_seed),
-        horizon_days,
-    );
+    let mut cfg =
+        NetworkConfig::for_era(spec.era, scale.mixed_seed(spec.network_seed), horizon_days);
     cfg.faults = spec.faults;
     cfg
 }
@@ -127,8 +132,7 @@ pub fn select_hosts(
 ) -> Vec<HostId> {
     assert!(n_na <= n_total);
     let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5e1e_c7ed);
-    let eligible =
-        |h: &&detour_netsim::topology::Host| !prescreened || !h.icmp_rate_limited;
+    let eligible = |h: &&detour_netsim::topology::Host| !prescreened || !h.icmp_rate_limited;
     let mut na: Vec<HostId> = net
         .hosts()
         .iter()
@@ -211,8 +215,13 @@ fn generate_on_timed(net: &Network, spec: &DatasetSpec, scale: Scale) -> (Datase
         spec.n_hosts_na
     };
     let campaign_seed = scale.mixed_seed(spec.campaign_seed);
-    let hosts =
-        select_hosts(net, n_hosts, n_na.min(n_hosts), campaign_seed, spec.prescreened);
+    let hosts = select_hosts(
+        net,
+        n_hosts,
+        n_na.min(n_hosts),
+        campaign_seed,
+        spec.prescreened,
+    );
     let duration_s = spec.duration_days * 86_400.0 / scale.time_divisor as f64;
 
     let mut rng = Xoshiro256pp::seed_from_u64(campaign_seed);
@@ -315,8 +324,14 @@ mod tests {
     fn host_selection_is_deterministic_and_seed_sensitive() {
         let spec = tiny_spec();
         let net = build_network(&spec, Scale::full());
-        assert_eq!(select_hosts(&net, 12, 12, 5, false), select_hosts(&net, 12, 12, 5, false));
-        assert_ne!(select_hosts(&net, 12, 12, 5, false), select_hosts(&net, 12, 12, 6, false));
+        assert_eq!(
+            select_hosts(&net, 12, 12, 5, false),
+            select_hosts(&net, 12, 12, 5, false)
+        );
+        assert_ne!(
+            select_hosts(&net, 12, 12, 5, false),
+            select_hosts(&net, 12, 12, 6, false)
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub fn spec() -> DatasetSpec {
         duration_days: 34.0,
         n_hosts: 36,
         n_hosts_na: 36,
-        schedule: Schedule::PerHostUniform { mean_s: 15.0 * 60.0 },
+        schedule: Schedule::PerHostUniform {
+            mean_s: 15.0 * 60.0,
+        },
         campaign: CampaignConfig {
             kind: ProbeKind::Traceroute,
             // 36 hosts × 96/day × 34 days ≈ 117 k scheduled; Table 1 reports
@@ -78,8 +80,11 @@ mod tests {
         // a healthy sample volume); with ~25 % limited hosts there should
         // also be at least one detection.
         let ds = generate(&spec(), Scale::reduced(12, 8));
-        let truth: std::collections::HashMap<_, _> =
-            ds.hosts.iter().map(|h| (h.id, h.truly_rate_limited)).collect();
+        let truth: std::collections::HashMap<_, _> = ds
+            .hosts
+            .iter()
+            .map(|h| (h.id, h.truly_rate_limited))
+            .collect();
         for h in &ds.detected_rate_limited {
             if let Some(&t) = truth.get(h) {
                 assert!(t, "false positive on {h:?}");

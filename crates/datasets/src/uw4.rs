@@ -93,7 +93,12 @@ mod tests {
         // Table 1: 216,928 vs 9,169 — a ~24× ratio. Scaled runs keep the
         // same order of imbalance.
         let (a, b) = generate_both(Scale::reduced(8, 24));
-        assert!(a.probes.len() > 4 * b.probes.len(), "{} vs {}", a.probes.len(), b.probes.len());
+        assert!(
+            a.probes.len() > 4 * b.probes.len(),
+            "{} vs {}",
+            a.probes.len(),
+            b.probes.len()
+        );
     }
 
     #[test]
@@ -102,6 +107,10 @@ mod tests {
         let n = a.hosts.len();
         // Full coverage is the UW4 design point (Table 1: 100 %).
         let c = a.characteristics();
-        assert!(c.coverage_pct > 99.0, "coverage {} with {n} hosts", c.coverage_pct);
+        assert!(
+            c.coverage_pct > 99.0,
+            "coverage {} with {n} hosts",
+            c.coverage_pct
+        );
     }
 }

@@ -122,7 +122,12 @@ impl FaultConfig {
     /// Link failures only: each link fails about once per simulated day
     /// and stays down for ~20 minutes.
     pub fn link_failures(seed: u64) -> FaultConfig {
-        FaultConfig { seed, link_mtbf_s: 86_400.0, link_mttr_s: 1_200.0, ..FaultConfig::none() }
+        FaultConfig {
+            seed,
+            link_mtbf_s: 86_400.0,
+            link_mttr_s: 1_200.0,
+            ..FaultConfig::none()
+        }
     }
 
     /// Router failures only: rarer than link failures (a router takes all
@@ -154,7 +159,12 @@ impl FaultConfig {
     /// simulated day for ~2 hours (the paper lost whole hosts to exactly
     /// this).
     pub fn host_outages(seed: u64) -> FaultConfig {
-        FaultConfig { seed, host_mtbf_s: 86_400.0, host_mttr_s: 7_200.0, ..FaultConfig::none() }
+        FaultConfig {
+            seed,
+            host_mtbf_s: 86_400.0,
+            host_mttr_s: 7_200.0,
+            ..FaultConfig::none()
+        }
     }
 
     /// Probe-timeout storms only: ~1-hour windows every ~2 days in which
@@ -173,7 +183,11 @@ impl FaultConfig {
     /// Truncated campaign only: the collection stops at 60% of the
     /// nominal horizon (host decommissioned mid-study).
     pub fn truncation(seed: u64) -> FaultConfig {
-        FaultConfig { seed, truncate_frac: 0.6, ..FaultConfig::none() }
+        FaultConfig {
+            seed,
+            truncate_frac: 0.6,
+            ..FaultConfig::none()
+        }
     }
 
     /// Everything at once — the chaos-suite worst case.
@@ -298,7 +312,10 @@ impl FaultPlan {
             self.cfg.withdraw_mttr_s,
             self.horizon_s,
         );
-        WithdrawalSchedule { episodes, convergence_s: self.cfg.convergence_s }
+        WithdrawalSchedule {
+            episodes,
+            convergence_s: self.cfg.convergence_s,
+        }
     }
 
     /// Outage schedule for measurement host `host_code`.
@@ -343,7 +360,9 @@ pub struct OutageSchedule {
 impl OutageSchedule {
     /// An always-up schedule.
     pub fn empty() -> OutageSchedule {
-        OutageSchedule { episodes: Vec::new() }
+        OutageSchedule {
+            episodes: Vec::new(),
+        }
     }
 
     /// Generates the schedule for one entity. Deterministic in
@@ -418,7 +437,10 @@ pub struct WithdrawalSchedule {
 impl WithdrawalSchedule {
     /// A never-withdrawn schedule.
     pub fn empty() -> WithdrawalSchedule {
-        WithdrawalSchedule { episodes: OutageSchedule::empty(), convergence_s: 0.0 }
+        WithdrawalSchedule {
+            episodes: OutageSchedule::empty(),
+            convergence_s: 0.0,
+        }
     }
 
     /// Routing phase at time `t` (seconds).
@@ -476,7 +498,10 @@ mod tests {
             assert_eq!(plan.link_schedule(code), plan.link_schedule(code));
             assert_eq!(plan.host_schedule(code), plan.host_schedule(code));
         }
-        assert_eq!(plan.withdrawal_schedule(3, 9), plan.withdrawal_schedule(3, 9));
+        assert_eq!(
+            plan.withdrawal_schedule(3, 9),
+            plan.withdrawal_schedule(3, 9)
+        );
     }
 
     #[test]
@@ -511,7 +536,10 @@ mod tests {
     fn down_queries_match_episodes() {
         let plan = FaultPlan::new(FaultConfig::host_outages(11), 14.0 * DAY);
         let s = plan.host_schedule(4);
-        assert!(s.episode_count() > 0, "14 days at 1/day MTBF should fail at least once");
+        assert!(
+            s.episode_count() > 0,
+            "14 days at 1/day MTBF should fail at least once"
+        );
         for &(start, end) in s.episodes() {
             assert!(s.down_at(start));
             assert!(s.down_at((start + end) / 2.0));
@@ -542,7 +570,10 @@ mod tests {
                 }
             }
         }
-        assert!(checked, "no withdrawal episode found across 400 pairs in 30 days");
+        assert!(
+            checked,
+            "no withdrawal episode found across 400 pairs in 30 days"
+        );
     }
 
     #[test]
@@ -550,13 +581,18 @@ mod tests {
         let horizon = 30.0 * DAY;
         let count = |x: f64| {
             let plan = FaultPlan::new(FaultConfig::with_intensity(5, x), horizon);
-            (0..60u64).map(|c| plan.link_schedule(c).episode_count()).sum::<usize>()
+            (0..60u64)
+                .map(|c| plan.link_schedule(c).episode_count())
+                .sum::<usize>()
         };
         assert_eq!(count(0.0), 0);
         let low = count(0.5);
         let high = count(4.0);
         assert!(low > 0, "intensity 0.5 over 30 days must fail sometimes");
-        assert!(high > 2 * low, "4x intensity should fail much more often ({high} vs {low})");
+        assert!(
+            high > 2 * low,
+            "4x intensity should fail much more often ({high} vs {low})"
+        );
     }
 
     #[test]

@@ -143,8 +143,7 @@ impl CampaignFaults {
             return CampaignFaults::none();
         }
         let plan = FaultPlan::new(*cfg, horizon_s);
-        let mut hosts: Vec<HostId> =
-            requests.iter().flat_map(|r| [r.src, r.dst]).collect();
+        let mut hosts: Vec<HostId> = requests.iter().flat_map(|r| [r.src, r.dst]).collect();
         hosts.sort_unstable();
         hosts.dedup();
         CampaignFaults {
@@ -216,8 +215,11 @@ fn execute(
             let tr = probe::traceroute(net, req.src, req.dst, t, rng);
             // A storm inflates wall-clock probe time past the campaign
             // timeout for all but the fastest paths.
-            let elapsed_s =
-                if storming { tr.elapsed_s * faults.storm_slowdown } else { tr.elapsed_s };
+            let elapsed_s = if storming {
+                tr.elapsed_s * faults.storm_slowdown
+            } else {
+                tr.elapsed_s
+            };
             if elapsed_s > cfg.timeout_s {
                 return Outcome::TimedOut;
             }
@@ -308,13 +310,37 @@ pub fn run_campaign_faulted(
     let key = campaign_seed ^ REQUEST_STREAM_DOMAIN;
     let fault_state = CampaignFaults::build(faults, net.horizon_s(), requests);
     let sorted = canonical_order(requests);
-    let indexed: Vec<(u64, Request)> =
-        sorted.into_iter().enumerate().map(|(i, r)| (i as u64, r)).collect();
-    let outcomes = detour_pool::parallel_map(&indexed, |&(i, req)| {
-        execute(net, cfg, &fault_state, req, &mut Xoshiro256pp::stream(key, i))
+    // Fan out in batches rather than one task per request: a single probe
+    // is far too little work to amortize the pool's claim-and-merge
+    // overhead (the seed-scale campaign *lost* ground at 2 workers when
+    // chunked per request). Each request keeps the stream index of its
+    // canonical position — `start + k` below — so batching is invisible to
+    // the output: byte-identical to the unbatched fan-out and to the
+    // event-queue oracle at any worker count.
+    let batches: Vec<(u64, &[Request])> = sorted
+        .chunks(CAMPAIGN_BATCH)
+        .enumerate()
+        .map(|(b, c)| ((b * CAMPAIGN_BATCH) as u64, c))
+        .collect();
+    let outcomes = detour_pool::parallel_flat_map(&batches, |&(start, batch)| {
+        batch
+            .iter()
+            .enumerate()
+            .map(|(k, &req)| {
+                let mut rng = Xoshiro256pp::stream(key, start + k as u64);
+                execute(net, cfg, &fault_state, req, &mut rng)
+            })
+            .collect()
     });
     merge(outcomes)
 }
+
+/// Requests per pool task in [`run_campaign_faulted`]. Sized so one task
+/// is a few hundred microseconds of forwarding work — coarse enough that
+/// claim/merge overhead vanishes, fine enough that `workers ×
+/// CHUNKS_PER_WORKER` chunks still exist at seed scale (thousands of
+/// requests) for load balancing.
+const CAMPAIGN_BATCH: usize = 64;
 
 /// The single-threaded reference: replays the canonical request list
 /// through the discrete-event queue, executing each pop with the same
@@ -347,7 +373,13 @@ pub fn run_campaign_sequential_faulted(
     }
     let mut outcomes = Vec::with_capacity(queue.len());
     while let Some((_, (i, req))) = queue.pop() {
-        outcomes.push(execute(net, cfg, &fault_state, req, &mut Xoshiro256pp::stream(key, i)));
+        outcomes.push(execute(
+            net,
+            cfg,
+            &fault_state,
+            req,
+            &mut Xoshiro256pp::stream(key, i),
+        ));
     }
     merge(outcomes)
 }
@@ -380,7 +412,11 @@ mod tests {
         assert!(!raw.invocations.is_empty());
         assert!(raw.invocations.len() + raw.failed_requests + raw.timed_out == reqs.len());
         for inv in &raw.invocations {
-            assert!(inv.as_path.len() >= 2, "cross-AS paths expected: {:?}", inv.as_path);
+            assert!(
+                inv.as_path.len() >= 2,
+                "cross-AS paths expected: {:?}",
+                inv.as_path
+            );
             assert_eq!(inv.as_path[0], n.host(inv.src).asn.0);
             assert_eq!(*inv.as_path.last().unwrap(), n.host(inv.dst).asn.0);
         }
@@ -450,7 +486,10 @@ mod tests {
             detour_pool::set_threads(workers);
             let got = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 7);
             detour_pool::set_threads(if prev == 0 { 0 } else { prev });
-            assert_eq!(got, reference, "{workers} workers diverged from the event queue");
+            assert_eq!(
+                got, reference,
+                "{workers} workers diverged from the event queue"
+            );
         }
         detour_pool::set_threads(0);
     }
@@ -460,8 +499,13 @@ mod tests {
         let n = net();
         let reqs = small_schedule(&n, 8, 120.0);
         let plain = run_campaign(&n, &reqs, &CampaignConfig::traceroute(), 7);
-        let none =
-            run_campaign_faulted(&n, &reqs, &CampaignConfig::traceroute(), 7, &FaultConfig::none());
+        let none = run_campaign_faulted(
+            &n,
+            &reqs,
+            &CampaignConfig::traceroute(),
+            7,
+            &FaultConfig::none(),
+        );
         assert_eq!(plain, none);
     }
 
@@ -473,7 +517,10 @@ mod tests {
         faults.host_mtbf_s = 2.0 * 3600.0; // frequent inside the 4 h window
         faults.host_mttr_s = 1800.0;
         let raw = run_campaign_faulted(&n, &reqs, &CampaignConfig::traceroute(), 7, &faults);
-        assert!(raw.host_outages > 0, "cranked host outages must hit some requests");
+        assert!(
+            raw.host_outages > 0,
+            "cranked host outages must hit some requests"
+        );
         assert_eq!(
             raw.invocations.len()
                 + raw.failed_requests
@@ -521,13 +568,8 @@ mod tests {
         let n = net();
         let reqs = small_schedule(&n, 8, 120.0);
         let faults = FaultConfig::heavy(21);
-        let reference = run_campaign_sequential_faulted(
-            &n,
-            &reqs,
-            &CampaignConfig::traceroute(),
-            7,
-            &faults,
-        );
+        let reference =
+            run_campaign_sequential_faulted(&n, &reqs, &CampaignConfig::traceroute(), 7, &faults);
         for workers in [1usize, 2, 8] {
             detour_pool::set_threads(workers);
             let got = run_campaign_faulted(&n, &reqs, &CampaignConfig::traceroute(), 7, &faults);

@@ -80,9 +80,10 @@ impl Dataset {
 
         // Apply the rate-limit policy at invocation granularity.
         let hosts: Vec<HostMeta> = match policy {
-            RateLimitPolicy::FilterHosts => {
-                hosts.into_iter().filter(|h| !detected.contains(&h.id)).collect()
-            }
+            RateLimitPolicy::FilterHosts => hosts
+                .into_iter()
+                .filter(|h| !detected.contains(&h.id))
+                .collect(),
             _ => hosts,
         };
         let kept: HashSet<HostId> = hosts.iter().map(|h| h.id).collect();
@@ -108,8 +109,7 @@ impl Dataset {
             // measurements from traceroutes initiated in the opposite
             // direction". A clean invocation *from* a detected host doubles
             // as the mirrored path's record (with the AS path reversed).
-            let mirror =
-                policy == RateLimitPolicy::ReverseDirection && detected.contains(&inv.src);
+            let mirror = policy == RateLimitPolicy::ReverseDirection && detected.contains(&inv.src);
             let path_idx = intern_path(inv.as_path.clone());
             let mirror_path_idx = mirror.then(|| {
                 let mut rev = inv.as_path.clone();
@@ -182,7 +182,10 @@ impl Dataset {
         // real (if thin) data — typically exactly the paths an injected
         // outage starved.
         let starved_pairs = probe_counts.values().filter(|&&c| c < min_samples).count()
-            + transfer_counts.values().filter(|&&c| c < min_transfers).count();
+            + transfer_counts
+                .values()
+                .filter(|&&c| c < min_transfers)
+                .count();
 
         Dataset {
             name: name.to_string(),
@@ -323,7 +326,7 @@ mod tests {
     #[test]
     fn min_sample_filter_drops_thin_paths() {
         let mut raw = clean_raw(&[0, 1], 12); // 36 probes per pair: kept
-        // One lonely invocation on a third pair: dropped.
+                                              // One lonely invocation on a third pair: dropped.
         raw.invocations.push(Invocation {
             src: HostId(0),
             dst: HostId(2),
@@ -372,7 +375,10 @@ mod tests {
         );
         assert_eq!(ds.detected_rate_limited, vec![HostId(2)]);
         assert_eq!(ds.hosts.len(), 2);
-        assert!(ds.probes.iter().all(|p| p.dst != HostId(2) && p.src != HostId(2)));
+        assert!(ds
+            .probes
+            .iter()
+            .all(|p| p.dst != HostId(2) && p.src != HostId(2)));
     }
 
     #[test]
@@ -403,7 +409,10 @@ mod tests {
         // the surviving probes toward it are mirrors of 2→0 with identical
         // RTTs (the paper's opposite-direction substitution).
         let toward: Vec<_> = ds.probes.iter().filter(|p| p.dst == HostId(2)).collect();
-        assert!(!toward.is_empty(), "substituted measurements must cover the pair");
+        assert!(
+            !toward.is_empty(),
+            "substituted measurements must cover the pair"
+        );
         assert!(toward.iter().all(|p| p.src == HostId(0)));
         assert!(toward.iter().all(|p| p.rtt_ms.is_some()));
         assert!(ds.probes.iter().any(|p| p.src == HostId(2)));
@@ -432,7 +441,11 @@ mod tests {
         );
         // Probe 0 eligible, probe 1 kept for RTT only, probe 2 dropped.
         assert_eq!(ds.probes.len(), 40);
-        assert!(ds.probes.iter().filter(|p| p.loss_eligible).all(|p| p.probe_index == 0));
+        assert!(ds
+            .probes
+            .iter()
+            .filter(|p| p.loss_eligible)
+            .all(|p| p.probe_index == 0));
         assert!(!ds.probes.iter().any(|p| p.probe_index == 2));
     }
 
@@ -484,7 +497,10 @@ mod tests {
             86_400.0,
         );
         let pairs = ds.measured_pairs();
-        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+        assert!(
+            pairs.windows(2).all(|w| w[0] < w[1]),
+            "sorted and deduplicated"
+        );
         assert_eq!(pairs.len(), 6);
     }
 

@@ -118,9 +118,7 @@ impl PairTable {
             // A cell counts as measured only when at least one summary
             // materialized — mirrors the downstream graph's edge filter.
             let keep = cell.as_ref().is_some_and(|a| {
-                a.rtt.summary().is_some()
-                    || a.loss.summary().is_some()
-                    || a.bw.summary().is_some()
+                a.rtt.summary().is_some() || a.loss.summary().is_some() || a.bw.summary().is_some()
             });
             match cell {
                 Some(a) if keep => {
@@ -302,7 +300,11 @@ mod tests {
         assert!((t.bandwidth(0, 2).unwrap().mean - 200.0).abs() < 1e-12);
         assert!((t.transfer_rtt(0, 2).unwrap().mean - 90.0).abs() < 1e-12);
         assert!(t.rtt(0, 2).is_none(), "no probes on this pair");
-        assert_eq!(t.modal_path_idx(0, 2), None, "transfer-only cell has no path");
+        assert_eq!(
+            t.modal_path_idx(0, 2),
+            None,
+            "transfer-only cell has no path"
+        );
     }
 
     #[test]
@@ -339,8 +341,14 @@ mod tests {
         ds.as_paths = vec![vec![1], vec![2]];
         // Equal votes for path 0 and 1 on pair 1→2: lowest index wins.
         ds.probes = vec![
-            ProbeSample { path_idx: 1, ..probe(1, 2, 0.0, Some(10.0)) },
-            ProbeSample { path_idx: 0, ..probe(1, 2, 1.0, Some(10.0)) },
+            ProbeSample {
+                path_idx: 1,
+                ..probe(1, 2, 0.0, Some(10.0))
+            },
+            ProbeSample {
+                path_idx: 0,
+                ..probe(1, 2, 1.0, Some(10.0))
+            },
         ];
         let t = PairTable::build(&ds);
         assert_eq!(t.modal_path_idx(1, 2), Some(0));

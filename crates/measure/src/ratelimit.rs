@@ -162,7 +162,11 @@ mod tests {
                 dst: HostId(3),
                 t_s: i as f64,
                 episode: None,
-                rtts: if i % 3 == 0 { [None, None, None] } else { [Some(80.0); 3] },
+                rtts: if i % 3 == 0 {
+                    [None, None, None]
+                } else {
+                    [Some(80.0); 3]
+                },
                 as_path: vec![1, 2],
             })
             .collect();

@@ -69,12 +69,7 @@ fn exp_sample(rng: &mut impl Rng, mean: f64) -> f64 {
 impl Schedule {
     /// Generates the full request sequence for `hosts` over
     /// `[0, duration_s)`, sorted by time.
-    pub fn generate(
-        &self,
-        hosts: &[HostId],
-        duration_s: f64,
-        rng: &mut impl Rng,
-    ) -> Vec<Request> {
+    pub fn generate(&self, hosts: &[HostId], duration_s: f64, rng: &mut impl Rng) -> Vec<Request> {
         assert!(hosts.len() >= 2, "need at least two hosts to measure paths");
         let mut out = Vec::new();
         match *self {
@@ -86,7 +81,12 @@ impl Schedule {
                         while dst == src {
                             dst = hosts[rng.gen_range(0..hosts.len())];
                         }
-                        out.push(Request { t_s: t, src, dst, episode: None });
+                        out.push(Request {
+                            t_s: t,
+                            src,
+                            dst,
+                            episode: None,
+                        });
                         t += rng.gen_range(0.0..2.0 * mean_s);
                     }
                 }
@@ -100,7 +100,12 @@ impl Schedule {
                     while dst == src {
                         dst = hosts[rng.gen_range(0..hosts.len())];
                     }
-                    out.push(Request { t_s: t, src, dst, episode: None });
+                    out.push(Request {
+                        t_s: t,
+                        src,
+                        dst,
+                        episode: None,
+                    });
                     t += exp_sample(rng, mean_s);
                 }
             }
@@ -112,8 +117,18 @@ impl Schedule {
                     while dst == src {
                         dst = hosts[rng.gen_range(0..hosts.len())];
                     }
-                    out.push(Request { t_s: t, src, dst, episode: None });
-                    out.push(Request { t_s: t, src: dst, dst: src, episode: None });
+                    out.push(Request {
+                        t_s: t,
+                        src,
+                        dst,
+                        episode: None,
+                    });
+                    out.push(Request {
+                        t_s: t,
+                        src: dst,
+                        dst: src,
+                        episode: None,
+                    });
                     t += exp_sample(rng, mean_s);
                 }
             }
@@ -124,7 +139,12 @@ impl Schedule {
                     for &src in hosts {
                         for &dst in hosts {
                             if src != dst {
-                                out.push(Request { t_s: t, src, dst, episode: Some(episode) });
+                                out.push(Request {
+                                    t_s: t,
+                                    src,
+                                    dst,
+                                    episode: Some(episode),
+                                });
                             }
                         }
                     }
@@ -151,8 +171,11 @@ mod tests {
     #[test]
     fn per_host_uniform_hits_expected_volume() {
         let hs = hosts(10);
-        let reqs = Schedule::PerHostUniform { mean_s: 900.0 }
-            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(1));
+        let reqs = Schedule::PerHostUniform { mean_s: 900.0 }.generate(
+            &hs,
+            DAY,
+            &mut Xoshiro256pp::seed_from_u64(1),
+        );
         // 10 hosts * 96 requests/day each = ~960.
         assert!((700..1300).contains(&reqs.len()), "{}", reqs.len());
         for w in reqs.windows(2) {
@@ -163,8 +186,11 @@ mod tests {
     #[test]
     fn pairwise_exponential_hits_expected_volume() {
         let hs = hosts(8);
-        let reqs = Schedule::PairwiseExponential { mean_s: 60.0 }
-            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(2));
+        let reqs = Schedule::PairwiseExponential { mean_s: 60.0 }.generate(
+            &hs,
+            DAY,
+            &mut Xoshiro256pp::seed_from_u64(2),
+        );
         // ~1440/day.
         assert!((1200..1700).contains(&reqs.len()), "{}", reqs.len());
     }
@@ -172,8 +198,11 @@ mod tests {
     #[test]
     fn paired_schedule_emits_both_directions_at_once() {
         let hs = hosts(6);
-        let reqs = Schedule::PairwiseExponentialPaired { mean_s: 120.0 }
-            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(7));
+        let reqs = Schedule::PairwiseExponentialPaired { mean_s: 120.0 }.generate(
+            &hs,
+            DAY,
+            &mut Xoshiro256pp::seed_from_u64(7),
+        );
         assert_eq!(reqs.len() % 2, 0);
         for pair in reqs.chunks(2) {
             assert_eq!(pair[0].t_s, pair[1].t_s);
@@ -200,10 +229,17 @@ mod tests {
     #[test]
     fn episodes_cover_all_ordered_pairs() {
         let hs = hosts(6);
-        let reqs = Schedule::Episodes { mean_gap_s: 3600.0 }
-            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(4));
+        let reqs = Schedule::Episodes { mean_gap_s: 3600.0 }.generate(
+            &hs,
+            DAY,
+            &mut Xoshiro256pp::seed_from_u64(4),
+        );
         let episodes: u32 = reqs.iter().filter_map(|r| r.episode).max().unwrap() + 1;
-        assert_eq!(reqs.len() as u32, episodes * 30, "6 hosts → 30 ordered pairs/episode");
+        assert_eq!(
+            reqs.len() as u32,
+            episodes * 30,
+            "6 hosts → 30 ordered pairs/episode"
+        );
         // Every request in an episode shares its timestamp.
         let first = &reqs[0];
         let same: Vec<_> = reqs.iter().filter(|r| r.episode == first.episode).collect();
@@ -228,10 +264,16 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let hs = hosts(7);
-        let a = Schedule::PairwiseExponential { mean_s: 45.0 }
-            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(9));
-        let b = Schedule::PairwiseExponential { mean_s: 45.0 }
-            .generate(&hs, DAY, &mut Xoshiro256pp::seed_from_u64(9));
+        let a = Schedule::PairwiseExponential { mean_s: 45.0 }.generate(
+            &hs,
+            DAY,
+            &mut Xoshiro256pp::seed_from_u64(9),
+        );
+        let b = Schedule::PairwiseExponential { mean_s: 45.0 }.generate(
+            &hs,
+            DAY,
+            &mut Xoshiro256pp::seed_from_u64(9),
+        );
         assert_eq!(a, b);
     }
 

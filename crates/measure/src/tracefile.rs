@@ -38,7 +38,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -57,10 +61,7 @@ pub fn to_string(ds: &Dataset) -> String {
         let _ = writeln!(
             s,
             "host {} {} {} {}",
-            h.id.0,
-            h.asn,
-            h.truly_rate_limited as u8,
-            h.name
+            h.id.0, h.asn, h.truly_rate_limited as u8, h.name
         );
     }
     for (i, p) in ds.as_paths.iter().enumerate() {
@@ -95,9 +96,15 @@ pub fn to_string(ds: &Dataset) -> String {
 fn field<T: FromStr>(parts: &[&str], idx: usize, line: usize) -> Result<T, ParseError> {
     parts
         .get(idx)
-        .ok_or_else(|| ParseError { line, message: format!("missing field {idx}") })?
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("missing field {idx}"),
+        })?
         .parse()
-        .map_err(|_| ParseError { line, message: format!("bad field {idx}: {:?}", parts[idx]) })
+        .map_err(|_| ParseError {
+            line,
+            message: format!("bad field {idx}: {:?}", parts[idx]),
+        })
 }
 
 /// Parses the v1 text format back into a dataset.
@@ -119,9 +126,11 @@ pub fn from_str(text: &str) -> Result<Dataset, ParseError> {
             // Comments are skipped, but a version banner is checked: loading
             // a trace written by a future format must fail loudly rather
             // than silently mis-parse (the on-disk cache depends on this).
-            if let Some(version) = line.strip_prefix('#').map(str::trim).and_then(|c| {
-                c.strip_prefix("detour trace v")
-            }) {
+            if let Some(version) = line
+                .strip_prefix('#')
+                .map(str::trim)
+                .and_then(|c| c.strip_prefix("detour trace v"))
+            {
                 if version != "1" {
                     return Err(ParseError {
                         line: line_no,
@@ -204,9 +213,9 @@ pub fn from_str(text: &str) -> Result<Dataset, ParseError> {
                 loss_rate: field(&parts, 5, line_no)?,
                 bandwidth_kbps: field(&parts, 6, line_no)?,
             }),
-            "ratelimited" => {
-                ds.detected_rate_limited.push(HostId(field(&parts, 1, line_no)?))
-            }
+            "ratelimited" => ds
+                .detected_rate_limited
+                .push(HostId(field(&parts, 1, line_no)?)),
             other => {
                 return Err(ParseError {
                     line: line_no,
@@ -328,8 +337,16 @@ mod tests {
     fn unknown_trace_version_is_an_error() {
         let err = from_str("# detour trace v2\ndataset X\n").unwrap_err();
         assert_eq!(err.line, 1);
-        assert!(err.message.contains("unsupported trace version"), "{}", err.message);
-        assert!(err.message.contains("v2") || err.message.contains("\"2\""), "{}", err.message);
+        assert!(
+            err.message.contains("unsupported trace version"),
+            "{}",
+            err.message
+        );
+        assert!(
+            err.message.contains("v2") || err.message.contains("\"2\""),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

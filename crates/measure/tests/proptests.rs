@@ -51,12 +51,19 @@ fn transfer(rng: &mut Xoshiro256pp) -> TransferSample {
 }
 
 fn dataset(rng: &mut Xoshiro256pp) -> Dataset {
-    let hosts = (0..rng.gen_range(0..8usize)).map(|_| host_meta(rng)).collect();
-    let mut probes: Vec<ProbeSample> =
-        (0..rng.gen_range(0..40usize)).map(|_| probe(rng)).collect();
-    let transfers = (0..rng.gen_range(0..10usize)).map(|_| transfer(rng)).collect();
+    let hosts = (0..rng.gen_range(0..8usize))
+        .map(|_| host_meta(rng))
+        .collect();
+    let mut probes: Vec<ProbeSample> = (0..rng.gen_range(0..40usize)).map(|_| probe(rng)).collect();
+    let transfers = (0..rng.gen_range(0..10usize))
+        .map(|_| transfer(rng))
+        .collect();
     let as_paths: Vec<Vec<u16>> = (0..rng.gen_range(1..6usize))
-        .map(|_| (0..rng.gen_range(1..6usize)).map(|_| rng.gen_range(0..300u16)).collect())
+        .map(|_| {
+            (0..rng.gen_range(1..6usize))
+                .map(|_| rng.gen_range(0..300u16))
+                .collect()
+        })
         .collect();
     // Keep path indices in range for the generated pool.
     let n_paths = as_paths.len() as u32;
@@ -71,7 +78,7 @@ fn dataset(rng: &mut Xoshiro256pp) -> Dataset {
         as_paths,
         duration_s: rng.gen_range(1.0..1e7f64),
         detected_rate_limited: vec![],
-            starved_pairs: 0,
+        starved_pairs: 0,
     }
 }
 
@@ -111,7 +118,9 @@ fn schedules_are_in_window_and_never_self_target() {
             Schedule::PerHostUniform { mean_s: mean },
             Schedule::PairwiseExponential { mean_s: mean },
             Schedule::PairwiseExponentialPaired { mean_s: mean },
-            Schedule::Episodes { mean_gap_s: mean.max(600.0) },
+            Schedule::Episodes {
+                mean_gap_s: mean.max(600.0),
+            },
         ] {
             for r in sched.generate(&hosts, duration, rng) {
                 assert!(r.t_s >= 0.0 && r.t_s < duration);
@@ -132,20 +141,34 @@ fn campaign_output_is_invariant_under_request_permutation() {
     use detour_netsim::{Era, Network, NetworkConfig};
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 77, 1.0));
     let hosts: Vec<HostId> = net.hosts().iter().take(7).map(|h| h.id).collect();
-    check_with("campaign_output_is_invariant_under_request_permutation", 8, |rng| {
-        let sched = match rng.gen_range(0..3u8) {
-            0 => Schedule::PairwiseExponential { mean_s: 400.0 },
-            1 => Schedule::PairwiseExponentialPaired { mean_s: 500.0 },
-            _ => Schedule::Episodes { mean_gap_s: 2400.0 },
-        };
-        let reqs = sched.generate(&hosts, 2.0 * 3600.0, rng);
-        let campaign_seed = rng.next_u64();
-        let baseline = run_campaign(&net, &reqs, &CampaignConfig::traceroute(), campaign_seed);
-        let mut shuffled = reqs.clone();
-        shuffled.shuffle(rng);
-        let got = run_campaign(&net, &shuffled, &CampaignConfig::traceroute(), campaign_seed);
-        assert_eq!(got, baseline, "shuffling {} requests changed the output", reqs.len());
-    });
+    check_with(
+        "campaign_output_is_invariant_under_request_permutation",
+        8,
+        |rng| {
+            let sched = match rng.gen_range(0..3u8) {
+                0 => Schedule::PairwiseExponential { mean_s: 400.0 },
+                1 => Schedule::PairwiseExponentialPaired { mean_s: 500.0 },
+                _ => Schedule::Episodes { mean_gap_s: 2400.0 },
+            };
+            let reqs = sched.generate(&hosts, 2.0 * 3600.0, rng);
+            let campaign_seed = rng.next_u64();
+            let baseline = run_campaign(&net, &reqs, &CampaignConfig::traceroute(), campaign_seed);
+            let mut shuffled = reqs.clone();
+            shuffled.shuffle(rng);
+            let got = run_campaign(
+                &net,
+                &shuffled,
+                &CampaignConfig::traceroute(),
+                campaign_seed,
+            );
+            assert_eq!(
+                got,
+                baseline,
+                "shuffling {} requests changed the output",
+                reqs.len()
+            );
+        },
+    );
 }
 
 #[test]

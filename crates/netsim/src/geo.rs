@@ -26,8 +26,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 }
@@ -93,7 +92,10 @@ macro_rules! city {
     ($name:literal, $lat:expr, $lon:expr, $tz:expr, $region:ident) => {
         City {
             name: $name,
-            loc: GeoPoint { lat: $lat, lon: $lon },
+            loc: GeoPoint {
+                lat: $lat,
+                lon: $lon,
+            },
             utc_offset_hours: $tz,
             region: Region::$region,
         }
@@ -193,13 +195,17 @@ mod tests {
 
     #[test]
     fn seattle_to_boston_is_about_4000_km() {
-        let d = city_by_name("Seattle").loc.distance_km(&city_by_name("Boston").loc);
+        let d = city_by_name("Seattle")
+            .loc
+            .distance_km(&city_by_name("Boston").loc);
         assert!((3900.0..4200.0).contains(&d), "got {d} km");
     }
 
     #[test]
     fn transpacific_distance_is_large() {
-        let d = city_by_name("San Francisco").loc.distance_km(&city_by_name("Tokyo").loc);
+        let d = city_by_name("San Francisco")
+            .loc
+            .distance_km(&city_by_name("Tokyo").loc);
         assert!((8000.0..8700.0).contains(&d), "got {d} km");
     }
 
@@ -212,7 +218,9 @@ mod tests {
     fn coast_to_coast_one_way_delay_is_tens_of_ms() {
         // SEA→NYC great circle ≈ 3,870 km → ~25 ms one-way with stretch;
         // real-world coast-to-coast RTTs of 60-80 ms make this plausible.
-        let d = city_by_name("Seattle").loc.distance_km(&city_by_name("New York").loc);
+        let d = city_by_name("Seattle")
+            .loc
+            .distance_km(&city_by_name("New York").loc);
         let ms = fiber_delay_ms(d);
         assert!((20.0..35.0).contains(&ms), "got {ms} ms");
     }
@@ -230,7 +238,11 @@ mod tests {
     #[test]
     fn utc_offsets_are_plausible() {
         for c in CITIES {
-            assert!((-12..=14).contains(&(c.utc_offset_hours as i32)), "{}", c.name);
+            assert!(
+                (-12..=14).contains(&(c.utc_offset_hours as i32)),
+                "{}",
+                c.name
+            );
         }
     }
 }

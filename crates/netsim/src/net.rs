@@ -26,7 +26,10 @@ use crate::routing::flaps::{FlapConfig, FlapSchedule};
 use crate::routing::path::{ResolvedPath, Resolver};
 use crate::routing::RoutingMode;
 use crate::sim::clock::SimTime;
-use crate::topology::{generator::{self, Era, TopologyConfig}, RouterId};
+use crate::topology::{
+    generator::{self, Era, TopologyConfig},
+    RouterId,
+};
 use crate::topology::{AsId, Host, HostId, Topology};
 use crate::traffic::load::{LoadConfig, LoadModel};
 
@@ -195,7 +198,13 @@ impl Network {
             n_as,
             faults,
         };
-        (net, BuildTimings { core_seconds, precompute_seconds })
+        (
+            net,
+            BuildTimings {
+                core_seconds,
+                precompute_seconds,
+            },
+        )
     }
 
     /// All hosts.
@@ -274,8 +283,7 @@ impl Network {
             && self.flap_schedule(sh.asn, dh.asn).active_at(t.0);
         if self.mode != RoutingMode::GlobalShortestDelay {
             if let Some(f) = &self.faults {
-                match f.withdrawals[sh.asn.0 as usize * self.n_as + dh.asn.0 as usize]
-                    .phase_at(t.0)
+                match f.withdrawals[sh.asn.0 as usize * self.n_as + dh.asn.0 as usize].phase_at(t.0)
                 {
                     RoutePhase::Withdrawn => return None,
                     RoutePhase::Converging => flapped = true,
@@ -305,7 +313,10 @@ impl Network {
                 lost = true;
             }
         }
-        TransitOutcome { delay_ms: delay, lost }
+        TransitOutcome {
+            delay_ms: delay,
+            lost,
+        }
     }
 
     /// Like [`Network::transit`] but over only the first `prefix_links`
@@ -329,16 +340,26 @@ impl Network {
                 lost = true;
             }
         }
-        TransitOutcome { delay_ms: delay, lost }
+        TransitOutcome {
+            delay_ms: delay,
+            lost,
+        }
     }
 
     /// True when any router or link on the (sub)path is inside an injected
     /// outage episode at `t`. Pure schedule lookups — no RNG.
-    fn faulted_element(&self, routers: &[RouterId], links: &[crate::topology::LinkId], t: SimTime) -> bool {
+    fn faulted_element(
+        &self,
+        routers: &[RouterId],
+        links: &[crate::topology::LinkId],
+        t: SimTime,
+    ) -> bool {
         let Some(f) = &self.faults else {
             return false;
         };
-        routers.iter().any(|r| f.router_down[r.0 as usize].down_at(t.0))
+        routers
+            .iter()
+            .any(|r| f.router_down[r.0 as usize].down_at(t.0))
             || links.iter().any(|l| f.link_down[l.0 as usize].down_at(t.0))
     }
 }
@@ -374,12 +395,7 @@ fn precompute_faults(
 /// source AS. Each schedule depends only on `(seed, src, dst)` — exactly
 /// the derivation the old lazy cache used — so the table is bit-identical
 /// to what lazy generation would have produced, at every thread count.
-fn precompute_flaps(
-    cfg: &FlapConfig,
-    seed: u64,
-    n_as: usize,
-    horizon_s: f64,
-) -> Vec<FlapSchedule> {
+fn precompute_flaps(cfg: &FlapConfig, seed: u64, n_as: usize, horizon_s: f64) -> Vec<FlapSchedule> {
     let sources: Vec<u16> = (0..n_as as u16).collect();
     detour_pool::parallel_map(&sources, |&src| {
         (0..n_as as u16)
@@ -495,10 +511,15 @@ mod tests {
     #[test]
     fn busy_hours_are_slower_on_average() {
         let n = net();
-        let p = n.forward_path(n.hosts()[2].id, n.hosts()[11].id, SimTime::ZERO).unwrap();
+        let p = n
+            .forward_path(n.hosts()[2].id, n.hosts()[11].id, SimTime::ZERO)
+            .unwrap();
         let mut rng = Xoshiro256pp::seed_from_u64(8);
         let avg = |t: SimTime, rng: &mut Xoshiro256pp| -> f64 {
-            (0..300).map(|_| n.transit(&p, t, rng).delay_ms).sum::<f64>() / 300.0
+            (0..300)
+                .map(|_| n.transit(&p, t, rng).delay_ms)
+                .sum::<f64>()
+                / 300.0
         };
         // Tuesday 11:00 PST vs Tuesday 03:30 PST (most hosts are NA).
         let busy = avg(SimTime::from_hours(24.0 + 19.0), &mut rng);
@@ -537,13 +558,19 @@ mod tests {
     fn prefix_transit_is_cheaper_than_full() {
         let n = net();
         let t = SimTime::from_hours(16.0);
-        let p = n.forward_path(n.hosts()[1].id, n.hosts()[13].id, t).unwrap();
+        let p = n
+            .forward_path(n.hosts()[1].id, n.hosts()[13].id, t)
+            .unwrap();
         assert!(p.links.len() >= 2);
         let mut rng = Xoshiro256pp::seed_from_u64(21);
-        let prefix_avg: f64 =
-            (0..100).map(|_| n.transit_prefix(&p, 1, t, &mut rng).delay_ms).sum::<f64>() / 100.0;
-        let full_avg: f64 =
-            (0..100).map(|_| n.transit(&p, t, &mut rng).delay_ms).sum::<f64>() / 100.0;
+        let prefix_avg: f64 = (0..100)
+            .map(|_| n.transit_prefix(&p, 1, t, &mut rng).delay_ms)
+            .sum::<f64>()
+            / 100.0;
+        let full_avg: f64 = (0..100)
+            .map(|_| n.transit(&p, t, &mut rng).delay_ms)
+            .sum::<f64>()
+            / 100.0;
         assert!(prefix_avg < full_avg);
     }
 
@@ -567,7 +594,9 @@ mod tests {
                 }
                 let baseline = n.forward_path(s, d, SimTime::ZERO).unwrap();
                 for hour in 1..48 {
-                    let p = n.forward_path(s, d, SimTime::from_hours(hour as f64)).unwrap();
+                    let p = n
+                        .forward_path(s, d, SimTime::from_hours(hour as f64))
+                        .unwrap();
                     if p.routers != baseline.routers {
                         saw_change = true;
                         break 'outer;
@@ -575,7 +604,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_change, "no pair ever flapped in 48 hours at high flap rate");
+        assert!(
+            saw_change,
+            "no pair ever flapped in 48 hours at high flap rate"
+        );
     }
 
     #[test]
@@ -590,7 +622,9 @@ mod tests {
         let (s, d) = (n.hosts()[0].id, n.hosts()[9].id);
         let baseline = n.forward_path(s, d, SimTime::ZERO).unwrap();
         for hour in 1..48 {
-            let p = n.forward_path(s, d, SimTime::from_hours(hour as f64)).unwrap();
+            let p = n
+                .forward_path(s, d, SimTime::from_hours(hour as f64))
+                .unwrap();
             assert_eq!(p.routers, baseline.routers, "ideal routing must be static");
         }
     }
@@ -605,7 +639,10 @@ mod tests {
         let (s, d) = (n.hosts()[0].id, n.hosts()[4].id);
         let a = n.forward_path(s, d, t).unwrap();
         let b = n.forward_path(s, d, t).unwrap();
-        assert!(Arc::ptr_eq(&a, &b), "both queries must share the precomputed path");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "both queries must share the precomputed path"
+        );
     }
 
     #[test]
@@ -666,7 +703,10 @@ mod tests {
             }
             let mut ra = Xoshiro256pp::seed_from_u64(hour);
             let mut rb = Xoshiro256pp::seed_from_u64(hour);
-            assert_eq!(benign.transit(&p, t, &mut ra), faulted.transit(&p, t, &mut rb));
+            assert_eq!(
+                benign.transit(&p, t, &mut ra),
+                faulted.transit(&p, t, &mut rb)
+            );
             checked += 1;
         }
         assert!(checked > 0, "some fault-free instants must exist");

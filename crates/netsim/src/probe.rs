@@ -86,13 +86,7 @@ const ICMP_GEN_DELAY_RANGE_MS: (f64, f64) = (0.1, 1.2);
 
 /// One echo exchange between hosts: forward transit, destination
 /// processing, reverse transit over the *reverse-routed* path.
-pub fn ping(
-    net: &Network,
-    src: HostId,
-    dst: HostId,
-    t: SimTime,
-    rng: &mut impl Rng,
-) -> PingResult {
+pub fn ping(net: &Network, src: HostId, dst: HostId, t: SimTime, rng: &mut impl Rng) -> PingResult {
     let Some(fwd) = net.forward_path(src, dst, t) else {
         return PingResult { rtt_ms: None };
     };
@@ -109,7 +103,9 @@ pub fn ping(
         return PingResult { rtt_ms: None };
     }
     let icmp = rng.gen_range(ICMP_GEN_DELAY_RANGE_MS.0..ICMP_GEN_DELAY_RANGE_MS.1);
-    PingResult { rtt_ms: Some(out.delay_ms + icmp + back.delay_ms) }
+    PingResult {
+        rtt_ms: Some(out.delay_ms + icmp + back.delay_ms),
+    }
 }
 
 /// A full traceroute invocation from `src` to `dst` starting at time `t`.
@@ -129,7 +125,11 @@ pub fn traceroute(
     const INTER_PROBE_GAP_S: f64 = 0.05;
 
     let Some(fwd) = net.forward_path(src, dst, t) else {
-        return TracerouteResult { hops: Vec::new(), reached: false, elapsed_s: 0.0 };
+        return TracerouteResult {
+            hops: Vec::new(),
+            reached: false,
+            elapsed_s: 0.0,
+        };
     };
     let rev = net.forward_path(dst, src, t);
     let dst_rate_limited = net.host(dst).icmp_rate_limited;
@@ -182,8 +182,14 @@ pub fn traceroute(
         }
         hops.push(TracerouteHop { router, asn, rtts });
     }
-    let reached = hops.last().is_some_and(|h| h.rtts.iter().any(Option::is_some));
-    TracerouteResult { hops, reached, elapsed_s: now.0 - t.0 }
+    let reached = hops
+        .last()
+        .is_some_and(|h| h.rtts.iter().any(Option::is_some));
+    TracerouteResult {
+        hops,
+        reached,
+        elapsed_s: now.0 - t.0,
+    }
 }
 
 #[cfg(test)]

@@ -83,7 +83,9 @@ impl BgpRib {
     /// Solves routing for all destinations in `topo`.
     pub fn compute(topo: &Topology) -> BgpRib {
         let n = topo.as_count();
-        let table = (0..n).map(|d| solve_destination(topo, AsId(d as u16))).collect();
+        let table = (0..n)
+            .map(|d| solve_destination(topo, AsId(d as u16)))
+            .collect();
         BgpRib { n, table }
     }
 
@@ -110,7 +112,8 @@ impl BgpRib {
         let mut path = vec![src];
         let mut cur = src;
         let first = if use_fallback_at_source {
-            self.fallback_route(src, dest).or_else(|| self.route(src, dest))?
+            self.fallback_route(src, dest)
+                .or_else(|| self.route(src, dest))?
         } else {
             self.route(src, dest)?
         };
@@ -163,9 +166,7 @@ fn offer(rib: &mut DestRib, at: AsId, cand: Route) -> bool {
             true
         }
         Some(best) => {
-            if cand.next_hop != best.next_hop
-                && rib.alt[i].is_none_or(|a| cand.better_than(&a))
-            {
+            if cand.next_hop != best.next_hop && rib.alt[i].is_none_or(|a| cand.better_than(&a)) {
                 rib.alt[i] = Some(cand);
             }
             false
@@ -175,9 +176,15 @@ fn offer(rib: &mut DestRib, at: AsId, cand: Route) -> bool {
 
 fn solve_destination(topo: &Topology, dest: AsId) -> DestRib {
     let n = topo.as_count();
-    let mut rib = DestRib { best: vec![None; n], alt: vec![None; n] };
-    rib.best[dest.0 as usize] =
-        Some(Route { kind: RouteKind::Origin, path_len: 0, next_hop: None });
+    let mut rib = DestRib {
+        best: vec![None; n],
+        alt: vec![None; n],
+    };
+    rib.best[dest.0 as usize] = Some(Route {
+        kind: RouteKind::Origin,
+        path_len: 0,
+        next_hop: None,
+    });
 
     // Pass 1 — customer routes: BFS up the provider DAG. An AS exports to
     // its providers only routes it originated or learned from customers.
@@ -188,8 +195,11 @@ fn solve_destination(topo: &Topology, dest: AsId) -> DestRib {
             continue;
         }
         for p in topo.providers_of(a) {
-            let cand =
-                Route { kind: RouteKind::Customer, path_len: route_a.path_len + 1, next_hop: Some(a) };
+            let cand = Route {
+                kind: RouteKind::Customer,
+                path_len: route_a.path_len + 1,
+                next_hop: Some(a),
+            };
             if offer(&mut rib, p, cand) {
                 queue.push_back(p);
             }
@@ -210,8 +220,11 @@ fn solve_destination(topo: &Topology, dest: AsId) -> DestRib {
     for a in holders {
         let route_a = rib.best[a.0 as usize].unwrap();
         for q in topo.peers_of(a) {
-            let cand =
-                Route { kind: RouteKind::Peer, path_len: route_a.path_len + 1, next_hop: Some(a) };
+            let cand = Route {
+                kind: RouteKind::Peer,
+                path_len: route_a.path_len + 1,
+                next_hop: Some(a),
+            };
             offer(&mut rib, q, cand);
         }
     }
@@ -230,8 +243,11 @@ fn solve_destination(topo: &Topology, dest: AsId) -> DestRib {
             if route_a.next_hop == Some(c) {
                 continue;
             }
-            let cand =
-                Route { kind: RouteKind::Provider, path_len: route_a.path_len + 1, next_hop: Some(a) };
+            let cand = Route {
+                kind: RouteKind::Provider,
+                path_len: route_a.path_len + 1,
+                next_hop: Some(a),
+            };
             if offer(&mut rib, c, cand) {
                 queue.push_back(c);
             }
@@ -249,8 +265,10 @@ mod tests {
     use detour_prng::Xoshiro256pp;
 
     fn setup() -> (Topology, BgpRib) {
-        let topo =
-            generate(&TopologyConfig::for_era(Era::Y1999), &mut Xoshiro256pp::seed_from_u64(99));
+        let topo = generate(
+            &TopologyConfig::for_era(Era::Y1999),
+            &mut Xoshiro256pp::seed_from_u64(99),
+        );
         let rib = BgpRib::compute(&topo);
         (topo, rib)
     }
@@ -333,23 +351,43 @@ mod tests {
 
     #[test]
     fn customer_routes_beat_provider_routes() {
-        let a = Route { kind: RouteKind::Customer, path_len: 5, next_hop: Some(AsId(9)) };
-        let b = Route { kind: RouteKind::Provider, path_len: 1, next_hop: Some(AsId(1)) };
+        let a = Route {
+            kind: RouteKind::Customer,
+            path_len: 5,
+            next_hop: Some(AsId(9)),
+        };
+        let b = Route {
+            kind: RouteKind::Provider,
+            path_len: 1,
+            next_hop: Some(AsId(1)),
+        };
         assert!(a.better_than(&b), "preference class dominates length");
     }
 
     #[test]
     fn shorter_paths_win_within_class() {
-        let a = Route { kind: RouteKind::Peer, path_len: 2, next_hop: Some(AsId(9)) };
-        let b = Route { kind: RouteKind::Peer, path_len: 3, next_hop: Some(AsId(1)) };
+        let a = Route {
+            kind: RouteKind::Peer,
+            path_len: 2,
+            next_hop: Some(AsId(9)),
+        };
+        let b = Route {
+            kind: RouteKind::Peer,
+            path_len: 3,
+            next_hop: Some(AsId(1)),
+        };
         assert!(a.better_than(&b));
     }
 
     #[test]
     fn stub_to_stub_goes_through_providers() {
         let (topo, rib) = setup();
-        let stubs: Vec<AsId> =
-            topo.ases.iter().filter(|a| a.tier == AsTier::Stub).map(|a| a.id).collect();
+        let stubs: Vec<AsId> = topo
+            .ases
+            .iter()
+            .filter(|a| a.tier == AsTier::Stub)
+            .map(|a| a.id)
+            .collect();
         let (s, d) = (stubs[0], stubs[1]);
         let p = rib.as_path(s, d, false).unwrap();
         assert!(p.len() >= 3, "distinct stubs must transit providers: {p:?}");
@@ -364,16 +402,20 @@ mod tests {
         let mut found = 0;
         for s in 0..topo.as_count() as u16 {
             for d in 0..topo.as_count() as u16 {
-                if let (Some(best), Some(alt)) =
-                    (rib.route(AsId(s), AsId(d)), rib.fallback_route(AsId(s), AsId(d)))
-                {
+                if let (Some(best), Some(alt)) = (
+                    rib.route(AsId(s), AsId(d)),
+                    rib.fallback_route(AsId(s), AsId(d)),
+                ) {
                     assert_ne!(best.next_hop, alt.next_hop);
                     assert!(!alt.better_than(&best));
                     found += 1;
                 }
             }
         }
-        assert!(found > 0, "multi-homed topology should yield fallback routes");
+        assert!(
+            found > 0,
+            "multi-homed topology should yield fallback routes"
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! pair depends only on the network seed and the pair's ids, never on the
 //! order of queries.
 
-use detour_prng::Xoshiro256pp;
 use detour_prng::Rng;
+use detour_prng::Xoshiro256pp;
 
 use crate::topology::AsId;
 

@@ -55,7 +55,11 @@ impl IgpTable {
                     continue;
                 }
                 let j = idx(l.to).expect("internal link targets AS router");
-                let w = if asys.igp_uses_delay_metrics { l.prop_delay_ms } else { 1.0 };
+                let w = if asys.igp_uses_delay_metrics {
+                    l.prop_delay_ms
+                } else {
+                    1.0
+                };
                 if w < dist[i][j] {
                     dist[i][j] = w;
                     delay[i][j] = l.prop_delay_ms;
@@ -80,7 +84,13 @@ impl IgpTable {
                 }
             }
         }
-        IgpTable { asn, routers, dist, delay, next }
+        IgpTable {
+            asn,
+            routers,
+            dist,
+            delay,
+            next,
+        }
     }
 
     fn index(&self, r: RouterId) -> usize {
@@ -128,7 +138,10 @@ mod tests {
     use detour_prng::Xoshiro256pp;
 
     fn topo() -> Topology {
-        generate(&TopologyConfig::for_era(Era::Y1999), &mut Xoshiro256pp::seed_from_u64(42))
+        generate(
+            &TopologyConfig::for_era(Era::Y1999),
+            &mut Xoshiro256pp::seed_from_u64(42),
+        )
     }
 
     #[test]
@@ -159,7 +172,11 @@ mod tests {
     #[test]
     fn paths_are_consistent_with_distances() {
         let t = topo();
-        let asys = t.ases.iter().find(|a| a.routers.len() >= 4).expect("a big AS");
+        let asys = t
+            .ases
+            .iter()
+            .find(|a| a.routers.len() >= 4)
+            .expect("a big AS");
         let igp = IgpTable::compute(&t, asys.id);
         for &a in &asys.routers {
             for &b in &asys.routers {
@@ -205,9 +222,7 @@ mod tests {
         for &a in rs {
             for &b in rs {
                 for &c in rs {
-                    assert!(
-                        igp.distance(a, c) <= igp.distance(a, b) + igp.distance(b, c) + 1e-9
-                    );
+                    assert!(igp.distance(a, c) <= igp.distance(a, b) + igp.distance(b, c) + 1e-9);
                 }
             }
         }

@@ -204,7 +204,9 @@ impl Resolver {
         dsts: &[RouterId],
     ) -> Vec<Option<ResolvedPath>> {
         let (dist, prev) = self.dijkstra_relax(topo, src, None);
-        dsts.iter().map(|&d| reconstruct(topo, src, d, &dist, &prev)).collect()
+        dsts.iter()
+            .map(|&d| reconstruct(topo, src, d, &dist, &prev))
+            .collect()
     }
 
     /// Plain Dijkstra over the whole router graph, weighted by propagation
@@ -282,7 +284,10 @@ fn reconstruct(
     for &l in &links_rev {
         routers.push(topo.link(l).to);
     }
-    Some(ResolvedPath { routers, links: links_rev })
+    Some(ResolvedPath {
+        routers,
+        links: links_rev,
+    })
 }
 
 #[cfg(test)]
@@ -292,8 +297,10 @@ mod tests {
     use detour_prng::Xoshiro256pp;
 
     fn setup() -> (Topology, Resolver) {
-        let topo =
-            generate(&TopologyConfig::for_era(Era::Y1999), &mut Xoshiro256pp::seed_from_u64(21));
+        let topo = generate(
+            &TopologyConfig::for_era(Era::Y1999),
+            &mut Xoshiro256pp::seed_from_u64(21),
+        );
         let resolver = Resolver::new(&topo);
         (topo, resolver)
     }
@@ -368,7 +375,10 @@ mod tests {
                     .resolve(&topo, s, d, RoutingMode::PolicyBestExit, false)
                     .unwrap()
                     .prop_delay_ms(&topo);
-                assert!(global <= hot + 1e-6, "{s:?}->{d:?}: global {global} > hot {hot}");
+                assert!(
+                    global <= hot + 1e-6,
+                    "{s:?}->{d:?}: global {global} > hot {hot}"
+                );
                 assert!(global <= cold + 1e-6);
             }
         }
@@ -423,10 +433,12 @@ mod tests {
                 if s == d {
                     continue;
                 }
-                let fwd =
-                    res.resolve(&topo, s, d, RoutingMode::PolicyHotPotato, false).unwrap();
-                let rev =
-                    res.resolve(&topo, d, s, RoutingMode::PolicyHotPotato, false).unwrap();
+                let fwd = res
+                    .resolve(&topo, s, d, RoutingMode::PolicyHotPotato, false)
+                    .unwrap();
+                let rev = res
+                    .resolve(&topo, d, s, RoutingMode::PolicyHotPotato, false)
+                    .unwrap();
                 let mut rev_routers = rev.routers.clone();
                 rev_routers.reverse();
                 if rev_routers != fwd.routers {
@@ -475,8 +487,12 @@ mod tests {
         let (topo, res) = setup();
         let hr = host_routers(&topo);
         let (s, d) = (hr[0], hr[5]);
-        let a = res.resolve(&topo, s, d, RoutingMode::PolicyHotPotato, false).unwrap();
-        let b = res.resolve(&topo, s, d, RoutingMode::PolicyHotPotato, false).unwrap();
+        let a = res
+            .resolve(&topo, s, d, RoutingMode::PolicyHotPotato, false)
+            .unwrap();
+        let b = res
+            .resolve(&topo, s, d, RoutingMode::PolicyHotPotato, false)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -53,7 +53,10 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<T> {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `payload` at `time`.
@@ -61,7 +64,11 @@ impl<T> EventQueue<T> {
         assert!(!time.0.is_nan(), "event time must not be NaN");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: time.0, seq, payload });
+        self.heap.push(Entry {
+            time: time.0,
+            seq,
+            payload,
+        });
     }
 
     /// Pops the earliest event, if any.

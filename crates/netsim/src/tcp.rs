@@ -163,7 +163,11 @@ mod tests {
         // MSS 1460 B, RTT 100 ms, p = 1 %: 1460/0.1 * 1.2247 / 0.1
         //  = 14600 * 12.247 ≈ 178.8 kB/s.
         let bw = mathis_throughput_bps(100.0, 0.01);
-        assert!((bw / 1000.0 - 178.8).abs() < 1.0, "got {} kB/s", bw / 1000.0);
+        assert!(
+            (bw / 1000.0 - 178.8).abs() < 1.0,
+            "got {} kB/s",
+            bw / 1000.0
+        );
     }
 
     #[test]
@@ -219,8 +223,7 @@ mod tests {
                 if s == d {
                     continue;
                 }
-                if let Some(ts) =
-                    bulk_transfer(&n, s, d, SimTime::from_hours(hour), 30.0, &mut rng)
+                if let Some(ts) = bulk_transfer(&n, s, d, SimTime::from_hours(hour), 30.0, &mut rng)
                 {
                     if ts.loss_rate > 0.0 && ts.bandwidth_kbps > 1.0 {
                         saw_induced = true;

@@ -10,8 +10,8 @@
 //!
 //! Generation is fully deterministic given the RNG.
 
-use detour_prng::SliceRandom;
 use detour_prng::Rng;
+use detour_prng::SliceRandom;
 
 use crate::geo::{self, CityId, Region, CITIES};
 use crate::topology::{
@@ -132,7 +132,11 @@ impl Builder {
             .iter()
             .map(|&city| {
                 let rid = RouterId(self.routers.len() as u32);
-                self.routers.push(Router { id: rid, asn: id, city });
+                self.routers.push(Router {
+                    id: rid,
+                    asn: id,
+                    city,
+                });
                 self.adjacency.push(Vec::new());
                 rid
             })
@@ -156,7 +160,14 @@ impl Builder {
         );
         for (from, to) in [(a, b), (b, a)] {
             let id = LinkId(self.links.len() as u32);
-            self.links.push(Link { id, from, to, prop_delay_ms: delay, capacity_mbps, kind });
+            self.links.push(Link {
+                id,
+                from,
+                to,
+                prop_delay_ms: delay,
+                capacity_mbps,
+                kind,
+            });
             self.adjacency[from.0 as usize].push(id);
         }
     }
@@ -272,7 +283,7 @@ pub fn generate(cfg: &TopologyConfig, rng: &mut impl Rng) -> Topology {
     let ixps = ixp_cities();
 
     let (core_cap, regional_cap, stub_cap) = match cfg.era {
-        Era::Y1995 => (45.0, 20.0, 4.0),    // T3 cores, sub-T3 regionals, ~T1+ stubs
+        Era::Y1995 => (45.0, 20.0, 4.0), // T3 cores, sub-T3 regionals, ~T1+ stubs
         Era::Y1999 => (400.0, 120.0, 20.0), // OC-12-ish cores, OC-3 regionals
     };
 
@@ -286,7 +297,10 @@ pub fn generate(cfg: &TopologyConfig, rng: &mut impl Rng) -> Topology {
         // Every other tier-1 also lands POPs abroad so world datasets have
         // transit; id parity keeps it deterministic.
         if t % 2 == 0 {
-            for &c in world.iter().filter(|&&c| !CITIES[c].region.is_north_america()) {
+            for &c in world
+                .iter()
+                .filter(|&&c| !CITIES[c].region.is_north_america())
+            {
                 if rng.gen_bool(0.35) {
                     pops.push(c);
                 }
@@ -301,7 +315,13 @@ pub fn generate(cfg: &TopologyConfig, rng: &mut impl Rng) -> Topology {
 
     // --- Regional providers: a handful of POPs in one broad area. ---
     let mut regionals = Vec::new();
-    let regions = [Region::NaWest, Region::NaCentral, Region::NaEast, Region::Europe, Region::Asia];
+    let regions = [
+        Region::NaWest,
+        Region::NaCentral,
+        Region::NaEast,
+        Region::Europe,
+        Region::Asia,
+    ];
     for r in 0..cfg.n_regional {
         // Cycle regions so each area gets coverage; NA gets the lion's share.
         let region = regions[r % if cfg.stubs_na_only { 3 } else { regions.len() }];
@@ -345,7 +365,11 @@ pub fn generate(cfg: &TopologyConfig, rng: &mut impl Rng) -> Topology {
     for i in 0..tier1s.len() {
         for j in (i + 1)..tier1s.len() {
             let (a, bb) = (tier1s[i], tier1s[j]);
-            b.as_edges.push(AsEdge { a, b: bb, rel: Relationship::Peer });
+            b.as_edges.push(AsEdge {
+                a,
+                b: bb,
+                rel: Relationship::Peer,
+            });
             let colo = colocated_pops(&b, a, bb);
             let n_points = rng.gen_range(2..=3usize).min(colo.len().max(1));
             if colo.is_empty() {
@@ -385,7 +409,11 @@ pub fn generate(cfg: &TopologyConfig, rng: &mut impl Rng) -> Topology {
         }
         let n_prov = if rng.gen_bool(0.5) { 2 } else { 1 }.min(providers.len());
         for &p in providers.iter().take(n_prov) {
-            b.as_edges.push(AsEdge { a: p, b: r, rel: Relationship::ProviderCustomer });
+            b.as_edges.push(AsEdge {
+                a: p,
+                b: r,
+                rel: Relationship::ProviderCustomer,
+            });
             let colo = colocated_pops(&b, p, r);
             let (ra, rb) = if colo.is_empty() {
                 let (ra, rb, _) = closest_pops(&b, p, r);
@@ -406,7 +434,11 @@ pub fn generate(cfg: &TopologyConfig, rng: &mut impl Rng) -> Topology {
         for j in (i + 1)..regionals.len() {
             if rng.gen_bool(cfg.regional_peering_prob) {
                 let (a, bb) = (regionals[i], regionals[j]);
-                b.as_edges.push(AsEdge { a, b: bb, rel: Relationship::Peer });
+                b.as_edges.push(AsEdge {
+                    a,
+                    b: bb,
+                    rel: Relationship::Peer,
+                });
                 let (ra, rb, _) = closest_pops(&b, a, bb);
                 let city = b.routers[ra.0 as usize].city;
                 let kind = if ixps.contains(&city) {
@@ -441,11 +473,24 @@ pub fn generate(cfg: &TopologyConfig, rng: &mut impl Rng) -> Topology {
             let k = candidates.len().min(6);
             candidates[..k].shuffle(rng);
         }
-        let n_prov = if rng.gen_bool(cfg.multihome_prob) { 2 } else { 1 };
+        let n_prov = if rng.gen_bool(cfg.multihome_prob) {
+            2
+        } else {
+            1
+        };
         for &p in candidates.iter().take(n_prov.min(candidates.len())) {
-            b.as_edges.push(AsEdge { a: p, b: s, rel: Relationship::ProviderCustomer });
+            b.as_edges.push(AsEdge {
+                a: p,
+                b: s,
+                rel: Relationship::ProviderCustomer,
+            });
             let (ra, rb, _) = closest_pops(&b, p, s);
-            b.add_link_pair(ra, rb, stub_cap * rng.gen_range(0.7..1.5), LinkKind::PrivateInterconnect);
+            b.add_link_pair(
+                ra,
+                rb,
+                stub_cap * rng.gen_range(0.7..1.5),
+                LinkKind::PrivateInterconnect,
+            );
         }
     }
 
@@ -509,7 +554,10 @@ mod tests {
         let a = topo(Era::Y1999, 1);
         let b = topo(Era::Y1999, 2);
         let same_links = a.links.len() == b.links.len()
-            && a.links.iter().zip(&b.links).all(|(x, y)| x.from == y.from && x.to == y.to);
+            && a.links
+                .iter()
+                .zip(&b.links)
+                .all(|(x, y)| x.from == y.from && x.to == y.to);
         assert!(!same_links, "seeds should produce different link sets");
     }
 
@@ -539,8 +587,12 @@ mod tests {
     #[test]
     fn tier1s_are_fully_meshed() {
         let t = topo(Era::Y1999, 5);
-        let tier1s: Vec<AsId> =
-            t.ases.iter().filter(|a| a.tier == AsTier::Tier1).map(|a| a.id).collect();
+        let tier1s: Vec<AsId> = t
+            .ases
+            .iter()
+            .filter(|a| a.tier == AsTier::Tier1)
+            .map(|a| a.id)
+            .collect();
         for (i, &a) in tier1s.iter().enumerate() {
             for &b in &tier1s[i + 1..] {
                 assert!(
@@ -587,8 +639,7 @@ mod tests {
             }
             // BFS within the AS over internal links.
             let mut seen = vec![false; n];
-            let index =
-                |r: RouterId| asys.routers.iter().position(|&x| x == r).unwrap();
+            let index = |r: RouterId| asys.routers.iter().position(|&x| x == r).unwrap();
             seen[0] = true;
             let mut queue = vec![asys.routers[0]];
             while let Some(r) = queue.pop() {
@@ -602,7 +653,11 @@ mod tests {
                     }
                 }
             }
-            assert!(seen.iter().all(|&s| s), "AS {:?} backbone disconnected", asys.id);
+            assert!(
+                seen.iter().all(|&s| s),
+                "AS {:?} backbone disconnected",
+                asys.id
+            );
         }
     }
 
@@ -628,15 +683,27 @@ mod tests {
     fn eras_have_different_capacities() {
         let t95 = topo(Era::Y1995, 12);
         let t99 = topo(Era::Y1999, 12);
-        let max95 = t95.links.iter().map(|l| l.capacity_mbps).fold(0.0, f64::max);
-        let max99 = t99.links.iter().map(|l| l.capacity_mbps).fold(0.0, f64::max);
+        let max95 = t95
+            .links
+            .iter()
+            .map(|l| l.capacity_mbps)
+            .fold(0.0, f64::max);
+        let max99 = t99
+            .links
+            .iter()
+            .map(|l| l.capacity_mbps)
+            .fold(0.0, f64::max);
         assert!(max99 > 2.0 * max95, "1999 cores should be far faster");
     }
 
     #[test]
     fn public_exchanges_exist() {
         let t = topo(Era::Y1995, 13);
-        let ixp_links = t.links.iter().filter(|l| l.kind == LinkKind::PublicExchange).count();
+        let ixp_links = t
+            .links
+            .iter()
+            .filter(|l| l.kind == LinkKind::PublicExchange)
+            .count();
         assert!(ixp_links > 0, "1995 era should use public exchange fabric");
     }
 
@@ -655,7 +722,11 @@ mod tests {
         let t = topo(Era::Y1999, 15);
         for l in &t.links {
             assert!(l.prop_delay_ms >= 0.05);
-            assert!(l.prop_delay_ms < 120.0, "one-way {} ms is unphysical", l.prop_delay_ms);
+            assert!(
+                l.prop_delay_ms < 120.0,
+                "one-way {} ms is unphysical",
+                l.prop_delay_ms
+            );
         }
     }
 }

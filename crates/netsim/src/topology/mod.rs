@@ -187,7 +187,9 @@ impl Topology {
 
     /// Outgoing links of `router`.
     pub fn links_from(&self, router: RouterId) -> impl Iterator<Item = &Link> + '_ {
-        self.adjacency[router.0 as usize].iter().map(move |&l| self.link(l))
+        self.adjacency[router.0 as usize]
+            .iter()
+            .map(move |&l| self.link(l))
     }
 
     /// The outgoing link from `a` to `b`, if one exists.

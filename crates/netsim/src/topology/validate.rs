@@ -31,44 +31,75 @@ pub fn validate(topo: &Topology) -> Vec<Violation> {
             violate("as-id-dense", format!("AS at index {i} has id {:?}", a.id));
         }
         if a.pops.len() != a.routers.len() {
-            violate("as-pops-routers", format!("{:?}: {} pops vs {} routers", a.id, a.pops.len(), a.routers.len()));
+            violate(
+                "as-pops-routers",
+                format!(
+                    "{:?}: {} pops vs {} routers",
+                    a.id,
+                    a.pops.len(),
+                    a.routers.len()
+                ),
+            );
         }
         for &r in &a.routers {
             if topo.router(r).asn != a.id {
-                violate("router-ownership", format!("{r:?} listed by {:?} but owned by {:?}", a.id, topo.router(r).asn));
+                violate(
+                    "router-ownership",
+                    format!(
+                        "{r:?} listed by {:?} but owned by {:?}",
+                        a.id,
+                        topo.router(r).asn
+                    ),
+                );
             }
         }
     }
     for (i, r) in topo.routers.iter().enumerate() {
         if r.id.0 as usize != i {
-            violate("router-id-dense", format!("router at index {i} has id {:?}", r.id));
+            violate(
+                "router-id-dense",
+                format!("router at index {i} has id {:?}", r.id),
+            );
         }
     }
     for (i, l) in topo.links.iter().enumerate() {
         if l.id.0 as usize != i {
-            violate("link-id-dense", format!("link at index {i} has id {:?}", l.id));
+            violate(
+                "link-id-dense",
+                format!("link at index {i} has id {:?}", l.id),
+            );
         }
         if l.prop_delay_ms <= 0.0 || !l.prop_delay_ms.is_finite() {
-            violate("link-delay-positive", format!("{:?}: {} ms", l.id, l.prop_delay_ms));
+            violate(
+                "link-delay-positive",
+                format!("{:?}: {} ms", l.id, l.prop_delay_ms),
+            );
         }
         if l.capacity_mbps <= 0.0 {
-            violate("link-capacity-positive", format!("{:?}: {} Mbps", l.id, l.capacity_mbps));
+            violate(
+                "link-capacity-positive",
+                format!("{:?}: {} Mbps", l.id, l.capacity_mbps),
+            );
         }
     }
 
     // --- Links come in directional pairs, kinds match endpoints ---
     for l in &topo.links {
         if topo.link_between(l.to, l.from).is_none() {
-            violate("link-pairing", format!("{:?} {:?}→{:?} has no reverse", l.id, l.from, l.to));
+            violate(
+                "link-pairing",
+                format!("{:?} {:?}→{:?} has no reverse", l.id, l.from, l.to),
+            );
         }
         let same_as = topo.router(l.from).asn == topo.router(l.to).asn;
         match l.kind {
             LinkKind::Internal if !same_as => {
                 violate("internal-link-intra-as", format!("{:?} crosses ASes", l.id))
             }
-            LinkKind::PrivateInterconnect | LinkKind::PublicExchange if same_as => {
-                violate("border-link-inter-as", format!("{:?} stays inside one AS", l.id))
-            }
+            LinkKind::PrivateInterconnect | LinkKind::PublicExchange if same_as => violate(
+                "border-link-inter-as",
+                format!("{:?} stays inside one AS", l.id),
+            ),
             _ => {}
         }
     }
@@ -77,7 +108,13 @@ pub fn validate(topo: &Topology) -> Vec<Violation> {
     for (r, adj) in topo.adjacency.iter().enumerate() {
         for &lid in adj {
             if topo.link(lid).from.0 as usize != r {
-                violate("adjacency-consistent", format!("router {r} lists {lid:?} which starts at {:?}", topo.link(lid).from));
+                violate(
+                    "adjacency-consistent",
+                    format!(
+                        "router {r} lists {lid:?} which starts at {:?}",
+                        topo.link(lid).from
+                    ),
+                );
             }
         }
     }
@@ -87,14 +124,13 @@ pub fn validate(topo: &Topology) -> Vec<Violation> {
         if e.a == e.b {
             violate("no-self-relationship", format!("{:?}", e.a));
         }
-        if e.rel == Relationship::ProviderCustomer
-            && topo.asys(e.a).tier == AsTier::Stub
-        {
-            violate("stubs-sell-no-transit", format!("{:?} provides {:?}", e.a, e.b));
+        if e.rel == Relationship::ProviderCustomer && topo.asys(e.a).tier == AsTier::Stub {
+            violate(
+                "stubs-sell-no-transit",
+                format!("{:?} provides {:?}", e.a, e.b),
+            );
         }
-        if !topo.ases_physically_connected(e.a, e.b)
-            && !topo.ases_physically_connected(e.b, e.a)
-        {
+        if !topo.ases_physically_connected(e.a, e.b) && !topo.ases_physically_connected(e.b, e.a) {
             violate("relationship-has-link", format!("{:?}-{:?}", e.a, e.b));
         }
     }
@@ -102,12 +138,18 @@ pub fn validate(topo: &Topology) -> Vec<Violation> {
     // --- Every non-tier1 AS has a provider; hosts live on stubs ---
     for a in &topo.ases {
         if a.tier != AsTier::Tier1 && topo.providers_of(a.id).count() == 0 {
-            violate("transit-for-everyone", format!("{:?} ({:?}) has no provider", a.id, a.tier));
+            violate(
+                "transit-for-everyone",
+                format!("{:?} ({:?}) has no provider", a.id, a.tier),
+            );
         }
     }
     for h in &topo.hosts {
         if topo.asys(h.asn).tier != AsTier::Stub {
-            violate("hosts-on-stubs", format!("{} lives on {:?}", h.name, topo.asys(h.asn).tier));
+            violate(
+                "hosts-on-stubs",
+                format!("{} lives on {:?}", h.name, topo.asys(h.asn).tier),
+            );
         }
         if topo.router(h.router).asn != h.asn {
             violate("host-router-as", h.name.clone());

@@ -20,7 +20,10 @@ pub struct DiurnalProfile {
 
 impl Default for DiurnalProfile {
     fn default() -> Self {
-        DiurnalProfile { night_floor: 0.35, weekend_level: 0.5 }
+        DiurnalProfile {
+            night_floor: 0.35,
+            weekend_level: 0.5,
+        }
     }
 }
 
@@ -54,11 +57,7 @@ mod tests {
     use super::*;
 
     fn factor_at(hours_from_monday_utc: f64, tz: i8) -> f64 {
-        DiurnalProfile::default().factor(
-            &Calendar,
-            SimTime::from_hours(hours_from_monday_utc),
-            tz,
-        )
+        DiurnalProfile::default().factor(&Calendar, SimTime::from_hours(hours_from_monday_utc), tz)
     }
 
     #[test]

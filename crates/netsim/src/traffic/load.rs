@@ -19,8 +19,8 @@
 //! probability that turns up sharply past a knee — idle links barely drop,
 //! saturated ones drop several percent, as in \[Bol93\]/\[Pax97a\].
 
-use detour_prng::Xoshiro256pp;
 use detour_prng::Rng;
+use detour_prng::Xoshiro256pp;
 
 use crate::geo::CITIES;
 use crate::sim::clock::{Calendar, SimTime};
@@ -232,8 +232,14 @@ impl LoadModel {
                     base = rng.gen_range(cfg.base_hot.0..cfg.base_hot.1);
                 }
                 let wander = [
-                    (rng.gen_range(0.0..std::f64::consts::TAU), rng.gen_range(0.04..0.14)),
-                    (rng.gen_range(0.0..std::f64::consts::TAU), rng.gen_range(0.03..0.10)),
+                    (
+                        rng.gen_range(0.0..std::f64::consts::TAU),
+                        rng.gen_range(0.04..0.14),
+                    ),
+                    (
+                        rng.gen_range(0.0..std::f64::consts::TAU),
+                        rng.gen_range(0.03..0.10),
+                    ),
                 ];
                 // Log-uniform per-link loss multiplier over [0.1, 10]: some
                 // links are nearly lossless, some chronically flaky.
@@ -252,15 +258,13 @@ impl LoadModel {
                 // Rare full outages, Poisson over the horizon.
                 let mut outages = Vec::new();
                 let outage_gap = 86_400.0 / cfg.outages_per_day.max(1e-9);
-                let mut ot =
-                    -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * outage_gap;
+                let mut ot = -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * outage_gap;
                 while ot < horizon_s {
                     let dur = (-(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln()
                         * cfg.outage_duration_s)
                         .max(30.0);
                     outages.push((ot, ot + dur));
-                    ot += dur
-                        + -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * outage_gap;
+                    ot += dur + -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln() * outage_gap;
                 }
                 let tz = CITIES[topo.router(l.from).city].utc_offset_hours;
                 LinkLoad {
@@ -275,7 +279,12 @@ impl LoadModel {
                 }
             })
             .collect();
-        LoadModel { cfg, profile: DiurnalProfile::default(), cal: Calendar, links }
+        LoadModel {
+            cfg,
+            profile: DiurnalProfile::default(),
+            cal: Calendar,
+            links,
+        }
     }
 
     /// Instantaneous utilization of `link` at time `t`, in `[0, 0.97]`.
@@ -332,7 +341,10 @@ impl LoadModel {
     /// and Bernoulli loss.
     pub fn sample(&self, link: LinkId, t: SimTime, rng: &mut impl Rng) -> LinkSample {
         if self.is_down(link, t) {
-            return LinkSample { queue_delay_ms: 0.0, lost: true };
+            return LinkSample {
+                queue_delay_ms: 0.0,
+                lost: true,
+            };
         }
         let rho = (self.utilization(link, t) + rng.gen_range(-0.04..0.04f64)).clamp(0.0, 0.97);
         let mean_q = self.mean_queue_delay_ms(link, rho);
@@ -342,14 +354,16 @@ impl LoadModel {
         let ln_prod: f64 = (0..4)
             .map(|_| rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln())
             .sum();
-        let mut queue_delay_ms =
-            (-mean_q / 4.0 * ln_prod).min(self.cfg.queue_cap_ms * 4.0);
+        let mut queue_delay_ms = (-mean_q / 4.0 * ln_prod).min(self.cfg.queue_cap_ms * 4.0);
         if rng.gen_bool(Self::SPIKE_PROB) {
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             queue_delay_ms += -Self::SPIKE_MEAN_MS * u.ln();
         }
         let lost = rng.gen_bool(self.loss_probability(link, rho));
-        LinkSample { queue_delay_ms, lost }
+        LinkSample {
+            queue_delay_ms,
+            lost,
+        }
     }
 }
 
@@ -359,8 +373,10 @@ mod tests {
     use crate::topology::generator::{generate, Era, TopologyConfig};
 
     fn model() -> (Topology, LoadModel) {
-        let topo =
-            generate(&TopologyConfig::for_era(Era::Y1999), &mut Xoshiro256pp::seed_from_u64(5));
+        let topo = generate(
+            &TopologyConfig::for_era(Era::Y1999),
+            &mut Xoshiro256pp::seed_from_u64(5),
+        );
         let cfg = LoadConfig::for_era(Era::Y1999);
         let lm = LoadModel::generate(&topo, cfg, 5, 14.0 * 86_400.0);
         (topo, lm)
@@ -491,7 +507,10 @@ mod tests {
                 }
             }
         }
-        assert!(found, "two weeks x hundreds of links should include an outage");
+        assert!(
+            found,
+            "two weeks x hundreds of links should include an outage"
+        );
     }
 
     #[test]
@@ -521,8 +540,10 @@ mod tests {
         let t = SimTime::from_hours(34.0); // midday Tuesday
         let mut rng = Xoshiro256pp::seed_from_u64(9);
         let n = 4000;
-        let mean: f64 =
-            (0..n).map(|_| lm.sample(l, t, &mut rng).queue_delay_ms).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| lm.sample(l, t, &mut rng).queue_delay_ms)
+            .sum::<f64>()
+            / n as f64;
         let rho = lm.utilization(l, t);
         // The sampled mean sits near the model mean plus the small constant
         // contribution of delay spikes (SPIKE_PROB × SPIKE_MEAN_MS ≈ 0.5 ms).

@@ -14,7 +14,10 @@ use detour_prng::check::check_with;
 use detour_prng::{Rng, Xoshiro256pp};
 
 fn geo_point(rng: &mut Xoshiro256pp) -> GeoPoint {
-    GeoPoint { lat: rng.gen_range(-80.0..80.0f64), lon: rng.gen_range(-180.0..180.0f64) }
+    GeoPoint {
+        lat: rng.gen_range(-80.0..80.0f64),
+        lon: rng.gen_range(-180.0..180.0f64),
+    }
 }
 
 #[test]
@@ -102,19 +105,23 @@ fn global_mode_lower_bounds_policy_modes() {
 
 #[test]
 fn flap_schedules_are_disjoint_sorted_and_deterministic() {
-    check_with("flap_schedules_are_disjoint_sorted_and_deterministic", 24, |rng| {
-        let seed = rng.gen_range(0..1000u64);
-        let (a, b) = (rng.gen_range(0..200u16), rng.gen_range(0..200u16));
-        let cfg = FlapConfig::default();
-        let horizon = 14.0 * 86_400.0;
-        let s1 = FlapSchedule::generate(&cfg, seed, AsId(a), AsId(b), horizon);
-        let s2 = FlapSchedule::generate(&cfg, seed, AsId(a), AsId(b), horizon);
-        assert_eq!(s1.episode_count(), s2.episode_count());
-        assert!(s1.total_flapped_s() <= horizon);
-        // Activity queries never panic and are false outside the horizon.
-        assert!(!s1.active_at(-1.0));
-        assert!(!s1.active_at(horizon + 1.0));
-    });
+    check_with(
+        "flap_schedules_are_disjoint_sorted_and_deterministic",
+        24,
+        |rng| {
+            let seed = rng.gen_range(0..1000u64);
+            let (a, b) = (rng.gen_range(0..200u16), rng.gen_range(0..200u16));
+            let cfg = FlapConfig::default();
+            let horizon = 14.0 * 86_400.0;
+            let s1 = FlapSchedule::generate(&cfg, seed, AsId(a), AsId(b), horizon);
+            let s2 = FlapSchedule::generate(&cfg, seed, AsId(a), AsId(b), horizon);
+            assert_eq!(s1.episode_count(), s2.episode_count());
+            assert!(s1.total_flapped_s() <= horizon);
+            // Activity queries never panic and are false outside the horizon.
+            assert!(!s1.active_at(-1.0));
+            assert!(!s1.active_at(horizon + 1.0));
+        },
+    );
 }
 
 #[test]

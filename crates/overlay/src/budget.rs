@@ -65,7 +65,10 @@ pub fn interval_sweep(
     intervals_s
         .iter()
         .map(|&probe_interval_s| {
-            let cfg = OverlayConfig { probe_interval_s, ..OverlayConfig::default() };
+            let cfg = OverlayConfig {
+                probe_interval_s,
+                ..OverlayConfig::default()
+            };
             let mut overlay = Overlay::new(members.clone(), cfg);
             let report = evaluate(net, &mut overlay, start, eval, rng);
             SweepPoint {
@@ -96,8 +99,14 @@ mod tests {
 
     #[test]
     fn budget_is_inversely_proportional_to_interval() {
-        let fast = OverlayConfig { probe_interval_s: 10.0, ..OverlayConfig::default() };
-        let slow = OverlayConfig { probe_interval_s: 100.0, ..OverlayConfig::default() };
+        let fast = OverlayConfig {
+            probe_interval_s: 10.0,
+            ..OverlayConfig::default()
+        };
+        let slow = OverlayConfig {
+            probe_interval_s: 100.0,
+            ..OverlayConfig::default()
+        };
         let bf = probe_budget(10, &fast);
         let bs = probe_budget(10, &slow);
         assert!((bf.probes_per_second / bs.probes_per_second - 10.0).abs() < 1e-9);
@@ -115,15 +124,17 @@ mod tests {
     #[test]
     fn sweep_evaluates_every_interval() {
         let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 606, 1.0));
-        let members: Vec<HostId> =
-            net.hosts().iter().take(5).map(|h| h.id).collect();
+        let members: Vec<HostId> = net.hosts().iter().take(5).map(|h| h.id).collect();
         let mut rng = Xoshiro256pp::seed_from_u64(1);
         let points = interval_sweep(
             &net,
             members,
             &[30.0, 300.0],
             SimTime::from_hours(10.0),
-            EvalConfig { duration_s: 900.0, epoch_s: 450.0 },
+            EvalConfig {
+                duration_s: 900.0,
+                epoch_s: 450.0,
+            },
             &mut rng,
         );
         assert_eq!(points.len(), 2);

@@ -26,8 +26,17 @@ impl PathEstimator {
     /// # Panics
     /// Panics unless `0 < alpha <= 1`.
     pub fn new(alpha: f64) -> PathEstimator {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
-        PathEstimator { alpha, rtt_ms: None, loss: 0.0, samples: 0, consecutive_losses: 0 }
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        PathEstimator {
+            alpha,
+            rtt_ms: None,
+            loss: 0.0,
+            samples: 0,
+            consecutive_losses: 0,
+        }
     }
 
     /// Feeds one probe outcome (`None` = lost).

@@ -23,7 +23,10 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { duration_s: 4.0 * 3600.0, epoch_s: 120.0 }
+        EvalConfig {
+            duration_s: 4.0 * 3600.0,
+            epoch_s: 120.0,
+        }
     }
 }
 
@@ -103,7 +106,9 @@ pub fn evaluate(
                 if a == b {
                     continue;
                 }
-                let Some(route) = overlay.route(a, b) else { continue };
+                let Some(route) = overlay.route(a, b) else {
+                    continue;
+                };
                 report.total += 1;
                 if route.is_detour() {
                     report.detours_selected += 1;
@@ -113,7 +118,12 @@ pub fn evaluate(
                 let direct = overlay
                     .send(
                         net,
-                        OverlayRoute { src: a, dst: b, via: None, estimated_ms: 0.0 },
+                        OverlayRoute {
+                            src: a,
+                            dst: b,
+                            via: None,
+                            estimated_ms: 0.0,
+                        },
                         t_send,
                         rng,
                     )
@@ -157,13 +167,15 @@ mod tests {
     fn evaluation_produces_consistent_counts() {
         let (net, mut ov) = setup();
         let mut rng = Xoshiro256pp::seed_from_u64(1);
-        let cfg = EvalConfig { duration_s: 1200.0, epoch_s: 300.0 };
+        let cfg = EvalConfig {
+            duration_s: 1200.0,
+            epoch_s: 300.0,
+        };
         let r = evaluate(&net, &mut ov, SimTime::from_hours(19.0), cfg, &mut rng);
         assert_eq!(r.epochs, 4);
         assert_eq!(r.total, 4 * 7 * 6);
         assert!(
-            r.overlay_faster + r.default_faster + r.overlay_rescued + r.overlay_dropped
-                <= r.total
+            r.overlay_faster + r.default_faster + r.overlay_rescued + r.overlay_dropped <= r.total
         );
         assert!((0.0..=1.0).contains(&r.win_rate()));
     }
@@ -175,7 +187,10 @@ mod tests {
         // mean saving must not be a large negative number.
         let (net, mut ov) = setup();
         let mut rng = Xoshiro256pp::seed_from_u64(2);
-        let cfg = EvalConfig { duration_s: 2400.0, epoch_s: 300.0 };
+        let cfg = EvalConfig {
+            duration_s: 2400.0,
+            epoch_s: 300.0,
+        };
         let r = evaluate(&net, &mut ov, SimTime::from_hours(19.0), cfg, &mut rng);
         assert!(
             r.mean_saving_ms() > -10.0,

@@ -61,7 +61,12 @@ impl Overlay {
         assert_eq!(sorted.len(), members.len(), "duplicate overlay members");
         let n = members.len();
         let table = vec![vec![PathEstimator::new(cfg.ewma_alpha); n]; n];
-        Overlay { cfg, members, table, probe_rounds: 0 }
+        Overlay {
+            cfg,
+            members,
+            table,
+            probe_rounds: 0,
+        }
     }
 
     /// The configuration in force.
@@ -199,7 +204,10 @@ mod tests {
     #[test]
     fn run_paces_by_interval() {
         let n = net();
-        let cfg = OverlayConfig { probe_interval_s: 60.0, ..Default::default() };
+        let cfg = OverlayConfig {
+            probe_interval_s: 60.0,
+            ..Default::default()
+        };
         let mut ov = Overlay::new(members(&n, 3), cfg);
         let mut rng = Xoshiro256pp::seed_from_u64(3);
         ov.run(&n, SimTime::from_hours(5.0), 600.0, &mut rng);

@@ -60,11 +60,12 @@ impl Overlay {
             if m == src || m == dst {
                 continue;
             }
-            let (Some(leg1), Some(leg2)) = (self.estimate(src, m), self.estimate(m, dst))
-            else {
+            let (Some(leg1), Some(leg2)) = (self.estimate(src, m), self.estimate(m, dst)) else {
                 continue;
             };
-            let (Some(s1), Some(s2)) = (leg1.score_ms(), leg2.score_ms()) else { continue };
+            let (Some(s1), Some(s2)) = (leg1.score_ms(), leg2.score_ms()) else {
+                continue;
+            };
             let score = s1 + s2 + self.config().relay_overhead_ms;
             if best.is_none_or(|(b, _)| score < b) {
                 best = Some((score, m));
@@ -73,16 +74,27 @@ impl Overlay {
 
         let threshold = 1.0 - self.config().switch_threshold;
         match best {
-            Some((score, via))
-                if direct.looks_down() && score < direct_score =>
-            {
+            Some((score, via)) if direct.looks_down() && score < direct_score => {
                 // Outage failover: any live detour beats a dead direct path.
-                Some(OverlayRoute { src, dst, via: Some(via), estimated_ms: score })
+                Some(OverlayRoute {
+                    src,
+                    dst,
+                    via: Some(via),
+                    estimated_ms: score,
+                })
             }
-            Some((score, via)) if score < direct_score * threshold => {
-                Some(OverlayRoute { src, dst, via: Some(via), estimated_ms: score })
-            }
-            _ => Some(OverlayRoute { src, dst, via: None, estimated_ms: direct_score }),
+            Some((score, via)) if score < direct_score * threshold => Some(OverlayRoute {
+                src,
+                dst,
+                via: Some(via),
+                estimated_ms: score,
+            }),
+            _ => Some(OverlayRoute {
+                src,
+                dst,
+                via: None,
+                estimated_ms: direct_score,
+            }),
         }
     }
 
@@ -193,12 +205,21 @@ mod tests {
         let ov = warmed(&n, 6, &mut rng);
         let (a, b) = (ov.members()[0], ov.members()[3]);
         let via = ov.members()[1];
-        let forced = OverlayRoute { src: a, dst: b, via: Some(via), estimated_ms: 0.0 };
+        let forced = OverlayRoute {
+            src: a,
+            dst: b,
+            via: Some(via),
+            estimated_ms: 0.0,
+        };
         let mut got = 0;
         let mut sum = 0.0;
         for k in 0..30 {
-            let out =
-                ov.send(&n, forced, SimTime::from_hours(18.2 + k as f64 * 0.001), &mut rng);
+            let out = ov.send(
+                &n,
+                forced,
+                SimTime::from_hours(18.2 + k as f64 * 0.001),
+                &mut rng,
+            );
             if let Some(r) = out.rtt_ms {
                 got += 1;
                 sum += r;
@@ -218,7 +239,10 @@ mod tests {
         let n = net();
         let mut rng = Xoshiro256pp::seed_from_u64(4);
         let members: Vec<HostId> = n.hosts().iter().take(8).map(|h| h.id).collect();
-        let cfg = OverlayConfig { switch_threshold: 0.95, ..Default::default() };
+        let cfg = OverlayConfig {
+            switch_threshold: 0.95,
+            ..Default::default()
+        };
         let mut ov = Overlay::new(members, cfg);
         ov.run(&n, SimTime::from_hours(18.0), 300.0, &mut rng);
         for &a in ov.members() {

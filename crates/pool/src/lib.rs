@@ -127,11 +127,24 @@ pub fn threads() -> usize {
 ///
 /// Falls back to a plain sequential map when the budget is one thread,
 /// the input is tiny, or the caller is itself a pool worker.
-pub fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     parallel_map_init(items, || (), |(), item| f(item))
+}
+
+/// Maps `f` over `items` and concatenates the per-item `Vec`s in input
+/// order — the fan-out shape for *batched* work, where each task carries a
+/// slice's worth of real computation (a request batch in the measurement
+/// campaign, one source's pair group in the sweep kernel) instead of a
+/// single cheap item. Equivalent to
+/// `parallel_map(items, f).into_iter().flatten().collect()` but spelled
+/// once, so call sites keep the deterministic-merge property obvious.
+pub fn parallel_flat_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> Vec<R> + Sync) -> Vec<R> {
+    let nested = parallel_map(items, f);
+    let mut out = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+    for v in nested {
+        out.extend(v);
+    }
+    out
 }
 
 /// Fallible variant of [`parallel_map`]: a panicking closure yields a
@@ -253,7 +266,11 @@ pub fn try_parallel_map_init<T: Sync, R: Send, S>(
                 }
                 Ok(Err((item, payload))) | Err((item, payload)) => {
                     if first_panic.is_none() {
-                        first_panic = Some(WorkerPanic { worker: w, item, payload });
+                        first_panic = Some(WorkerPanic {
+                            worker: w,
+                            item,
+                            payload,
+                        });
                     }
                 }
             }
@@ -332,9 +349,24 @@ mod tests {
             let inner: Vec<usize> = (0..20).collect();
             parallel_map(&inner, |&j| i * 100 + j).iter().sum::<usize>()
         });
-        let expect: Vec<usize> =
-            (0..8).map(|i| (0..20).map(|j| i * 100 + j).sum()).collect();
+        let expect: Vec<usize> = (0..8).map(|i| (0..20).map(|j| i * 100 + j).sum()).collect();
         assert_eq!(out, expect);
+        set_threads(0);
+    }
+
+    #[test]
+    fn flat_map_concatenates_in_input_order() {
+        let _guard = thread_budget_lock();
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .flat_map(|&x| (0..x % 4).map(move |k| x * 10 + k))
+            .collect();
+        for t in [1usize, 2, 8] {
+            set_threads(t);
+            let out = parallel_flat_map(&items, |&x| (0..x % 4).map(|k| x * 10 + k).collect());
+            assert_eq!(out, expect, "thread count {t} changed results");
+        }
         set_threads(0);
     }
 
@@ -352,15 +384,11 @@ mod tests {
         let items: Vec<u64> = (0..300).collect();
         // State = a scratch buffer; correctness must not depend on which
         // worker processed which item, only on the item itself.
-        let out = parallel_map_init(
-            &items,
-            Vec::<u64>::new,
-            |scratch, &x| {
-                scratch.clear();
-                scratch.extend((0..(x % 5)).map(|i| x + i));
-                scratch.iter().sum::<u64>()
-            },
-        );
+        let out = parallel_map_init(&items, Vec::<u64>::new, |scratch, &x| {
+            scratch.clear();
+            scratch.extend((0..(x % 5)).map(|i| x + i));
+            scratch.iter().sum::<u64>()
+        });
         let mut state = Vec::new();
         let expect: Vec<u64> = items
             .iter()
@@ -408,10 +436,7 @@ mod tests {
             })
         })
         .expect_err("parallel_map must still panic on a poisoned item");
-        let msg = caught
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(
             msg.contains("item 31") && msg.contains("original payload"),
             "re-panic should carry worker context, got: {msg}"
@@ -424,12 +449,8 @@ mod tests {
         let _guard = thread_budget_lock();
         set_threads(4);
         let items: Vec<u32> = (0..100).collect();
-        let err = try_parallel_map_init(
-            &items,
-            || -> u32 { panic!("init exploded") },
-            |_, &x| x,
-        )
-        .expect_err("init panic must be captured");
+        let err = try_parallel_map_init(&items, || -> u32 { panic!("init exploded") }, |_, &x| x)
+            .expect_err("init panic must be captured");
         assert_eq!(err.payload, "init exploded");
         set_threads(0);
     }

@@ -77,7 +77,9 @@ impl Xoshiro256pp {
         // All-zero state would be a fixed point; SplitMix64 cannot produce
         // four zeros from one seed, but guard anyway.
         if s == [0, 0, 0, 0] {
-            return Xoshiro256pp { s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3] };
+            return Xoshiro256pp {
+                s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+            };
         }
         Xoshiro256pp { s }
     }
@@ -99,9 +101,7 @@ impl Xoshiro256pp {
     ///   designed for; nearby indices yield uncorrelated streams.
     pub fn stream(key: u64, index: u64) -> Xoshiro256pp {
         let base = SplitMix64::new(key).next_u64();
-        Xoshiro256pp::seed_from_u64(
-            base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        )
+        Xoshiro256pp::seed_from_u64(base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
     }
 
     /// Next 64-bit output (the ++ scrambler).

@@ -20,8 +20,9 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> Option<f64> {
     if denom <= 0.0 {
         return None;
     }
-    let num: f64 =
-        (0..n - k).map(|i| (xs[i] - mean) * (xs[i + k] - mean)).sum();
+    let num: f64 = (0..n - k)
+        .map(|i| (xs[i] - mean) * (xs[i + k] - mean))
+        .sum();
     Some(num / denom)
 }
 
@@ -50,8 +51,8 @@ pub fn effective_sample_size(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use detour_prng::Xoshiro256pp;
     use detour_prng::Rng;
+    use detour_prng::Xoshiro256pp;
 
     #[test]
     fn lag_zero_is_one() {
@@ -96,7 +97,9 @@ mod tests {
 
     #[test]
     fn alternating_series_has_negative_lag1() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1).unwrap() < -0.9);
         // Negative autocorrelation must not inflate ESS beyond n.
         assert!(effective_sample_size(&xs) <= 100.0);

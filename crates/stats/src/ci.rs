@@ -90,14 +90,22 @@ impl MeanEstimate {
         let mean = parts.iter().map(|p| p.mean).sum();
         let var: f64 = parts.iter().map(|p| p.var_of_mean).sum();
         let df = satterthwaite(parts);
-        Some(MeanEstimate { mean, var_of_mean: var, df })
+        Some(MeanEstimate {
+            mean,
+            var_of_mean: var,
+            df,
+        })
     }
 
     /// The difference `self − other` as a new estimate (Welch).
     pub fn diff(&self, other: &MeanEstimate) -> MeanEstimate {
         let var = self.var_of_mean + other.var_of_mean;
         let df = satterthwaite(&[*self, *other]);
-        MeanEstimate { mean: self.mean - other.mean, var_of_mean: var, df }
+        MeanEstimate {
+            mean: self.mean - other.mean,
+            var_of_mean: var,
+            df,
+        }
     }
 
     /// Confidence interval `mean ± t[(1+level)/2; df] · sqrt(var_of_mean)`.
@@ -108,7 +116,11 @@ impl MeanEstimate {
         } else {
             0.0
         };
-        ConfidenceInterval { center: self.mean, half_width, level }
+        ConfidenceInterval {
+            center: self.mean,
+            half_width,
+            level,
+        }
     }
 }
 
@@ -118,7 +130,11 @@ fn satterthwaite(parts: &[MeanEstimate]) -> f64 {
     let total: f64 = parts.iter().map(|p| p.var_of_mean).sum();
     if total <= 0.0 {
         // Degenerate (zero-variance) estimates: fall back to the smallest df.
-        return parts.iter().map(|p| p.df).fold(f64::INFINITY, f64::min).max(1.0);
+        return parts
+            .iter()
+            .map(|p| p.df)
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0);
     }
     let denom: f64 = parts
         .iter()
@@ -146,7 +162,11 @@ mod tests {
         let est = MeanEstimate::from_summary(&summary(&[10.0, 12.0, 14.0]));
         let ci = est.ci(0.95);
         assert!((ci.center - 12.0).abs() < 1e-12);
-        assert!((ci.half_width - 4.968).abs() < 1e-2, "hw = {}", ci.half_width);
+        assert!(
+            (ci.half_width - 4.968).abs() < 1e-2,
+            "hw = {}",
+            ci.half_width
+        );
     }
 
     #[test]
@@ -159,8 +179,16 @@ mod tests {
 
     #[test]
     fn composition_adds_means_and_variances() {
-        let a = MeanEstimate { mean: 10.0, var_of_mean: 1.0, df: 9.0 };
-        let b = MeanEstimate { mean: 20.0, var_of_mean: 2.0, df: 19.0 };
+        let a = MeanEstimate {
+            mean: 10.0,
+            var_of_mean: 1.0,
+            df: 9.0,
+        };
+        let b = MeanEstimate {
+            mean: 20.0,
+            var_of_mean: 2.0,
+            df: 19.0,
+        };
         let s = MeanEstimate::sum(&[a, b]).unwrap();
         assert_eq!(s.mean, 30.0);
         assert_eq!(s.var_of_mean, 3.0);
@@ -174,32 +202,60 @@ mod tests {
 
     #[test]
     fn welch_df_between_min_and_sum() {
-        let a = MeanEstimate { mean: 0.0, var_of_mean: 1.0, df: 5.0 };
-        let b = MeanEstimate { mean: 0.0, var_of_mean: 1.0, df: 5.0 };
+        let a = MeanEstimate {
+            mean: 0.0,
+            var_of_mean: 1.0,
+            df: 5.0,
+        };
+        let b = MeanEstimate {
+            mean: 0.0,
+            var_of_mean: 1.0,
+            df: 5.0,
+        };
         let d = a.diff(&b);
         assert!(d.df >= 5.0 && d.df <= 10.0, "df = {}", d.df);
     }
 
     #[test]
     fn diff_ci_classification() {
-        let big = MeanEstimate { mean: 100.0, var_of_mean: 1.0, df: 30.0 };
-        let small = MeanEstimate { mean: 10.0, var_of_mean: 1.0, df: 30.0 };
+        let big = MeanEstimate {
+            mean: 100.0,
+            var_of_mean: 1.0,
+            df: 30.0,
+        };
+        let small = MeanEstimate {
+            mean: 10.0,
+            var_of_mean: 1.0,
+            df: 30.0,
+        };
         assert!(big.diff(&small).ci(0.95).above_zero());
         assert!(small.diff(&big).ci(0.95).below_zero());
-        let close = MeanEstimate { mean: 10.5, var_of_mean: 1.0, df: 30.0 };
+        let close = MeanEstimate {
+            mean: 10.5,
+            var_of_mean: 1.0,
+            df: 30.0,
+        };
         assert!(small.diff(&close).ci(0.95).contains_zero());
     }
 
     #[test]
     fn wider_level_gives_wider_interval() {
-        let est = MeanEstimate { mean: 1.0, var_of_mean: 4.0, df: 10.0 };
+        let est = MeanEstimate {
+            mean: 1.0,
+            var_of_mean: 4.0,
+            df: 10.0,
+        };
         assert!(est.ci(0.99).half_width > est.ci(0.95).half_width);
         assert!(est.ci(0.95).half_width > est.ci(0.50).half_width);
     }
 
     #[test]
     fn endpoints_are_consistent() {
-        let ci = ConfidenceInterval { center: 3.0, half_width: 2.0, level: 0.95 };
+        let ci = ConfidenceInterval {
+            center: 3.0,
+            half_width: 2.0,
+            level: 0.95,
+        };
         assert_eq!(ci.lo(), 1.0);
         assert_eq!(ci.hi(), 5.0);
         assert!(!ci.contains_zero());

@@ -43,7 +43,11 @@ impl SampleDist {
             let i = (((x - origin) / width).floor() as usize).min(bins - 1);
             mass[i] += per;
         }
-        Some(SampleDist { origin, width, mass })
+        Some(SampleDist {
+            origin,
+            width,
+            mass,
+        })
     }
 
     /// A distribution holding all mass at one point (the identity of
@@ -51,7 +55,11 @@ impl SampleDist {
     pub fn point(value: f64, width: f64) -> SampleDist {
         assert!(width > 0.0);
         let origin = (value / width).floor() * width;
-        SampleDist { origin, width, mass: vec![1.0] }
+        SampleDist {
+            origin,
+            width,
+            mass: vec![1.0],
+        }
     }
 
     /// Bin width of the grid.
@@ -91,7 +99,11 @@ impl SampleDist {
                 mass[i + j] += a * b;
             }
         }
-        SampleDist { origin: self.origin + other.origin, width: self.width, mass }
+        SampleDist {
+            origin: self.origin + other.origin,
+            width: self.width,
+            mass,
+        }
     }
 
     /// The `q`-quantile of the discretized distribution (bin-center
@@ -197,17 +209,23 @@ mod tests {
         let a = SampleDist::from_samples(&xs, 0.5).unwrap();
         let b = SampleDist::from_samples(&ys, 0.5).unwrap();
         let conv_median = a.convolve(&b).median();
-        let mut sums: Vec<f64> =
-            xs.iter().flat_map(|&x| ys.iter().map(move |&y| x + y)).collect();
+        let mut sums: Vec<f64> = xs
+            .iter()
+            .flat_map(|&x| ys.iter().map(move |&y| x + y))
+            .collect();
         sums.sort_by(|p, q| p.partial_cmp(q).unwrap());
         let exact = crate::quantile::quantile_sorted(&sums, 0.5);
-        assert!((conv_median - exact).abs() <= 1.5, "{conv_median} vs {exact}");
+        assert!(
+            (conv_median - exact).abs() <= 1.5,
+            "{conv_median} vs {exact}"
+        );
     }
 
     #[test]
     fn convolve_all_handles_chain() {
-        let hops: Vec<SampleDist> =
-            (0..4).map(|i| SampleDist::point(10.0 * (i + 1) as f64, 1.0)).collect();
+        let hops: Vec<SampleDist> = (0..4)
+            .map(|i| SampleDist::point(10.0 * (i + 1) as f64, 1.0))
+            .collect();
         let total = convolve_all(hops.iter()).unwrap();
         // 10 + 20 + 30 + 40 = 100, within grid slack.
         assert!((total.median() - 100.0).abs() <= 2.0);

@@ -90,7 +90,10 @@ impl Cdf {
     /// mirroring the paper's trimming of long tails: the y-values are kept
     /// as absolute fractions so a trimmed curve "does not reach 100 %".
     pub fn trim(&self, lo: f64, hi: f64) -> Vec<(f64, f64)> {
-        self.points().into_iter().filter(|&(x, _)| x >= lo && x <= hi).collect()
+        self.points()
+            .into_iter()
+            .filter(|&(x, _)| x >= lo && x <= hi)
+            .collect()
     }
 
     /// Samples the CDF at `n + 1` evenly spaced x positions across `[lo, hi]`,

@@ -26,7 +26,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Number of bins.
@@ -72,7 +77,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Builds a histogram from samples, sizing the range to the data.
@@ -85,7 +93,11 @@ impl Histogram {
             return None;
         }
         // Widen a degenerate range so a constant sample still bins cleanly.
-        let (lo, hi) = if hi > lo { (lo, hi) } else { (lo - 0.5, hi + 0.5) };
+        let (lo, hi) = if hi > lo {
+            (lo, hi)
+        } else {
+            (lo - 0.5, hi + 0.5)
+        };
         let mut h = Histogram::new(lo, hi * (1.0 + 1e-9) + 1e-12, bins);
         for &x in xs {
             h.record(x);

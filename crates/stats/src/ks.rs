@@ -68,7 +68,11 @@ pub fn ks_two_sample(a: &Cdf, b: &Cdf) -> Option<KsTest> {
     let ne = (n * m / (n + m)).sqrt();
     // Asymptotic with the standard small-sample correction.
     let lambda = (ne + 0.12 + 0.11 / ne) * d;
-    Some(KsTest { statistic: d, p_value: kolmogorov_q(lambda), n: (a.len(), b.len()) })
+    Some(KsTest {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        n: (a.len(), b.len()),
+    })
 }
 
 #[cfg(test)]
@@ -100,8 +104,8 @@ mod tests {
 
     #[test]
     fn shifted_distributions_are_detected_with_enough_data() {
-        use detour_prng::Xoshiro256pp;
         use detour_prng::Rng;
+        use detour_prng::Xoshiro256pp;
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let a = cdf((0..400).map(|_| rng.gen_range(0.0..1.0f64)));
         let b = cdf((0..400).map(|_| rng.gen_range(0.25..1.25f64)));
@@ -112,13 +116,17 @@ mod tests {
 
     #[test]
     fn same_distribution_different_draws_pass() {
-        use detour_prng::Xoshiro256pp;
         use detour_prng::Rng;
+        use detour_prng::Xoshiro256pp;
         let mut rng = Xoshiro256pp::seed_from_u64(6);
         let a = cdf((0..300).map(|_| rng.gen_range(0.0..1.0f64)));
         let b = cdf((0..300).map(|_| rng.gen_range(0.0..1.0f64)));
         let t = ks_two_sample(&a, &b).unwrap();
-        assert!(!t.distinguishable_at(0.01), "false positive: p = {}", t.p_value);
+        assert!(
+            !t.distinguishable_at(0.01),
+            "false positive: p = {}",
+            t.p_value
+        );
     }
 
     #[test]

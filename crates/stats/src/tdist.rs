@@ -46,15 +46,17 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// Uses the continued-fraction expansion (modified Lentz), with the standard
 /// symmetry switch for fast convergence.
 pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "inc_beta requires positive shape parameters");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "inc_beta requires positive shape parameters"
+    );
     if x <= 0.0 {
         return 0.0;
     }
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
@@ -134,7 +136,10 @@ pub fn t_cdf(t: f64, df: f64) -> f64 {
 ///
 /// `t_quantile(0.975, v)` is the paper's `t[.975; v]`.
 pub fn t_quantile(p: f64, df: f64) -> f64 {
-    assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0, 1), got {p}");
+    assert!(
+        (0.0..1.0).contains(&p) && p > 0.0,
+        "p must be in (0, 1), got {p}"
+    );
     assert!(df > 0.0);
     if (p - 0.5).abs() < 1e-15 {
         return 0.0;
@@ -175,8 +180,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -190,9 +194,18 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Gamma(n) = (n-1)!
-        let cases = [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)];
+        let cases = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (7.0, 720.0),
+        ];
         for (x, expect) in cases {
-            assert!((ln_gamma(x).exp() - expect).abs() / expect < 1e-10, "Gamma({x})");
+            assert!(
+                (ln_gamma(x).exp() - expect).abs() / expect < 1e-10,
+                "Gamma({x})"
+            );
         }
     }
 
@@ -241,7 +254,10 @@ mod tests {
         ];
         for (df, expect) in table {
             let got = t_quantile(0.975, df);
-            assert!((got - expect).abs() < 2e-3, "df={df}: got {got}, want {expect}");
+            assert!(
+                (got - expect).abs() < 2e-3,
+                "df={df}: got {got}, want {expect}"
+            );
         }
     }
 

@@ -101,7 +101,11 @@ mod tests {
     use super::*;
 
     fn est(mean: f64, var_of_mean: f64, df: f64) -> MeanEstimate {
-        MeanEstimate { mean, var_of_mean, df }
+        MeanEstimate {
+            mean,
+            var_of_mean,
+            df,
+        }
     }
 
     #[test]

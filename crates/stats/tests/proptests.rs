@@ -103,7 +103,9 @@ fn convolution_conserves_mass_and_adds_means() {
     check("convolution_conserves_mass_and_adds_means", |rng| {
         let gen_vec = |rng: &mut Xoshiro256pp| {
             let n = rng.gen_range(1..40usize);
-            (0..n).map(|_| rng.gen_range(0.0..500.0f64)).collect::<Vec<_>>()
+            (0..n)
+                .map(|_| rng.gen_range(0.0..500.0f64))
+                .collect::<Vec<_>>()
         };
         let (xs, ys) = (gen_vec(rng), gen_vec(rng));
         let a = SampleDist::from_samples(&xs, 2.0).unwrap();
@@ -113,8 +115,8 @@ fn convolution_conserves_mass_and_adds_means() {
         // Means add within discretization slack (two bin widths).
         assert!((c.mean() - (a.mean() + b.mean())).abs() < 4.0);
         // Median of the sum is within the supports' sum.
-        let max_sum = xs.iter().fold(0.0f64, |m, &v| m.max(v))
-            + ys.iter().fold(0.0f64, |m, &v| m.max(v));
+        let max_sum =
+            xs.iter().fold(0.0f64, |m, &v| m.max(v)) + ys.iter().fold(0.0f64, |m, &v| m.max(v));
         assert!(c.median() <= max_sum + 4.0);
     });
 }
@@ -184,7 +186,11 @@ fn composed_estimates_add_means() {
             .collect();
         let ests: Vec<MeanEstimate> = parts
             .iter()
-            .map(|&(m, v, d)| MeanEstimate { mean: m, var_of_mean: v, df: d })
+            .map(|&(m, v, d)| MeanEstimate {
+                mean: m,
+                var_of_mean: v,
+                df: d,
+            })
             .collect();
         let sum = MeanEstimate::sum(&ests).unwrap();
         let expect_mean: f64 = parts.iter().map(|p| p.0).sum();

@@ -36,7 +36,9 @@ fn main() {
     let mut blame_ms: HashMap<u16, f64> = HashMap::new();
     let mut appearances: HashMap<u16, usize> = HashMap::new();
     for cmp in &losers {
-        let edge = graph.edge(cmp.pair.src, cmp.pair.dst).expect("compared pairs have edges");
+        let edge = graph
+            .edge(cmp.pair.src, cmp.pair.dst)
+            .expect("compared pairs have edges");
         let path = &edge.modal_as_path;
         if path.len() <= 2 {
             continue;
@@ -55,7 +57,11 @@ fn main() {
         println!(
             "{asn:>6} {ms:>12.0} {:>10}   {}",
             appearances[asn],
-            if *ms > ranked[0].1 * 0.5 { "heavily implicated" } else { "" }
+            if *ms > ranked[0].1 * 0.5 {
+                "heavily implicated"
+            } else {
+                ""
+            }
         );
     }
 

@@ -22,14 +22,26 @@ fn main() {
     cfg.load.outage_duration_s = 10.0 * 60.0;
     let net = Network::generate(&cfg);
 
-    let members: Vec<HostId> = net.hosts().iter().step_by(4).take(8).map(|h| h.id).collect();
-    println!("overlay of {} members on an outage-prone network:", members.len());
+    let members: Vec<HostId> = net
+        .hosts()
+        .iter()
+        .step_by(4)
+        .take(8)
+        .map(|h| h.id)
+        .collect();
+    println!(
+        "overlay of {} members on an outage-prone network:",
+        members.len()
+    );
     for &m in &members {
         println!("  {}", net.host(m).name);
     }
 
     // Fast probing so outages are detected within a probe interval or two.
-    let ocfg = OverlayConfig { probe_interval_s: 15.0, ..OverlayConfig::default() };
+    let ocfg = OverlayConfig {
+        probe_interval_s: 15.0,
+        ..OverlayConfig::default()
+    };
     let budget = probe_budget(members.len(), &ocfg);
     println!(
         "\nprobe budget: {:.1} probes/s mesh-wide ({:.0} B/s)",
@@ -38,8 +50,17 @@ fn main() {
 
     let mut overlay = Overlay::new(members, ocfg);
     let mut rng = Xoshiro256pp::seed_from_u64(99);
-    let eval = EvalConfig { duration_s: 6.0 * 3600.0, epoch_s: 120.0 };
-    let r = evaluate(&net, &mut overlay, SimTime::from_hours(10.0), eval, &mut rng);
+    let eval = EvalConfig {
+        duration_s: 6.0 * 3600.0,
+        epoch_s: 120.0,
+    };
+    let r = evaluate(
+        &net,
+        &mut overlay,
+        SimTime::from_hours(10.0),
+        eval,
+        &mut rng,
+    );
 
     println!("\nover {} epochs ({} pair-sends):", r.epochs, r.total);
     println!(
@@ -51,7 +72,10 @@ fn main() {
         "  deliveries decided on speed: overlay faster {} / default faster {}",
         r.overlay_faster, r.default_faster
     );
-    println!("  mean saving: {:+.2} ms per mutually delivered packet", r.mean_saving_ms());
+    println!(
+        "  mean saving: {:+.2} ms per mutually delivered packet",
+        r.mean_saving_ms()
+    );
 
     let net_rescues = r.overlay_rescued as i64 - r.overlay_dropped as i64;
     println!(

@@ -17,7 +17,13 @@ use detour_prng::Xoshiro256pp;
 
 fn main() {
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 0xe41a, 2.0));
-    let members: Vec<HostId> = net.hosts().iter().step_by(5).take(8).map(|h| h.id).collect();
+    let members: Vec<HostId> = net
+        .hosts()
+        .iter()
+        .step_by(5)
+        .take(8)
+        .map(|h| h.id)
+        .collect();
     println!("overlay members:");
     for &m in &members {
         println!("  {}", net.host(m).name);
@@ -29,11 +35,20 @@ fn main() {
     // Tuesday 06:00 PST (14:00 UTC, trace starts Monday 00:00 UTC): the
     // morning ramp, where the paper found alternate paths help the most.
     let start = SimTime::from_hours(24.0 + 14.0);
-    let cfg = EvalConfig { duration_s: 4.0 * 3600.0, epoch_s: 180.0 };
-    println!("\nevaluating for {} hours of simulated time...", cfg.duration_s / 3600.0);
+    let cfg = EvalConfig {
+        duration_s: 4.0 * 3600.0,
+        epoch_s: 180.0,
+    };
+    println!(
+        "\nevaluating for {} hours of simulated time...",
+        cfg.duration_s / 3600.0
+    );
     let report = evaluate(&net, &mut overlay, start, cfg, &mut rng);
 
-    println!("\nresults over {} epochs, {} pair-sends:", report.epochs, report.total);
+    println!(
+        "\nresults over {} epochs, {} pair-sends:",
+        report.epochs, report.total
+    );
     println!(
         "  detours selected:      {:>6}  ({:.1}% of pair-epochs)",
         report.detours_selected,
@@ -53,7 +68,10 @@ fn main() {
         "  packets sacrificed:    {:>6}  (overlay dropped, default delivered)",
         report.overlay_dropped
     );
-    println!("  mean saving:           {:>9.2} ms per delivered pair-send", report.mean_saving_ms());
+    println!(
+        "  mean saving:           {:>9.2} ms per delivered pair-send",
+        report.mean_saving_ms()
+    );
 
     if report.mean_saving_ms() > 0.0 {
         println!("\nthe overlay beat default Internet routing on average — the");

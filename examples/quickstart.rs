@@ -32,7 +32,10 @@ fn main() {
     let rtt = summarize(&rtt_cmp, 20.0);
     let ratios = ratio_cdf(&rtt_cmp);
     println!("round-trip time across {} host pairs:", rtt.pairs);
-    println!("  {:>5.1}%  have a faster alternate path", 100.0 * rtt.frac_better);
+    println!(
+        "  {:>5.1}%  have a faster alternate path",
+        100.0 * rtt.frac_better
+    );
     println!(
         "  {:>5.1}%  improve by 20 ms or more",
         100.0 * rtt.frac_significantly_better
@@ -46,7 +49,10 @@ fn main() {
     let loss_cmp = compare_all_pairs(&cx, &Loss, SearchDepth::Unrestricted);
     let loss = summarize(&loss_cmp, 0.05);
     println!("\nloss rate across {} host pairs:", loss.pairs);
-    println!("  {:>5.1}%  have a lower-loss alternate path", 100.0 * loss.frac_better);
+    println!(
+        "  {:>5.1}%  have a lower-loss alternate path",
+        100.0 * loss.frac_better
+    );
     println!(
         "  {:>5.1}%  improve by 5 percentage points or more",
         100.0 * loss.frac_significantly_better
@@ -69,7 +75,11 @@ fn main() {
     println!("  default path:   {:>7.1} ms", best.default_value);
     println!(
         "  via {:<28} {:>7.1} ms  ({:+.1} ms)",
-        best.via.iter().map(|&h| name(h)).collect::<Vec<_>>().join(" -> "),
+        best.via
+            .iter()
+            .map(|&h| name(h))
+            .collect::<Vec<_>>()
+            .join(" -> "),
         best.alternate_value,
         -best.improvement()
     );

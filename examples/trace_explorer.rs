@@ -24,7 +24,10 @@ fn main() {
         Some(p) => PathBuf::from(p),
         None => {
             let p = std::env::temp_dir().join("detour-explorer-uw4b.trace");
-            println!("no trace given; generating a reduced UW4-B to {}", p.display());
+            println!(
+                "no trace given; generating a reduced UW4-B to {}",
+                p.display()
+            );
             let ds = DatasetId::Uw4B.generate_scaled(10, 4);
             tracefile::save(&ds, &p).expect("write trace");
             p

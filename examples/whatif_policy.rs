@@ -34,11 +34,8 @@ fn main() {
     ] {
         // Same era, same seed, same measurement campaign — only the
         // path-selection rule differs.
-        let mut cfg = NetworkConfig::for_era(
-            Era::Y1999,
-            spec.network_seed,
-            spec.duration_days / 4.0,
-        );
+        let mut cfg =
+            NetworkConfig::for_era(Era::Y1999, spec.network_seed, spec.duration_days / 4.0);
         cfg.mode = mode;
         let net = Network::generate(&cfg);
         let ds = generate_on(&net, &spec, scale);

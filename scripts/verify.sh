@@ -10,9 +10,9 @@
 # Usage: scripts/verify.sh [--fresh] [--smoke]
 #   --fresh   purge the trace cache under results/cache/ first, so the
 #             baseline's cold-start timing starts from an empty disk
-#   --smoke   stop after the smoke tier (lint, build, chaos + golden
-#             suites) — the fast early signal; skips the full test run
-#             and the baseline
+#   --smoke   stop after the smoke tier (fmt, lint, build, batched-kernel
+#             equivalence, chaos + golden suites) — the fast early signal;
+#             skips the full test run and the baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,16 +31,24 @@ if [[ "$FRESH" == 1 ]]; then
   rm -f results/cache/*.trace results/cache/*.quarantined 2>/dev/null || true
 fi
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo clippy --offline (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace --all-targets
 
-# Smoke tier: the tiny-scale end-to-end suites — the chaos suite (every
-# fault scenario through the whole pipeline) and the golden snapshots
-# (byte-level replay of committed reports, fault sweep included). Fails
-# fast before the full test run and baseline.
+# Smoke tier: the batched-kernel equivalence suite (source-batched sweep
+# byte-identical to the retained per-pair reference) plus the tiny-scale
+# end-to-end suites — the chaos suite (every fault scenario through the
+# whole pipeline) and the golden snapshots (byte-level replay of committed
+# reports, fault sweep included). Fails fast before the full test run and
+# baseline.
+echo "== smoke: batched-kernel equivalence =="
+cargo test -q --offline -p detour --test batched_kernel
+
 echo "== smoke: chaos + golden report suites =="
 cargo test -q --offline -p detour --test chaos --test golden_reports
 
@@ -79,5 +87,25 @@ sed -n 's/.*"threads": \([0-9]*\), "seconds": \([0-9.]*\), "speedup_vs_1": \([0-
 echo
 sed -n 's/.*"clone_rebuild_seconds": \([0-9.]*\).*/  fig12 greedy: clone-rebuild \1s/p; s/.*"masked_kernel_seconds": \([0-9.]*\).*/  fig12 greedy: masked kernel \1s/p; s/.*"speedup": \([0-9.]*\).*/  fig12 greedy: speedup \1x/p' \
   BENCH_baseline.json
+
+echo
+echo "scale_sweep (source-batched kernel on the 128-host SCALE dataset):"
+sed -n 's/.*"scale_hosts": \([0-9]*\), "pairs": \([0-9]*\), "fixups": \([0-9]*\), "avoided": \([0-9]*\).*/  hosts \1, pairs \2: \3 exclusion re-searches run, \4 avoided (answered from the SSSP tree)/p' \
+  BENCH_baseline.json
+sed -n 's/.*"reference_seconds": \([0-9.]*\), "batched_speedup_vs_reference": \([0-9.]*\).*/  per-pair reference: \1s, batched speedup vs reference: \2x/p' \
+  BENCH_baseline.json
+printf '  %-8s %-9s %s\n' threads seconds speedup
+sed -n 's/.*"threads": \([0-9]*\), "sweep_seconds": \([0-9.]*\), "sweep_speedup_vs_1": \([0-9.]*\).*/  \1        \2s   \3x/p' \
+  BENCH_baseline.json
+
+echo
+echo "speedup regression (2-worker speedups; gates enforced by the baseline binary on multi-core hosts):"
+ENGINE2=$(sed -n 's/.*"threads": 2, "seconds": [0-9.]*, "load_seconds".*"speedup_vs_1": \([0-9.]*\).*/\1/p' BENCH_baseline.json)
+CAMP2=$(sed -n 's/.*"threads": 2, "seconds": \([0-9.]*\), "speedup_vs_1": \([0-9.]*\).*/\2/p' BENCH_baseline.json)
+SWEEP2=$(sed -n 's/.*"threads": 2, "sweep_seconds": [0-9.]*, "sweep_speedup_vs_1": \([0-9.]*\).*/\1/p' BENCH_baseline.json)
+printf '  %-24s %-9s %s\n' workload speedup gate
+printf '  %-24s %-9s %s\n' "engine (end-to-end)" "${ENGINE2:-n/a}x" ">= 1.2"
+printf '  %-24s %-9s %s\n' "campaign (batched)" "${CAMP2:-n/a}x" ">= 1.3"
+printf '  %-24s %-9s %s\n' "scale_sweep (batched)" "${SWEEP2:-n/a}x" ">= 1.3"
 
 echo "verify: OK"

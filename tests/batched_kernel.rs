@@ -1,0 +1,162 @@
+//! The batched-kernel safety net: the source-batched sweep
+//! (`detour_core::kernel::sweep`) must be a pure performance change over
+//! the per-pair Dijkstra it replaced, which lives on verbatim as
+//! [`detour_bench::reference::per_pair_sweep`]. Every comparison here is
+//! full structural equality — same pairs in the same order, same values
+//! bit for bit, same detour hosts (tie-breaks included) — at 1, 2, and 8
+//! worker threads, under random host masks, for both search depths, on
+//! random graphs and on a pipeline-generated dataset across all three
+//! additive metrics.
+//!
+//! Property tests run on the in-tree deterministic harness
+//! (`detour_prng::check`; replay a failing case with
+//! `DETOUR_PROP_SEED=<seed>`).
+
+use detour::core::altpath::SearchDepth;
+use detour::core::kernel::{self, WeightMatrix};
+use detour::core::metric::{Loss, Metric, PropDelay, Rtt};
+use detour::core::pool;
+use detour::core::{AnalysisContext, MeasurementGraph};
+use detour::datasets::DatasetId;
+use detour::measure::record::HostMeta;
+use detour::measure::{Dataset, HostId, ProbeSample};
+use detour_bench::reference;
+use detour_prng::check::check;
+use detour_prng::{Rng, Xoshiro256pp};
+
+/// Random sparse RTT matrix → dataset (NaN = unmeasured edge), the same
+/// shape the kernel property tests use in-crate.
+fn random_dataset(rng: &mut Xoshiro256pp) -> Dataset {
+    let n = rng.gen_range(4..10usize);
+    let missing = rng.gen_range(0.1..0.5f64);
+    let hosts = (0..n as u32)
+        .map(|id| HostMeta {
+            id: HostId(id),
+            name: format!("h{id}"),
+            asn: id as u16,
+            truly_rate_limited: false,
+        })
+        .collect();
+    let mut probes = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || rng.gen_bool(missing) {
+                continue;
+            }
+            let rtt = rng.gen_range(1.0..100.0f64).round();
+            for k in 0..2 {
+                probes.push(ProbeSample {
+                    src: HostId(i as u32),
+                    dst: HostId(j as u32),
+                    t_s: k as f64,
+                    probe_index: 0,
+                    rtt_ms: Some(rtt),
+                    loss_eligible: true,
+                    episode: None,
+                    path_idx: 0,
+                });
+            }
+        }
+    }
+    Dataset {
+        name: "B".into(),
+        hosts,
+        probes,
+        transfers: vec![],
+        as_paths: vec![vec![0]],
+        duration_s: 10.0,
+        detected_rate_limited: vec![],
+        starved_pairs: 0,
+    }
+}
+
+/// A random host-removal mask: each host masked with probability ~1/3,
+/// sampled independently of the graph.
+fn random_mask(rng: &mut Xoshiro256pp, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.gen_bool(0.33)).collect()
+}
+
+/// Asserts batched == per-pair on one (matrix, mask, metric, depth) cell
+/// at 1, 2, and 8 threads, plus the stats bookkeeping invariant.
+fn assert_equivalent(m: &WeightMatrix, mask: &[bool], metric: &impl Metric, depth: SearchDepth) {
+    pool::set_threads(1);
+    let expect = reference::per_pair_sweep(m, mask, metric, depth);
+    for threads in [1usize, 2, 8] {
+        pool::set_threads(threads);
+        let (got, stats) = kernel::sweep_with_stats(m, mask, metric, depth);
+        assert_eq!(got, expect, "threads={threads}");
+        // Pairs whose destination is unreachable under the mask return no
+        // comparison but still count in `pairs` (as avoided re-searches).
+        assert!(got.len() <= stats.pairs, "threads={threads}");
+        match depth {
+            SearchDepth::Unrestricted => assert_eq!(
+                stats.fixups + stats.avoided,
+                stats.pairs,
+                "threads={threads}: every pair is either fixed up or avoided"
+            ),
+            // One-hop scans never run an exclusion search, so the fix-up
+            // counters stay zero by definition.
+            SearchDepth::OneHop => {
+                assert_eq!(
+                    (stats.fixups, stats.avoided),
+                    (0, 0),
+                    "one-hop never fixes up"
+                )
+            }
+        }
+    }
+    pool::set_threads(0);
+}
+
+#[test]
+fn batched_sweep_matches_per_pair_reference_on_random_masked_graphs() {
+    check("batched sweep equals per-pair reference", |rng| {
+        let g = MeasurementGraph::from_dataset(&random_dataset(rng));
+        let m = WeightMatrix::build(&g, &Rtt);
+        let mask = random_mask(rng, g.len());
+        for depth in [SearchDepth::Unrestricted, SearchDepth::OneHop] {
+            assert_equivalent(&m, &mask, &Rtt, depth);
+        }
+    });
+}
+
+#[test]
+fn batched_sweep_matches_reference_on_a_generated_dataset_for_every_metric() {
+    // A dataset out of the real pipeline (simulated network, traceroute
+    // campaign, rate-limit policy) rather than a synthetic matrix: loss
+    // and propagation-delay weights exercise compose paths the synthetic
+    // RTT matrices never touch (log-space loss weights can be exactly 0).
+    let ds = DatasetId::Uw3.generate_scaled(12, 24);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let no_mask = cx.weights(&Rtt).no_mask();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xba7c4ed);
+    let mask = random_mask(&mut rng, no_mask.len());
+    for depth in [SearchDepth::Unrestricted, SearchDepth::OneHop] {
+        assert_equivalent(cx.weights(&Rtt), &no_mask, &Rtt, depth);
+        assert_equivalent(cx.weights(&Rtt), &mask, &Rtt, depth);
+        assert_equivalent(cx.weights(&Loss), &no_mask, &Loss, depth);
+        assert_equivalent(cx.weights(&PropDelay), &mask, &PropDelay, depth);
+    }
+}
+
+#[test]
+fn fixup_counting_is_thread_count_invariant() {
+    let ds = DatasetId::Uw3.generate_scaled(10, 24);
+    let cx = AnalysisContext::from_dataset(&ds);
+    let m = cx.weights(&Rtt);
+    let mask = m.no_mask();
+    let mut baseline: Option<kernel::SweepStats> = None;
+    for threads in [1usize, 2, 8] {
+        pool::set_threads(threads);
+        let (_, stats) = kernel::sweep_with_stats(m, &mask, &Rtt, SearchDepth::Unrestricted);
+        assert!(
+            stats.pairs > 0,
+            "the scaled dataset must have measured pairs"
+        );
+        match &baseline {
+            None => baseline = Some(stats),
+            Some(b) => assert_eq!(*b, stats, "threads={threads} changed the stats"),
+        }
+    }
+    pool::set_threads(0);
+}

@@ -88,13 +88,19 @@ fn truncation_starves_pairs_and_is_flagged() {
     // minimum samples leaves pairs with a handful of probes each — data,
     // but too little to trust — the scenario the paper hit when hosts
     // were decommissioned mid-study.
-    let hard_cut = FaultConfig { truncate_frac: 0.06, ..FaultConfig::truncation(7) };
+    let hard_cut = FaultConfig {
+        truncate_frac: 0.06,
+        ..FaultConfig::truncation(7)
+    };
     let (deg, summary) = degradation_of(hard_cut);
     assert!(
         deg.starved_pairs > 0,
         "a hard-truncated campaign must starve pairs, got {summary}"
     );
-    assert!(deg.is_degraded(), "starvation must flag the report: {summary}");
+    assert!(
+        deg.is_degraded(),
+        "starvation must flag the report: {summary}"
+    );
     assert!(summary.starts_with("DEGRADED"), "{summary}");
 }
 
@@ -102,7 +108,10 @@ fn truncation_starves_pairs_and_is_flagged() {
 fn an_emptied_campaign_degrades_without_panicking() {
     // truncate_frac 0 drops every request: the dataset assembles empty and
     // every downstream artifact must still build.
-    let nothing = FaultConfig { truncate_frac: 0.0, ..FaultConfig::none() };
+    let nothing = FaultConfig {
+        truncate_frac: 0.0,
+        ..FaultConfig::none()
+    };
     let (deg, summary) = degradation_of(nothing);
     assert_eq!(deg.measured_pairs, 0, "{summary}");
     assert!(deg.is_degraded(), "an empty dataset is maximally degraded");
@@ -171,7 +180,13 @@ fn mutated_tracefiles_never_panic_the_parser() {
                 let lines: Vec<&str> = valid.lines().collect();
                 let drop = (rng.next_u64() as usize) % lines.len();
                 let mut kept: Vec<&str> = Vec::with_capacity(lines.len() - 1);
-                kept.extend(lines.iter().enumerate().filter(|(i, _)| *i != drop).map(|(_, l)| *l));
+                kept.extend(
+                    lines
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, l)| *l),
+                );
                 kept.join("\n")
             }
             // Duplicate one line somewhere else.

@@ -78,14 +78,20 @@ fn campaign_and_generation_are_byte_identical_at_1_2_and_8_threads() {
     for threads in [1usize, 2, 8] {
         pool::set_threads(threads);
         let raw = run_campaign(&net, &reqs, &CampaignConfig::traceroute(), 21);
-        assert_eq!(raw, reference, "{threads}-thread campaign diverged from event queue");
+        assert_eq!(
+            raw, reference,
+            "{threads}-thread campaign diverged from event queue"
+        );
         datasets.push(DatasetId::Uw3.generate_scaled(8, 24));
     }
     pool::set_threads(0);
     for (i, ds) in datasets.iter().enumerate().skip(1) {
         assert_eq!(ds.probes, datasets[0].probes, "run {i} probes diverged");
         assert_eq!(ds.hosts, datasets[0].hosts, "run {i} hosts diverged");
-        assert_eq!(ds.as_paths, datasets[0].as_paths, "run {i} AS paths diverged");
+        assert_eq!(
+            ds.as_paths, datasets[0].as_paths,
+            "run {i} AS paths diverged"
+        );
     }
 }
 

@@ -56,7 +56,11 @@ fn rtt_improvements_are_physical() {
         // Nothing in North America should show second-scale RTTs or
         // negative values.
         assert!(c.default_value < 3_000.0, "default {}", c.default_value);
-        assert!(c.alternate_value < 6_000.0, "alternate {}", c.alternate_value);
+        assert!(
+            c.alternate_value < 6_000.0,
+            "alternate {}",
+            c.alternate_value
+        );
     }
 }
 
@@ -77,8 +81,10 @@ fn one_hop_never_beats_unrestricted_search() {
     let unrestricted = compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted);
     let one_hop = compare_all_pairs(&g, &Rtt, SearchDepth::OneHop);
     // Index unrestricted results by pair for the comparison.
-    let by_pair: std::collections::HashMap<_, _> =
-        unrestricted.iter().map(|c| (c.pair, c.alternate_value)).collect();
+    let by_pair: std::collections::HashMap<_, _> = unrestricted
+        .iter()
+        .map(|c| (c.pair, c.alternate_value))
+        .collect();
     for c in &one_hop {
         if let Some(&u) = by_pair.get(&c.pair) {
             assert!(
@@ -98,8 +104,14 @@ fn improvement_cdf_brackets_all_comparisons() {
     let cs = compare_all_pairs(&g, &Rtt, SearchDepth::Unrestricted);
     let cdf = improvement_cdf(&cs);
     assert_eq!(cdf.len(), cs.len());
-    let min = cs.iter().map(|c| c.improvement()).fold(f64::INFINITY, f64::min);
-    let max = cs.iter().map(|c| c.improvement()).fold(f64::NEG_INFINITY, f64::max);
+    let min = cs
+        .iter()
+        .map(|c| c.improvement())
+        .fold(f64::INFINITY, f64::min);
+    let max = cs
+        .iter()
+        .map(|c| c.improvement())
+        .fold(f64::NEG_INFINITY, f64::max);
     assert_eq!(cdf.eval(max), 1.0);
     assert!(cdf.eval(min - 1.0) == 0.0);
 }

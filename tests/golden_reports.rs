@@ -28,7 +28,9 @@ use detour_bench::{Bundle, Study};
 const GOLDEN: &[&str] = &["table1", "fig1", "outage_sweep"];
 
 fn golden_path(id: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{id}.txt"))
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{id}.txt"))
 }
 
 #[test]
@@ -36,8 +38,8 @@ fn reports_match_committed_golden_snapshots() {
     let bless = std::env::var_os("DETOUR_BLESS").is_some();
     let study = Study::from_bundle(Bundle::generate(Scale::reduced(8, 24)));
     for id in GOLDEN {
-        let report = experiments::run(id, &study)
-            .unwrap_or_else(|| panic!("{id} not in the registry"));
+        let report =
+            experiments::run(id, &study).unwrap_or_else(|| panic!("{id} not in the registry"));
         let path = golden_path(id);
         if bless {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -52,8 +54,7 @@ fn reports_match_committed_golden_snapshots() {
             )
         });
         assert_eq!(
-            report,
-            want,
+            report, want,
             "{id} diverged from its golden snapshot; if the change is \
              intentional, re-bless with DETOUR_BLESS=1 and commit the diff"
         );

@@ -8,8 +8,13 @@ use detour_prng::Xoshiro256pp;
 
 fn setup(members: usize) -> (Network, Overlay) {
     let net = Network::generate(&NetworkConfig::for_era(Era::Y1999, 0x1999_0001, 2.0));
-    let hosts: Vec<HostId> =
-        net.hosts().iter().step_by(3).take(members).map(|h| h.id).collect();
+    let hosts: Vec<HostId> = net
+        .hosts()
+        .iter()
+        .step_by(3)
+        .take(members)
+        .map(|h| h.id)
+        .collect();
     let ov = Overlay::new(hosts, OverlayConfig::default());
     (net, ov)
 }
@@ -18,7 +23,10 @@ fn setup(members: usize) -> (Network, Overlay) {
 fn overlay_routes_the_uw_network_profitably_or_neutrally() {
     let (net, mut ov) = setup(7);
     let mut rng = Xoshiro256pp::seed_from_u64(11);
-    let cfg = EvalConfig { duration_s: 3600.0, epoch_s: 300.0 };
+    let cfg = EvalConfig {
+        duration_s: 3600.0,
+        epoch_s: 300.0,
+    };
     // Tuesday 11:00 PST — peak hours, where the paper found the most
     // opportunity.
     let start = SimTime::from_hours(24.0 + 19.0);

@@ -107,12 +107,18 @@ fn propagation_improvements_exist_but_mean_rtt_improvements_are_larger() {
     let g = AnalysisContext::from_dataset(&ds);
     let c = propagation::propagation_cdfs(&g);
     let prop_frac = c.propagation.fraction_above(0.0);
-    assert!((0.25..=0.8).contains(&prop_frac), "prop fraction {prop_frac}");
+    assert!(
+        (0.25..=0.8).contains(&prop_frac),
+        "prop fraction {prop_frac}"
+    );
     // Upper-tail magnitude: mean-RTT improvements at p90 exceed
     // propagation-only improvements.
     let p90_prop = c.propagation.inverse(0.9).unwrap();
     let p90_rtt = c.mean_rtt.inverse(0.9).unwrap();
-    assert!(p90_rtt >= p90_prop * 0.8, "p90 rtt {p90_rtt} vs prop {p90_prop}");
+    assert!(
+        p90_rtt >= p90_prop * 0.8,
+        "p90 rtt {p90_rtt} vs prop {p90_prop}"
+    );
 }
 
 #[test]

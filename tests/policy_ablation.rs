@@ -73,6 +73,10 @@ fn all_three_modes_yield_complete_datasets() {
         let ds = dataset_under(mode);
         assert!(!ds.probes.is_empty(), "{mode:?} produced no data");
         let c = ds.characteristics();
-        assert!(c.coverage_pct > 50.0, "{mode:?} coverage {}", c.coverage_pct);
+        assert!(
+            c.coverage_pct > 50.0,
+            "{mode:?} coverage {}",
+            c.coverage_pct
+        );
     }
 }

@@ -54,7 +54,7 @@ fn dataset_from(matrix: &[Vec<Option<(f64, bool)>>]) -> Dataset {
         as_paths: vec![vec![0]],
         duration_s: 10.0,
         detected_rate_limited: vec![],
-            starved_pairs: 0,
+        starved_pairs: 0,
     }
 }
 
@@ -197,7 +197,13 @@ fn removing_hosts_never_invents_better_alternates() {
 
 #[test]
 fn pair_type_is_directional() {
-    let p = Pair { src: HostId(1), dst: HostId(2) };
-    let q = Pair { src: HostId(2), dst: HostId(1) };
+    let p = Pair {
+        src: HostId(1),
+        dst: HostId(2),
+    };
+    let q = Pair {
+        src: HostId(2),
+        dst: HostId(1),
+    };
     assert_ne!(p, q);
 }

@@ -1,9 +1,7 @@
 //! Integration tests for the paper's §6/§7 robustness analyses, run over
 //! freshly generated datasets (not the toy fixtures of the unit tests).
 
-use detour::core::analysis::{
-    confidence, contribution, episodes, hostremoval, median, timeofday,
-};
+use detour::core::analysis::{confidence, contribution, episodes, hostremoval, median, timeofday};
 use detour::core::{AnalysisContext, Rtt, SearchDepth};
 use detour::datasets::{uw4, DatasetId, Scale};
 use detour::stats::ttest::TTestVerdict;
@@ -62,16 +60,18 @@ fn time_slices_cover_all_probes_and_effect_persists() {
 #[test]
 fn episode_analysis_runs_on_real_uw4() {
     let (a, b) = uw4::generate_both(Scale::reduced(8, 16));
-    let (ca, cb) = (AnalysisContext::from_dataset(&a), AnalysisContext::from_dataset(&b));
+    let (ca, cb) = (
+        AnalysisContext::from_dataset(&a),
+        AnalysisContext::from_dataset(&b),
+    );
     let r = episodes::analyze(&ca, &cb, &Rtt);
     assert!(r.episodes > 10, "got {} episodes", r.episodes);
     assert!(!r.unaveraged.is_empty());
     assert!(!r.pair_averaged.is_empty());
     assert!(r.unaveraged.len() > r.pair_averaged.len());
     // The unaveraged distribution is a superset in spread.
-    let span = |c: &detour::stats::Cdf| {
-        c.inverse(0.99).unwrap_or(0.0) - c.inverse(0.01).unwrap_or(0.0)
-    };
+    let span =
+        |c: &detour::stats::Cdf| c.inverse(0.99).unwrap_or(0.0) - c.inverse(0.01).unwrap_or(0.0);
     assert!(span(&r.unaveraged) >= span(&r.pair_averaged));
 }
 
@@ -84,7 +84,10 @@ fn greedy_removal_keeps_the_effect_alive() {
     let (before, after) = hostremoval::improved_fractions(&r);
     assert!(before > 0.2, "baseline effect too weak: {before}");
     // The effect must not vanish entirely (paper Fig. 12).
-    assert!(after > 0.05, "removal collapsed the effect: {before} -> {after}");
+    assert!(
+        after > 0.05,
+        "removal collapsed the effect: {before} -> {after}"
+    );
 }
 
 #[test]
@@ -94,7 +97,10 @@ fn contribution_is_spread_across_hosts() {
     let a = contribution::analyze(&cx, &Rtt);
     assert_eq!(a.normalized.len(), cx.graph().len());
     let share = contribution::max_share(&a);
-    assert!(share < 0.6, "one host contributes {share} of all improvement");
+    assert!(
+        share < 0.6,
+        "one host contributes {share} of all improvement"
+    );
     // Most hosts contribute something on a policy-routed topology.
     let contributors = a.normalized.values().filter(|&&v| v > 0.0).count();
     assert!(

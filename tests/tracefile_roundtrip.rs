@@ -43,7 +43,11 @@ fn pair_table_is_identical_after_a_round_trip() {
         DatasetId::Uw3.generate_scaled(10, 24),
     ] {
         let back = tracefile::from_str(&tracefile::to_string(&ds)).unwrap();
-        assert_eq!(back, ds, "{}: dataset fields changed across the trip", ds.name);
+        assert_eq!(
+            back, ds,
+            "{}: dataset fields changed across the trip",
+            ds.name
+        );
         assert_eq!(
             PairTable::build(&back),
             PairTable::build(&ds),
@@ -61,13 +65,15 @@ fn episodic_and_ratelimit_fields_survive_the_trip() {
         "UW4-A should carry episode ids (test needs them)"
     );
     let back = tracefile::from_str(&tracefile::to_string(&ds)).unwrap();
-    let episodes = |d: &detour::measure::Dataset| {
-        d.probes.iter().map(|p| p.episode).collect::<Vec<_>>()
-    };
+    let episodes =
+        |d: &detour::measure::Dataset| d.probes.iter().map(|p| p.episode).collect::<Vec<_>>();
     assert_eq!(episodes(&back), episodes(&ds));
     assert_eq!(back.detected_rate_limited, ds.detected_rate_limited);
     let limited = |d: &detour::measure::Dataset| {
-        d.hosts.iter().map(|h| h.truly_rate_limited).collect::<Vec<_>>()
+        d.hosts
+            .iter()
+            .map(|h| h.truly_rate_limited)
+            .collect::<Vec<_>>()
     };
     assert_eq!(limited(&back), limited(&ds));
 }
