@@ -15,7 +15,11 @@
 //! experiment through the declarative engine ([`run_all`]), with the
 //! wall-clock split per stage: cache load, context construction, and the
 //! experiment sweep. The run repeats at 1, 2, 4, and
-//! `available_parallelism` workers. Three gates, all fatal:
+//! `available_parallelism` workers — except on a single-core host, where
+//! only the 1-worker run executes: multi-worker rows there measure pure
+//! scheduling overhead (0.85–0.96× "speedups") and would read as
+//! regressions, so they are suppressed rather than printed. Three gates,
+//! all fatal:
 //!
 //! * every report must be byte-identical across worker counts;
 //! * every report must be byte-identical to the pre-refactor
@@ -43,9 +47,15 @@
 //! the same trace cache) at every worker count, byte-compares every run
 //! against the first and against the retained per-pair reference
 //! ([`reference::per_pair_sweep`]), and records the fix-up/avoided
-//! re-search counts. Two gates ride on it: the batched kernel must beat
-//! the per-pair reference ≥ 3× at one worker (always), and two workers
-//! must beat one by ≥ 1.3× (multi-core hosts only).
+//! re-search counts. The dataset's load path is timed three ways —
+//! `load_cold_seconds` (post-purge, so generation plus the first
+//! `.trace2` write), `load_seconds` (warm binary decode, best of three),
+//! and `text_load_seconds` (the legacy text parser on the same dataset,
+//! best of three) — all three loads asserted equal. Three gates ride on
+//! it: the batched kernel must beat the per-pair reference ≥ 3× at one
+//! worker (always), the warm `.trace2` load must beat the text parser
+//! ≥ 3× (always), and two workers must beat one by ≥ 1.3× (multi-core
+//! hosts only).
 //!
 //! Two further sections map where dataset generation itself spends its
 //! time (it is all cold-start cost now that warm runs load traces):
@@ -69,7 +79,7 @@ use detour_core::analysis::hostremoval::greedy_removal;
 use detour_core::kernel;
 use detour_core::{pool, AnalysisContext, Rtt};
 use detour_datasets::{generate_staged, GenerateStages, Scale};
-use detour_measure::{run_campaign, CampaignConfig, RawMeasurements, Request, Schedule};
+use detour_measure::{run_campaign, tracefile, CampaignConfig, RawMeasurements, Request, Schedule};
 use detour_netsim::Network;
 use detour_prng::Xoshiro256pp;
 
@@ -203,7 +213,13 @@ fn main() {
         .unwrap_or(1);
     let cache_dir = Path::new(CACHE_DIR);
 
-    let mut counts = vec![1usize, 2, 4, cores];
+    // On a single-core host, multi-worker rows measure scheduling overhead,
+    // not parallelism — suppress them instead of printing 0.9x "speedups".
+    let mut counts = if cores > 1 {
+        vec![1usize, 2, 4, cores]
+    } else {
+        vec![1usize]
+    };
     counts.sort_unstable();
     counts.dedup();
 
@@ -320,11 +336,16 @@ fn main() {
     // every worker count (byte-compared against the first run), then the
     // retained per-pair reference runs once at one worker for the headline
     // algorithmic speedup.
+    // The initial purge wiped the SCALE entry too, so the first load pays
+    // for generation — that is the *cold* row. The *warm* row (the number
+    // the load-path optimization is gated on) times the `.trace2` decode
+    // alone, best of three, against the legacy text parser on the same
+    // dataset, also best of three.
     let t = Instant::now();
     let (scale_ds, scale_hit) = scale_workload::load_or_generate(cache_dir).expect("scale dataset");
-    let scale_load_secs = t.elapsed().as_secs_f64();
+    let scale_cold_secs = t.elapsed().as_secs_f64();
     eprintln!(
-        "baseline: scale_sweep dataset: {} hosts, cache {} ({scale_load_secs:.2} s)",
+        "baseline: scale_sweep dataset: {} hosts, cache {} (cold {scale_cold_secs:.2} s)",
         scale_ds.hosts.len(),
         if scale_hit { "hit" } else { "miss" },
     );
@@ -332,6 +353,37 @@ fn main() {
         scale_ds.hosts.len() >= 120,
         "scale_sweep needs >= 120 hosts, got {}",
         scale_ds.hosts.len()
+    );
+    let mut scale_load_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let (warm_ds, warm_hit) =
+            scale_workload::load_or_generate(cache_dir).expect("warm scale dataset");
+        scale_load_secs = scale_load_secs.min(t.elapsed().as_secs_f64());
+        assert!(warm_hit, "warm scale load must be a cache hit");
+        assert_eq!(
+            warm_ds, scale_ds,
+            "warm .trace2 load must be byte-identical"
+        );
+    }
+    let scale_text_path = cache::text_cache_path(
+        cache_dir,
+        scale_workload::scale_spec().name,
+        scale_workload::scale_scale(),
+    );
+    tracefile::save(&scale_ds, &scale_text_path).expect("write text trace");
+    let mut text_load_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let text_ds = tracefile::load(&scale_text_path).expect("text trace load");
+        text_load_secs = text_load_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(text_ds, scale_ds, "text load must be byte-identical");
+    }
+    let swept = cache::sweep_stale(cache_dir).expect("sweep stale text traces");
+    let load_speedup = text_load_secs / scale_load_secs.max(1e-9);
+    eprintln!(
+        "baseline: scale_sweep load: warm .trace2 {scale_load_secs:.3} s, text \
+         {text_load_secs:.3} s ({load_speedup:.1}x; swept {swept} stale text trace(s))"
     );
     let scale_cx = AnalysisContext::from_dataset(&scale_ds);
     let scale_m = scale_cx.weights(&Rtt);
@@ -448,7 +500,7 @@ fn main() {
     }
     let _ = write!(
         json,
-        "\n  ],\n  \"campaign_requests\": {},\n  \"fig12_greedy\": {{\n    \"hosts\": {FIG12_HOSTS},\n    \"removals\": {FIG12_REMOVALS},\n    \"clone_rebuild_seconds\": {fig12_ref:.3},\n    \"masked_kernel_seconds\": {fig12_kernel:.3},\n    \"speedup\": {fig12_speedup:.2}\n  }},\n  \"scale_sweep\": {{\n    \"scale_hosts\": {}, \"pairs\": {}, \"fixups\": {}, \"avoided\": {},\n    \"cache_hit\": {scale_hit}, \"load_seconds\": {scale_load_secs:.3},\n    \"reference_seconds\": {sweep_ref_secs:.3}, \"batched_speedup_vs_reference\": {sweep_algo_speedup:.2},\n    \"runs\": [",
+        "\n  ],\n  \"campaign_requests\": {},\n  \"fig12_greedy\": {{\n    \"hosts\": {FIG12_HOSTS},\n    \"removals\": {FIG12_REMOVALS},\n    \"clone_rebuild_seconds\": {fig12_ref:.3},\n    \"masked_kernel_seconds\": {fig12_kernel:.3},\n    \"speedup\": {fig12_speedup:.2}\n  }},\n  \"scale_sweep\": {{\n    \"scale_hosts\": {}, \"pairs\": {}, \"fixups\": {}, \"avoided\": {},\n    \"cache_hit\": {scale_hit}, \"load_cold_seconds\": {scale_cold_secs:.3},\n    \"load_seconds\": {scale_load_secs:.4}, \"text_load_seconds\": {text_load_secs:.4},\n    \"binary_load_speedup_vs_text\": {load_speedup:.2},\n    \"reference_seconds\": {sweep_ref_secs:.3}, \"batched_speedup_vs_reference\": {sweep_algo_speedup:.2},\n    \"runs\": [",
         camp_reqs.len(),
         scale_ds.hosts.len(),
         sweep_stats.pairs,
@@ -509,6 +561,14 @@ fn main() {
         eprintln!(
             "baseline: FAIL — scale_sweep batched/reference speedup {sweep_algo_speedup:.2} < 3.0"
         );
+        std::process::exit(1);
+    }
+
+    // Gate 5, unconditional: the warm `.trace2` decode must beat the text
+    // parser by an algorithmic margin — fixed-stride column reads vs.
+    // per-line float parsing, on the identical dataset.
+    if load_speedup < 3.0 {
+        eprintln!("baseline: FAIL — scale_sweep binary/text load speedup {load_speedup:.2} < 3.0");
         std::process::exit(1);
     }
 }

@@ -105,11 +105,16 @@ fn main() {
     let (bundle, stats) =
         Bundle::generate_cached(scale.with_seed_offset(seed), cache_dir).expect("trace cache");
     eprintln!(
-        "datasets ready in {:.1?} ({} cached, {} generated)",
+        "datasets ready in {:.1?} ({} cached, {} generated, {} migrated to .trace2)",
         t.elapsed(),
         stats.hits,
-        stats.misses
+        stats.misses,
+        stats.migrated
     );
+    let swept = cache::sweep_stale(cache_dir).expect("sweep stale text traces");
+    if swept > 0 {
+        eprintln!("swept {swept} stale legacy .trace file(s) superseded by .trace2");
+    }
     let study = Study::from_bundle(bundle);
 
     // The paper experiments run through the parallel engine (prebuilt

@@ -2,13 +2,13 @@
 //!
 //! Dataset generation dominates a cold `figures`/`baseline` run, yet for a
 //! fixed `(spec, seed, scale)` the output is deterministic — so it caches.
-//! Each generated dataset is saved once through the v1 tracefile format
-//! (whose round-trip is lossless: `f64` text round-trips exactly in Rust)
-//! and later runs load it back instead of re-simulating. The cache key is
-//! the file name:
+//! Each generated dataset is saved once through the `.trace2` binary
+//! columnar format ([`detour_datasets::trace2`], whose round-trip is
+//! bit-exact) and later runs load it back instead of re-simulating. The
+//! cache key is the file name:
 //!
 //! ```text
-//! {name}-o{seed_offset}-h{hosts|full}-t{time_divisor}.trace
+//! {name}-o{seed_offset}-h{hosts|full}-t{time_divisor}.trace2
 //! ```
 //!
 //! which covers every generation input: the dataset spec (via its name),
@@ -19,11 +19,19 @@
 //! sibling datasets (D2/D2-NA, N2/N2-NA, UW4-A/UW4-B) share a simulated
 //! network, so a partial hit would split one simulation across two runs;
 //! instead, a family with any missing member regenerates whole.
+//!
+//! **Back-compat:** caches written before the binary format hold
+//! `{key}.trace` text entries. When no `.trace2` exists, the probe falls
+//! back to the text loader (a hit, counted in [`CacheStats::migrated`])
+//! and writes the `.trace2` next to it, so the next run takes the binary
+//! path; [`sweep_stale`] then removes text entries a `.trace2` has
+//! superseded. Corrupt files of either format are renamed
+//! `{file}.quarantined` (evidence preserved) and their family regenerated.
 
 use std::path::{Path, PathBuf};
 
 use detour_core::pool;
-use detour_datasets::Scale;
+use detour_datasets::{trace2, Scale};
 use detour_measure::{tracefile, Dataset};
 
 use crate::bundle::{family_names, generate_family, Bundle, FAMILIES};
@@ -35,62 +43,94 @@ pub struct CacheStats {
     pub hits: usize,
     /// Datasets regenerated (and re-saved).
     pub misses: usize,
-    /// Cache files that existed but were corrupt — truncated, unparseable,
-    /// or holding the wrong dataset. Each was renamed to
+    /// Cache files that existed but were corrupt — truncated, bit-flipped,
+    /// unparseable, or holding the wrong dataset. Each was renamed to
     /// `{file}.quarantined` for post-mortem and its dataset regenerated
     /// (so every quarantine is also counted as a miss).
     pub quarantined: usize,
+    /// Hits served by a legacy text `.trace` entry; each was re-saved as
+    /// `.trace2` so subsequent runs take the binary load path.
+    pub migrated: usize,
 }
 
-/// The cache file for one dataset at one scale.
-pub fn cache_path(dir: &Path, name: &str, scale: Scale) -> PathBuf {
+/// The cache key stem for one dataset at one scale (no extension).
+fn cache_stem(name: &str, scale: Scale) -> String {
     let hosts = scale
         .n_hosts
         .map_or_else(|| "full".to_string(), |n| n.to_string());
-    dir.join(format!(
-        "{name}-o{}-h{hosts}-t{}.trace",
+    format!(
+        "{name}-o{}-h{hosts}-t{}",
         scale.seed_offset, scale.time_divisor
-    ))
+    )
 }
 
-/// What probing one cache file found.
+/// The binary cache file for one dataset at one scale (the preferred
+/// format: everything the cache writes is `.trace2`).
+pub fn cache_path(dir: &Path, name: &str, scale: Scale) -> PathBuf {
+    dir.join(format!("{}.trace2", cache_stem(name, scale)))
+}
+
+/// The legacy text cache file for the same key, consulted only when no
+/// `.trace2` exists.
+pub fn text_cache_path(dir: &Path, name: &str, scale: Scale) -> PathBuf {
+    dir.join(format!("{}.trace", cache_stem(name, scale)))
+}
+
+/// What probing one cache key found.
 enum CacheProbe {
-    /// Present, parseable, and actually the named dataset.
+    /// A healthy `.trace2` (binary) entry.
     Loaded(Dataset),
+    /// A healthy legacy `.trace` (text) entry; the caller migrates it.
+    LoadedText(Dataset),
     /// No file (or unreadable): a plain miss.
     Missing,
-    /// A file exists but is truncated, unparseable, or holds the wrong
-    /// dataset. The caller quarantines it rather than overwriting the
-    /// evidence.
-    Corrupt,
+    /// The file at this path exists but is truncated, unparseable, or
+    /// holds the wrong dataset. The caller quarantines it rather than
+    /// overwriting the evidence.
+    Corrupt(PathBuf),
 }
 
-/// Probes the cache file for one dataset without touching it.
+/// Probes the cache for one dataset without touching it: binary first,
+/// text fallback.
 fn probe_cached(dir: &Path, name: &str, scale: Scale) -> CacheProbe {
-    let path = cache_path(dir, name, scale);
-    if !path.exists() {
+    let bin = cache_path(dir, name, scale);
+    if bin.exists() {
+        return match trace2::load(&bin) {
+            Ok(ds) if ds.name == name => CacheProbe::Loaded(ds),
+            Ok(_) | Err(_) => CacheProbe::Corrupt(bin),
+        };
+    }
+    let text = text_cache_path(dir, name, scale);
+    if !text.exists() {
         return CacheProbe::Missing;
     }
-    match tracefile::load(&path) {
-        Ok(ds) if ds.name == name => CacheProbe::Loaded(ds),
-        Ok(_) | Err(_) => CacheProbe::Corrupt,
+    match tracefile::load(&text) {
+        Ok(ds) if ds.name == name => CacheProbe::LoadedText(ds),
+        Ok(_) | Err(_) => CacheProbe::Corrupt(text),
     }
 }
 
-/// The quarantine destination for a corrupt cache file:
-/// `{name}.trace.quarantined`, next to the original.
-pub fn quarantine_path(dir: &Path, name: &str, scale: Scale) -> PathBuf {
-    let mut p = cache_path(dir, name, scale).into_os_string();
+/// The quarantine destination for a corrupt cache file: the original path
+/// with `.quarantined` appended.
+pub fn quarantined_path(original: &Path) -> PathBuf {
+    let mut p = original.as_os_str().to_os_string();
     p.push(".quarantined");
     PathBuf::from(p)
+}
+
+/// The quarantine destination for the binary cache entry of one dataset:
+/// `{key}.trace2.quarantined`, next to the original.
+pub fn quarantine_path(dir: &Path, name: &str, scale: Scale) -> PathBuf {
+    quarantined_path(&cache_path(dir, name, scale))
 }
 
 impl Bundle {
     /// Like [`Bundle::generate`], but backed by the trace cache in `dir`.
     ///
     /// Families whose members are all cached load from disk; the rest
-    /// regenerate and save. Both paths yield byte-identical datasets (the
-    /// tracefile round-trip is lossless), and the per-family fan-out merges
+    /// regenerate and save as `.trace2`. Both paths yield byte-identical
+    /// datasets (the binary round-trip preserves raw `f64` bits; the text
+    /// round-trip is lossless), and the per-family fan-out merges
     /// index-ordered, so the bundle is the same at any thread count whether
     /// it came from simulation or disk.
     pub fn generate_cached(scale: Scale, dir: &Path) -> std::io::Result<(Bundle, CacheStats)> {
@@ -100,41 +140,57 @@ impl Bundle {
             let names = family_names(family);
             let mut loaded = Vec::with_capacity(names.len());
             let mut quarantined = 0;
+            let mut migrated = 0;
             for n in names {
                 match probe_cached(dir, n, scale) {
                     CacheProbe::Loaded(ds) => loaded.push(ds),
+                    CacheProbe::LoadedText(ds) => {
+                        // Upgrade in place; the stale text file stays for
+                        // `sweep_stale` so a crash mid-write cannot lose
+                        // the only good copy.
+                        trace2::save(&ds, &cache_path(dir, n, scale))?;
+                        migrated += 1;
+                        loaded.push(ds);
+                    }
                     CacheProbe::Missing => {}
-                    CacheProbe::Corrupt => {
-                        std::fs::rename(cache_path(dir, n, scale), quarantine_path(dir, n, scale))?;
+                    CacheProbe::Corrupt(path) => {
+                        std::fs::rename(&path, quarantined_path(&path))?;
                         quarantined += 1;
                     }
                 }
             }
             if loaded.len() == names.len() && quarantined == 0 {
-                return Ok((loaded, names.len(), 0, 0));
+                return Ok((loaded, names.len(), 0, 0, migrated));
             }
             let dss = generate_family(family, scale);
             for ds in &dss {
-                tracefile::save(ds, &cache_path(dir, &ds.name, scale))?;
+                trace2::save(ds, &cache_path(dir, &ds.name, scale))?;
             }
-            Ok((dss, 0, names.len(), quarantined))
+            Ok((dss, 0, names.len(), quarantined, 0))
         });
         let mut stats = CacheStats::default();
         let mut built = Vec::with_capacity(FAMILIES);
         for outcome in outcomes {
-            let (dss, hits, misses, quarantined): (Vec<Dataset>, usize, usize, usize) = outcome?;
+            let (dss, hits, misses, quarantined, migrated): (
+                Vec<Dataset>,
+                usize,
+                usize,
+                usize,
+                usize,
+            ) = outcome?;
             stats.hits += hits;
             stats.misses += misses;
             stats.quarantined += quarantined;
+            stats.migrated += migrated;
             built.push(dss);
         }
         Ok((Bundle::from_families(built), stats))
     }
 }
 
-/// Deletes every cache file in `dir` — live `.trace` entries and
-/// `.quarantined` corpses alike (the `--fresh` flag). Missing directories
-/// count as already purged.
+/// Deletes every cache file in `dir` — live `.trace2` and legacy `.trace`
+/// entries and `.quarantined` corpses alike (the `--fresh` flag). Missing
+/// directories count as already purged.
 pub fn purge(dir: &Path) -> std::io::Result<usize> {
     let mut removed = 0;
     let entries = match std::fs::read_dir(dir) {
@@ -146,7 +202,30 @@ pub fn purge(dir: &Path) -> std::io::Result<usize> {
         let path = entry?.path();
         if path
             .extension()
-            .is_some_and(|e| e == "trace" || e == "quarantined")
+            .is_some_and(|e| e == "trace" || e == "trace2" || e == "quarantined")
+        {
+            std::fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// Removes legacy text `.trace` entries that a sibling `.trace2` has
+/// superseded (same key, binary file present), returning how many were
+/// swept. Run after a cache pass so migrated entries do not linger at
+/// twice the disk cost; text files with no binary sibling are left as the
+/// only copy. Missing directories have nothing to sweep.
+pub fn sweep_stale(dir: &Path) -> std::io::Result<usize> {
+    let mut removed = 0;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "trace") && path.with_extension("trace2").exists()
         {
             std::fs::remove_file(&path)?;
             removed += 1;
@@ -174,6 +253,7 @@ mod tests {
         assert_eq!((s0.hits, s0.misses), (0, 8), "empty dir: all misses");
         let (warm, s1) = Bundle::generate_cached(scale, &dir).unwrap();
         assert_eq!((s1.hits, s1.misses), (8, 0), "second run: all hits");
+        assert_eq!(s1.migrated, 0, "binary entries need no migration");
         for (a, b) in cold.in_table_order().iter().zip(warm.in_table_order()) {
             assert_eq!(*a, b, "{} changed across the cache", a.name);
         }
@@ -193,12 +273,63 @@ mod tests {
     }
 
     #[test]
+    fn legacy_text_entries_hit_and_migrate_to_binary() {
+        let dir = tmp_dir("migrate");
+        let scale = Scale::reduced(8, 24);
+        let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        // Rewind the cache to the pre-binary era: text entries only.
+        for ds in reference.in_table_order() {
+            tracefile::save(ds, &text_cache_path(&dir, &ds.name, scale)).unwrap();
+            std::fs::remove_file(cache_path(&dir, &ds.name, scale)).unwrap();
+        }
+        let (bundle, stats) = Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.migrated),
+            (8, 0, 8),
+            "text entries are hits and all migrate"
+        );
+        for (a, b) in bundle
+            .in_table_order()
+            .iter()
+            .zip(reference.in_table_order())
+        {
+            assert_eq!(*a, b, "{} changed through the text fallback", a.name);
+        }
+        for ds in reference.in_table_order() {
+            assert!(
+                cache_path(&dir, &ds.name, scale).exists(),
+                "{}: migration must write the .trace2",
+                ds.name
+            );
+        }
+        // Migrated binaries supersede the text copies; the sweep removes
+        // them, and the next run is pure binary hits.
+        assert_eq!(sweep_stale(&dir).unwrap(), 8);
+        let (_, warm) = Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!((warm.hits, warm.migrated), (8, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_stale_keeps_sole_text_copies() {
+        let dir = tmp_dir("sweep-sole");
+        let scale = Scale::reduced(8, 24);
+        let (bundle, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        // One text entry with no binary sibling: must survive the sweep.
+        tracefile::save(&bundle.uw3, &text_cache_path(&dir, "UW3", scale)).unwrap();
+        std::fs::remove_file(cache_path(&dir, "UW3", scale)).unwrap();
+        assert_eq!(sweep_stale(&dir).unwrap(), 0);
+        assert!(text_cache_path(&dir, "UW3", scale).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn corrupt_cache_entry_is_quarantined_and_regenerated() {
         let dir = tmp_dir("corrupt");
         let scale = Scale::reduced(8, 24);
         let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
-        let bad = "# detour trace v9\n";
-        std::fs::write(cache_path(&dir, "UW3", scale), bad).unwrap();
+        let bad = b"DTRACE2\n but not really".to_vec();
+        std::fs::write(cache_path(&dir, "UW3", scale), &bad).unwrap();
         let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
         assert_eq!((stats.hits, stats.misses), (7, 1), "UW3 family regenerates");
         assert_eq!(stats.quarantined, 1, "the corrupt file is quarantined");
@@ -208,7 +339,7 @@ mod tests {
         );
         let corpse = quarantine_path(&dir, "UW3", scale);
         assert_eq!(
-            std::fs::read_to_string(&corpse).unwrap(),
+            std::fs::read(&corpse).unwrap(),
             bad,
             "quarantine preserves the corrupt bytes for post-mortem"
         );
@@ -222,17 +353,35 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_text_fallback_is_quarantined_too() {
+        let dir = tmp_dir("corrupt-text");
+        let scale = Scale::reduced(8, 24);
+        let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        // No binary entry, and the text fallback is damaged.
+        std::fs::remove_file(cache_path(&dir, "UW3", scale)).unwrap();
+        let text = text_cache_path(&dir, "UW3", scale);
+        std::fs::write(&text, "# detour trace v9\n").unwrap();
+        let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
+        assert_eq!(stats.quarantined, 1, "the corrupt text file is quarantined");
+        assert_eq!(again.uw3, reference.uw3);
+        assert!(
+            quarantined_path(&text).exists(),
+            "text corpse keeps its own extension chain"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn truncated_cache_entry_is_quarantined_and_regenerated() {
         let dir = tmp_dir("truncate");
         let scale = Scale::reduced(8, 24);
         let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
-        // Chop a valid trace mid-record — simulating a crash during save.
-        // Cutting one byte into a line leaves a one-letter record type the
-        // parser rejects, so the detection is deterministic.
+        // Chop a valid binary trace mid-section — simulating a crash during
+        // save. The section table's extents no longer fit the file, so the
+        // detection is deterministic.
         let path = cache_path(&dir, "UW3", scale);
-        let whole = std::fs::read_to_string(&path).unwrap();
-        let cut = whole[..whole.len() / 2].rfind('\n').unwrap() + 2;
-        std::fs::write(&path, &whole[..cut]).unwrap();
+        let whole = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &whole[..whole.len() / 2]).unwrap();
         let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
         assert_eq!(stats.quarantined, 1, "the truncated file is quarantined");
         assert_eq!(
@@ -257,8 +406,11 @@ mod tests {
     fn purge_empties_the_cache() {
         let dir = tmp_dir("purge");
         let scale = Scale::reduced(8, 24);
-        Bundle::generate_cached(scale, &dir).unwrap();
-        assert_eq!(purge(&dir).unwrap(), 8);
+        let (bundle, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        // A stale text entry and a quarantined corpse must go too.
+        tracefile::save(&bundle.uw3, &text_cache_path(&dir, "UW3", scale)).unwrap();
+        std::fs::write(quarantine_path(&dir, "UW1", scale), b"corpse").unwrap();
+        assert_eq!(purge(&dir).unwrap(), 10);
         let (_, stats) = Bundle::generate_cached(scale, &dir).unwrap();
         assert_eq!(stats.misses, 8, "purged cache regenerates everything");
         std::fs::remove_dir_all(&dir).unwrap();

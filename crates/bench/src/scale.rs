@@ -20,12 +20,13 @@
 use std::path::Path;
 
 use detour_datasets::spec::{self, DatasetSpec, Scale};
+use detour_datasets::trace2;
 use detour_faults::FaultConfig;
 use detour_measure::{tracefile, CampaignConfig, Dataset, RateLimitPolicy, Schedule};
 use detour_netsim::topology::generator::TopologyConfig;
 use detour_netsim::{Era, Network, NetworkConfig};
 
-use crate::cache::{cache_path, quarantine_path};
+use crate::cache::{cache_path, quarantined_path, text_cache_path};
 
 /// Measurement hosts in the SCALE dataset (the gate requires ≥ 120).
 pub const SCALE_HOSTS: usize = 128;
@@ -82,24 +83,39 @@ fn scale_network(spec: &DatasetSpec, scale: Scale) -> Network {
 
 /// Loads the SCALE dataset from the trace cache in `dir`, or generates and
 /// saves it. Returns the dataset and whether it was a cache hit. Follows
-/// the cache's quarantine discipline: a corrupt or mismatched file is
-/// renamed `*.quarantined` and the dataset regenerated.
+/// the cache's discipline: `.trace2` binary entries are preferred, a
+/// legacy `.trace` text entry is a hit that migrates to `.trace2` in
+/// place, and a corrupt or mismatched file of either format is renamed
+/// `*.quarantined` and the dataset regenerated.
 pub fn load_or_generate(dir: &Path) -> std::io::Result<(Dataset, bool)> {
     let spec = scale_spec();
     let scale = scale_scale();
     let path = cache_path(dir, spec.name, scale);
     if path.exists() {
-        match tracefile::load(&path) {
+        match trace2::load(&path) {
             Ok(ds) if ds.name == spec.name => return Ok((ds, true)),
             Ok(_) | Err(_) => {
-                std::fs::rename(&path, quarantine_path(dir, spec.name, scale))?;
+                std::fs::rename(&path, quarantined_path(&path))?;
+            }
+        }
+    } else {
+        let text = text_cache_path(dir, spec.name, scale);
+        if text.exists() {
+            match tracefile::load(&text) {
+                Ok(ds) if ds.name == spec.name => {
+                    trace2::save(&ds, &path)?;
+                    return Ok((ds, true));
+                }
+                Ok(_) | Err(_) => {
+                    std::fs::rename(&text, quarantined_path(&text))?;
+                }
             }
         }
     }
     std::fs::create_dir_all(dir)?;
     let net = scale_network(&spec, scale);
     let ds = spec::generate_on(&net, &spec, scale);
-    tracefile::save(&ds, &path)?;
+    trace2::save(&ds, &path)?;
     Ok((ds, false))
 }
 
@@ -139,9 +155,14 @@ mod tests {
         let ds = spec::generate_on(&net, &spec, scale);
         let path = cache_path(&dir, spec.name, scale);
         std::fs::create_dir_all(&dir).unwrap();
-        tracefile::save(&ds, &path).unwrap();
-        let back = tracefile::load(&path).unwrap();
+        trace2::save(&ds, &path).unwrap();
+        let back = trace2::load(&path).unwrap();
         assert_eq!(ds, back);
+        // The text format agrees byte-for-byte with the binary round-trip,
+        // so a cache served by either format feeds identical analyses.
+        let text_path = text_cache_path(&dir, spec.name, scale);
+        tracefile::save(&ds, &text_path).unwrap();
+        assert_eq!(tracefile::load(&text_path).unwrap(), back);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -25,6 +25,7 @@ pub mod d2;
 pub mod n2;
 pub mod registry;
 pub mod spec;
+pub mod trace2;
 pub mod uw1;
 pub mod uw3;
 pub mod uw4;

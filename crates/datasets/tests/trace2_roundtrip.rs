@@ -1,0 +1,172 @@
+//! The `.trace2` binary format's round-trip properties: any dataset —
+//! random or pipeline-generated, taken through the text parser or built
+//! directly — must survive `to_bytes` → `from_bytes` bit-identically, and
+//! the binary encoding must be a fixed point (so cache re-writes never
+//! churn bytes).
+
+use detour_datasets::{trace2, DatasetId};
+use detour_measure::{tracefile, Dataset, HostMeta, PairTable, ProbeSample, TransferSample};
+use detour_netsim::HostId;
+use detour_prng::{check, Rng, Xoshiro256pp};
+
+/// Any finite f64 bit pattern — including negative zero, subnormals and
+/// the extremes Welford sums never produce — so the round trip is tested
+/// at the bit level, not just through values the simulator emits.
+fn finite_f64(rng: &mut Xoshiro256pp) -> f64 {
+    loop {
+        let v = f64::from_bits(rng.next_u64());
+        if !v.is_nan() {
+            return v;
+        }
+    }
+}
+
+/// A structurally arbitrary dataset: host counts down to zero, empty
+/// names, absent RTTs, episodic and non-episodic probes, empty AS paths,
+/// rate-limit metadata and starved-pair counters all drawn at random.
+fn random_dataset(rng: &mut Xoshiro256pp) -> Dataset {
+    let n_hosts = rng.gen_range(0..6usize);
+    let hosts: Vec<HostMeta> = (0..n_hosts)
+        .map(|i| HostMeta {
+            id: HostId(i as u32 * 3 + rng.gen_range(1..3u32)),
+            name: if rng.gen_bool(0.1) {
+                String::new()
+            } else {
+                format!("host-{}", rng.next_u64() % 1000)
+            },
+            asn: rng.gen_range(0..u16::MAX as u32) as u16,
+            truly_rate_limited: rng.gen_bool(0.3),
+        })
+        .collect();
+    let n_paths = rng.gen_range(0..4usize);
+    let as_paths: Vec<Vec<u16>> = (0..n_paths)
+        .map(|_| {
+            (0..rng.gen_range(0..5usize))
+                .map(|_| rng.gen_range(0..u16::MAX as u32) as u16)
+                .collect()
+        })
+        .collect();
+    let probes = if hosts.is_empty() {
+        Vec::new()
+    } else {
+        (0..rng.gen_range(0..40usize))
+            .map(|_| ProbeSample {
+                src: hosts[rng.gen_range(0..hosts.len())].id,
+                dst: hosts[rng.gen_range(0..hosts.len())].id,
+                t_s: finite_f64(rng),
+                probe_index: rng.gen_range(0..3u32) as u8,
+                rtt_ms: rng.gen_bool(0.8).then(|| finite_f64(rng)),
+                loss_eligible: rng.gen_bool(0.9),
+                episode: rng.gen_bool(0.4).then(|| rng.next_u64() as u32),
+                path_idx: rng.gen_range(0..(n_paths.max(1) as u32)),
+            })
+            .collect()
+    };
+    let transfers = if hosts.is_empty() {
+        Vec::new()
+    } else {
+        (0..rng.gen_range(0..10usize))
+            .map(|_| TransferSample {
+                src: hosts[rng.gen_range(0..hosts.len())].id,
+                dst: hosts[rng.gen_range(0..hosts.len())].id,
+                t_s: finite_f64(rng),
+                rtt_ms: finite_f64(rng),
+                loss_rate: finite_f64(rng),
+                bandwidth_kbps: finite_f64(rng),
+            })
+            .collect()
+    };
+    let detected_rate_limited = hosts
+        .iter()
+        .filter(|_| rng.gen_bool(0.2))
+        .map(|h| h.id)
+        .collect();
+    Dataset {
+        name: format!("R{}", rng.next_u64() % 100),
+        hosts,
+        probes,
+        transfers,
+        as_paths,
+        duration_s: finite_f64(rng),
+        detected_rate_limited,
+        starved_pairs: rng.gen_range(0..1000usize),
+    }
+}
+
+#[test]
+fn random_datasets_roundtrip_bit_identically() {
+    check::check("trace2 roundtrips any dataset", |rng| {
+        let ds = random_dataset(rng);
+        let bytes = trace2::to_bytes(&ds);
+        let back = trace2::from_bytes(&bytes).expect("valid encoding must decode");
+        assert_eq!(back, ds, "dataset changed across the binary trip");
+        // PartialEq treats -0.0 == 0.0; the byte-level fixed point is the
+        // real bit-identity assertion.
+        assert_eq!(
+            trace2::to_bytes(&back),
+            bytes,
+            "binary encoding is not a fixed point"
+        );
+        let bits = |d: &Dataset| {
+            d.probes
+                .iter()
+                .map(|p| (p.rtt_ms.map(f64::to_bits), p.episode))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&back), bits(&ds), "RTT bits or episodes drifted");
+    });
+}
+
+#[test]
+fn text_chain_preserves_every_field() {
+    // The migration path the cache takes for legacy entries:
+    // text trace → Dataset → .trace2 → Dataset. Every metric, episode id,
+    // starved-pair counter and rate-limit flag must come out bit-identical
+    // — UW4-A carries episodes, N2 carries transfers, and the fault
+    // counters are set explicitly since the benign pipeline leaves them 0.
+    for mut ds in [
+        DatasetId::Uw4A.generate_scaled(8, 24),
+        DatasetId::N2.generate_scaled(10, 24),
+    ] {
+        ds.starved_pairs = 7;
+        if let Some(h) = ds.hosts.first() {
+            ds.detected_rate_limited = vec![h.id];
+        }
+        let text = tracefile::to_string(&ds);
+        let via_text = tracefile::from_str(&text).expect("text parses");
+        let bytes = trace2::from_text(&text).expect("text converts");
+        let back = trace2::from_bytes(&bytes).expect("binary decodes");
+        assert_eq!(back, via_text, "{}: binary diverged from text", ds.name);
+        assert_eq!(back, ds, "{}: chain lost a field", ds.name);
+        assert_eq!(
+            PairTable::build(&back),
+            PairTable::build(&ds),
+            "{}: aggregates changed across the chain",
+            ds.name
+        );
+        let episodes = |d: &Dataset| d.probes.iter().map(|p| p.episode).collect::<Vec<_>>();
+        assert_eq!(episodes(&back), episodes(&ds));
+        assert_eq!(back.starved_pairs, 7);
+        assert_eq!(back.detected_rate_limited, ds.detected_rate_limited);
+    }
+}
+
+#[test]
+fn file_roundtrip_and_unknown_versions_fail_loudly() {
+    let dir = std::env::temp_dir().join(format!("detour-trace2-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("uw4a.trace2");
+    let ds = DatasetId::Uw4A.generate_scaled(8, 24);
+    trace2::save(&ds, &path).unwrap();
+    assert_eq!(trace2::load(&path).unwrap(), ds);
+
+    // Bump the version field (bytes 8..12 little-endian): the loader must
+    // refuse rather than guess at a future layout.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        trace2::from_bytes(&bytes),
+        Err(trace2::Trace2Error::UnsupportedVersion(2))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

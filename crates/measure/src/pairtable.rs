@@ -50,11 +50,13 @@ pub struct PairTable {
     rtt_samples: Vec<f64>,
 }
 
-/// Intermediate per-cell accumulator (probe order preserved).
+/// Intermediate per-cell accumulator (probe order preserved). Raw RTT
+/// samples live outside the accumulator, in one blob shared by every
+/// cell — a counting pre-pass sizes it exactly, so the build performs no
+/// per-cell sample allocation.
 #[derive(Default)]
 struct CellAcc {
     rtt: OnlineStats,
-    rtt_samples: Vec<f64>,
     loss: OnlineStats,
     bw: OnlineStats,
     t_rtt: OnlineStats,
@@ -70,28 +72,57 @@ impl PairTable {
 
     /// Builds the table from the probes satisfying `keep` (all transfers
     /// are always included — the time-of-day and episode analyses only
-    /// slice probe datasets).
+    /// slice probe datasets). `keep` is evaluated twice per probe: a
+    /// counting pre-pass sizes the shared RTT-sample blob exactly, so
+    /// the build never grows a per-cell sample vector.
     pub fn build_filtered(ds: &Dataset, keep: impl Fn(&ProbeSample) -> bool) -> PairTable {
         let hosts: Vec<HostId> = ds.hosts.iter().map(|h| h.id).collect();
         let index: HashMap<HostId, usize> =
             hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
         let n = hosts.len();
-        let mut accs: Vec<Option<CellAcc>> = (0..n * n).map(|_| None).collect();
 
+        // Pass 1: count returned probes per cell, then prefix-sum the
+        // counts in place into the blob offsets. A cell with any RTT
+        // sample always materializes an RTT summary and is therefore
+        // always kept below, so these offsets are exactly the kept-cell
+        // cumulative lengths the old grow-and-append build produced.
+        let mut rtt_off: Vec<u32> = vec![0; n * n + 1];
         for p in ds.probes.iter().filter(|p| keep(p)) {
             let (Some(&i), Some(&j)) = (index.get(&p.src), index.get(&p.dst)) else {
                 continue;
             };
-            let acc = accs[i * n + j].get_or_insert_with(CellAcc::default);
+            if p.rtt_ms.is_some() {
+                rtt_off[i * n + j + 1] += 1;
+            }
+        }
+        for c in 0..n * n {
+            rtt_off[c + 1] += rtt_off[c];
+        }
+        let mut rtt_samples: Vec<f64> = vec![0.0; rtt_off[n * n] as usize];
+        let mut cursor: Vec<u32> = rtt_off[..n * n].to_vec();
+
+        // Pass 2: accumulate the online stats and write each sample
+        // straight into its cell's region of the shared blob. Probe order
+        // is preserved within each cell, so the Welford summaries and the
+        // sample slices stay bit-identical to the per-cell-vector build.
+        let mut accs: Vec<Option<CellAcc>> = (0..n * n).map(|_| None).collect();
+        for p in ds.probes.iter().filter(|p| keep(p)) {
+            let (Some(&i), Some(&j)) = (index.get(&p.src), index.get(&p.dst)) else {
+                continue;
+            };
+            let c = i * n + j;
+            let acc = accs[c].get_or_insert_with(CellAcc::default);
             if let Some(rtt) = p.rtt_ms {
                 acc.rtt.push(rtt);
-                acc.rtt_samples.push(rtt);
+                rtt_samples[cursor[c] as usize] = rtt;
+                cursor[c] += 1;
             }
             if p.loss_eligible {
                 acc.loss.push(if p.lost() { 1.0 } else { 0.0 });
             }
             *acc.path_votes.entry(p.path_idx).or_default() += 1;
         }
+        debug_assert_eq!(&cursor[..], &rtt_off[1..], "blob regions exactly filled");
         for t in &ds.transfers {
             let (Some(&i), Some(&j)) = (index.get(&t.src), index.get(&t.dst)) else {
                 continue;
@@ -110,10 +141,9 @@ impl PairTable {
             transfer_rtt: Vec::with_capacity(n * n),
             transfer_loss: Vec::with_capacity(n * n),
             modal_path: Vec::with_capacity(n * n),
-            rtt_off: Vec::with_capacity(n * n + 1),
-            rtt_samples: Vec::new(),
+            rtt_off,
+            rtt_samples,
         };
-        table.rtt_off.push(0);
         for cell in accs {
             // A cell counts as measured only when at least one summary
             // materialized — mirrors the downstream graph's edge filter.
@@ -133,7 +163,6 @@ impl PairTable {
                             .max_by_key(|&(&idx, &c)| (c, std::cmp::Reverse(idx)))
                             .map(|(&idx, _)| idx),
                     );
-                    table.rtt_samples.extend_from_slice(&a.rtt_samples);
                 }
                 _ => {
                     table.rtt.push(None);
@@ -144,7 +173,6 @@ impl PairTable {
                     table.modal_path.push(None);
                 }
             }
-            table.rtt_off.push(table.rtt_samples.len() as u32);
         }
         table
     }

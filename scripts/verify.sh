@@ -28,7 +28,7 @@ done
 
 if [[ "$FRESH" == 1 ]]; then
   echo "== --fresh: purging results/cache/ =="
-  rm -f results/cache/*.trace results/cache/*.quarantined 2>/dev/null || true
+  rm -f results/cache/*.trace results/cache/*.trace2 results/cache/*.quarantined 2>/dev/null || true
 fi
 
 echo "== cargo fmt --check =="
@@ -89,6 +89,14 @@ sed -n 's/.*"clone_rebuild_seconds": \([0-9.]*\).*/  fig12 greedy: clone-rebuild
   BENCH_baseline.json
 
 echo
+echo "load paths (SCALE dataset; cold = generate + write, warm = decode only):"
+printf '  %-22s %s\n' path seconds
+sed -n 's/.*"load_cold_seconds": \([0-9.]*\).*/  cold (generate)        \1s/p' BENCH_baseline.json
+sed -n 's/.*"load_seconds": \([0-9.]*\), "text_load_seconds": \([0-9.]*\).*/  warm binary (.trace2)  \1s\n  warm text (.trace)     \2s/p' \
+  BENCH_baseline.json
+sed -n 's/.*"binary_load_speedup_vs_text": \([0-9.]*\).*/  binary vs text: \1x/p' BENCH_baseline.json
+
+echo
 echo "scale_sweep (source-batched kernel on the 128-host SCALE dataset):"
 sed -n 's/.*"scale_hosts": \([0-9]*\), "pairs": \([0-9]*\), "fixups": \([0-9]*\), "avoided": \([0-9]*\).*/  hosts \1, pairs \2: \3 exclusion re-searches run, \4 avoided (answered from the SSSP tree)/p' \
   BENCH_baseline.json
@@ -103,9 +111,14 @@ echo "speedup regression (2-worker speedups; gates enforced by the baseline bina
 ENGINE2=$(sed -n 's/.*"threads": 2, "seconds": [0-9.]*, "load_seconds".*"speedup_vs_1": \([0-9.]*\).*/\1/p' BENCH_baseline.json)
 CAMP2=$(sed -n 's/.*"threads": 2, "seconds": \([0-9.]*\), "speedup_vs_1": \([0-9.]*\).*/\2/p' BENCH_baseline.json)
 SWEEP2=$(sed -n 's/.*"threads": 2, "sweep_seconds": [0-9.]*, "sweep_speedup_vs_1": \([0-9.]*\).*/\1/p' BENCH_baseline.json)
+LOADX=$(sed -n 's/.*"binary_load_speedup_vs_text": \([0-9.]*\).*/\1/p' BENCH_baseline.json)
+# Single-core hosts suppress multi-worker rows, so the 2-worker cells
+# read n/a there (the baseline binary only gates them on multi-core).
+x() { if [[ -n "${1:-}" ]]; then echo "$1x"; else echo "n/a"; fi; }
 printf '  %-24s %-9s %s\n' workload speedup gate
-printf '  %-24s %-9s %s\n' "engine (end-to-end)" "${ENGINE2:-n/a}x" ">= 1.2"
-printf '  %-24s %-9s %s\n' "campaign (batched)" "${CAMP2:-n/a}x" ">= 1.3"
-printf '  %-24s %-9s %s\n' "scale_sweep (batched)" "${SWEEP2:-n/a}x" ">= 1.3"
+printf '  %-24s %-9s %s\n' "engine (end-to-end)" "$(x "$ENGINE2")" ">= 1.2"
+printf '  %-24s %-9s %s\n' "campaign (batched)" "$(x "$CAMP2")" ">= 1.3"
+printf '  %-24s %-9s %s\n' "scale_sweep (batched)" "$(x "$SWEEP2")" ">= 1.3"
+printf '  %-24s %-9s %s\n' "binary load vs text" "$(x "$LOADX")" ">= 3.0 (all hosts)"
 
 echo "verify: OK"

@@ -216,3 +216,76 @@ fn mutated_tracefiles_never_panic_the_parser() {
     assert!(parsed > 0, "no mutant parsed — mutator too destructive");
     assert!(rejected > 0, "no mutant rejected — mutator too gentle");
 }
+
+/// Seeded mutations of a valid `.trace2` binary trace: truncations, byte
+/// flips, and scrambled section-table length/offset fields. The decoder
+/// must return `Ok` or a typed [`trace2::Trace2Error`] for every mutant —
+/// never panic — and because every payload byte is covered by a section
+/// checksum (and the header and table are validated field by field), any
+/// mutant that decodes at all must decode to the *original* dataset: the
+/// only survivable mutation is one that changed nothing.
+#[test]
+fn mutated_trace2_files_never_panic_the_decoder() {
+    use detour::datasets::trace2;
+
+    let ds = generate(&chaos_spec(FaultConfig::none()), Scale::reduced(6, 4));
+    let valid = trace2::to_bytes(&ds);
+    // Table geometry from the documented wire layout: section count at
+    // header bytes 12..16, then 32-byte entries with the length at +16
+    // and the offset at +8.
+    let sections = u32::from_le_bytes(valid[12..16].try_into().unwrap()) as usize;
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7e57_b1f2);
+    let mut parsed = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..200 {
+        let mutant: Vec<u8> = match rng.next_u64() % 4 {
+            // Truncate at an arbitrary byte.
+            0 => {
+                let cut = (rng.next_u64() as usize) % valid.len();
+                valid[..cut].to_vec()
+            }
+            // Replace one byte with an arbitrary value (occasionally the
+            // same value — the identity mutant must then parse, and must
+            // parse to the original dataset).
+            1 => {
+                let mut b = valid.clone();
+                let at = (rng.next_u64() as usize) % b.len();
+                b[at] = rng.next_u64() as u8;
+                b
+            }
+            // Scramble one table entry's length field.
+            2 => {
+                let mut b = valid.clone();
+                let entry = 16 + 32 * ((rng.next_u64() as usize) % sections);
+                b[entry + 16..entry + 24].copy_from_slice(&rng.next_u64().to_le_bytes());
+                b
+            }
+            // Scramble one table entry's offset field.
+            _ => {
+                let mut b = valid.clone();
+                let entry = 16 + 32 * ((rng.next_u64() as usize) % sections);
+                b[entry + 8..entry + 16].copy_from_slice(&rng.next_u64().to_le_bytes());
+                b
+            }
+        };
+        match trace2::from_bytes(&mutant) {
+            Ok(back) => {
+                parsed += 1;
+                assert_eq!(
+                    back, ds,
+                    "a mutant decoded to a *different* dataset — corruption passed the checksums"
+                );
+            }
+            Err(e) => {
+                rejected += 1;
+                // Typed errors must render a non-empty diagnostic.
+                assert!(!e.to_string().is_empty(), "error without a message");
+            }
+        }
+    }
+    assert!(
+        rejected > 150,
+        "only {rejected}/200 mutants rejected — checksums not doing their job"
+    );
+    assert_eq!(parsed + rejected, 200);
+}
