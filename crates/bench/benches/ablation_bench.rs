@@ -93,5 +93,5 @@ fn main() {
     bench_routing_modes(&mut b);
     bench_loss_composition(&mut b);
     bench_search_depth(&mut b);
-    b.finish();
+    eprint!("{}", b.finish());
 }

@@ -56,5 +56,5 @@ fn main() {
             .len()
     });
 
-    b.finish();
+    eprint!("{}", b.finish());
 }

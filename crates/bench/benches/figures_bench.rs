@@ -21,5 +21,5 @@ fn main() {
             report.len()
         });
     }
-    b.finish();
+    eprint!("{}", b.finish());
 }

@@ -68,5 +68,5 @@ fn main() {
     bench_probe_round(&mut b);
     bench_route_selection(&mut b);
     bench_relay_send(&mut b);
-    b.finish();
+    eprint!("{}", b.finish());
 }

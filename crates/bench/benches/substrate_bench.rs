@@ -104,5 +104,5 @@ fn main() {
     bench_probing(&mut b);
     bench_analysis_kernels(&mut b);
     bench_modes(&mut b);
-    b.finish();
+    eprint!("{}", b.finish());
 }

@@ -6,6 +6,17 @@
 //! cargo run -p detour-bench --release --bin baseline -- [out.json]
 //! ```
 //!
+//! Every timing and count in this binary flows through one `detour-obs`
+//! [`Recorder`] installed at the top of `main`: the pipeline's own spans
+//! and counters (`net/*`, `dataset/*`, `cache/*`, `context/*`,
+//! `kernel/*`, `engine/*`, `faults/*`, `pool/*`) accumulate alongside the
+//! baseline's own `baseline/*` spans, and the full report is written to
+//! `results/obs_report.json` (schema `detour-obs-v1`) and rendered as a
+//! table on stderr at the end of the run. The JSON written to the output
+//! path keeps its historical field names — `scripts/verify.sh` extracts
+//! them with `sed` — but every number in it is read back out of the
+//! recorder rather than from ad-hoc stat structs.
+//!
 //! The run starts **cold**: the trace cache under `results/cache/` is
 //! purged and regenerated once (eight misses), timing how much a cold
 //! start costs. Every subsequent "run" is **warm** — it loads the eight
@@ -30,11 +41,12 @@
 //!   artifact store removes the rebuild serialization that used to eat the
 //!   win).
 //!
-//! The JSON also records the cache hit/miss counts of every run and the
-//! per-run artifact build count — eight tables + eight graphs + one weight
-//! matrix per (dataset, metric-family) actually used — which proves each
-//! artifact was built exactly once no matter how many experiments shared
-//! it.
+//! The JSON also records the cache hit/miss counters of every run
+//! (`cache/hits`, `cache/misses`) and the per-run artifact build count —
+//! the sum of the `context/*_builds` counters: eight tables, eight
+//! graphs, and one weight matrix per (dataset, metric-family) actually
+//! used — which proves each artifact was built exactly once no matter how
+//! many experiments shared it.
 //!
 //! A separate `fig12_greedy` entry times the Figure-12 greedy host
 //! removal both ways — the pre-change clone-plus-rebuild loop
@@ -47,22 +59,25 @@
 //! the same trace cache) at every worker count, byte-compares every run
 //! against the first and against the retained per-pair reference
 //! ([`reference::per_pair_sweep`]), and records the fix-up/avoided
-//! re-search counts. The dataset's load path is timed three ways —
-//! `load_cold_seconds` (post-purge, so generation plus the first
-//! `.trace2` write), `load_seconds` (warm binary decode, best of three),
-//! and `text_load_seconds` (the legacy text parser on the same dataset,
-//! best of three) — all three loads asserted equal. Three gates ride on
-//! it: the batched kernel must beat the per-pair reference ≥ 3× at one
-//! worker (always), the warm `.trace2` load must beat the text parser
-//! ≥ 3× (always), and two workers must beat one by ≥ 1.3× (multi-core
-//! hosts only).
+//! re-search counts (the `kernel/sweep_*` counters). The dataset's load
+//! path is timed three ways — `load_cold_seconds` (post-purge, so
+//! generation plus the first `.trace2` write), `load_seconds` (warm binary
+//! decode, best of three via [`Recorder::best_of`]), and
+//! `text_load_seconds` (the legacy text parser on the same dataset, best
+//! of three) — all three loads asserted equal. Three gates ride on it:
+//! the batched kernel must beat the per-pair reference ≥ 3× at one worker
+//! (always), the warm `.trace2` load must beat the text parser ≥ 3×
+//! (always), and two workers must beat one by ≥ 1.3× (multi-core hosts
+//! only).
 //!
 //! Two further sections map where dataset generation itself spends its
 //! time (it is all cold-start cost now that warm runs load traces):
 //!
 //! * `generate_stages` — one representative reduced UW3 generation per
 //!   worker count, split into network-build / routing-precompute /
-//!   campaign / assemble wall-clock;
+//!   campaign / assemble wall-clock, read from the pipeline's own
+//!   `net/build`, `net/routing`, `dataset/campaign`, and
+//!   `dataset/assemble` spans;
 //! * `campaign` — the measurement campaign alone (fixed network, fixed
 //!   request list) at each worker count, with the output byte-compared to
 //!   the 1-worker run. On a multi-core host the 2-worker campaign must
@@ -70,7 +85,6 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
-use std::time::Instant;
 
 use detour_bench::experiments::{run_all, ALL_EXPERIMENTS};
 use detour_bench::{cache, reference, scale as scale_workload, Bundle, Study};
@@ -78,9 +92,10 @@ use detour_core::altpath::SearchDepth;
 use detour_core::analysis::hostremoval::greedy_removal;
 use detour_core::kernel;
 use detour_core::{pool, AnalysisContext, Rtt};
-use detour_datasets::{generate_staged, GenerateStages, Scale};
+use detour_datasets::Scale;
 use detour_measure::{run_campaign, tracefile, CampaignConfig, RawMeasurements, Request, Schedule};
 use detour_netsim::Network;
+use detour_obs::{Recorder, RunReport};
 use detour_prng::Xoshiro256pp;
 
 /// The benchmark scale: big enough that stage timings dominate the timer
@@ -89,6 +104,10 @@ const SCALE: (usize, u32) = (10, 16);
 
 /// Where the trace cache lives (matches the `figures` binary).
 const CACHE_DIR: &str = "results/cache";
+
+/// Where the full observability report lands (matches `scripts/verify.sh`
+/// and the `obscheck` manifest gate).
+const OBS_REPORT_PATH: &str = "results/obs_report.json";
 
 fn scale() -> Scale {
     Scale::reduced(SCALE.0, SCALE.1)
@@ -107,22 +126,37 @@ impl Stages {
     }
 }
 
+/// Sum of the `context/*_builds` counters in a report delta — the number
+/// of shared artifacts (pair tables, graphs, weight matrices, bandwidth
+/// matrices) constructed during that window.
+fn artifact_builds(d: &RunReport) -> u64 {
+    [
+        "context/table_builds",
+        "context/graph_builds",
+        "context/weights_rtt_builds",
+        "context/weights_loss_builds",
+        "context/weights_prop_builds",
+        "context/bandwidth_builds",
+    ]
+    .iter()
+    .map(|name| d.counter(name))
+    .sum()
+}
+
 /// One warm engine run: cache load → context build → experiment sweep.
-/// Returns the timings, the concatenated reports, the cache stats, and the
-/// artifact build count.
-fn warm_run(dir: &Path) -> (Stages, Vec<String>, cache::CacheStats, usize) {
-    let t = Instant::now();
-    let (bundle, stats) = Bundle::generate_cached(scale(), dir).expect("trace cache");
-    let load = t.elapsed().as_secs_f64();
-
-    let t = Instant::now();
-    let study = Study::from_bundle(bundle);
-    let context = t.elapsed().as_secs_f64();
-
-    let t = Instant::now();
-    let reports = run_all(&study, ALL_EXPERIMENTS);
-    let experiments = t.elapsed().as_secs_f64();
-
+/// Returns the stage timings, the concatenated reports, the cache
+/// (hits, misses) delta, and the artifact build count — the last two read
+/// from the recorder instead of hand-threaded stat structs.
+fn warm_run(rec: &Recorder, dir: &Path) -> (Stages, Vec<String>, (u64, u64), u64) {
+    let before = rec.snapshot();
+    let (bundle, load) = rec.time("baseline/warm_load", || {
+        Bundle::generate_cached(scale(), dir).expect("trace cache")
+    });
+    let (study, context) = rec.time("baseline/warm_context", || Study::from_bundle(bundle));
+    let (reports, experiments) = rec.time("baseline/warm_experiments", || {
+        run_all(&study, ALL_EXPERIMENTS)
+    });
+    let d = rec.snapshot().delta_since(&before);
     (
         Stages {
             load,
@@ -130,14 +164,14 @@ fn warm_run(dir: &Path) -> (Stages, Vec<String>, cache::CacheStats, usize) {
             experiments,
         },
         reports,
-        stats,
-        study.artifact_builds(),
+        (d.counter("cache/hits"), d.counter("cache/misses")),
+        artifact_builds(&d),
     )
 }
 
 /// The pre-refactor engine's reports for the same study, for byte-identity.
 fn rebuild_reports(dir: &Path) -> Vec<String> {
-    let (bundle, _) = Bundle::generate_cached(scale(), dir).expect("trace cache");
+    let bundle = Bundle::generate_cached(scale(), dir).expect("trace cache");
     let study = Study::from_bundle(bundle);
     ALL_EXPERIMENTS
         .iter()
@@ -151,18 +185,17 @@ const FIG12_REMOVALS: usize = 5;
 
 /// Times the Figure-12 greedy both ways on one graph; returns
 /// `(reference_secs, kernel_secs)` after checking both agree.
-fn time_fig12_greedy() -> (f64, f64) {
+fn time_fig12_greedy(rec: &Recorder) -> (f64, f64) {
     let ds = detour_datasets::DatasetId::Uw3.generate_scaled(FIG12_HOSTS, 16);
     let cx = AnalysisContext::from_dataset(&ds);
     let k = FIG12_REMOVALS;
 
-    let t = Instant::now();
-    let kern = greedy_removal(&cx, &Rtt, k);
-    let kernel_secs = t.elapsed().as_secs_f64();
-
-    let t = Instant::now();
-    let refr = reference::clone_rebuild_greedy(cx.graph(), &Rtt, k);
-    let reference_secs = t.elapsed().as_secs_f64();
+    let (kern, kernel_secs) = rec.time("baseline/fig12_masked_kernel", || {
+        greedy_removal(&cx, &Rtt, k)
+    });
+    let (refr, reference_secs) = rec.time("baseline/fig12_clone_rebuild", || {
+        reference::clone_rebuild_greedy(cx.graph(), &Rtt, k)
+    });
 
     // The speedup claim is only meaningful if both loops computed the same
     // experiment.
@@ -173,13 +206,31 @@ fn time_fig12_greedy() -> (f64, f64) {
     (reference_secs, kernel_secs)
 }
 
-/// One representative reduced UW3 generation, staged. Returns the
-/// wall-clock split so the JSON (and `scripts/verify.sh`) can show where
-/// generation time goes as workers scale.
-fn staged_generate() -> GenerateStages {
+/// The wall-clock split of one dataset generation, read from the
+/// pipeline's own spans rather than a bespoke stage struct.
+struct GenStages {
+    network_build: f64,
+    routing_precompute: f64,
+    campaign: f64,
+    assemble: f64,
+}
+
+/// One representative reduced UW3 generation. The generation pipeline
+/// instruments itself (`net/build`, `net/routing`, `dataset/campaign`,
+/// `dataset/assemble`); this just runs it and reads the span delta so the
+/// JSON (and `scripts/verify.sh`) can show where generation time goes as
+/// workers scale.
+fn staged_generate(rec: &Recorder) -> GenStages {
+    let before = rec.snapshot();
     let spec = detour_datasets::uw3::spec();
-    let (_, stages) = generate_staged(&spec, scale());
-    stages
+    let _ = detour_datasets::generate(&spec, scale());
+    let d = rec.snapshot().delta_since(&before);
+    GenStages {
+        network_build: d.span_seconds("net/build"),
+        routing_precompute: d.span_seconds("net/routing"),
+        campaign: d.span_seconds("dataset/campaign"),
+        assemble: d.span_seconds("dataset/assemble"),
+    }
 }
 
 /// A fixed campaign workload for the thread-scaling entry: one reduced
@@ -198,10 +249,11 @@ fn campaign_workload() -> (Network, Vec<Request>) {
 }
 
 /// Times the campaign alone at the current worker count.
-fn time_campaign(net: &Network, requests: &[Request]) -> (f64, RawMeasurements) {
-    let t = Instant::now();
-    let raw = run_campaign(net, requests, &CampaignConfig::traceroute(), 17);
-    (t.elapsed().as_secs_f64(), raw)
+fn time_campaign(rec: &Recorder, net: &Network, requests: &[Request]) -> (f64, RawMeasurements) {
+    let (raw, secs) = rec.time("baseline/campaign", || {
+        run_campaign(net, requests, &CampaignConfig::traceroute(), 17)
+    });
+    (secs, raw)
 }
 
 fn main() {
@@ -212,6 +264,11 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let cache_dir = Path::new(CACHE_DIR);
+
+    // One recorder for the whole run: installed here, inherited by every
+    // pool worker, snapshotted at the end into `results/obs_report.json`.
+    let rec = Recorder::new();
+    let _obs = detour_obs::install(rec.clone());
 
     // On a single-core host, multi-worker rows measure scheduling overhead,
     // not parallelism — suppress them instead of printing 0.9x "speedups".
@@ -228,18 +285,21 @@ fn main() {
     // Cold start: purge the trace cache and generate every dataset exactly
     // once (the only simulation work in the whole run).
     cache::purge(cache_dir).expect("purge trace cache");
-    let t = Instant::now();
-    let (_, cold_stats) = Bundle::generate_cached(scale(), cache_dir).expect("cold generate");
-    let cold_secs = t.elapsed().as_secs_f64();
+    let before_cold = rec.snapshot();
+    let (_, cold_secs) = rec.time("baseline/cold_generate", || {
+        Bundle::generate_cached(scale(), cache_dir).expect("cold generate")
+    });
+    let cold_delta = rec.snapshot().delta_since(&before_cold);
+    let (cold_hits, cold_misses) = (
+        cold_delta.counter("cache/hits"),
+        cold_delta.counter("cache/misses"),
+    );
     assert_eq!(
-        (cold_stats.hits, cold_stats.misses),
+        (cold_hits, cold_misses),
         (0, 8),
         "cold run must generate all eight datasets"
     );
-    eprintln!(
-        "baseline: cold generate {cold_secs:.2} s ({} misses -> {CACHE_DIR})",
-        cold_stats.misses
-    );
+    eprintln!("baseline: cold generate {cold_secs:.2} s ({cold_misses} misses -> {CACHE_DIR})");
 
     // The campaign workload is built once, outside the timed loop, so every
     // worker count measures the same network and request list.
@@ -247,12 +307,12 @@ fn main() {
 
     let mut reference_reports: Option<Vec<String>> = None;
     let mut camp_reference: Option<RawMeasurements> = None;
-    let mut runs: Vec<(usize, Stages, cache::CacheStats, usize)> = Vec::new();
-    let mut gen_runs: Vec<(usize, GenerateStages)> = Vec::new();
+    let mut runs: Vec<(usize, Stages, (u64, u64), u64)> = Vec::new();
+    let mut gen_runs: Vec<(usize, GenStages)> = Vec::new();
     let mut camp_runs: Vec<(usize, f64)> = Vec::new();
     for &n in &counts {
         pool::set_threads(n);
-        let (stages, reports, stats, builds) = warm_run(cache_dir);
+        let (stages, reports, (hits, misses), builds) = warm_run(&rec, cache_dir);
         eprintln!(
             "baseline: {n} worker(s): {:.2} s (load {:.2} + contexts {:.2} + experiments {:.2}), {} artifact builds",
             stages.total(),
@@ -262,7 +322,7 @@ fn main() {
             builds,
         );
         assert_eq!(
-            (stats.hits, stats.misses),
+            (hits, misses),
             (8, 0),
             "warm run must load all eight datasets from the cache"
         );
@@ -293,16 +353,16 @@ fn main() {
             }
             std::process::exit(1);
         }
-        runs.push((n, stages, stats, builds));
+        runs.push((n, stages, (hits, misses), builds));
 
-        let gs = staged_generate();
+        let gs = staged_generate(&rec);
         eprintln!(
             "baseline: {n} worker(s) generate stages: network {:.3} + routing {:.3} + campaign {:.3} + assemble {:.3} s",
             gs.network_build, gs.routing_precompute, gs.campaign, gs.assemble,
         );
         gen_runs.push((n, gs));
 
-        let (camp_secs, raw) = time_campaign(&camp_net, &camp_reqs);
+        let (camp_secs, raw) = time_campaign(&rec, &camp_net, &camp_reqs);
         eprintln!(
             "baseline: {n} worker(s) campaign alone: {camp_secs:.3} s ({} requests)",
             camp_reqs.len()
@@ -324,7 +384,7 @@ fn main() {
     // Figure-12 greedy: clone-rebuild reference vs. masked kernel, single
     // worker so the ratio measures the algorithm, not the fan-out.
     pool::set_threads(1);
-    let (fig12_ref, fig12_kernel) = time_fig12_greedy();
+    let (fig12_ref, fig12_kernel) = time_fig12_greedy(&rec);
     let fig12_speedup = fig12_ref / fig12_kernel.max(1e-9);
     eprintln!(
         "baseline: fig12_greedy: clone-rebuild {fig12_ref:.3} s, masked kernel \
@@ -341,9 +401,9 @@ fn main() {
     // the load-path optimization is gated on) times the `.trace2` decode
     // alone, best of three, against the legacy text parser on the same
     // dataset, also best of three.
-    let t = Instant::now();
-    let (scale_ds, scale_hit) = scale_workload::load_or_generate(cache_dir).expect("scale dataset");
-    let scale_cold_secs = t.elapsed().as_secs_f64();
+    let ((scale_ds, scale_hit), scale_cold_secs) = rec.time("baseline/scale_load_cold", || {
+        scale_workload::load_or_generate(cache_dir).expect("scale dataset")
+    });
     eprintln!(
         "baseline: scale_sweep dataset: {} hosts, cache {} (cold {scale_cold_secs:.2} s)",
         scale_ds.hosts.len(),
@@ -354,31 +414,25 @@ fn main() {
         "scale_sweep needs >= 120 hosts, got {}",
         scale_ds.hosts.len()
     );
-    let mut scale_load_secs = f64::INFINITY;
-    for _ in 0..3 {
-        let t = Instant::now();
+    let (_, scale_load_secs) = rec.best_of("baseline/scale_load_warm", 3, || {
         let (warm_ds, warm_hit) =
             scale_workload::load_or_generate(cache_dir).expect("warm scale dataset");
-        scale_load_secs = scale_load_secs.min(t.elapsed().as_secs_f64());
         assert!(warm_hit, "warm scale load must be a cache hit");
         assert_eq!(
             warm_ds, scale_ds,
             "warm .trace2 load must be byte-identical"
         );
-    }
+    });
     let scale_text_path = cache::text_cache_path(
         cache_dir,
         scale_workload::scale_spec().name,
         scale_workload::scale_scale(),
     );
     tracefile::save(&scale_ds, &scale_text_path).expect("write text trace");
-    let mut text_load_secs = f64::INFINITY;
-    for _ in 0..3 {
-        let t = Instant::now();
+    let (_, text_load_secs) = rec.best_of("baseline/scale_load_text", 3, || {
         let text_ds = tracefile::load(&scale_text_path).expect("text trace load");
-        text_load_secs = text_load_secs.min(t.elapsed().as_secs_f64());
         assert_eq!(text_ds, scale_ds, "text load must be byte-identical");
-    }
+    });
     let swept = cache::sweep_stale(cache_dir).expect("sweep stale text traces");
     let load_speedup = text_load_secs / scale_load_secs.max(1e-9);
     eprintln!(
@@ -390,16 +444,22 @@ fn main() {
     let scale_mask = scale_m.no_mask();
     let mut sweep_runs: Vec<(usize, f64)> = Vec::new();
     let mut sweep_reference = None;
-    let mut sweep_stats = kernel::SweepStats::default();
+    let mut sweep_stats = (0u64, 0u64, 0u64);
     for &n in &counts {
         pool::set_threads(n);
-        let t = Instant::now();
-        let (out, stats) =
-            kernel::sweep_with_stats(scale_m, &scale_mask, &Rtt, SearchDepth::Unrestricted);
-        let secs = t.elapsed().as_secs_f64();
+        let before = rec.snapshot();
+        let (out, secs) = rec.time("baseline/scale_sweep", || {
+            kernel::sweep(scale_m, &scale_mask, &Rtt, SearchDepth::Unrestricted)
+        });
+        let d = rec.snapshot().delta_since(&before);
+        let stats = (
+            d.counter("kernel/sweep_pairs"),
+            d.counter("kernel/sweep_fixups"),
+            d.counter("kernel/sweep_avoided"),
+        );
         eprintln!(
             "baseline: scale_sweep {n} worker(s): {secs:.3} s ({} pairs, {} fixups, {} avoided)",
-            stats.pairs, stats.fixups, stats.avoided
+            stats.0, stats.1, stats.2
         );
         match &sweep_reference {
             None => {
@@ -421,9 +481,9 @@ fn main() {
     // The per-pair reference, single-worker, and the batched kernel's
     // matching single-worker time for the algorithmic (not fan-out) ratio.
     pool::set_threads(1);
-    let t = Instant::now();
-    let per_pair = reference::per_pair_sweep(scale_m, &scale_mask, &Rtt, SearchDepth::Unrestricted);
-    let sweep_ref_secs = t.elapsed().as_secs_f64();
+    let (per_pair, sweep_ref_secs) = rec.time("baseline/scale_sweep_reference", || {
+        reference::per_pair_sweep(scale_m, &scale_mask, &Rtt, SearchDepth::Unrestricted)
+    });
     pool::set_threads(0);
     if sweep_reference.as_deref() != Some(&per_pair[..]) {
         eprintln!("baseline: FAIL — scale_sweep batched kernel differs from per-pair reference");
@@ -449,24 +509,20 @@ fn main() {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"bench\": \"engine_all_experiments_shared_artifacts\",\n  \"cores\": {cores},\n  \"experiments\": {},\n  \"byte_identical_across_thread_counts\": true,\n  \"byte_identical_to_rebuild_engine\": true,\n  \"cache\": {{\"dir\": \"{CACHE_DIR}\", \"cold_seconds\": {cold_secs:.3}, \"cold_hits\": {}, \"cold_misses\": {}}},\n  \"runs\": [",
+        "{{\n  \"bench\": \"engine_all_experiments_shared_artifacts\",\n  \"cores\": {cores},\n  \"experiments\": {},\n  \"byte_identical_across_thread_counts\": true,\n  \"byte_identical_to_rebuild_engine\": true,\n  \"cache\": {{\"dir\": \"{CACHE_DIR}\", \"cold_seconds\": {cold_secs:.3}, \"cold_hits\": {cold_hits}, \"cold_misses\": {cold_misses}}},\n  \"runs\": [",
         ALL_EXPERIMENTS.len(),
-        cold_stats.hits,
-        cold_stats.misses,
     );
-    for (i, (n, s, stats, builds)) in runs.iter().enumerate() {
+    for (i, (n, s, (hits, misses), builds)) in runs.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\n    {{\"threads\": {n}, \"seconds\": {:.3}, \"load_seconds\": {:.3}, \"context_seconds\": {:.3}, \"experiment_seconds\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \"artifact_builds\": {builds}, \"speedup_vs_1\": {:.2}}}",
+            "\n    {{\"threads\": {n}, \"seconds\": {:.3}, \"load_seconds\": {:.3}, \"context_seconds\": {:.3}, \"experiment_seconds\": {:.3}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"artifact_builds\": {builds}, \"speedup_vs_1\": {:.2}}}",
             s.total(),
             s.load,
             s.context,
             s.experiments,
-            stats.hits,
-            stats.misses,
             t1 / s.total()
         );
     }
@@ -503,9 +559,9 @@ fn main() {
         "\n  ],\n  \"campaign_requests\": {},\n  \"fig12_greedy\": {{\n    \"hosts\": {FIG12_HOSTS},\n    \"removals\": {FIG12_REMOVALS},\n    \"clone_rebuild_seconds\": {fig12_ref:.3},\n    \"masked_kernel_seconds\": {fig12_kernel:.3},\n    \"speedup\": {fig12_speedup:.2}\n  }},\n  \"scale_sweep\": {{\n    \"scale_hosts\": {}, \"pairs\": {}, \"fixups\": {}, \"avoided\": {},\n    \"cache_hit\": {scale_hit}, \"load_cold_seconds\": {scale_cold_secs:.3},\n    \"load_seconds\": {scale_load_secs:.4}, \"text_load_seconds\": {text_load_secs:.4},\n    \"binary_load_speedup_vs_text\": {load_speedup:.2},\n    \"reference_seconds\": {sweep_ref_secs:.3}, \"batched_speedup_vs_reference\": {sweep_algo_speedup:.2},\n    \"runs\": [",
         camp_reqs.len(),
         scale_ds.hosts.len(),
-        sweep_stats.pairs,
-        sweep_stats.fixups,
-        sweep_stats.avoided,
+        sweep_stats.0,
+        sweep_stats.1,
+        sweep_stats.2,
     );
     for (i, (n, s)) in sweep_runs.iter().enumerate() {
         if i > 0 {
@@ -522,6 +578,20 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write baseline json");
     eprintln!("baseline: wrote {out_path}");
     print!("{json}");
+
+    // The full observability report: headline ratios become gauges, then
+    // the recorder snapshot goes to disk (stable JSON, `detour-obs-v1`)
+    // and to stderr as a table.
+    rec.set_gauge("baseline/fig12_speedup", fig12_speedup);
+    rec.set_gauge("baseline/batched_speedup_vs_reference", sweep_algo_speedup);
+    rec.set_gauge("baseline/binary_load_speedup_vs_text", load_speedup);
+    let report = rec.snapshot();
+    if let Some(dir) = Path::new(OBS_REPORT_PATH).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(OBS_REPORT_PATH, report.to_json()).expect("write obs report");
+    eprintln!("baseline: wrote {OBS_REPORT_PATH}");
+    eprint!("{}", report.to_table());
 
     // Gate 3. Byte identity already enforced above; on a real multi-core
     // machine, two workers must beat one by a real margin end-to-end (the

@@ -25,13 +25,13 @@
 use std::fs;
 use std::path::Path;
 use std::process::exit;
-use std::time::Instant;
 
 use detour_bench::experiments::{self, run_all, ALL_EXPERIMENTS, FAULT_EXPERIMENTS};
 use detour_bench::extras::{self, EXTRA_EXPERIMENTS};
 use detour_bench::{cache, Bundle, Study};
 use detour_core::pool;
 use detour_datasets::Scale;
+use detour_obs::Recorder;
 
 fn parse_flag(args: &mut Vec<String>, name: &str) -> Option<u64> {
     let i = args.iter().position(|a| a == name)?;
@@ -96,20 +96,23 @@ fn main() {
         pool::threads(),
         if pool::threads() == 1 { "" } else { "s" },
     );
-    let t = Instant::now();
-    let scale = if scaled {
-        Scale::reduced(12, 8)
-    } else {
-        Scale::full()
-    };
-    let (bundle, stats) =
-        Bundle::generate_cached(scale.with_seed_offset(seed), cache_dir).expect("trace cache");
+    // One recorder for the whole run: pool workers inherit it, and the
+    // cache/engine layers report their counters through it.
+    let rec = Recorder::new();
+    let _obs = detour_obs::install(rec.clone());
+    let (bundle, load_secs) = rec.time("figures/load", || {
+        let scale = if scaled {
+            Scale::reduced(12, 8)
+        } else {
+            Scale::full()
+        };
+        Bundle::generate_cached(scale.with_seed_offset(seed), cache_dir).expect("trace cache")
+    });
     eprintln!(
-        "datasets ready in {:.1?} ({} cached, {} generated, {} migrated to .trace2)",
-        t.elapsed(),
-        stats.hits,
-        stats.misses,
-        stats.migrated
+        "datasets ready in {load_secs:.1}s ({} cached, {} generated, {} migrated to .trace2)",
+        rec.counter("cache/hits"),
+        rec.counter("cache/misses"),
+        rec.counter("cache/migrated")
     );
     let swept = cache::sweep_stale(cache_dir).expect("sweep stale text traces");
     if swept > 0 {
@@ -124,12 +127,10 @@ fn main() {
         .copied()
         .filter(|id| ALL_EXPERIMENTS.contains(id))
         .collect();
-    let t = Instant::now();
-    let paper_reports = run_all(&study, &paper_ids);
+    let (paper_reports, engine_secs) = rec.time("figures/engine", || run_all(&study, &paper_ids));
     eprintln!(
-        "[{} paper experiment(s) done in {:.1?}]",
+        "[{} paper experiment(s) done in {engine_secs:.1}s]",
         paper_ids.len(),
-        t.elapsed()
     );
 
     let results = Path::new("results");
@@ -142,11 +143,12 @@ fn main() {
             // Extras and the fault experiments run inline after the engine
             // batch (the fault sweeps generate their own datasets and touch
             // no shared study artifact).
-            let t = Instant::now();
-            let r = extras::run(id, &study)
-                .or_else(|| experiments::run(id, &study))
-                .expect("id validated above");
-            eprintln!("[{id} done in {:.1?}]", t.elapsed());
+            let (r, secs) = rec.time("figures/extra", || {
+                extras::run(id, &study)
+                    .or_else(|| experiments::run(id, &study))
+                    .expect("id validated above")
+            });
+            eprintln!("[{id} done in {secs:.1}s]");
             r
         };
         println!("{report}");

@@ -1,0 +1,73 @@
+//! Gates an observability report against the committed name manifest.
+//!
+//! ```text
+//! cargo run -p detour-bench --release --bin obscheck -- \
+//!     results/obs_report.json scripts/obs_manifest.txt
+//! ```
+//!
+//! The report (`detour-obs-v1` JSON, written by the `baseline` binary)
+//! carries one entry per span, counter, and gauge. The manifest under
+//! `scripts/obs_manifest.txt` is the committed vocabulary: every name the
+//! instrumentation is allowed to emit, one per line, kind-prefixed
+//! (`span net/build`, `counter cache/hits`, `gauge baseline/...`).
+//!
+//! The gate is subset semantics: every name in the report must appear in
+//! the manifest, so a new span or counter cannot slip into the pipeline
+//! without a matching manifest (and review) entry. Manifest names absent
+//! from this particular run are fine — fault counters, for example, stay
+//! at zero-emission in runs that inject no faults — and are listed as
+//! informational output only.
+
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(report_path), Some(manifest_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: obscheck <obs_report.json> <obs_manifest.txt>");
+        exit(2);
+    };
+
+    let report = std::fs::read_to_string(&report_path).unwrap_or_else(|e| {
+        eprintln!("obscheck: cannot read {report_path}: {e}");
+        exit(2);
+    });
+    let Some(names) = detour_obs::json_names(&report) else {
+        eprintln!("obscheck: FAIL — {report_path} is not a detour-obs-v1 report");
+        exit(1);
+    };
+
+    let manifest_text = std::fs::read_to_string(&manifest_path).unwrap_or_else(|e| {
+        eprintln!("obscheck: cannot read {manifest_path}: {e}");
+        exit(2);
+    });
+    let manifest: Vec<&str> = manifest_text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+
+    let unknown: Vec<&String> = names
+        .iter()
+        .filter(|n| !manifest.contains(&n.as_str()))
+        .collect();
+    let unused: Vec<&&str> = manifest
+        .iter()
+        .filter(|m| !names.iter().any(|n| n == **m))
+        .collect();
+
+    for m in &unused {
+        eprintln!("obscheck: note — manifest name not in this run: {m}");
+    }
+    if !unknown.is_empty() {
+        for n in &unknown {
+            eprintln!("obscheck: FAIL — report name missing from {manifest_path}: {n}");
+        }
+        exit(1);
+    }
+    eprintln!(
+        "obscheck: OK — {} report name(s) all in the manifest ({} manifest entries, {} unused this run)",
+        names.len(),
+        manifest.len(),
+        unused.len()
+    );
+}

@@ -22,11 +22,17 @@
 //!
 //! **Back-compat:** caches written before the binary format hold
 //! `{key}.trace` text entries. When no `.trace2` exists, the probe falls
-//! back to the text loader (a hit, counted in [`CacheStats::migrated`])
-//! and writes the `.trace2` next to it, so the next run takes the binary
-//! path; [`sweep_stale`] then removes text entries a `.trace2` has
-//! superseded. Corrupt files of either format are renamed
+//! back to the text loader (a hit, counted in the `cache/migrated`
+//! counter) and writes the `.trace2` next to it, so the next run takes
+//! the binary path; [`sweep_stale`] then removes text entries a `.trace2`
+//! has superseded. Corrupt files of either format are renamed
 //! `{file}.quarantined` (evidence preserved) and their family regenerated.
+//!
+//! Cache accounting goes through the current `detour-obs` recorder: the
+//! `cache/hits` / `cache/misses` / `cache/quarantined` / `cache/migrated`
+//! counters (per dataset, deterministic in the on-disk state, so
+//! thread-count-invariant) and a `cache/load` span around the whole
+//! probe-or-regenerate pass.
 
 use std::path::{Path, PathBuf};
 
@@ -35,23 +41,6 @@ use detour_datasets::{trace2, Scale};
 use detour_measure::{tracefile, Dataset};
 
 use crate::bundle::{family_names, generate_family, Bundle, FAMILIES};
-
-/// Hit/miss counts of one [`Bundle::generate_cached`] call, per dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Datasets loaded from disk.
-    pub hits: usize,
-    /// Datasets regenerated (and re-saved).
-    pub misses: usize,
-    /// Cache files that existed but were corrupt — truncated, bit-flipped,
-    /// unparseable, or holding the wrong dataset. Each was renamed to
-    /// `{file}.quarantined` for post-mortem and its dataset regenerated
-    /// (so every quarantine is also counted as a miss).
-    pub quarantined: usize,
-    /// Hits served by a legacy text `.trace` entry; each was re-saved as
-    /// `.trace2` so subsequent runs take the binary load path.
-    pub migrated: usize,
-}
 
 /// The cache key stem for one dataset at one scale (no extension).
 fn cache_stem(name: &str, scale: Scale) -> String {
@@ -133,7 +122,15 @@ impl Bundle {
     /// round-trip is lossless), and the per-family fan-out merges
     /// index-ordered, so the bundle is the same at any thread count whether
     /// it came from simulation or disk.
-    pub fn generate_cached(scale: Scale, dir: &Path) -> std::io::Result<(Bundle, CacheStats)> {
+    ///
+    /// Per-dataset accounting lands on the current `detour-obs` recorder:
+    /// `cache/hits`, `cache/misses`, `cache/quarantined` (corrupt files
+    /// renamed `.quarantined`; every quarantine is also a miss), and
+    /// `cache/migrated` (text hits re-saved as `.trace2`), all under a
+    /// `cache/load` span.
+    pub fn generate_cached(scale: Scale, dir: &Path) -> std::io::Result<Bundle> {
+        let rec = detour_obs::current();
+        let _load = rec.span("cache/load");
         std::fs::create_dir_all(dir)?;
         let families: [usize; FAMILIES] = [0, 1, 2, 3, 4];
         let outcomes = pool::parallel_map(&families, |&family| -> std::io::Result<_> {
@@ -168,23 +165,21 @@ impl Bundle {
             }
             Ok((dss, 0, names.len(), quarantined, 0))
         });
-        let mut stats = CacheStats::default();
+        let (mut hits, mut misses, mut quarantined, mut migrated) = (0u64, 0u64, 0u64, 0u64);
         let mut built = Vec::with_capacity(FAMILIES);
         for outcome in outcomes {
-            let (dss, hits, misses, quarantined, migrated): (
-                Vec<Dataset>,
-                usize,
-                usize,
-                usize,
-                usize,
-            ) = outcome?;
-            stats.hits += hits;
-            stats.misses += misses;
-            stats.quarantined += quarantined;
-            stats.migrated += migrated;
+            let (dss, h, m, q, g): (Vec<Dataset>, usize, usize, usize, usize) = outcome?;
+            hits += h as u64;
+            misses += m as u64;
+            quarantined += q as u64;
+            migrated += g as u64;
             built.push(dss);
         }
-        Ok((Bundle::from_families(built), stats))
+        rec.add("cache/hits", hits);
+        rec.add("cache/misses", misses);
+        rec.add("cache/quarantined", quarantined);
+        rec.add("cache/migrated", migrated);
+        Ok(Bundle::from_families(built))
     }
 }
 
@@ -238,6 +233,22 @@ pub fn sweep_stale(dir: &Path) -> std::io::Result<usize> {
 mod tests {
     use super::*;
 
+    /// Runs one cached generation under a fresh scoped recorder and
+    /// returns the bundle with the `(hits, misses, quarantined, migrated)`
+    /// counter readings for that call alone.
+    fn run_cached(scale: Scale, dir: &Path) -> (Bundle, (u64, u64, u64, u64)) {
+        let rec = detour_obs::Recorder::new();
+        let _g = detour_obs::install(rec.clone());
+        let bundle = Bundle::generate_cached(scale, dir).unwrap();
+        let stats = (
+            rec.counter("cache/hits"),
+            rec.counter("cache/misses"),
+            rec.counter("cache/quarantined"),
+            rec.counter("cache/migrated"),
+        );
+        (bundle, stats)
+    }
+
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("detour-cache-test-{tag}-{}", std::process::id()));
@@ -249,11 +260,11 @@ mod tests {
     fn cold_then_warm_round_trips_bit_identically() {
         let dir = tmp_dir("roundtrip");
         let scale = Scale::reduced(8, 24);
-        let (cold, s0) = Bundle::generate_cached(scale, &dir).unwrap();
-        assert_eq!((s0.hits, s0.misses), (0, 8), "empty dir: all misses");
-        let (warm, s1) = Bundle::generate_cached(scale, &dir).unwrap();
-        assert_eq!((s1.hits, s1.misses), (8, 0), "second run: all hits");
-        assert_eq!(s1.migrated, 0, "binary entries need no migration");
+        let (cold, s0) = run_cached(scale, &dir);
+        assert_eq!((s0.0, s0.1), (0, 8), "empty dir: all misses");
+        let (warm, s1) = run_cached(scale, &dir);
+        assert_eq!((s1.0, s1.1), (8, 0), "second run: all hits");
+        assert_eq!(s1.3, 0, "binary entries need no migration");
         for (a, b) in cold.in_table_order().iter().zip(warm.in_table_order()) {
             assert_eq!(*a, b, "{} changed across the cache", a.name);
         }
@@ -276,15 +287,15 @@ mod tests {
     fn legacy_text_entries_hit_and_migrate_to_binary() {
         let dir = tmp_dir("migrate");
         let scale = Scale::reduced(8, 24);
-        let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        let (reference, _) = run_cached(scale, &dir);
         // Rewind the cache to the pre-binary era: text entries only.
         for ds in reference.in_table_order() {
             tracefile::save(ds, &text_cache_path(&dir, &ds.name, scale)).unwrap();
             std::fs::remove_file(cache_path(&dir, &ds.name, scale)).unwrap();
         }
-        let (bundle, stats) = Bundle::generate_cached(scale, &dir).unwrap();
+        let (bundle, stats) = run_cached(scale, &dir);
         assert_eq!(
-            (stats.hits, stats.misses, stats.migrated),
+            (stats.0, stats.1, stats.3),
             (8, 0, 8),
             "text entries are hits and all migrate"
         );
@@ -305,8 +316,8 @@ mod tests {
         // Migrated binaries supersede the text copies; the sweep removes
         // them, and the next run is pure binary hits.
         assert_eq!(sweep_stale(&dir).unwrap(), 8);
-        let (_, warm) = Bundle::generate_cached(scale, &dir).unwrap();
-        assert_eq!((warm.hits, warm.migrated), (8, 0));
+        let (_, warm) = run_cached(scale, &dir);
+        assert_eq!((warm.0, warm.3), (8, 0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -314,7 +325,7 @@ mod tests {
     fn sweep_stale_keeps_sole_text_copies() {
         let dir = tmp_dir("sweep-sole");
         let scale = Scale::reduced(8, 24);
-        let (bundle, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        let (bundle, _) = run_cached(scale, &dir);
         // One text entry with no binary sibling: must survive the sweep.
         tracefile::save(&bundle.uw3, &text_cache_path(&dir, "UW3", scale)).unwrap();
         std::fs::remove_file(cache_path(&dir, "UW3", scale)).unwrap();
@@ -327,12 +338,12 @@ mod tests {
     fn corrupt_cache_entry_is_quarantined_and_regenerated() {
         let dir = tmp_dir("corrupt");
         let scale = Scale::reduced(8, 24);
-        let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        let (reference, _) = run_cached(scale, &dir);
         let bad = b"DTRACE2\n but not really".to_vec();
         std::fs::write(cache_path(&dir, "UW3", scale), &bad).unwrap();
-        let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
-        assert_eq!((stats.hits, stats.misses), (7, 1), "UW3 family regenerates");
-        assert_eq!(stats.quarantined, 1, "the corrupt file is quarantined");
+        let (again, stats) = run_cached(scale, &dir);
+        assert_eq!((stats.0, stats.1), (7, 1), "UW3 family regenerates");
+        assert_eq!(stats.2, 1, "the corrupt file is quarantined");
         assert_eq!(
             again.uw3, reference.uw3,
             "regeneration restores the dataset"
@@ -343,9 +354,9 @@ mod tests {
             bad,
             "quarantine preserves the corrupt bytes for post-mortem"
         );
-        let (_, warm) = Bundle::generate_cached(scale, &dir).unwrap();
+        let (_, warm) = run_cached(scale, &dir);
         assert_eq!(
-            (warm.hits, warm.misses, warm.quarantined),
+            (warm.0, warm.1, warm.2),
             (8, 0, 0),
             "the rewritten entry is healthy; the corpse is ignored"
         );
@@ -356,13 +367,13 @@ mod tests {
     fn corrupt_text_fallback_is_quarantined_too() {
         let dir = tmp_dir("corrupt-text");
         let scale = Scale::reduced(8, 24);
-        let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        let (reference, _) = run_cached(scale, &dir);
         // No binary entry, and the text fallback is damaged.
         std::fs::remove_file(cache_path(&dir, "UW3", scale)).unwrap();
         let text = text_cache_path(&dir, "UW3", scale);
         std::fs::write(&text, "# detour trace v9\n").unwrap();
-        let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
-        assert_eq!(stats.quarantined, 1, "the corrupt text file is quarantined");
+        let (again, stats) = run_cached(scale, &dir);
+        assert_eq!(stats.2, 1, "the corrupt text file is quarantined");
         assert_eq!(again.uw3, reference.uw3);
         assert!(
             quarantined_path(&text).exists(),
@@ -375,15 +386,15 @@ mod tests {
     fn truncated_cache_entry_is_quarantined_and_regenerated() {
         let dir = tmp_dir("truncate");
         let scale = Scale::reduced(8, 24);
-        let (reference, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        let (reference, _) = run_cached(scale, &dir);
         // Chop a valid binary trace mid-section — simulating a crash during
         // save. The section table's extents no longer fit the file, so the
         // detection is deterministic.
         let path = cache_path(&dir, "UW3", scale);
         let whole = std::fs::read(&path).unwrap();
         std::fs::write(&path, &whole[..whole.len() / 2]).unwrap();
-        let (again, stats) = Bundle::generate_cached(scale, &dir).unwrap();
-        assert_eq!(stats.quarantined, 1, "the truncated file is quarantined");
+        let (again, stats) = run_cached(scale, &dir);
+        assert_eq!(stats.2, 1, "the truncated file is quarantined");
         assert_eq!(
             again.uw3, reference.uw3,
             "regeneration restores the dataset"
@@ -406,13 +417,13 @@ mod tests {
     fn purge_empties_the_cache() {
         let dir = tmp_dir("purge");
         let scale = Scale::reduced(8, 24);
-        let (bundle, _) = Bundle::generate_cached(scale, &dir).unwrap();
+        let (bundle, _) = run_cached(scale, &dir);
         // A stale text entry and a quarantined corpse must go too.
         tracefile::save(&bundle.uw3, &text_cache_path(&dir, "UW3", scale)).unwrap();
         std::fs::write(quarantine_path(&dir, "UW1", scale), b"corpse").unwrap();
         assert_eq!(purge(&dir).unwrap(), 10);
-        let (_, stats) = Bundle::generate_cached(scale, &dir).unwrap();
-        assert_eq!(stats.misses, 8, "purged cache regenerates everything");
+        let (_, stats) = run_cached(scale, &dir);
+        assert_eq!(stats.1, 8, "purged cache regenerates everything");
         std::fs::remove_dir_all(&dir).unwrap();
         assert_eq!(purge(&dir).unwrap(), 0, "missing dir is already purged");
     }

@@ -231,22 +231,26 @@ pub fn resolve_needs(ids: &[&str]) -> Vec<Need> {
     union
 }
 
-/// Builds every artifact in `needs` on the pool. Artifacts are
-/// independent, and `OnceLock` makes each build idempotent, so order does
-/// not matter; afterwards, experiments only ever *read* the caches.
+/// Builds every artifact in `needs` on the pool, under an
+/// `engine/prebuild` span. Artifacts are independent, and `OnceLock`
+/// makes each build idempotent, so order does not matter; afterwards,
+/// experiments only ever *read* the caches.
 pub fn prebuild(study: &Study, needs: &[Need]) {
+    let _span = detour_obs::current().span("engine/prebuild");
     pool::parallel_map(needs, |need| need.build(study));
 }
 
 /// The parallel experiment engine: prebuilds the union of artifact needs,
-/// runs the named experiments concurrently over the shared study, and
-/// returns their reports in request order.
+/// runs the named experiments concurrently over the shared study (under
+/// an `engine/experiments` span), and returns their reports in request
+/// order.
 ///
 /// # Panics
 /// On an unknown experiment id (callers validate ids against
 /// [`ALL_EXPERIMENTS`] first).
 pub fn run_all(study: &Study, ids: &[&str]) -> Vec<String> {
     prebuild(study, &resolve_needs(ids));
+    let _span = detour_obs::current().span("engine/experiments");
     pool::parallel_map(ids, |id| {
         run(id, study).unwrap_or_else(|| panic!("unknown experiment {id:?}"))
     })
@@ -947,17 +951,43 @@ mod tests {
         );
     }
 
+    /// Sum of every `context/*_builds` counter — the old scalar
+    /// `artifact_builds` reading, reconstructed from the recorder.
+    fn total_builds(rec: &detour_obs::Recorder) -> u64 {
+        [
+            "context/table_builds",
+            "context/graph_builds",
+            "context/weights_rtt_builds",
+            "context/weights_loss_builds",
+            "context/weights_prop_builds",
+            "context/bandwidth_builds",
+        ]
+        .iter()
+        .map(|c| rec.counter(c))
+        .sum()
+    }
+
     #[test]
     fn engine_prebuilds_exactly_the_declared_artifacts() {
+        let rec = detour_obs::Recorder::new();
+        let _obs = detour_obs::install(rec.clone());
         let s = Study::from_bundle(Bundle::generate(Scale::reduced(8, 24)));
         // Eight contexts eagerly build table + graph each.
-        assert_eq!(s.artifact_builds(), 16);
+        assert_eq!(
+            (
+                rec.counter("context/table_builds"),
+                rec.counter("context/graph_builds")
+            ),
+            (8, 8)
+        );
+        assert_eq!(total_builds(&rec), 16);
         let reports = run_all(&s, &["fig1", "fig2"]);
         assert_eq!(reports.len(), 2);
         // fig1 + fig2 share the same four RTT matrices; nothing builds twice.
-        assert_eq!(s.artifact_builds(), 20);
+        assert_eq!(rec.counter("context/weights_rtt_builds"), 4);
+        assert_eq!(total_builds(&rec), 20);
         run_all(&s, &["fig1"]);
-        assert_eq!(s.artifact_builds(), 20, "warm rerun builds nothing");
+        assert_eq!(total_builds(&rec), 20, "warm rerun builds nothing");
     }
 
     #[test]

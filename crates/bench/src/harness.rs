@@ -6,9 +6,11 @@
 //! granularity out of the numbers. The headline statistic is the **median**
 //! sample — robust to the occasional scheduler hiccup that ruins a mean.
 //!
-//! Results print as an aligned table on stderr, and can be written as JSON
-//! lines (one object per benchmark) for machine consumption — the
-//! `baseline` binary uses that to produce `BENCH_baseline.json`.
+//! The harness is silent while it runs: each result lands in the result
+//! list (and, as a span named after the benchmark, on the current
+//! `detour-obs` recorder); [`Bench::finish`] renders the aligned table for
+//! the caller to print. Results can also be written as JSON lines (one
+//! object per benchmark) for machine consumption.
 //!
 //! Environment knobs:
 //!
@@ -19,7 +21,8 @@
 
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
+
+use detour_obs::Stopwatch;
 
 /// Timing summary for one benchmark, all durations in nanoseconds per call.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +42,18 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
+    /// The aligned human table row for this result.
+    pub fn table_line(&self) -> String {
+        format!(
+            "bench {:<44} {:>12}  (min {:>10}, max {:>10}, n={})",
+            self.name,
+            fmt_ns(self.median_ns),
+            fmt_ns(self.min_ns),
+            fmt_ns(self.max_ns),
+            self.samples,
+        )
+    }
+
     /// One JSON object on a single line, no trailing newline.
     pub fn to_json_line(&self) -> String {
         let mut s = String::new();
@@ -104,23 +119,26 @@ impl Bench {
 
     /// Times `f`, recording a result under `name`. The closure's return
     /// value is passed through [`black_box`] so the work can't be optimized
-    /// away.
+    /// away. Silent: the result is retrievable via [`Bench::results`], in
+    /// the rendered [`Bench::finish`] table, and as a span of `name` (one
+    /// activation, the median per-call time) on the current `detour-obs`
+    /// recorder.
     pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
         // Warm-up + calibration: one untimed call, then estimate the batch
         // size that makes a sample take ≳5 ms.
         black_box(f());
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         black_box(f());
-        let est_ns = t0.elapsed().as_nanos().max(1);
+        let est_ns = t0.nanos().max(1);
         let batch = (5_000_000 / est_ns).clamp(1, 10_000) as u64;
 
         let mut per_call: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for _ in 0..batch {
                 black_box(f());
             }
-            per_call.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            per_call.push(t.nanos() as f64 / batch as f64);
         }
         per_call.sort_by(|a, b| a.total_cmp(b));
         let median_ns = if per_call.len() % 2 == 1 {
@@ -136,14 +154,7 @@ impl Bench {
             min_ns: per_call[0],
             max_ns: *per_call.last().unwrap(),
         };
-        eprintln!(
-            "bench {:<44} {:>12}  (min {:>10}, max {:>10}, n={})",
-            result.name,
-            fmt_ns(result.median_ns),
-            fmt_ns(result.min_ns),
-            fmt_ns(result.max_ns),
-            result.samples,
-        );
+        detour_obs::current().record_seconds(name, median_ns / 1e9);
         self.results.push(result);
     }
 
@@ -162,10 +173,18 @@ impl Bench {
         s
     }
 
-    /// Prints a closing summary and, when `DETOUR_BENCH_JSON` names a path,
-    /// appends the JSON lines there. Call once at the end of `main`.
-    pub fn finish(&self) {
-        eprintln!("bench: {} benchmarks complete", self.results.len());
+    /// Renders the result table plus a closing summary and, when
+    /// `DETOUR_BENCH_JSON` names a path, appends the JSON lines there.
+    /// Call once at the end of `main` and print the returned report (the
+    /// harness itself never writes to stdout/stderr).
+    #[must_use = "the rendered report is the only copy of the results table"]
+    pub fn finish(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&r.table_line());
+            out.push('\n');
+        }
+        let _ = writeln!(out, "bench: {} benchmarks complete", self.results.len());
         if let Ok(path) = std::env::var("DETOUR_BENCH_JSON") {
             use std::io::Write;
             match std::fs::OpenOptions::new()
@@ -175,11 +194,14 @@ impl Bench {
             {
                 Ok(mut f) => {
                     let _ = f.write_all(self.to_json_lines().as_bytes());
-                    eprintln!("bench: results appended to {path}");
+                    let _ = writeln!(out, "bench: results appended to {path}");
                 }
-                Err(e) => eprintln!("bench: cannot write {path}: {e}"),
+                Err(e) => {
+                    let _ = writeln!(out, "bench: cannot write {path}: {e}");
+                }
             }
         }
+        out
     }
 }
 

@@ -31,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod bundle;
 pub mod cache;
@@ -43,7 +44,6 @@ pub mod scale;
 pub mod study;
 
 pub use bundle::Bundle;
-pub use cache::CacheStats;
 pub use experiments::{Experiment, Need};
 pub use harness::Bench;
 pub use study::{DataKey, Study};

@@ -86,15 +86,22 @@ fn scale_network(spec: &DatasetSpec, scale: Scale) -> Network {
 /// the cache's discipline: `.trace2` binary entries are preferred, a
 /// legacy `.trace` text entry is a hit that migrates to `.trace2` in
 /// place, and a corrupt or mismatched file of either format is renamed
-/// `*.quarantined` and the dataset regenerated.
+/// `*.quarantined` and the dataset regenerated. Reports through the same
+/// `cache/*` counters (and `cache/load` span) as the bundle cache.
 pub fn load_or_generate(dir: &Path) -> std::io::Result<(Dataset, bool)> {
+    let rec = detour_obs::current();
+    let _load = rec.span("cache/load");
     let spec = scale_spec();
     let scale = scale_scale();
     let path = cache_path(dir, spec.name, scale);
     if path.exists() {
         match trace2::load(&path) {
-            Ok(ds) if ds.name == spec.name => return Ok((ds, true)),
+            Ok(ds) if ds.name == spec.name => {
+                rec.add("cache/hits", 1);
+                return Ok((ds, true));
+            }
             Ok(_) | Err(_) => {
+                rec.add("cache/quarantined", 1);
                 std::fs::rename(&path, quarantined_path(&path))?;
             }
         }
@@ -104,14 +111,18 @@ pub fn load_or_generate(dir: &Path) -> std::io::Result<(Dataset, bool)> {
             match tracefile::load(&text) {
                 Ok(ds) if ds.name == spec.name => {
                     trace2::save(&ds, &path)?;
+                    rec.add("cache/hits", 1);
+                    rec.add("cache/migrated", 1);
                     return Ok((ds, true));
                 }
                 Ok(_) | Err(_) => {
+                    rec.add("cache/quarantined", 1);
                     std::fs::rename(&text, quarantined_path(&text))?;
                 }
             }
         }
     }
+    rec.add("cache/misses", 1);
     std::fs::create_dir_all(dir)?;
     let net = scale_network(&spec, scale);
     let ds = spec::generate_on(&net, &spec, scale);

@@ -106,16 +106,6 @@ impl Study {
         DataKey::ALL.map(|k| self.ctx(k))
     }
 
-    /// Total artifacts built across all eight contexts. The baseline
-    /// harness records this to prove each artifact was built exactly once
-    /// no matter how many experiments consumed it.
-    pub fn artifact_builds(&self) -> usize {
-        self.in_table_order()
-            .iter()
-            .map(|cx| cx.artifact_builds())
-            .sum()
-    }
-
     /// A sibling study over the same datasets with *empty* artifact caches
     /// — the datasets stay `Arc`-shared, but tables, graphs, and matrices
     /// rebuild from scratch. The reference engine uses one of these per
@@ -162,12 +152,21 @@ mod tests {
         let b = Bundle::generate(Scale::reduced(8, 24));
         let s = Study::from_bundle(b);
         s.ctx(DataKey::Uw3).weights(&detour_core::Rtt);
+        let rec = detour_obs::Recorder::new();
+        let _obs = detour_obs::install(rec.clone());
         let fresh = s.rebuild_fresh();
-        // Same dataset allocation, fresh (eager-only) artifact counters.
+        // Same dataset allocation, fresh artifact caches: rebuilding the
+        // eight contexts re-records exactly their eager builds.
         assert!(std::ptr::eq(
             s.ctx(DataKey::Uw3).dataset() as *const _,
             fresh.ctx(DataKey::Uw3).dataset() as *const _,
         ));
-        assert_eq!(fresh.ctx(DataKey::Uw3).artifact_builds(), 2);
+        assert_eq!(rec.counter("context/table_builds"), 8);
+        assert_eq!(rec.counter("context/graph_builds"), 8);
+        assert_eq!(
+            rec.counter("context/weights_rtt_builds"),
+            0,
+            "lazy artifacts rebuild on demand only"
+        );
     }
 }

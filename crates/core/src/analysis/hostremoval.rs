@@ -89,8 +89,8 @@ pub fn greedy_removal(cx: &AnalysisContext, metric: &impl Metric, k: usize) -> R
     // kernel refills it in place instead of allocating a fresh Vec per
     // removal step.
     let mut pairs_buf = Vec::new();
-    let (mut current, _) =
-        kernel::sweep_with_stats_into(m, &mask, metric, SearchDepth::Unrestricted, &mut pairs_buf);
+    let mut current =
+        kernel::sweep_into(m, &mask, metric, SearchDepth::Unrestricted, &mut pairs_buf);
     let full = improvement_cdf(&current);
     let mut removed = Vec::new();
     for _ in 0..k.min(m.len().saturating_sub(3)) {
@@ -117,13 +117,7 @@ pub fn greedy_removal(cx: &AnalysisContext, metric: &impl Metric, k: usize) -> R
         let Some((_, h)) = best else { break };
         mask[h] = true;
         removed.push(m.hosts()[h]);
-        (current, _) = kernel::sweep_with_stats_into(
-            m,
-            &mask,
-            metric,
-            SearchDepth::Unrestricted,
-            &mut pairs_buf,
-        );
+        current = kernel::sweep_into(m, &mask, metric, SearchDepth::Unrestricted, &mut pairs_buf);
     }
     let reduced = improvement_cdf(&current);
     RemovalAnalysis {

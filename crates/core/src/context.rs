@@ -18,10 +18,10 @@
 //!
 //! The context never mutates after creation beyond these idempotent cache
 //! fills; analyses therefore compose without ordering constraints, and the
-//! build counter ([`AnalysisContext::artifact_builds`]) lets the bench
-//! harness assert that each artifact really was built exactly once.
+//! per-artifact-kind `context/*_builds` counters on the current
+//! `detour-obs` recorder let the bench harness assert that each artifact
+//! really was built exactly once.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use detour_measure::{Dataset, PairTable};
@@ -50,7 +50,6 @@ pub struct AnalysisContext {
     loss: OnceLock<WeightMatrix>,
     prop: OnceLock<WeightMatrix>,
     bandwidth: OnceLock<BandwidthMatrix>,
-    builds: AtomicUsize,
 }
 
 impl std::fmt::Debug for AnalysisContext {
@@ -58,17 +57,20 @@ impl std::fmt::Debug for AnalysisContext {
         f.debug_struct("AnalysisContext")
             .field("dataset", &self.dataset.name)
             .field("hosts", &self.graph.len())
-            .field("artifact_builds", &self.artifact_builds())
             .finish()
     }
 }
 
 impl AnalysisContext {
-    /// Builds the eager artifacts (pair table, graph) for a shared dataset.
-    /// Counts as two artifact builds; matrices follow lazily on first use.
+    /// Builds the eager artifacts (pair table, graph) for a shared dataset,
+    /// recording `context/table_builds` and `context/graph_builds`;
+    /// matrices follow lazily on first use under their own counters.
     pub fn new(dataset: Arc<Dataset>) -> AnalysisContext {
+        let rec = detour_obs::current();
         let table = Arc::new(PairTable::build(&dataset));
+        rec.add("context/table_builds", 1);
         let graph = Arc::new(MeasurementGraph::from_pair_table(&dataset, &table));
+        rec.add("context/graph_builds", 1);
         AnalysisContext {
             dataset,
             table,
@@ -77,7 +79,6 @@ impl AnalysisContext {
             loss: OnceLock::new(),
             prop: OnceLock::new(),
             bandwidth: OnceLock::new(),
-            builds: AtomicUsize::new(2),
         }
     }
 
@@ -117,18 +118,27 @@ impl AnalysisContext {
     }
 
     /// The weight matrix for `metric`'s family, built on first request and
-    /// shared thereafter.
+    /// shared thereafter. Each actual build (cache misses only) records a
+    /// `context/weights_{rtt,loss,prop}_builds` counter, which is how the
+    /// bench harness proves build-once behaviour.
     pub fn weights(&self, metric: &impl Metric) -> &WeightMatrix {
-        self.slot(metric.kind()).get_or_init(|| {
-            self.builds.fetch_add(1, Ordering::Relaxed);
+        let kind = metric.kind();
+        self.slot(kind).get_or_init(|| {
+            let counter = match kind {
+                MetricKind::Rtt => "context/weights_rtt_builds",
+                MetricKind::Loss => "context/weights_loss_builds",
+                MetricKind::PropDelay => "context/weights_prop_builds",
+            };
+            detour_obs::current().add(counter, 1);
             WeightMatrix::build(&self.graph, metric)
         })
     }
 
-    /// The bandwidth matrix, built on first request and shared thereafter.
+    /// The bandwidth matrix, built on first request and shared thereafter
+    /// (actual builds record `context/bandwidth_builds`).
     pub fn bandwidth_matrix(&self) -> &BandwidthMatrix {
         self.bandwidth.get_or_init(|| {
-            self.builds.fetch_add(1, Ordering::Relaxed);
+            detour_obs::current().add("context/bandwidth_builds", 1);
             BandwidthMatrix::build(&self.graph)
         })
     }
@@ -149,12 +159,6 @@ impl AnalysisContext {
                 self.bandwidth_matrix();
             }
         }
-    }
-
-    /// How many artifacts (table, graph, matrices) this context has built.
-    /// The bench harness records this to prove build-once behaviour.
-    pub fn artifact_builds(&self) -> usize {
-        self.builds.load(Ordering::Relaxed)
     }
 
     /// Measures how degraded this dataset is — the graceful-degradation
@@ -263,27 +267,49 @@ mod tests {
 
     #[test]
     fn matrices_build_once_per_kind() {
+        let rec = detour_obs::Recorder::new();
+        let _obs = detour_obs::install(rec.clone());
         let cx = AnalysisContext::from_dataset(&tiny_dataset());
-        assert_eq!(cx.artifact_builds(), 2, "table + graph are eager");
+        assert_eq!(
+            (
+                rec.counter("context/table_builds"),
+                rec.counter("context/graph_builds")
+            ),
+            (1, 1),
+            "table + graph are eager"
+        );
         let a = cx.weights(&Rtt) as *const WeightMatrix;
         let b = cx.weights(&Rtt) as *const WeightMatrix;
         assert_eq!(a, b, "second request reuses the cached matrix");
-        assert_eq!(cx.artifact_builds(), 3);
+        assert_eq!(rec.counter("context/weights_rtt_builds"), 1);
         cx.weights(&Loss);
         cx.bandwidth_matrix();
         cx.bandwidth_matrix();
-        assert_eq!(cx.artifact_builds(), 5);
+        assert_eq!(rec.counter("context/weights_loss_builds"), 1);
+        assert_eq!(rec.counter("context/bandwidth_builds"), 1);
+        assert_eq!(
+            rec.counter("context/weights_prop_builds"),
+            0,
+            "never requested"
+        );
     }
 
     #[test]
     fn ensure_prebuilds_without_duplicate_work() {
+        let rec = detour_obs::Recorder::new();
+        let _obs = detour_obs::install(rec.clone());
         let cx = AnalysisContext::from_dataset(&tiny_dataset());
         cx.ensure(ArtifactKind::Weights(MetricKind::Rtt));
         cx.ensure(ArtifactKind::Weights(MetricKind::Rtt));
         cx.ensure(ArtifactKind::Bandwidth);
-        assert_eq!(cx.artifact_builds(), 4);
+        assert_eq!(rec.counter("context/weights_rtt_builds"), 1);
+        assert_eq!(rec.counter("context/bandwidth_builds"), 1);
         cx.weights(&Rtt);
-        assert_eq!(cx.artifact_builds(), 4, "later use hits the cache");
+        assert_eq!(
+            rec.counter("context/weights_rtt_builds"),
+            1,
+            "later use hits the cache"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   values (missing = `NaN`), precomputed **once per (graph, metric)** by
 //!   calling [`Metric::weight`]/[`Metric::value`] exactly once per edge.
 //!   [`BandwidthMatrix`] is the analogue for the N2 Mathis-model search.
-//! * **The source-batched sweep** ([`sweep_with_stats_into`]) — the paper's
+//! * **The source-batched sweep** ([`sweep_into`]) — the paper's
 //!   all-pairs question ("best alternate with the direct edge excluded")
 //!   does not need one Dijkstra per *pair*. For each source `s` the sweep
 //!   runs **one** full SSSP tree over the masked matrix (no exclusions)
@@ -25,9 +25,9 @@
 //!   itself, so a pair needs its own exclusion re-search exactly when
 //!   `prev[d] == s` — the fix-up condition. Everything else (including
 //!   unreachable destinations) reads straight off the tree, bit-identical
-//!   to the per-pair search; [`SweepStats`] reports how many re-searches
-//!   that avoided. An all-pairs sweep drops from `O(n⁴)` to
-//!   `O(n³ + fixups·n²)`.
+//!   to the per-pair search; the `kernel/sweep_*` counters on the current
+//!   `detour-obs` recorder report how many re-searches that avoided. An
+//!   all-pairs sweep drops from `O(n⁴)` to `O(n³ + fixups·n²)`.
 //! * [`DijkstraScratch`] — reusable per-worker search state (threaded
 //!   through [`crate::pool::parallel_map_init`]; the fan-out unit is a
 //!   *source*, so each task is `O(n²)` of real work). Generation-stamped
@@ -643,22 +643,6 @@ pub fn best_alternate_bandwidth_masked(
     })
 }
 
-/// Re-search accounting of one batched sweep: how much work the
-/// one-SSSP-per-source strategy saved. Counters are meaningful for
-/// [`SearchDepth::Unrestricted`] (the one-hop scan has no tree to read
-/// from, so both stay 0 there).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SweepStats {
-    /// Measured pairs the sweep answered.
-    pub pairs: usize,
-    /// Pairs whose SSSP-tree path to `d` begins with the direct edge
-    /// `(s, d)` — the only case needing a per-pair exclusion re-search.
-    pub fixups: usize,
-    /// Pairs answered straight off the SSSP tree: the per-pair Dijkstras
-    /// the batching avoided.
-    pub avoided: usize,
-}
-
 /// Groups a `(src, dst)`-sorted pair list into per-source `(s, start, end)`
 /// ranges — the batched fan-out unit: one task per source is `O(n²)` of
 /// real work, coarse enough to amortize pool claiming at any scale.
@@ -726,26 +710,15 @@ fn sweep_source(
 
 /// All-pairs sweep on the matrix with a host mask: the parallel engine
 /// behind [`crate::analysis::cdf::compare_all_pairs`] and the Figure-12
-/// greedy loop. [`sweep_with_stats`] with the accounting dropped.
+/// greedy loop. [`sweep_into`] with a per-call staging buffer.
 pub fn sweep(
     m: &WeightMatrix,
     removed: &[bool],
     metric: &impl Metric,
     depth: SearchDepth,
 ) -> Vec<PathComparison> {
-    sweep_with_stats(m, removed, metric, depth).0
-}
-
-/// [`sweep`], also reporting how many per-pair re-searches the batching
-/// avoided.
-pub fn sweep_with_stats(
-    m: &WeightMatrix,
-    removed: &[bool],
-    metric: &impl Metric,
-    depth: SearchDepth,
-) -> (Vec<PathComparison>, SweepStats) {
     let mut pairs = Vec::new();
-    sweep_with_stats_into(m, removed, metric, depth, &mut pairs)
+    sweep_into(m, removed, metric, depth, &mut pairs)
 }
 
 /// The batched sweep engine. For [`SearchDepth::Unrestricted`] it runs
@@ -759,20 +732,32 @@ pub fn sweep_with_stats(
 /// the retained per-pair reference (`detour_bench::reference`), which the
 /// equivalence property tests and the `scale_sweep` baseline gate enforce.
 ///
+/// The re-search accounting — how much work the one-SSSP-per-source
+/// strategy saved — goes to the current `detour-obs` recorder:
+/// `kernel/sweep_pairs` (measured pairs answered), `kernel/sweep_fixups`
+/// (pairs whose tree path begins with the excluded direct edge, the only
+/// case needing a per-pair exclusion re-search), and
+/// `kernel/sweep_avoided` (pairs answered straight off the tree). The
+/// split is a pure function of the matrix + mask, so the counters are
+/// thread-count-invariant; the one-hop scan has no tree to read from, so
+/// it contributes pairs with 0 fixups/avoided.
+///
 /// `pairs_buf` is a caller-owned staging buffer for the measured-pair
 /// list ([`WeightMatrix::measured_pairs_into`]); repeated sweeps — the
 /// greedy removal loop — pass the same buffer to skip the per-call
 /// allocation.
-pub fn sweep_with_stats_into(
+pub fn sweep_into(
     m: &WeightMatrix,
     removed: &[bool],
     metric: &impl Metric,
     depth: SearchDepth,
     pairs_buf: &mut Vec<(usize, usize)>,
-) -> (Vec<PathComparison>, SweepStats) {
+) -> Vec<PathComparison> {
     m.measured_pairs_into(removed, pairs_buf);
     let pairs: &[(usize, usize)] = pairs_buf;
     let groups = group_by_source(pairs);
+    let rec = detour_obs::current();
+    rec.add("kernel/sweep_pairs", pairs.len() as u64);
     match depth {
         SearchDepth::Unrestricted => {
             let per_source =
@@ -780,17 +765,14 @@ pub fn sweep_with_stats_into(
                     sweep_source(m, removed, metric, s, &pairs[a..b], scratch)
                 });
             let mut out = Vec::new();
-            let mut fixups = 0;
+            let mut fixups = 0u64;
             for (cmps, f) in per_source {
-                fixups += f;
+                fixups += f as u64;
                 out.extend(cmps.into_iter().flatten());
             }
-            let stats = SweepStats {
-                pairs: pairs.len(),
-                fixups,
-                avoided: pairs.len() - fixups,
-            };
-            (out, stats)
+            rec.add("kernel/sweep_fixups", fixups);
+            rec.add("kernel/sweep_avoided", pairs.len() as u64 - fixups);
+            out
         }
         SearchDepth::OneHop => {
             let per_source = pool::parallel_map(&groups, |&(_, a, b)| {
@@ -799,15 +781,7 @@ pub fn sweep_with_stats_into(
                     .map(|&(s, d)| best_alternate_one_hop_masked(m, removed, s, d, metric))
                     .collect::<Vec<_>>()
             });
-            let out = per_source.into_iter().flatten().flatten().collect();
-            (
-                out,
-                SweepStats {
-                    pairs: pairs.len(),
-                    fixups: 0,
-                    avoided: 0,
-                },
-            )
+            per_source.into_iter().flatten().flatten().collect()
         }
     }
 }
@@ -1001,15 +975,22 @@ mod tests {
         let g = hub_five();
         let m = WeightMatrix::build(&g, &Rtt);
         let mask = m.no_mask();
-        let (cmps, stats) = sweep_with_stats(&m, &mask, &Rtt, SearchDepth::Unrestricted);
-        assert_eq!(stats.pairs, 20, "all ordered pairs are measured");
+        let rec = detour_obs::Recorder::new();
+        let _obs = detour_obs::install(rec.clone());
+        let cmps = sweep(&m, &mask, &Rtt, SearchDepth::Unrestricted);
+        let (pairs, fixups, avoided) = (
+            rec.counter("kernel/sweep_pairs"),
+            rec.counter("kernel/sweep_fixups"),
+            rec.counter("kernel/sweep_avoided"),
+        );
+        assert_eq!(pairs, 20, "all ordered pairs are measured");
         // Fix-ups are exactly the pairs whose SSSP tree reaches `d` over
         // the direct edge: the 8 pairs touching hub 0 (no cheaper detour
         // exists), plus the tied pairs 1↔2 — direct 20 equals via-hub 20,
         // and strict relaxation keeps `prev[d] = s` on ties, so ties must
         // fall into the re-search.
-        assert_eq!((stats.fixups, stats.avoided), (10, 10));
-        assert_eq!(stats.pairs, stats.fixups + stats.avoided);
+        assert_eq!((fixups, avoided), (10, 10));
+        assert_eq!(pairs, fixups + avoided);
         // Every answer must match the per-pair exclusion search.
         let mut scratch = DijkstraScratch::new();
         let per_pair: Vec<_> = m
@@ -1041,15 +1022,14 @@ mod tests {
     fn one_hop_sweep_reports_no_fixups() {
         let g = hub_five();
         let m = WeightMatrix::build(&g, &Rtt);
-        let (cmps, stats) = sweep_with_stats(&m, &m.no_mask(), &Rtt, SearchDepth::OneHop);
-        assert_eq!(
-            stats,
-            SweepStats {
-                pairs: 20,
-                fixups: 0,
-                avoided: 0
-            }
-        );
+        let rec = detour_obs::Recorder::new();
+        let _obs = detour_obs::install(rec.clone());
+        let cmps = sweep(&m, &m.no_mask(), &Rtt, SearchDepth::OneHop);
+        assert_eq!(rec.counter("kernel/sweep_pairs"), 20);
+        // The one-hop scan has no SSSP tree, so it contributes neither
+        // fix-ups nor avoided re-searches.
+        assert_eq!(rec.counter("kernel/sweep_fixups"), 0);
+        assert_eq!(rec.counter("kernel/sweep_avoided"), 0);
         assert_eq!(cmps.len(), 20);
     }
 

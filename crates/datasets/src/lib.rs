@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod d2;
 pub mod n2;
@@ -31,7 +32,4 @@ pub mod uw3;
 pub mod uw4;
 
 pub use registry::DatasetId;
-pub use spec::{
-    build_network, generate, generate_on, generate_staged, restrict_na, DatasetSpec,
-    GenerateStages, Scale,
-};
+pub use spec::{build_network, generate, generate_on, restrict_na, DatasetSpec, Scale};

@@ -162,51 +162,21 @@ pub fn select_hosts(
     out
 }
 
-/// Wall-clock breakdown of one dataset generation, seconds. Produced by
-/// [`generate_staged`] so the bench harness can attribute time to the
-/// pipeline's phases instead of reporting one opaque total.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct GenerateStages {
-    /// Topology + load-model construction (everything before routing).
-    pub network_build: f64,
-    /// Eager path-table and flap-schedule resolution (parallel).
-    pub routing_precompute: f64,
-    /// The measurement campaign itself (parallel).
-    pub campaign: f64,
-    /// Dataset assembly: rate-limit policy, filtering, packaging.
-    pub assemble: f64,
-}
-
 /// Runs the full generation pipeline for `spec` at `scale`.
+///
+/// Wall-clock attribution goes through the current `detour-obs` recorder:
+/// `net/build` + `net/routing` (recorded by [`Network::generate`]) cover
+/// the substrate, `dataset/campaign` the measurement campaign, and
+/// `dataset/assemble` the rate-limit policy + filtering + packaging tail.
+/// The spans are instrumentation only — output is unaffected.
 pub fn generate(spec: &DatasetSpec, scale: Scale) -> Dataset {
     let net = build_network(spec, scale);
     generate_on(&net, spec, scale)
 }
 
-/// Like [`generate`] but reporting where the wall-clock time went.
-/// Identical output to [`generate`] — the stages are instrumentation only.
-pub fn generate_staged(spec: &DatasetSpec, scale: Scale) -> (Dataset, GenerateStages) {
-    let (net, build) = Network::generate_timed(&network_config(spec, scale));
-    let (ds, campaign, assemble) = generate_on_timed(&net, spec, scale);
-    (
-        ds,
-        GenerateStages {
-            network_build: build.core_seconds,
-            routing_precompute: build.precompute_seconds,
-            campaign,
-            assemble,
-        },
-    )
-}
-
 /// Like [`generate`] but over a caller-provided network — lets UW4-A and
 /// UW4-B (or an example) share one network instance.
 pub fn generate_on(net: &Network, spec: &DatasetSpec, scale: Scale) -> Dataset {
-    generate_on_timed(net, spec, scale).0
-}
-
-/// Shared tail of the pipeline, returning `(dataset, campaign_s, assemble_s)`.
-fn generate_on_timed(net: &Network, spec: &DatasetSpec, scale: Scale) -> (Dataset, f64, f64) {
     let n_hosts = scale.n_hosts.unwrap_or(spec.n_hosts);
     let n_na = if scale.n_hosts.is_some() {
         // Scaled runs keep the spec's NA proportion.
@@ -224,12 +194,13 @@ fn generate_on_timed(net: &Network, spec: &DatasetSpec, scale: Scale) -> (Datase
     );
     let duration_s = spec.duration_days * 86_400.0 / scale.time_divisor as f64;
 
+    let rec = detour_obs::current();
     let mut rng = Xoshiro256pp::seed_from_u64(campaign_seed);
     let requests = spec.schedule.generate(&hosts, duration_s, &mut rng);
-    let t_campaign = std::time::Instant::now();
+    let campaign_span = rec.span("dataset/campaign");
     let raw = run_campaign_faulted(net, &requests, &spec.campaign, campaign_seed, &spec.faults);
-    let campaign_s = t_campaign.elapsed().as_secs_f64();
-    let t_assemble = std::time::Instant::now();
+    campaign_span.finish();
+    let assemble_span = rec.span("dataset/assemble");
 
     let metas: Vec<HostMeta> = hosts
         .iter()
@@ -250,7 +221,8 @@ fn generate_on_timed(net: &Network, spec: &DatasetSpec, scale: Scale) -> (Datase
         spec.min_samples
     };
     let ds = Dataset::assemble(spec.name, metas, &raw, spec.policy, min_samples, duration_s);
-    (ds, campaign_s, t_assemble.elapsed().as_secs_f64())
+    assemble_span.finish();
+    ds
 }
 
 /// Restricts a world dataset to its North American hosts, renaming it —

@@ -31,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 use detour_prng::{Rng, Xoshiro256pp};
 
@@ -257,6 +258,15 @@ impl FaultConfig {
     }
 }
 
+/// Folds one materialized schedule's episode count into the calling
+/// thread's `detour-obs` recorder. Schedules are pure functions of
+/// `(seed, domain, code)`, so these counters are deterministic in the
+/// plan — thread-count-invariant even when consumers build their fault
+/// tables on the pool.
+fn record_episodes(counter: &str, episodes: usize) {
+    detour_obs::current().add(counter, episodes as u64);
+}
+
 /// A [`FaultConfig`] bound to a time horizon: the factory every consumer
 /// uses to materialize per-entity schedules. All methods are pure
 /// functions of `(config.seed, domain, entity code)` — calling them in
@@ -278,26 +288,30 @@ impl FaultPlan {
 
     /// Outage schedule for physical link `link_code`.
     pub fn link_schedule(&self, link_code: u64) -> OutageSchedule {
-        OutageSchedule::generate(
+        let sched = OutageSchedule::generate(
             self.cfg.seed,
             domain::LINK,
             link_code,
             self.cfg.link_mtbf_s,
             self.cfg.link_mttr_s,
             self.horizon_s,
-        )
+        );
+        record_episodes("faults/link_episodes", sched.episode_count());
+        sched
     }
 
     /// Outage schedule for router `router_code`.
     pub fn router_schedule(&self, router_code: u64) -> OutageSchedule {
-        OutageSchedule::generate(
+        let sched = OutageSchedule::generate(
             self.cfg.seed,
             domain::ROUTER,
             router_code,
             self.cfg.router_mtbf_s,
             self.cfg.router_mttr_s,
             self.horizon_s,
-        )
+        );
+        record_episodes("faults/router_episodes", sched.episode_count());
+        sched
     }
 
     /// Withdrawal schedule for the ordered AS pair `(src, dst)` (ids
@@ -312,6 +326,7 @@ impl FaultPlan {
             self.cfg.withdraw_mttr_s,
             self.horizon_s,
         );
+        record_episodes("faults/withdrawal_episodes", episodes.episode_count());
         WithdrawalSchedule {
             episodes,
             convergence_s: self.cfg.convergence_s,
@@ -320,26 +335,30 @@ impl FaultPlan {
 
     /// Outage schedule for measurement host `host_code`.
     pub fn host_schedule(&self, host_code: u64) -> OutageSchedule {
-        OutageSchedule::generate(
+        let sched = OutageSchedule::generate(
             self.cfg.seed,
             domain::HOST,
             host_code,
             self.cfg.host_mtbf_s,
             self.cfg.host_mttr_s,
             self.horizon_s,
-        )
+        );
+        record_episodes("faults/host_episodes", sched.episode_count());
+        sched
     }
 
     /// The single global probe-timeout storm schedule.
     pub fn storm_schedule(&self) -> OutageSchedule {
-        OutageSchedule::generate(
+        let sched = OutageSchedule::generate(
             self.cfg.seed,
             domain::STORM,
             0,
             self.cfg.storm_mtbf_s,
             self.cfg.storm_mttr_s,
             self.horizon_s,
-        )
+        );
+        record_episodes("faults/storm_episodes", sched.episode_count());
+        sched
     }
 
     /// Time after which the campaign is truncated, or `None` when it

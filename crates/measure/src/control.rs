@@ -275,6 +275,12 @@ fn merge(outcomes: Vec<Outcome>) -> RawMeasurements {
             Outcome::Transfer(ts) => out.transfers.push(ts),
         }
     }
+    // Side-channel tally of campaign-side fault casualties (outcome counts
+    // are pure functions of the request list + seeds, so these counters
+    // are thread-count-invariant).
+    let rec = detour_obs::current();
+    rec.add("faults/host_down_requests", out.host_outages as u64);
+    rec.add("faults/truncated_requests", out.truncated as u64);
     out
 }
 

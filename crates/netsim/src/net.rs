@@ -82,15 +82,6 @@ pub struct TransitOutcome {
     pub lost: bool,
 }
 
-/// Wall-clock breakdown of [`Network::generate_timed`], seconds.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct BuildTimings {
-    /// Topology generation + IGP/BGP routing-table computation + load model.
-    pub core_seconds: f64,
-    /// Eager precomputation of the flap-schedule and path tables.
-    pub precompute_seconds: f64,
-}
-
 /// A generated network instance.
 ///
 /// `Send + Sync`: all state is immutable after generation (asserted at
@@ -142,21 +133,21 @@ const _: () = {
 
 impl Network {
     /// Generates a network from `cfg`. Deterministic in `cfg.seed`.
+    ///
+    /// Reports where the build time went through the current `detour-obs`
+    /// recorder: `net/build` covers topology generation + IGP/BGP routing
+    /// tables + the load model, `net/routing` the eager precomputation of
+    /// the flap-schedule, fault, and path tables.
     pub fn generate(cfg: &NetworkConfig) -> Network {
-        Network::generate_timed(cfg).0
-    }
-
-    /// Like [`Network::generate`], reporting where the build time went
-    /// (used by the `baseline` bench binary's stage breakdown).
-    pub fn generate_timed(cfg: &NetworkConfig) -> (Network, BuildTimings) {
-        let t0 = std::time::Instant::now();
+        let rec = detour_obs::current();
+        let build_span = rec.span("net/build");
         let mut rng = detour_prng::Xoshiro256pp::seed_from_u64(cfg.seed);
         let topology = generator::generate(&cfg.topology, &mut rng);
         let resolver = Resolver::new(&topology);
         let load = LoadModel::generate(&topology, cfg.load, cfg.seed, cfg.horizon_s);
-        let core_seconds = t0.elapsed().as_secs_f64();
+        build_span.finish();
 
-        let t1 = std::time::Instant::now();
+        let routing_span = rec.span("net/routing");
         let n_as = topology.as_count();
         let flap_table = precompute_flaps(&cfg.flaps, cfg.seed, n_as, cfg.horizon_s);
 
@@ -183,9 +174,9 @@ impl Network {
             &slots,
             cfg.mode,
         );
-        let precompute_seconds = t1.elapsed().as_secs_f64();
+        routing_span.finish();
 
-        let net = Network {
+        Network {
             topology,
             resolver,
             load,
@@ -197,14 +188,7 @@ impl Network {
             flap_table,
             n_as,
             faults,
-        };
-        (
-            net,
-            BuildTimings {
-                core_seconds,
-                precompute_seconds,
-            },
-        )
+        }
     }
 
     /// All hosts.

@@ -46,9 +46,18 @@
 //!   variants delegate to them and re-panic with that context attached,
 //!   so existing call sites keep their semantics but lose the opaque
 //!   "pool worker panicked" message.
+//! * **Observability propagation.** Every fan-out re-installs the
+//!   spawning thread's current `detour-obs` recorder inside each worker,
+//!   so a recorder scoped with `obs::install` observes work done by pool
+//!   workers, not just the installing thread. The pool reports through
+//!   that recorder itself: `pool/maps` / `pool/items` counters (how many
+//!   fan-outs ran, over how many items — deterministic in the workload,
+//!   so thread-count-invariant) and a per-worker `pool/worker` busy span
+//!   (occupancy; timing only, excluded from determinism comparisons).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -189,6 +198,9 @@ pub fn try_parallel_map_init<T: Sync, R: Send, S>(
     init: impl Fn() -> S + Sync,
     f: impl Fn(&mut S, &T) -> R + Sync,
 ) -> Result<Vec<R>, WorkerPanic> {
+    let rec = detour_obs::current();
+    rec.add("pool/maps", 1);
+    rec.add("pool/items", items.len() as u64);
     let workers = threads().min(items.len());
     if workers <= 1 || IN_POOL.with(|p| p.get()) {
         let current = std::cell::Cell::new(0usize);
@@ -220,7 +232,13 @@ pub fn try_parallel_map_init<T: Sync, R: Send, S>(
                 let cursor = &cursor;
                 let init = &init;
                 let f = &f;
+                let rec = rec.clone();
                 scope.spawn(move || {
+                    // Workers inherit the spawning thread's recorder, so a
+                    // scoped `obs::install` sees the whole fan-out. The span
+                    // measures this worker's busy time (occupancy).
+                    let _obs_guard = detour_obs::install(rec.clone());
+                    let _busy = rec.span("pool/worker");
                     IN_POOL.with(|p| p.set(true));
                     // Tracks the item under evaluation so a caught panic
                     // can report *where* it fired.
@@ -462,6 +480,39 @@ mod tests {
         let items: Vec<u64> = (0..300).collect();
         let ok = try_parallel_map(&items, |&x| x.wrapping_mul(31)).unwrap();
         assert_eq!(ok, parallel_map(&items, |&x| x.wrapping_mul(31)));
+        set_threads(0);
+    }
+
+    #[test]
+    fn recorder_reaches_workers_and_pool_counters_are_thread_invariant() {
+        let _guard = thread_budget_lock();
+        let items: Vec<u64> = (0..200).collect();
+        let expect_marks: u64 = items.iter().map(|x| x % 2).sum();
+        let mut baseline: Option<(u64, u64)> = None;
+        for t in [1usize, 2, 8] {
+            set_threads(t);
+            let rec = detour_obs::Recorder::new();
+            let _g = detour_obs::install(rec.clone());
+            let out = parallel_map(&items, |&x| {
+                // Records from whatever thread claimed the item; all marks
+                // must land in the installed recorder.
+                detour_obs::current().add("test/marks", x % 2);
+                x
+            });
+            assert_eq!(out, items);
+            assert_eq!(
+                rec.counter("test/marks"),
+                expect_marks,
+                "threads={t}: worker records must reach the installed recorder"
+            );
+            let counts = (rec.counter("pool/maps"), rec.counter("pool/items"));
+            assert_eq!(counts.0, 1);
+            assert_eq!(counts.1, items.len() as u64);
+            match &baseline {
+                None => baseline = Some(counts),
+                Some(b) => assert_eq!(b, &counts, "threads={t} changed pool counters"),
+            }
+        }
         set_threads(0);
     }
 

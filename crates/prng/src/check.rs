@@ -25,7 +25,7 @@
 //! });
 //! ```
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::{SplitMix64, Xoshiro256pp};
 
@@ -67,13 +67,15 @@ pub fn case_seed(name: &str, i: u64) -> u64 {
 
 fn run_case(name: &str, i: u64, cases: u64, seed: u64, property: &impl Fn(&mut Xoshiro256pp)) {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
-        eprintln!(
-            "property '{name}' failed on case {}/{cases} (case seed {seed:#018x});\n\
+    if catch_unwind(AssertUnwindSafe(|| property(&mut rng))).is_err() {
+        // The replay instructions ride on the panic itself (libraries don't
+        // write to stderr); the original panic message has already been
+        // printed by the default hook inside `catch_unwind`.
+        panic!(
+            "property '{name}' failed on case {}/{cases} (case seed {seed:#018x}); \
              replay just this case with: DETOUR_PROP_SEED={seed:#x} cargo test -q",
             i + 1,
         );
-        resume_unwind(panic);
     }
 }
 

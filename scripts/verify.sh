@@ -60,6 +60,9 @@ fi
 echo "== cargo test --offline =="
 cargo test -q --offline --workspace
 
+# The baseline binary prints its obs table (spans/counters/gauges) to
+# stderr at the end of the run and writes the full detour-obs-v1 report
+# to results/obs_report.json, which the obscheck gate below validates.
 echo "== baseline (artifact store + thread-scaling + byte-identity gates) =="
 cargo run --release --offline -q -p detour-bench --bin baseline -- BENCH_baseline.json >/dev/null
 
@@ -120,5 +123,10 @@ printf '  %-24s %-9s %s\n' "engine (end-to-end)" "$(x "$ENGINE2")" ">= 1.2"
 printf '  %-24s %-9s %s\n' "campaign (batched)" "$(x "$CAMP2")" ">= 1.3"
 printf '  %-24s %-9s %s\n' "scale_sweep (batched)" "$(x "$SWEEP2")" ">= 1.3"
 printf '  %-24s %-9s %s\n' "binary load vs text" "$(x "$LOADX")" ">= 3.0 (all hosts)"
+
+echo
+echo "== obs schema gate (results/obs_report.json vs scripts/obs_manifest.txt) =="
+cargo run --release --offline -q -p detour-bench --bin obscheck -- \
+  results/obs_report.json scripts/obs_manifest.txt
 
 echo "verify: OK"

@@ -53,6 +53,7 @@ pub use detour_datasets as datasets;
 pub use detour_faults as faults;
 pub use detour_measure as measure;
 pub use detour_netsim as netsim;
+pub use detour_obs as obs;
 pub use detour_overlay as overlay;
 pub use detour_prng as prng;
 pub use detour_stats as stats;

@@ -76,32 +76,48 @@ fn random_mask(rng: &mut Xoshiro256pp, n: usize) -> Vec<bool> {
     (0..n).map(|_| rng.gen_bool(0.33)).collect()
 }
 
+/// Runs one batched sweep under a fresh scoped recorder and returns the
+/// comparisons plus the `kernel/sweep_*` counters it recorded:
+/// `(pairs, fixups, avoided)`.
+fn sweep_with_counters(
+    m: &WeightMatrix,
+    mask: &[bool],
+    metric: &impl Metric,
+    depth: SearchDepth,
+) -> (Vec<detour::core::altpath::PathComparison>, (u64, u64, u64)) {
+    let rec = detour_obs::Recorder::new();
+    let _g = detour_obs::install(rec.clone());
+    let got = kernel::sweep(m, mask, metric, depth);
+    let counts = (
+        rec.counter("kernel/sweep_pairs"),
+        rec.counter("kernel/sweep_fixups"),
+        rec.counter("kernel/sweep_avoided"),
+    );
+    (got, counts)
+}
+
 /// Asserts batched == per-pair on one (matrix, mask, metric, depth) cell
-/// at 1, 2, and 8 threads, plus the stats bookkeeping invariant.
+/// at 1, 2, and 8 threads, plus the counter bookkeeping invariant.
 fn assert_equivalent(m: &WeightMatrix, mask: &[bool], metric: &impl Metric, depth: SearchDepth) {
     pool::set_threads(1);
     let expect = reference::per_pair_sweep(m, mask, metric, depth);
     for threads in [1usize, 2, 8] {
         pool::set_threads(threads);
-        let (got, stats) = kernel::sweep_with_stats(m, mask, metric, depth);
+        let (got, (pairs, fixups, avoided)) = sweep_with_counters(m, mask, metric, depth);
         assert_eq!(got, expect, "threads={threads}");
         // Pairs whose destination is unreachable under the mask return no
         // comparison but still count in `pairs` (as avoided re-searches).
-        assert!(got.len() <= stats.pairs, "threads={threads}");
+        assert!(got.len() as u64 <= pairs, "threads={threads}");
         match depth {
             SearchDepth::Unrestricted => assert_eq!(
-                stats.fixups + stats.avoided,
-                stats.pairs,
+                fixups + avoided,
+                pairs,
                 "threads={threads}: every pair is either fixed up or avoided"
             ),
             // One-hop scans never run an exclusion search, so the fix-up
             // counters stay zero by definition.
             SearchDepth::OneHop => {
-                assert_eq!(
-                    (stats.fixups, stats.avoided),
-                    (0, 0),
-                    "one-hop never fixes up"
-                )
+                assert_eq!((fixups, avoided), (0, 0), "one-hop never fixes up")
             }
         }
     }
@@ -145,17 +161,14 @@ fn fixup_counting_is_thread_count_invariant() {
     let cx = AnalysisContext::from_dataset(&ds);
     let m = cx.weights(&Rtt);
     let mask = m.no_mask();
-    let mut baseline: Option<kernel::SweepStats> = None;
+    let mut baseline: Option<(u64, u64, u64)> = None;
     for threads in [1usize, 2, 8] {
         pool::set_threads(threads);
-        let (_, stats) = kernel::sweep_with_stats(m, &mask, &Rtt, SearchDepth::Unrestricted);
-        assert!(
-            stats.pairs > 0,
-            "the scaled dataset must have measured pairs"
-        );
+        let (_, counts) = sweep_with_counters(m, &mask, &Rtt, SearchDepth::Unrestricted);
+        assert!(counts.0 > 0, "the scaled dataset must have measured pairs");
         match &baseline {
-            None => baseline = Some(stats),
-            Some(b) => assert_eq!(*b, stats, "threads={threads} changed the stats"),
+            None => baseline = Some(counts),
+            Some(b) => assert_eq!(*b, counts, "threads={threads} changed the counters"),
         }
     }
     pool::set_threads(0);
